@@ -1,0 +1,223 @@
+//! A neural bag-of-embeddings baseline in the style of Miura et al.
+//! (cited in the paper's related work): "a simple neural network-based
+//! model for geolocation prediction where words are fed into the model by
+//! averaging their word embeddings."
+//!
+//! Trainable word embeddings are averaged into a tweet vector, a linear
+//! layer scores every grid cell, and training minimizes the cross-entropy
+//! of the true cell — grid classification like Hulden et al., but with
+//! learned representations. Implemented on the same autodiff tape as EDGE
+//! (the cross-entropy is the fused mixture NLL with a one-hot component
+//! vector).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use edge_data::Tweet;
+use edge_geo::{Grid, Partition, Point};
+use edge_tensor::init::xavier_uniform;
+use edge_tensor::tape::{ParamId, ParamStore, Tape};
+use edge_tensor::{Adam, Matrix, Optimizer};
+use edge_text::Vocab;
+
+use crate::geolocator::Geolocator;
+use crate::grid_model::model_words;
+
+/// Hyper-parameters of the embedding-averaging baseline.
+#[derive(Debug, Clone)]
+pub struct EmbedNetConfig {
+    /// Word-embedding dimension.
+    pub dim: usize,
+    /// Vocabulary cap (most frequent words).
+    pub max_vocab: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EmbedNetConfig {
+    fn default() -> Self {
+        Self { dim: 64, max_vocab: 4000, epochs: 15, batch_size: 128, lr: 5e-3, seed: 42 }
+    }
+}
+
+/// The trained model.
+pub struct EmbedNet {
+    vocab: Vocab,
+    grid: Grid,
+    params: ParamStore,
+    embed: ParamId,
+    w: ParamId,
+    b: ParamId,
+    config: EmbedNetConfig,
+}
+
+impl EmbedNet {
+    /// Trains on the given split, classifying over `grid`.
+    pub fn fit(train: &[Tweet], grid: Grid, config: EmbedNetConfig) -> Self {
+        assert!(config.dim > 0 && config.epochs > 0 && config.max_vocab >= 8);
+        // Vocabulary: most frequent content words (+ id 0 reserved as the
+        // padding/unknown row so empty tweets still forward).
+        let mut full = Vocab::new();
+        full.add("<pad>");
+        let word_lists: Vec<Vec<String>> = train.iter().map(|t| model_words(&t.text)).collect();
+        for words in &word_lists {
+            for w in words {
+                full.add(w);
+            }
+        }
+        let mut by_count: Vec<usize> = (1..full.len()).collect();
+        by_count.sort_by_key(|&i| std::cmp::Reverse(full.count(i)));
+        by_count.truncate(config.max_vocab);
+        let mut vocab = Vocab::new();
+        vocab.add("<pad>");
+        for &i in &by_count {
+            vocab.add(full.token(i));
+        }
+
+        let n_cells = grid.n_cells();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = ParamStore::new();
+        let embed = params.add("words", xavier_uniform(vocab.len(), config.dim, &mut rng));
+        let w = params.add("w", xavier_uniform(config.dim, n_cells, &mut rng).scale(0.3));
+        let b = params.add("b", Matrix::zeros(1, n_cells));
+
+        let mut model = Self { vocab, grid, params, embed, w, b, config };
+
+        // Pre-encode ids and targets.
+        let encoded: Vec<Vec<usize>> = word_lists.iter().map(|ws| model.encode(ws)).collect();
+        let targets: Vec<usize> =
+            train.iter().map(|t| model.grid.cell_index_of(&t.location)).collect();
+
+        let mut optimizer = Adam::new(model.config.lr, 0.9, 0.999, 1e-8, 0.0);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..model.config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(model.config.batch_size) {
+                let mut tape = Tape::new();
+                let table = tape.param(model.embed, &model.params);
+                let mut rows = Vec::with_capacity(batch.len());
+                // One-hot log-density rows: 0 at the target cell, -1e9 away,
+                // turning the fused mixture NLL into plain cross-entropy.
+                let mut log_comp = Matrix::full(batch.len(), n_cells, -1e9);
+                for (r, &i) in batch.iter().enumerate() {
+                    let ids = &encoded[i];
+                    let gathered = tape.gather_rows(table, ids.clone());
+                    let summed = tape.sum_rows(gathered);
+                    rows.push(tape.scale(summed, 1.0 / ids.len() as f32));
+                    log_comp.set(r, targets[i], 0.0);
+                }
+                let z = tape.concat_rows(rows);
+                let wn = tape.param(model.w, &model.params);
+                let bn = tape.param(model.b, &model.params);
+                let lin = tape.matmul(z, wn);
+                let logits = tape.add_row_broadcast(lin, bn);
+                let nll = tape.mixture_const_nll(logits, &log_comp);
+                let loss = tape.scale(nll, 1.0 / batch.len() as f32);
+                let grads = tape.backward(loss);
+                optimizer.step(&mut model.params, &grads);
+            }
+        }
+        model
+    }
+
+    /// Word-id encoding with the pad/unknown fallback (never empty).
+    fn encode(&self, words: &[String]) -> Vec<usize> {
+        let mut ids: Vec<usize> =
+            words.iter().filter_map(|w| self.vocab.get(w)).collect();
+        if ids.is_empty() {
+            ids.push(0);
+        }
+        ids
+    }
+
+    /// Vocabulary size in use.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Per-cell logits for a text.
+    pub fn cell_logits(&self, text: &str) -> Vec<f32> {
+        let ids = self.encode(&model_words(text));
+        let table = self.params.get(self.embed);
+        let gathered = table.gather_rows(&ids);
+        let mean = gathered.sum_rows().scale(1.0 / ids.len() as f32);
+        let logits = mean
+            .matmul(self.params.get(self.w))
+            .add_row_broadcast(self.params.get(self.b));
+        logits.row(0).to_vec()
+    }
+}
+
+impl Geolocator for EmbedNet {
+    fn name(&self) -> &str {
+        "EmbedNet"
+    }
+
+    fn predict_point(&self, text: &str) -> Option<Point> {
+        let logits = self.cell_logits(text);
+        let best = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)?;
+        Some(self.grid.cell_center(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{nyma, PresetSize};
+    use edge_geo::DistanceReport;
+
+    fn small_config() -> EmbedNetConfig {
+        EmbedNetConfig { dim: 32, max_vocab: 1500, ..Default::default() }
+    }
+
+    #[test]
+    fn trains_and_beats_center_baseline() {
+        let d = nyma(PresetSize::Smoke, 61);
+        let (train, test) = d.paper_split();
+        let model = EmbedNet::fit(train, Grid::new(d.bbox, 25, 25), small_config());
+        assert!(model.vocab_len() > 100);
+        let (pairs, cov) = model.evaluate(test);
+        assert_eq!(cov, 1.0, "EmbedNet never abstains");
+        let r = DistanceReport::from_pairs(&pairs).unwrap();
+        let center: Vec<(Point, Point)> =
+            test.iter().map(|t| (d.bbox.center(), t.location)).collect();
+        let c = DistanceReport::from_pairs(&center).unwrap();
+        assert!(r.median_km < c.median_km, "EmbedNet {} vs center {}", r.median_km, c.median_km);
+    }
+
+    #[test]
+    fn handles_unknown_and_empty_text() {
+        let d = nyma(PresetSize::Smoke, 62);
+        let (train, _) = d.paper_split();
+        let mut cfg = small_config();
+        cfg.epochs = 1;
+        let model = EmbedNet::fit(&train[..800], Grid::new(d.bbox, 20, 20), cfg);
+        for text in ["", "zzz qqq unknown", "!!!"] {
+            let p = model.predict_point(text).expect("always predicts");
+            assert!(d.bbox.contains(&p));
+        }
+    }
+
+    #[test]
+    fn logits_cover_grid_and_are_finite() {
+        let d = nyma(PresetSize::Smoke, 63);
+        let (train, _) = d.paper_split();
+        let mut cfg = small_config();
+        cfg.epochs = 1;
+        let model = EmbedNet::fit(&train[..500], Grid::new(d.bbox, 15, 15), cfg);
+        let logits = model.cell_logits("majestic theatre");
+        assert_eq!(logits.len(), 225);
+        assert!(logits.iter().all(|x| x.is_finite()));
+    }
+}

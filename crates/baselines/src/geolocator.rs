@@ -1,0 +1,80 @@
+//! The common interface the benchmark harness evaluates every method
+//! through.
+
+use edge_data::Tweet;
+use edge_geo::Point;
+
+/// A tweet geolocation method producing a single point estimate (the
+/// common denominator of Table III; EDGE additionally returns its mixture
+/// through its own API).
+pub trait Geolocator {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// The predicted location, or `None` when the method abstains
+    /// (Hyper-local abstains on tweets without geo-specific n-grams).
+    fn predict_point(&self, text: &str) -> Option<Point>;
+
+    /// Evaluates on a test split: `(prediction, truth)` pairs for covered
+    /// tweets plus the coverage fraction.
+    fn evaluate(&self, test: &[Tweet]) -> (Vec<(Point, Point)>, f64) {
+        let pairs: Vec<(Point, Point)> = test
+            .iter()
+            .filter_map(|t| self.predict_point(&t.text).map(|p| (p, t.location)))
+            .collect();
+        let coverage = pairs.len() as f64 / test.len().max(1) as f64;
+        (pairs, coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::SimDate;
+
+    struct Fixed(Option<Point>);
+    impl Geolocator for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn predict_point(&self, _text: &str) -> Option<Point> {
+            self.0
+        }
+    }
+
+    fn tweets(n: usize) -> Vec<Tweet> {
+        (0..n)
+            .map(|i| Tweet {
+                id: i as u64,
+                text: "x".into(),
+                location: Point::new(40.0, -74.0),
+                date: SimDate::new(2020, 3, 12),
+                gold_entities: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn evaluate_full_coverage() {
+        let g = Fixed(Some(Point::new(40.5, -74.0)));
+        let (pairs, cov) = g.evaluate(&tweets(4));
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(cov, 1.0);
+    }
+
+    #[test]
+    fn evaluate_abstaining_method() {
+        let g = Fixed(None);
+        let (pairs, cov) = g.evaluate(&tweets(4));
+        assert!(pairs.is_empty());
+        assert_eq!(cov, 0.0);
+    }
+
+    #[test]
+    fn evaluate_empty_test_set() {
+        let g = Fixed(Some(Point::new(0.0, 0.0)));
+        let (pairs, cov) = g.evaluate(&[]);
+        assert!(pairs.is_empty());
+        assert_eq!(cov, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Hyper-local (Flatow et al.): "first identifies the geo-specific n-grams
+//! by modeling the location distributions of n-grams. The discovered
+//! n-grams are then used for geotagging tweets according to the centers of
+//! the Gaussian models of the n-grams they contain."
+//!
+//! An n-gram is *geo-specific* when it occurs often enough and its fitted
+//! isotropic Gaussian is tight (spatial σ below a km threshold). Tweets
+//! containing no geo-specific n-gram are **not predicted** — the paper
+//! reports Hyper-local's coverage (~81–84%) alongside its scores.
+
+use std::collections::HashMap;
+
+use edge_data::Tweet;
+use edge_geo::Point;
+use edge_text::ngrams;
+
+use crate::geolocator::Geolocator;
+use crate::grid_model::model_words;
+
+/// A geo-specific n-gram's spatial model.
+#[derive(Debug, Clone, Copy)]
+struct NgramModel {
+    center: Point,
+    sigma_km: f64,
+}
+
+/// Hyper-local fitting parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperLocalParams {
+    /// Maximum n-gram length.
+    pub max_n: usize,
+    /// Minimum occurrences for an n-gram to be considered.
+    pub min_count: usize,
+    /// Geo-specificity threshold: keep n-grams with σ below this (km).
+    pub max_sigma_km: f64,
+}
+
+impl Default for HyperLocalParams {
+    fn default() -> Self {
+        Self { max_n: 3, min_count: 3, max_sigma_km: 8.0 }
+    }
+}
+
+/// The trained Hyper-local model.
+pub struct HyperLocal {
+    models: HashMap<String, NgramModel>,
+    params: HyperLocalParams,
+}
+
+impl HyperLocal {
+    /// Fits the geo-specific n-gram inventory.
+    pub fn fit(train: &[Tweet], params: HyperLocalParams) -> Self {
+        let mut occurrences: HashMap<String, Vec<Point>> = HashMap::new();
+        for t in train {
+            let words = model_words(&t.text);
+            let mut grams = ngrams(&words, params.max_n);
+            grams.sort();
+            grams.dedup(); // one contribution per tweet
+            for g in grams {
+                occurrences.entry(g).or_default().push(t.location);
+            }
+        }
+        let models = occurrences
+            .into_iter()
+            .filter(|(_, pts)| pts.len() >= params.min_count)
+            .filter_map(|(gram, pts)| {
+                let center = edge_geo::point::centroid(&pts)?;
+                let var_km = pts
+                    .iter()
+                    .map(|p| {
+                        let d = p.haversine_km(&center);
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / pts.len() as f64;
+                let sigma_km = var_km.sqrt();
+                (sigma_km <= params.max_sigma_km)
+                    .then_some((gram, NgramModel { center, sigma_km }))
+            })
+            .collect();
+        Self { models, params }
+    }
+
+    /// Number of geo-specific n-grams discovered.
+    pub fn n_geo_specific(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether an n-gram is geo-specific.
+    pub fn is_geo_specific(&self, gram: &str) -> bool {
+        self.models.contains_key(gram)
+    }
+}
+
+impl Geolocator for HyperLocal {
+    fn name(&self) -> &str {
+        "Hyper-local"
+    }
+
+    /// Weighted (1/σ²) average of the contained geo-specific n-grams'
+    /// Gaussian centres; `None` when the tweet has none (the abstention the
+    /// paper's coverage column records).
+    fn predict_point(&self, text: &str) -> Option<Point> {
+        let words = model_words(text);
+        let mut grams = ngrams(&words, self.params.max_n);
+        grams.sort();
+        grams.dedup();
+        let mut lat = 0.0;
+        let mut lon = 0.0;
+        let mut weight_total = 0.0;
+        for g in &grams {
+            if let Some(m) = self.models.get(g) {
+                let w = 1.0 / (m.sigma_km * m.sigma_km).max(1e-6);
+                lat += w * m.center.lat;
+                lon += w * m.center.lon;
+                weight_total += w;
+            }
+        }
+        (weight_total > 0.0).then(|| Point::new(lat / weight_total, lon / weight_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{nyma, PresetSize};
+    use edge_geo::DistanceReport;
+
+    fn fitted() -> (HyperLocal, edge_data::Dataset) {
+        let d = nyma(PresetSize::Smoke, 13);
+        let (train, _) = d.paper_split();
+        (HyperLocal::fit(train, HyperLocalParams::default()), d)
+    }
+
+    #[test]
+    fn discovers_geo_specific_ngrams() {
+        let (m, _) = fitted();
+        assert!(m.n_geo_specific() > 30, "found {}", m.n_geo_specific());
+    }
+
+    #[test]
+    fn coverage_is_partial() {
+        let (m, d) = fitted();
+        let (_, test) = d.paper_split();
+        let (_, coverage) = m.evaluate(test);
+        assert!(
+            coverage > 0.25 && coverage < 0.98,
+            "Hyper-local coverage should be partial: {coverage}"
+        );
+    }
+
+    #[test]
+    fn abstains_without_geo_specific_grams() {
+        let (m, _) = fitted();
+        assert!(m.predict_point("zzz qqq nothing here").is_none());
+        assert!(m.predict_point("").is_none());
+    }
+
+    #[test]
+    fn covered_predictions_beat_center_baseline() {
+        let (m, d) = fitted();
+        let (_, test) = d.paper_split();
+        let (pairs, _) = m.evaluate(test);
+        assert!(pairs.len() > 100);
+        let r = DistanceReport::from_pairs(&pairs).unwrap();
+        let center: Vec<(Point, Point)> =
+            pairs.iter().map(|(_, t)| (d.bbox.center(), *t)).collect();
+        let c = DistanceReport::from_pairs(&center).unwrap();
+        assert!(
+            r.median_km < c.median_km,
+            "Hyper-local {} vs center {}",
+            r.median_km,
+            c.median_km
+        );
+    }
+
+    #[test]
+    fn geo_specific_grams_are_tight() {
+        let (m, _) = fitted();
+        for nm in m.models.values() {
+            assert!(nm.sigma_km <= HyperLocalParams::default().max_sigma_km);
+        }
+    }
+
+    #[test]
+    fn multiword_entity_becomes_geo_specific_bigram() {
+        let (m, _) = fitted();
+        // The signature entity "Majestic Theatre" is tightly anchored and
+        // frequent; its bigram should be discovered.
+        assert!(
+            m.is_geo_specific("majestic theatre") || m.is_geo_specific("majestic"),
+            "signature n-gram not discovered"
+        );
+    }
+}

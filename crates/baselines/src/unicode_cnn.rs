@@ -1,0 +1,291 @@
+//! UnicodeCNN (Izbicki et al.): a character-level convolutional network
+//! that "generates features directly from the Unicode characters in the
+//! input text" and predicts coordinates through a mixture of von
+//! Mises–Fisher distributions. Following the paper's experiments, 100 MvMF
+//! components are laid out uniformly over the region with fixed means; the
+//! network learns the mixture weights.
+//!
+//! Architecture: char embedding → 1-D convolution (im2col + matmul) → ReLU
+//! → global max pooling → dense → logits over the fixed components. The
+//! loss is the fused `mixture_const_nll` (the per-tweet component
+//! log-densities at the true location are constants).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use edge_data::Tweet;
+use edge_geo::{BBox, MvMfMixture, Point};
+use edge_tensor::init::xavier_uniform;
+use edge_tensor::tape::{softmax_in_place, ParamId, ParamStore, Tape};
+use edge_tensor::{Adam, Matrix, Optimizer};
+
+use crate::geolocator::Geolocator;
+
+/// UnicodeCNN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct UnicodeCnnConfig {
+    /// Fixed input length in characters (truncate/pad).
+    pub seq_len: usize,
+    /// Character embedding dimension.
+    pub char_dim: usize,
+    /// Convolution kernel width.
+    pub kernel: usize,
+    /// Convolution output channels.
+    pub channels: usize,
+    /// Number of MvMF components (the paper uses 100).
+    pub n_components: usize,
+    /// vMF concentration; calibrated so a component's angular spread is on
+    /// the order of the component spacing.
+    pub kappa: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for UnicodeCnnConfig {
+    fn default() -> Self {
+        Self {
+            seq_len: 72,
+            char_dim: 16,
+            kernel: 5,
+            channels: 32,
+            n_components: 100,
+            kappa: 2.0e7, // ~1.4 km angular σ on the Earth's sphere
+            epochs: 6,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 42,
+        }
+    }
+}
+
+/// Character vocabulary: printable ASCII (95 symbols) + one bucket for
+/// everything else + one pad symbol.
+const ASCII_START: u8 = 0x20;
+const ASCII_END: u8 = 0x7e;
+const N_ASCII: usize = (ASCII_END - ASCII_START + 1) as usize;
+const OTHER_ID: usize = N_ASCII;
+const PAD_ID: usize = N_ASCII + 1;
+const CHAR_VOCAB: usize = N_ASCII + 2;
+
+fn char_ids(text: &str, seq_len: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = text
+        .chars()
+        .take(seq_len)
+        .map(|c| {
+            let b = c as u32;
+            if (ASCII_START as u32..=ASCII_END as u32).contains(&b) {
+                (b - ASCII_START as u32) as usize
+            } else {
+                OTHER_ID
+            }
+        })
+        .collect();
+    ids.resize(seq_len, PAD_ID);
+    ids
+}
+
+/// The trained UnicodeCNN model.
+pub struct UnicodeCnn {
+    config: UnicodeCnnConfig,
+    mixture: MvMfMixture,
+    params: ParamStore,
+    embed: ParamId,
+    conv_w: ParamId,
+    conv_b: ParamId,
+    dense_w: ParamId,
+    dense_b: ParamId,
+}
+
+impl UnicodeCnn {
+    /// Trains on the given split over the study region `bbox`.
+    pub fn fit(train: &[Tweet], bbox: &BBox, config: UnicodeCnnConfig) -> Self {
+        assert!(config.seq_len > config.kernel, "sequence must exceed the kernel");
+        let mixture = MvMfMixture::uniform_layout(bbox, config.n_components, config.kappa);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = ParamStore::new();
+        let embed = params.add("char_embed", xavier_uniform(CHAR_VOCAB, config.char_dim, &mut rng));
+        let conv_w = params.add(
+            "conv_w",
+            xavier_uniform(config.kernel * config.char_dim, config.channels, &mut rng),
+        );
+        let conv_b = params.add("conv_b", Matrix::zeros(1, config.channels));
+        let dense_w =
+            params.add("dense_w", xavier_uniform(config.channels, config.n_components, &mut rng));
+        let dense_b = params.add("dense_b", Matrix::zeros(1, config.n_components));
+
+        let mut model = Self { config, mixture, params, embed, conv_w, conv_b, dense_w, dense_b };
+
+        // Precompute per-tweet component log-densities (constants) and ids.
+        let log_comp_rows: Vec<Vec<f32>> = train
+            .iter()
+            .map(|t| {
+                (0..model.mixture.len())
+                    .map(|k| {
+                        let c = edge_geo::VonMisesFisher::new(
+                            model.mixture.centers()[k],
+                            model.config.kappa,
+                        );
+                        c.log_pdf(&t.location) as f32
+                    })
+                    .collect()
+            })
+            .collect();
+        let id_rows: Vec<Vec<usize>> =
+            train.iter().map(|t| char_ids(&t.text, model.config.seq_len)).collect();
+
+        let mut optimizer = Adam::new(model.config.lr, 0.9, 0.999, 1e-8, 0.0);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..model.config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(model.config.batch_size) {
+                let mut tape = Tape::new();
+                let embed_node = tape.param(model.embed, &model.params);
+                let conv_w_node = tape.param(model.conv_w, &model.params);
+                let conv_b_node = tape.param(model.conv_b, &model.params);
+                let mut pooled_rows = Vec::with_capacity(batch.len());
+                let mut log_comp = Matrix::zeros(batch.len(), model.mixture.len());
+                for (row, &i) in batch.iter().enumerate() {
+                    let seq = tape.gather_rows(embed_node, id_rows[i].clone());
+                    let unfolded = tape.im2col(seq, model.config.kernel);
+                    let conv = tape.matmul(unfolded, conv_w_node);
+                    let biased = tape.add_row_broadcast(conv, conv_b_node);
+                    let act = tape.relu(biased);
+                    pooled_rows.push(tape.max_pool_rows(act));
+                    log_comp.row_mut(row).copy_from_slice(&log_comp_rows[i]);
+                }
+                let pooled = tape.concat_rows(pooled_rows);
+                let dw = tape.param(model.dense_w, &model.params);
+                let db = tape.param(model.dense_b, &model.params);
+                let lin = tape.matmul(pooled, dw);
+                let logits = tape.add_row_broadcast(lin, db);
+                let nll = tape.mixture_const_nll(logits, &log_comp);
+                let loss = tape.scale(nll, 1.0 / batch.len() as f32);
+                let grads = tape.backward(loss);
+                optimizer.step(&mut model.params, &grads);
+            }
+        }
+        model
+    }
+
+    /// The learned component weights for a text.
+    pub fn component_weights(&self, text: &str) -> Vec<f32> {
+        let ids = char_ids(text, self.config.seq_len);
+        let seq = self.params.get(self.embed).gather_rows(&ids);
+        // im2col + matmul, inference side.
+        let k = self.config.kernel;
+        let c = self.config.char_dim;
+        let out_rows = self.config.seq_len - k + 1;
+        let mut unfolded = Matrix::zeros(out_rows, k * c);
+        for r in 0..out_rows {
+            for kk in 0..k {
+                unfolded.row_mut(r)[kk * c..(kk + 1) * c].copy_from_slice(seq.row(r + kk));
+            }
+        }
+        let conv = unfolded
+            .matmul(self.params.get(self.conv_w))
+            .add_row_broadcast(self.params.get(self.conv_b))
+            .map(|x| x.max(0.0));
+        // Global max pool.
+        let mut pooled = Matrix::zeros(1, self.config.channels);
+        for ch in 0..self.config.channels {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..conv.rows() {
+                best = best.max(conv.get(r, ch));
+            }
+            pooled.set(0, ch, best);
+        }
+        let logits = pooled
+            .matmul(self.params.get(self.dense_w))
+            .add_row_broadcast(self.params.get(self.dense_b));
+        let mut weights = logits.row(0).to_vec();
+        softmax_in_place(&mut weights);
+        weights
+    }
+
+    /// The full predictive MvMF mixture for a text.
+    pub fn predict_mixture(&self, text: &str) -> MvMfMixture {
+        let mut mix = self.mixture.clone();
+        mix.set_weights(self.component_weights(text).iter().map(|&w| w as f64).collect());
+        mix
+    }
+}
+
+impl Geolocator for UnicodeCnn {
+    fn name(&self) -> &str {
+        "UnicodeCNN"
+    }
+
+    fn predict_point(&self, text: &str) -> Option<Point> {
+        Some(self.predict_mixture(text).mode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{nyma, PresetSize};
+
+    fn small_config() -> UnicodeCnnConfig {
+        UnicodeCnnConfig {
+            n_components: 36,
+            epochs: 3,
+            seq_len: 48,
+            channels: 16,
+            char_dim: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn char_ids_encode_and_pad() {
+        let ids = char_ids("Hi!", 6);
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], ('H' as usize) - 0x20);
+        assert_eq!(ids[3], PAD_ID);
+        // Non-ASCII buckets.
+        assert_eq!(char_ids("é", 2)[0], OTHER_ID);
+    }
+
+    #[test]
+    fn char_ids_truncate() {
+        assert_eq!(char_ids("abcdefgh", 4).len(), 4);
+    }
+
+    #[test]
+    fn trains_and_predicts_in_region() {
+        let d = nyma(PresetSize::Smoke, 17);
+        let (train, test) = d.paper_split();
+        let model = UnicodeCnn::fit(&train[..1200], &d.bbox, small_config());
+        for t in test.iter().take(30) {
+            let p = model.predict_point(&t.text).unwrap();
+            assert!(d.bbox.contains(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn weights_form_distribution() {
+        let d = nyma(PresetSize::Smoke, 18);
+        let (train, _) = d.paper_split();
+        let model = UnicodeCnn::fit(&train[..600], &d.bbox, small_config());
+        let w = model.component_weights("majestic theatre tonight");
+        assert_eq!(w.len(), 36);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn full_coverage() {
+        let d = nyma(PresetSize::Smoke, 19);
+        let (train, test) = d.paper_split();
+        let model = UnicodeCnn::fit(&train[..600], &d.bbox, small_config());
+        let (_, coverage) = model.evaluate(&test[..100]);
+        assert_eq!(coverage, 1.0, "UnicodeCNN never abstains");
+    }
+}

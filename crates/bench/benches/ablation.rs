@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what each
+//! EDGE component costs (GCN on/off, attention vs SUM, mixture size M) and
+//! how heavy the Table-IV variants are end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use edge_bench::{run_method, HarnessConfig};
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, nyma, PresetSize};
+
+fn bench_variants(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 7);
+    let config = HarnessConfig::smoke();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for method in ["BOW", "NoGCN", "SUM", "NoMixture", "EDGE"] {
+        group.bench_with_input(BenchmarkId::from_parameter(method), &method, |b, &m| {
+            b.iter(|| black_box(run_method(&d, m, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixture_size(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 8);
+    let (train, _) = d.paper_split();
+    let mut group = c.benchmark_group("edge_train_vs_M");
+    group.sample_size(10);
+    for m in [1usize, 4, 8] {
+        let mut config = EdgeConfig::smoke();
+        config.epochs = 2;
+        config.n_components = m;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let ner = dataset_recognizer(&d);
+                black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcn_layers(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 9);
+    let (train, _) = d.paper_split();
+    let mut group = c.benchmark_group("edge_train_vs_gcn_layers");
+    group.sample_size(10);
+    for layers in [1usize, 2, 3] {
+        let mut config = EdgeConfig::smoke();
+        config.epochs = 2;
+        config.gcn_layers = layers;
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            b.iter(|| {
+                let ner = dataset_recognizer(&d);
+                black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_variants, bench_mixture_size, bench_gcn_layers
+);
+criterion_main!(benches);

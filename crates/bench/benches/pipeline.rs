@@ -1,0 +1,85 @@
+//! Macro-benchmarks of the EDGE pipeline stages: dataset generation, NER
+//! throughput, entity2vec, graph construction + normalization, one training
+//! epoch, and prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edge_core::{run_entity2vec, EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, nyma, PresetSize};
+use edge_graph::{build_cooccurrence_graph, normalized_adjacency_triplets};
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("generate_nyma_smoke", |b| {
+        b.iter(|| black_box(nyma(PresetSize::Smoke, 1)));
+    });
+}
+
+fn bench_ner(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 2);
+    let ner = dataset_recognizer(&d);
+    let texts: Vec<&str> = d.tweets.iter().take(1000).map(|t| t.text.as_str()).collect();
+    c.bench_function("ner_recognize_1000_tweets", |b| {
+        b.iter(|| {
+            let total: usize = texts.iter().map(|t| ner.recognize(t).len()).sum();
+            black_box(total)
+        });
+    });
+}
+
+fn bench_entity2vec(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 3);
+    let ner = dataset_recognizer(&d);
+    let (train, _) = d.paper_split();
+    let sgns = edge_embed::SgnsConfig { dim: 32, epochs: 1, ..Default::default() };
+    c.bench_function("entity2vec_3000_tweets", |b| {
+        b.iter(|| black_box(run_entity2vec(train, &ner, &sgns, 32)));
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 4);
+    let ner = dataset_recognizer(&d);
+    let (train, _) = d.paper_split();
+    let sgns = edge_embed::SgnsConfig { dim: 8, epochs: 1, ..Default::default() };
+    let e2v = run_entity2vec(train, &ner, &sgns, 8);
+    c.bench_function("cooccurrence_graph_and_normalize", |b| {
+        b.iter(|| {
+            let g = build_cooccurrence_graph(
+                e2v.index.len(),
+                e2v.tweet_entities.iter().map(Vec::as_slice),
+            );
+            black_box(normalized_adjacency_triplets(&g))
+        });
+    });
+}
+
+fn bench_train_and_predict(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 5);
+    let (train, test) = d.paper_split();
+    let mut config = EdgeConfig::smoke();
+    config.epochs = 1;
+    c.bench_function("edge_train_1_epoch_smoke", |b| {
+        b.iter(|| {
+            let ner = dataset_recognizer(&d);
+            black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+        });
+    });
+
+    let ner = dataset_recognizer(&d);
+    let (model, _) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke());
+    let texts: Vec<&str> = test.iter().take(200).map(|t| t.text.as_str()).collect();
+    c.bench_function("edge_predict_200_tweets", |b| {
+        b.iter(|| {
+            let covered: usize = texts.iter().filter_map(|t| model.predict(t)).count();
+            black_box(covered)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_dataset_generation, bench_ner, bench_entity2vec, bench_graph_build, bench_train_and_predict
+);
+criterion_main!(benches);

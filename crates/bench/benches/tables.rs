@@ -1,0 +1,54 @@
+//! End-to-end benches, one per reproduced table: how long each table's
+//! underlying computation takes at smoke scale. `table3/<method>` times one
+//! train+evaluate cycle per comparison method; `table2/stats` and
+//! `audit/full` time the dataset-statistics passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use edge_bench::{run_method, HarnessConfig};
+use edge_data::{audit_entities, dataset_recognizer, nyma, table_two_row, PresetSize};
+
+fn bench_table2(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 1);
+    let ner = dataset_recognizer(&d);
+    c.bench_function("table2/stats", |b| {
+        b.iter(|| black_box(table_two_row(&d, &ner)));
+    });
+}
+
+fn bench_table3_methods(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 2);
+    let config = HarnessConfig::smoke();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for method in [
+        "LocKDE",
+        "NaiveBayes",
+        "Kullback-Leibler",
+        "NaiveBayes_kde2d",
+        "Hyper-local",
+        "UnicodeCNN",
+        "EDGE",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(method), &method, |b, &m| {
+            b.iter(|| black_box(run_method(&d, m, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let d = nyma(PresetSize::Smoke, 3);
+    let ner = dataset_recognizer(&d);
+    c.bench_function("audit/full", |b| {
+        b.iter(|| black_box(audit_entities(&d, &ner, 0)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_table2, bench_table3_methods, bench_audit
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates the **Section IV-A corpus audit**: NER recognition rates on
+//! three random 100-tweet samples per dataset (repeated like the paper's
+//! manual labelling), the fraction of entity-free tweets, and the
+//! percentages of tweets mentioning a location entity / both a location and
+//! a non-location entity.
+//!
+//! Usage: `cargo run --release -p edge-bench --bin audit [--size default]`
+
+use serde::Serialize;
+
+use edge_data::{audit_entities, audit_entities_offset, covid19, dataset_recognizer, lama, nyma, EntityAudit};
+
+#[derive(Serialize)]
+struct DatasetAudit {
+    dataset: String,
+    samples: Vec<EntityAudit>,
+    full: EntityAudit,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let mut out = Vec::new();
+    let mut text = String::from("Section IV-A audit (3 x 100-tweet samples + full corpus)\n");
+    for dataset in [nyma(size, seeds[0]), lama(size, seeds[0]), covid19(size, seeds[0])] {
+        let ner = dataset_recognizer(&dataset);
+        // Three disjoint stride samples, like the paper's repeated runs.
+        let samples: Vec<EntityAudit> =
+            (0..3).map(|k| audit_entities_offset(&dataset, &ner, 100, k * 7 + 1)).collect();
+        let full = audit_entities(&dataset, &ner, 0);
+        text.push_str(&format!(
+            "\n== {} ==\n   recognition rate (samples): {}\n   full corpus: recognition {:.2}%, no-entity {:.2}%, location {:.2}%, location+other {:.2}%\n",
+            dataset.name,
+            samples
+                .iter()
+                .map(|a| format!("{:.2}%", a.recognition_rate * 100.0))
+                .collect::<Vec<_>>()
+                .join(", "),
+            full.recognition_rate * 100.0,
+            full.no_entity_fraction * 100.0,
+            full.location_fraction * 100.0,
+            full.location_and_other_fraction * 100.0
+        ));
+        out.push(DatasetAudit { dataset: dataset.name.clone(), samples, full });
+    }
+    print!("{text}");
+    edge_bench::write_results("audit", &out, &text).expect("write results");
+    eprintln!("wrote results/audit.{{json,txt}}");
+}

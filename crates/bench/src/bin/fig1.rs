@@ -1,0 +1,80 @@
+//! Regenerates **Figure 1**: the geographic distribution of tweets
+//! mentioning "quarantine" in New York across the paper's two COVID
+//! windows — 03/12–03/22/2020 and 03/22–04/02/2020 — with locations
+//! *predicted by the model* (the paper's caption: "the location
+//! distribution of those tweets was predicted by our model").
+//!
+//! Usage: `cargo run --release -p edge-bench --bin fig1 [--size default]`
+
+use serde::Serialize;
+
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{covid19, dataset_recognizer, PresetSize, SimDate};
+use edge_geo::{Grid, Heatmap, Point};
+
+#[derive(Serialize)]
+struct Window {
+    label: String,
+    n_tweets: usize,
+    predicted_points: Vec<Point>,
+    heatmap: Vec<f64>,
+    hotspots: Vec<(Point, f64)>,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let dataset = covid19(size, seeds[0]);
+    let config = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    let (train, _) = dataset.paper_split();
+    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+
+    let windows = [
+        ("03/12/2020-03/22/2020", SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 22)),
+        ("03/22/2020-04/02/2020", SimDate::new(2020, 3, 22), SimDate::new(2020, 4, 2)),
+    ];
+    let grid = Grid::new(dataset.bbox, 60, 60);
+    let mut out = Vec::new();
+    let mut text = String::from("Figure 1: predicted distribution of \"quarantine\" tweets\n");
+    for (label, start, end) in windows {
+        let tweets: Vec<_> = dataset
+            .window(start, end)
+            .into_iter()
+            .filter(|t| t.text.to_lowercase().contains("quarantine"))
+            .collect();
+        let predicted: Vec<Point> = tweets
+            .iter()
+            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
+            .collect();
+        let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
+        text.push_str(&format!(
+            "\n-- window {label}: {} quarantine tweets, {} predicted --\n{}",
+            tweets.len(),
+            predicted.len(),
+            heat.render_ascii(60)
+        ));
+        out.push(Window {
+            label: label.to_string(),
+            n_tweets: tweets.len(),
+            heatmap: heat.values().to_vec(),
+            hotspots: heat.hotspots(5),
+            predicted_points: predicted,
+        });
+    }
+    // The spreading statistic the paper's narrative claims: dispersion grows.
+    let dispersion = |pts: &[Point]| -> f64 {
+        edge_geo::point::centroid(pts)
+            .map(|c| pts.iter().map(|p| p.haversine_km(&c)).sum::<f64>() / pts.len() as f64)
+            .unwrap_or(0.0)
+    };
+    let d_early = dispersion(&out[0].predicted_points);
+    let d_late = dispersion(&out[1].predicted_points);
+    text.push_str(&format!(
+        "\nspatial dispersion (mean km to centroid): early {d_early:.2} km -> late {d_late:.2} km\n"
+    ));
+    print!("{text}");
+    edge_bench::write_results("fig1", &out, &text).expect("write results");
+    eprintln!("wrote results/fig1.{{json,txt}}");
+}

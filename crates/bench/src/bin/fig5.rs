@@ -1,0 +1,49 @@
+//! Regenerates **Figure 5**: the impact of the radius `r` on EDGE's RDP
+//! (Radius Density Precision) with M = 4, on all three datasets.
+//!
+//! RDP(r) is the probability mass the predicted mixture places within `r`
+//! km of the true location, averaged over the test set (see DESIGN.md §1
+//! for the metric-reconstruction note).
+//!
+//! Usage: `cargo run --release -p edge-bench --bin fig5 [--size default]`
+
+use serde::Serialize;
+
+use edge_bench::edge_rdp_sweep;
+use edge_core::EdgeConfig;
+use edge_data::{covid19, lama, nyma, PresetSize};
+
+#[derive(Serialize)]
+struct Series {
+    dataset: String,
+    points: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let config = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    assert_eq!(config.n_components, 4, "Figure 5 uses M = 4");
+    let radii: Vec<f64> = (1..=10).map(|r| r as f64).collect();
+
+    let mut series = Vec::new();
+    let mut text = String::from("Figure 5: RDP vs r (M = 4)\n      r(km):");
+    for r in &radii {
+        text.push_str(&format!(" {r:>6.0}"));
+    }
+    text.push('\n');
+    for dataset in [nyma(size, seeds[0]), lama(size, seeds[0]), covid19(size, seeds[0])] {
+        let points = edge_rdp_sweep(&dataset, &config, &radii, 1500, seeds[0]);
+        text.push_str(&format!("{:<12}", dataset.name));
+        for (_, v) in &points {
+            text.push_str(&format!(" {v:>6.3}"));
+        }
+        text.push('\n');
+        series.push(Series { dataset: dataset.name.clone(), points });
+    }
+    print!("{text}");
+    edge_bench::write_results("fig5", &series, &text).expect("write results");
+    eprintln!("wrote results/fig5.{{json,txt}}");
+}

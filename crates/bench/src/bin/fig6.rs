@@ -1,0 +1,84 @@
+//! Regenerates **Figure 6** (parameter sensitivity): the impact of the
+//! number of mixture components `M` and of the embedding length `d` on
+//! EDGE's accuracy (the paper's Section IV sensitivity analysis; its
+//! defaults are M = 4, d = 400).
+//!
+//! Runs on NYMA (the largest corpus — sensitivity trends on the small
+//! COVID subset drown in seed noise) and averages over `--seeds`.
+//!
+//! Usage: `cargo run --release -p edge-bench --bin fig6 [--size default] [--seeds 2]`
+
+use serde::Serialize;
+
+use edge_bench::{average_reports, run_edge};
+use edge_core::EdgeConfig;
+use edge_data::{nyma, PresetSize};
+use edge_geo::DistanceReport;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    parameter: String,
+    value: usize,
+    report: DistanceReport,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let base = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    let dataset = nyma(size, seeds[0]);
+
+    let run_averaged = |c: &EdgeConfig| -> DistanceReport {
+        let reports: Vec<DistanceReport> = seeds
+            .iter()
+            .map(|&s| {
+                let mut cfg = c.clone();
+                cfg.seed = s;
+                cfg.sgns.seed = s ^ 0xbeef;
+                run_edge(&dataset, &cfg).0
+            })
+            .collect();
+        average_reports(&reports)
+    };
+
+    let mut points = Vec::new();
+    let mut text = format!(
+        "Figure 6: parameter sensitivity on NYMA ({} seed(s))\n\n(a) number of mixture components M\n",
+        seeds.len()
+    );
+    text.push_str(&format!("{:>4} {:>9} {:>11} {:>8} {:>8}\n", "M", "Mean(km)", "Median(km)", "@3km", "@5km"));
+    for m in [1usize, 2, 4, 6, 8] {
+        let mut c = base.clone();
+        c.n_components = m;
+        let report = run_averaged(&c);
+        text.push_str(&format!(
+            "{m:>4} {:>9.2} {:>11.2} {:>8.4} {:>8.4}\n",
+            report.mean_km, report.median_km, report.at_3km, report.at_5km
+        ));
+        points.push(SweepPoint { parameter: "M".into(), value: m, report });
+    }
+
+    text.push_str("\n(b) embedding length d\n");
+    text.push_str(&format!("{:>4} {:>9} {:>11} {:>8} {:>8}\n", "d", "Mean(km)", "Median(km)", "@3km", "@5km"));
+    let dims: &[usize] = match size {
+        PresetSize::Smoke => &[8, 16, 32],
+        _ => &[16, 32, 64, 128],
+    };
+    for &d in dims {
+        let mut c = base.clone();
+        c.embed_dim = d;
+        c.hidden_dim = d;
+        c.sgns.dim = d;
+        let report = run_averaged(&c);
+        text.push_str(&format!(
+            "{d:>4} {:>9.2} {:>11.2} {:>8.4} {:>8.4}\n",
+            report.mean_km, report.median_km, report.at_3km, report.at_5km
+        ));
+        points.push(SweepPoint { parameter: "d".into(), value: d, report });
+    }
+    print!("{text}");
+    edge_bench::write_results("fig6", &points, &text).expect("write results");
+    eprintln!("wrote results/fig6.{{json,txt}}");
+}

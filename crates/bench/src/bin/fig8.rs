@@ -1,0 +1,79 @@
+//! Regenerates **Figure 8** (use case 2a): heat maps of the tweets
+//! mentioning Nipsey Hussle in Los Angeles, before (03/12–03/30) and on/after
+//! the anniversary of his death (03/31–04/02), with locations predicted by
+//! EDGE. The paper observes "a burst of tweets … in several geographical
+//! regions close to the place where he was shot" (The Marathon Clothing).
+//!
+//! Usage: `cargo run --release -p edge-bench --bin fig8 [--size default]`
+
+use serde::Serialize;
+
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, lama, PresetSize, SimDate};
+use edge_geo::{Grid, Heatmap, Point};
+
+#[derive(Serialize)]
+struct Window {
+    label: String,
+    n_mentions: usize,
+    n_predicted: usize,
+    heatmap: Vec<f64>,
+    hotspots: Vec<(Point, f64)>,
+    km_from_marathon_clothing: Option<f64>,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let dataset = lama(size, seeds[0]);
+    let config = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    let (train, _) = dataset.paper_split();
+    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+
+    let marathon = Point::new(33.9890, -118.3310);
+    let grid = Grid::new(dataset.bbox, 60, 60);
+    let windows = [
+        ("03/12/2020-03/30/2020", SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 31)),
+        ("03/31/2020-04/02/2020", SimDate::new(2020, 3, 31), SimDate::new(2020, 4, 2)),
+    ];
+
+    let mut out = Vec::new();
+    let mut text = String::from("Figure 8: predicted heat maps of Nipsey Hussle mentions (LA)\n");
+    for (label, start, end) in windows {
+        let mentions: Vec<_> = dataset
+            .window(start, end)
+            .into_iter()
+            .filter(|t| t.text.to_lowercase().contains("nipseyhussle"))
+            .collect();
+        let predicted: Vec<Point> = mentions
+            .iter()
+            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
+            .collect();
+        let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
+        let hot_dist = heat.hotspots(1).first().map(|(p, _)| p.haversine_km(&marathon));
+        text.push_str(&format!(
+            "\n-- window {label}: {} mentions, {} predicted, hottest cell {} km from The Marathon Clothing --\n{}",
+            mentions.len(),
+            predicted.len(),
+            hot_dist.map_or("n/a".into(), |d| format!("{d:.2}")),
+            heat.render_ascii(60)
+        ));
+        out.push(Window {
+            label: label.to_string(),
+            n_mentions: mentions.len(),
+            n_predicted: predicted.len(),
+            heatmap: heat.values().to_vec(),
+            hotspots: heat.hotspots(5),
+            km_from_marathon_clothing: hot_dist,
+        });
+    }
+    text.push_str(&format!(
+        "\nburst: {} mentions across 19 days before vs {} across the 2 anniversary days\n",
+        out[0].n_mentions, out[1].n_mentions
+    ));
+    print!("{text}");
+    edge_bench::write_results("fig8", &out, &text).expect("write results");
+    eprintln!("wrote results/fig8.{{json,txt}}");
+}

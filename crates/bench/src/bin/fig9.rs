@@ -1,0 +1,75 @@
+//! Regenerates **Figure 9** (use case 2b): predicted locations of tweets
+//! mentioning the New Colossus Festival — a Lower-East-Side music festival
+//! across seven venues — during the event (03/12–03/15) vs after it
+//! (03/16–04/02). During the event predictions cluster at the venues;
+//! afterwards they scatter.
+//!
+//! Usage: `cargo run --release -p edge-bench --bin fig9 [--size default]`
+
+use serde::Serialize;
+
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, ny2020, PresetSize, SimDate};
+use edge_geo::{Grid, Heatmap, Point};
+
+#[derive(Serialize)]
+struct Window {
+    label: String,
+    n_mentions: usize,
+    predicted_points: Vec<Point>,
+    heatmap: Vec<f64>,
+    mean_km_to_venue_cluster: Option<f64>,
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let dataset = ny2020(size, seeds[0]);
+    let config = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    let (train, _) = dataset.paper_split();
+    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+
+    let venue_center = Point::new(40.7205, -73.9879);
+    let grid = Grid::new(dataset.bbox, 60, 60);
+    let windows = [
+        ("03/12/2020-03/15/2020 (during)", SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 16)),
+        ("03/16/2020-04/02/2020 (after)", SimDate::new(2020, 3, 16), SimDate::new(2020, 4, 2)),
+    ];
+
+    let mut out = Vec::new();
+    let mut text = String::from("Figure 9: predicted locations of New Colossus Festival mentions (NY)\n");
+    for (label, start, end) in windows {
+        let mentions: Vec<_> = dataset
+            .window(start, end)
+            .into_iter()
+            .filter(|t| t.text.to_lowercase().contains("new colossus festival"))
+            .collect();
+        let predicted: Vec<Point> = mentions
+            .iter()
+            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
+            .collect();
+        let mean_km = (!predicted.is_empty()).then(|| {
+            predicted.iter().map(|p| p.haversine_km(&venue_center)).sum::<f64>()
+                / predicted.len() as f64
+        });
+        let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
+        text.push_str(&format!(
+            "\n-- {label}: {} mentions, mean distance to venue cluster {} km --\n{}",
+            mentions.len(),
+            mean_km.map_or("n/a".into(), |d| format!("{d:.2}")),
+            heat.render_ascii(60)
+        ));
+        out.push(Window {
+            label: label.to_string(),
+            n_mentions: mentions.len(),
+            heatmap: heat.values().to_vec(),
+            mean_km_to_venue_cluster: mean_km,
+            predicted_points: predicted,
+        });
+    }
+    print!("{text}");
+    edge_bench::write_results("fig9", &out, &text).expect("write results");
+    eprintln!("wrote results/fig9.{{json,txt}}");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table II**: dataset overview — timeline and train/test
+//! tweet + entity distribution for NYMA, LAMA and COVID-19.
+//!
+//! Usage: `cargo run --release -p edge-bench --bin table2 [--size smoke|default|paper]`
+
+use edge_data::{covid19, dataset_recognizer, lama, nyma, table_two_row};
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let seed = seeds[0];
+    let datasets = [nyma(size, seed), lama(size, seed), covid19(size, seed)];
+
+    let rows: Vec<edge_data::TableTwoRow> = datasets
+        .iter()
+        .map(|d| table_two_row(d, &dataset_recognizer(d)))
+        .collect();
+
+    let mut text = format!(
+        "Table II: Overview of dataset ({size:?} scale, seed {seed})\n{:<10} {:<24} {:>12} {:>12} {:>14} {:>14}\n",
+        "Dataset", "Timeline", "Train tweets", "Test tweets", "Train entities", "Test entities"
+    );
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<10} {:<24} {:>12} {:>12} {:>14} {:>14}\n",
+            r.dataset, r.timeline, r.train_tweets, r.test_tweets, r.train_entities, r.test_entities
+        ));
+    }
+    print!("{text}");
+    edge_bench::write_results("table2", &rows, &text).expect("write results");
+    eprintln!("wrote results/table2.{{json,txt}}");
+}

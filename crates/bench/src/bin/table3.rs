@@ -1,0 +1,47 @@
+//! Regenerates **Table III**: the performance comparison of the eight
+//! methods (LocKDE, UnicodeCNN, NaiveBayes, Kullback-Leibler, their kde2d
+//! variants, Hyper-local, EDGE) on NYMA / LAMA / COVID-19 under Mean,
+//! Median, @3km, @5km (plus coverage, which the paper reports inline for
+//! Hyper-local).
+//!
+//! Usage: `cargo run --release -p edge-bench --bin table3 [--size default] [--seeds 3]`
+
+use edge_bench::{method_names, render_table, run_method_seeds, HarnessConfig, MethodResult, MethodSet};
+use edge_data::{covid19, lama, nyma, PresetSize};
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let config = match size {
+        PresetSize::Smoke => HarnessConfig::smoke(),
+        _ => HarnessConfig::default(),
+    };
+
+    let mut results: Vec<MethodResult> = Vec::new();
+    for dataset in [nyma(size, seeds[0]), lama(size, seeds[0]), covid19(size, seeds[0])] {
+        eprintln!("== {} ({} tweets) ==", dataset.name, dataset.len());
+        for method in method_names(MethodSet::Comparison) {
+            let start = std::time::Instant::now();
+            let r = run_method_seeds(&dataset, method, &config, &seeds);
+            eprintln!(
+                "   {:<24} mean {:>7.2} km  median {:>7.2} km  @3km {:.4}  @5km {:.4}  cov {:.1}%  [{:?}]",
+                r.method,
+                r.report.mean_km,
+                r.report.median_km,
+                r.report.at_3km,
+                r.report.at_5km,
+                r.report.coverage * 100.0,
+                start.elapsed()
+            );
+            results.push(r);
+        }
+    }
+
+    let text = format!(
+        "Table III: Performance comparison ({size:?} scale, {} seed(s))\n{}",
+        seeds.len(),
+        render_table(&results)
+    );
+    print!("{text}");
+    edge_bench::write_results("table3", &results, &text).expect("write results");
+    eprintln!("wrote results/table3.{{json,txt}}");
+}

@@ -1,0 +1,374 @@
+//! The experiment harness: trains every method on a dataset's chronological
+//! split, evaluates the paper's metrics, and averages over seeds (the paper
+//! repeats every experiment 3 times and reports means).
+
+use serde::{Deserialize, Serialize};
+
+use edge_baselines::{
+    Geolocator, GridCounts, HyperLocal, HyperLocalParams, KullbackLeibler, LocKde, LocKdeParams,
+    NaiveBayes, UnicodeCnn, UnicodeCnnConfig,
+};
+use edge_core::{BowModel, EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, Dataset};
+use edge_geo::{rdp, DistanceReport, GaussianMixture, Grid, Point};
+
+/// Which methods a harness run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSet {
+    /// The eight methods of Table III.
+    Comparison,
+    /// EDGE plus the four ablations of Table IV.
+    Ablation,
+}
+
+/// Harness-wide knobs.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// EDGE configuration (ablations derive from it).
+    pub edge: EdgeConfig,
+    /// Grid resolution for the grid baselines (paper: 100×100).
+    pub grid_cells: usize,
+    /// kde2d smoothing bandwidth in cells.
+    pub kde2d_bandwidth: f64,
+    /// UnicodeCNN configuration.
+    pub unicode: UnicodeCnnConfig,
+    /// Hyper-local configuration.
+    pub hyperlocal: HyperLocalParams,
+    /// LocKDE configuration.
+    pub lockde: LocKdeParams,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            edge: EdgeConfig::fast(),
+            grid_cells: 100,
+            kde2d_bandwidth: 1.5,
+            unicode: UnicodeCnnConfig::default(),
+            hyperlocal: HyperLocalParams::default(),
+            lockde: LocKdeParams::default(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A configuration small enough for tests.
+    pub fn smoke() -> Self {
+        Self {
+            edge: EdgeConfig::smoke(),
+            grid_cells: 40,
+            unicode: UnicodeCnnConfig {
+                n_components: 36,
+                epochs: 2,
+                seq_len: 48,
+                channels: 16,
+                char_dim: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// One method's scores on one dataset (one row of Table III / IV).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method name as in the paper.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Averaged distance metrics.
+    pub report: DistanceReport,
+}
+
+/// Averages reports field-wise (used for multi-seed runs).
+pub fn average_reports(reports: &[DistanceReport]) -> DistanceReport {
+    assert!(!reports.is_empty(), "nothing to average");
+    let n = reports.len() as f64;
+    DistanceReport {
+        mean_km: reports.iter().map(|r| r.mean_km).sum::<f64>() / n,
+        median_km: reports.iter().map(|r| r.median_km).sum::<f64>() / n,
+        at_3km: reports.iter().map(|r| r.at_3km).sum::<f64>() / n,
+        at_5km: reports.iter().map(|r| r.at_5km).sum::<f64>() / n,
+        n: reports.iter().map(|r| r.n).sum::<usize>() / reports.len(),
+        coverage: reports.iter().map(|r| r.coverage).sum::<f64>() / n,
+    }
+}
+
+/// Evaluates one [`Geolocator`] on the test split.
+fn eval_geolocator(g: &dyn Geolocator, test: &[edge_data::Tweet]) -> DistanceReport {
+    let (pairs, coverage) = g.evaluate(test);
+    DistanceReport::from_pairs_with_coverage(&pairs, coverage)
+        .unwrap_or(DistanceReport { mean_km: f64::NAN, median_km: f64::NAN, at_3km: 0.0, at_5km: 0.0, n: 0, coverage })
+}
+
+/// Trains + evaluates EDGE (point metrics); also returns the mixture pairs
+/// needed by RDP.
+pub fn run_edge(
+    dataset: &Dataset,
+    config: &EdgeConfig,
+) -> (DistanceReport, Vec<(GaussianMixture, Point)>) {
+    let (train, test) = dataset.paper_split();
+    let ner = dataset_recognizer(dataset);
+    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, config.clone());
+    let (preds, coverage) = model.evaluate(test);
+    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+    let report = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
+        .expect("EDGE produced no predictions");
+    let mixtures = preds.into_iter().map(|(p, t)| (p.mixture, t)).collect();
+    (report, mixtures)
+}
+
+/// Runs one method by name on one dataset. Method names match the paper's
+/// tables exactly.
+pub fn run_method(dataset: &Dataset, method: &str, config: &HarnessConfig) -> MethodResult {
+    let (train, test) = dataset.paper_split();
+    let grid = Grid::new(dataset.bbox, config.grid_cells, config.grid_cells);
+    let scale_km = {
+        let (ew, ns) = dataset.bbox.dims_km();
+        (ew * ew + ns * ns).sqrt() / 2.0
+    };
+    let report = match method {
+        "EDGE" => run_edge(dataset, &config.edge).0,
+        "BOW" => {
+            let model = BowModel::train(train, &dataset.bbox, &config.edge, 4000);
+            let pairs: Vec<(Point, Point)> =
+                model.evaluate(test).into_iter().map(|(p, t)| (p.point, t)).collect();
+            DistanceReport::from_pairs(&pairs).expect("BOW predictions")
+        }
+        "NoGCN" => run_edge(dataset, &config.edge.clone().ablation_no_gcn()).0,
+        "SUM" => run_edge(dataset, &config.edge.clone().ablation_sum()).0,
+        "NoMixture" => run_edge(dataset, &config.edge.clone().ablation_no_mixture()).0,
+        "LocKDE" => {
+            let m = LocKde::fit(train, grid, scale_km, config.lockde);
+            eval_geolocator(&m, test)
+        }
+        "UnicodeCNN" => {
+            let m = UnicodeCnn::fit(train, &dataset.bbox, config.unicode.clone());
+            eval_geolocator(&m, test)
+        }
+        "NaiveBayes" => {
+            let m = NaiveBayes::fit(train, grid);
+            eval_geolocator(&m, test)
+        }
+        "Kullback-Leibler" => {
+            let m = KullbackLeibler::fit(train, grid);
+            eval_geolocator(&m, test)
+        }
+        "NaiveBayes_kde2d" | "Kullback-Leibler_kde2d" => {
+            // Share the expensive smoothing when both are requested via
+            // run_method_set; standalone calls pay it once.
+            let counts = GridCounts::fit(train, grid).smoothed(config.kde2d_bandwidth);
+            if method == "NaiveBayes_kde2d" {
+                eval_geolocator(&NaiveBayes::from_counts(counts, method), test)
+            } else {
+                eval_geolocator(&KullbackLeibler::from_counts(counts, method), test)
+            }
+        }
+        "Hyper-local" => {
+            let m = HyperLocal::fit(train, config.hyperlocal);
+            eval_geolocator(&m, test)
+        }
+        other => panic!("unknown method '{other}'"),
+    };
+    MethodResult { method: method.to_string(), dataset: dataset.name.clone(), report }
+}
+
+/// The method names of a set, in the paper's table order.
+pub fn method_names(set: MethodSet) -> Vec<&'static str> {
+    match set {
+        MethodSet::Comparison => vec![
+            "LocKDE",
+            "UnicodeCNN",
+            "NaiveBayes",
+            "Kullback-Leibler",
+            "NaiveBayes_kde2d",
+            "Kullback-Leibler_kde2d",
+            "Hyper-local",
+            "EDGE",
+        ],
+        MethodSet::Ablation => vec!["BOW", "NoGCN", "SUM", "NoMixture", "EDGE"],
+    }
+}
+
+/// Runs a whole method set on one dataset.
+pub fn run_method_set(dataset: &Dataset, set: MethodSet, config: &HarnessConfig) -> Vec<MethodResult> {
+    method_names(set)
+        .into_iter()
+        .map(|m| run_method(dataset, m, config))
+        .collect()
+}
+
+/// Multi-seed wrapper: reruns one method with reseeded model configs and
+/// averages. Data stays fixed (the paper's repetitions are over model
+/// randomness; the crawl is one corpus).
+pub fn run_method_seeds(
+    dataset: &Dataset,
+    method: &str,
+    config: &HarnessConfig,
+    seeds: &[u64],
+) -> MethodResult {
+    assert!(!seeds.is_empty());
+    // The classical baselines are deterministic — reseeding changes nothing
+    // — so burn only one run on them.
+    let deterministic = matches!(
+        method,
+        "LocKDE"
+            | "NaiveBayes"
+            | "Kullback-Leibler"
+            | "NaiveBayes_kde2d"
+            | "Kullback-Leibler_kde2d"
+            | "Hyper-local"
+    );
+    let seeds = if deterministic { &seeds[..1] } else { seeds };
+    let reports: Vec<DistanceReport> = seeds
+        .iter()
+        .map(|&s| {
+            let mut c = config.clone();
+            c.edge.seed = s;
+            c.edge.sgns.seed = s ^ 0xbeef;
+            c.unicode.seed = s;
+            run_method(dataset, method, &c).report
+        })
+        .collect();
+    MethodResult {
+        method: method.to_string(),
+        dataset: dataset.name.clone(),
+        report: average_reports(&reports),
+    }
+}
+
+/// RDP sweep for EDGE on a dataset (Figure 5): returns `(r, RDP(r))` pairs.
+pub fn edge_rdp_sweep(
+    dataset: &Dataset,
+    config: &EdgeConfig,
+    radii_km: &[f64],
+    samples_per_tweet: usize,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let (_, mixtures) = run_edge(dataset, config);
+    radii_km
+        .iter()
+        .map(|&r| (r, rdp(&mixtures, r, samples_per_tweet, seed)))
+        .collect()
+}
+
+/// Renders a `MethodResult` table as aligned text (the shape of Table III).
+pub fn render_table(results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<24} {:>9} {:>11} {:>8} {:>8} {:>9}\n",
+        "Dataset", "Algorithm", "Mean(km)", "Median(km)", "@3km", "@5km", "coverage"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12} {:<24} {:>9.2} {:>11.2} {:>8.4} {:>8.4} {:>8.1}%\n",
+            r.dataset,
+            r.method,
+            r.report.mean_km,
+            r.report.median_km,
+            r.report.at_3km,
+            r.report.at_5km,
+            r.report.coverage * 100.0
+        ));
+    }
+    out
+}
+
+/// Writes results JSON next to a text rendering under `results/`.
+pub fn write_results(name: &str, json: &impl Serialize, text: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    std::fs::write(format!("results/{name}.json"), serde_json::to_string_pretty(json)?)?;
+    std::fs::write(format!("results/{name}.txt"), text)?;
+    Ok(())
+}
+
+/// Parses the common `--size` / `--seeds` CLI arguments of the table/figure
+/// binaries. Defaults: smoke size (fast), 1 seed. Pass `--size default`
+/// and `--seeds 3` for the EXPERIMENTS.md runs, `--size paper` for the
+/// paper-scale corpus.
+pub fn parse_cli() -> (edge_data::PresetSize, Vec<u64>) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut size = edge_data::PresetSize::Smoke;
+    let mut n_seeds = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                size = match args.get(i).map(String::as_str) {
+                    Some("paper") => edge_data::PresetSize::Paper,
+                    Some("default") => edge_data::PresetSize::Default,
+                    Some("smoke") | None => edge_data::PresetSize::Smoke,
+                    Some(other) => panic!("unknown --size '{other}'"),
+                };
+            }
+            "--seeds" => {
+                i += 1;
+                n_seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1);
+            }
+            other => panic!("unknown argument '{other}' (expected --size/--seeds)"),
+        }
+        i += 1;
+    }
+    (size, (0..n_seeds as u64).map(|s| 42 + s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{nyma, PresetSize};
+
+    #[test]
+    fn average_reports_is_fieldwise_mean() {
+        let a = DistanceReport { mean_km: 2.0, median_km: 1.0, at_3km: 0.5, at_5km: 0.6, n: 10, coverage: 1.0 };
+        let b = DistanceReport { mean_km: 4.0, median_km: 3.0, at_3km: 0.7, at_5km: 0.8, n: 20, coverage: 0.8 };
+        let avg = average_reports(&[a, b]);
+        assert_eq!(avg.mean_km, 3.0);
+        assert_eq!(avg.median_km, 2.0);
+        assert!((avg.at_3km - 0.6).abs() < 1e-12);
+        assert_eq!(avg.n, 15);
+        assert!((avg.coverage - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn method_names_match_paper_tables() {
+        let comparison = method_names(MethodSet::Comparison);
+        assert_eq!(comparison.len(), 8);
+        assert_eq!(*comparison.last().unwrap(), "EDGE");
+        let ablation = method_names(MethodSet::Ablation);
+        assert_eq!(ablation, vec!["BOW", "NoGCN", "SUM", "NoMixture", "EDGE"]);
+    }
+
+    #[test]
+    fn run_method_produces_scores_for_every_method() {
+        let d = nyma(PresetSize::Smoke, 51);
+        let config = HarnessConfig::smoke();
+        for m in ["NaiveBayes", "Hyper-local", "LocKDE"] {
+            let r = run_method(&d, m, &config);
+            assert_eq!(r.method, m);
+            assert!(r.report.mean_km > 0.0, "{m}: {:?}", r.report);
+            assert!(r.report.coverage > 0.2, "{m} coverage {}", r.report.coverage);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn unknown_method_panics() {
+        let d = nyma(PresetSize::Smoke, 52);
+        let _ = run_method(&d, "Oracle", &HarnessConfig::smoke());
+    }
+
+    #[test]
+    fn render_table_is_aligned() {
+        let r = MethodResult {
+            method: "EDGE".into(),
+            dataset: "NYMA".into(),
+            report: DistanceReport { mean_km: 6.21, median_km: 2.92, at_3km: 0.52, at_5km: 0.66, n: 100, coverage: 0.97 },
+        };
+        let txt = render_table(&[r]);
+        assert!(txt.contains("EDGE"));
+        assert!(txt.contains("6.21"));
+        assert!(txt.lines().count() == 2);
+    }
+}

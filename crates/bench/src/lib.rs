@@ -1,0 +1,14 @@
+//! Benchmark harness for the EDGE reproduction.
+//!
+//! The library half hosts the method-agnostic experiment plumbing
+//! ([`harness`]); the `src/bin/` binaries regenerate every table and figure
+//! of the paper's evaluation (see DESIGN.md §4 for the index), and
+//! `benches/` holds the Criterion performance suites.
+
+pub mod harness;
+
+pub use harness::{
+    average_reports, edge_rdp_sweep, method_names, parse_cli, render_table, run_edge,
+    run_method, run_method_seeds, run_method_set, write_results, HarnessConfig, MethodResult,
+    MethodSet,
+};

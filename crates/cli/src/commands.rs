@@ -1,0 +1,260 @@
+//! Subcommand implementations for `edge-cli`.
+
+use std::collections::HashMap;
+
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{dataset_recognizer, Dataset, PresetSize};
+use edge_geo::{DistanceReport, Point};
+
+/// The help text.
+pub const USAGE: &str = "\
+edge-cli - interpretable tweet geolocation (EDGE, ICDE 2021 reproduction)
+
+USAGE:
+    edge-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate   create a synthetic corpus
+                 --preset nyma|lama|ny2020|covid19   (default nyma)
+                 --size smoke|default|paper          (default default)
+                 --seed <u64>                        (default 42)
+                 --out <path>                        (required)
+    train      train EDGE on a corpus's 75% chronological split
+                 --data <path>                       (required)
+                 --profile smoke|fast|paper          (default fast)
+                 --epochs <n>                        (override profile)
+                 --components <M>                    (override profile)
+                 --seed <u64>                        (default 42)
+                 --out <path>                        (required)
+    predict    predict one tweet's location mixture
+                 --model <path>                      (required)
+                 --text <tweet text>                 (required)
+    evaluate   score a model on a corpus's 25% test split
+                 --model <path>                      (required)
+                 --data <path>                       (required)
+";
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn parse_size(s: &str) -> Result<PresetSize, String> {
+    match s {
+        "smoke" => Ok(PresetSize::Smoke),
+        "default" => Ok(PresetSize::Default),
+        "paper" => Ok(PresetSize::Paper),
+        other => Err(format!("unknown size '{other}' (smoke|default|paper)")),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `edge-cli generate`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out = required(&flags, "out")?;
+    let size = parse_size(flags.get("size").map_or("default", String::as_str))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?;
+    let preset = flags.get("preset").map_or("nyma", String::as_str);
+    let dataset = match preset {
+        "nyma" => edge_data::nyma(size, seed),
+        "lama" => edge_data::lama(size, seed),
+        "ny2020" => edge_data::ny2020(size, seed),
+        "covid19" => edge_data::covid19(size, seed),
+        other => return Err(format!("unknown preset '{other}' (nyma|lama|ny2020|covid19)")),
+    };
+    let json = serde_json::to_string(&dataset).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} ({} tweets, {} gazetteer entries, timeline {}-{})",
+        out,
+        dataset.len(),
+        dataset.gazetteer.len(),
+        dataset.timeline.0.format_us(),
+        dataset.timeline.1.format_us()
+    );
+    Ok(())
+}
+
+/// `edge-cli train`.
+pub fn train(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let data = required(&flags, "data")?;
+    let out = required(&flags, "out")?;
+    let mut config = match flags.get("profile").map_or("fast", String::as_str) {
+        "smoke" => EdgeConfig::smoke(),
+        "fast" => EdgeConfig::fast(),
+        "paper" => EdgeConfig::paper(),
+        other => return Err(format!("unknown profile '{other}' (smoke|fast|paper)")),
+    };
+    if let Some(e) = flags.get("epochs") {
+        config.epochs = e.parse().map_err(|_| format!("bad --epochs '{e}'"))?;
+    }
+    if let Some(m) = flags.get("components") {
+        config.n_components = m.parse().map_err(|_| format!("bad --components '{m}'"))?;
+    }
+    if let Some(s) = flags.get("seed") {
+        config.seed = s.parse().map_err(|_| format!("bad --seed '{s}'"))?;
+    }
+
+    let dataset = load_dataset(data)?;
+    let (train_split, _) = dataset.paper_split();
+    println!(
+        "training EDGE on {} tweets (d={}, M={}, {} epochs) ...",
+        train_split.len(),
+        config.embed_dim,
+        config.n_components,
+        config.epochs
+    );
+    let started = std::time::Instant::now();
+    let (model, report) =
+        EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config);
+    println!(
+        "done in {:.1?}: {} entities, NLL {:.3} -> {:.3}",
+        started.elapsed(),
+        model.entity_index().len(),
+        report.epoch_losses.first().unwrap(),
+        report.epoch_losses.last().unwrap()
+    );
+    model.save(out).map_err(|e| e.to_string())?;
+    println!("saved model to {out}");
+    Ok(())
+}
+
+/// `edge-cli predict`.
+pub fn predict(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let model_path = required(&flags, "model")?;
+    let text = required(&flags, "text")?;
+    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    match model.predict(text) {
+        None => println!("not covered: no entity of this tweet appears in the training graph"),
+        Some(p) => {
+            println!("point estimate (Eq. 14): ({:.5}, {:.5})", p.point.lat, p.point.lon);
+            if !p.attention.is_empty() {
+                println!("attention:");
+                for (entity, w) in &p.attention {
+                    println!("  {entity:<28} {w:.4}");
+                }
+            }
+            println!("mixture:");
+            for (pi, g) in p.mixture.iter() {
+                println!(
+                    "  pi={pi:.4} mu=({:.5}, {:.5}) sigma=({:.5}, {:.5}) rho={:+.3}",
+                    g.mu.lat, g.mu.lon, g.sigma_lat, g.sigma_lon, g.rho
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `edge-cli evaluate`.
+pub fn evaluate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let model_path = required(&flags, "model")?;
+    let data = required(&flags, "data")?;
+    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(data)?;
+    let (_, test) = dataset.paper_split();
+    let (preds, coverage) = model.evaluate(test);
+    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+    let report = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
+        .ok_or("the model covered no test tweet")?;
+    println!(
+        "test tweets {:>6}   covered {:>6} ({:.1}%)",
+        test.len(),
+        report.n,
+        report.coverage * 100.0
+    );
+    println!("mean   {:>8.2} km", report.mean_km);
+    println!("median {:>8.2} km", report.median_km);
+    println!("@3km   {:>8.4}", report.at_3km);
+    println!("@5km   {:>8.4}", report.at_5km);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_round_trip() {
+        let flags = parse_flags(&strs(&["--preset", "nyma", "--seed", "7"])).unwrap();
+        assert_eq!(flags["preset"], "nyma");
+        assert_eq!(flags["seed"], "7");
+    }
+
+    #[test]
+    fn flag_parsing_rejects_bad_shapes() {
+        assert!(parse_flags(&strs(&["preset", "nyma"])).is_err());
+        assert!(parse_flags(&strs(&["--preset"])).is_err());
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("smoke").unwrap(), PresetSize::Smoke);
+        assert_eq!(parse_size("paper").unwrap(), PresetSize::Paper);
+        assert!(parse_size("tiny").is_err());
+    }
+
+    #[test]
+    fn required_flag_errors_name_the_flag() {
+        let flags = HashMap::new();
+        let err = required(&flags, "out").unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn full_cli_round_trip_in_tempdir() {
+        let dir = std::env::temp_dir().join("edge_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("corpus.json").to_string_lossy().to_string();
+        let model = dir.join("model.json").to_string_lossy().to_string();
+
+        generate(&strs(&["--preset", "nyma", "--size", "smoke", "--seed", "3", "--out", &corpus]))
+            .expect("generate");
+        train(&strs(&[
+            "--data", &corpus, "--profile", "smoke", "--epochs", "2", "--out", &model,
+        ]))
+        .expect("train");
+        predict(&strs(&["--model", &model, "--text", "lunch near the Majestic Theatre"]))
+            .expect("predict");
+        evaluate(&strs(&["--model", &model, "--data", &corpus])).expect("evaluate");
+
+        std::fs::remove_file(&corpus).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn unknown_preset_is_reported() {
+        let err = generate(&strs(&["--preset", "mars", "--out", "/tmp/x.json"])).unwrap_err();
+        assert!(err.contains("mars"));
+    }
+}

@@ -1,0 +1,40 @@
+//! `edge-cli` — the command-line face of the EDGE reproduction.
+//!
+//! ```text
+//! edge-cli generate --preset nyma --size default --seed 42 --out corpus.json
+//! edge-cli train    --data corpus.json --profile fast --out model.json
+//! edge-cli predict  --model model.json --text "Tonight at the Majestic Theatre!"
+//! edge-cli evaluate --model model.json --data corpus.json
+//! ```
+//!
+//! `generate` writes a synthetic corpus; `train` fits EDGE on its 75%
+//! chronological training split and persists the model; `predict` prints
+//! the mixture, point estimate and attention weights for one tweet;
+//! `evaluate` scores the model on the corpus's test split with the paper's
+//! metrics.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("train") => commands::train(&args[1..]),
+        Some("predict") => commands::predict(&args[1..]),
+        Some("evaluate") => commands::evaluate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", commands::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The BOW ablation of Table IV: "a baseline that represents a tweet as
+//! bag-of-words (BOW), i.e., a vector of word frequencies, which is
+//! directly input to a dense layer that connects to our Gaussian mixture
+//! component."
+//!
+//! The other three ablations (NoGCN / SUM / NoMixture) are configuration
+//! flags on [`crate::EdgeModel`]; BOW replaces the whole entity pipeline,
+//! so it is its own model type sharing only the mixture head.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use edge_data::Tweet;
+use edge_geo::{BBox, Point};
+use edge_tensor::init::xavier_uniform;
+use edge_tensor::tape::{ParamId, ParamStore, Tape};
+use edge_tensor::{Adam, Matrix, Optimizer};
+use edge_text::{is_stopword, lower_words, Vocab};
+
+use crate::config::EdgeConfig;
+use crate::mdn::{decode_theta, init_head_bias, theta_width};
+use crate::model::Prediction;
+
+/// The trained BOW ablation model: a *single* dense layer from the
+/// word-frequency vector straight to the mixture parameters, exactly as the
+/// paper describes ("directly input to a dense layer that connects to our
+/// Gaussian mixture component"). No hidden nonlinearity — which is why BOW
+/// cannot resolve multi-word entities whose component words are
+/// individually ambiguous, and trails every entity-based variant in
+/// Table IV.
+pub struct BowModel {
+    vocab: Vocab,
+    n_components: usize,
+    params: ParamStore,
+    w: ParamId,
+    b: ParamId,
+}
+
+impl BowModel {
+    /// Trains the BOW baseline. Re-uses the EDGE training configuration
+    /// (epochs, batch size, optimizer, `M`); `max_vocab` caps the
+    /// word-frequency vector at the most frequent words.
+    pub fn train(train: &[Tweet], bbox: &BBox, config: &EdgeConfig, max_vocab: usize) -> Self {
+        config.validate();
+        assert!(max_vocab >= 8, "vocabulary cap too small");
+        // Build the word vocabulary (stop words removed, capped by count).
+        let mut full = Vocab::new();
+        let sentences: Vec<Vec<String>> = train
+            .iter()
+            .map(|t| lower_words(&t.text).into_iter().filter(|w| !is_stopword(w)).collect())
+            .collect();
+        for s in &sentences {
+            for w in s {
+                full.add(w);
+            }
+        }
+        let mut by_count: Vec<usize> = (0..full.len()).collect();
+        by_count.sort_by_key(|&i| std::cmp::Reverse(full.count(i)));
+        by_count.truncate(max_vocab);
+        let mut vocab = Vocab::new();
+        for &i in &by_count {
+            vocab.add(full.token(i));
+        }
+
+        let m = config.n_components;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = ParamStore::new();
+        let w = params.add(
+            "bow_w",
+            xavier_uniform(vocab.len().max(1), theta_width(m), &mut rng).scale(0.1),
+        );
+        let b = params.add("bow_b", init_head_bias(bbox, m));
+
+        let mut model = Self { vocab, n_components: m, params, w, b };
+
+        // Pre-vectorize the training tweets.
+        let vectors: Vec<Vec<f32>> = train.iter().map(|t| model.vectorize(&t.text)).collect();
+        let mut optimizer = Adam::new(config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+        optimizer.exclude_from_decay(model.b);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(config.batch_size) {
+                let mut x = Matrix::zeros(batch.len(), model.vocab.len());
+                let mut targets = Vec::with_capacity(batch.len());
+                for (row, &i) in batch.iter().enumerate() {
+                    x.row_mut(row).copy_from_slice(&vectors[i]);
+                    targets.push((train[i].location.lat, train[i].location.lon));
+                }
+                let mut tape = Tape::new();
+                let xn = tape.constant(x);
+                let wn = tape.param(model.w, &model.params);
+                let bn = tape.param(model.b, &model.params);
+                let lin = tape.matmul(xn, wn);
+                let theta = tape.add_row_broadcast(lin, bn);
+                let nll = tape.gmm_nll(theta, &targets, m);
+                let loss = tape.scale(nll, 1.0 / batch.len() as f32);
+                let grads = tape.backward(loss);
+                optimizer.step(&mut model.params, &grads);
+            }
+        }
+        model
+    }
+
+    /// The normalized word-frequency vector of a text.
+    fn vectorize(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.vocab.len()];
+        let mut total = 0.0f32;
+        for w in lower_words(text) {
+            if is_stopword(&w) {
+                continue;
+            }
+            if let Some(id) = self.vocab.get(&w) {
+                v[id] += 1.0;
+                total += 1.0;
+            }
+        }
+        if total > 0.0 {
+            for x in &mut v {
+                *x /= total;
+            }
+        }
+        v
+    }
+
+    /// Vocabulary size actually used.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Predicts for any text (BOW always produces a vector, so coverage is
+    /// 1.0; unknown-word tweets get the prior mixture).
+    pub fn predict(&self, text: &str) -> Prediction {
+        let v = self.vectorize(text);
+        let x = Matrix::from_vec(1, self.vocab.len(), v);
+        let theta = x
+            .matmul(self.params.get(self.w))
+            .add_row_broadcast(self.params.get(self.b));
+        let mixture = decode_theta(theta.row(0), self.n_components);
+        let point = mixture.mode();
+        Prediction { mixture, point, attention: Vec::new() }
+    }
+
+    /// Evaluates on a test split; BOW covers every tweet.
+    pub fn evaluate(&self, test: &[Tweet]) -> Vec<(Prediction, Point)> {
+        test.iter().map(|t| (self.predict(&t.text), t.location)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{nyma, PresetSize};
+    use edge_geo::DistanceReport;
+
+    #[test]
+    fn bow_trains_and_beats_center_baseline() {
+        let d = nyma(PresetSize::Smoke, 41);
+        let (train, test) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 6;
+        let model = BowModel::train(train, &d.bbox, &cfg, 1500);
+        assert!(model.vocab_len() > 100);
+        let preds = model.evaluate(test);
+        assert_eq!(preds.len(), test.len(), "BOW covers everything");
+        let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+        let r = DistanceReport::from_pairs(&pairs).unwrap();
+        let center_pairs: Vec<(Point, Point)> =
+            test.iter().map(|t| (d.bbox.center(), t.location)).collect();
+        let c = DistanceReport::from_pairs(&center_pairs).unwrap();
+        assert!(r.median_km < c.median_km, "BOW {} !< center {}", r.median_km, c.median_km);
+    }
+
+    #[test]
+    fn empty_text_gets_prior_mixture() {
+        let d = nyma(PresetSize::Smoke, 42);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 1;
+        let model = BowModel::train(&train[..500], &d.bbox, &cfg, 500);
+        let p = model.predict("");
+        assert!(p.point.is_finite());
+        assert_eq!(p.mixture.len(), cfg.n_components);
+    }
+
+    #[test]
+    fn vocab_cap_is_respected() {
+        let d = nyma(PresetSize::Smoke, 43);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 1;
+        let model = BowModel::train(&train[..500], &d.bbox, &cfg, 64);
+        assert!(model.vocab_len() <= 64);
+    }
+}

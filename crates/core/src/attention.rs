@@ -1,0 +1,174 @@
+//! Attention aggregation (paper Eq. 2–4): per-entity importance scores via
+//! a biased linear layer + ReLU, softmax normalization, and a weighted sum
+//! into a fixed-length tweet embedding.
+//!
+//! As with the GCN, a tape path serves training and a plain-matrix path
+//! serves inference; the inference path additionally returns the attention
+//! weights, which are the per-entity interpretability signal.
+
+use edge_tensor::tape::{NodeId, ParamId, ParamStore, Tape};
+use edge_tensor::{tape::softmax_in_place, Matrix};
+
+/// Tape path: aggregates the rows of `smoothed` (the full `|V| × h` matrix
+/// node) selected by `entity_indices` into a `1 × h` tweet embedding.
+pub fn attention_aggregate(
+    tape: &mut Tape,
+    smoothed: NodeId,
+    entity_indices: &[usize],
+    q1: ParamId,
+    b1: ParamId,
+    params: &ParamStore,
+) -> NodeId {
+    assert!(!entity_indices.is_empty(), "attention needs at least one entity");
+    let h = tape.gather_rows(smoothed, entity_indices.to_vec()); // K x h
+    let q = tape.param(q1, params); // h x 1
+    let b = tape.param(b1, params); // 1 x 1
+    let scores = tape.matmul(h, q); // Eq. 2: K x 1
+    let biased = tape.add_row_broadcast(scores, b);
+    let s = tape.relu(biased);
+    let st = tape.transpose(s); // 1 x K
+    let w = tape.softmax_rows(st); // Eq. 3
+    tape.matmul(w, h) // Eq. 4: 1 x h
+}
+
+/// Tape path of the SUM ablation: plain summation of entity rows.
+pub fn sum_aggregate(tape: &mut Tape, smoothed: NodeId, entity_indices: &[usize]) -> NodeId {
+    assert!(!entity_indices.is_empty(), "aggregation needs at least one entity");
+    let h = tape.gather_rows(smoothed, entity_indices.to_vec());
+    tape.sum_rows(h)
+}
+
+/// Inference path: returns `(z, attention_weights)` with weights parallel
+/// to `entity_indices`. Must match [`attention_aggregate`] exactly.
+pub fn attention_infer(
+    smoothed: &Matrix,
+    entity_indices: &[usize],
+    q1: &Matrix,
+    b1: &Matrix,
+) -> (Matrix, Vec<f32>) {
+    assert!(!entity_indices.is_empty(), "attention needs at least one entity");
+    let h = smoothed.gather_rows(entity_indices); // K x h
+    let mut scores: Vec<f32> = h
+        .matmul(q1)
+        .data()
+        .iter()
+        .map(|s| (s + b1.get(0, 0)).max(0.0))
+        .collect();
+    softmax_in_place(&mut scores);
+    let mut z = Matrix::zeros(1, h.cols());
+    for (k, &w) in scores.iter().enumerate() {
+        for (zv, &hv) in z.row_mut(0).iter_mut().zip(h.row(k)) {
+            *zv += w * hv;
+        }
+    }
+    (z, scores)
+}
+
+/// Inference path of the SUM ablation.
+pub fn sum_infer(smoothed: &Matrix, entity_indices: &[usize]) -> Matrix {
+    assert!(!entity_indices.is_empty(), "aggregation needs at least one entity");
+    smoothed.gather_rows(entity_indices).sum_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Matrix, ParamStore, ParamId, ParamId) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let smoothed = Matrix::random_uniform(10, 6, 1.0, &mut rng);
+        let mut params = ParamStore::new();
+        let q1 = params.add("q1", Matrix::random_uniform(6, 1, 0.8, &mut rng));
+        let b1 = params.add("b1", Matrix::full(1, 1, 0.1));
+        (smoothed, params, q1, b1)
+    }
+
+    #[test]
+    fn tape_and_inference_paths_agree() {
+        let (smoothed, params, q1, b1) = setup();
+        let indices = vec![1, 4, 7];
+        let mut tape = Tape::new();
+        let sn = tape.constant(smoothed.clone());
+        let z_node = attention_aggregate(&mut tape, sn, &indices, q1, b1, &params);
+        let z_tape = tape.value(z_node).clone();
+        let (z_infer, weights) =
+            attention_infer(&smoothed, &indices, params.get(q1), params.get(b1));
+        assert_eq!(z_tape.shape(), (1, 6));
+        for (a, b) in z_tape.data().iter().zip(z_infer.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(weights.len(), 3);
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        let (smoothed, params, q1, b1) = setup();
+        let (_, w) = attention_infer(&smoothed, &[0, 2, 5, 9], params.get(q1), params.get(b1));
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn single_entity_gets_full_weight() {
+        let (smoothed, params, q1, b1) = setup();
+        let (z, w) = attention_infer(&smoothed, &[6], params.get(q1), params.get(b1));
+        assert_eq!(w, vec![1.0]);
+        for (a, b) in z.data().iter().zip(smoothed.row(6)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn z_is_convex_combination_of_rows() {
+        // Each output coordinate lies within the min/max of the gathered rows.
+        let (smoothed, params, q1, b1) = setup();
+        let indices = [2, 3, 8];
+        let (z, _) = attention_infer(&smoothed, &indices, params.get(q1), params.get(b1));
+        for c in 0..smoothed.cols() {
+            let vals: Vec<f32> = indices.iter().map(|&i| smoothed.get(i, c)).collect();
+            let lo = vals.iter().copied().fold(f32::INFINITY, f32::min) - 1e-6;
+            let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max) + 1e-6;
+            assert!((lo..=hi).contains(&z.get(0, c)));
+        }
+    }
+
+    #[test]
+    fn informative_entity_attracts_weight() {
+        // With q1 picking out coordinate 0, the row with the largest first
+        // coordinate should win the attention.
+        let smoothed = Matrix::from_rows(&[
+            vec![0.1, 0.5],
+            vec![3.0, 0.5], // strong signal
+            vec![0.2, 0.5],
+        ]);
+        let q1 = Matrix::from_rows(&[vec![1.0], vec![0.0]]);
+        let b1 = Matrix::zeros(1, 1);
+        let (_, w) = attention_infer(&smoothed, &[0, 1, 2], &q1, &b1);
+        assert!(w[1] > w[0] && w[1] > w[2], "weights {w:?}");
+    }
+
+    #[test]
+    fn sum_paths_agree_and_add_rows() {
+        let (smoothed, _, _, _) = setup();
+        let indices = vec![0, 3];
+        let mut tape = Tape::new();
+        let sn = tape.constant(smoothed.clone());
+        let z_node = sum_aggregate(&mut tape, sn, &indices);
+        let z_tape = tape.value(z_node).clone();
+        let z_infer = sum_infer(&smoothed, &indices);
+        for c in 0..smoothed.cols() {
+            let expected = smoothed.get(0, c) + smoothed.get(3, c);
+            assert!((z_tape.get(0, c) - expected).abs() < 1e-6);
+            assert!((z_infer.get(0, c) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entity")]
+    fn empty_entity_set_panics() {
+        let (smoothed, params, q1, b1) = setup();
+        let _ = attention_infer(&smoothed, &[], params.get(q1), params.get(b1));
+    }
+}

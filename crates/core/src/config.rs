@@ -1,0 +1,156 @@
+//! EDGE model configuration.
+
+use edge_embed::SgnsConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the EDGE model and its training loop.
+///
+/// [`EdgeConfig::paper`] reproduces the paper's defaults (Section IV-B):
+/// embedding length 400, two graph-convolution layers, M = 4 Gaussian
+/// components, Adam with learning rate 0.01 and weight decay 0.01.
+/// [`EdgeConfig::fast`] is the scaled-down profile used by the CPU
+/// experiment harness (dimension 64; identical structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeConfig {
+    /// entity2vec embedding length (`d`).
+    pub embed_dim: usize,
+    /// GCN layer width; the smoothed embeddings keep this dimension.
+    pub hidden_dim: usize,
+    /// Number of graph-convolution layers (`n`-hop diffusion).
+    pub gcn_layers: usize,
+    /// Number of Gaussian mixture components `M`.
+    pub n_components: usize,
+    /// Entity-diffusion switch; `false` gives the NoGCN ablation.
+    pub use_gcn: bool,
+    /// Attention-aggregation switch; `false` sums entity embeddings
+    /// instead (the SUM ablation).
+    pub use_attention: bool,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (tweets per step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Adam decoupled weight decay.
+    pub weight_decay: f32,
+    /// entity2vec (SGNS) training configuration. Its `dim` is overridden by
+    /// `embed_dim`.
+    pub sgns: SgnsConfig,
+    /// Master seed for weight init and batch shuffling.
+    pub seed: u64,
+}
+
+impl EdgeConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            embed_dim: 400,
+            hidden_dim: 400,
+            gcn_layers: 2,
+            n_components: 4,
+            use_gcn: true,
+            use_attention: true,
+            epochs: 80,
+            batch_size: 64,
+            lr: 0.01,
+            weight_decay: 0.01,
+            sgns: SgnsConfig { dim: 400, ..SgnsConfig::default() },
+            seed: 42,
+        }
+    }
+
+    /// CPU-friendly profile: same structure, dimension 64.
+    pub fn fast() -> Self {
+        Self {
+            embed_dim: 64,
+            hidden_dim: 64,
+            n_components: 4,
+            ..Self::paper()
+        }
+    }
+
+    /// A minimal profile for unit tests (dimension 16, few epochs).
+    pub fn smoke() -> Self {
+        Self {
+            embed_dim: 16,
+            hidden_dim: 16,
+            epochs: 16,
+            batch_size: 64,
+            sgns: SgnsConfig { dim: 16, epochs: 3, ..SgnsConfig::default() },
+            ..Self::fast()
+        }
+    }
+
+    /// The NoGCN ablation of Table IV.
+    pub fn ablation_no_gcn(mut self) -> Self {
+        self.use_gcn = false;
+        self
+    }
+
+    /// The SUM ablation of Table IV.
+    pub fn ablation_sum(mut self) -> Self {
+        self.use_attention = false;
+        self
+    }
+
+    /// The NoMixture ablation of Table IV (a single Gaussian).
+    pub fn ablation_no_mixture(mut self) -> Self {
+        self.n_components = 1;
+        self
+    }
+
+    /// Validates internal consistency; called by the model constructor.
+    pub fn validate(&self) {
+        assert!(self.embed_dim > 0 && self.hidden_dim > 0, "dimensions must be positive");
+        assert!(self.gcn_layers >= 1, "need at least one GCN layer");
+        assert!(self.n_components >= 1, "need at least one mixture component");
+        assert!(self.epochs >= 1 && self.batch_size >= 1);
+        assert!(self.lr > 0.0 && self.weight_decay >= 0.0);
+    }
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let c = EdgeConfig::paper();
+        assert_eq!(c.embed_dim, 400);
+        assert_eq!(c.gcn_layers, 2);
+        assert_eq!(c.n_components, 4);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.weight_decay, 0.01);
+        assert!(c.use_gcn && c.use_attention);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert!(!EdgeConfig::fast().ablation_no_gcn().use_gcn);
+        assert!(!EdgeConfig::fast().ablation_sum().use_attention);
+        assert_eq!(EdgeConfig::fast().ablation_no_mixture().n_components, 1);
+        // Ablations leave everything else intact.
+        assert_eq!(EdgeConfig::fast().ablation_no_gcn().embed_dim, 64);
+    }
+
+    #[test]
+    fn sgns_dim_in_profiles() {
+        assert_eq!(EdgeConfig::paper().sgns.dim, 400);
+        assert_eq!(EdgeConfig::smoke().sgns.dim, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GCN layer")]
+    fn validate_rejects_zero_layers() {
+        let mut c = EdgeConfig::fast();
+        c.gcn_layers = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,40 @@
+//! The EDGE model — Entity-Diffusion Gaussian Ensemble for interpretable
+//! tweet geolocation prediction (Hui et al., ICDE 2021).
+//!
+//! EDGE casts geolocation as learning a bivariate Gaussian mixture per
+//! tweet, built from three seamlessly integrated modules:
+//!
+//! 1. **entity2vec + entity diffusion** ([`entity2vec`], [`gcn`]) — named
+//!    entities are embedded as phrases by skip-gram training, then smoothed
+//!    over the co-occurrence entity graph by graph convolutions (Eq. 1), so
+//!    non-geo-indicative entities absorb the spatial signal of the
+//!    geo-indicative entities they co-occur with;
+//! 2. **attention aggregation** ([`attention`]) — per-entity importance
+//!    weights (Eq. 2–4) collapse a tweet's entity set into one embedding,
+//!    preferring fine-grained geo entities;
+//! 3. **mixture distribution learning** ([`mdn`], [`model`]) — a linear
+//!    head emits mixture parameters (Eq. 5–12), trained end-to-end by
+//!    maximizing the likelihood of geo-tagged tweets (Eq. 13) with Adam.
+//!
+//! Predictions ([`Prediction`]) carry the full mixture, the Eq.-14 point
+//! estimate, and per-entity attention weights — the interpretability signal
+//! the paper demonstrates in its Figure-7 use case. The Table IV ablations
+//! are available as configuration flags ([`EdgeConfig::ablation_no_gcn`],
+//! [`EdgeConfig::ablation_sum`], [`EdgeConfig::ablation_no_mixture`]) and
+//! the structurally different BOW baseline as [`BowModel`].
+
+pub mod ablation;
+pub mod attention;
+pub mod config;
+pub mod entity2vec;
+pub mod gcn;
+pub mod mdn;
+pub mod model;
+pub mod persist;
+
+pub use ablation::BowModel;
+pub use config::EdgeConfig;
+pub use entity2vec::{entity_sentence, run_entity2vec, Entity2Vec, EntityIndex};
+pub use mdn::{decode_theta, init_head_bias, theta_width};
+pub use model::{EdgeModel, Prediction, TrainReport};
+pub use persist::PersistError;

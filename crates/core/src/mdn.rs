@@ -1,0 +1,178 @@
+//! The mixture-density head (paper Eq. 5–12): a linear layer produces the
+//! raw parameter vector `θ`, which decodes into a bivariate Gaussian
+//! mixture through the constraint activations — softplus for σ (Eq. 10),
+//! softsign for ρ (Eq. 11), softmax for π (Eq. 12).
+//!
+//! The *training* path never materializes the mixture: the fused
+//! `Tape::gmm_nll` op applies the same activations internally (its gradient
+//! is finite-difference-verified in `edge-tensor`). This module provides the
+//! shared layout, the inference-side decoder, and the MDN-friendly bias
+//! initialization.
+
+use edge_geo::{BBox, BivariateGaussian, GaussianMixture, Point};
+use edge_tensor::Matrix;
+
+/// Width of the θ vector for `m` components: `[π̂ | μ_lat | μ_lon | σ̂_lat |
+/// σ̂_lon | ρ̂]`, each block of width `m`.
+pub fn theta_width(m: usize) -> usize {
+    6 * m
+}
+
+/// Numerically stable softplus (f64), matching `edge_tensor::loss`.
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Inverse softplus: `softplus(inv_softplus(y)) = y` for `y > 0`.
+pub fn inv_softplus(y: f64) -> f64 {
+    assert!(y > 0.0, "inv_softplus needs a positive argument");
+    if y > 30.0 {
+        y
+    } else {
+        (y.exp() - 1.0).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+/// Decodes one θ row into the prediction mixture (Eq. 5–6 with the Eq.
+/// 10–12 activations applied).
+pub fn decode_theta(theta: &[f32], m: usize) -> GaussianMixture {
+    assert_eq!(theta.len(), theta_width(m), "theta width mismatch");
+    let mut logits: Vec<f32> = theta[0..m].to_vec();
+    edge_tensor::tape::softmax_in_place(&mut logits);
+    let parts: Vec<(f64, BivariateGaussian)> = (0..m)
+        .map(|k| {
+            let mu = Point::new(theta[m + k] as f64, theta[2 * m + k] as f64);
+            let s1 = softplus(theta[3 * m + k] as f64).max(1e-8);
+            let s2 = softplus(theta[4 * m + k] as f64).max(1e-8);
+            let rh = theta[5 * m + k] as f64;
+            let rho = rh / (1.0 + rh.abs());
+            (logits[k] as f64, BivariateGaussian::new(mu, s1, s2, rho))
+        })
+        .collect();
+    GaussianMixture::new(parts)
+}
+
+/// Builds the head's bias row so that, at initialization, the mixture
+/// components tile the study region with region-scale spreads — the
+/// standard MDN trick without which every component starts at (0°, 0°),
+/// thousands of kilometres from any tweet, and the NLL surface is flat.
+pub fn init_head_bias(bbox: &BBox, m: usize) -> Matrix {
+    let mut bias = Matrix::zeros(1, theta_width(m));
+    let center = bbox.center();
+    let lat_span = bbox.lat_span();
+    let lon_span = bbox.lon_span();
+    // Components on a jittered ring around the centre.
+    for k in 0..m {
+        let angle = 2.0 * std::f64::consts::PI * k as f64 / m as f64;
+        let mu_lat = center.lat + 0.2 * lat_span * angle.sin();
+        let mu_lon = center.lon + 0.2 * lon_span * angle.cos();
+        bias.set(0, m + k, mu_lat as f32);
+        bias.set(0, 2 * m + k, mu_lon as f32);
+        bias.set(0, 3 * m + k, inv_softplus(lat_span / 4.0) as f32);
+        bias.set(0, 4 * m + k, inv_softplus(lon_span / 4.0) as f32);
+        // π̂ and ρ̂ start at 0: uniform weights, no correlation.
+    }
+    bias
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_layout_width() {
+        assert_eq!(theta_width(1), 6);
+        assert_eq!(theta_width(4), 24);
+    }
+
+    #[test]
+    fn inv_softplus_round_trips() {
+        for y in [0.01, 0.5, 1.0, 3.0, 50.0] {
+            let x = inv_softplus(y);
+            assert!((softplus(x) - y).abs() < 1e-9, "y={y}");
+        }
+    }
+
+    #[test]
+    fn decode_applies_constraints() {
+        let m = 2;
+        let mut theta = vec![0.0f32; theta_width(m)];
+        theta[0] = 1.0; // π̂_0 > π̂_1
+        theta[m] = 40.7;
+        theta[m + 1] = 40.8;
+        theta[2 * m] = -74.0;
+        theta[2 * m + 1] = -73.9;
+        theta[3 * m] = -5.0; // tiny σ via softplus, still positive
+        theta[5 * m] = -100.0; // ρ̂ → softsign ≈ -1, clamped inside (-1,1)
+        let mix = decode_theta(&theta, m);
+        assert_eq!(mix.len(), 2);
+        assert!(mix.weights()[0] > mix.weights()[1]);
+        assert!((mix.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for g in mix.components() {
+            assert!(g.sigma_lat > 0.0 && g.sigma_lon > 0.0);
+            assert!(g.rho > -1.0 && g.rho < 1.0);
+        }
+        assert!((mix.components()[0].mu.lat - 40.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_agrees_with_training_loss_density() {
+        // The density of the decoded mixture must equal exp(-NLL) computed
+        // by the fused training op at the same θ — the two code paths share
+        // the activation semantics.
+        let m = 3;
+        let theta: Vec<f32> = (0..theta_width(m))
+            .map(|i| match i / m {
+                0 => 0.3 * (i % m) as f32,
+                1 => 40.5 + 0.1 * (i % m) as f32,
+                2 => -74.1 + 0.1 * (i % m) as f32,
+                3 | 4 => -1.0 + 0.3 * (i % m) as f32,
+                _ => 0.5 * (i % m) as f32 - 0.5,
+            })
+            .collect();
+        let target = Point::new(40.7, -74.0);
+        let mix = decode_theta(&theta, m);
+        let (nll, _) = edge_tensor::loss::gmm_nll_row(&theta, target.lat, target.lon, m);
+        let density = mix.pdf(&target);
+        assert!(
+            ((-nll).exp() - density).abs() < 1e-6 * (1.0 + density),
+            "exp(-nll) {} vs pdf {density}",
+            (-nll).exp()
+        );
+    }
+
+    #[test]
+    fn init_bias_tiles_the_region() {
+        let bbox = BBox::new(40.49, 40.92, -74.27, -73.68);
+        let m = 4;
+        let bias = init_head_bias(&bbox, m);
+        let mix = decode_theta(bias.row(0), m);
+        // All component means inside the region, weights uniform.
+        for g in mix.components() {
+            assert!(bbox.contains(&g.mu), "init mean outside region: {:?}", g.mu);
+        }
+        for &w in mix.weights() {
+            assert!((w - 0.25).abs() < 1e-9);
+        }
+        // Component means are distinct (the ring layout breaks symmetry).
+        let mus: Vec<_> = mix.components().iter().map(|g| (g.mu.lat, g.mu.lon)).collect();
+        for i in 0..m {
+            for j in i + 1..m {
+                assert_ne!(mus[i], mus[j]);
+            }
+        }
+        // Initial σ is region-scale: about a quarter span.
+        let s = mix.components()[0].sigma_lat;
+        assert!((s - bbox.lat_span() / 4.0).abs() < 1e-4, "sigma {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn decode_checks_width() {
+        let _ = decode_theta(&[0.0; 10], 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! The end-to-end EDGE model: entity2vec → entity graph → GCN diffusion →
+//! attention aggregation → Gaussian-mixture head, trained by maximizing the
+//! likelihood of geo-tagged training tweets (Eq. 13) with Adam.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use edge_data::Tweet;
+use edge_geo::{BBox, GaussianMixture, Point};
+use edge_graph::{build_cooccurrence_graph, graph_stats, normalized_adjacency_triplets, GraphStats};
+use edge_tensor::init::xavier_uniform;
+use edge_tensor::tape::{ParamId, ParamStore, Tape};
+use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer};
+use edge_text::EntityRecognizer;
+
+use crate::attention::{attention_aggregate, attention_infer, sum_aggregate, sum_infer};
+use crate::config::EdgeConfig;
+use crate::entity2vec::{run_entity2vec, EntityIndex};
+use crate::gcn::{gcn_forward, gcn_infer};
+use crate::mdn::{decode_theta, init_head_bias, theta_width};
+
+/// A location prediction: the mixture (the paper's primary output), the
+/// Eq.-14 point estimate, and the interpretability signals.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The predicted Gaussian mixture (Eq. 6).
+    pub mixture: GaussianMixture,
+    /// The density-argmax location (Eq. 14).
+    pub point: Point,
+    /// Per-entity attention weights `(entity id, weight)`, the "which
+    /// entities drove this prediction" signal (empty under the SUM
+    /// ablation).
+    pub attention: Vec<(String, f32)>,
+}
+
+/// Training diagnostics.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean per-tweet NLL per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Training tweets actually used (those with ≥1 recognized entity).
+    pub n_train_used: usize,
+    /// Entity-graph statistics.
+    pub graph: GraphStats,
+}
+
+/// The trained EDGE model.
+pub struct EdgeModel {
+    config: EdgeConfig,
+    ner: EntityRecognizer,
+    index: EntityIndex,
+    adjacency: Arc<CsrMatrix>,
+    features: Matrix,
+    params: ParamStore,
+    w_gcn: Vec<ParamId>,
+    q1: ParamId,
+    b1: ParamId,
+    q2: ParamId,
+    b2: ParamId,
+    /// Cached diffused embeddings for inference (refreshed after training).
+    smoothed: Matrix,
+}
+
+impl EdgeModel {
+    /// Trains EDGE end-to-end on the training split.
+    ///
+    /// `ner` is the recognizer with the corpus gazetteer; `bbox` is the
+    /// study region (used only to initialize the mixture head sanely).
+    pub fn train(
+        train: &[Tweet],
+        ner: EntityRecognizer,
+        bbox: &BBox,
+        config: EdgeConfig,
+    ) -> (Self, TrainReport) {
+        config.validate();
+        assert!(!train.is_empty(), "empty training set");
+
+        // Stage 1: entity2vec.
+        let e2v = run_entity2vec(train, &ner, &config.sgns, config.embed_dim);
+        assert!(
+            e2v.index.len() >= 2,
+            "training corpus yielded fewer than 2 entities"
+        );
+
+        // Stage 2: co-occurrence graph + normalized adjacency.
+        let graph = build_cooccurrence_graph(
+            e2v.index.len(),
+            e2v.tweet_entities.iter().map(Vec::as_slice),
+        );
+        let stats = graph_stats(&graph);
+        let adjacency = Arc::new(CsrMatrix::from_triplets(
+            e2v.index.len(),
+            e2v.index.len(),
+            &normalized_adjacency_triplets(&graph),
+        ));
+
+        // Stage 3: parameters.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = ParamStore::new();
+        let mut w_gcn = Vec::new();
+        let mut in_dim = config.embed_dim;
+        for layer in 0..config.gcn_layers {
+            w_gcn.push(params.add(format!("w_gcn{layer}"), xavier_uniform(in_dim, config.hidden_dim, &mut rng)));
+            in_dim = config.hidden_dim;
+        }
+        let h_dim = if config.use_gcn { config.hidden_dim } else { config.embed_dim };
+        let q1 = params.add("q1", xavier_uniform(h_dim, 1, &mut rng));
+        // b1 starts at +1 so the Eq.-2 scores begin in the ReLU's active
+        // region. At b1 = 0 roughly half the scores clamp; SGD then walks
+        // the rest below zero and the whole attention layer dies (zero
+        // gradient forever, permanently uniform weights). Softmax is
+        // shift-invariant, so the positive offset changes nothing else.
+        let b1 = params.add("b1", Matrix::full(1, 1, 1.0));
+        let out = theta_width(config.n_components);
+        // Small output weights + region-tiling bias: predictions start at
+        // the bias mixture and move from there.
+        let q2 = params.add("q2", xavier_uniform(h_dim, out, &mut rng).scale(0.1));
+        let b2 = params.add("b2", init_head_bias(bbox, config.n_components));
+
+        let features = Matrix::from_vec(
+            e2v.index.len(),
+            config.embed_dim,
+            e2v.embeddings.iter().flatten().copied().collect(),
+        );
+
+        let mut model = Self {
+            config,
+            ner,
+            index: e2v.index,
+            adjacency,
+            features,
+            params,
+            w_gcn,
+            q1,
+            b1,
+            q2,
+            b2,
+            smoothed: Matrix::zeros(0, 0),
+        };
+
+        // Stage 4: end-to-end optimization (Eq. 13).
+        let report = model.optimize(train, &e2v.tweet_entities, stats, &mut rng);
+        model.refresh_smoothed();
+        (model, report)
+    }
+
+    fn optimize(
+        &mut self,
+        train: &[Tweet],
+        tweet_entities: &[Vec<usize>],
+        graph: GraphStats,
+        rng: &mut StdRng,
+    ) -> TrainReport {
+        // Usable tweets: at least one entity.
+        let usable: Vec<usize> = (0..train.len()).filter(|&i| !tweet_entities[i].is_empty()).collect();
+        assert!(!usable.is_empty(), "no training tweet has a recognized entity");
+
+        let mut optimizer = Adam::new(self.config.lr, 0.9, 0.999, 1e-8, self.config.weight_decay);
+        // Biases carry non-regularizable scale (the head bias holds the
+        // degree-valued component means); decay applies to weights only.
+        optimizer.exclude_from_decay(self.b1);
+        optimizer.exclude_from_decay(self.b2);
+        // The attention scorer q1 is a single d-vector whose gradient
+        // pressure is weak early in training (the mixture head can hedge
+        // instead); decaying it collapses the scores into the ReLU dead
+        // zone and the attention degenerates to a uniform average. Exempt
+        // it so Eq. 2-3 can actually differentiate entities.
+        optimizer.exclude_from_decay(self.q1);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut order = usable.clone();
+
+        for _ in 0..self.config.epochs {
+            order.shuffle(rng);
+            let mut epoch_nll = 0.0f64;
+            let mut n_tweets = 0usize;
+            for batch in order.chunks(self.config.batch_size) {
+                let mut tape = Tape::new();
+                let x = tape.constant(self.features.clone());
+                let smoothed = if self.config.use_gcn {
+                    gcn_forward(&mut tape, &self.adjacency, x, &self.w_gcn, &self.params)
+                } else {
+                    x
+                };
+                let mut z_rows = Vec::with_capacity(batch.len());
+                let mut targets = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    let z = if self.config.use_attention {
+                        attention_aggregate(
+                            &mut tape,
+                            smoothed,
+                            &tweet_entities[i],
+                            self.q1,
+                            self.b1,
+                            &self.params,
+                        )
+                    } else {
+                        sum_aggregate(&mut tape, smoothed, &tweet_entities[i])
+                    };
+                    z_rows.push(z);
+                    targets.push((train[i].location.lat, train[i].location.lon));
+                }
+                let z = tape.concat_rows(z_rows); // B x h
+                let w = tape.param(self.q2, &self.params);
+                let b = tape.param(self.b2, &self.params);
+                let lin = tape.matmul(z, w);
+                let theta = tape.add_row_broadcast(lin, b); // Eq. 7
+                let nll_sum = tape.gmm_nll(theta, &targets, self.config.n_components);
+                let loss = tape.scale(nll_sum, 1.0 / batch.len() as f32);
+                let grads = tape.backward(loss);
+                optimizer.step(&mut self.params, &grads);
+
+                epoch_nll += tape.scalar(nll_sum) as f64;
+                n_tweets += batch.len();
+            }
+            epoch_losses.push(epoch_nll / n_tweets as f64);
+        }
+        TrainReport { epoch_losses, n_train_used: usable.len(), graph }
+    }
+
+    /// Recomputes the cached diffused embeddings from the current weights.
+    fn refresh_smoothed(&mut self) {
+        self.smoothed = if self.config.use_gcn {
+            let weights: Vec<&Matrix> = self.w_gcn.iter().map(|&w| self.params.get(w)).collect();
+            gcn_infer(&self.adjacency, &self.features, &weights)
+        } else {
+            self.features.clone()
+        };
+    }
+
+    /// Rebuilds a model from its persisted parts (see `persist`); the
+    /// diffused-embedding cache is recomputed.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: EdgeConfig,
+        ner: EntityRecognizer,
+        index: EntityIndex,
+        adjacency: Arc<CsrMatrix>,
+        features: Matrix,
+        params: ParamStore,
+        w_gcn: Vec<ParamId>,
+        q1: ParamId,
+        b1: ParamId,
+        q2: ParamId,
+        b2: ParamId,
+    ) -> Self {
+        let mut model = Self {
+            config,
+            ner,
+            index,
+            adjacency,
+            features,
+            params,
+            w_gcn,
+            q1,
+            b1,
+            q2,
+            b2,
+            smoothed: Matrix::zeros(0, 0),
+        };
+        model.refresh_smoothed();
+        model
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &EdgeConfig {
+        &self.config
+    }
+
+    /// The normalized adjacency operator (persistence accessor).
+    pub fn adjacency_matrix(&self) -> &Arc<CsrMatrix> {
+        &self.adjacency
+    }
+
+    /// The entity2vec feature matrix `X` (persistence accessor).
+    pub fn feature_matrix(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The trained parameters (persistence accessor).
+    pub fn param_store(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// The per-layer GCN weight ids (persistence accessor).
+    pub fn gcn_param_ids(&self) -> &[ParamId] {
+        &self.w_gcn
+    }
+
+    /// The attention parameters `(Q1, b1)` (persistence accessor).
+    pub fn attention_param_ids(&self) -> (ParamId, ParamId) {
+        (self.q1, self.b1)
+    }
+
+    /// The mixture-head parameters `(Q2, b2)` (persistence accessor).
+    pub fn head_param_ids(&self) -> (ParamId, ParamId) {
+        (self.q2, self.b2)
+    }
+
+    /// The entity inventory.
+    pub fn entity_index(&self) -> &EntityIndex {
+        &self.index
+    }
+
+    /// The recognizer the model uses at inference.
+    pub fn recognizer(&self) -> &EntityRecognizer {
+        &self.ner
+    }
+
+    /// The diffused (spatially smoothed) embedding of entity `idx`.
+    pub fn smoothed_embedding(&self, idx: usize) -> &[f32] {
+        self.smoothed.row(idx)
+    }
+
+    /// The entity indices a tweet text resolves to (known entities only).
+    pub fn resolve_entities(&self, text: &str) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .ner
+            .recognize(text)
+            .into_iter()
+            .filter_map(|m| self.index.get(&m.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Predicts a location mixture for a tweet text. Returns `None` when the
+    /// tweet contains no entity present in the training graph (the ~2.8% of
+    /// test tweets the paper excludes).
+    pub fn predict(&self, text: &str) -> Option<Prediction> {
+        let entities = self.resolve_entities(text);
+        if entities.is_empty() {
+            return None;
+        }
+        Some(self.predict_entities(&entities))
+    }
+
+    /// Predicts from resolved entity indices.
+    pub fn predict_entities(&self, entities: &[usize]) -> Prediction {
+        assert!(!entities.is_empty(), "prediction needs at least one entity");
+        let (z, weights) = if self.config.use_attention {
+            attention_infer(&self.smoothed, entities, self.params.get(self.q1), self.params.get(self.b1))
+        } else {
+            (sum_infer(&self.smoothed, entities), Vec::new())
+        };
+        let theta = z
+            .matmul(self.params.get(self.q2))
+            .add_row_broadcast(self.params.get(self.b2));
+        let mixture = decode_theta(theta.row(0), self.config.n_components);
+        let point = mixture.mode();
+        let attention = entities
+            .iter()
+            .zip(weights)
+            .map(|(&e, w)| (self.index.name(e).to_string(), w))
+            .collect();
+        Prediction { mixture, point, attention }
+    }
+
+    /// Evaluates on a test split: returns `(prediction, truth)` pairs for
+    /// covered tweets (in input order) and the coverage fraction.
+    /// Prediction is pure, so tweets are scored in parallel.
+    pub fn evaluate(&self, test: &[Tweet]) -> (Vec<(Prediction, Point)>, f64) {
+        use rayon::prelude::*;
+        let out: Vec<(Prediction, Point)> = test
+            .par_iter()
+            .filter_map(|t| self.predict(&t.text).map(|p| (p, t.location)))
+            .collect();
+        let coverage = out.len() as f64 / test.len().max(1) as f64;
+        (out, coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{dataset_recognizer, nyma, PresetSize};
+    use edge_geo::DistanceReport;
+
+    fn trained() -> (EdgeModel, TrainReport, edge_data::Dataset) {
+        let d = nyma(PresetSize::Smoke, 11);
+        let ner = dataset_recognizer(&d);
+        let (train, _) = d.paper_split();
+        let (model, report) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke());
+        (model, report, d)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (_, report, _) = trained();
+        let first = report.epoch_losses.first().copied().unwrap();
+        let last = report.epoch_losses.last().copied().unwrap();
+        assert!(
+            last < first - 0.3,
+            "loss should drop substantially: {first} -> {last}"
+        );
+        assert!(report.n_train_used > 1000);
+        assert!(report.graph.n_edges > 100);
+    }
+
+    #[test]
+    fn predictions_are_sane_and_interpretable() {
+        let (model, _, d) = trained();
+        let (_, test) = d.paper_split();
+        let mut covered = 0;
+        for t in test.iter().take(200) {
+            let Some(p) = model.predict(&t.text) else { continue };
+            covered += 1;
+            assert_eq!(p.mixture.len(), model.config().n_components);
+            assert!(p.point.is_finite());
+            assert!(
+                d.bbox.expand(0.5).contains(&p.point),
+                "prediction far outside region: {:?}",
+                p.point
+            );
+            // Attention weights form a distribution over the tweet's entities.
+            if !p.attention.is_empty() {
+                let sum: f32 = p.attention.iter().map(|(_, w)| w).sum();
+                assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
+        assert!(covered > 150, "coverage too low: {covered}/200");
+    }
+
+    #[test]
+    fn model_beats_region_center_baseline() {
+        let (model, _, d) = trained();
+        let (_, test) = d.paper_split();
+        let (preds, coverage) = model.evaluate(test);
+        assert!(coverage > 0.7, "coverage {coverage}");
+        let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+        let report = DistanceReport::from_pairs(&pairs).unwrap();
+        // The fixed center-of-region guess.
+        let center_pairs: Vec<(Point, Point)> =
+            preds.iter().map(|(_, t)| (d.bbox.center(), *t)).collect();
+        let center = DistanceReport::from_pairs(&center_pairs).unwrap();
+        assert!(
+            report.median_km < center.median_km,
+            "EDGE median {} !< center {}",
+            report.median_km,
+            center.median_km
+        );
+        assert!(report.at_3km > center.at_3km);
+    }
+
+    #[test]
+    fn unknown_text_is_not_covered() {
+        let (model, _, _) = trained();
+        assert!(model.predict("zzz qqq completely unknown words").is_none());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = nyma(PresetSize::Smoke, 21);
+        let ner = dataset_recognizer(&d);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 2;
+        let (m1, r1) = EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg.clone());
+        let (m2, r2) = EdgeModel::train(&train[..800], ner, &d.bbox, cfg);
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        let p1 = m1.predict_entities(&[0, 1]);
+        let p2 = m2.predict_entities(&[0, 1]);
+        assert_eq!(p1.point, p2.point);
+    }
+
+    #[test]
+    fn ablation_variants_train() {
+        let d = nyma(PresetSize::Smoke, 31);
+        let ner = dataset_recognizer(&d);
+        let (train, _) = d.paper_split();
+        let mut base = EdgeConfig::smoke();
+        base.epochs = 3;
+        for cfg in [
+            base.clone().ablation_no_gcn(),
+            base.clone().ablation_sum(),
+            base.clone().ablation_no_mixture(),
+        ] {
+            let (model, report) =
+                EdgeModel::train(&train[..1000], dataset_recognizer(&d), &d.bbox, cfg.clone());
+            assert!(report.epoch_losses.last().unwrap().is_finite());
+            let p = model.predict_entities(&[0]);
+            assert_eq!(p.mixture.len(), cfg.n_components);
+            if !cfg.use_attention {
+                assert!(p.attention.is_empty(), "SUM ablation reports no attention");
+            }
+        }
+        let _ = ner;
+    }
+}

@@ -1,0 +1,267 @@
+//! Model persistence: save a trained [`EdgeModel`] to disk and load it back
+//! for inference — the deployment path a real user of this library needs
+//! (train once on a crawl, serve predictions later).
+//!
+//! The format is a single JSON document containing the configuration, the
+//! entity inventory, the recognizer gazetteer, the (constant) feature and
+//! adjacency matrices and every trained parameter. JSON is deliberately
+//! chosen over a binary format: models at the paper's scale are a few tens
+//! of megabytes, and an inspectable artifact is worth more than the size
+//! savings here.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use edge_tensor::tape::{ParamId, ParamStore};
+use edge_tensor::{CsrMatrix, Matrix};
+use edge_text::EntityRecognizer;
+
+use crate::config::EdgeConfig;
+use crate::entity2vec::EntityIndex;
+use crate::model::EdgeModel;
+
+/// Errors from saving/loading a model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Format(serde_json::Error),
+    /// The document was readable but internally inconsistent.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "model format error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// The on-disk document. Version-tagged so future format changes can be
+/// detected instead of misread.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct SavedModel {
+    pub(crate) format_version: u32,
+    pub(crate) config: EdgeConfig,
+    pub(crate) ner: EntityRecognizer,
+    pub(crate) index: EntityIndex,
+    pub(crate) adjacency: CsrMatrix,
+    pub(crate) features: Matrix,
+    pub(crate) params: ParamStore,
+    pub(crate) w_gcn: Vec<ParamId>,
+    pub(crate) q1: ParamId,
+    pub(crate) b1: ParamId,
+    pub(crate) q2: ParamId,
+    pub(crate) b2: ParamId,
+}
+
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+impl SavedModel {
+    pub(crate) fn validate(&self) -> Result<(), PersistError> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "format version {} (expected {FORMAT_VERSION})",
+                self.format_version
+            )));
+        }
+        let n = self.index.len();
+        if self.adjacency.rows() != n || self.adjacency.cols() != n {
+            return Err(PersistError::Corrupt(format!(
+                "adjacency is {}x{} but the index has {n} entities",
+                self.adjacency.rows(),
+                self.adjacency.cols()
+            )));
+        }
+        if self.features.rows() != n || self.features.cols() != self.config.embed_dim {
+            return Err(PersistError::Corrupt(format!(
+                "feature matrix is {:?}, expected {n}x{}",
+                self.features.shape(),
+                self.config.embed_dim
+            )));
+        }
+        let max_param = self
+            .w_gcn
+            .iter()
+            .chain([&self.q1, &self.b1, &self.q2, &self.b2])
+            .map(|p| p.0)
+            .max()
+            .unwrap_or(0);
+        if max_param >= self.params.len() {
+            return Err(PersistError::Corrupt(format!(
+                "parameter id {max_param} out of range ({} stored)",
+                self.params.len()
+            )));
+        }
+        if self.w_gcn.len() != self.config.gcn_layers {
+            return Err(PersistError::Corrupt(format!(
+                "{} GCN weight matrices for {} configured layers",
+                self.w_gcn.len(),
+                self.config.gcn_layers
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl EdgeModel {
+    /// Saves the trained model to `path` (JSON, version-tagged).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let doc = self.to_saved();
+        let json = serde_json::to_string(&doc)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`EdgeModel::save`]. The diffused-embedding
+    /// cache is recomputed, so predictions from the loaded model are
+    /// bit-identical to the original's.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let json = std::fs::read_to_string(path)?;
+        let doc: SavedModel = serde_json::from_str(&json)?;
+        doc.validate()?;
+        Ok(Self::from_saved(doc))
+    }
+
+    fn to_saved(&self) -> SavedModel {
+        SavedModel {
+            format_version: FORMAT_VERSION,
+            config: self.config().clone(),
+            ner: self.recognizer().clone(),
+            index: self.entity_index().clone(),
+            adjacency: self.adjacency_matrix().as_ref().clone(),
+            features: self.feature_matrix().clone(),
+            params: self.param_store().clone(),
+            w_gcn: self.gcn_param_ids().to_vec(),
+            q1: self.attention_param_ids().0,
+            b1: self.attention_param_ids().1,
+            q2: self.head_param_ids().0,
+            b2: self.head_param_ids().1,
+        }
+    }
+
+    fn from_saved(doc: SavedModel) -> Self {
+        Self::from_parts(
+            doc.config,
+            doc.ner,
+            doc.index,
+            Arc::new(doc.adjacency),
+            doc.features,
+            doc.params,
+            doc.w_gcn,
+            doc.q1,
+            doc.b1,
+            doc.q2,
+            doc.b2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_data::{dataset_recognizer, nyma, PresetSize};
+
+    fn trained() -> (EdgeModel, edge_data::Dataset) {
+        let d = nyma(PresetSize::Smoke, 71);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 3;
+        let (model, _) =
+            EdgeModel::train(&train[..1000], dataset_recognizer(&d), &d.bbox, cfg);
+        (model, d)
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let (model, d) = trained();
+        let dir = std::env::temp_dir().join("edge_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).expect("save");
+        let loaded = EdgeModel::load(&path).expect("load");
+
+        let (_, test) = d.paper_split();
+        let mut compared = 0;
+        for t in test.iter().take(60) {
+            match (model.predict(&t.text), loaded.predict(&t.text)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.point, b.point, "points differ for: {}", t.text);
+                    assert_eq!(a.attention, b.attention);
+                    assert_eq!(a.mixture.weights(), b.mixture.weights());
+                    compared += 1;
+                }
+                (None, None) => {}
+                _ => panic!("coverage differs after reload"),
+            }
+        }
+        assert!(compared > 20, "compared only {compared}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_version() {
+        let (model, _) = trained();
+        let mut doc = model.to_saved();
+        doc.format_version = 999;
+        assert!(matches!(doc.validate(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_shapes() {
+        let (model, _) = trained();
+        let mut doc = model.to_saved();
+        doc.features = Matrix::zeros(3, 3);
+        assert!(matches!(doc.validate(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn load_rejects_garbage_file() {
+        let dir = std::env::temp_dir().join("edge_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(EdgeModel::load(&path), Err(PersistError::Format(_))));
+        assert!(matches!(
+            EdgeModel::load(dir.join("missing.json")),
+            Err(PersistError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_error_display_and_source() {
+        let e = PersistError::Corrupt("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let io = PersistError::from(std::io::Error::other("disk"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

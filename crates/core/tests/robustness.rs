@@ -1,0 +1,200 @@
+//! Failure-injection and degenerate-input tests for the EDGE model: the
+//! conditions a production system hits that a paper never mentions.
+
+use edge_core::{EdgeConfig, EdgeModel};
+use edge_data::{SimDate, Tweet};
+use edge_geo::{BBox, Point};
+use edge_text::{EntityCategory, EntityRecognizer};
+
+fn bbox() -> BBox {
+    BBox::new(40.0, 41.0, -75.0, -74.0)
+}
+
+fn tweet(id: u64, text: &str, lat: f64, lon: f64) -> Tweet {
+    Tweet {
+        id,
+        text: text.to_string(),
+        location: Point::new(lat, lon),
+        date: SimDate::new(2020, 3, 12),
+        gold_entities: vec![],
+    }
+}
+
+fn tiny_config() -> EdgeConfig {
+    let mut c = EdgeConfig::smoke();
+    c.epochs = 4;
+    c.batch_size = 16;
+    c
+}
+
+fn venue_ner() -> EntityRecognizer {
+    EntityRecognizer::with_gazetteer([
+        ("alpha cafe", EntityCategory::Facility),
+        ("beta park", EntityCategory::Geolocation),
+        ("gamma pier", EntityCategory::Geolocation),
+    ])
+}
+
+/// A minimal trainable corpus: three venues at three corners.
+fn tiny_corpus(n_per: usize) -> Vec<Tweet> {
+    let mut tweets = Vec::new();
+    let venues = [
+        ("alpha cafe", 40.2, -74.8),
+        ("beta park", 40.5, -74.5),
+        ("gamma pier", 40.8, -74.2),
+    ];
+    let mut id = 0;
+    for (name, lat, lon) in venues {
+        for k in 0..n_per {
+            tweets.push(tweet(
+                id,
+                &format!("spent time at {name} again {k}"),
+                lat + 1e-4 * (k % 7) as f64,
+                lon,
+            ));
+            id += 1;
+        }
+    }
+    tweets
+}
+
+#[test]
+#[should_panic(expected = "empty training set")]
+fn empty_training_set_is_rejected() {
+    let _ = EdgeModel::train(&[], venue_ner(), &bbox(), tiny_config());
+}
+
+#[test]
+#[should_panic(expected = "fewer than 2 entities")]
+fn corpus_without_entities_is_rejected() {
+    let tweets: Vec<Tweet> = (0..50)
+        .map(|i| tweet(i, "nothing recognizable here", 40.5, -74.5))
+        .collect();
+    let _ = EdgeModel::train(&tweets, EntityRecognizer::new(), &bbox(), tiny_config());
+}
+
+#[test]
+fn trains_on_a_minimal_corpus() {
+    let tweets = tiny_corpus(30);
+    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    assert_eq!(model.entity_index().len(), 3);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    let p = model.predict("meet me at beta park").expect("covered");
+    assert!(p.point.is_finite());
+}
+
+#[test]
+fn identical_locations_collapse_sigma_without_nan() {
+    // Every tweet at literally the same point per venue: σ wants to go to
+    // 0; the model must stay finite (the loss floors σ). Two venues keep
+    // the entity inventory above the ≥2 minimum.
+    let tweets: Vec<Tweet> = (0..60)
+        .map(|i| {
+            if i % 2 == 0 {
+                tweet(i, "at alpha cafe", 40.5, -74.5)
+            } else {
+                tweet(i, "at beta park", 40.6, -74.4)
+            }
+        })
+        .collect();
+    let mut cfg = tiny_config();
+    cfg.epochs = 30;
+    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), cfg);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
+    let p = model.predict("alpha cafe").expect("covered");
+    assert!(p.point.is_finite());
+    // With point-mass data the density is razor-sharp; require the
+    // prediction to pick the right venue, not a particular radius.
+    assert!(
+        p.point.haversine_km(&Point::new(40.5, -74.5))
+            < p.point.haversine_km(&Point::new(40.6, -74.4)),
+        "prediction {:?} closer to the wrong venue",
+        p.point
+    );
+    for g in p.mixture.components() {
+        assert!(g.sigma_lat > 0.0 && g.sigma_lat.is_finite());
+    }
+}
+
+#[test]
+fn single_occurrence_entities_survive() {
+    let mut tweets = tiny_corpus(20);
+    tweets.push(tweet(999, "rare visit to gamma pier and alpha cafe", 40.8, -74.2));
+    let (model, _) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    // All entities present and predictable.
+    for name in ["alpha_cafe", "beta_park", "gamma_pier"] {
+        assert!(model.entity_index().get(name).is_some(), "{name} missing");
+    }
+}
+
+#[test]
+fn prediction_handles_adversarial_text() {
+    let (model, _) = EdgeModel::train(&tiny_corpus(20), venue_ner(), &bbox(), tiny_config());
+    for text in [
+        "",
+        "    ",
+        "@#$%^&*()",
+        "alpha", // partial entity name: not a gazetteer match
+        &"alpha cafe ".repeat(500), // very long, many repeats of one entity
+        "ALPHA CAFE BETA PARK GAMMA PIER",
+        "\u{1F600}\u{1F30D} alpha cafe \u{2764}",
+    ] {
+        match model.predict(text) {
+            Some(p) => {
+                assert!(p.point.is_finite(), "non-finite point for {text:?}");
+                let w: f32 = p.attention.iter().map(|(_, w)| w).sum();
+                assert!(p.attention.is_empty() || (w - 1.0).abs() < 1e-3);
+            }
+            None => {} // uncovered is a legal outcome
+        }
+    }
+}
+
+#[test]
+fn outlier_locations_do_not_poison_training() {
+    let mut tweets = tiny_corpus(25);
+    // A few tweets pinned at the region's far corner.
+    for i in 0..3 {
+        tweets.push(tweet(9000 + i, "at alpha cafe", 40.999, -74.001));
+    }
+    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    assert!(report.epoch_losses.last().unwrap().is_finite());
+    let p = model.predict("alpha cafe").expect("covered");
+    // Prediction stays with the majority mass, not the outliers.
+    assert!(
+        p.point.haversine_km(&Point::new(40.2, -74.8)) <
+        p.point.haversine_km(&Point::new(40.999, -74.001)),
+        "prediction {:?} pulled to outliers",
+        p.point
+    );
+}
+
+#[test]
+fn one_component_mixture_trains_and_predicts() {
+    let mut cfg = tiny_config().ablation_no_mixture();
+    cfg.epochs = 10;
+    let (model, _) = EdgeModel::train(&tiny_corpus(25), venue_ner(), &bbox(), cfg);
+    let p = model.predict("gamma pier").expect("covered");
+    assert_eq!(p.mixture.len(), 1);
+    assert_eq!(p.mixture.weights()[0], 1.0);
+}
+
+#[test]
+fn many_components_with_few_data_points_stay_finite() {
+    let mut cfg = tiny_config();
+    cfg.n_components = 8; // more modes than venues
+    cfg.epochs = 12;
+    let (model, report) = EdgeModel::train(&tiny_corpus(12), venue_ner(), &bbox(), cfg);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    let p = model.predict("beta park").expect("covered");
+    assert_eq!(p.mixture.len(), 8);
+    assert!((p.mixture.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn gcn_depth_three_works() {
+    let mut cfg = tiny_config();
+    cfg.gcn_layers = 3;
+    let (model, _) = EdgeModel::train(&tiny_corpus(20), venue_ner(), &bbox(), cfg);
+    assert!(model.predict("alpha cafe").is_some());
+}

@@ -1,0 +1,203 @@
+//! Tweet and dataset types, chronological splitting, and filters.
+
+use serde::{Deserialize, Serialize};
+
+use edge_geo::{BBox, Point};
+use edge_text::EntityCategory;
+
+use crate::date::SimDate;
+
+/// One geo-tagged tweet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Stable id within the dataset.
+    pub id: u64,
+    /// Rendered text.
+    pub text: String,
+    /// Ground-truth geotag.
+    pub location: Point,
+    /// Posting date.
+    pub date: SimDate,
+    /// Ground-truth canonical entity ids actually rendered into `text`.
+    ///
+    /// **Audit-only field**: models must recover entities through the NER;
+    /// this list exists so the Section IV-A recognition audit has labels,
+    /// playing the role of the paper's manual annotation passes.
+    pub gold_entities: Vec<String>,
+}
+
+/// A complete dataset: chronologically ordered tweets plus the entity
+/// inventory (the "trained knowledge" the NER gazetteer is built from).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (e.g. "NYMA").
+    pub name: String,
+    /// Study region.
+    pub bbox: BBox,
+    /// Timeline `[start, end)`.
+    pub timeline: (SimDate, SimDate),
+    /// Tweets in chronological order.
+    pub tweets: Vec<Tweet>,
+    /// Entity inventory: `(surface form, category)`.
+    pub gazetteer: Vec<(String, EntityCategory)>,
+}
+
+impl Dataset {
+    /// Splits chronologically: "the first 75% of tweets in the timeline …
+    /// for training and the remaining for test". Returns `(train, test)`
+    /// slices.
+    pub fn chronological_split(&self, train_fraction: f64) -> (&[Tweet], &[Tweet]) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be in [0,1]"
+        );
+        debug_assert!(self.tweets.windows(2).all(|w| w[0].date <= w[1].date), "tweets not sorted");
+        let cut = (self.tweets.len() as f64 * train_fraction).round() as usize;
+        self.tweets.split_at(cut.min(self.tweets.len()))
+    }
+
+    /// The paper's 75/25 split.
+    pub fn paper_split(&self) -> (&[Tweet], &[Tweet]) {
+        self.chronological_split(0.75)
+    }
+
+    /// Tweets whose text contains any of `keywords` (case-insensitive
+    /// substring match — the paper's COVID-19 dataset is built exactly this
+    /// way from keyword filters).
+    pub fn filter_keywords(&self, keywords: &[&str]) -> Vec<&Tweet> {
+        let lowered: Vec<String> = keywords.iter().map(|k| k.to_lowercase()).collect();
+        self.tweets
+            .iter()
+            .filter(|t| {
+                let text = t.text.to_lowercase();
+                lowered.iter().any(|k| text.contains(k.as_str()))
+            })
+            .collect()
+    }
+
+    /// A new dataset containing only the keyword-matching tweets (ids and
+    /// order preserved), renamed to `name`.
+    pub fn keyword_subset(&self, name: &str, keywords: &[&str]) -> Dataset {
+        Dataset {
+            name: name.to_string(),
+            bbox: self.bbox,
+            timeline: self.timeline,
+            tweets: self.filter_keywords(keywords).into_iter().cloned().collect(),
+            gazetteer: self.gazetteer.clone(),
+        }
+    }
+
+    /// Tweets posted in `[start, end)` — the windowing used by every
+    /// use-case figure.
+    pub fn window(&self, start: SimDate, end: SimDate) -> Vec<&Tweet> {
+        self.tweets.iter().filter(|t| t.date >= start && t.date < end).collect()
+    }
+
+    /// Number of tweets.
+    pub fn len(&self) -> usize {
+        self.tweets.len()
+    }
+
+    /// True when the dataset has no tweets.
+    pub fn is_empty(&self) -> bool {
+        self.tweets.is_empty()
+    }
+}
+
+/// The COVID-19 keyword set of the paper's third dataset.
+pub const COVID_KEYWORDS: &[&str] = &[
+    "coronavirus",
+    "covid",
+    "pandemic",
+    "quarantine",
+    "wuhan",
+    "masks",
+    "vaccine",
+    "stayhome",
+    "toilet paper",
+    "social distance",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(id: u64, day: u8, text: &str) -> Tweet {
+        Tweet {
+            id,
+            text: text.to_string(),
+            location: Point::new(40.7, -74.0),
+            date: SimDate::new(2020, 3, day),
+            gold_entities: vec![],
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            name: "test".into(),
+            bbox: BBox::new(40.0, 41.0, -75.0, -74.0),
+            timeline: (SimDate::new(2020, 3, 12), SimDate::new(2020, 4, 2)),
+            tweets: vec![
+                tweet(0, 12, "lockdown begins #covid19"),
+                tweet(1, 14, "nice walk in the park"),
+                tweet(2, 16, "Quarantine day four"),
+                tweet(3, 20, "toilet paper run"),
+                tweet(4, 22, "concert tonight"),
+                tweet(5, 25, "masks everywhere"),
+                tweet(6, 28, "spring is here"),
+                tweet(7, 30, "still in QUARANTINE"),
+            ],
+            gazetteer: vec![],
+        }
+    }
+
+    #[test]
+    fn chronological_split_ratios() {
+        let d = dataset();
+        let (train, test) = d.paper_split();
+        assert_eq!(train.len(), 6);
+        assert_eq!(test.len(), 2);
+        // Train strictly precedes test in time.
+        assert!(train.last().unwrap().date <= test.first().unwrap().date);
+    }
+
+    #[test]
+    fn split_edge_fractions() {
+        let d = dataset();
+        assert_eq!(d.chronological_split(0.0).0.len(), 0);
+        assert_eq!(d.chronological_split(1.0).1.len(), 0);
+    }
+
+    #[test]
+    fn keyword_filter_is_case_insensitive_substring() {
+        let d = dataset();
+        let hits = d.filter_keywords(COVID_KEYWORDS);
+        let ids: Vec<u64> = hits.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn keyword_subset_preserves_order_and_metadata() {
+        let d = dataset();
+        let sub = d.keyword_subset("COVID-19", &["quarantine"]);
+        assert_eq!(sub.name, "COVID-19");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.tweets[0].id, 2);
+        assert_eq!(sub.bbox, d.bbox);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let d = dataset();
+        let w = d.window(SimDate::new(2020, 3, 14), SimDate::new(2020, 3, 22));
+        let ids: Vec<u64> = w.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn covid_keywords_match_paper_list() {
+        assert_eq!(COVID_KEYWORDS.len(), 10);
+        assert!(COVID_KEYWORDS.contains(&"toilet paper"));
+        assert!(COVID_KEYWORDS.contains(&"social distance"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal calendar dates for dataset timelines.
+//!
+//! The paper's datasets are defined by date ranges (NYMA: 08/01/2014 –
+//! 12/01/2014; LAMA and COVID-19: 03/12/2020 – 04/02/2020) and the use
+//! cases slice tweets by date windows. This module provides just enough
+//! calendar arithmetic for that — proleptic Gregorian, no time zones.
+
+use serde::{Deserialize, Serialize};
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDate {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+impl SimDate {
+    /// Creates a date, validating month and day ranges (including leap
+    /// years).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid for {year}-{month}");
+        Self { year, month, day }
+    }
+
+    /// Days since the civil epoch 1970-01-01 (may be negative). Uses the
+    /// standard days-from-civil algorithm.
+    pub fn to_ordinal(self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`SimDate::to_ordinal`].
+    pub fn from_ordinal(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        Self { year, month: m, day: d }
+    }
+
+    /// The date `n` days later.
+    pub fn plus_days(self, n: i64) -> Self {
+        Self::from_ordinal(self.to_ordinal() + n)
+    }
+
+    /// Signed number of days from `self` to `other`.
+    pub fn days_until(self, other: SimDate) -> i64 {
+        other.to_ordinal() - self.to_ordinal()
+    }
+
+    /// `MM/DD/YYYY`, the paper's timeline format.
+    pub fn format_us(self) -> String {
+        format!("{:02}/{:02}/{}", self.month, self.day, self.year)
+    }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("validated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(SimDate::new(1970, 1, 1).to_ordinal(), 0);
+    }
+
+    #[test]
+    fn ordinal_round_trips_across_years() {
+        for &(y, m, d) in &[(2014, 8, 1), (2014, 12, 1), (2020, 3, 12), (2020, 4, 2), (2020, 2, 29), (1999, 12, 31)] {
+            let date = SimDate::new(y, m, d);
+            assert_eq!(SimDate::from_ordinal(date.to_ordinal()), date, "{date:?}");
+        }
+    }
+
+    #[test]
+    fn paper_timelines_have_expected_lengths() {
+        let nyma = SimDate::new(2014, 8, 1).days_until(SimDate::new(2014, 12, 1));
+        assert_eq!(nyma, 122);
+        let covid = SimDate::new(2020, 3, 12).days_until(SimDate::new(2020, 4, 2));
+        assert_eq!(covid, 21);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(SimDate::new(2020, 2, 28).plus_days(1), SimDate::new(2020, 2, 29));
+        assert_eq!(SimDate::new(2020, 2, 29).plus_days(1), SimDate::new(2020, 3, 1));
+        assert_eq!(SimDate::new(2019, 2, 28).plus_days(1), SimDate::new(2019, 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_day_panics() {
+        let _ = SimDate::new(2019, 2, 29);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimDate::new(2020, 3, 12) < SimDate::new(2020, 3, 22));
+        assert!(SimDate::new(2014, 12, 1) < SimDate::new(2020, 1, 1));
+    }
+
+    #[test]
+    fn us_format() {
+        assert_eq!(SimDate::new(2020, 3, 12).format_us(), "03/12/2020");
+    }
+
+    #[test]
+    fn plus_days_negative() {
+        assert_eq!(SimDate::new(2020, 3, 1).plus_days(-1), SimDate::new(2020, 2, 29));
+    }
+}

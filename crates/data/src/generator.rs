@@ -1,0 +1,530 @@
+//! The tweet synthesizer: turns a metro area, a POI gazetteer and a topic
+//! set into a chronological corpus of geo-tagged tweets.
+//!
+//! Each tweet follows the generative story the paper's observations
+//! describe:
+//!
+//! 1. pick a posting date, then either a **topic tweet** (about a non-geo
+//!    entity, posted near one of its latent anchors and often co-mentioning
+//!    it — Observation 2), a **plain tweet** (posted wherever people are,
+//!    often mentioning a nearby fine- or coarse-grained geo entity), or a
+//!    **noise tweet** (pure filler, no entities — the ~5.5% the paper
+//!    excludes);
+//! 2. render the text from filler words plus entity surface forms, with a
+//!    configurable fraction of *distorted* mentions the NER cannot resolve
+//!    (reproducing the recognizer's ~87–95% recognition band).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use edge_geo::Point;
+use edge_text::EntityCategory;
+
+use crate::dataset::{Dataset, Tweet};
+use crate::date::SimDate;
+use crate::metro::MetroArea;
+use crate::names::{pick, FILLER};
+use crate::poi::{sample_near_poi, Granularity, Poi};
+use crate::topics::{Topic, TopicStyle};
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tweets to produce.
+    pub n_tweets: usize,
+    /// Timeline `[start, end)`.
+    pub start: SimDate,
+    /// Timeline end (exclusive).
+    pub end: SimDate,
+    /// Probability a tweet is a topic tweet.
+    pub p_topic: f64,
+    /// Probability a topic tweet *also* mentions the nearest POI to where
+    /// it was actually posted (beyond any anchor co-mention) — the
+    /// "hospital this morning during the #covid19 pandemic" pattern.
+    /// Defaults to 0: enabling it floods hub topics with co-occurrence
+    /// edges, which measurably *hurts* graph-diffusion models on
+    /// keyword-filtered subsets (see EXPERIMENTS.md, deviation 6) — kept as
+    /// a knob for studying that effect.
+    pub p_topic_local_poi: f64,
+    /// Probability a plain tweet mentions a nearby geo entity.
+    pub p_geo_mention: f64,
+    /// Probability of a second geo mention (given a first).
+    pub p_second_poi: f64,
+    /// Probability of a pure-filler noise tweet (checked first).
+    pub p_noise: f64,
+    /// Probability a tweet with entities also name-drops its neighbourhood
+    /// (a coarse `Geolocation` entity) — the "Brooklyn" mentions that drive
+    /// the paper's location-entity statistics.
+    pub p_hood: f64,
+    /// Probability an entity surface is distorted beyond NER recovery.
+    pub p_distort: f64,
+    /// Probability a plain tweet's geo mention refers to a *remote* place
+    /// ("wish I was at Majestic Theatre") instead of a nearby one. This is
+    /// the label noise real corpora carry — people constantly name places
+    /// they are not at — and it is what keeps point estimators from being
+    /// oracle-precise on venue names.
+    pub p_remote: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_tweets: 10_000,
+            start: SimDate::new(2020, 3, 12),
+            end: SimDate::new(2020, 4, 2),
+            p_topic: 0.50,
+            p_topic_local_poi: 0.0,
+            p_geo_mention: 0.52,
+            p_second_poi: 0.35,
+            p_noise: 0.055,
+            p_hood: 0.30,
+            p_distort: 0.07,
+            p_remote: 0.20,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a dataset. The returned tweets are sorted chronologically and
+/// the gazetteer lists every POI and topic surface (the NER's "trained
+/// knowledge").
+pub fn generate(
+    name: &str,
+    metro: &MetroArea,
+    pois: &[Poi],
+    topics: &[Topic],
+    config: &GeneratorConfig,
+) -> Dataset {
+    assert!(!pois.is_empty(), "need at least one POI");
+    assert!(config.start < config.end, "timeline inverted");
+    for t in topics {
+        for &(a, w) in &t.anchors {
+            assert!(a < pois.len(), "topic '{}' anchor {a} out of range", t.name);
+            assert!(w > 0.0, "topic '{}' anchor weight must be positive", t.name);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_days = config.start.days_until(config.end);
+    assert!(n_days > 0);
+
+    let mut tweets: Vec<Tweet> = (0..config.n_tweets)
+        .map(|_| {
+            let date = config.start.plus_days(rng.gen_range(0..n_days));
+            synthesize_tweet(date, metro, pois, topics, config, &mut rng)
+        })
+        .collect();
+    tweets.sort_by_key(|t| t.date);
+    for (i, t) in tweets.iter_mut().enumerate() {
+        t.id = i as u64;
+    }
+
+    let mut gazetteer: Vec<(String, EntityCategory)> =
+        pois.iter().map(|p| (p.name.clone(), p.category)).collect();
+    for t in topics {
+        let entry = (t.name.clone(), EntityCategory::Other);
+        if !gazetteer.contains(&entry) {
+            gazetteer.push(entry);
+        }
+    }
+
+    Dataset {
+        name: name.to_string(),
+        bbox: metro.bbox,
+        timeline: (config.start, config.end),
+        tweets,
+        gazetteer,
+    }
+}
+
+fn synthesize_tweet(
+    date: SimDate,
+    metro: &MetroArea,
+    pois: &[Poi],
+    topics: &[Topic],
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+) -> Tweet {
+    // Mentions to render: (surface, canonical id, distorted?).
+    let mut mentions: Vec<(String, String, bool)> = Vec::new();
+    let location: Point;
+
+    if rng.gen::<f64>() < config.p_noise {
+        // Noise tweet: anywhere, no entities.
+        location = metro.sample_location(rng);
+    } else if !topics.is_empty() && rng.gen::<f64>() < config.p_topic {
+        // Topic tweet.
+        let topic = pick_topic(topics, date, rng);
+        let anchored = !topic.anchors.is_empty() && rng.gen::<f64>() < topic.locality;
+        if anchored {
+            let anchor = pick_anchor(topic, rng);
+            let poi = &pois[anchor];
+            location = sample_near_poi(poi, metro, rng);
+            push_topic_mention(topic, config, rng, &mut mentions);
+            if rng.gen::<f64>() < topic.co_mention {
+                push_poi_mention(poi, config, rng, &mut mentions);
+            }
+        } else {
+            location = metro.sample_location(rng);
+            push_topic_mention(topic, config, rng, &mut mentions);
+        }
+        // People tweet about a topic from somewhere — and often name that
+        // somewhere too. The draw is guarded so the default (0) leaves the
+        // RNG stream untouched and corpora stay bit-identical.
+        if config.p_topic_local_poi > 0.0 && rng.gen::<f64>() < config.p_topic_local_poi {
+            let local = nearest_poi_weighted(pois, &location, rng);
+            if mentions.iter().all(|(_, id, _)| *id != local.id()) {
+                push_poi_mention(local, config, rng, &mut mentions);
+            }
+        }
+    } else {
+        // Plain tweet.
+        location = metro.sample_location(rng);
+        if rng.gen::<f64>() < config.p_geo_mention {
+            let poi = if rng.gen::<f64>() < config.p_remote {
+                // Remote reference: any POI, regardless of where we are.
+                &pois[rng.gen_range(0..pois.len())]
+            } else {
+                nearest_poi_weighted(pois, &location, rng)
+            };
+            push_poi_mention(poi, config, rng, &mut mentions);
+            if rng.gen::<f64>() < config.p_second_poi {
+                let second = nearest_poi_weighted(pois, &location, rng);
+                if second.name != poi.name {
+                    push_poi_mention(second, config, rng, &mut mentions);
+                }
+            }
+        } else if !topics.is_empty() && rng.gen::<f64>() < 0.8 {
+            // No geo mention, but real tweets rarely mention *nothing* (the
+            // paper finds only ~5.5% entity-free tweets): drop a topic name
+            // without any spatial anchoring.
+            let topic = pick_topic(topics, date, rng);
+            push_topic_mention(topic, config, rng, &mut mentions);
+        }
+    }
+
+    // Neighbourhood name-drop: tweets with entities often also mention the
+    // coarse Geolocation entity they sit in ("… in Brooklyn"), which is what
+    // the paper's location-entity percentages measure.
+    if !mentions.is_empty() && rng.gen::<f64>() < config.p_hood {
+        if let Some(hood) = nearest_coarse(pois, &location) {
+            if mentions.iter().all(|(_, id, _)| *id != hood.id()) {
+                push_poi_mention(hood, config, rng, &mut mentions);
+            }
+        }
+    }
+
+    let gold_entities: Vec<String> = {
+        let mut ids: Vec<String> = mentions.iter().map(|(_, id, _)| id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    };
+    let text = render_text(&mentions, rng);
+    Tweet { id: 0, text, location, date, gold_entities }
+}
+
+fn pick_topic<'a>(topics: &'a [Topic], date: SimDate, rng: &mut StdRng) -> &'a Topic {
+    let volumes: Vec<f64> = topics.iter().map(|t| t.volume_on(date)).collect();
+    let total: f64 = volumes.iter().sum();
+    if total <= 0.0 {
+        return &topics[rng.gen_range(0..topics.len())];
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (t, &v) in topics.iter().zip(&volumes) {
+        if u <= v {
+            return t;
+        }
+        u -= v;
+    }
+    topics.last().expect("non-empty")
+}
+
+fn pick_anchor(topic: &Topic, rng: &mut StdRng) -> usize {
+    let total: f64 = topic.anchors.iter().map(|&(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for &(idx, w) in &topic.anchors {
+        if u <= w {
+            return idx;
+        }
+        u -= w;
+    }
+    topic.anchors.last().expect("non-empty").0
+}
+
+/// Picks a POI near `location`: softmax over footprint-scaled distances of
+/// the 5 closest candidates, so fine POIs right next door beat coarse
+/// neighbourhoods unless nothing fine is close.
+fn nearest_poi_weighted<'a>(pois: &'a [Poi], location: &Point, rng: &mut StdRng) -> &'a Poi {
+    let mut scored: Vec<(usize, f64)> = pois
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let dlat = p.location.lat - location.lat;
+            let dlon = p.location.lon - location.lon;
+            let d2 = dlat * dlat + dlon * dlon;
+            // Normalize by footprint: inside your neighbourhood counts as
+            // close even when its centre is far.
+            (i, d2 / (p.sigma_deg * p.sigma_deg))
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scored.truncate(5);
+    let weights: Vec<f64> = scored.iter().map(|&(_, s)| (-s / 2.0).exp().max(1e-12)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (&(idx, _), &w) in scored.iter().zip(&weights) {
+        if u <= w {
+            return &pois[idx];
+        }
+        u -= w;
+    }
+    &pois[scored[0].0]
+}
+
+/// The coarse POI whose footprint-scaled distance to `location` is
+/// smallest (`None` when the gazetteer has no coarse entities).
+fn nearest_coarse<'a>(pois: &'a [Poi], location: &Point) -> Option<&'a Poi> {
+    pois.iter()
+        .filter(|p| p.granularity == Granularity::Coarse)
+        .min_by(|a, b| {
+            let score = |p: &Poi| {
+                let dlat = p.location.lat - location.lat;
+                let dlon = p.location.lon - location.lon;
+                (dlat * dlat + dlon * dlon) / (p.sigma_deg * p.sigma_deg)
+            };
+            score(a).total_cmp(&score(b))
+        })
+}
+
+fn push_topic_mention(
+    topic: &Topic,
+    _config: &GeneratorConfig,
+    _rng: &mut StdRng,
+    mentions: &mut Vec<(String, String, bool)>,
+) {
+    // Topic surfaces (hashtags/handles/phrases) are never distorted: they are
+    // canonical strings people copy, and hashtag recognition is trivially
+    // reliable for the NER.
+    let id = edge_text::canonical_id(&topic.name);
+    mentions.push((topic.surface(), id, false));
+    let _ = topic.style == TopicStyle::Phrase;
+}
+
+fn push_poi_mention(
+    poi: &Poi,
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+    mentions: &mut Vec<(String, String, bool)>,
+) {
+    let id = poi.id();
+    let distorted = rng.gen::<f64>() < config.p_distort;
+    let surface = if distorted {
+        distort(&poi.name, rng)
+    } else if rng.gen::<f64>() < 0.30 && poi.granularity == Granularity::Fine {
+        // Casual lowercase mention — still caught by the gazetteer pass.
+        poi.name.to_lowercase()
+    } else {
+        poi.name.clone()
+    };
+    mentions.push((surface, id, distorted));
+}
+
+/// Distorts a surface form beyond gazetteer recovery: lowercases and strips
+/// the vowels of the final word ("Majestic Theatre" → "majestic thtr").
+fn distort(name: &str, rng: &mut StdRng) -> String {
+    let mut words: Vec<String> = name.split_whitespace().map(str::to_lowercase).collect();
+    if let Some(last) = words.last_mut() {
+        let squeezed: String = last
+            .chars()
+            .enumerate()
+            .filter(|&(i, c)| i == 0 || !"aeiou".contains(c))
+            .map(|(_, c)| c)
+            .collect();
+        *last = if squeezed.len() >= 2 { squeezed } else { format!("{last}{}", rng.gen_range(0..10)) };
+    }
+    words.join(" ")
+}
+
+fn render_text(mentions: &[(String, String, bool)], rng: &mut StdRng) -> String {
+    let n_filler = rng.gen_range(3..=8);
+    let mut words: Vec<String> = (0..n_filler).map(|_| pick(FILLER, rng).to_string()).collect();
+    for (surface, _, _) in mentions {
+        let pos = rng.gen_range(0..=words.len());
+        words.insert(pos, surface.clone());
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poi::generate_pois;
+
+    fn setup() -> (MetroArea, Vec<Poi>, Vec<Topic>) {
+        let metro = MetroArea::new_york_like();
+        let pois = generate_pois(&metro, 60, 12, 5);
+        let topics = vec![
+            Topic::steady("covid19", TopicStyle::Hashtag, vec![(0, 1.0), (1, 0.5)], 0.8, 0.6, 2.0),
+            Topic::steady("quarantine", TopicStyle::Phrase, vec![(2, 1.0)], 0.5, 0.4, 1.5),
+            Topic::steady("phantomopera", TopicStyle::Handle, vec![(3, 1.0)], 0.9, 0.7, 1.0),
+        ];
+        (metro, pois, topics)
+    }
+
+    fn small_dataset() -> Dataset {
+        let (metro, pois, topics) = setup();
+        generate("TEST", &metro, &pois, &topics, &GeneratorConfig { n_tweets: 2000, ..Default::default() })
+    }
+
+    #[test]
+    fn dataset_shape_and_order() {
+        let d = small_dataset();
+        assert_eq!(d.len(), 2000);
+        assert!(d.tweets.windows(2).all(|w| w[0].date <= w[1].date), "not chronological");
+        assert!(d.tweets.iter().enumerate().all(|(i, t)| t.id == i as u64));
+        for t in &d.tweets {
+            assert!(d.bbox.contains(&t.location), "tweet outside bbox");
+            assert!(t.date >= d.timeline.0 && t.date < d.timeline.1);
+            assert!(!t.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (metro, pois, topics) = setup();
+        let c = GeneratorConfig { n_tweets: 300, ..Default::default() };
+        let a = generate("A", &metro, &pois, &topics, &c);
+        let b = generate("B", &metro, &pois, &topics, &c);
+        assert_eq!(a.tweets, b.tweets);
+    }
+
+    #[test]
+    fn noise_fraction_matches_config() {
+        let d = small_dataset();
+        let no_entity = d.tweets.iter().filter(|t| t.gold_entities.is_empty()).count() as f64
+            / d.len() as f64;
+        // p_noise 0.055 plus plain tweets that rolled no geo mention.
+        assert!(no_entity > 0.03, "no-entity fraction {no_entity}");
+        assert!(no_entity < 0.45, "no-entity fraction {no_entity}");
+    }
+
+    #[test]
+    fn topic_tweets_cluster_near_anchors() {
+        let (metro, pois, topics) = setup();
+        let d = generate(
+            "T",
+            &metro,
+            &pois,
+            &topics,
+            &GeneratorConfig { n_tweets: 4000, ..Default::default() },
+        );
+        // Tweets mentioning the heavily anchored handle should sit near its
+        // anchor POI far more often than chance.
+        let anchor_loc = pois[3].location;
+        let mentioning: Vec<&Tweet> = d
+            .tweets
+            .iter()
+            .filter(|t| t.gold_entities.iter().any(|e| e == "phantomopera"))
+            .collect();
+        assert!(mentioning.len() > 50, "too few topic tweets: {}", mentioning.len());
+        let near = mentioning
+            .iter()
+            .filter(|t| t.location.haversine_km(&anchor_loc) < 3.0)
+            .count() as f64
+            / mentioning.len() as f64;
+        assert!(near > 0.6, "only {near} of topic tweets near anchor");
+    }
+
+    #[test]
+    fn cooccurrence_bridge_exists() {
+        // Topic tweets co-mention their anchors — the Observation-2 signal.
+        let (metro, pois, topics) = setup();
+        let d = generate(
+            "T",
+            &metro,
+            &pois,
+            &topics,
+            &GeneratorConfig { n_tweets: 4000, ..Default::default() },
+        );
+        let anchor_id = pois[3].id();
+        let both = d
+            .tweets
+            .iter()
+            .filter(|t| {
+                t.gold_entities.iter().any(|e| e == "phantomopera")
+                    && t.gold_entities.contains(&anchor_id)
+            })
+            .count();
+        assert!(both > 30, "only {both} co-mentions");
+    }
+
+    #[test]
+    fn gazetteer_covers_pois_and_topics() {
+        let d = small_dataset();
+        let names: Vec<&str> = d.gazetteer.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"covid19"));
+        assert!(names.contains(&"quarantine"));
+        assert!(names.len() > 70);
+    }
+
+    #[test]
+    fn distortion_produces_ner_misses() {
+        let (metro, pois, topics) = setup();
+        let d = generate(
+            "T",
+            &metro,
+            &pois,
+            &topics,
+            &GeneratorConfig { n_tweets: 3000, p_distort: 0.3, ..Default::default() },
+        );
+        let ner = edge_text::EntityRecognizer::with_gazetteer(
+            d.gazetteer.iter().map(|(n, c)| (n.as_str(), *c)),
+        );
+        let mut total = 0.0;
+        let mut n = 0;
+        for t in d.tweets.iter().filter(|t| !t.gold_entities.is_empty()).take(500) {
+            total += ner.recognition_rate(&t.text, &t.gold_entities);
+            n += 1;
+        }
+        let rate = total / n as f64;
+        assert!(rate < 0.99, "distortion should cause misses, rate {rate}");
+        assert!(rate > 0.70, "rate collapsed: {rate}");
+    }
+
+    #[test]
+    fn default_distortion_hits_papers_recognition_band() {
+        let d = small_dataset();
+        let ner = edge_text::EntityRecognizer::with_gazetteer(
+            d.gazetteer.iter().map(|(n, c)| (n.as_str(), *c)),
+        );
+        let with_entities: Vec<&Tweet> =
+            d.tweets.iter().filter(|t| !t.gold_entities.is_empty()).collect();
+        let rate: f64 = with_entities
+            .iter()
+            .map(|t| ner.recognition_rate(&t.text, &t.gold_entities))
+            .sum::<f64>()
+            / with_entities.len() as f64;
+        assert!((0.85..=0.99).contains(&rate), "recognition rate {rate} outside paper band");
+    }
+
+    #[test]
+    fn distort_examples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = distort("Majestic Theatre", &mut rng);
+        assert_eq!(d, "majestic thtr");
+        // Single short word falls back to a digit suffix rather than vanish.
+        let d2 = distort("Ao", &mut rng);
+        assert!(d2.starts_with("ao"));
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor")]
+    fn bad_anchor_index_panics() {
+        let (metro, pois, _) = setup();
+        let bad = vec![Topic::steady("x", TopicStyle::Phrase, vec![(9999, 1.0)], 0.5, 0.5, 1.0)];
+        let _ = generate("X", &metro, &pois, &bad, &GeneratorConfig::default());
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic metro-area tweet corpora — the stand-in for the paper's
+//! proprietary Twitter crawls (DESIGN.md §1).
+//!
+//! The generator reproduces the statistical structures EDGE's mechanisms
+//! depend on: entity co-occurrence correlated with space (Observation 2),
+//! multi-modal posting distributions (Observation 1), fine- vs
+//! coarse-grained geo entities, NER-imperfect surface forms, and the
+//! time-windowed events behind the paper's use-case figures.
+
+pub mod dataset;
+pub mod date;
+pub mod generator;
+pub mod metro;
+pub mod names;
+pub mod poi;
+pub mod presets;
+pub mod stats;
+pub mod topics;
+
+pub use dataset::{Dataset, Tweet, COVID_KEYWORDS};
+pub use date::SimDate;
+pub use generator::{generate, GeneratorConfig};
+pub use metro::{MetroArea, PopulationCenter};
+pub use poi::{generate_pois, Granularity, Poi};
+pub use presets::{covid19, lama, ny2020, nyma, PresetSize};
+pub use stats::{audit_entities, audit_entities_offset, dataset_recognizer, table_two_row, EntityAudit, TableTwoRow};
+pub use topics::{Topic, TopicStyle};

@@ -1,0 +1,158 @@
+//! Metro-area specifications: study region plus a population-density model.
+//!
+//! Tweets in a real metro area are not uniform — they cluster in boroughs
+//! and commercial centres. Each synthetic metro area carries a mixture of
+//! isotropic Gaussians ("population centres") from which base tweet
+//! locations are drawn, truncated to the study bounding box.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use edge_geo::{BBox, BivariateGaussian, Point};
+
+/// One population centre: a Gaussian blob of tweet activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationCenter {
+    /// Centre of the blob.
+    pub center: Point,
+    /// Spatial standard deviation in degrees (~0.01° ≈ 1.1 km).
+    pub sigma_deg: f64,
+    /// Relative share of tweet volume.
+    pub weight: f64,
+}
+
+/// A synthetic metropolitan area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetroArea {
+    /// Human-readable name.
+    pub name: String,
+    /// Study region.
+    pub bbox: BBox,
+    /// Population-density mixture (weights need not be normalized).
+    pub centers: Vec<PopulationCenter>,
+}
+
+impl MetroArea {
+    /// A New-York-like metro: a compact, dense core with several boroughs.
+    /// Coordinates match the real NYMA so distance metrics are on the
+    /// paper's scale.
+    pub fn new_york_like() -> Self {
+        Self {
+            name: "New York Metropolitan Area".to_string(),
+            bbox: BBox::new(40.49, 40.92, -74.27, -73.68),
+            centers: vec![
+                PopulationCenter { center: Point::new(40.758, -73.985), sigma_deg: 0.030, weight: 0.32 }, // Manhattan core
+                PopulationCenter { center: Point::new(40.650, -73.950), sigma_deg: 0.045, weight: 0.24 }, // Brooklyn
+                PopulationCenter { center: Point::new(40.730, -73.800), sigma_deg: 0.050, weight: 0.18 }, // Queens
+                PopulationCenter { center: Point::new(40.850, -73.880), sigma_deg: 0.040, weight: 0.14 }, // Bronx
+                PopulationCenter { center: Point::new(40.580, -74.150), sigma_deg: 0.055, weight: 0.12 }, // Staten Island / NJ
+            ],
+        }
+    }
+
+    /// A Los-Angeles-like metro: sprawling, polycentric, larger spreads —
+    /// which is why LAMA errors in Table III are roughly double NYMA's.
+    pub fn los_angeles_like() -> Self {
+        Self {
+            name: "Los Angeles Metropolitan Area".to_string(),
+            bbox: BBox::new(33.70, 34.34, -118.67, -117.95),
+            centers: vec![
+                PopulationCenter { center: Point::new(34.045, -118.250), sigma_deg: 0.050, weight: 0.26 }, // Downtown
+                PopulationCenter { center: Point::new(34.020, -118.480), sigma_deg: 0.045, weight: 0.18 }, // Westside
+                PopulationCenter { center: Point::new(33.770, -118.190), sigma_deg: 0.055, weight: 0.18 }, // Long Beach
+                PopulationCenter { center: Point::new(34.150, -118.140), sigma_deg: 0.050, weight: 0.14 }, // Pasadena
+                PopulationCenter { center: Point::new(33.990, -118.280), sigma_deg: 0.050, weight: 0.14 }, // South LA
+                PopulationCenter { center: Point::new(34.180, -118.450), sigma_deg: 0.060, weight: 0.10 }, // Valley
+            ],
+        }
+    }
+
+    /// The characteristic size of the region in km (diagonal scale), used
+    /// to calibrate adaptive KDE bandwidths.
+    pub fn scale_km(&self) -> f64 {
+        let (ew, ns) = self.bbox.dims_km();
+        (ew * ew + ns * ns).sqrt() / 2.0
+    }
+
+    /// Draws one location from the population-density mixture, truncated to
+    /// the bounding box (rejection with a clamp fallback).
+    pub fn sample_location<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        assert!(!self.centers.is_empty(), "metro area needs population centres");
+        let total: f64 = self.centers.iter().map(|c| c.weight).sum();
+        let mut u = rng.gen::<f64>() * total;
+        let mut chosen = &self.centers[self.centers.len() - 1];
+        for c in &self.centers {
+            if u <= c.weight {
+                chosen = c;
+                break;
+            }
+            u -= c.weight;
+        }
+        let g = BivariateGaussian::isotropic(chosen.center, chosen.sigma_deg);
+        for _ in 0..16 {
+            let p = g.sample(rng);
+            if self.bbox.contains(&p) {
+                return p;
+            }
+        }
+        self.bbox.clamp(&g.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for metro in [MetroArea::new_york_like(), MetroArea::los_angeles_like()] {
+            assert!(!metro.centers.is_empty());
+            for c in &metro.centers {
+                assert!(metro.bbox.contains(&c.center), "{} centre outside bbox", metro.name);
+                assert!(c.sigma_deg > 0.0 && c.weight > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn la_is_larger_than_ny() {
+        assert!(
+            MetroArea::los_angeles_like().scale_km() > MetroArea::new_york_like().scale_km()
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_bbox() {
+        let metro = MetroArea::new_york_like();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..2000 {
+            assert!(metro.bbox.contains(&metro.sample_location(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn samples_cluster_near_centres() {
+        let metro = MetroArea::new_york_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        let near_any_centre = (0..2000)
+            .map(|_| metro.sample_location(&mut rng))
+            .filter(|p| {
+                metro
+                    .centers
+                    .iter()
+                    .any(|c| p.haversine_km(&c.center) < c.sigma_deg * 3.0 * 111.0)
+            })
+            .count();
+        assert!(near_any_centre > 1800, "only {near_any_centre}/2000 near centres");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let metro = MetroArea::new_york_like();
+        let a = metro.sample_location(&mut StdRng::seed_from_u64(9));
+        let b = metro.sample_location(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Synthetic naming: POI names, neighbourhood names, topic handles and the
+//! filler vocabulary tweets are rendered with.
+
+use rand::Rng;
+
+/// Adjective-like first components of POI names.
+pub const POI_FIRST: &[&str] = &[
+    "Majestic", "Imperial", "Liberty", "Union", "Grand", "Riverside", "Sunset", "Harbor",
+    "Crescent", "Golden", "Silver", "Summit", "Meridian", "Pioneer", "Cobalt", "Willow",
+    "Magnolia", "Granite", "Beacon", "Cedar", "Falcon", "Horizon", "Juniper", "Keystone",
+    "Lakeside", "Monarch", "Northgate", "Orchard", "Paramount", "Quarry", "Redwood", "Sterling",
+    "Tidewater", "Uptown", "Vanguard", "Westbrook", "Yellowstone", "Zephyr", "Atlas", "Bluebird",
+];
+
+/// Facility-type second components of POI names (with their coarse class).
+pub const POI_KIND: &[&str] = &[
+    "Theatre", "Hospital", "Park", "Market", "Stadium", "Square", "Street", "Bridge", "Cafe",
+    "Museum", "Plaza", "Station", "Gallery", "Arena", "Library", "Pier", "Garden", "Tower",
+    "Hall", "Avenue",
+];
+
+/// Whether a POI kind is a pure location (`Geolocation` category) rather
+/// than a venue (`Facility`).
+pub fn kind_is_location(kind: &str) -> bool {
+    matches!(kind, "Park" | "Square" | "Street" | "Bridge" | "Plaza" | "Pier" | "Avenue" | "Garden")
+}
+
+/// First components of coarse neighbourhood names.
+pub const HOOD_FIRST: &[&str] =
+    &["North", "South", "East", "West", "Old", "New", "Upper", "Lower", "Mid", "Fort"];
+
+/// Second components of coarse neighbourhood names.
+pub const HOOD_SECOND: &[&str] = &[
+    "Haven", "Ridge", "Field", "Crossing", "Heights", "Village", "Shore", "Hollow", "Commons",
+    "Landing", "Point", "Glen", "Borough", "Flats", "Gate", "Row",
+];
+
+/// Filler words used to pad tweet text around entity mentions. Chosen to
+/// overlap heavily with the stop-word list so bag-of-words baselines get the
+/// realistic amount of lexical noise.
+pub const FILLER: &[&str] = &[
+    "just", "really", "love", "this", "place", "today", "great", "time", "with", "friends",
+    "amazing", "vibes", "best", "day", "ever", "cant", "wait", "back", "again", "soon",
+    "beautiful", "morning", "night", "weekend", "finally", "here", "good", "everyone", "thanks",
+    "happy", "feeling", "blessed", "life", "city", "walk", "coffee", "dinner", "show", "music",
+];
+
+/// Draws a random element of a non-empty slice.
+pub fn pick<'a, R: Rng + ?Sized>(items: &'a [&'a str], rng: &mut R) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn name_parts_are_nonempty_and_unique() {
+        for list in [POI_FIRST, POI_KIND, HOOD_FIRST, HOOD_SECOND, FILLER] {
+            assert!(!list.is_empty());
+            let set: std::collections::HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len(), "duplicates in name list");
+        }
+    }
+
+    #[test]
+    fn poi_name_space_is_large_enough() {
+        // Enough combinations for the default gazetteer sizes without
+        // collisions being common.
+        assert!(POI_FIRST.len() * POI_KIND.len() >= 500);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(kind_is_location("Street"));
+        assert!(kind_is_location("Park"));
+        assert!(!kind_is_location("Theatre"));
+        assert!(!kind_is_location("Hospital"));
+    }
+
+    #[test]
+    fn pick_is_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(pick(POI_KIND, &mut rng));
+        }
+        assert!(seen.len() > POI_KIND.len() / 2);
+    }
+
+    #[test]
+    fn filler_is_lowercase() {
+        assert!(FILLER.iter().all(|w| w.chars().all(|c| c.is_lowercase() || !c.is_alphabetic())));
+    }
+}

@@ -1,0 +1,190 @@
+//! Geo-indicative entity generation: fine-grained POIs (theatres,
+//! hospitals, streets) and coarse-grained neighbourhoods.
+//!
+//! The paper distinguishes "fine-grained geo-indicative entities" (William
+//! Street) from "coarse-grained" ones (Brooklyn); the attention mechanism is
+//! designed to prefer the former. The synthetic gazetteer reproduces both
+//! granularities with ground-truth spatial footprints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use edge_geo::Point;
+use edge_text::EntityCategory;
+
+use crate::metro::MetroArea;
+use crate::names::{kind_is_location, pick, HOOD_FIRST, HOOD_SECOND, POI_FIRST, POI_KIND};
+
+/// The spatial granularity of a geo entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// A point-like venue or street: σ well under a kilometre.
+    Fine,
+    /// A neighbourhood or borough: σ of several kilometres.
+    Coarse,
+}
+
+/// One geo-indicative entity with its ground-truth spatial footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Display name, e.g. "Majestic Theatre".
+    pub name: String,
+    /// NER category.
+    pub category: EntityCategory,
+    /// Footprint centre.
+    pub location: Point,
+    /// Footprint standard deviation in degrees.
+    pub sigma_deg: f64,
+    /// Granularity class.
+    pub granularity: Granularity,
+}
+
+impl Poi {
+    /// Canonical entity id (`majestic_theatre`).
+    pub fn id(&self) -> String {
+        edge_text::canonical_id(&self.name)
+    }
+}
+
+/// Generates a gazetteer of `n_fine` fine POIs and `n_coarse` coarse
+/// neighbourhoods over `metro`, deterministically from `seed`. Names are
+/// unique within the returned list.
+pub fn generate_pois(metro: &MetroArea, n_fine: usize, n_coarse: usize, seed: u64) -> Vec<Poi> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut used = std::collections::HashSet::new();
+    let mut pois = Vec::with_capacity(n_fine + n_coarse);
+
+    while pois.len() < n_fine {
+        let first = pick(POI_FIRST, &mut rng);
+        let kind = pick(POI_KIND, &mut rng);
+        let name = format!("{first} {kind}");
+        if !used.insert(name.clone()) {
+            continue;
+        }
+        let category = if kind_is_location(kind) {
+            EntityCategory::Geolocation
+        } else {
+            EntityCategory::Facility
+        };
+        pois.push(Poi {
+            name,
+            category,
+            location: metro.sample_location(&mut rng),
+            // Fine footprint: 150 m – 700 m.
+            sigma_deg: rng.gen_range(0.0015..0.0065),
+            granularity: Granularity::Fine,
+        });
+    }
+
+    let mut hood_attempts = 0;
+    while pois.len() < n_fine + n_coarse {
+        hood_attempts += 1;
+        assert!(hood_attempts < 10_000, "neighbourhood name space exhausted");
+        let name = format!("{} {}", pick(HOOD_FIRST, &mut rng), pick(HOOD_SECOND, &mut rng));
+        if !used.insert(name.clone()) {
+            continue;
+        }
+        pois.push(Poi {
+            name,
+            category: EntityCategory::Geolocation,
+            location: metro.sample_location(&mut rng),
+            // Coarse footprint: 2.2 km – 6.7 km.
+            sigma_deg: rng.gen_range(0.02..0.06),
+            granularity: Granularity::Coarse,
+        });
+    }
+    pois
+}
+
+/// Samples a tweet location near a POI (its footprint Gaussian, clamped to
+/// the metro box).
+pub fn sample_near_poi<R: Rng + ?Sized>(poi: &Poi, metro: &MetroArea, rng: &mut R) -> Point {
+    let g = edge_geo::BivariateGaussian::isotropic(poi.location, poi.sigma_deg);
+    for _ in 0..16 {
+        let p = g.sample(rng);
+        if metro.bbox.contains(&p) {
+            return p;
+        }
+    }
+    metro.bbox.clamp(&g.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pois() -> Vec<Poi> {
+        generate_pois(&MetroArea::new_york_like(), 120, 25, 7)
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let p = pois();
+        assert_eq!(p.len(), 145);
+        assert_eq!(p.iter().filter(|x| x.granularity == Granularity::Fine).count(), 120);
+        assert_eq!(p.iter().filter(|x| x.granularity == Granularity::Coarse).count(), 25);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let p = pois();
+        let ids: std::collections::HashSet<String> = p.iter().map(Poi::id).collect();
+        assert_eq!(ids.len(), p.len());
+    }
+
+    #[test]
+    fn fine_pois_are_tighter_than_coarse() {
+        let p = pois();
+        let max_fine = p
+            .iter()
+            .filter(|x| x.granularity == Granularity::Fine)
+            .map(|x| x.sigma_deg)
+            .fold(0.0f64, f64::max);
+        let min_coarse = p
+            .iter()
+            .filter(|x| x.granularity == Granularity::Coarse)
+            .map(|x| x.sigma_deg)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_fine < min_coarse);
+    }
+
+    #[test]
+    fn coarse_pois_are_locations() {
+        for p in pois().iter().filter(|x| x.granularity == Granularity::Coarse) {
+            assert_eq!(p.category, EntityCategory::Geolocation);
+        }
+    }
+
+    #[test]
+    fn locations_inside_metro() {
+        let metro = MetroArea::new_york_like();
+        for p in pois() {
+            assert!(metro.bbox.contains(&p.location), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let metro = MetroArea::new_york_like();
+        assert_eq!(generate_pois(&metro, 30, 5, 1), generate_pois(&metro, 30, 5, 1));
+        assert_ne!(generate_pois(&metro, 30, 5, 1), generate_pois(&metro, 30, 5, 2));
+    }
+
+    #[test]
+    fn sample_near_poi_is_near() {
+        let metro = MetroArea::new_york_like();
+        let p = &pois()[0];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let loc = sample_near_poi(p, &metro, &mut rng);
+            assert!(loc.haversine_km(&p.location) < p.sigma_deg * 111.0 * 6.0);
+        }
+    }
+
+    #[test]
+    fn canonical_ids_are_snake_case() {
+        let p = pois();
+        assert!(p.iter().all(|x| x.id().chars().all(|c| c.is_lowercase() || c == '_')));
+    }
+}

@@ -1,0 +1,482 @@
+//! Dataset presets mirroring the paper's three corpora (plus the unfiltered
+//! NY-2020 crawl the COVID-19 subset and the festival use case draw from).
+//!
+//! | Preset | Paper counterpart | Timeline |
+//! |---|---|---|
+//! | [`nyma`] | 367,259 NYC tweets (2014) | 08/01/2014 – 12/01/2014 |
+//! | [`lama`] | 17,025 LA tweets (2020) | 03/12/2020 – 04/02/2020 |
+//! | [`ny2020`] | the NY 2020 crawl | 03/12/2020 – 04/02/2020 |
+//! | [`covid19`] | keyword-filtered NY 2020 subset | 03/12/2020 – 04/02/2020 |
+//!
+//! Sizes are configurable: the paper's NYMA has 367k tweets, which a CPU
+//! training run does not need — [`PresetSize`] selects between the paper
+//! count, a default experiment scale, and a smoke-test scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use edge_geo::Point;
+use edge_text::EntityCategory;
+
+use crate::dataset::{Dataset, COVID_KEYWORDS};
+use crate::date::SimDate;
+use crate::generator::{generate, GeneratorConfig};
+use crate::metro::MetroArea;
+use crate::poi::{generate_pois, Granularity, Poi};
+use crate::topics::{Topic, TopicStyle};
+
+/// Corpus-size profile for a preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresetSize {
+    /// The paper's tweet counts (NYMA 367,259 / LAMA 17,025 / NY2020 48,000).
+    Paper,
+    /// A CPU-friendly scale preserving all statistical structure
+    /// (NYMA 24,000 / LAMA 17,025 / NY2020 30,000).
+    Default,
+    /// A fast scale for tests (NYMA 4,000 / LAMA 3,000 / NY2020 5,000).
+    Smoke,
+}
+
+/// Generic steady-topic names (hashtags/handles/phrases) shared by all
+/// presets: city-life chatter with venue anchors.
+const GENERIC_TOPICS: &[(&str, TopicStyle)] = &[
+    ("jazznight", TopicStyle::Hashtag),
+    ("foodfest", TopicStyle::Hashtag),
+    ("artwalk", TopicStyle::Hashtag),
+    ("citymarathon", TopicStyle::Hashtag),
+    ("fashionweek", TopicStyle::Hashtag),
+    ("bookfair", TopicStyle::Hashtag),
+    ("winterlights", TopicStyle::Hashtag),
+    ("streetfood", TopicStyle::Hashtag),
+    ("openmic", TopicStyle::Hashtag),
+    ("gallerynight", TopicStyle::Hashtag),
+    ("brunchclub", TopicStyle::Handle),
+    ("nightowls", TopicStyle::Handle),
+    ("localeats", TopicStyle::Handle),
+    ("transitalerts", TopicStyle::Handle),
+    ("parksdept", TopicStyle::Handle),
+    ("indieband", TopicStyle::Handle),
+    ("improvcrew", TopicStyle::Handle),
+    ("rooftop party", TopicStyle::Phrase),
+    ("farmers market", TopicStyle::Phrase),
+    ("poetry slam", TopicStyle::Phrase),
+    ("craft beer", TopicStyle::Phrase),
+    ("salsa night", TopicStyle::Phrase),
+    ("trivia night", TopicStyle::Phrase),
+    ("food truck", TopicStyle::Phrase),
+];
+
+/// Builds the generic steady topics, anchoring each to 1–3 fine POIs.
+fn generic_topics(pois: &[Poi], seed: u64) -> Vec<Topic> {
+    let fine: Vec<usize> = pois
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.granularity == Granularity::Fine)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(fine.len() >= 3, "need at least 3 fine POIs for topic anchors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    GENERIC_TOPICS
+        .iter()
+        .map(|&(name, style)| {
+            let n_anchors = rng.gen_range(1..=3usize);
+            let anchors: Vec<(usize, f64)> = (0..n_anchors)
+                .map(|_| (fine[rng.gen_range(0..fine.len())], rng.gen_range(0.4..1.0)))
+                .collect();
+            Topic::steady(
+                name,
+                style,
+                anchors,
+                rng.gen_range(0.60..0.90),
+                rng.gen_range(0.45..0.75),
+                rng.gen_range(0.5..1.5),
+            )
+        })
+        .collect()
+}
+
+/// Appends a named signature POI and returns its index.
+fn push_signature(pois: &mut Vec<Poi>, name: &str, cat: EntityCategory, loc: Point, sigma: f64, g: Granularity) -> usize {
+    pois.push(Poi { name: name.to_string(), category: cat, location: loc, sigma_deg: sigma, granularity: g });
+    pois.len() - 1
+}
+
+/// NYMA: the 2014 New York crawl. Includes the paper's running-example
+/// structure — a `@phantomopera`-like handle anchored at a Majestic
+/// Theatre / Broadway pair.
+pub fn nyma(size: PresetSize, seed: u64) -> Dataset {
+    let metro = MetroArea::new_york_like();
+    let mut pois = generate_pois(&metro, 220, 40, seed ^ 0x11);
+    let majestic = push_signature(
+        &mut pois,
+        "Majestic Theatre",
+        EntityCategory::Facility,
+        Point::new(40.7571, -73.9885),
+        0.002,
+        Granularity::Fine,
+    );
+    let broadway = push_signature(
+        &mut pois,
+        "Broadway",
+        EntityCategory::Geolocation,
+        Point::new(40.7590, -73.9875),
+        0.012,
+        Granularity::Coarse,
+    );
+    let presbyterian = push_signature(
+        &mut pois,
+        "Presbyterian Hospital",
+        EntityCategory::Facility,
+        Point::new(40.8404, -73.9423),
+        0.003,
+        Granularity::Fine,
+    );
+
+    let mut topics = generic_topics(&pois, seed ^ 0x22);
+    topics.push(Topic::steady(
+        "phantomopera",
+        TopicStyle::Handle,
+        vec![(majestic, 1.0), (broadway, 0.5)],
+        0.88,
+        0.70,
+        1.2,
+    ));
+    topics.push(Topic::steady(
+        "health fair",
+        TopicStyle::Phrase,
+        vec![(presbyterian, 1.0)],
+        0.75,
+        0.60,
+        0.8,
+    ));
+
+    let n_tweets = match size {
+        PresetSize::Paper => 367_259,
+        PresetSize::Default => 24_000,
+        PresetSize::Smoke => 4_000,
+    };
+    generate(
+        "NYMA",
+        &metro,
+        &pois,
+        &topics,
+        &GeneratorConfig {
+            n_tweets,
+            start: SimDate::new(2014, 8, 1),
+            end: SimDate::new(2014, 12, 1),
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+/// The COVID-era topic block shared by the 2020 presets. Anchors pandemic
+/// topics to hospitals/markets; `quarantine` is modelled as two same-name
+/// event topics so its spatial footprint *spreads* between the paper's two
+/// Figure-1 windows (tight around early hotspots before 03/22, metro-wide
+/// after).
+fn covid_topics(pois: &[Poi], hospital_anchors: &[usize], market_anchors: &[usize]) -> Vec<Topic> {
+    assert!(!hospital_anchors.is_empty() && !market_anchors.is_empty());
+    let h = |i: usize| hospital_anchors[i % hospital_anchors.len()];
+    let m = |i: usize| market_anchors[i % market_anchors.len()];
+    let early = (SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 21));
+    let late = (SimDate::new(2020, 3, 22), SimDate::new(2020, 4, 1));
+    let _ = pois;
+    vec![
+        Topic::steady("covid19", TopicStyle::Hashtag, vec![(h(0), 1.0), (h(1), 0.7)], 0.72, 0.62, 2.5),
+        Topic::steady("coronavirus", TopicStyle::Phrase, vec![(h(0), 1.0), (h(2), 0.6)], 0.65, 0.55, 2.0),
+        Topic::steady("pandemic", TopicStyle::Phrase, vec![(h(1), 1.0)], 0.55, 0.50, 1.5),
+        // Quarantine spreads: early = two tight hotspots, late = many anchors.
+        Topic::event(
+            "quarantine",
+            TopicStyle::Phrase,
+            vec![(h(0), 1.0), (m(0), 0.8)],
+            0.85,
+            0.55,
+            2.0,
+            early,
+            0.0,
+        ),
+        Topic::event(
+            "quarantine",
+            TopicStyle::Phrase,
+            vec![(h(0), 0.6), (h(1), 0.8), (h(2), 0.8), (m(0), 0.7), (m(1), 1.0), (m(2), 0.9)],
+            0.55,
+            0.45,
+            2.4,
+            late,
+            0.0,
+        ),
+        Topic::steady("wuhan", TopicStyle::Phrase, vec![(h(2), 1.0)], 0.40, 0.35, 0.6),
+        Topic::steady("masks", TopicStyle::Phrase, vec![(m(0), 1.0), (h(0), 0.5)], 0.60, 0.50, 1.4),
+        Topic::steady("vaccine", TopicStyle::Phrase, vec![(h(1), 1.0)], 0.62, 0.55, 0.9),
+        Topic::steady("stayhome", TopicStyle::Hashtag, vec![(m(1), 1.0)], 0.35, 0.30, 1.2),
+        Topic::steady("toilet paper", TopicStyle::Phrase, vec![(m(0), 1.0), (m(2), 0.8)], 0.70, 0.60, 1.0),
+        Topic::steady("social distance", TopicStyle::Phrase, vec![(m(1), 0.7)], 0.38, 0.32, 1.1),
+    ]
+}
+
+/// Indices of fine POIs whose names contain `needle`.
+fn pois_matching(pois: &[Poi], needle: &str) -> Vec<usize> {
+    pois.iter()
+        .enumerate()
+        .filter(|(_, p)| p.name.contains(needle) && p.granularity == Granularity::Fine)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// LAMA: the 2020 Los Angeles crawl, including the Nipsey-Hussle-anniversary
+/// event of the Figure-8 use case (a burst anchored at a Marathon-Clothing-
+/// like store on 03/31).
+pub fn lama(size: PresetSize, seed: u64) -> Dataset {
+    let metro = MetroArea::los_angeles_like();
+    let mut pois = generate_pois(&metro, 200, 35, seed ^ 0x33);
+    let marathon = push_signature(
+        &mut pois,
+        "Marathon Clothing",
+        EntityCategory::Company,
+        Point::new(33.9890, -118.3310),
+        0.004,
+        Granularity::Fine,
+    );
+
+    let hospitals = pois_matching(&pois, "Hospital");
+    let markets = pois_matching(&pois, "Market");
+    let mut topics = generic_topics(&pois, seed ^ 0x44);
+    topics.extend(covid_topics(&pois, &hospitals, &markets));
+    // Anniversary: heavy burst 03/31–04/02, trickle before.
+    topics.push(Topic::event(
+        "nipseyhussle",
+        TopicStyle::Hashtag,
+        vec![(marathon, 1.0)],
+        0.80,
+        0.55,
+        9.0,
+        (SimDate::new(2020, 3, 31), SimDate::new(2020, 4, 1)),
+        0.015,
+    ));
+
+    let n_tweets = match size {
+        PresetSize::Paper | PresetSize::Default => 17_025,
+        PresetSize::Smoke => 3_000,
+    };
+    generate(
+        "LAMA",
+        &metro,
+        &pois,
+        &topics,
+        &GeneratorConfig {
+            n_tweets,
+            start: SimDate::new(2020, 3, 12),
+            end: SimDate::new(2020, 4, 2),
+            seed: seed ^ 0x55,
+            ..Default::default()
+        },
+    )
+}
+
+/// The full NY 2020 crawl: COVID topics plus the New-Colossus-Festival
+/// structure of the Figure-9 use case (seven clustered Lower-East-Side-like
+/// venues, event window 03/12 – 03/15, scattered reminiscing afterwards).
+pub fn ny2020(size: PresetSize, seed: u64) -> Dataset {
+    let metro = MetroArea::new_york_like();
+    let mut pois = generate_pois(&metro, 220, 40, seed ^ 0x66);
+    // Seven festival venues clustered in a Lower-East-Side-like patch.
+    let venue_names = [
+        "Arlenes Grocery",
+        "Berlin Hall",
+        "Bowery Electric",
+        "Lola Stage",
+        "The Delancey",
+        "Moscot House",
+        "Pianos Bar",
+    ];
+    let venue_center = Point::new(40.7205, -73.9879);
+    let mut venue_rng = StdRng::seed_from_u64(seed ^ 0x77);
+    let venues: Vec<usize> = venue_names
+        .iter()
+        .map(|name| {
+            let loc = Point::new(
+                venue_center.lat + venue_rng.gen_range(-0.004..0.004),
+                venue_center.lon + venue_rng.gen_range(-0.004..0.004),
+            );
+            push_signature(&mut pois, name, EntityCategory::Facility, loc, 0.0015, Granularity::Fine)
+        })
+        .collect();
+
+    let hospitals = pois_matching(&pois, "Hospital");
+    let markets = pois_matching(&pois, "Market");
+    let mut topics = generic_topics(&pois, seed ^ 0x88);
+    topics.extend(covid_topics(&pois, &hospitals, &markets));
+    // During the festival: tight multi-venue anchoring.
+    topics.push(Topic::event(
+        "new colossus festival",
+        TopicStyle::Phrase,
+        venues.iter().map(|&v| (v, 1.0)).collect(),
+        0.90,
+        0.65,
+        2.5,
+        (SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 15)),
+        0.0,
+    ));
+    // After: reminiscing from wherever people live.
+    topics.push(Topic::event(
+        "new colossus festival",
+        TopicStyle::Phrase,
+        venues.iter().map(|&v| (v, 1.0)).collect(),
+        0.25,
+        0.30,
+        0.5,
+        (SimDate::new(2020, 3, 16), SimDate::new(2020, 4, 1)),
+        0.0,
+    ));
+
+    let n_tweets = match size {
+        PresetSize::Paper => 48_000,
+        PresetSize::Default => 30_000,
+        PresetSize::Smoke => 5_000,
+    };
+    generate(
+        "NY2020",
+        &metro,
+        &pois,
+        &topics,
+        &GeneratorConfig {
+            n_tweets,
+            start: SimDate::new(2020, 3, 12),
+            end: SimDate::new(2020, 4, 2),
+            seed: seed ^ 0x99,
+            ..Default::default()
+        },
+    )
+}
+
+/// The COVID-19 dataset: the keyword-filtered NY 2020 subset, exactly as
+/// the paper constructs it.
+pub fn covid19(size: PresetSize, seed: u64) -> Dataset {
+    ny2020(size, seed).keyword_subset("COVID-19", COVID_KEYWORDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nyma_smoke_shape() {
+        let d = nyma(PresetSize::Smoke, 1);
+        assert_eq!(d.name, "NYMA");
+        assert_eq!(d.len(), 4000);
+        assert_eq!(d.timeline.0, SimDate::new(2014, 8, 1));
+        assert!(d.gazetteer.iter().any(|(n, _)| n == "Majestic Theatre"));
+        assert!(d.gazetteer.iter().any(|(n, _)| n == "phantomopera"));
+    }
+
+    #[test]
+    fn lama_smoke_shape() {
+        let d = lama(PresetSize::Smoke, 1);
+        assert_eq!(d.len(), 3000);
+        assert!(d.gazetteer.iter().any(|(n, _)| n == "Marathon Clothing"));
+        assert!(d.bbox.min_lon < -118.0, "LA longitude range");
+    }
+
+    #[test]
+    fn covid_subset_only_keyword_tweets() {
+        let d = covid19(PresetSize::Smoke, 2);
+        assert!(!d.is_empty());
+        for t in &d.tweets {
+            let lower = t.text.to_lowercase();
+            assert!(
+                COVID_KEYWORDS.iter().any(|k| lower.contains(k)),
+                "non-covid tweet in subset: {}",
+                t.text
+            );
+        }
+        // A meaningful share of the crawl matches, as in the paper.
+        let full = ny2020(PresetSize::Smoke, 2);
+        let share = d.len() as f64 / full.len() as f64;
+        assert!((0.05..0.6).contains(&share), "covid share {share}");
+    }
+
+    #[test]
+    fn quarantine_footprint_spreads_between_fig1_windows() {
+        let d = ny2020(PresetSize::Smoke, 3);
+        let quarantine: Vec<&crate::dataset::Tweet> = d
+            .tweets
+            .iter()
+            .filter(|t| t.gold_entities.iter().any(|e| e == "quarantine"))
+            .collect();
+        let early: Vec<_> = quarantine
+            .iter()
+            .filter(|t| t.date < SimDate::new(2020, 3, 22))
+            .collect();
+        let late: Vec<_> = quarantine
+            .iter()
+            .filter(|t| t.date >= SimDate::new(2020, 3, 22))
+            .collect();
+        assert!(early.len() > 20 && late.len() > 20, "{} / {}", early.len(), late.len());
+        // Spatial dispersion (mean distance to centroid) grows.
+        let dispersion = |ts: &[&&crate::dataset::Tweet]| {
+            let pts: Vec<Point> = ts.iter().map(|t| t.location).collect();
+            let c = edge_geo::point::centroid(&pts).unwrap();
+            pts.iter().map(|p| p.haversine_km(&c)).sum::<f64>() / pts.len() as f64
+        };
+        let d_early = dispersion(&early);
+        let d_late = dispersion(&late);
+        assert!(d_late > d_early * 1.2, "early {d_early:.2} km vs late {d_late:.2} km");
+    }
+
+    #[test]
+    fn nipsey_burst_is_on_the_anniversary() {
+        let d = lama(PresetSize::Smoke, 4);
+        let nipsey: Vec<_> = d
+            .tweets
+            .iter()
+            .filter(|t| t.gold_entities.iter().any(|e| e == "nipseyhussle"))
+            .collect();
+        assert!(nipsey.len() > 10);
+        let on_day: Vec<_> =
+            nipsey.iter().filter(|t| t.date >= SimDate::new(2020, 3, 31)).collect();
+        // 2 of 21 days hold the majority of mentions.
+        assert!(
+            on_day.len() * 2 > nipsey.len(),
+            "{} of {} on anniversary",
+            on_day.len(),
+            nipsey.len()
+        );
+    }
+
+    #[test]
+    fn festival_tweets_cluster_during_event_only() {
+        let d = ny2020(PresetSize::Smoke, 5);
+        let fest: Vec<_> = d
+            .tweets
+            .iter()
+            .filter(|t| t.gold_entities.iter().any(|e| e == "new_colossus_festival"))
+            .collect();
+        let during: Vec<_> =
+            fest.iter().filter(|t| t.date <= SimDate::new(2020, 3, 15)).collect();
+        assert!(during.len() > 10, "during {}", during.len());
+        let venue_center = Point::new(40.7205, -73.9879);
+        let near = during
+            .iter()
+            .filter(|t| t.location.haversine_km(&venue_center) < 2.5)
+            .count() as f64
+            / during.len() as f64;
+        assert!(near > 0.6, "only {near} near venues during event");
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = lama(PresetSize::Smoke, 9);
+        let b = lama(PresetSize::Smoke, 9);
+        assert_eq!(a.tweets, b.tweets);
+    }
+
+    #[test]
+    fn default_sizes() {
+        // Just the counts; full generation of Default sizes is cheap.
+        assert_eq!(nyma(PresetSize::Default, 1).len(), 24_000);
+        assert_eq!(lama(PresetSize::Default, 1).len(), 17_025);
+        assert_eq!(ny2020(PresetSize::Default, 1).len(), 30_000);
+    }
+}

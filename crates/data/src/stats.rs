@@ -1,0 +1,191 @@
+//! Dataset statistics: the Table II overview and the Section IV-A entity
+//! audit.
+
+use serde::{Deserialize, Serialize};
+
+use edge_text::{EntityCategory, EntityRecognizer};
+
+use crate::dataset::Dataset;
+
+/// One row of Table II: timeline plus the train/test entity distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableTwoRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Timeline in `MM/DD/YYYY-MM/DD/YYYY` form.
+    pub timeline: String,
+    /// Tweets in the training split.
+    pub train_tweets: usize,
+    /// Tweets in the test split.
+    pub test_tweets: usize,
+    /// Distinct entities recognized in the training split.
+    pub train_entities: usize,
+    /// Distinct entities recognized in the test split.
+    pub test_entities: usize,
+}
+
+/// Computes the Table II row for a dataset under the paper's 75/25 split.
+pub fn table_two_row(dataset: &Dataset, ner: &EntityRecognizer) -> TableTwoRow {
+    let (train, test) = dataset.paper_split();
+    let distinct = |tweets: &[crate::dataset::Tweet]| {
+        let mut set = std::collections::HashSet::new();
+        for t in tweets {
+            for m in ner.recognize(&t.text) {
+                set.insert(m.id);
+            }
+        }
+        set.len()
+    };
+    TableTwoRow {
+        dataset: dataset.name.clone(),
+        timeline: format!("{}-{}", dataset.timeline.0.format_us(), dataset.timeline.1.format_us()),
+        train_tweets: train.len(),
+        test_tweets: test.len(),
+        train_entities: distinct(train),
+        test_entities: distinct(test),
+    }
+}
+
+/// The Section IV-A audit of a dataset: recognition rate against gold
+/// entities, and the location-mention percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntityAudit {
+    /// Mean fraction of gold entities recovered per tweet (tweets with
+    /// entities only) — the paper reports 86.99–94.47% on 100-tweet samples.
+    pub recognition_rate: f64,
+    /// Fraction of tweets with no recognized entity (paper: ~5.5%).
+    pub no_entity_fraction: f64,
+    /// Fraction of tweets mentioning at least one location entity
+    /// (paper: 30.61% / 45.23% / 43.48%).
+    pub location_fraction: f64,
+    /// Fraction mentioning both a location and a non-location entity
+    /// (paper: 29.86% / 33.25% / 39.68%).
+    pub location_and_other_fraction: f64,
+    /// Number of tweets audited.
+    pub n: usize,
+}
+
+/// Runs the audit over (a sample of) the dataset. `sample` bounds the number
+/// of tweets inspected (0 = all).
+pub fn audit_entities(dataset: &Dataset, ner: &EntityRecognizer, sample: usize) -> EntityAudit {
+    audit_entities_offset(dataset, ner, sample, 0)
+}
+
+/// Like [`audit_entities`] but starting the stride sample at `offset` —
+/// the paper repeats its 100-tweet manual audits three times on different
+/// samples; distinct offsets reproduce that.
+pub fn audit_entities_offset(
+    dataset: &Dataset,
+    ner: &EntityRecognizer,
+    sample: usize,
+    offset: usize,
+) -> EntityAudit {
+    let tweets: Vec<&crate::dataset::Tweet> = if sample == 0 || sample >= dataset.len() {
+        dataset.tweets.iter().collect()
+    } else {
+        // Deterministic stride sample, phase-shifted by `offset`.
+        let stride = dataset.len() / sample;
+        dataset
+            .tweets
+            .iter()
+            .skip(offset % stride.max(1))
+            .step_by(stride.max(1))
+            .take(sample)
+            .collect()
+    };
+    let mut rec_sum = 0.0;
+    let mut rec_n = 0usize;
+    let mut none = 0usize;
+    let mut with_loc = 0usize;
+    let mut with_both = 0usize;
+    for t in &tweets {
+        let mentions = ner.recognize(&t.text);
+        if !t.gold_entities.is_empty() {
+            rec_sum += {
+                let found: Vec<&str> = mentions.iter().map(|m| m.id.as_str()).collect();
+                t.gold_entities.iter().filter(|g| found.contains(&g.as_str())).count() as f64
+                    / t.gold_entities.len() as f64
+            };
+            rec_n += 1;
+        }
+        if mentions.is_empty() {
+            none += 1;
+        }
+        let has_loc = mentions.iter().any(|m| m.category == EntityCategory::Geolocation);
+        let has_other = mentions.iter().any(|m| m.category != EntityCategory::Geolocation);
+        if has_loc {
+            with_loc += 1;
+        }
+        if has_loc && has_other {
+            with_both += 1;
+        }
+    }
+    let n = tweets.len();
+    EntityAudit {
+        recognition_rate: if rec_n > 0 { rec_sum / rec_n as f64 } else { 1.0 },
+        no_entity_fraction: none as f64 / n as f64,
+        location_fraction: with_loc as f64 / n as f64,
+        location_and_other_fraction: with_both as f64 / n as f64,
+        n,
+    }
+}
+
+/// Builds the dataset's NER (gazetteer from the dataset's entity inventory —
+/// the stand-in for the recognizer's trained knowledge; see DESIGN.md §1).
+pub fn dataset_recognizer(dataset: &Dataset) -> EntityRecognizer {
+    EntityRecognizer::with_gazetteer(dataset.gazetteer.iter().map(|(n, c)| (n.as_str(), *c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{lama, nyma, PresetSize};
+
+    #[test]
+    fn table_two_row_counts() {
+        let d = nyma(PresetSize::Smoke, 1);
+        let ner = dataset_recognizer(&d);
+        let row = table_two_row(&d, &ner);
+        assert_eq!(row.dataset, "NYMA");
+        assert_eq!(row.timeline, "08/01/2014-12/01/2014");
+        assert_eq!(row.train_tweets + row.test_tweets, d.len());
+        assert_eq!(row.train_tweets, 3000);
+        assert!(row.train_entities > 100, "train entities {}", row.train_entities);
+        // Train split sees more distinct entities than the shorter test split.
+        assert!(row.train_entities >= row.test_entities);
+    }
+
+    #[test]
+    fn audit_matches_paper_bands() {
+        let d = lama(PresetSize::Smoke, 2);
+        let ner = dataset_recognizer(&d);
+        let audit = audit_entities(&d, &ner, 0);
+        assert!(
+            (0.85..=0.99).contains(&audit.recognition_rate),
+            "recognition {}",
+            audit.recognition_rate
+        );
+        assert!(
+            (0.02..=0.30).contains(&audit.no_entity_fraction),
+            "no-entity {}",
+            audit.no_entity_fraction
+        );
+        assert!(
+            (0.15..=0.70).contains(&audit.location_fraction),
+            "location {}",
+            audit.location_fraction
+        );
+        assert!(audit.location_and_other_fraction <= audit.location_fraction);
+        assert!(audit.location_and_other_fraction > 0.05);
+    }
+
+    #[test]
+    fn sampled_audit_is_close_to_full() {
+        let d = lama(PresetSize::Smoke, 3);
+        let ner = dataset_recognizer(&d);
+        let full = audit_entities(&d, &ner, 0);
+        let sampled = audit_entities(&d, &ner, 500);
+        assert_eq!(sampled.n, 500);
+        assert!((full.location_fraction - sampled.location_fraction).abs() < 0.08);
+    }
+}

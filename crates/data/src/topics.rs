@@ -1,0 +1,190 @@
+//! Non-geo-indicative entities ("topics"): hashtags, handles and phrases
+//! whose *latent* spatial structure comes from anchoring to geo entities.
+//!
+//! This is the statistical heart of the substitution (DESIGN.md §1): the
+//! paper's Observation 2 is that non-geo entities like `#covid19` or
+//! `@PhantomOpera` co-occur with geo entities (Presbyterian Hospital,
+//! Majestic Theatre) and thereby *become* location evidence. Each synthetic
+//! topic therefore carries a small set of anchor POIs: tweets about the
+//! topic tend to be posted near an anchor and tend to co-mention it —
+//! exactly the correlation EDGE's entity diffusion is built to exploit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::date::SimDate;
+
+/// How a topic's name is rendered in tweet text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopicStyle {
+    /// `#name` hashtag.
+    Hashtag,
+    /// `@Name` handle.
+    Handle,
+    /// A plain lowercase phrase ("quarantine").
+    Phrase,
+}
+
+/// A non-geo-indicative entity with latent geo anchors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topic {
+    /// Canonical name (no sigil), e.g. `covid19`, `phantomopera`.
+    pub name: String,
+    /// Rendering style.
+    pub style: TopicStyle,
+    /// Indices into the dataset's POI list, with mixture weights. Empty for
+    /// truly place-less topics.
+    pub anchors: Vec<(usize, f64)>,
+    /// Probability that a tweet about this topic is posted near an anchor
+    /// (vs. anywhere in the metro). Multi-anchor topics with high
+    /// `locality` produce the multi-modal posting distributions of
+    /// Observation 1.
+    pub locality: f64,
+    /// Probability that the tweet also *mentions* the anchor it was posted
+    /// near (the co-occurrence bridge of Observation 2).
+    pub co_mention: f64,
+    /// Relative tweet volume.
+    pub weight: f64,
+    /// Optional activity window (inclusive); outside it the topic's volume
+    /// is multiplied by `off_window_factor`.
+    pub window: Option<(SimDate, SimDate)>,
+    /// Volume multiplier outside the window (0 = silent off-window).
+    pub off_window_factor: f64,
+}
+
+impl Topic {
+    /// A topic active for the whole timeline.
+    pub fn steady(
+        name: &str,
+        style: TopicStyle,
+        anchors: Vec<(usize, f64)>,
+        locality: f64,
+        co_mention: f64,
+        weight: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&locality) && (0.0..=1.0).contains(&co_mention));
+        assert!(weight > 0.0);
+        Self {
+            name: name.to_string(),
+            style,
+            anchors,
+            locality,
+            co_mention,
+            weight,
+            window: None,
+            off_window_factor: 1.0,
+        }
+    }
+
+    /// An event topic: full volume inside `[start, end]`, damped outside.
+    #[allow(clippy::too_many_arguments)]
+    pub fn event(
+        name: &str,
+        style: TopicStyle,
+        anchors: Vec<(usize, f64)>,
+        locality: f64,
+        co_mention: f64,
+        weight: f64,
+        window: (SimDate, SimDate),
+        off_window_factor: f64,
+    ) -> Self {
+        assert!(window.0 <= window.1, "event window inverted");
+        assert!((0.0..=1.0).contains(&off_window_factor));
+        let mut t = Self::steady(name, style, anchors, locality, co_mention, weight);
+        t.window = Some(window);
+        t.off_window_factor = off_window_factor;
+        t
+    }
+
+    /// The topic's effective volume on `date`.
+    pub fn volume_on(&self, date: SimDate) -> f64 {
+        match self.window {
+            Some((start, end)) if date < start || date > end => self.weight * self.off_window_factor,
+            _ => self.weight,
+        }
+    }
+
+    /// The rendered surface form, with sigil.
+    pub fn surface(&self) -> String {
+        match self.style {
+            TopicStyle::Hashtag => format!("#{}", self.name),
+            TopicStyle::Handle => {
+                // Handles render in CamelCase-ish form: capitalize first letter.
+                let mut chars = self.name.chars();
+                match chars.next() {
+                    Some(f) => format!("@{}{}", f.to_uppercase(), chars.as_str()),
+                    None => "@".to_string(),
+                }
+            }
+            TopicStyle::Phrase => self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_topic_volume_is_constant() {
+        let t = Topic::steady("quarantine", TopicStyle::Phrase, vec![], 0.0, 0.0, 2.0);
+        assert_eq!(t.volume_on(SimDate::new(2020, 3, 12)), 2.0);
+        assert_eq!(t.volume_on(SimDate::new(2020, 4, 2)), 2.0);
+    }
+
+    #[test]
+    fn event_topic_damps_outside_window() {
+        let window = (SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 15));
+        let t = Topic::event(
+            "new_colossus_festival",
+            TopicStyle::Phrase,
+            vec![(0, 1.0)],
+            0.9,
+            0.7,
+            1.0,
+            window,
+            0.1,
+        );
+        assert_eq!(t.volume_on(SimDate::new(2020, 3, 13)), 1.0);
+        assert_eq!(t.volume_on(SimDate::new(2020, 3, 12)), 1.0, "window inclusive");
+        assert_eq!(t.volume_on(SimDate::new(2020, 3, 15)), 1.0, "window inclusive");
+        assert!((t.volume_on(SimDate::new(2020, 3, 20)) - 0.1).abs() < 1e-12);
+        assert!((t.volume_on(SimDate::new(2020, 3, 11)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surfaces_render_with_sigils() {
+        assert_eq!(
+            Topic::steady("covid19", TopicStyle::Hashtag, vec![], 0.5, 0.5, 1.0).surface(),
+            "#covid19"
+        );
+        assert_eq!(
+            Topic::steady("phantomopera", TopicStyle::Handle, vec![], 0.5, 0.5, 1.0).surface(),
+            "@Phantomopera"
+        );
+        assert_eq!(
+            Topic::steady("quarantine", TopicStyle::Phrase, vec![], 0.5, 0.5, 1.0).surface(),
+            "quarantine"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_panics() {
+        let _ = Topic::event(
+            "x",
+            TopicStyle::Phrase,
+            vec![],
+            0.5,
+            0.5,
+            1.0,
+            (SimDate::new(2020, 3, 15), SimDate::new(2020, 3, 12)),
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_probability_panics() {
+        let _ = Topic::steady("x", TopicStyle::Phrase, vec![], 1.5, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the corpus generator: structural invariants
+//! must hold for *any* generator configuration, not just the presets.
+
+use edge_data::{generate, generate_pois, GeneratorConfig, MetroArea, SimDate, Topic, TopicStyle};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        50usize..300,
+        0.0f64..0.9,
+        0.0f64..0.9,
+        0.0f64..0.2,
+        0.0f64..0.3,
+        0.0f64..0.5,
+        any::<u64>(),
+    )
+        .prop_map(|(n, p_topic, p_geo, p_noise, p_distort, p_remote, seed)| GeneratorConfig {
+            n_tweets: n,
+            p_topic,
+            p_geo_mention: p_geo,
+            p_noise,
+            p_distort,
+            p_remote,
+            seed,
+            ..Default::default()
+        })
+}
+
+fn setup() -> (MetroArea, Vec<edge_data::Poi>, Vec<Topic>) {
+    let metro = MetroArea::new_york_like();
+    let pois = generate_pois(&metro, 30, 6, 9);
+    let topics = vec![
+        Topic::steady("alpha", TopicStyle::Hashtag, vec![(0, 1.0)], 0.7, 0.5, 1.0),
+        Topic::steady("beta topic", TopicStyle::Phrase, vec![(1, 1.0), (2, 0.5)], 0.5, 0.5, 1.0),
+    ];
+    (metro, pois, topics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_corpora_respect_invariants(config in arb_config()) {
+        let (metro, pois, topics) = setup();
+        let d = generate("P", &metro, &pois, &topics, &config);
+        prop_assert_eq!(d.len(), config.n_tweets);
+        // Chronological, ids sequential, locations in-region, dates in-range.
+        prop_assert!(d.tweets.windows(2).all(|w| w[0].date <= w[1].date));
+        for (i, t) in d.tweets.iter().enumerate() {
+            prop_assert_eq!(t.id, i as u64);
+            prop_assert!(d.bbox.contains(&t.location));
+            prop_assert!(t.date >= config.start && t.date < config.end);
+            prop_assert!(!t.text.is_empty());
+            // Gold entities are canonical ids, sorted and unique.
+            prop_assert!(t.gold_entities.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_corpus(config in arb_config()) {
+        let (metro, pois, topics) = setup();
+        let a = generate("A", &metro, &pois, &topics, &config);
+        let b = generate("B", &metro, &pois, &topics, &config);
+        prop_assert_eq!(a.tweets, b.tweets);
+    }
+
+    #[test]
+    fn zero_noise_zero_topics_still_generates(seed in any::<u64>()) {
+        let (metro, pois, _) = setup();
+        let config = GeneratorConfig {
+            n_tweets: 80,
+            p_topic: 0.5, // irrelevant without topics
+            p_noise: 0.0,
+            seed,
+            ..Default::default()
+        };
+        let d = generate("NT", &metro, &pois, &[], &config);
+        prop_assert_eq!(d.len(), 80);
+    }
+
+    #[test]
+    fn split_fractions_partition(frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let (metro, pois, topics) = setup();
+        let config = GeneratorConfig { n_tweets: 120, seed, ..Default::default() };
+        let d = generate("S", &metro, &pois, &topics, &config);
+        let (train, test) = d.chronological_split(frac);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        if let (Some(last), Some(first)) = (train.last(), test.first()) {
+            prop_assert!(last.date <= first.date);
+        }
+    }
+
+    #[test]
+    fn window_queries_partition_the_timeline(day in 0i64..21, seed in any::<u64>()) {
+        let (metro, pois, topics) = setup();
+        let config = GeneratorConfig { n_tweets: 150, seed, ..Default::default() };
+        let d = generate("W", &metro, &pois, &topics, &config);
+        let cut = SimDate::new(2020, 3, 12).plus_days(day);
+        let before = d.window(config.start, cut).len();
+        let after = d.window(cut, config.end).len();
+        prop_assert_eq!(before + after, d.len());
+    }
+
+    #[test]
+    fn date_arithmetic_round_trips(offset in -100_000i64..100_000) {
+        let base = SimDate::new(2020, 3, 12);
+        let shifted = base.plus_days(offset);
+        prop_assert_eq!(base.days_until(shifted), offset);
+        prop_assert_eq!(shifted.plus_days(-offset), base);
+    }
+}

@@ -1,0 +1,66 @@
+//! # EDGE — Entity-Diffusion Gaussian Ensemble
+//!
+//! A from-scratch Rust reproduction of *"EDGE: Entity-Diffusion Gaussian
+//! Ensemble for Interpretable Tweet Geolocation Prediction"* (Hui, Chen,
+//! Yan, Ku — ICDE 2021): interpretable fine-grained tweet geolocation that
+//! returns a **bivariate Gaussian mixture** per tweet instead of a single
+//! point, built on **entity diffusion** — smoothing entity embeddings over
+//! a co-occurrence graph with graph convolutions so that non-geo-indicative
+//! entities (`#covid19`, `@PhantomOpera`) absorb the spatial signal of the
+//! geo-indicative entities they co-occur with.
+//!
+//! This facade crate re-exports the full public API of the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geo`] | `edge-geo` | points, grids, Gaussian mixtures, KDE, metrics |
+//! | [`tensor`] | `edge-tensor` | the autodiff engine and optimizers |
+//! | [`text`] | `edge-text` | tweet tokenizer, NER, vocabularies, n-grams |
+//! | [`graph`] | `edge-graph` | co-occurrence graph + GCN normalization |
+//! | [`embed`] | `edge-embed` | SGNS (word2vec) and phrase detection |
+//! | [`data`] | `edge-data` | synthetic NYMA / LAMA / COVID-19 corpora |
+//! | [`core`] | `edge-core` | the EDGE model, training, prediction, ablations |
+//! | [`baselines`] | `edge-baselines` | LocKDE, NaiveBayes/KL (+kde2d), Hyper-local, UnicodeCNN |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edge::prelude::*;
+//!
+//! // A small synthetic New-York-like corpus (the paper's crawls are
+//! // proprietary; see DESIGN.md for the substitution).
+//! let dataset = edge::data::nyma(PresetSize::Smoke, 42);
+//! let (train, test) = dataset.paper_split();
+//!
+//! // Train EDGE end-to-end (tiny test profile).
+//! let ner = edge::data::dataset_recognizer(&dataset);
+//! let mut config = EdgeConfig::smoke();
+//! config.epochs = 2;
+//! let (model, report) = EdgeModel::train(train, ner, &dataset.bbox, config);
+//! assert!(report.epoch_losses.last().unwrap().is_finite());
+//!
+//! // Predict: a full Gaussian mixture plus the Eq.-14 point estimate.
+//! if let Some(prediction) = model.predict(&test[0].text) {
+//!     println!("point estimate: {:?}", prediction.point);
+//!     for (entity, weight) in &prediction.attention {
+//!         println!("  attended {entity} with weight {weight:.3}");
+//!     }
+//! }
+//! ```
+
+pub use edge_baselines as baselines;
+pub use edge_core as core;
+pub use edge_data as data;
+pub use edge_embed as embed;
+pub use edge_geo as geo;
+pub use edge_graph as graph;
+pub use edge_tensor as tensor;
+pub use edge_text as text;
+
+/// The names a downstream user wants in scope.
+pub mod prelude {
+    pub use edge_baselines::{Geolocator, HyperLocal, KullbackLeibler, LocKde, NaiveBayes, UnicodeCnn};
+    pub use edge_core::{BowModel, EdgeConfig, EdgeModel, Prediction};
+    pub use edge_data::{Dataset, PresetSize, SimDate, Tweet};
+    pub use edge_geo::{BBox, DistanceReport, GaussianMixture, Point};
+}

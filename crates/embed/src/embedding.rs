@@ -1,0 +1,137 @@
+//! Embedding tables: dense per-id vectors with similarity queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A table of `n` embedding vectors of dimension `dim` (flat row-major
+/// storage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    n: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Embedding {
+    /// Builds from flat row-major data. Panics when the length disagrees.
+    pub fn from_flat(n: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * dim, "flat data length mismatch");
+        assert!(dim > 0, "dimension must be positive");
+        Self { n, dim, data }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The vector for `id`.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        assert!(id < self.n, "embedding id {id} out of range {}", self.n);
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// The full flat table (row-major), e.g. for building a `Matrix`.
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cosine similarity between two ids (0 when either vector is zero).
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        cosine(self.vector(a), self.vector(b))
+    }
+
+    /// The `k` nearest neighbors of `id` by cosine similarity, excluding
+    /// `id` itself, best first.
+    pub fn nearest(&self, id: usize, k: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = (0..self.n)
+            .filter(|&other| other != id)
+            .map(|other| (other, self.cosine(id, other)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length slices.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine on mismatched lengths");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Embedding {
+        Embedding::from_flat(
+            4,
+            2,
+            vec![
+                1.0, 0.0, // id 0
+                0.9, 0.1, // id 1: close to 0
+                0.0, 1.0, // id 2: orthogonal to 0
+                0.0, 0.0, // id 3: zero vector
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let e = table();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.dim(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.vector(2), &[0.0, 1.0]);
+        assert_eq!(e.flat().len(), 8);
+    }
+
+    #[test]
+    fn cosine_values() {
+        let e = table();
+        assert!((e.cosine(0, 0) - 1.0).abs() < 1e-6);
+        assert!(e.cosine(0, 1) > 0.99);
+        assert!(e.cosine(0, 2).abs() < 1e-6);
+        assert_eq!(e.cosine(0, 3), 0.0, "zero vector similarity is 0");
+    }
+
+    #[test]
+    fn nearest_ranking() {
+        let e = table();
+        let nn = e.nearest(0, 2);
+        assert_eq!(nn[0].0, 1);
+        assert!(nn[0].1 > nn[1].1);
+        assert_eq!(nn.len(), 2);
+        // k larger than table size truncates gracefully.
+        assert_eq!(e.nearest(0, 10).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_bounds_checked() {
+        let _ = table().vector(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_flat_checks_len() {
+        let _ = Embedding::from_flat(2, 3, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Phrase detection in the style of word2vec's phrase2vec preprocessing
+//! (Mikolov et al.), which the paper's entity2vec is "inspired by": bigrams
+//! whose components co-occur far more often than chance are merged into a
+//! single `a_b` token, so multi-word entities are embedded "as a whole"
+//! rather than as compositions of independent words.
+
+use std::collections::HashMap;
+
+/// A learned bigram-merging table.
+#[derive(Debug, Clone)]
+pub struct PhraseDetector {
+    merges: HashMap<(String, String), String>,
+}
+
+impl PhraseDetector {
+    /// Learns merges from a corpus of token lists.
+    ///
+    /// A bigram `(a, b)` is merged when
+    /// `score = (count(ab) − min_count) · N / (count(a) · count(b))`
+    /// exceeds `threshold` (the word2vec scoring rule; `N` is the corpus
+    /// token count).
+    pub fn learn(corpus: &[Vec<String>], min_count: u64, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        let mut unigram: HashMap<&str, u64> = HashMap::new();
+        let mut bigram: HashMap<(&str, &str), u64> = HashMap::new();
+        let mut total: u64 = 0;
+        for sent in corpus {
+            for w in sent {
+                *unigram.entry(w).or_insert(0) += 1;
+                total += 1;
+            }
+            for pair in sent.windows(2) {
+                *bigram.entry((&pair[0], &pair[1])).or_insert(0) += 1;
+            }
+        }
+        let mut merges = HashMap::new();
+        for (&(a, b), &ab_count) in &bigram {
+            if ab_count <= min_count {
+                continue;
+            }
+            let score = (ab_count - min_count) as f64 * total as f64
+                / (unigram[a] as f64 * unigram[b] as f64);
+            if score > threshold {
+                merges.insert((a.to_string(), b.to_string()), format!("{a}_{b}"));
+            }
+        }
+        Self { merges }
+    }
+
+    /// Number of learned merges.
+    pub fn len(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// True when nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.merges.is_empty()
+    }
+
+    /// Whether the bigram `(a, b)` merges.
+    pub fn is_phrase(&self, a: &str, b: &str) -> bool {
+        self.merges.contains_key(&(a.to_string(), b.to_string()))
+    }
+
+    /// Rewrites a token list, greedily merging learned bigrams left to
+    /// right. One pass merges bigrams; applying the detector twice builds
+    /// up to 4-grams, as in the original tool.
+    pub fn apply(&self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        let mut i = 0;
+        while i < tokens.len() {
+            if i + 1 < tokens.len() {
+                if let Some(merged) =
+                    self.merges.get(&(tokens[i].clone(), tokens[i + 1].clone()))
+                {
+                    out.push(merged.clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        // "majestic theatre" always together; "the" is everywhere.
+        let mut c = Vec::new();
+        for _ in 0..20 {
+            c.push(sent(&["the", "majestic", "theatre", "was", "packed"]));
+            c.push(sent(&["saw", "phantom", "at", "the", "majestic", "theatre"]));
+        }
+        for _ in 0..30 {
+            c.push(sent(&["the", "show", "was", "the", "best"]));
+        }
+        c
+    }
+
+    #[test]
+    fn strong_collocation_is_merged() {
+        let d = PhraseDetector::learn(&corpus(), 5, 5.0);
+        assert!(d.is_phrase("majestic", "theatre"));
+        assert!(!d.is_phrase("the", "majestic"), "common left word dilutes score");
+        assert!(!d.is_phrase("was", "the"));
+    }
+
+    #[test]
+    fn apply_rewrites_tokens() {
+        let d = PhraseDetector::learn(&corpus(), 5, 5.0);
+        let rewritten = d.apply(&sent(&["the", "majestic", "theatre", "tonight"]));
+        assert_eq!(rewritten, sent(&["the", "majestic_theatre", "tonight"]));
+    }
+
+    #[test]
+    fn apply_is_identity_without_merges() {
+        let d = PhraseDetector::learn(&[], 5, 5.0);
+        assert!(d.is_empty());
+        let toks = sent(&["a", "b", "c"]);
+        assert_eq!(d.apply(&toks), toks);
+    }
+
+    #[test]
+    fn rare_bigrams_below_min_count_do_not_merge() {
+        let mut c = corpus();
+        c.push(sent(&["rare", "pair"]));
+        let d = PhraseDetector::learn(&c, 5, 5.0);
+        assert!(!d.is_phrase("rare", "pair"));
+    }
+
+    #[test]
+    fn greedy_merge_consumes_both_tokens() {
+        let d = PhraseDetector::learn(&corpus(), 5, 5.0);
+        // "majestic theatre majestic theatre" -> two merged tokens.
+        let toks = sent(&["majestic", "theatre", "majestic", "theatre"]);
+        assert_eq!(d.apply(&toks), sent(&["majestic_theatre", "majestic_theatre"]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Sampling machinery for skip-gram training: the unigram^0.75 negative
+//! table and frequency-based sub-sampling, both as in word2vec.
+
+use rand::Rng;
+
+/// A negative-sampling table drawing token ids proportional to
+/// `count^0.75`, the word2vec smoothing that keeps frequent tokens from
+/// dominating the negatives.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    /// Cumulative distribution over token ids.
+    cdf: Vec<f64>,
+}
+
+impl NegativeTable {
+    /// Builds the table from per-id counts. Panics when all counts are zero.
+    pub fn new(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "need at least one token");
+        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all counts are zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of token ids.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: construction requires at least one token.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draws an id different from `exclude` (retries, falling back to a
+    /// linear scan if the distribution is a point mass on `exclude`).
+    pub fn sample_excluding<R: Rng + ?Sized>(&self, exclude: usize, rng: &mut R) -> usize {
+        for _ in 0..32 {
+            let s = self.sample(rng);
+            if s != exclude {
+                return s;
+            }
+        }
+        // Distribution is (nearly) a point mass; return any other id.
+        (0..self.len()).find(|&i| i != exclude).unwrap_or(exclude)
+    }
+}
+
+/// Word2vec sub-sampling: the probability of *keeping* an occurrence of a
+/// token with corpus frequency `freq` (count / total) at threshold `t`
+/// (typically 1e-3..1e-5): `min(1, sqrt(t/f) + t/f)`.
+pub fn keep_probability(freq: f64, t: f64) -> f64 {
+    assert!(t > 0.0, "threshold must be positive");
+    if freq <= 0.0 {
+        return 1.0;
+    }
+    ((t / freq).sqrt() + t / freq).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_respects_smoothed_frequencies() {
+        let counts = [1000u64, 10, 10, 10];
+        let table = NegativeTable::new(&counts);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut hist = [0usize; 4];
+        for _ in 0..100_000 {
+            hist[table.sample(&mut rng)] += 1;
+        }
+        // id 0 should dominate but less than raw frequency (1000/1030 = 97%).
+        let p0 = hist[0] as f64 / 100_000.0;
+        let expected = 1000f64.powf(0.75) / (1000f64.powf(0.75) + 3.0 * 10f64.powf(0.75));
+        assert!((p0 - expected).abs() < 0.01, "p0 {p0} vs {expected}");
+        assert!(hist.iter().all(|&h| h > 0), "all ids must be sampled");
+    }
+
+    #[test]
+    fn zero_count_ids_never_sampled() {
+        let counts = [0u64, 100, 0, 100];
+        let table = NegativeTable::new(&counts);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled {s}");
+        }
+    }
+
+    #[test]
+    fn sample_excluding_avoids_target() {
+        let table = NegativeTable::new(&[100, 100]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_ne!(table.sample_excluding(0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_excluding_point_mass_falls_back() {
+        let table = NegativeTable::new(&[100, 0, 0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = table.sample_excluding(0, &mut rng);
+        assert_ne!(s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all counts are zero")]
+    fn all_zero_counts_panic() {
+        let _ = NegativeTable::new(&[0, 0]);
+    }
+
+    #[test]
+    fn keep_probability_properties() {
+        // Rare tokens are always kept; frequent ones are downsampled.
+        assert_eq!(keep_probability(1e-7, 1e-4), 1.0);
+        let frequent = keep_probability(0.05, 1e-4);
+        assert!(frequent < 0.1, "frequent token kept at {frequent}");
+        // Monotone decreasing in frequency.
+        assert!(keep_probability(0.001, 1e-4) > keep_probability(0.01, 1e-4));
+        assert_eq!(keep_probability(0.0, 1e-4), 1.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Skip-gram with negative sampling (SGNS) — the algorithm behind
+//! word2vec/gensim, which entity2vec trains "on the collected tweets to
+//! obtain the semantic embedding of each entity".
+//!
+//! The trainer consumes sentences of token ids (entity phrase tokens plus
+//! ordinary words), maintains input/output embedding tables, and runs the
+//! classic SGD with hand-derived logistic gradients. Everything is
+//! deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::embedding::Embedding;
+use crate::sampler::{keep_probability, NegativeTable};
+
+/// Hyper-parameters of SGNS training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality (the paper's default entity embedding
+    /// length is 400; the scaled-down experiment profile uses 64).
+    pub dim: usize,
+    /// Max context window radius.
+    pub window: usize,
+    /// Negatives per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 1e-4 of itself).
+    pub lr: f32,
+    /// Sub-sampling threshold (0 disables).
+    pub subsample_t: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self { dim: 64, window: 5, negatives: 5, epochs: 5, lr: 0.025, subsample_t: 1e-3, seed: 42 }
+    }
+}
+
+/// Trains SGNS over `sentences` (token-id lists) with per-id `counts`
+/// (length = vocabulary size). Returns the input-embedding table.
+pub fn train_sgns(sentences: &[Vec<usize>], counts: &[u64], config: &SgnsConfig) -> Embedding {
+    let vocab = counts.len();
+    assert!(vocab > 1, "SGNS needs a vocabulary of at least 2");
+    assert!(config.dim > 0 && config.window > 0 && config.epochs > 0);
+    for s in sentences {
+        for &id in s {
+            assert!(id < vocab, "token id {id} out of vocabulary {vocab}");
+        }
+    }
+    let total_count: u64 = counts.iter().sum();
+    let table = NegativeTable::new(counts);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // word2vec init: input U(-0.5/dim, 0.5/dim), output zeros.
+    let mut input: Vec<f32> = (0..vocab * config.dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / config.dim as f32)
+        .collect();
+    let mut output: Vec<f32> = vec![0.0; vocab * config.dim];
+
+    let total_steps = (config.epochs * sentences.len()).max(1) as f32;
+    let mut sentences_done = 0f32;
+
+    for _ in 0..config.epochs {
+        for sentence in sentences {
+            let lr = config.lr * (1.0 - sentences_done / total_steps).max(1e-4);
+            sentences_done += 1.0;
+
+            // Sub-sample frequent tokens.
+            let kept: Vec<usize> = sentence
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    if config.subsample_t <= 0.0 {
+                        return true;
+                    }
+                    let freq = counts[id] as f64 / total_count as f64;
+                    rng.gen::<f64>() < keep_probability(freq, config.subsample_t)
+                })
+                .collect();
+            if kept.len() < 2 {
+                continue;
+            }
+
+            for (pos, &center) in kept.iter().enumerate() {
+                // word2vec shrinks the window uniformly per position.
+                let span = rng.gen_range(1..=config.window);
+                let lo = pos.saturating_sub(span);
+                let hi = (pos + span).min(kept.len() - 1);
+                for (ctx_pos, &context) in kept.iter().enumerate().take(hi + 1).skip(lo) {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    train_pair(
+                        &mut input,
+                        &mut output,
+                        config.dim,
+                        center,
+                        context,
+                        config.negatives,
+                        &table,
+                        lr,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+    }
+    Embedding::from_flat(vocab, config.dim, input)
+}
+
+/// One positive pair + `negatives` negative updates.
+#[allow(clippy::too_many_arguments)]
+fn train_pair(
+    input: &mut [f32],
+    output: &mut [f32],
+    dim: usize,
+    center: usize,
+    context: usize,
+    negatives: usize,
+    table: &NegativeTable,
+    lr: f32,
+    rng: &mut StdRng,
+) {
+    let mut grad_center = vec![0.0f32; dim];
+    {
+        // Positive example: label 1 on (center, context).
+        let (g, out_row) = logistic_update(input, output, dim, center, context, 1.0, lr);
+        for (gc, g) in grad_center.iter_mut().zip(&g) {
+            *gc += g;
+        }
+        let _ = out_row;
+    }
+    for _ in 0..negatives {
+        let neg = table.sample_excluding(context, rng);
+        let (g, _) = logistic_update(input, output, dim, center, neg, 0.0, lr);
+        for (gc, g) in grad_center.iter_mut().zip(&g) {
+            *gc += g;
+        }
+    }
+    let in_row = &mut input[center * dim..(center + 1) * dim];
+    for (w, g) in in_row.iter_mut().zip(&grad_center) {
+        *w += g;
+    }
+}
+
+/// Logistic SGD on one (input, output) pair with the given label. Updates
+/// the output row in place and returns the input-row gradient contribution
+/// (applied by the caller after all negatives, as word2vec does).
+fn logistic_update(
+    input: &[f32],
+    output: &mut [f32],
+    dim: usize,
+    center: usize,
+    target: usize,
+    label: f32,
+    lr: f32,
+) -> (Vec<f32>, usize) {
+    let in_row = &input[center * dim..(center + 1) * dim];
+    let out_row = &mut output[target * dim..(target + 1) * dim];
+    let dot: f32 = in_row.iter().zip(out_row.iter()).map(|(a, b)| a * b).sum();
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let g = lr * (label - pred);
+    let grad_center: Vec<f32> = out_row.iter().map(|&o| g * o).collect();
+    for (o, &i) in out_row.iter_mut().zip(in_row) {
+        *o += g * i;
+    }
+    (grad_center, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus with two topical clusters: tokens {0,1,2} co-occur, tokens
+    /// {3,4,5} co-occur, token 6 floats between.
+    fn clustered_corpus() -> (Vec<Vec<usize>>, Vec<u64>) {
+        let mut sentences = Vec::new();
+        for i in 0..200 {
+            match i % 3 {
+                0 => sentences.push(vec![0, 1, 2, 0, 1]),
+                1 => sentences.push(vec![3, 4, 5, 3, 4]),
+                _ => sentences.push(vec![6, if i % 2 == 0 { 0 } else { 3 }]),
+            }
+        }
+        let mut counts = vec![0u64; 7];
+        for s in &sentences {
+            for &t in s {
+                counts[t] += 1;
+            }
+        }
+        (sentences, counts)
+    }
+
+    fn small_config() -> SgnsConfig {
+        SgnsConfig { dim: 16, window: 3, negatives: 4, epochs: 8, lr: 0.05, subsample_t: 0.0, seed: 7 }
+    }
+
+    #[test]
+    fn co_occurring_tokens_end_up_similar() {
+        let (sentences, counts) = clustered_corpus();
+        let emb = train_sgns(&sentences, &counts, &small_config());
+        let within = emb.cosine(0, 1);
+        let across = emb.cosine(0, 4);
+        assert!(
+            within > across + 0.2,
+            "within-cluster {within} should beat across-cluster {across}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbors_are_cluster_mates() {
+        let (sentences, counts) = clustered_corpus();
+        let emb = train_sgns(&sentences, &counts, &small_config());
+        let nn = emb.nearest(3, 2);
+        let ids: Vec<usize> = nn.iter().map(|&(id, _)| id).collect();
+        assert!(
+            ids.contains(&4) || ids.contains(&5),
+            "neighbors of 3 should include 4 or 5, got {ids:?}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (sentences, counts) = clustered_corpus();
+        let a = train_sgns(&sentences, &counts, &small_config());
+        let b = train_sgns(&sentences, &counts, &small_config());
+        assert_eq!(a.vector(0), b.vector(0));
+        let mut other = small_config();
+        other.seed = 8;
+        let c = train_sgns(&sentences, &counts, &other);
+        assert_ne!(a.vector(0), c.vector(0));
+    }
+
+    #[test]
+    fn embeddings_are_finite_and_nonzero() {
+        let (sentences, counts) = clustered_corpus();
+        let emb = train_sgns(&sentences, &counts, &small_config());
+        for id in 0..counts.len() {
+            let v = emb.vector(id);
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+        assert!(emb.vector(0).iter().any(|&x| x.abs() > 1e-6));
+    }
+
+    #[test]
+    fn subsampling_does_not_break_training() {
+        let (sentences, counts) = clustered_corpus();
+        let mut config = small_config();
+        config.subsample_t = 1e-2;
+        let emb = train_sgns(&sentences, &counts, &config);
+        assert!(emb.vector(1).iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_ids_panic() {
+        let _ = train_sgns(&[vec![0, 9]], &[1, 1], &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_vocab_panics() {
+        let _ = train_sgns(&[vec![0]], &[5], &small_config());
+    }
+}

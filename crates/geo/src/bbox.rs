@@ -1,0 +1,204 @@
+//! Axis-aligned geographic bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box over latitude/longitude.
+///
+/// Used to delimit the metro-area study regions (the paper's New York and
+/// Los Angeles Metropolitan Areas) and to lay out the uniform grids of the
+/// grid-classifier baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Southern edge (minimum latitude, degrees).
+    pub min_lat: f64,
+    /// Northern edge (maximum latitude, degrees).
+    pub max_lat: f64,
+    /// Western edge (minimum longitude, degrees).
+    pub min_lon: f64,
+    /// Eastern edge (maximum longitude, degrees).
+    pub max_lon: f64,
+}
+
+impl BBox {
+    /// Creates a bounding box. Panics if the box is inverted or degenerate.
+    pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Self {
+        assert!(min_lat < max_lat, "inverted latitude range");
+        assert!(min_lon < max_lon, "inverted longitude range");
+        Self { min_lat, max_lat, min_lon, max_lon }
+    }
+
+    /// The smallest box containing every point in `points`.
+    /// Returns `None` for an empty slice.
+    pub fn enclosing(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = Self {
+            min_lat: first.lat,
+            max_lat: first.lat,
+            min_lon: first.lon,
+            max_lon: first.lon,
+        };
+        for p in &points[1..] {
+            b.min_lat = b.min_lat.min(p.lat);
+            b.max_lat = b.max_lat.max(p.lat);
+            b.min_lon = b.min_lon.min(p.lon);
+            b.max_lon = b.max_lon.max(p.lon);
+        }
+        // Degenerate boxes (all points identical along an axis) are widened a
+        // hair so downstream grids stay well-formed.
+        if b.min_lat == b.max_lat {
+            b.min_lat -= 1e-6;
+            b.max_lat += 1e-6;
+        }
+        if b.min_lon == b.max_lon {
+            b.min_lon -= 1e-6;
+            b.max_lon += 1e-6;
+        }
+        Some(b)
+    }
+
+    /// The geometric centre of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Whether `p` lies inside the box (inclusive of edges).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// Clamps `p` to the box.
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.lat.clamp(self.min_lat, self.max_lat),
+            p.lon.clamp(self.min_lon, self.max_lon),
+        )
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude extent in degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Approximate box dimensions in kilometres `(east_west, north_south)`.
+    pub fn dims_km(&self) -> (f64, f64) {
+        let c = self.center();
+        let sw = Point::new(self.min_lat, self.min_lon);
+        let se = Point::new(self.min_lat, self.max_lon);
+        let nw = Point::new(self.max_lat, self.min_lon);
+        let _ = c;
+        (sw.haversine_km(&se), sw.haversine_km(&nw))
+    }
+
+    /// Expands every edge outward by `margin_deg` degrees.
+    pub fn expand(&self, margin_deg: f64) -> Self {
+        Self {
+            min_lat: self.min_lat - margin_deg,
+            max_lat: self.max_lat + margin_deg,
+            min_lon: self.min_lon - margin_deg,
+            max_lon: self.max_lon + margin_deg,
+        }
+    }
+
+    /// Maps a unit-square coordinate `(u, v) ∈ [0,1]²` to a point in the box
+    /// (`u` along longitude, `v` along latitude).
+    pub fn lerp(&self, u: f64, v: f64) -> Point {
+        Point::new(
+            self.min_lat + v * self.lat_span(),
+            self.min_lon + u * self.lon_span(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc_box() -> BBox {
+        BBox::new(40.49, 40.92, -74.27, -73.68)
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted latitude")]
+    fn inverted_lat_panics() {
+        let _ = BBox::new(41.0, 40.0, -74.0, -73.0);
+    }
+
+    #[test]
+    fn contains_center_and_corners() {
+        let b = nyc_box();
+        assert!(b.contains(&b.center()));
+        assert!(b.contains(&Point::new(b.min_lat, b.min_lon)));
+        assert!(b.contains(&Point::new(b.max_lat, b.max_lon)));
+        assert!(!b.contains(&Point::new(39.0, -74.0)));
+    }
+
+    #[test]
+    fn clamp_moves_outside_point_to_edge() {
+        let b = nyc_box();
+        let p = b.clamp(&Point::new(50.0, -80.0));
+        assert_eq!(p, Point::new(b.max_lat, b.min_lon));
+        let inside = Point::new(40.7, -74.0);
+        assert_eq!(b.clamp(&inside), inside);
+    }
+
+    #[test]
+    fn enclosing_covers_all_points() {
+        let pts = [
+            Point::new(40.5, -74.2),
+            Point::new(40.9, -73.7),
+            Point::new(40.7, -74.0),
+        ];
+        let b = BBox::enclosing(&pts).unwrap();
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min_lat, 40.5);
+        assert_eq!(b.max_lon, -73.7);
+    }
+
+    #[test]
+    fn enclosing_degenerate_is_widened() {
+        let p = Point::new(40.7, -74.0);
+        let b = BBox::enclosing(&[p, p]).unwrap();
+        assert!(b.lat_span() > 0.0);
+        assert!(b.lon_span() > 0.0);
+        assert!(b.contains(&p));
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(BBox::enclosing(&[]).is_none());
+    }
+
+    #[test]
+    fn dims_km_reasonable_for_nyc() {
+        let (ew, ns) = nyc_box().dims_km();
+        // ~0.59 deg lon at 40.5N is ~50km; 0.43 deg lat is ~48km.
+        assert!((ew - 50.0).abs() < 3.0, "ew {ew}");
+        assert!((ns - 48.0).abs() < 3.0, "ns {ns}");
+    }
+
+    #[test]
+    fn lerp_hits_corners_and_center() {
+        let b = nyc_box();
+        assert_eq!(b.lerp(0.0, 0.0), Point::new(b.min_lat, b.min_lon));
+        assert_eq!(b.lerp(1.0, 1.0), Point::new(b.max_lat, b.max_lon));
+        assert_eq!(b.lerp(0.5, 0.5), b.center());
+    }
+
+    #[test]
+    fn expand_grows_box() {
+        let b = nyc_box().expand(0.1);
+        assert!(b.contains(&Point::new(40.45, -74.3)));
+    }
+}

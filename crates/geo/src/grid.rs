@@ -1,0 +1,199 @@
+//! Uniform cell grids over a bounding box.
+//!
+//! The grid-classifier baselines of Hulden et al. (NaiveBayes,
+//! Kullback-Leibler and their `kde2d` variants) and LocKDE all "divide each
+//! region into 100×100 grid cells uniformly". This module provides that
+//! partition plus cell↔point conversions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// A cell index `(row, col)` with `row` along latitude (south→north) and
+/// `col` along longitude (west→east).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Latitude index, `0..rows`.
+    pub row: usize,
+    /// Longitude index, `0..cols`.
+    pub col: usize,
+}
+
+/// A uniform `rows × cols` grid over a bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    bbox: BBox,
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Creates a grid. Panics when either dimension is zero.
+    pub fn new(bbox: BBox, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Self { bbox, rows, cols }
+    }
+
+    /// The paper's default evaluation grid: 100×100 cells.
+    pub fn paper_default(bbox: BBox) -> Self {
+        Self::new(bbox, 100, 100)
+    }
+
+    /// Grid rows (latitude divisions).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (longitude divisions).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Always false: grids are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying bounding box.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// The cell containing `p`. Points outside the box are clamped to the
+    /// nearest edge cell, matching how the baselines bucket stray test
+    /// points.
+    pub fn cell_of(&self, p: &Point) -> Cell {
+        let clamped = self.bbox.clamp(p);
+        let v = (clamped.lat - self.bbox.min_lat) / self.bbox.lat_span();
+        let u = (clamped.lon - self.bbox.min_lon) / self.bbox.lon_span();
+        let row = ((v * self.rows as f64) as usize).min(self.rows - 1);
+        let col = ((u * self.cols as f64) as usize).min(self.cols - 1);
+        Cell { row, col }
+    }
+
+    /// The geographic centre of `cell`.
+    pub fn center_of(&self, cell: Cell) -> Point {
+        let v = (cell.row as f64 + 0.5) / self.rows as f64;
+        let u = (cell.col as f64 + 0.5) / self.cols as f64;
+        self.bbox.lerp(u, v)
+    }
+
+    /// Flattens a cell to a linear index in `0..len()` (row-major).
+    pub fn index_of(&self, cell: Cell) -> usize {
+        debug_assert!(cell.row < self.rows && cell.col < self.cols);
+        cell.row * self.cols + cell.col
+    }
+
+    /// Inverse of [`Grid::index_of`].
+    pub fn cell_at(&self, index: usize) -> Cell {
+        debug_assert!(index < self.len());
+        Cell { row: index / self.cols, col: index % self.cols }
+    }
+
+    /// Iterates over all cells in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.len()).map(|i| self.cell_at(i))
+    }
+
+    /// Approximate cell dimensions in kilometres `(east_west, north_south)`.
+    pub fn cell_dims_km(&self) -> (f64, f64) {
+        let (ew, ns) = self.bbox.dims_km();
+        (ew / self.cols as f64, ns / self.rows as f64)
+    }
+
+    /// Histogram of `points` over the grid (row-major counts).
+    pub fn histogram(&self, points: &[Point]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.len()];
+        for p in points {
+            counts[self.index_of(self.cell_of(p))] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 10, 20)
+    }
+
+    #[test]
+    fn dimensions_and_len() {
+        let g = grid();
+        assert_eq!(g.rows(), 10);
+        assert_eq!(g.cols(), 20);
+        assert_eq!(g.len(), 200);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = Grid::new(BBox::new(0.0, 1.0, 0.0, 1.0), 0, 10);
+    }
+
+    #[test]
+    fn cell_of_corners() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(40.0, -75.0)), Cell { row: 0, col: 0 });
+        // Max corner clamps into the last cell.
+        assert_eq!(g.cell_of(&Point::new(41.0, -74.0)), Cell { row: 9, col: 19 });
+    }
+
+    #[test]
+    fn cell_of_outside_clamps() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(39.0, -80.0)), Cell { row: 0, col: 0 });
+        assert_eq!(g.cell_of(&Point::new(50.0, 0.0)), Cell { row: 9, col: 19 });
+    }
+
+    #[test]
+    fn center_round_trips_through_cell_of() {
+        let g = grid();
+        for cell in g.cells() {
+            let c = g.center_of(cell);
+            assert_eq!(g.cell_of(&c), cell, "cell {cell:?} center {c:?}");
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let g = grid();
+        for i in 0..g.len() {
+            assert_eq!(g.index_of(g.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_input_len() {
+        let g = grid();
+        let pts: Vec<Point> = (0..57)
+            .map(|i| Point::new(40.0 + (i as f64 % 10.0) / 10.0, -75.0 + (i as f64 % 7.0) / 7.0))
+            .collect();
+        let h = g.histogram(&pts);
+        assert_eq!(h.iter().map(|&c| c as usize).sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    fn paper_default_is_100_by_100() {
+        let g = Grid::paper_default(BBox::new(0.0, 1.0, 0.0, 1.0));
+        assert_eq!((g.rows(), g.cols()), (100, 100));
+    }
+
+    #[test]
+    fn cell_dims_km_scale_with_grid() {
+        let g = grid();
+        let (ew, ns) = g.cell_dims_km();
+        assert!(ew > 0.0 && ns > 0.0);
+        // 1 degree lat over 10 rows ~ 11.1 km per row.
+        assert!((ns - 11.11).abs() < 0.2, "ns {ns}");
+    }
+}

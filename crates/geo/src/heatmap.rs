@@ -1,0 +1,184 @@
+//! Density heatmaps over a grid — the rendering substrate behind the
+//! paper's Figure 1 (COVID spread), Figure 8 (Nipsey Hussle) and Figure 9
+//! (New Colossus Festival) use cases.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+use crate::kde::Kde2d;
+use crate::point::Point;
+
+/// A normalized density surface over a grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heatmap {
+    grid: Grid,
+    /// Row-major densities, normalized so the maximum is 1 (all-zero when
+    /// no points were accumulated).
+    values: Vec<f64>,
+    /// Number of points accumulated.
+    n_points: usize,
+}
+
+impl Heatmap {
+    /// Builds a heatmap from points, smoothing with a Gaussian kernel of
+    /// `bandwidth_cells` grid cells.
+    pub fn from_points(grid: Grid, points: &[Point], bandwidth_cells: f64) -> Self {
+        let counts: Vec<f64> = grid.histogram(points).into_iter().map(f64::from).collect();
+        let smoothed = Kde2d::new(grid.clone(), bandwidth_cells).smooth(&counts);
+        let max = smoothed.iter().copied().fold(0.0f64, f64::max);
+        let values = if max > 0.0 {
+            smoothed.into_iter().map(|v| v / max).collect()
+        } else {
+            smoothed
+        };
+        Self { grid, values, n_points: points.len() }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Row-major normalized values in `[0, 1]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of points that built the map.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// The cell centres of the `k` hottest cells, hottest first — the
+    /// "burst" locations the use cases call out.
+    pub fn hotspots(&self, k: usize) -> Vec<(Point, f64)> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| self.values[b].total_cmp(&self.values[a]));
+        idx.into_iter()
+            .take(k)
+            .filter(|&i| self.values[i] > 0.0)
+            .map(|i| (self.grid.center_of(self.grid.cell_at(i)), self.values[i]))
+            .collect()
+    }
+
+    /// Cosine similarity between two heatmaps on the same grid — used by the
+    /// use-case analyses to quantify how much a distribution shifted between
+    /// two time windows.
+    pub fn similarity(&self, other: &Heatmap) -> f64 {
+        assert_eq!(
+            self.grid, other.grid,
+            "heatmaps must share a grid to be compared"
+        );
+        let dot: f64 = self.values.iter().zip(&other.values).map(|(a, b)| a * b).sum();
+        let na: f64 = self.values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = other.values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Renders an ASCII-art preview (north at the top), `width` columns
+    /// wide. Intended for terminal output from the figure binaries.
+    pub fn render_ascii(&self, width: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let width = width.clamp(10, self.grid.cols());
+        let height = (width * self.grid.rows() / self.grid.cols()).max(5) / 2; // terminal cells are ~2:1
+        let mut out = String::new();
+        for hr in (0..height).rev() {
+            for hc in 0..width {
+                // Average the block of grid cells mapped to this character.
+                let r0 = hr * self.grid.rows() / height;
+                let r1 = ((hr + 1) * self.grid.rows() / height).max(r0 + 1);
+                let c0 = hc * self.grid.cols() / width;
+                let c1 = ((hc + 1) * self.grid.cols() / width).max(c0 + 1);
+                let mut acc = 0.0;
+                let mut n = 0usize;
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        acc += self.values[r * self.grid.cols() + c];
+                        n += 1;
+                    }
+                }
+                let v = acc / n as f64;
+                let level = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[level] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn grid() -> Grid {
+        Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 40, 40)
+    }
+
+    #[test]
+    fn empty_heatmap_is_all_zero() {
+        let h = Heatmap::from_points(grid(), &[], 1.0);
+        assert_eq!(h.n_points(), 0);
+        assert!(h.values().iter().all(|&v| v == 0.0));
+        assert!(h.hotspots(3).is_empty());
+    }
+
+    #[test]
+    fn heatmap_is_normalized_to_unit_max() {
+        let pts = vec![Point::new(40.5, -74.5); 20];
+        let h = Heatmap::from_points(grid(), &pts, 1.0);
+        let max = h.values().iter().copied().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(h.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn hotspot_lands_on_the_cluster() {
+        let cluster = Point::new(40.25, -74.75);
+        let pts = vec![cluster; 50];
+        let h = Heatmap::from_points(grid(), &pts, 1.0);
+        let (hot, v) = h.hotspots(1)[0];
+        assert!(hot.haversine_km(&cluster) < 3.0, "hot {hot:?}");
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn similarity_of_identical_maps_is_one() {
+        let pts: Vec<Point> = (0..30).map(|i| Point::new(40.1 + 0.02 * i as f64, -74.5)).collect();
+        let h1 = Heatmap::from_points(grid(), &pts, 1.0);
+        let h2 = Heatmap::from_points(grid(), &pts, 1.0);
+        assert!((h1.similarity(&h2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_clusters_is_low() {
+        let a = Heatmap::from_points(grid(), &vec![Point::new(40.1, -74.9); 30], 0.5);
+        let b = Heatmap::from_points(grid(), &vec![Point::new(40.9, -74.1); 30], 0.5);
+        assert!(a.similarity(&b) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a grid")]
+    fn similarity_requires_same_grid() {
+        let g2 = Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 10, 10);
+        let a = Heatmap::from_points(grid(), &[], 1.0);
+        let b = Heatmap::from_points(g2, &[], 1.0);
+        let _ = a.similarity(&b);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let pts = vec![Point::new(40.5, -74.5); 10];
+        let h = Heatmap::from_points(grid(), &pts, 2.0);
+        let art = h.render_ascii(40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.len() == 40));
+        assert!(art.contains('@') || art.contains('%'), "peak glyph missing:\n{art}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Kernel density estimation over geography.
+//!
+//! Two estimators live here:
+//!
+//! * [`Kde2d`] — smooths a grid histogram with an isotropic 2-D Gaussian
+//!   kernel. This is the "kde2d" replacement for count-based cell estimates
+//!   in the `NaiveBayes_kde2d` / `KullbackLeibler_kde2d` baselines of
+//!   Hulden et al.
+//! * [`TermKde`] — a per-term point-set KDE with an *adaptive* bandwidth
+//!   driven by the term's location indicativeness, as used by LocKDE
+//!   (Ozdikis et al.): spatially focused terms get narrow kernels, diffuse
+//!   terms get wide ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+use crate::point::Point;
+
+/// Isotropic Gaussian smoothing of grid-cell counts.
+#[derive(Debug, Clone)]
+pub struct Kde2d {
+    grid: Grid,
+    /// Kernel standard deviation measured in cells.
+    bandwidth_cells: f64,
+}
+
+impl Kde2d {
+    /// Creates a smoother over `grid` with kernel σ of `bandwidth_cells`
+    /// cells. Panics on a non-positive bandwidth.
+    pub fn new(grid: Grid, bandwidth_cells: f64) -> Self {
+        assert!(bandwidth_cells > 0.0, "bandwidth must be positive");
+        Self { grid, bandwidth_cells }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Smooths raw cell `counts` (row-major, length `grid.len()`) into a
+    /// dense non-negative surface of the same shape. Mass is preserved up to
+    /// edge truncation; the result is *not* normalized (callers normalize as
+    /// needed for their probability model).
+    ///
+    /// Implemented as a separable convolution — two 1-D Gaussian passes —
+    /// so a 100×100 grid smooths in O(cells × kernel_width).
+    pub fn smooth(&self, counts: &[f64]) -> Vec<f64> {
+        assert_eq!(counts.len(), self.grid.len(), "counts length must match grid");
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        let kernel = self.kernel_1d();
+        let half = kernel.len() / 2;
+
+        // Pass 1: along columns (latitude direction).
+        let mut tmp = vec![0.0; counts.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = 0.0;
+                for (k, &kw) in kernel.iter().enumerate() {
+                    let rr = r as isize + k as isize - half as isize;
+                    if rr >= 0 && (rr as usize) < rows {
+                        acc += kw * counts[rr as usize * cols + c];
+                    }
+                }
+                tmp[r * cols + c] = acc;
+            }
+        }
+        // Pass 2: along rows (longitude direction).
+        let mut out = vec![0.0; counts.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = 0.0;
+                for (k, &kw) in kernel.iter().enumerate() {
+                    let cc = c as isize + k as isize - half as isize;
+                    if cc >= 0 && (cc as usize) < cols {
+                        acc += kw * tmp[r * cols + cc as usize];
+                    }
+                }
+                out[r * cols + c] = acc;
+            }
+        }
+        out
+    }
+
+    fn kernel_1d(&self) -> Vec<f64> {
+        let sigma = self.bandwidth_cells;
+        let half = (3.0 * sigma).ceil() as usize;
+        let mut k: Vec<f64> = (0..=2 * half)
+            .map(|i| {
+                let x = i as f64 - half as f64;
+                (-0.5 * (x / sigma).powi(2)).exp()
+            })
+            .collect();
+        let sum: f64 = k.iter().sum();
+        for v in &mut k {
+            *v /= sum;
+        }
+        k
+    }
+}
+
+/// A per-term kernel density estimate with indicativeness-adaptive
+/// bandwidth, following LocKDE.
+///
+/// A term's *location indicativeness* is measured by the spatial dispersion
+/// of its training occurrences: the mean distance to the term's spatial
+/// centroid. The kernel bandwidth interpolates between `min_bw_km` (for
+/// perfectly focused terms) and `max_bw_km` (for terms scattered across the
+/// whole region).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TermKde {
+    points: Vec<Point>,
+    bandwidth_km: f64,
+}
+
+impl TermKde {
+    /// Fits the KDE for one term from its training occurrence locations.
+    ///
+    /// `min_bw_km`/`max_bw_km` bound the adaptive bandwidth; `region_scale_km`
+    /// is the characteristic size of the study region (dispersion is measured
+    /// relative to it). Panics on an empty point set or inverted bounds.
+    pub fn fit(points: Vec<Point>, min_bw_km: f64, max_bw_km: f64, region_scale_km: f64) -> Self {
+        assert!(!points.is_empty(), "TermKde needs at least one occurrence");
+        assert!(
+            0.0 < min_bw_km && min_bw_km <= max_bw_km,
+            "bandwidth bounds must satisfy 0 < min <= max"
+        );
+        assert!(region_scale_km > 0.0);
+        let c = crate::point::centroid(&points).expect("non-empty");
+        let dispersion =
+            points.iter().map(|p| p.haversine_km(&c)).sum::<f64>() / points.len() as f64;
+        // Indicativeness in [0,1]: 1 = perfectly focused, 0 = region-wide.
+        let indicativeness = 1.0 - (dispersion / region_scale_km).min(1.0);
+        let bandwidth_km = max_bw_km - indicativeness * (max_bw_km - min_bw_km);
+        Self { points, bandwidth_km }
+    }
+
+    /// The adaptive bandwidth chosen at fit time, km.
+    pub fn bandwidth_km(&self) -> f64 {
+        self.bandwidth_km
+    }
+
+    /// Number of training occurrences.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Density at `p` (per km², normalized per kernel so densities from
+    /// different terms are comparable).
+    pub fn density(&self, p: &Point) -> f64 {
+        let bw = self.bandwidth_km;
+        let norm = 1.0 / (2.0 * std::f64::consts::PI * bw * bw * self.points.len() as f64);
+        self.points
+            .iter()
+            .map(|q| {
+                let d = p.haversine_km(q);
+                norm * (-0.5 * (d / bw).powi(2)).exp()
+            })
+            .sum()
+    }
+
+    /// Evaluates the density at every cell centre of `grid` (row-major).
+    pub fn density_grid(&self, grid: &Grid) -> Vec<f64> {
+        grid.cells().map(|c| self.density(&grid.center_of(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn test_grid() -> Grid {
+        Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 20, 20)
+    }
+
+    #[test]
+    fn smooth_preserves_mass_in_interior() {
+        let g = test_grid();
+        let kde = Kde2d::new(g.clone(), 1.0);
+        let mut counts = vec![0.0; g.len()];
+        counts[g.len() / 2 + 10] = 100.0; // interior impulse
+        let smoothed = kde.smooth(&counts);
+        let total: f64 = smoothed.iter().sum();
+        assert!((total - 100.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn smooth_spreads_an_impulse() {
+        let g = test_grid();
+        let kde = Kde2d::new(g.clone(), 1.5);
+        let mut counts = vec![0.0; g.len()];
+        let idx = 10 * 20 + 10;
+        counts[idx] = 1.0;
+        let s = kde.smooth(&counts);
+        assert!(s[idx] < 1.0);
+        assert!(s[idx] > s[idx + 1] * 0.999, "peak stays at impulse");
+        assert!(s[idx + 1] > 0.0 && s[idx + 20] > 0.0, "neighbors receive mass");
+        // Symmetry of the kernel.
+        assert!((s[idx + 1] - s[idx - 1]).abs() < 1e-12);
+        assert!((s[idx + 20] - s[idx - 20]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_is_linear() {
+        let g = test_grid();
+        let kde = Kde2d::new(g.clone(), 1.0);
+        let a: Vec<f64> = (0..g.len()).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..g.len()).map(|i| (i % 3) as f64).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let sa = kde.smooth(&a);
+        let sb = kde.smooth(&b);
+        let ssum = kde.smooth(&sum);
+        for i in 0..g.len() {
+            assert!((ssum[i] - sa[i] - sb[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn kde2d_rejects_zero_bandwidth() {
+        let _ = Kde2d::new(test_grid(), 0.0);
+    }
+
+    #[test]
+    fn focused_term_gets_narrow_bandwidth() {
+        let focus = Point::new(40.7, -74.0);
+        let tight: Vec<Point> = (0..50)
+            .map(|i| Point::new(focus.lat + 1e-4 * i as f64, focus.lon))
+            .collect();
+        let spread: Vec<Point> = (0..50)
+            .map(|i| Point::new(40.0 + 0.02 * i as f64, -75.0 + 0.02 * i as f64))
+            .collect();
+        let k_tight = TermKde::fit(tight, 0.5, 10.0, 50.0);
+        let k_spread = TermKde::fit(spread, 0.5, 10.0, 50.0);
+        assert!(k_tight.bandwidth_km() < k_spread.bandwidth_km());
+        assert!((k_tight.bandwidth_km() - 0.5).abs() < 0.1, "{}", k_tight.bandwidth_km());
+    }
+
+    #[test]
+    fn term_density_peaks_near_occurrences() {
+        let pts = vec![Point::new(40.7, -74.0); 10];
+        let k = TermKde::fit(pts, 1.0, 5.0, 50.0);
+        let near = k.density(&Point::new(40.7, -74.0));
+        let far = k.density(&Point::new(40.95, -74.5));
+        assert!(near > far * 10.0);
+    }
+
+    #[test]
+    fn term_density_integrates_to_one() {
+        // Integrate over a fine local grid in km space.
+        let center = Point::new(40.5, -74.5);
+        let k = TermKde::fit(vec![center], 2.0, 2.0, 50.0);
+        let step_km = 0.25;
+        let half = 60; // ±15 km
+        let mut mass = 0.0;
+        for i in -half..=half {
+            for j in -half..=half {
+                let p = Point::from_local_km(&center, i as f64 * step_km, j as f64 * step_km);
+                mass += k.density(&p) * step_km * step_km;
+            }
+        }
+        assert!((mass - 1.0).abs() < 0.02, "mass {mass}");
+    }
+
+    #[test]
+    fn density_grid_matches_pointwise() {
+        let g = test_grid();
+        let k = TermKde::fit(vec![Point::new(40.5, -74.5)], 1.0, 5.0, 50.0);
+        let dg = k.density_grid(&g);
+        let cell = g.cell_at(37);
+        assert!((dg[37] - k.density(&g.center_of(cell))).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one occurrence")]
+    fn term_kde_rejects_empty() {
+        let _ = TermKde::fit(vec![], 1.0, 5.0, 50.0);
+    }
+}

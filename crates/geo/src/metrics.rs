@@ -1,0 +1,214 @@
+//! Evaluation metrics of the paper: Mean / Median distance error, @3km /
+//! @5km accuracy (Table III–IV) and Radius Density Precision (Figure 5).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::mixture::GaussianMixture;
+use crate::point::Point;
+
+/// The distance-based metric block the paper reports for every method:
+/// mean error, median error, and the fraction of tweets within 3 km / 5 km
+/// of the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceReport {
+    /// Mean haversine error, km.
+    pub mean_km: f64,
+    /// Median haversine error, km.
+    pub median_km: f64,
+    /// Fraction of tweets with error ≤ 3 km.
+    pub at_3km: f64,
+    /// Fraction of tweets with error ≤ 5 km.
+    pub at_5km: f64,
+    /// Number of evaluated tweets.
+    pub n: usize,
+    /// Fraction of the test set the method could predict at all (Hyper-local
+    /// abstains on tweets without geo-specific n-grams; everything else
+    /// covers 1.0).
+    pub coverage: f64,
+}
+
+impl DistanceReport {
+    /// Computes the report from `(predicted, truth)` pairs with full
+    /// coverage. Returns `None` for an empty input.
+    pub fn from_pairs(pairs: &[(Point, Point)]) -> Option<Self> {
+        Self::from_pairs_with_coverage(pairs, 1.0)
+    }
+
+    /// Computes the report from `(predicted, truth)` pairs, recording the
+    /// fraction of the full test set those pairs represent.
+    pub fn from_pairs_with_coverage(pairs: &[(Point, Point)], coverage: f64) -> Option<Self> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut errors: Vec<f64> = pairs.iter().map(|(p, t)| p.haversine_km(t)).collect();
+        errors.sort_by(f64::total_cmp);
+        let n = errors.len();
+        let mean = errors.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            errors[n / 2]
+        } else {
+            (errors[n / 2 - 1] + errors[n / 2]) / 2.0
+        };
+        let at = |r: f64| errors.iter().filter(|&&e| e <= r).count() as f64 / n as f64;
+        Some(Self {
+            mean_km: mean,
+            median_km: median,
+            at_3km: at(3.0),
+            at_5km: at(5.0),
+            n,
+            coverage,
+        })
+    }
+
+    /// Fraction of tweets within an arbitrary radius (for radius sweeps).
+    pub fn fraction_within(pairs: &[(Point, Point)], radius_km: f64) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs
+            .iter()
+            .filter(|(p, t)| p.haversine_km(t) <= radius_km)
+            .count() as f64
+            / pairs.len() as f64
+    }
+}
+
+/// Radius Density Precision at radius `r`: the average probability mass the
+/// predicted mixture assigns within `r` km of the true location.
+///
+/// This is the density-aware metric of Figure 5 (see DESIGN.md §1 for the
+/// reconstruction note): a method that merely lands its point estimate near
+/// the truth but spreads its density region-wide scores poorly, while a
+/// confident, correct mixture scores near 1. Monotone non-decreasing in `r`
+/// by construction.
+///
+/// `samples_per_tweet` Monte-Carlo draws per prediction; the RNG is seeded
+/// for reproducibility.
+pub fn rdp(
+    predictions: &[(GaussianMixture, Point)],
+    radius_km: f64,
+    samples_per_tweet: usize,
+    seed: u64,
+) -> f64 {
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = predictions
+        .iter()
+        .map(|(mix, truth)| mix.mass_within_km(truth, radius_km, samples_per_tweet, &mut rng))
+        .sum();
+    total / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::BivariateGaussian;
+
+    fn pairs() -> Vec<(Point, Point)> {
+        let truth = Point::new(40.7, -74.0);
+        // Errors of roughly 0, ~2.2km, ~4.5km, ~11km.
+        vec![
+            (truth, truth),
+            (Point::new(40.72, -74.0), truth),
+            (Point::new(40.74, -74.0), truth),
+            (Point::new(40.80, -74.0), truth),
+        ]
+    }
+
+    #[test]
+    fn report_from_empty_is_none() {
+        assert!(DistanceReport::from_pairs(&[]).is_none());
+    }
+
+    #[test]
+    fn report_basic_quantities() {
+        let r = DistanceReport::from_pairs(&pairs()).unwrap();
+        assert_eq!(r.n, 4);
+        assert_eq!(r.coverage, 1.0);
+        assert!(r.mean_km > 0.0);
+        assert!((r.at_3km - 0.5).abs() < 1e-12, "at3 {}", r.at_3km);
+        assert!((r.at_5km - 0.75).abs() < 1e-12, "at5 {}", r.at_5km);
+        // Median of [0, 2.2, 4.5, 11.1] ≈ (2.2+4.5)/2.
+        assert!(r.median_km > 2.0 && r.median_km < 4.6);
+    }
+
+    #[test]
+    fn report_is_permutation_invariant() {
+        let mut p = pairs();
+        let a = DistanceReport::from_pairs(&p).unwrap();
+        p.reverse();
+        let b = DistanceReport::from_pairs(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let truth = Point::new(0.0, 0.0);
+        let prs = vec![
+            (Point::new(0.0, 0.0), truth),
+            (Point::new(0.01, 0.0), truth),
+            (Point::new(1.0, 0.0), truth),
+        ];
+        let r = DistanceReport::from_pairs(&prs).unwrap();
+        assert!((r.median_km - Point::new(0.01, 0.0).haversine_km(&truth)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_is_recorded() {
+        let r = DistanceReport::from_pairs_with_coverage(&pairs(), 0.84).unwrap();
+        assert!((r.coverage - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_within_monotone_in_radius() {
+        let p = pairs();
+        let f1 = DistanceReport::fraction_within(&p, 1.0);
+        let f5 = DistanceReport::fraction_within(&p, 5.0);
+        let f50 = DistanceReport::fraction_within(&p, 50.0);
+        assert!(f1 <= f5 && f5 <= f50);
+        assert_eq!(f50, 1.0);
+    }
+
+    #[test]
+    fn rdp_confident_correct_beats_diffuse() {
+        let truth = Point::new(40.7, -74.0);
+        let confident = GaussianMixture::single(BivariateGaussian::isotropic(truth, 0.005));
+        let diffuse = GaussianMixture::single(BivariateGaussian::isotropic(truth, 0.5));
+        let hi = rdp(&[(confident, truth)], 3.0, 2000, 9);
+        let lo = rdp(&[(diffuse, truth)], 3.0, 2000, 9);
+        assert!(hi > 0.9, "hi {hi}");
+        assert!(lo < 0.2, "lo {lo}");
+    }
+
+    #[test]
+    fn rdp_monotone_in_radius() {
+        let truth = Point::new(40.7, -74.0);
+        let mix = GaussianMixture::new(vec![
+            (0.6, BivariateGaussian::isotropic(truth, 0.05)),
+            (0.4, BivariateGaussian::isotropic(Point::new(40.8, -73.9), 0.05)),
+        ]);
+        let preds = vec![(mix, truth)];
+        let r1 = rdp(&preds, 1.0, 3000, 5);
+        let r5 = rdp(&preds, 5.0, 3000, 5);
+        let r30 = rdp(&preds, 30.0, 3000, 5);
+        assert!(r1 <= r5 + 0.02 && r5 <= r30 + 0.02, "{r1} {r5} {r30}");
+        assert!(r30 > 0.95);
+    }
+
+    #[test]
+    fn rdp_empty_is_zero() {
+        assert_eq!(rdp(&[], 3.0, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn rdp_is_deterministic_given_seed() {
+        let truth = Point::new(40.7, -74.0);
+        let mix = GaussianMixture::single(BivariateGaussian::isotropic(truth, 0.05));
+        let preds = vec![(mix, truth)];
+        assert_eq!(rdp(&preds, 3.0, 500, 77), rdp(&preds, 3.0, 500, 77));
+    }
+}

@@ -1,0 +1,344 @@
+//! Gaussian mixtures — the prediction object EDGE returns (Eq. 6), with the
+//! density-argmax point extraction of Eq. 14 and the mass-within-radius
+//! query behind the RDP metric.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gaussian::BivariateGaussian;
+use crate::point::Point;
+
+/// A weighted mixture of bivariate Gaussians over `(lat, lon)`.
+///
+/// Weights are normalized at construction, so `pdf` always integrates to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    weights: Vec<f64>,
+    components: Vec<BivariateGaussian>,
+}
+
+impl GaussianMixture {
+    /// Builds a mixture from `(weight, component)` pairs. Weights must be
+    /// non-negative with a positive sum; they are renormalized to 1.
+    ///
+    /// Panics on an empty component list or an all-zero weight vector —
+    /// those are programming errors in the caller, not data conditions.
+    pub fn new(parts: Vec<(f64, BivariateGaussian)>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let sum: f64 = parts.iter().map(|(w, _)| *w).sum();
+        assert!(
+            sum > 0.0 && sum.is_finite(),
+            "mixture weights must have a positive finite sum, got {sum}"
+        );
+        let (weights, components) = parts
+            .into_iter()
+            .map(|(w, g)| {
+                assert!(w >= 0.0, "negative mixture weight {w}");
+                (w / sum, g)
+            })
+            .unzip();
+        Self { weights, components }
+    }
+
+    /// A single-component mixture (the `NoMixture` ablation's output shape).
+    pub fn single(g: BivariateGaussian) -> Self {
+        Self::new(vec![(1.0, g)])
+    }
+
+    /// Number of components `M`.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True only for the impossible empty mixture (constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The normalized component weights `π`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The Gaussian components.
+    pub fn components(&self) -> &[BivariateGaussian] {
+        &self.components
+    }
+
+    /// Iterates `(π_m, component_m)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &BivariateGaussian)> + '_ {
+        self.weights.iter().copied().zip(self.components.iter())
+    }
+
+    /// Probability density at `p` (Eq. 6).
+    pub fn pdf(&self, p: &Point) -> f64 {
+        self.iter().map(|(w, g)| w * g.pdf(p)).sum()
+    }
+
+    /// Log density at `p`, computed with the log-sum-exp trick so that
+    /// far-from-every-component points do not underflow to `-inf` unless the
+    /// density is truly zero to f64 precision.
+    pub fn log_pdf(&self, p: &Point) -> f64 {
+        let logs: Vec<f64> = self
+            .iter()
+            .map(|(w, g)| if w > 0.0 { w.ln() + g.log_pdf(p) } else { f64::NEG_INFINITY })
+            .collect();
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        max + logs.iter().map(|l| (l - max).exp()).sum::<f64>().ln()
+    }
+
+    /// The mixture mean `Σ π_m μ_m`.
+    pub fn mean(&self) -> Point {
+        let mut lat = 0.0;
+        let mut lon = 0.0;
+        for (w, g) in self.iter() {
+            lat += w * g.mu.lat;
+            lon += w * g.mu.lon;
+        }
+        Point::new(lat, lon)
+    }
+
+    /// Draws one sample: pick a component by weight, then sample it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (w, g) in self.iter() {
+            acc += w;
+            if u <= acc {
+                return g.sample(rng);
+            }
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components.last().expect("non-empty").sample(rng)
+    }
+
+    /// Eq. 14: the location maximizing the mixture density.
+    ///
+    /// The density is multi-modal, so we run gradient ascent from every
+    /// component mean (plus the mixture mean) and keep the best endpoint.
+    /// Each ascent uses a normalized-gradient step with backtracking, which
+    /// is robust to the wildly varying density magnitudes that degree-scale
+    /// σ values produce.
+    pub fn mode(&self) -> Point {
+        let mut starts: Vec<Point> = self.components.iter().map(|g| g.mu).collect();
+        starts.push(self.mean());
+        let mut best = starts[0];
+        let mut best_density = self.pdf(&best);
+        for start in starts {
+            let refined = self.ascend(start);
+            let d = self.pdf(&refined);
+            if d > best_density {
+                best_density = d;
+                best = refined;
+            }
+        }
+        best
+    }
+
+    fn ascend(&self, mut p: Point) -> Point {
+        // Scale the initial step to the smallest component σ so the search
+        // resolves the sharpest mode.
+        let min_sigma = self
+            .components
+            .iter()
+            .map(|g| g.sigma_lat.min(g.sigma_lon))
+            .fold(f64::INFINITY, f64::min);
+        let mut step = min_sigma * 0.5;
+        let mut density = self.pdf(&p);
+        for _ in 0..200 {
+            let (mut g_lat, mut g_lon) = (0.0, 0.0);
+            for (w, comp) in self.iter() {
+                let (a, b) = comp.pdf_grad(&p);
+                g_lat += w * a;
+                g_lon += w * b;
+            }
+            let norm = (g_lat * g_lat + g_lon * g_lon).sqrt();
+            if norm < 1e-300 || step < 1e-10 {
+                break;
+            }
+            let candidate = Point::new(p.lat + step * g_lat / norm, p.lon + step * g_lon / norm);
+            let cd = self.pdf(&candidate);
+            if cd > density {
+                p = candidate;
+                density = cd;
+            } else {
+                step *= 0.5;
+            }
+        }
+        p
+    }
+
+    /// Monte-Carlo estimate of the probability mass the mixture places
+    /// within `radius_km` of `center` — the per-tweet quantity averaged by
+    /// the RDP metric (Figure 5).
+    ///
+    /// Uses a seeded RNG so results are reproducible; `n_samples` around
+    /// 2 000 gives ±1% accuracy.
+    pub fn mass_within_km<R: Rng + ?Sized>(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        n_samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(n_samples > 0, "need at least one sample");
+        let hits = (0..n_samples)
+            .filter(|_| self.sample(rng).haversine_km(center) <= radius_km)
+            .count();
+        hits as f64 / n_samples as f64
+    }
+
+    /// The index and weight of the heaviest component.
+    pub fn dominant_component(&self) -> (usize, f64) {
+        let (idx, w) = self
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        (idx, *w)
+    }
+
+    /// Shannon entropy of the component weights in nats — a quick scalar
+    /// summary of how multi-modal the prediction is.
+    pub fn weight_entropy(&self) -> f64 {
+        -self
+            .weights
+            .iter()
+            .filter(|&&w| w > 0.0)
+            .map(|w| w * w.ln())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal() -> GaussianMixture {
+        GaussianMixture::new(vec![
+            (0.7, BivariateGaussian::isotropic(Point::new(40.70, -74.00), 0.01)),
+            (0.3, BivariateGaussian::isotropic(Point::new(40.80, -73.90), 0.01)),
+        ])
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let m = GaussianMixture::new(vec![
+            (2.0, BivariateGaussian::isotropic(Point::new(0.0, 0.0), 1.0)),
+            (6.0, BivariateGaussian::isotropic(Point::new(1.0, 1.0), 1.0)),
+        ]);
+        assert!((m.weights()[0] - 0.25).abs() < 1e-12);
+        assert!((m.weights()[1] - 0.75).abs() < 1e-12);
+        assert!((m.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_panics() {
+        let _ = GaussianMixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn zero_weights_panic() {
+        let _ = GaussianMixture::new(vec![(
+            0.0,
+            BivariateGaussian::isotropic(Point::new(0.0, 0.0), 1.0),
+        )]);
+    }
+
+    #[test]
+    fn pdf_is_weighted_sum() {
+        let m = bimodal();
+        let p = Point::new(40.75, -73.95);
+        let manual: f64 = m.iter().map(|(w, g)| w * g.pdf(&p)).sum();
+        assert!((m.pdf(&p) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf_and_survives_far_points() {
+        let m = bimodal();
+        let near = Point::new(40.71, -74.0);
+        assert!((m.log_pdf(&near) - m.pdf(&near).ln()).abs() < 1e-9);
+        // pdf underflows to 0 here, but log_pdf stays finite.
+        let far = Point::new(0.0, 0.0);
+        assert_eq!(m.pdf(&far), 0.0);
+        assert!(m.log_pdf(&far).is_finite());
+        assert!(m.log_pdf(&far) < -1000.0);
+    }
+
+    #[test]
+    fn mode_finds_heaviest_peak() {
+        let m = bimodal();
+        let mode = m.mode();
+        assert!(mode.haversine_km(&Point::new(40.70, -74.00)) < 0.2, "mode {mode:?}");
+    }
+
+    #[test]
+    fn mode_of_single_gaussian_is_its_mean() {
+        let g = BivariateGaussian::new(Point::new(34.05, -118.24), 0.05, 0.02, 0.4);
+        let m = GaussianMixture::single(g);
+        let mode = m.mode();
+        assert!(mode.haversine_km(&g.mu) < 0.05, "mode {mode:?}");
+    }
+
+    #[test]
+    fn mode_handles_overlapping_components() {
+        // Two equal components very close: the mode sits between them.
+        let m = GaussianMixture::new(vec![
+            (0.5, BivariateGaussian::isotropic(Point::new(40.0, -74.0), 0.1)),
+            (0.5, BivariateGaussian::isotropic(Point::new(40.05, -74.0), 0.1)),
+        ]);
+        let mode = m.mode();
+        assert!(mode.lat > 39.99 && mode.lat < 40.06, "mode {mode:?}");
+    }
+
+    #[test]
+    fn sample_respects_weights() {
+        let m = bimodal();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 30_000;
+        let near_first = (0..n)
+            .filter(|_| m.sample(&mut rng).haversine_km(&Point::new(40.70, -74.00)) < 5.0)
+            .count() as f64
+            / n as f64;
+        assert!((near_first - 0.7).abs() < 0.02, "got {near_first}");
+    }
+
+    #[test]
+    fn mass_within_km_brackets() {
+        let m = bimodal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let center = Point::new(40.70, -74.00);
+        let tight = m.mass_within_km(&center, 3.0, 4000, &mut rng);
+        let loose = m.mass_within_km(&center, 30.0, 4000, &mut rng);
+        assert!((tight - 0.7).abs() < 0.05, "tight {tight}");
+        assert!(loose > 0.98, "loose {loose}");
+    }
+
+    #[test]
+    fn dominant_component_and_entropy() {
+        let m = bimodal();
+        assert_eq!(m.dominant_component().0, 0);
+        let uniform = GaussianMixture::new(vec![
+            (1.0, BivariateGaussian::isotropic(Point::new(0.0, 0.0), 1.0)),
+            (1.0, BivariateGaussian::isotropic(Point::new(1.0, 1.0), 1.0)),
+        ]);
+        assert!((uniform.weight_entropy() - (2.0f64).ln()).abs() < 1e-12);
+        assert!(m.weight_entropy() < uniform.weight_entropy());
+        assert_eq!(GaussianMixture::single(m.components()[0]).weight_entropy(), 0.0);
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted_mean() {
+        let m = bimodal();
+        let mean = m.mean();
+        assert!((mean.lat - (0.7 * 40.70 + 0.3 * 40.80)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! A common interface over spatial partitions.
+//!
+//! The grid classifiers (NaiveBayes, Kullback-Leibler, LocKDE) only need
+//! three things from a partition: how many cells it has, which cell a point
+//! falls into, and a representative point per cell. Both the paper's
+//! uniform [`Grid`](crate::grid::Grid) and the quadtree alternative of
+//! Ajao et al. ([`Quadtree`](crate::quadtree::Quadtree)) satisfy that
+//! interface, so the baselines are generic over it.
+
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::quadtree::Quadtree;
+
+/// A finite partition of a study region into indexed cells.
+pub trait Partition {
+    /// Number of cells.
+    fn n_cells(&self) -> usize;
+
+    /// The cell containing `p` (out-of-region points clamp to an edge
+    /// cell).
+    fn cell_index_of(&self, p: &Point) -> usize;
+
+    /// A representative (centre) point of cell `index`.
+    fn cell_center(&self, index: usize) -> Point;
+}
+
+impl Partition for Grid {
+    fn n_cells(&self) -> usize {
+        self.len()
+    }
+
+    fn cell_index_of(&self, p: &Point) -> usize {
+        self.index_of(self.cell_of(p))
+    }
+
+    fn cell_center(&self, index: usize) -> Point {
+        self.center_of(self.cell_at(index))
+    }
+}
+
+impl Partition for Quadtree {
+    fn n_cells(&self) -> usize {
+        self.len()
+    }
+
+    fn cell_index_of(&self, p: &Point) -> usize {
+        self.cell_of(p)
+    }
+
+    fn cell_center(&self, index: usize) -> Point {
+        self.center_of(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn points() -> Vec<Point> {
+        (0..200)
+            .map(|i| Point::new(40.0 + 0.9 * ((i * 7) % 100) as f64 / 100.0, -75.0 + 0.9 * (i % 100) as f64 / 100.0))
+            .collect()
+    }
+
+    fn check_partition<P: Partition>(p: &P) {
+        assert!(p.n_cells() > 0);
+        for pt in points() {
+            let cell = p.cell_index_of(&pt);
+            assert!(cell < p.n_cells());
+            // The centre of a cell maps back to the same cell.
+            assert_eq!(p.cell_index_of(&p.cell_center(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn grid_satisfies_partition_contract() {
+        check_partition(&Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 13, 9));
+    }
+
+    #[test]
+    fn quadtree_satisfies_partition_contract() {
+        let tree = Quadtree::build(BBox::new(40.0, 41.0, -75.0, -74.0), &points(), 10, 8);
+        check_partition(&tree);
+    }
+
+    #[test]
+    fn generic_histogram_over_any_partition() {
+        fn histogram<P: Partition>(p: &P, pts: &[Point]) -> Vec<u32> {
+            let mut counts = vec![0u32; p.n_cells()];
+            for pt in pts {
+                counts[p.cell_index_of(pt)] += 1;
+            }
+            counts
+        }
+        let pts = points();
+        let grid = Grid::new(BBox::new(40.0, 41.0, -75.0, -74.0), 10, 10);
+        let tree = Quadtree::build(BBox::new(40.0, 41.0, -75.0, -74.0), &pts, 25, 8);
+        assert_eq!(histogram(&grid, &pts).iter().sum::<u32>(), 200);
+        assert_eq!(histogram(&tree, &pts).iter().sum::<u32>(), 200);
+    }
+}

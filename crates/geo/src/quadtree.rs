@@ -1,0 +1,257 @@
+//! Quadtree spatial partitioning.
+//!
+//! The paper's related work (Ajao et al.) proposes replacing the uniform
+//! grid of the Hulden-et-al. classifiers with a *non-uniform, data-adaptive*
+//! quadtree partition: dense areas get fine cells, sparse areas coarse
+//! ones. This module implements that partition as an extension; the grid
+//! baselines accept either partitioning through [`crate::grid::Grid`]-like
+//! cell queries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// A quadtree over a bounding box, built by recursively splitting any cell
+/// holding more than `max_points` training points (until `max_depth`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Quadtree {
+    bbox: BBox,
+    /// Flattened nodes; node 0 is the root.
+    nodes: Vec<QuadNode>,
+    /// Leaf-node indices in stable order; the "cells" of the partition.
+    leaves: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuadNode {
+    bbox: BBox,
+    /// Child node indices (NW, NE, SW, SE) or `None` for leaves.
+    children: Option<[usize; 4]>,
+    /// Position of this leaf in [`Quadtree::leaves`] (leaves only).
+    leaf_rank: Option<usize>,
+}
+
+impl Quadtree {
+    /// Builds the partition from training points. `max_points` bounds the
+    /// occupancy of a leaf before it splits; `max_depth` bounds recursion
+    /// (a depth of 8 over a metro box gives ~200 m minimum cells).
+    pub fn build(bbox: BBox, points: &[Point], max_points: usize, max_depth: usize) -> Self {
+        assert!(max_points >= 1, "max_points must be positive");
+        let mut tree = Self { bbox, nodes: Vec::new(), leaves: Vec::new() };
+        let idxs: Vec<usize> = (0..points.len()).collect();
+        tree.split(bbox, points, idxs, max_points, max_depth);
+        // Assign leaf ranks.
+        let mut leaves = Vec::new();
+        for (i, n) in tree.nodes.iter().enumerate() {
+            if n.children.is_none() {
+                leaves.push(i);
+            }
+        }
+        for (rank, &node) in leaves.iter().enumerate() {
+            tree.nodes[node].leaf_rank = Some(rank);
+        }
+        tree.leaves = leaves;
+        tree
+    }
+
+    fn split(
+        &mut self,
+        bbox: BBox,
+        points: &[Point],
+        idxs: Vec<usize>,
+        max_points: usize,
+        depth_left: usize,
+    ) -> usize {
+        let node_idx = self.nodes.len();
+        self.nodes.push(QuadNode { bbox, children: None, leaf_rank: None });
+        if idxs.len() <= max_points || depth_left == 0 {
+            return node_idx;
+        }
+        let c = bbox.center();
+        let quads = [
+            BBox::new(c.lat, bbox.max_lat, bbox.min_lon, c.lon), // NW
+            BBox::new(c.lat, bbox.max_lat, c.lon, bbox.max_lon), // NE
+            BBox::new(bbox.min_lat, c.lat, bbox.min_lon, c.lon), // SW
+            BBox::new(bbox.min_lat, c.lat, c.lon, bbox.max_lon), // SE
+        ];
+        let mut parts: [Vec<usize>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for i in idxs {
+            let p = &points[i];
+            let north = p.lat >= c.lat;
+            let east = p.lon >= c.lon;
+            let q = match (north, east) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            };
+            parts[q].push(i);
+        }
+        let mut children = [0usize; 4];
+        for (q, part) in parts.into_iter().enumerate() {
+            children[q] = self.split(quads[q], points, part, max_points, depth_left - 1);
+        }
+        self.nodes[node_idx].children = Some(children);
+        node_idx
+    }
+
+    /// Number of leaf cells.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when the tree has no cells (never: the root is always a cell).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The overall bounding box.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// The leaf-cell index containing `p` (points outside the box are
+    /// clamped to it first).
+    pub fn cell_of(&self, p: &Point) -> usize {
+        let p = self.bbox.clamp(p);
+        let mut node = 0usize;
+        while let Some(children) = self.nodes[node].children {
+            let c = self.nodes[node].bbox.center();
+            let q = match (p.lat >= c.lat, p.lon >= c.lon) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            };
+            node = children[q];
+        }
+        self.nodes[node].leaf_rank.expect("leaf has a rank")
+    }
+
+    /// The bounding box of leaf cell `cell`.
+    pub fn cell_bbox(&self, cell: usize) -> &BBox {
+        &self.nodes[self.leaves[cell]].bbox
+    }
+
+    /// The centre of leaf cell `cell`.
+    pub fn center_of(&self, cell: usize) -> Point {
+        self.cell_bbox(cell).center()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[QuadNode], i: usize) -> usize {
+            match nodes[i].children {
+                None => 0,
+                Some(cs) => 1 + cs.iter().map(|&c| walk(nodes, c)).max().unwrap_or(0),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bbox() -> BBox {
+        BBox::new(40.0, 41.0, -75.0, -74.0)
+    }
+
+    fn clustered_points() -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pts = Vec::new();
+        // Dense cluster in the NE quadrant, sparse elsewhere.
+        for _ in 0..500 {
+            pts.push(Point::new(rng.gen_range(40.7..40.9), rng.gen_range(-74.3..-74.1)));
+        }
+        for _ in 0..20 {
+            pts.push(Point::new(rng.gen_range(40.0..40.5), rng.gen_range(-75.0..-74.5)));
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_input_is_single_cell() {
+        let t = Quadtree::build(bbox(), &[], 10, 8);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.cell_of(&Point::new(40.5, -74.5)), 0);
+    }
+
+    #[test]
+    fn dense_regions_get_finer_cells() {
+        let pts = clustered_points();
+        let t = Quadtree::build(bbox(), &pts, 20, 10);
+        assert!(t.len() > 10, "cells: {}", t.len());
+        // The dense-cluster cell is smaller than the sparse-region cell.
+        let dense_cell = t.cell_of(&Point::new(40.8, -74.2));
+        let sparse_cell = t.cell_of(&Point::new(40.2, -74.8));
+        let area = |b: &BBox| b.lat_span() * b.lon_span();
+        assert!(
+            area(t.cell_bbox(dense_cell)) < area(t.cell_bbox(sparse_cell)),
+            "dense {:?} sparse {:?}",
+            t.cell_bbox(dense_cell),
+            t.cell_bbox(sparse_cell)
+        );
+    }
+
+    #[test]
+    fn occupancy_bound_is_respected() {
+        let pts = clustered_points();
+        let max_points = 25;
+        let t = Quadtree::build(bbox(), &pts, max_points, 12);
+        let mut occupancy = vec![0usize; t.len()];
+        for p in &pts {
+            occupancy[t.cell_of(p)] += 1;
+        }
+        for (cell, &n) in occupancy.iter().enumerate() {
+            assert!(n <= max_points, "cell {cell} holds {n} points");
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_recursion() {
+        let pts = vec![Point::new(40.5, -74.5); 1000]; // unsplittable pile
+        let t = Quadtree::build(bbox(), &pts, 10, 3);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn cell_of_is_consistent_with_cell_bbox() {
+        let pts = clustered_points();
+        let t = Quadtree::build(bbox(), &pts, 30, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(40.0..41.0), rng.gen_range(-75.0..-74.0));
+            let cell = t.cell_of(&p);
+            assert!(t.cell_bbox(cell).contains(&p), "{p:?} not in its cell bbox");
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_box() {
+        // Cell centres map back to their own cells, and total leaf area
+        // equals the root area.
+        let pts = clustered_points();
+        let t = Quadtree::build(bbox(), &pts, 40, 8);
+        let mut total_area = 0.0;
+        for cell in 0..t.len() {
+            assert_eq!(t.cell_of(&t.center_of(cell)), cell);
+            let b = t.cell_bbox(cell);
+            total_area += b.lat_span() * b.lon_span();
+        }
+        let root_area = bbox().lat_span() * bbox().lon_span();
+        assert!((total_area - root_area).abs() < 1e-9 * root_area);
+    }
+
+    #[test]
+    fn outside_points_clamp() {
+        let t = Quadtree::build(bbox(), &clustered_points(), 30, 8);
+        let cell = t.cell_of(&Point::new(0.0, 0.0));
+        assert!(cell < t.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! Von Mises–Fisher distributions on the unit sphere S².
+//!
+//! The UnicodeCNN baseline (Izbicki et al.) predicts tweet locations with a
+//! *mixture of von Mises–Fisher* (MvMF) distributions, "where the components
+//! are uniformly distributed in each region" and only the mixture weights are
+//! learned. This module provides the density, the fixed-component layout and
+//! the weighted-mode extraction that baseline needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// A von Mises–Fisher distribution on S² with mean direction `mu` and
+/// concentration `kappa`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VonMisesFisher {
+    /// Mean direction as a geographic point.
+    pub mu: Point,
+    /// Concentration parameter; larger = tighter. Must be positive.
+    pub kappa: f64,
+}
+
+impl VonMisesFisher {
+    /// Creates a vMF component. Panics on non-positive `kappa`.
+    pub fn new(mu: Point, kappa: f64) -> Self {
+        assert!(kappa > 0.0, "kappa must be positive, got {kappa}");
+        Self { mu, kappa }
+    }
+
+    /// Log density at `p` with respect to the uniform measure on S².
+    ///
+    /// For p = 3 the normalizer is `κ / (4π sinh κ)`; we use the
+    /// numerically safe form `ln κ - ln(4π) - κ - ln((1 - e^{-2κ})/2)`
+    /// which never overflows for large κ.
+    pub fn log_pdf(&self, p: &Point) -> f64 {
+        let dot = dot3(self.mu.to_unit_vec(), p.to_unit_vec());
+        let k = self.kappa;
+        let log_norm =
+            k.ln() - (4.0 * std::f64::consts::PI).ln() - k - ((1.0 - (-2.0 * k).exp()) / 2.0).ln();
+        log_norm + k * dot
+    }
+
+    /// Density at `p`.
+    pub fn pdf(&self, p: &Point) -> f64 {
+        self.log_pdf(p).exp()
+    }
+}
+
+/// A mixture of vMF components with fixed means and learnable weights — the
+/// output head of the UnicodeCNN baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvMfMixture {
+    components: Vec<VonMisesFisher>,
+    weights: Vec<f64>,
+}
+
+impl MvMfMixture {
+    /// Lays out `n` components uniformly over `bbox` (a near-square lattice,
+    /// matching the paper's "components are uniformly distributed in each
+    /// region"), all with concentration `kappa` and uniform initial weights.
+    pub fn uniform_layout(bbox: &BBox, n: usize, kappa: f64) -> Self {
+        assert!(n > 0, "need at least one component");
+        // Choose a rows×cols lattice with rows*cols >= n, as square as possible.
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let mut components = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if components.len() == n {
+                    break 'outer;
+                }
+                let v = (r as f64 + 0.5) / rows as f64;
+                let u = (c as f64 + 0.5) / cols as f64;
+                components.push(VonMisesFisher::new(bbox.lerp(u, v), kappa));
+            }
+        }
+        let weights = vec![1.0 / n as f64; n];
+        Self { components, weights }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the mixture has no components (cannot happen via the
+    /// provided constructors).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component means.
+    pub fn centers(&self) -> Vec<Point> {
+        self.components.iter().map(|c| c.mu).collect()
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Replaces the weights (e.g. with a network's softmax output). Panics
+    /// when the length differs or the weights are not a distribution.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.components.len(), "weight/component length mismatch");
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6 && weights.iter().all(|&w| w >= 0.0),
+            "weights must form a distribution (sum {sum})"
+        );
+        self.weights = weights;
+    }
+
+    /// Density at `p`.
+    pub fn pdf(&self, p: &Point) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.pdf(p))
+            .sum()
+    }
+
+    /// The component mean with the highest weighted density — the point
+    /// estimate the UnicodeCNN baseline reports. With fixed, well-separated
+    /// components this coincides with the mixture mode to within a
+    /// component spacing.
+    pub fn mode(&self) -> Point {
+        let best = self
+            .components
+            .iter()
+            .map(|c| c.mu)
+            .max_by(|a, b| self.pdf(a).total_cmp(&self.pdf(b)))
+            .expect("non-empty mixture");
+        best
+    }
+}
+
+fn dot3(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmf_density_peaks_at_mean() {
+        let v = VonMisesFisher::new(Point::new(40.7, -74.0), 1000.0);
+        let at_mean = v.pdf(&v.mu);
+        assert!(at_mean > v.pdf(&Point::new(40.8, -74.0)));
+        assert!(at_mean > v.pdf(&Point::new(40.7, -73.8)));
+    }
+
+    #[test]
+    fn vmf_large_kappa_no_overflow() {
+        let v = VonMisesFisher::new(Point::new(0.0, 0.0), 1e6);
+        assert!(v.log_pdf(&v.mu).is_finite());
+        assert!(v.log_pdf(&Point::new(1.0, 1.0)).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn vmf_rejects_nonpositive_kappa() {
+        let _ = VonMisesFisher::new(Point::new(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn vmf_integrates_to_one_over_sphere() {
+        // Monte-Carlo over a lat/lon lattice with the cos(lat) Jacobian.
+        let v = VonMisesFisher::new(Point::new(20.0, 50.0), 10.0);
+        let (n_lat, n_lon) = (200, 400);
+        let mut mass = 0.0;
+        for i in 0..n_lat {
+            let lat = -90.0 + (i as f64 + 0.5) * 180.0 / n_lat as f64;
+            for j in 0..n_lon {
+                let lon = -180.0 + (j as f64 + 0.5) * 360.0 / n_lon as f64;
+                let p = Point::new(lat, lon);
+                let d_area = (180.0 / n_lat as f64).to_radians()
+                    * (360.0 / n_lon as f64).to_radians()
+                    * lat.to_radians().cos();
+                mass += v.pdf(&p) * d_area;
+            }
+        }
+        assert!((mass - 1.0).abs() < 1e-2, "mass {mass}");
+    }
+
+    #[test]
+    fn uniform_layout_covers_bbox() {
+        let bbox = BBox::new(40.0, 41.0, -75.0, -74.0);
+        let m = MvMfMixture::uniform_layout(&bbox, 100, 5000.0);
+        assert_eq!(m.len(), 100);
+        for c in m.centers() {
+            assert!(bbox.contains(&c));
+        }
+        // Uniform initial weights.
+        assert!(m.weights().iter().all(|&w| (w - 0.01).abs() < 1e-12));
+    }
+
+    #[test]
+    fn uniform_layout_nonsquare_counts() {
+        let bbox = BBox::new(0.0, 1.0, 0.0, 1.0);
+        for n in [1, 2, 7, 10, 99] {
+            assert_eq!(MvMfMixture::uniform_layout(&bbox, n, 100.0).len(), n);
+        }
+    }
+
+    #[test]
+    fn mode_tracks_heaviest_region() {
+        let bbox = BBox::new(40.0, 41.0, -75.0, -74.0);
+        let mut m = MvMfMixture::uniform_layout(&bbox, 25, 20_000.0);
+        let mut w = vec![0.5 / 24.0; 25];
+        w[13] = 0.5; // heavily favor one component
+        let target = m.centers()[13];
+        m.set_weights(w);
+        assert!(m.mode().haversine_km(&target) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn set_weights_checks_len() {
+        let bbox = BBox::new(0.0, 1.0, 0.0, 1.0);
+        let mut m = MvMfMixture::uniform_layout(&bbox, 4, 100.0);
+        m.set_weights(vec![1.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph analysis: ego networks, connected components and summary
+//! statistics.
+//!
+//! The paper's diffusion argument is topological — "by stacking n layers of
+//! graph convolutions, we can diffuse the semantic embedding of each node
+//! over its n-hop ego-net" — so the test suite and the experiment audit need
+//! first-class ego-net and connectivity queries.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::EntityGraph;
+
+/// The nodes within `hops` hops of `center` (including `center` itself),
+/// sorted ascending. This is the receptive field of a `hops`-layer GCN at
+/// `center`.
+pub fn ego_net(g: &EntityGraph, center: usize, hops: usize) -> Vec<usize> {
+    assert!(center < g.n_nodes(), "center out of range");
+    let mut dist = vec![usize::MAX; g.n_nodes()];
+    dist[center] = 0;
+    let mut queue = VecDeque::from([center]);
+    let mut out = vec![center];
+    while let Some(u) = queue.pop_front() {
+        if dist[u] == hops {
+            continue;
+        }
+        for (v, _) in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Connected components; returns a component id per node (ids are dense,
+/// assigned in order of lowest member node).
+pub fn connected_components(g: &EntityGraph) -> Vec<usize> {
+    let n = g.n_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Summary statistics of an entity graph (reported by the experiment
+/// harness alongside Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Node count.
+    pub n_nodes: usize,
+    /// Undirected edge count.
+    pub n_edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated nodes.
+    pub n_isolated: usize,
+    /// Number of connected components.
+    pub n_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+/// Computes [`GraphStats`].
+pub fn graph_stats(g: &EntityGraph) -> GraphStats {
+    let n = g.n_nodes();
+    let comp = connected_components(g);
+    let n_components = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; n_components];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let degrees: Vec<usize> = (0..n).map(|i| g.degree(i)).collect();
+    GraphStats {
+        n_nodes: n,
+        n_edges: g.n_edges(),
+        mean_degree: if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 },
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        n_isolated: degrees.iter().filter(|&&d| d == 0).count(),
+        n_components,
+        largest_component: sizes.into_iter().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3 plus isolated node 4.
+    fn path_graph() -> EntityGraph {
+        let mut g = EntityGraph::new(5);
+        g.add_edge_weight(0, 1, 1.0);
+        g.add_edge_weight(1, 2, 1.0);
+        g.add_edge_weight(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn ego_net_hop_counts() {
+        let g = path_graph();
+        assert_eq!(ego_net(&g, 0, 0), vec![0]);
+        assert_eq!(ego_net(&g, 0, 1), vec![0, 1]);
+        assert_eq!(ego_net(&g, 0, 2), vec![0, 1, 2]);
+        assert_eq!(ego_net(&g, 0, 10), vec![0, 1, 2, 3]);
+        assert_eq!(ego_net(&g, 1, 1), vec![0, 1, 2]);
+        assert_eq!(ego_net(&g, 4, 3), vec![4]);
+    }
+
+    #[test]
+    fn two_hop_matches_two_gcn_layers_reach() {
+        // The paper's 2-layer default reaches exactly the 2-hop ego net.
+        let g = path_graph();
+        let reach = ego_net(&g, 3, 2);
+        assert_eq!(reach, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn components_are_identified() {
+        let g = path_graph();
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn stats_on_path_graph() {
+        let s = graph_stats(&path_graph());
+        assert_eq!(s.n_nodes, 5);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.n_components, 2);
+        assert_eq!(s.largest_component, 4);
+        assert_eq!(s.n_isolated, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = graph_stats(&EntityGraph::new(0));
+        assert_eq!(s.n_nodes, 0);
+        assert_eq!(s.n_components, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Co-occurrence graph construction from per-tweet entity sets.
+
+use crate::graph::EntityGraph;
+
+/// Builds the entity co-occurrence graph of the paper's Section III-A2:
+/// every unordered pair of *distinct* entities appearing in the same tweet
+/// contributes 1 to that pair's edge weight. A repeated entity "will only be
+/// counted once in the set", which the caller guarantees by passing sets —
+/// this function deduplicates defensively anyway.
+///
+/// `n_entities` is the node-id space; ids in `tweets` must be `< n_entities`.
+pub fn build_cooccurrence_graph<'a>(
+    n_entities: usize,
+    tweets: impl IntoIterator<Item = &'a [usize]>,
+) -> EntityGraph {
+    let mut g = EntityGraph::new(n_entities);
+    for entity_ids in tweets {
+        let mut ids: Vec<usize> = entity_ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                g.add_edge_weight(ids[i], ids[j], 1.0);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_within_tweet_get_edges() {
+        let tweets: Vec<Vec<usize>> = vec![vec![0, 1, 2]];
+        let g = build_cooccurrence_graph(4, tweets.iter().map(Vec::as_slice));
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(0, 2), 1.0);
+        assert_eq!(g.edge_weight(1, 2), 1.0);
+        assert_eq!(g.edge_weight(0, 3), 0.0);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn cooccurrence_counts_accumulate_across_tweets() {
+        let tweets: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 0], vec![0, 2]];
+        let g = build_cooccurrence_graph(3, tweets.iter().map(Vec::as_slice));
+        assert_eq!(g.edge_weight(0, 1), 2.0);
+        assert_eq!(g.edge_weight(0, 2), 1.0);
+    }
+
+    #[test]
+    fn repeated_entity_in_one_tweet_counts_once() {
+        let tweets: Vec<Vec<usize>> = vec![vec![0, 1, 0, 1, 1]];
+        let g = build_cooccurrence_graph(2, tweets.iter().map(Vec::as_slice));
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+    }
+
+    #[test]
+    fn single_entity_tweets_add_nothing() {
+        let tweets: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![]];
+        let g = build_cooccurrence_graph(2, tweets.iter().map(Vec::as_slice));
+        assert_eq!(g.n_edges(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The weighted undirected entity graph.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph with weighted edges over nodes `0..n`.
+///
+/// In EDGE, "each node corresponds to an entity … If two named entities v_i
+/// and v_j appear in the same tweet, there will be an edge e_{i,j} … The
+/// weight e_{i,j} is the number of the co-occurrences of two referenced
+/// entities in the training set."
+///
+/// Adjacency is kept in per-node ordered maps so iteration order (and hence
+/// every downstream computation) is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityGraph {
+    adj: Vec<BTreeMap<usize, f32>>,
+}
+
+impl EntityGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![BTreeMap::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(BTreeMap::len).sum::<usize>() / 2
+    }
+
+    /// Adds `weight` to the undirected edge `{a, b}` (creating it at weight
+    /// 0 first). Self-loops are rejected: the GCN normalization adds its own
+    /// self-connections (Ã = A + I), and the paper's co-occurrence counts
+    /// are over *pairs* of distinct entities.
+    pub fn add_edge_weight(&mut self, a: usize, b: usize, weight: f32) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "node out of range");
+        assert_ne!(a, b, "self-loops are not part of the co-occurrence graph");
+        assert!(weight > 0.0, "edge weights must be positive");
+        *self.adj[a].entry(b).or_insert(0.0) += weight;
+        *self.adj[b].entry(a).or_insert(0.0) += weight;
+    }
+
+    /// The weight of edge `{a, b}` (0 when absent).
+    pub fn edge_weight(&self, a: usize, b: usize) -> f32 {
+        self.adj[a].get(&b).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates the neighbors of `node` as `(neighbor, weight)` in
+    /// ascending neighbor order.
+    pub fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.adj[node].iter().map(|(&n, &w)| (n, w))
+    }
+
+    /// The degree (neighbor count) of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// The weighted degree (sum of incident edge weights) of `node`.
+    pub fn weighted_degree(&self, node: usize) -> f32 {
+        self.adj[node].values().sum()
+    }
+
+    /// Iterates every undirected edge once as `(a, b, weight)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.iter().filter_map(move |(&b, &w)| (a < b).then_some((a, b, w))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = EntityGraph::new(5);
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.edge_weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_accumulates() {
+        let mut g = EntityGraph::new(3);
+        g.add_edge_weight(0, 2, 1.0);
+        g.add_edge_weight(2, 0, 2.0);
+        assert_eq!(g.edge_weight(0, 2), 3.0);
+        assert_eq!(g.edge_weight(2, 0), 3.0);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.weighted_degree(2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        EntityGraph::new(2).add_edge_weight(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        EntityGraph::new(2).add_edge_weight(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        EntityGraph::new(2).add_edge_weight(0, 1, 0.0);
+    }
+
+    #[test]
+    fn neighbors_in_order() {
+        let mut g = EntityGraph::new(4);
+        g.add_edge_weight(1, 3, 1.0);
+        g.add_edge_weight(1, 0, 2.0);
+        g.add_edge_weight(1, 2, 3.0);
+        let nbrs: Vec<(usize, f32)> = g.neighbors(1).collect();
+        assert_eq!(nbrs, vec![(0, 2.0), (2, 3.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let mut g = EntityGraph::new(4);
+        g.add_edge_weight(0, 1, 1.0);
+        g.add_edge_weight(2, 3, 2.0);
+        g.add_edge_weight(0, 3, 5.0);
+        let edges: Vec<(usize, usize, f32)> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(0, 1, 1.0)));
+        assert!(edges.contains(&(2, 3, 2.0)));
+        assert!(edges.contains(&(0, 3, 5.0)));
+        assert!(edges.iter().all(|&(a, b, _)| a < b));
+    }
+}

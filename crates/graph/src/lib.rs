@@ -1,0 +1,15 @@
+//! Entity-graph substrate for the EDGE reproduction.
+//!
+//! Provides the co-occurrence entity graph of the paper's Section III-A2,
+//! the symmetric GCN normalization of Eq. 1, and the ego-net/component
+//! analysis used to audit the diffusion mechanism.
+
+pub mod analysis;
+pub mod cooccur;
+pub mod graph;
+pub mod normalize;
+
+pub use analysis::{connected_components, ego_net, graph_stats, GraphStats};
+pub use cooccur::build_cooccurrence_graph;
+pub use graph::EntityGraph;
+pub use normalize::{normalized_adjacency_triplets, normalized_row_sums};

@@ -1,0 +1,136 @@
+//! Symmetric GCN normalization (Kipf & Welling; the paper's Eq. 1).
+//!
+//! Produces the constant propagation operator `D̃^{-1/2} Ã D̃^{-1/2}` with
+//! `Ã = A + I`, as COO triplets the tensor crate turns into a CSR matrix.
+
+use crate::graph::EntityGraph;
+
+/// The triplets of `D̃^{-1/2} (A + I) D̃^{-1/2}`.
+///
+/// `D̃` is the diagonal degree matrix of `Ã` (self-connections included), so
+/// every row of the result has positive diagonal mass even for isolated
+/// nodes — an isolated entity simply keeps its own embedding under
+/// diffusion.
+pub fn normalized_adjacency_triplets(g: &EntityGraph) -> Vec<(usize, usize, f32)> {
+    let n = g.n_nodes();
+    // Degrees of Ã = A + I.
+    let deg: Vec<f32> = (0..n).map(|i| g.weighted_degree(i) + 1.0).collect();
+    let inv_sqrt: Vec<f32> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+
+    let mut triplets = Vec::with_capacity(2 * g.n_edges() + n);
+    for i in 0..n {
+        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i])); // the self-connection
+        for (j, w) in g.neighbors(i) {
+            triplets.push((i, j, w * inv_sqrt[i] * inv_sqrt[j]));
+        }
+    }
+    triplets
+}
+
+/// Row sums of the normalized adjacency (diagnostic: all rows of a
+/// well-formed operator are in `(0, 1]` and an isolated node's row sums to
+/// exactly 1).
+pub fn normalized_row_sums(triplets: &[(usize, usize, f32)], n: usize) -> Vec<f32> {
+    let mut sums = vec![0.0; n];
+    for &(r, _, v) in triplets {
+        sums[r] += v;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(triplets: &[(usize, usize, f32)], n: usize) -> Vec<Vec<f32>> {
+        let mut m = vec![vec![0.0; n]; n];
+        for &(r, c, v) in triplets {
+            m[r][c] += v;
+        }
+        m
+    }
+
+    #[test]
+    fn isolated_node_keeps_itself() {
+        let g = EntityGraph::new(3);
+        let t = normalized_adjacency_triplets(&g);
+        let m = dense(&t, 3);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_unit_edge_known_values() {
+        let mut g = EntityGraph::new(2);
+        g.add_edge_weight(0, 1, 1.0);
+        // Ã = [[1,1],[1,1]], D̃ = diag(2,2) → every entry 0.5.
+        let m = dense(&normalized_adjacency_triplets(&g), 2);
+        for row in &m {
+            for &v in row {
+                assert!((v - 0.5).abs() < 1e-6, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_symmetric() {
+        let mut g = EntityGraph::new(5);
+        g.add_edge_weight(0, 1, 3.0);
+        g.add_edge_weight(1, 2, 1.0);
+        g.add_edge_weight(2, 4, 7.0);
+        g.add_edge_weight(0, 4, 2.0);
+        let m = dense(&normalized_adjacency_triplets(&g), 5);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn entries_positive_and_bounded() {
+        let mut g = EntityGraph::new(4);
+        g.add_edge_weight(0, 1, 10.0);
+        g.add_edge_weight(1, 2, 0.5);
+        let t = normalized_adjacency_triplets(&g);
+        for &(_, _, v) in &t {
+            assert!(v > 0.0 && v <= 1.0, "entry {v}");
+        }
+    }
+
+    #[test]
+    fn row_sums_positive_and_regular_graph_sums_to_one() {
+        // General graphs: row sums are positive and finite. k-regular
+        // graphs: D̃^{-1/2}ÃD̃^{-1/2} is doubly stochastic, rows sum to 1.
+        let mut irregular = EntityGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)] {
+            irregular.add_edge_weight(a, b, 1.0);
+        }
+        let t = normalized_adjacency_triplets(&irregular);
+        for (i, s) in normalized_row_sums(&t, 6).iter().enumerate() {
+            assert!(*s > 0.0 && s.is_finite(), "row {i}: {s}");
+        }
+
+        // A 4-cycle is 2-regular: every row sums to exactly 1.
+        let mut cycle = EntityGraph::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            cycle.add_edge_weight(a, b, 1.0);
+        }
+        let t = normalized_adjacency_triplets(&cycle);
+        for (i, s) in normalized_row_sums(&t, 4).iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-6, "row {i}: {s}");
+        }
+    }
+
+    #[test]
+    fn heavier_edges_get_proportionally_more_mass() {
+        let mut g = EntityGraph::new(3);
+        g.add_edge_weight(0, 1, 9.0);
+        g.add_edge_weight(0, 2, 1.0);
+        let m = dense(&normalized_adjacency_triplets(&g), 3);
+        assert!(m[0][1] > m[0][2] * 2.0, "heavy edge should dominate");
+    }
+}

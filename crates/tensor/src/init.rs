@@ -1,0 +1,74 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The right default for the linear and
+/// GCN layers (tanh/softmax-adjacent activations).
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    assert!(fan_in > 0 && fan_out > 0, "fan dimensions must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::random_uniform(fan_in, fan_out, a, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`,
+/// suited to ReLU layers.
+pub fn he_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    assert!(fan_in > 0 && fan_out > 0, "fan dimensions must be positive");
+    let a = (6.0 / fan_in as f32).sqrt();
+    Matrix::random_uniform(fan_in, fan_out, a, rng)
+}
+
+/// A zero bias row `1 × n`.
+pub fn zero_bias(n: usize) -> Matrix {
+    Matrix::zeros(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(64, 32, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert_eq!(w.shape(), (64, 32));
+        assert!(w.max_abs() <= bound);
+        assert!(w.max_abs() > bound * 0.8, "suspiciously small spread");
+    }
+
+    #[test]
+    fn he_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = he_uniform(50, 10, &mut rng);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(w.max_abs() <= bound);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(42));
+        let c = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_bias_shape() {
+        let b = zero_bias(5);
+        assert_eq!(b.shape(), (1, 5));
+        assert!(b.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_fan() {
+        let _ = xavier_uniform(0, 4, &mut StdRng::seed_from_u64(0));
+    }
+}

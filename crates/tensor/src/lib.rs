@@ -1,0 +1,34 @@
+//! A tape-based reverse-mode autodiff engine — the neural-network substrate
+//! of the EDGE reproduction.
+//!
+//! The paper trains EDGE (and the UnicodeCNN baseline) with PyTorch on a
+//! GPU; the Rust ML ecosystem has no equivalent for sparse GCN training, so
+//! this crate implements the required subset from scratch:
+//!
+//! * [`Matrix`] — dense row-major f32 matrices with a rayon-parallel matmul,
+//! * [`CsrMatrix`] — sparse CSR matrices for the constant GCN propagation
+//!   operator,
+//! * [`Tape`] — an eagerly evaluated autodiff graph covering dense/sparse
+//!   products, the paper's activations (ReLU, softmax, softplus, softsign),
+//!   row gather/concat for per-tweet entity sets, im2col/max-pool for the
+//!   character CNN, and fused mixture-NLL heads with analytically derived,
+//!   finite-difference-verified gradients,
+//! * [`optim`] — SGD and Adam with decoupled weight decay (the paper's
+//!   training configuration),
+//! * [`init`] — Xavier/He initialization.
+//!
+//! The engine is deliberately rank-2 (every value is a matrix): all tensors
+//! in the EDGE model family are naturally matrices, and the restriction
+//! keeps every backward rule small enough to test exhaustively.
+
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sparse::CsrMatrix;
+pub use tape::{NodeId, ParamId, ParamStore, Tape};

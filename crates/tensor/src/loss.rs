@@ -1,0 +1,289 @@
+//! Closed-form forward/backward math for the fused mixture losses.
+//!
+//! Both functions run in `f64` internally: mixture NLLs combine exponentials
+//! spanning many orders of magnitude, and f32 accumulation visibly degrades
+//! the gradients near convergence.
+
+/// Forward + gradient of the bivariate-Gaussian-mixture NLL for one sample
+/// (one row of the Eq. 7 output).
+///
+/// `theta` has layout `[π̂ | μ_lat | μ_lon | σ̂_lat | σ̂_lon | ρ̂]`, each block
+/// of width `m`. The Eq. 10–12 activations are applied internally:
+/// `σ = softplus(σ̂)`, `ρ = softsign(ρ̂)`, `π = softmax(π̂)`. Returns
+/// `(nll, d nll / d theta)`.
+///
+/// The gradient follows the classic mixture-density-network derivation
+/// (responsibilities `r_m`):
+///
+/// * `∂L/∂π̂_m = π_m − r_m`
+/// * `∂L/∂μ`, `∂L/∂σ̂`, `∂L/∂ρ̂` via `∂ln N_m` chained through the
+///   activations.
+pub fn gmm_nll_row(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> (f64, Vec<f32>) {
+    assert_eq!(theta.len(), 6 * m, "theta row must have 6M entries");
+    let pi_hat = &theta[0..m];
+    let mu_lat = &theta[m..2 * m];
+    let mu_lon = &theta[2 * m..3 * m];
+    let sig_lat_hat = &theta[3 * m..4 * m];
+    let sig_lon_hat = &theta[4 * m..5 * m];
+    let rho_hat = &theta[5 * m..6 * m];
+
+    // Activations (f64).
+    let max_pi = pi_hat.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let exp_pi: Vec<f64> = pi_hat.iter().map(|&p| ((p as f64) - max_pi).exp()).collect();
+    let sum_pi: f64 = exp_pi.iter().sum();
+    let pi: Vec<f64> = exp_pi.iter().map(|e| e / sum_pi).collect();
+
+    let softplus = |x: f64| if x > 30.0 { x } else { x.exp().ln_1p() };
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+
+    // Per-component log-density and the pieces the gradient needs.
+    struct Comp {
+        ln_n: f64,
+        dx: f64,
+        dy: f64,
+        s1: f64,
+        s2: f64,
+        rho: f64,
+        q: f64,
+        z: f64,
+    }
+    let comps: Vec<Comp> = (0..m)
+        .map(|k| {
+            // Floor σ at a small epsilon: softplus output is positive but can
+            // underflow to 0 in f64 for very negative inputs.
+            let s1 = softplus(sig_lat_hat[k] as f64).max(1e-8);
+            let s2 = softplus(sig_lon_hat[k] as f64).max(1e-8);
+            let rh = rho_hat[k] as f64;
+            let rho = (rh / (1.0 + rh.abs())).clamp(-0.999_999, 0.999_999);
+            let q = 1.0 - rho * rho;
+            let dx = (t_lat - mu_lat[k] as f64) / s1;
+            let dy = (t_lon - mu_lon[k] as f64) / s2;
+            let z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
+            let ln_n = -(2.0 * std::f64::consts::PI * s1 * s2 * q.sqrt()).ln() - z / (2.0 * q);
+            Comp { ln_n, dx, dy, s1, s2, rho, q, z }
+        })
+        .collect();
+
+    // Log-sum-exp of ln π_m + ln N_m.
+    let ln_terms: Vec<f64> = comps.iter().zip(&pi).map(|(c, p)| p.ln() + c.ln_n).collect();
+    let max_t = ln_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lse = max_t + ln_terms.iter().map(|t| (t - max_t).exp()).sum::<f64>().ln();
+    let loss = -lse;
+
+    // Responsibilities.
+    let resp: Vec<f64> = ln_terms.iter().map(|t| (t - lse).exp()).collect();
+
+    let mut grad = vec![0.0f32; 6 * m];
+    for k in 0..m {
+        let c = &comps[k];
+        let r = resp[k];
+        // π̂: softmax + NLL collapse to π − r.
+        grad[k] = (pi[k] - r) as f32;
+        // μ: ∂lnN/∂μ1 = (dx − ρ dy)/(σ1 q).
+        grad[m + k] = (-r * (c.dx - c.rho * c.dy) / (c.s1 * c.q)) as f32;
+        grad[2 * m + k] = (-r * (c.dy - c.rho * c.dx) / (c.s2 * c.q)) as f32;
+        // σ̂: ∂lnN/∂σ1 = (dx² − ρ dx dy)/(σ1 q) − 1/σ1, chained with
+        // softplus' = sigmoid.
+        let dln_ds1 = (c.dx * c.dx - c.rho * c.dx * c.dy) / (c.s1 * c.q) - 1.0 / c.s1;
+        let dln_ds2 = (c.dy * c.dy - c.rho * c.dx * c.dy) / (c.s2 * c.q) - 1.0 / c.s2;
+        grad[3 * m + k] = (-r * dln_ds1 * sigmoid(sig_lat_hat[k] as f64)) as f32;
+        grad[4 * m + k] = (-r * dln_ds2 * sigmoid(sig_lon_hat[k] as f64)) as f32;
+        // ρ̂: ∂lnN/∂ρ = (q(ρ + dx·dy) − ρZ)/q², chained with softsign'.
+        let dln_drho = (c.q * (c.rho + c.dx * c.dy) - c.rho * c.z) / (c.q * c.q);
+        let t = 1.0 + (rho_hat[k] as f64).abs();
+        grad[5 * m + k] = (-r * dln_drho / (t * t)) as f32;
+    }
+    (loss, grad)
+}
+
+/// Forward + gradient of the fixed-component mixture NLL for one sample
+/// (the UnicodeCNN / MvMF head).
+///
+/// `loss = -ln Σ_m softmax(logits)_m · exp(log_comp_m)`; the gradient with
+/// respect to `logits_m` is `π_m − r_m` where `r` are the posterior
+/// responsibilities.
+pub fn mixture_const_nll_row(logits: &[f32], log_comp: &[f32]) -> (f64, Vec<f32>) {
+    assert_eq!(logits.len(), log_comp.len(), "logits/log_comp length mismatch");
+    let lse = |xs: &[f64]| -> f64 {
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        max + xs.iter().map(|x| (x - max).exp()).sum::<f64>().ln()
+    };
+    let l64: Vec<f64> = logits.iter().map(|&x| x as f64).collect();
+    let joint: Vec<f64> = l64
+        .iter()
+        .zip(log_comp)
+        .map(|(&l, &c)| l + c as f64)
+        .collect();
+    let lse_logits = lse(&l64);
+    let lse_joint = lse(&joint);
+    let loss = lse_logits - lse_joint;
+    let grad: Vec<f32> = l64
+        .iter()
+        .zip(&joint)
+        .map(|(&l, &j)| ((l - lse_logits).exp() - (j - lse_joint).exp()) as f32)
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation of the Eq. 13 NLL built naively from the
+    /// activations, for finite-difference checking.
+    fn gmm_nll_reference(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> f64 {
+        let softplus = |x: f64| if x > 30.0 { x } else { x.exp().ln_1p() };
+        let pi_hat: Vec<f64> = theta[0..m].iter().map(|&x| x as f64).collect();
+        let max = pi_hat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = pi_hat.iter().map(|p| (p - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let mut total = 0.0;
+        for k in 0..m {
+            let pi = exps[k] / sum;
+            let mu1 = theta[m + k] as f64;
+            let mu2 = theta[2 * m + k] as f64;
+            let s1 = softplus(theta[3 * m + k] as f64).max(1e-8);
+            let s2 = softplus(theta[4 * m + k] as f64).max(1e-8);
+            let rh = theta[5 * m + k] as f64;
+            let rho = rh / (1.0 + rh.abs());
+            let q = 1.0 - rho * rho;
+            let dx = (t_lat - mu1) / s1;
+            let dy = (t_lon - mu2) / s2;
+            let z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
+            let n = (-z / (2.0 * q)).exp() / (2.0 * std::f64::consts::PI * s1 * s2 * q.sqrt());
+            total += pi * n;
+        }
+        -total.ln()
+    }
+
+    fn sample_theta(m: usize) -> Vec<f32> {
+        // Hand-picked values with varied signs and magnitudes.
+        let mut theta = Vec::new();
+        for k in 0..m {
+            theta.push(0.3 * k as f32 - 0.2); // π̂
+        }
+        for k in 0..m {
+            theta.push(40.5 + 0.1 * k as f32); // μ_lat
+        }
+        for k in 0..m {
+            theta.push(-74.2 + 0.15 * k as f32); // μ_lon
+        }
+        for k in 0..m {
+            theta.push(-1.5 + 0.5 * k as f32); // σ̂_lat
+        }
+        for k in 0..m {
+            theta.push(-1.0 + 0.4 * k as f32); // σ̂_lon
+        }
+        for k in 0..m {
+            theta.push(0.6 * k as f32 - 0.8); // ρ̂
+        }
+        theta
+    }
+
+    #[test]
+    fn gmm_forward_matches_reference() {
+        for m in [1, 2, 4] {
+            let theta = sample_theta(m);
+            let (loss, _) = gmm_nll_row(&theta, 40.7, -74.0, m);
+            let reference = gmm_nll_reference(&theta, 40.7, -74.0, m);
+            assert!(
+                (loss - reference).abs() < 1e-9 * (1.0 + reference.abs()),
+                "M={m}: {loss} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn gmm_gradient_matches_finite_difference() {
+        for m in [1, 2, 4] {
+            let theta = sample_theta(m);
+            let (_, grad) = gmm_nll_row(&theta, 40.7, -74.0, m);
+            let h = 1e-4f32;
+            for i in 0..theta.len() {
+                let mut plus = theta.clone();
+                plus[i] += h * (1.0 + theta[i].abs());
+                let mut minus = theta.clone();
+                minus[i] -= h * (1.0 + theta[i].abs());
+                // Divide by the *realized* f32 delta — at θ ≈ 40.5 the
+                // nominal ±h rounds, and using 2h directly injects ~1% error.
+                let delta = (plus[i] - minus[i]) as f64;
+                let fd = (gmm_nll_reference(&plus, 40.7, -74.0, m)
+                    - gmm_nll_reference(&minus, 40.7, -74.0, m))
+                    / delta;
+                assert!(
+                    (grad[i] as f64 - fd).abs() < 1e-3 * (1.0 + fd.abs()),
+                    "M={m} theta[{i}]: analytic {} vs fd {fd}",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gmm_loss_decreases_when_component_moves_to_target() {
+        let m = 2;
+        let mut theta = sample_theta(m);
+        let (before, _) = gmm_nll_row(&theta, 40.7, -74.0, m);
+        theta[m] = 40.7; // μ_lat of component 0 onto the target
+        theta[2 * m] = -74.0; // μ_lon of component 0 onto the target
+        let (after, _) = gmm_nll_row(&theta, 40.7, -74.0, m);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn gmm_is_finite_for_extreme_inputs() {
+        let m = 2;
+        let mut theta = sample_theta(m);
+        theta[3 * m] = -200.0; // σ̂ -> softplus underflow
+        theta[5 * m] = 1e6; // ρ̂ -> |softsign| -> 1
+        let (loss, grad) = gmm_nll_row(&theta, 40.7, -74.0, m);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "6M")]
+    fn gmm_checks_layout() {
+        let _ = gmm_nll_row(&[0.0; 5], 0.0, 0.0, 1);
+    }
+
+    #[test]
+    fn mixture_const_forward_known_value() {
+        // Two components with equal logits: loss = -ln(0.5 c0 + 0.5 c1).
+        let logits = [0.0f32, 0.0];
+        let log_comp = [(0.2f64).ln() as f32, (0.6f64).ln() as f32];
+        let (loss, _) = mixture_const_nll_row(&logits, &log_comp);
+        let expected = -(0.5f64 * 0.2 + 0.5 * 0.6).ln();
+        assert!((loss - expected).abs() < 1e-6, "{loss} vs {expected}");
+    }
+
+    #[test]
+    fn mixture_const_gradient_matches_finite_difference() {
+        let logits = [0.5f32, -0.3, 1.2, 0.0];
+        let log_comp = [-2.0f32, -0.5, -3.0, -1.0];
+        let (_, grad) = mixture_const_nll_row(&logits, &log_comp);
+        let h = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits;
+            plus[i] += h;
+            let mut minus = logits;
+            minus[i] -= h;
+            let fd = (mixture_const_nll_row(&plus, &log_comp).0
+                - mixture_const_nll_row(&minus, &log_comp).0)
+                / (2.0 * h as f64);
+            assert!(
+                (grad[i] as f64 - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "logit[{i}]: {} vs {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_const_favoring_good_component_lowers_loss() {
+        let log_comp = [-5.0f32, -0.1];
+        let (bad, _) = mixture_const_nll_row(&[2.0, -2.0], &log_comp);
+        let (good, _) = mixture_const_nll_row(&[-2.0, 2.0], &log_comp);
+        assert!(good < bad);
+    }
+}

@@ -1,0 +1,276 @@
+//! CSR sparse matrices and sparse×dense products.
+//!
+//! The GCN propagation matrix `D̃^{-1/2} Ã D̃^{-1/2}` is a constant sparse
+//! operator applied to dense state matrices every layer (Eq. 1). This module
+//! provides the CSR storage and the two products the autodiff engine needs:
+//! `S · X` for the forward pass and `Sᵀ · G` for the backward pass.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A compressed-sparse-row matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from COO triplets `(row, col, value)`.
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f32)> = triplets
+            .iter()
+            .copied()
+            .inspect(|&(r, c, _)| {
+                assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+            })
+            .collect();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        // Merge duplicate coordinates, then drop entries that cancelled to 0.
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the stored entries of row `r` as `(col, value)`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Reads entry `(r, c)` (zero when not stored).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.row_entries(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Dense product `self × dense` (rayon-parallel over output rows).
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm shape mismatch: {}x{} times {:?}",
+            self.rows,
+            self.cols,
+            dense.shape()
+        );
+        let m = dense.cols();
+        let mut out = Matrix::zeros(self.rows, m);
+        out.data_mut()
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                for (c, v) in self.row_entries(r) {
+                    let src = dense.row(c);
+                    for (o, &x) in out_row.iter_mut().zip(src) {
+                        *o += v * x;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Transposed product `selfᵀ × dense` — the backward-pass companion of
+    /// [`CsrMatrix::matmul_dense`]. Implemented as scatter-adds over the
+    /// stored entries (serial: output rows are written non-contiguously).
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm^T shape mismatch: ({}x{})^T times {:?}",
+            self.rows,
+            self.cols,
+            dense.shape()
+        );
+        let m = dense.cols();
+        let mut out = Matrix::zeros(self.cols, m);
+        for r in 0..self.rows {
+            let src = dense.row(r);
+            for (c, v) in self.row_entries(r) {
+                let dst = out.row_mut(c);
+                for (o, &x) in dst.iter_mut().zip(src) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (test/debug helper; O(rows × cols)).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is structurally and numerically symmetric (within
+    /// `tol`). GCN propagation matrices must be.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_pruned() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, -1.0), (1, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 1.0)]);
+        assert_eq!(m.row_entries(1).count(), 0);
+        assert_eq!(m.row_entries(2).count(), 0);
+        let x = Matrix::identity(4);
+        let y = m.matmul_dense(&x);
+        assert_eq!(y.get(1, 1), 0.0);
+        assert_eq!(y.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let triplets: Vec<(usize, usize, f32)> = (0..200)
+            .map(|_| (rng.gen_range(0..20), rng.gen_range(0..15), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let s = CsrMatrix::from_triplets(20, 15, &triplets);
+        let x = Matrix::random_uniform(15, 7, 1.0, &mut rng);
+        let sparse_result = s.matmul_dense(&x);
+        let dense_result = s.to_dense().matmul(&x);
+        for (a, b) in sparse_result.data().iter().zip(dense_result.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let triplets: Vec<(usize, usize, f32)> = (0..150)
+            .map(|_| (rng.gen_range(0..12), rng.gen_range(0..18), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let s = CsrMatrix::from_triplets(12, 18, &triplets);
+        let g = Matrix::random_uniform(12, 5, 1.0, &mut rng);
+        let fast = s.transpose_matmul_dense(&g);
+        let slow = s.to_dense().transpose().matmul(&g);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn spmm_shape_checked() {
+        let _ = sample().matmul_dense(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-6));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]);
+        assert!(!asym.is_symmetric(1e-6));
+        let rect = CsrMatrix::from_triplets(2, 3, &[]);
+        assert!(!rect.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d.get(r, c), m.get(r, c));
+            }
+        }
+    }
+}

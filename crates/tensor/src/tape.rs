@@ -1,0 +1,727 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] is an eagerly evaluated computation graph: every builder
+//! method computes the forward value immediately and records the operation
+//! so that [`Tape::backward`] can later push gradients from a scalar loss to
+//! every parameter leaf. One tape is built per training step and dropped
+//! afterwards; persistent parameters live in a [`ParamStore`].
+//!
+//! The operation set is exactly what the EDGE model family needs: dense and
+//! sparse matrix products (GCN layers), the activation functions of
+//! Eq. 2/10/11/12 (ReLU, softplus, softsign, softmax), row gather/concat
+//! (per-tweet entity sets), 1-D convolution with max-pooling (the
+//! UnicodeCNN baseline) and two fused negative-log-likelihood heads (the
+//! bivariate-Gaussian-mixture loss of Eq. 13 and the fixed-component MvMF
+//! loss) whose hand-derived gradients are verified against finite
+//! differences in this crate's tests.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// Handle to a persistent parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// Persistent trainable parameters, shared across training steps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    mats: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.mats.push(value);
+        self.names.push(name.into());
+        ParamId(self.mats.len() - 1)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Reads a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Mutates a parameter value (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.mats
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total_scalars(&self) -> usize {
+        self.mats.iter().map(Matrix::len).sum()
+    }
+}
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+enum Op {
+    Constant,
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    /// Sparse × dense; the sparse operand is constant (no gradient).
+    SpMM(Arc<CsrMatrix>, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Hadamard(NodeId, NodeId),
+    Scale(NodeId, f32),
+    /// `matrix + row` broadcast over rows.
+    AddRowBroadcast(NodeId, NodeId),
+    Relu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Softplus(NodeId),
+    Softsign(NodeId),
+    /// Softmax applied independently to each row.
+    SoftmaxRows(NodeId),
+    Transpose(NodeId),
+    GatherRows(NodeId, Vec<usize>),
+    SliceCols(NodeId, usize, usize),
+    ConcatRows(Vec<NodeId>),
+    /// Column-wise sum, producing a single row.
+    SumRows(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    /// Column-wise max over rows with cached argmax (global max pooling).
+    MaxPoolRows(NodeId, Vec<usize>),
+    /// Sliding-window row unfolding for 1-D convolution. Caches the kernel
+    /// width; stride is 1.
+    Im2Col(NodeId, usize),
+    /// Fused bivariate-Gaussian-mixture NLL (Eq. 13) with gradient cached at
+    /// forward time.
+    GmmNll(NodeId, Matrix),
+    /// Fused fixed-component mixture NLL (UnicodeCNN head) with cached
+    /// gradient.
+    MixtureConstNll(NodeId, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// An eagerly evaluated autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The scalar value of a 1×1 node.
+    pub fn scalar(&self, id: NodeId) -> f32 {
+        let v = self.value(id);
+        assert_eq!(v.shape(), (1, 1), "scalar() on a non-scalar node {:?}", v.shape());
+        v.get(0, 0)
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> NodeId {
+        self.nodes.push(Node { value, op, requires_grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, id: NodeId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    // ---- leaves -----------------------------------------------------------
+
+    /// Records a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Constant, false)
+    }
+
+    /// Records a parameter leaf whose gradient will be reported by
+    /// [`Tape::backward`].
+    pub fn param(&mut self, id: ParamId, store: &ParamStore) -> NodeId {
+        self.push(store.get(id).clone(), Op::Param(id), true)
+    }
+
+    // ---- linear algebra ---------------------------------------------------
+
+    /// `a × b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        let g = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMul(a, b), g)
+    }
+
+    /// `sparse × dense` with a constant sparse operand.
+    pub fn spmm(&mut self, sparse: Arc<CsrMatrix>, dense: NodeId) -> NodeId {
+        let v = sparse.matmul_dense(self.value(dense));
+        let g = self.rg(dense);
+        self.push(v, Op::SpMM(sparse, dense), g)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        let g = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), g)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        let g = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), g)
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hadamard(self.value(b));
+        let g = self.rg(a) || self.rg(b);
+        self.push(v, Op::Hadamard(a, b), g)
+    }
+
+    /// `a * s` for a scalar `s`.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).scale(s);
+        let g = self.rg(a);
+        self.push(v, Op::Scale(a, s), g)
+    }
+
+    /// `matrix + row`, the bias-add of Eq. 2 / Eq. 7.
+    pub fn add_row_broadcast(&mut self, matrix: NodeId, row: NodeId) -> NodeId {
+        let v = self.value(matrix).add_row_broadcast(self.value(row));
+        let g = self.rg(matrix) || self.rg(row);
+        self.push(v, Op::AddRowBroadcast(matrix, row), g)
+    }
+
+    // ---- activations ------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let g = self.rg(a);
+        self.push(v, Op::Relu(a), g)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        let g = self.rg(a);
+        self.push(v, Op::Tanh(a), g)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let g = self.rg(a);
+        self.push(v, Op::Sigmoid(a), g)
+    }
+
+    /// Softplus `ln(1 + eˣ)` (Eq. 10), computed stably for large |x|.
+    pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(softplus_f32);
+        let g = self.rg(a);
+        self.push(v, Op::Softplus(a), g)
+    }
+
+    /// Softsign `x / (1 + |x|)` (Eq. 11).
+    pub fn softsign(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x / (1.0 + x.abs()));
+        let g = self.rg(a);
+        self.push(v, Op::Softsign(a), g)
+    }
+
+    /// Row-wise softmax (Eq. 3 / Eq. 12), max-shifted for stability.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            softmax_in_place(v.row_mut(r));
+        }
+        let g = self.rg(a);
+        self.push(v, Op::SoftmaxRows(a), g)
+    }
+
+    // ---- shape manipulation -------------------------------------------------
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        let g = self.rg(a);
+        self.push(v, Op::Transpose(a), g)
+    }
+
+    /// Row gather (entity-set extraction); indices may repeat.
+    pub fn gather_rows(&mut self, a: NodeId, indices: Vec<usize>) -> NodeId {
+        let v = self.value(a).gather_rows(&indices);
+        let g = self.rg(a);
+        self.push(v, Op::GatherRows(a, indices), g)
+    }
+
+    /// Column slice `[start, end)`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let x = self.value(a);
+        assert!(start < end && end <= x.cols(), "bad column slice {start}..{end}");
+        let mut v = Matrix::zeros(x.rows(), end - start);
+        for r in 0..x.rows() {
+            v.row_mut(r).copy_from_slice(&x.row(r)[start..end]);
+        }
+        let g = self.rg(a);
+        self.push(v, Op::SliceCols(a, start, end), g)
+    }
+
+    /// Vertical concatenation of nodes with equal column counts.
+    pub fn concat_rows(&mut self, parts: Vec<NodeId>) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut v = Matrix::zeros(total, cols);
+        let mut offset = 0;
+        for &p in &parts {
+            let x = self.value(p);
+            assert_eq!(x.cols(), cols, "concat_rows width mismatch");
+            for r in 0..x.rows() {
+                v.row_mut(offset + r).copy_from_slice(x.row(r));
+            }
+            offset += x.rows();
+        }
+        let g = parts.iter().any(|&p| self.rg(p));
+        self.push(v, Op::ConcatRows(parts), g)
+    }
+
+    // ---- reductions -------------------------------------------------------
+
+    /// Column-wise sum producing a 1×cols row (the SUM ablation aggregator).
+    pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).sum_rows();
+        let g = self.rg(a);
+        self.push(v, Op::SumRows(a), g)
+    }
+
+    /// Sum of all entries (1×1).
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let g = self.rg(a);
+        self.push(v, Op::SumAll(a), g)
+    }
+
+    /// Mean of all entries (1×1).
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let v = Matrix::from_vec(1, 1, vec![x.sum() / x.len() as f32]);
+        let g = self.rg(a);
+        self.push(v, Op::MeanAll(a), g)
+    }
+
+    /// Global max pooling over rows: `L×C → 1×C` with cached argmax.
+    pub fn max_pool_rows(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        assert!(x.rows() > 0, "max_pool_rows on empty matrix");
+        let mut argmax = vec![0usize; x.cols()];
+        let mut v = Matrix::zeros(1, x.cols());
+        for (c, arg) in argmax.iter_mut().enumerate() {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..x.rows() {
+                let val = x.get(r, c);
+                if val > best {
+                    best = val;
+                    *arg = r;
+                }
+            }
+            v.set(0, c, best);
+        }
+        let g = self.rg(a);
+        self.push(v, Op::MaxPoolRows(a, argmax), g)
+    }
+
+    // ---- convolution ------------------------------------------------------
+
+    /// Unfolds `L×C` into `(L-k+1) × (k·C)` sliding windows (stride 1), the
+    /// im2col step of 1-D convolution. Requires `L ≥ k`.
+    pub fn im2col(&mut self, a: NodeId, kernel: usize) -> NodeId {
+        let x = self.value(a);
+        assert!(kernel >= 1 && x.rows() >= kernel, "im2col: input shorter than kernel");
+        let out_rows = x.rows() - kernel + 1;
+        let c = x.cols();
+        let mut v = Matrix::zeros(out_rows, kernel * c);
+        for r in 0..out_rows {
+            for k in 0..kernel {
+                v.row_mut(r)[k * c..(k + 1) * c].copy_from_slice(x.row(r + k));
+            }
+        }
+        let g = self.rg(a);
+        self.push(v, Op::Im2Col(a, kernel), g)
+    }
+
+    // ---- fused losses -----------------------------------------------------
+
+    /// Fused negative log-likelihood of bivariate Gaussian mixtures (Eq. 13).
+    ///
+    /// `theta` is `B × 6M` with column layout
+    /// `[π̂ | μ_lat | μ_lon | σ̂_lat | σ̂_lon | ρ̂]` (each block of width `M`);
+    /// the activations of Eq. 10–12 (softplus on σ, softsign on ρ, softmax on
+    /// π) are applied *inside* this op. `targets[b] = (lat, lon)` is the
+    /// ground-truth location of row `b`. The output is the **summed** NLL
+    /// (1×1); scale by `1/B` for a mean.
+    pub fn gmm_nll(&mut self, theta: NodeId, targets: &[(f64, f64)], m: usize) -> NodeId {
+        let x = self.value(theta);
+        assert_eq!(x.rows(), targets.len(), "one target per theta row");
+        assert_eq!(x.cols(), 6 * m, "theta must be B x 6M");
+        let mut grad = Matrix::zeros(x.rows(), x.cols());
+        let mut loss = 0.0f64;
+        for (b, &(t_lat, t_lon)) in targets.iter().enumerate() {
+            let (l, g) = crate::loss::gmm_nll_row(x.row(b), t_lat, t_lon, m);
+            loss += l;
+            grad.row_mut(b).copy_from_slice(&g);
+        }
+        let g = self.rg(theta);
+        self.push(Matrix::from_vec(1, 1, vec![loss as f32]), Op::GmmNll(theta, grad), g)
+    }
+
+    /// Fused NLL for a mixture with fixed components and learnable weights
+    /// (the UnicodeCNN / MvMF head): `loss_b = -ln Σ_m softmax(logits_b)_m
+    /// exp(log_comp[b][m])`.
+    ///
+    /// `log_comp` holds the log-density of each fixed component at row `b`'s
+    /// true location. Output is the summed NLL (1×1).
+    pub fn mixture_const_nll(&mut self, logits: NodeId, log_comp: &Matrix) -> NodeId {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), log_comp.shape(), "logits/log_comp shape mismatch");
+        let mut grad = Matrix::zeros(x.rows(), x.cols());
+        let mut loss = 0.0f64;
+        for b in 0..x.rows() {
+            let (l, g) = crate::loss::mixture_const_nll_row(x.row(b), log_comp.row(b));
+            loss += l;
+            grad.row_mut(b).copy_from_slice(&g);
+        }
+        let g = self.rg(logits);
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss as f32]),
+            Op::MixtureConstNll(logits, grad),
+            g,
+        )
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Reverse-mode sweep from scalar node `loss` (must be 1×1). Returns the
+    /// gradient of every [`ParamId`] leaf that the loss depends on.
+    pub fn backward(&self, loss: NodeId) -> Vec<(ParamId, Matrix)> {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward must start from a scalar loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        let mut param_grads: Vec<(ParamId, Matrix)> = Vec::new();
+        for i in (0..=loss.0).rev() {
+            let Some(g_out) = grads[i].take() else { continue };
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let acc = |grads: &mut Vec<Option<Matrix>>, target: NodeId, delta: Matrix| {
+                match &mut grads[target.0] {
+                    Some(existing) => existing.add_scaled_inplace(&delta, 1.0),
+                    slot @ None => *slot = Some(delta),
+                }
+            };
+            match &self.nodes[i].op {
+                Op::Constant => {}
+                Op::Param(pid) => {
+                    // The same parameter may appear as several leaves (e.g. a
+                    // weight matrix reused across layers); merge those here so
+                    // optimizers see one gradient per parameter.
+                    match param_grads.iter_mut().find(|(p, _)| p == pid) {
+                        Some((_, existing)) => existing.add_scaled_inplace(&g_out, 1.0),
+                        None => param_grads.push((*pid, g_out)),
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    if self.rg(*a) {
+                        let d = g_out.matmul(&self.value(*b).transpose());
+                        acc(&mut grads, *a, d);
+                    }
+                    if self.rg(*b) {
+                        let d = self.value(*a).transpose().matmul(&g_out);
+                        acc(&mut grads, *b, d);
+                    }
+                }
+                Op::SpMM(s, dense) => {
+                    if self.rg(*dense) {
+                        acc(&mut grads, *dense, s.transpose_matmul_dense(&g_out));
+                    }
+                }
+                Op::Add(a, b) => {
+                    if self.rg(*a) {
+                        acc(&mut grads, *a, g_out.clone());
+                    }
+                    if self.rg(*b) {
+                        acc(&mut grads, *b, g_out);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.rg(*a) {
+                        acc(&mut grads, *a, g_out.clone());
+                    }
+                    if self.rg(*b) {
+                        acc(&mut grads, *b, g_out.scale(-1.0));
+                    }
+                }
+                Op::Hadamard(a, b) => {
+                    if self.rg(*a) {
+                        acc(&mut grads, *a, g_out.hadamard(self.value(*b)));
+                    }
+                    if self.rg(*b) {
+                        acc(&mut grads, *b, g_out.hadamard(self.value(*a)));
+                    }
+                }
+                Op::Scale(a, s) => {
+                    if self.rg(*a) {
+                        acc(&mut grads, *a, g_out.scale(*s));
+                    }
+                }
+                Op::AddRowBroadcast(mat, row) => {
+                    if self.rg(*mat) {
+                        acc(&mut grads, *mat, g_out.clone());
+                    }
+                    if self.rg(*row) {
+                        acc(&mut grads, *row, g_out.sum_rows());
+                    }
+                }
+                Op::Relu(a) => {
+                    if self.rg(*a) {
+                        let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                        acc(&mut grads, *a, g_out.hadamard(&mask));
+                    }
+                }
+                Op::Tanh(a) => {
+                    if self.rg(*a) {
+                        let d = self.nodes[i].value.map(|y| 1.0 - y * y);
+                        acc(&mut grads, *a, g_out.hadamard(&d));
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    if self.rg(*a) {
+                        let d = self.nodes[i].value.map(|y| y * (1.0 - y));
+                        acc(&mut grads, *a, g_out.hadamard(&d));
+                    }
+                }
+                Op::Softplus(a) => {
+                    if self.rg(*a) {
+                        let d = self.value(*a).map(|x| 1.0 / (1.0 + (-x).exp()));
+                        acc(&mut grads, *a, g_out.hadamard(&d));
+                    }
+                }
+                Op::Softsign(a) => {
+                    if self.rg(*a) {
+                        let d = self.value(*a).map(|x| {
+                            let t = 1.0 + x.abs();
+                            1.0 / (t * t)
+                        });
+                        acc(&mut grads, *a, g_out.hadamard(&d));
+                    }
+                }
+                Op::SoftmaxRows(a) => {
+                    if self.rg(*a) {
+                        let y = &self.nodes[i].value;
+                        let mut d = Matrix::zeros(y.rows(), y.cols());
+                        for r in 0..y.rows() {
+                            let yr = y.row(r);
+                            let gr = g_out.row(r);
+                            let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                            for c in 0..y.cols() {
+                                d.set(r, c, yr[c] * (gr[c] - dot));
+                            }
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::Transpose(a) => {
+                    if self.rg(*a) {
+                        acc(&mut grads, *a, g_out.transpose());
+                    }
+                }
+                Op::GatherRows(a, indices) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let mut d = Matrix::zeros(src.rows(), src.cols());
+                        for (out_r, &src_r) in indices.iter().enumerate() {
+                            let g_row = g_out.row(out_r);
+                            let d_row = d.row_mut(src_r);
+                            for (dst, &g) in d_row.iter_mut().zip(g_row) {
+                                *dst += g;
+                            }
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::SliceCols(a, start, _end) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let mut d = Matrix::zeros(src.rows(), src.cols());
+                        for r in 0..g_out.rows() {
+                            d.row_mut(r)[*start..*start + g_out.cols()]
+                                .copy_from_slice(g_out.row(r));
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let rows = self.value(p).rows();
+                        if self.rg(p) {
+                            let mut d = Matrix::zeros(rows, g_out.cols());
+                            for r in 0..rows {
+                                d.row_mut(r).copy_from_slice(g_out.row(offset + r));
+                            }
+                            acc(&mut grads, p, d);
+                        }
+                        offset += rows;
+                    }
+                }
+                Op::SumRows(a) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let mut d = Matrix::zeros(src.rows(), src.cols());
+                        for r in 0..src.rows() {
+                            d.row_mut(r).copy_from_slice(g_out.row(0));
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::SumAll(a) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let d = Matrix::full(src.rows(), src.cols(), g_out.get(0, 0));
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::MeanAll(a) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let d = Matrix::full(
+                            src.rows(),
+                            src.cols(),
+                            g_out.get(0, 0) / src.len() as f32,
+                        );
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::MaxPoolRows(a, argmax) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let mut d = Matrix::zeros(src.rows(), src.cols());
+                        for (c, &r) in argmax.iter().enumerate() {
+                            d.set(r, c, g_out.get(0, c));
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::Im2Col(a, kernel) => {
+                    if self.rg(*a) {
+                        let src = self.value(*a);
+                        let c = src.cols();
+                        let mut d = Matrix::zeros(src.rows(), src.cols());
+                        for r in 0..g_out.rows() {
+                            for k in 0..*kernel {
+                                let g_seg = &g_out.row(r)[k * c..(k + 1) * c];
+                                let d_row = d.row_mut(r + k);
+                                for (dst, &g) in d_row.iter_mut().zip(g_seg) {
+                                    *dst += g;
+                                }
+                            }
+                        }
+                        acc(&mut grads, *a, d);
+                    }
+                }
+                Op::GmmNll(theta, cached) => {
+                    if self.rg(*theta) {
+                        acc(&mut grads, *theta, cached.scale(g_out.get(0, 0)));
+                    }
+                }
+                Op::MixtureConstNll(logits, cached) => {
+                    if self.rg(*logits) {
+                        acc(&mut grads, *logits, cached.scale(g_out.get(0, 0)));
+                    }
+                }
+            }
+        }
+        param_grads
+    }
+}
+
+/// Numerically stable softplus.
+pub fn softplus_f32(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// In-place stable softmax of a slice.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the tensor substrate: algebraic identities the
+//! autodiff engine silently depends on.
+
+use edge_tensor::matrix::Matrix;
+use edge_tensor::sparse::CsrMatrix;
+use edge_tensor::tape::{softmax_in_place, ParamStore, Tape};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 3),
+        c in arb_matrix(4, 3),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        // (AB)^T = B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_commutes_with_matmul(a in arb_matrix(3, 3), b in arb_matrix(3, 3), s in -2.0f32..2.0) {
+        let left = a.scale(s).matmul(&b);
+        let right = a.matmul(&b).scale(s);
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_rows_preserves_total(a in arb_matrix(5, 4)) {
+        prop_assert!((a.sum_rows().sum() - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gather_all_rows_is_identity(a in arb_matrix(6, 3)) {
+        let idx: Vec<usize> = (0..6).collect();
+        prop_assert_eq!(a.gather_rows(&idx), a);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(mut row in proptest::collection::vec(-20.0f32..20.0, 1..12)) {
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(row in proptest::collection::vec(-5.0f32..5.0, 2..8), shift in -3.0f32..3.0) {
+        let mut a = row.clone();
+        softmax_in_place(&mut a);
+        let mut b: Vec<f32> = row.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense(
+        triplets in proptest::collection::vec((0usize..6, 0usize..5, -2.0f32..2.0), 0..20),
+        x in arb_matrix(5, 3),
+    ) {
+        let s = CsrMatrix::from_triplets(6, 5, &triplets);
+        let sparse = s.matmul_dense(&x);
+        let dense = s.to_dense().matmul(&x);
+        for (a, b) in sparse.data().iter().zip(dense.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csr_get_matches_summed_triplets(
+        triplets in proptest::collection::vec((0usize..4, 0usize..4, -2.0f32..2.0), 0..12),
+    ) {
+        let s = CsrMatrix::from_triplets(4, 4, &triplets);
+        for r in 0..4 {
+            for c in 0..4 {
+                let expected: f32 = triplets.iter().filter(|&&(tr, tc, _)| tr == r && tc == c).map(|&(_, _, v)| v).sum();
+                prop_assert!((s.get(r, c) - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn tape_linear_ops_match_matrix_ops(a in arb_matrix(3, 3), b in arb_matrix(3, 3)) {
+        let mut tape = Tape::new();
+        let an = tape.constant(a.clone());
+        let bn = tape.constant(b.clone());
+        let sum = tape.add(an, bn);
+        let prod = tape.matmul(an, bn);
+        prop_assert_eq!(tape.value(sum), &a.add(&b));
+        prop_assert_eq!(tape.value(prod), &a.matmul(&b));
+    }
+
+    #[test]
+    fn backward_of_sum_all_is_ones(a in arb_matrix(4, 3)) {
+        let mut params = ParamStore::new();
+        let id = params.add("w", a);
+        let mut tape = Tape::new();
+        let x = tape.param(id, &params);
+        let loss = tape.sum_all(x);
+        let grads = tape.backward(loss);
+        prop_assert_eq!(grads.len(), 1);
+        prop_assert!(grads[0].1.data().iter().all(|&g| g == 1.0));
+    }
+
+    #[test]
+    fn backward_is_linear_in_upstream_scale(a in arb_matrix(3, 3), s in 0.1f32..4.0) {
+        let mut params = ParamStore::new();
+        let id = params.add("w", a);
+        // loss1 = sum(w), loss2 = s * sum(w): grad2 = s * grad1.
+        let mut t1 = Tape::new();
+        let x1 = t1.param(id, &params);
+        let l1 = t1.sum_all(x1);
+        let g1 = t1.backward(l1);
+        let mut t2 = Tape::new();
+        let x2 = t2.param(id, &params);
+        let sum = t2.sum_all(x2);
+        let l2 = t2.scale(sum, s);
+        let g2 = t2.backward(l2);
+        for (x, y) in g1[0].1.data().iter().zip(g2[0].1.data()) {
+            prop_assert!((x * s - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! A compact English stop-word list tuned for tweets.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "again", "all", "am", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "but", "by", "can", "come", "could", "day", "did", "do",
+    "does", "doing", "don't", "done", "down", "during", "each", "few", "for", "from", "further",
+    "get", "go", "going", "good", "got", "great", "had", "has", "have", "having", "he", "her",
+    "here", "hers", "him", "his", "how", "i", "i'm", "if", "in", "into", "is", "it", "it's",
+    "its", "just", "like", "lol", "me", "more", "most", "my", "new", "no", "not", "now", "of",
+    "off", "on", "once", "one", "only", "or", "other", "our", "out", "over", "own", "really",
+    "rt", "said", "same", "say", "see", "she", "should", "so", "some", "such", "than", "that",
+    "the", "their", "them", "then", "there", "these", "they", "they're", "this", "those",
+    "through", "time", "to", "today", "too", "u", "under", "until", "up", "us", "very", "was",
+    "way", "we", "were", "what", "when", "where", "which", "while", "who", "why", "will", "with",
+    "would", "you", "your", "yours",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether `word` (any case) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word.to_lowercase().as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "The", "THE", "and", "i'm", "rt"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["broadway", "quarantine", "hospital", "covid19"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn list_is_deduplicated_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase(), "{w} not lowercase");
+            assert!(seen.insert(w), "{w} duplicated");
+        }
+    }
+}

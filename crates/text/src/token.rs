@@ -1,0 +1,173 @@
+//! Tweet tokenization.
+//!
+//! Tweets are not newswire: they carry hashtags, @-mentions, URLs and loose
+//! punctuation. The tokenizer keeps hashtags and mentions as single tokens
+//! (they are entity candidates), drops URLs, and preserves the original
+//! casing (the NER chunker needs it) while exposing a lowercase view.
+
+use serde::{Deserialize, Serialize};
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// An ordinary word.
+    Word,
+    /// A `#hashtag` (leading `#` stripped in [`Token::text`]).
+    Hashtag,
+    /// A `@mention` (leading `@` stripped in [`Token::text`]).
+    Mention,
+    /// A number.
+    Number,
+}
+
+/// One token with its original casing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text, original case, sigils stripped.
+    pub text: String,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Lowercase view of the token text.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// Whether the token starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(char::is_uppercase)
+    }
+}
+
+/// Tokenizes a tweet. URLs are dropped; punctuation splits tokens; hashtags
+/// and mentions survive as single tokens with their sigil recorded in
+/// [`TokenKind`].
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for raw in text.split_whitespace() {
+        if is_url(raw) {
+            continue;
+        }
+        let (kind, body) = match raw.chars().next() {
+            Some('#') => (TokenKind::Hashtag, &raw[1..]),
+            Some('@') => (TokenKind::Mention, &raw[1..]),
+            _ => (TokenKind::Word, raw),
+        };
+        if kind != TokenKind::Word {
+            // Hashtags/mentions: strip trailing punctuation, keep one token.
+            let clean: String = body
+                .chars()
+                .filter(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !clean.is_empty() {
+                tokens.push(Token { text: clean, kind });
+            }
+            continue;
+        }
+        // Ordinary text: split on anything that is not alphanumeric or an
+        // apostrophe (keep "don't" together), then trim apostrophes.
+        for piece in body.split(|c: char| !c.is_alphanumeric() && c != '\'') {
+            let piece = piece.trim_matches('\'');
+            if piece.is_empty() {
+                continue;
+            }
+            let kind = if piece.chars().all(|c| c.is_ascii_digit()) {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            };
+            tokens.push(Token { text: piece.to_string(), kind });
+        }
+    }
+    tokens
+}
+
+/// Lowercase word list of a tweet (the view bag-of-words models use).
+pub fn lower_words(text: &str) -> Vec<String> {
+    tokenize(text).iter().map(Token::lower).collect()
+}
+
+fn is_url(tok: &str) -> bool {
+    tok.starts_with("http://") || tok.starts_with("https://") || tok.starts_with("www.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_words() {
+        let toks = tokenize("hello world");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "hello");
+        assert_eq!(toks[0].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn hashtags_and_mentions_kept_whole() {
+        let toks = tokenize("#covid19 spreading, says @PhantomOpera!");
+        assert_eq!(toks[0], Token { text: "covid19".into(), kind: TokenKind::Hashtag });
+        assert_eq!(
+            toks.last().unwrap(),
+            &Token { text: "PhantomOpera".into(), kind: TokenKind::Mention }
+        );
+    }
+
+    #[test]
+    fn urls_are_dropped() {
+        let toks = tokenize("look https://t.co/abc123 here www.example.com now");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["look", "here", "now"]);
+    }
+
+    #[test]
+    fn punctuation_splits_words() {
+        let toks = tokenize("quarantine...business!Great");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["quarantine", "business", "Great"]);
+    }
+
+    #[test]
+    fn apostrophes_survive_inside_words() {
+        let toks = tokenize("they're done with 'this'");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["they're", "done", "with", "this"]);
+    }
+
+    #[test]
+    fn numbers_are_typed() {
+        let toks = tokenize("wave 2 hits 2020");
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[3].kind, TokenKind::Number);
+        assert_eq!(toks[0].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn capitalization_detection() {
+        let toks = tokenize("Majestic theatre");
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ###").is_empty());
+        assert!(tokenize("@").is_empty());
+    }
+
+    #[test]
+    fn lower_words_view() {
+        assert_eq!(lower_words("Broadway SHOW"), vec!["broadway", "show"]);
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let toks = tokenize("café über #naïve");
+        assert_eq!(toks[0].text, "café");
+        assert_eq!(toks[2].text, "naïve");
+        assert_eq!(toks[2].kind, TokenKind::Hashtag);
+    }
+}

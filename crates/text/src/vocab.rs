@@ -1,0 +1,162 @@
+//! Token vocabularies: string ↔ id maps with frequency counts.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A growable vocabulary mapping tokens to dense ids with counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    map: HashMap<String, usize>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one occurrence of `token`, creating an id on first sight.
+    /// Returns the id.
+    pub fn add(&mut self, token: &str) -> usize {
+        match self.map.get(token) {
+            Some(&id) => {
+                self.counts[id] += 1;
+                id
+            }
+            None => {
+                let id = self.tokens.len();
+                self.map.insert(token.to_string(), id);
+                self.tokens.push(token.to_string());
+                self.counts.push(1);
+                id
+            }
+        }
+    }
+
+    /// The id of `token`, if present.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.map.get(token).copied()
+    }
+
+    /// The token with id `id`.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// The occurrence count of id `id`.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no tokens have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Total number of occurrences added.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(id, token, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str, u64)> {
+        self.tokens
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (t, &c))| (i, t.as_str(), c))
+    }
+
+    /// A new vocabulary containing only tokens with `count >= min_count`,
+    /// with compacted ids, plus the old→new id mapping.
+    pub fn filter_min_count(&self, min_count: u64) -> (Vocab, Vec<Option<usize>>) {
+        let mut out = Vocab::new();
+        let mut mapping = vec![None; self.len()];
+        for (old_id, token, count) in self.iter() {
+            if count >= min_count {
+                let new_id = out.tokens.len();
+                out.map.insert(token.to_string(), new_id);
+                out.tokens.push(token.to_string());
+                out.counts.push(count);
+                mapping[old_id] = Some(new_id);
+            }
+        }
+        (out, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocab::new();
+        let a = v.add("broadway");
+        let b = v.add("hospital");
+        let a2 = v.add("broadway");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.get("broadway"), Some(a));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.token(b), "hospital");
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.total_count(), 3);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocab::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.total_count(), 0);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocab::new();
+        for (i, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(v.add(w), i);
+        }
+    }
+
+    #[test]
+    fn filter_min_count_compacts() {
+        let mut v = Vocab::new();
+        for _ in 0..3 {
+            v.add("common");
+        }
+        v.add("rare");
+        for _ in 0..2 {
+            v.add("medium");
+        }
+        let (filtered, mapping) = v.filter_min_count(2);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.get("common"), Some(0));
+        assert_eq!(filtered.get("medium"), Some(1));
+        assert_eq!(filtered.get("rare"), None);
+        assert_eq!(mapping[v.get("common").unwrap()], Some(0));
+        assert_eq!(mapping[v.get("rare").unwrap()], None);
+        assert_eq!(filtered.count(0), 3);
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let mut v = Vocab::new();
+        v.add("x");
+        v.add("y");
+        v.add("x");
+        let items: Vec<(usize, String, u64)> =
+            v.iter().map(|(i, t, c)| (i, t.to_string(), c)).collect();
+        assert_eq!(items, vec![(0, "x".to_string(), 2), (1, "y".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the text substrate: the tokenizer and NER must
+//! be total (never panic) and structurally consistent on arbitrary input.
+
+use edge_text::{canonical_id, ngrams, tokenize, EntityCategory, EntityRecognizer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenizer_is_total(text in "\\PC{0,200}") {
+        // Any printable string tokenizes without panicking, and tokens are
+        // never empty.
+        let tokens = tokenize(&text);
+        prop_assert!(tokens.iter().all(|t| !t.text.is_empty()));
+    }
+
+    #[test]
+    fn tokens_contain_no_whitespace(text in "\\PC{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.text.chars().any(char::is_whitespace), "token {:?}", t.text);
+        }
+    }
+
+    #[test]
+    fn canonical_id_is_idempotent(text in "[a-zA-Z ]{1,40}") {
+        let once = canonical_id(&text);
+        prop_assert_eq!(canonical_id(&once), once.clone());
+        // And produces no whitespace or uppercase.
+        prop_assert!(!once.contains(' '));
+        prop_assert_eq!(once.to_lowercase(), once);
+    }
+
+    #[test]
+    fn ngram_count_formula(words in proptest::collection::vec("[a-z]{1,6}", 0..15), max_n in 1usize..4) {
+        let grams = ngrams(&words, max_n);
+        // Exactly Σ max(0, len − n + 1) over n = 1..=max_n.
+        let exact: usize = (1..=max_n)
+            .filter(|&n| words.len() >= n)
+            .map(|n| words.len() - n + 1)
+            .sum();
+        prop_assert_eq!(grams.len(), exact);
+    }
+
+    #[test]
+    fn recognizer_is_total_and_unique(text in "\\PC{0,200}") {
+        let ner = EntityRecognizer::with_gazetteer([
+            ("Majestic Theatre", EntityCategory::Facility),
+            ("broadway", EntityCategory::Geolocation),
+        ]);
+        let mentions = ner.recognize(&text);
+        // Ids are unique and canonical.
+        let mut ids: Vec<&str> = mentions.iter().map(|m| m.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicate entity ids");
+        for m in &mentions {
+            prop_assert_eq!(canonical_id(&m.id), m.id.clone());
+        }
+    }
+
+    #[test]
+    fn gazetteer_surface_always_recognized_in_clean_context(
+        filler in proptest::collection::vec("[a-z]{3,8}", 0..5)
+    ) {
+        let ner = EntityRecognizer::with_gazetteer([("zanzibar plaza", EntityCategory::Geolocation)]);
+        let text = format!("{} zanzibar plaza {}", filler.join(" "), filler.join(" "));
+        let mentions = ner.recognize(&text);
+        prop_assert!(
+            mentions.iter().any(|m| m.id == "zanzibar_plaza"),
+            "missed in: {text}"
+        );
+    }
+
+    #[test]
+    fn recognition_rate_bounds(text in "\\PC{0,120}") {
+        let ner = EntityRecognizer::new();
+        let rate = ner.recognition_rate(&text, &["anything".to_string()]);
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+}

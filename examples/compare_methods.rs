@@ -1,0 +1,66 @@
+//! Mini Table-III: train several methods on one corpus and print a
+//! leaderboard with the paper's metrics.
+//!
+//! Run with: `cargo run --release -p edge --example compare_methods`
+
+use edge::baselines::{Geolocator, HyperLocal, HyperLocalParams, KullbackLeibler, NaiveBayes};
+use edge::geo::Grid;
+use edge::prelude::*;
+
+fn main() {
+    let dataset = edge::data::nyma(PresetSize::Smoke, 17);
+    let (train, test) = dataset.paper_split();
+    println!(
+        "corpus: {} ({} train / {} test tweets)\n",
+        dataset.name,
+        train.len(),
+        test.len()
+    );
+
+    let mut rows: Vec<(String, DistanceReport)> = Vec::new();
+
+    // Grid classifiers.
+    let grid = || Grid::new(dataset.bbox, 50, 50);
+    let nb = NaiveBayes::fit(train, grid());
+    let kl = KullbackLeibler::fit(train, grid());
+    let hl = HyperLocal::fit(train, HyperLocalParams::default());
+    for model in [&nb as &dyn Geolocator, &kl, &hl] {
+        let (pairs, coverage) = model.evaluate(test);
+        if let Some(report) = DistanceReport::from_pairs_with_coverage(&pairs, coverage) {
+            rows.push((model.name().to_string(), report));
+        }
+    }
+
+    // EDGE.
+    println!("training EDGE ...");
+    let ner = edge::data::dataset_recognizer(&dataset);
+    let mut cfg = EdgeConfig::smoke();
+    cfg.epochs = 40;
+    cfg.embed_dim = 32;
+    cfg.hidden_dim = 32;
+    cfg.sgns.dim = 32;
+    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, cfg);
+    let (preds, coverage) = model.evaluate(test);
+    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+    if let Some(report) = DistanceReport::from_pairs_with_coverage(&pairs, coverage) {
+        rows.push(("EDGE".to_string(), report));
+    }
+
+    // Leaderboard, best median first.
+    rows.sort_by(|a, b| a.1.median_km.total_cmp(&b.1.median_km));
+    println!(
+        "\n{:<20} {:>9} {:>11} {:>8} {:>8} {:>9}",
+        "method", "mean(km)", "median(km)", "@3km", "@5km", "coverage"
+    );
+    for (name, r) in &rows {
+        println!(
+            "{name:<20} {:>9.2} {:>11.2} {:>8.4} {:>8.4} {:>8.1}%",
+            r.mean_km,
+            r.median_km,
+            r.at_3km,
+            r.at_5km,
+            r.coverage * 100.0
+        );
+    }
+    println!("\nnote: methods with coverage < 100% are scored on their covered subset only");
+}

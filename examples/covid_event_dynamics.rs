@@ -1,0 +1,61 @@
+//! Event-dynamics analysis (the paper's Section V-B scenario): track how
+//! the spatial distribution of "quarantine" tweets evolves between two
+//! COVID windows by predicting locations for keyword-filtered tweets.
+//!
+//! Run with: `cargo run --release -p edge --example covid_event_dynamics`
+
+use edge::data::SimDate;
+use edge::geo::{Grid, Heatmap};
+use edge::prelude::*;
+
+fn main() {
+    println!("building the COVID-19 corpus (keyword-filtered NY 2020 crawl) ...");
+    let dataset = edge::data::covid19(PresetSize::Smoke, 7);
+    println!("  {} covid tweets\n", dataset.len());
+
+    let (train, _) = dataset.paper_split();
+    let ner = edge::data::dataset_recognizer(&dataset);
+    println!("training EDGE on the training window ...");
+    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+
+    // The two Figure-1 windows.
+    let windows = [
+        ("03/12 - 03/22", SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 22)),
+        ("03/22 - 04/02", SimDate::new(2020, 3, 22), SimDate::new(2020, 4, 2)),
+    ];
+    let grid = Grid::new(dataset.bbox, 50, 50);
+    let mut maps = Vec::new();
+    for (label, start, end) in windows {
+        let quarantine: Vec<_> = dataset
+            .window(start, end)
+            .into_iter()
+            .filter(|t| t.text.to_lowercase().contains("quarantine"))
+            .collect();
+        let predicted: Vec<Point> = quarantine
+            .iter()
+            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
+            .collect();
+        let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
+        println!(
+            "window {label}: {} quarantine tweets, {} predicted",
+            quarantine.len(),
+            predicted.len()
+        );
+        println!("{}", heat.render_ascii(50));
+        maps.push((heat, predicted));
+    }
+
+    // Quantify the spreading the paper's Figure 1 narrates.
+    let dispersion = |pts: &[Point]| {
+        edge::geo::point::centroid(pts)
+            .map(|c| pts.iter().map(|p| p.haversine_km(&c)).sum::<f64>() / pts.len() as f64)
+            .unwrap_or(0.0)
+    };
+    let early = dispersion(&maps[0].1);
+    let late = dispersion(&maps[1].1);
+    println!("spatial dispersion: {early:.2} km (early) -> {late:.2} km (late)");
+    println!("distribution similarity between windows: {:.3}", maps[0].0.similarity(&maps[1].0));
+    if late > early {
+        println!("=> the predicted quarantine conversation spread geographically, as in Figure 1");
+    }
+}

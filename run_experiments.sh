@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table and figure at Default scale (EXPERIMENTS.md runs).
+set -e
+cd /root/repo
+cargo build --release -p edge-bench --bins 2>/dev/null
+for bin in table2 audit fig1 fig7 fig8 fig9 fig5; do
+  echo "=== $bin ==="
+  ./target/release/$bin --size default 2>&1 | tail -4
+done
+echo "=== fig6 (2 seeds) ==="
+./target/release/fig6 --size default --seeds 2 2>&1 | tail -3
+for bin in table3 table4; do
+  echo "=== $bin (3 seeds) ==="
+  ./target/release/$bin --size default --seeds 3 2>&1 | tail -3
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Splices the regenerated results (results/*.txt) into EXPERIMENTS.md at the
+<!-- *_MEASURED --> markers. Run after ./run_experiments.sh."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXP = ROOT / "EXPERIMENTS.md"
+
+MARKERS = {
+    "TABLE2_MEASURED": "table2.txt",
+    "TABLE3_MEASURED": "table3.txt",
+    "TABLE4_MEASURED": "table4.txt",
+    "FIG1_MEASURED": "fig1.txt",
+    "FIG5_MEASURED": "fig5.txt",
+    "FIG6_MEASURED": "fig6.txt",
+    "FIG7_MEASURED": "fig7.txt",
+    "FIG8_MEASURED": "fig8.txt",
+    "FIG9_MEASURED": "fig9.txt",
+    "AUDIT_MEASURED": "audit.txt",
+}
+
+# Figures with large ASCII art: keep only the summary lines.
+SUMMARY_ONLY = {
+    "FIG1_MEASURED": r"(window|dispersion)",
+    "FIG8_MEASURED": r"(window|burst|hottest)",
+    "FIG9_MEASURED": r"^--",
+}
+
+
+def block_for(marker: str, path: pathlib.Path) -> str:
+    text = path.read_text()
+    if marker in SUMMARY_ONLY:
+        pat = re.compile(SUMMARY_ONLY[marker])
+        lines = [l for l in text.splitlines() if pat.search(l)]
+        text = "\n".join(lines)
+    return f"**Measured** (`{path.name}`):\n\n```text\n{text.rstrip()}\n```"
+
+
+def main() -> None:
+    content = EXP.read_text()
+    for marker, fname in MARKERS.items():
+        path = ROOT / "results" / fname
+        if not path.exists():
+            print(f"skip {marker}: {path} missing")
+            continue
+        tag = f"<!-- {marker} -->"
+        if tag not in content:
+            print(f"skip {marker}: marker not found")
+            continue
+        content = content.replace(tag, block_for(marker, path))
+        print(f"filled {marker}")
+    EXP.write_text(content)
+
+
+if __name__ == "__main__":
+    main()

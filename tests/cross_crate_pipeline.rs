@@ -1,0 +1,156 @@
+//! Cross-crate integration: exercises the seams between substrates — NER ↔
+//! entity2vec ↔ graph ↔ tensor ↔ geo — that the model composes, plus the
+//! diffusion semantics the paper's Observation-2 argument rests on.
+
+use std::sync::Arc;
+
+use edge::core::{entity_sentence, run_entity2vec};
+use edge::embed::SgnsConfig;
+use edge::graph::{build_cooccurrence_graph, ego_net, graph_stats, normalized_adjacency_triplets};
+use edge::prelude::*;
+use edge::tensor::{CsrMatrix, Matrix};
+
+fn corpus() -> (edge::data::Dataset, edge::text::EntityRecognizer) {
+    let d = edge::data::nyma(PresetSize::Smoke, 2001);
+    let ner = edge::data::dataset_recognizer(&d);
+    (d, ner)
+}
+
+#[test]
+fn ner_feeds_entity2vec_consistently() {
+    let (d, ner) = corpus();
+    let (train, _) = d.paper_split();
+    // Every entity the NER finds in a tweet appears as a token in the
+    // entity sentence for that tweet.
+    for t in train.iter().take(300) {
+        let sentence = entity_sentence(&t.text, &ner);
+        for m in ner.recognize(&t.text) {
+            assert!(
+                sentence.contains(&m.id),
+                "entity {} missing from sentence {:?} (text: {})",
+                m.id,
+                sentence,
+                t.text
+            );
+        }
+    }
+}
+
+#[test]
+fn cooccurrence_graph_reflects_corpus_pairs() {
+    let (d, ner) = corpus();
+    let (train, _) = d.paper_split();
+    let sgns = SgnsConfig { dim: 8, epochs: 1, ..Default::default() };
+    let e2v = run_entity2vec(train, &ner, &sgns, 8);
+    let graph = build_cooccurrence_graph(
+        e2v.index.len(),
+        e2v.tweet_entities.iter().map(Vec::as_slice),
+    );
+    // Edge weights equal hand-counted co-occurrences for a sample of pairs.
+    let mut checked = 0;
+    for ids in e2v.tweet_entities.iter().filter(|ids| ids.len() >= 2).take(20) {
+        let (a, b) = (ids[0], ids[1]);
+        let manual = e2v
+            .tweet_entities
+            .iter()
+            .filter(|t| t.contains(&a) && t.contains(&b))
+            .count() as f32;
+        assert_eq!(graph.edge_weight(a, b), manual, "pair ({a},{b})");
+        checked += 1;
+    }
+    assert!(checked >= 10);
+    let stats = graph_stats(&graph);
+    assert!(stats.largest_component > stats.n_nodes / 2, "graph should be well connected");
+}
+
+#[test]
+fn two_layer_diffusion_reaches_exactly_the_two_hop_egonet() {
+    let (d, ner) = corpus();
+    let (train, _) = d.paper_split();
+    let sgns = SgnsConfig { dim: 4, epochs: 1, ..Default::default() };
+    let e2v = run_entity2vec(&train[..1500], &ner, &sgns, 4);
+    let graph = build_cooccurrence_graph(
+        e2v.index.len(),
+        e2v.tweet_entities.iter().map(Vec::as_slice),
+    );
+    let n = e2v.index.len();
+    let adj = Arc::new(CsrMatrix::from_triplets(n, n, &normalized_adjacency_triplets(&graph)));
+
+    // One-hot feature on a node with a non-trivial ego net.
+    let source = (0..n)
+        .find(|&i| {
+            let one = ego_net(&graph, i, 1).len();
+            let two = ego_net(&graph, i, 2).len();
+            one > 2 && two > one && two < n
+        })
+        .expect("a node with a growing ego net");
+    let mut x = Matrix::zeros(n, 1);
+    x.set(source, 0, 1.0);
+    let identity = Matrix::identity(1);
+    let h = edge::core::gcn::gcn_infer(&adj, &x, &[&identity, &identity]);
+
+    let reach = ego_net(&graph, source, 2);
+    for i in 0..n {
+        let inside = reach.binary_search(&i).is_ok();
+        if inside {
+            assert!(h.get(i, 0) > 0.0, "node {i} in the 2-hop ego net got no mass");
+        } else {
+            assert_eq!(h.get(i, 0), 0.0, "node {i} outside the ego net got mass");
+        }
+    }
+}
+
+#[test]
+fn entity_sentences_round_trip_to_embeddings_and_geo() {
+    // The full substrate chain: text → ids → embedding rows → a Gaussian
+    // fit in geo space over the tweets that mention the entity.
+    let (d, ner) = corpus();
+    let (train, _) = d.paper_split();
+    let sgns = SgnsConfig { dim: 16, epochs: 2, ..Default::default() };
+    let e2v = run_entity2vec(train, &ner, &sgns, 16);
+
+    let majestic = e2v.index.get("majestic_theatre").expect("signature entity");
+    assert_eq!(e2v.embeddings[majestic].len(), 16);
+
+    let locations: Vec<Point> = train
+        .iter()
+        .zip(&e2v.tweet_entities)
+        .filter(|(_, ids)| ids.contains(&majestic))
+        .map(|(t, _)| t.location)
+        .collect();
+    assert!(locations.len() >= 3, "signature entity mentioned {} times", locations.len());
+    let g = edge::geo::BivariateGaussian::fit(&locations).expect("fit");
+    // The signature venue sits at (40.7571, -73.9885); its mention cloud
+    // must be centred nearby and tight.
+    assert!(g.mu.haversine_km(&Point::new(40.7571, -73.9885)) < 3.0, "centre {:?}", g.mu);
+}
+
+#[test]
+fn tensor_and_geo_agree_on_mixture_density() {
+    // decode_theta (geo path) agrees with the training loss (tensor path)
+    // for random θ — the cross-crate consistency the MDN head relies on.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    for m in [1usize, 2, 4] {
+        for _ in 0..20 {
+            let mut theta = vec![0.0f32; 6 * m];
+            for (i, v) in theta.iter_mut().enumerate() {
+                *v = match i / m {
+                    1 => rng.gen_range(39.0..42.0),
+                    2 => rng.gen_range(-75.0..-73.0),
+                    _ => rng.gen_range(-2.0..2.0),
+                };
+            }
+            let target = Point::new(rng.gen_range(40.0..41.0), rng.gen_range(-74.5..-73.5));
+            let mixture = edge::core::decode_theta(&theta, m);
+            let (nll, _) = edge::tensor::loss::gmm_nll_row(&theta, target.lat, target.lon, m);
+            let direct = mixture.pdf(&target);
+            assert!(
+                ((-nll).exp() - direct).abs() <= 1e-5 * (1.0 + direct),
+                "M={m}: exp(-nll)={} vs pdf={direct}",
+                (-nll).exp()
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end integration: corpus → NER → entity2vec → graph → GCN →
+//! attention → mixture head → prediction → the paper's metrics, through the
+//! facade crate's public API only.
+
+use edge::prelude::*;
+
+fn trained_on(seed: u64) -> (EdgeModel, edge::data::Dataset) {
+    let dataset = edge::data::nyma(PresetSize::Smoke, seed);
+    let (train, _) = dataset.paper_split();
+    let ner = edge::data::dataset_recognizer(&dataset);
+    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+    (model, dataset)
+}
+
+#[test]
+fn full_pipeline_beats_naive_center_guess() {
+    let (model, dataset) = trained_on(1001);
+    let (_, test) = dataset.paper_split();
+    let (preds, coverage) = model.evaluate(test);
+    assert!(coverage > 0.7, "coverage {coverage}");
+
+    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+    let edge_report = DistanceReport::from_pairs(&pairs).unwrap();
+    let center: Vec<(Point, Point)> =
+        preds.iter().map(|(_, t)| (dataset.bbox.center(), *t)).collect();
+    let center_report = DistanceReport::from_pairs(&center).unwrap();
+
+    assert!(edge_report.median_km < center_report.median_km);
+    assert!(edge_report.at_3km > center_report.at_3km);
+    assert!(edge_report.at_5km > center_report.at_5km);
+}
+
+#[test]
+fn mixture_outputs_are_valid_distributions() {
+    let (model, dataset) = trained_on(1002);
+    let (_, test) = dataset.paper_split();
+    let mut checked = 0;
+    for t in test.iter().take(100) {
+        let Some(p) = model.predict(&t.text) else { continue };
+        checked += 1;
+        // Weights sum to 1; every component is non-degenerate.
+        let w_sum: f64 = p.mixture.weights().iter().sum();
+        assert!((w_sum - 1.0).abs() < 1e-9);
+        for g in p.mixture.components() {
+            assert!(g.sigma_lat > 0.0 && g.sigma_lon > 0.0);
+            assert!(g.rho.abs() < 1.0);
+            assert!(g.mu.is_finite());
+        }
+        // The density at the point estimate is a local maximum among the
+        // component means (Eq. 14).
+        let at_mode = p.mixture.pdf(&p.point);
+        for g in p.mixture.components() {
+            assert!(at_mode >= p.mixture.pdf(&g.mu) - 1e-12);
+        }
+    }
+    assert!(checked > 60, "checked only {checked}");
+}
+
+#[test]
+fn attention_differentiates_entities() {
+    // The Eq. 2-4 mechanism check: for two-entity inputs, the learned
+    // attention must produce genuinely entity-dependent weights (a dead
+    // attention layer would emit 0.5/0.5 for every pair). The paper's
+    // stronger qualitative claim — fine-grained entities get systematically
+    // more weight than coarse ones — does NOT reproduce at our scale
+    // (EXPERIMENTS.md records the measurement); EDGE still beats the SUM
+    // ablation, which is the quantitative form of the claim (Table IV).
+    let (model, _) = trained_on(1003);
+    let n = model.entity_index().len();
+    assert!(n > 40);
+    let mut asymmetric = 0;
+    let mut pairs = 0;
+    for i in (0..n - 1).step_by(3).take(40) {
+        let p = model.predict_entities(&[i, i + 1]);
+        assert_eq!(p.attention.len(), 2);
+        let w0 = p.attention[0].1;
+        pairs += 1;
+        if (w0 - 0.5).abs() > 0.02 {
+            asymmetric += 1;
+        }
+    }
+    assert!(pairs >= 30);
+    assert!(
+        asymmetric * 2 > pairs,
+        "attention is flat: only {asymmetric}/{pairs} pairs show asymmetry"
+    );
+}
+
+#[test]
+fn rdp_metric_works_end_to_end() {
+    let (model, dataset) = trained_on(1004);
+    let (_, test) = dataset.paper_split();
+    let mixtures: Vec<(GaussianMixture, Point)> = test
+        .iter()
+        .take(150)
+        .filter_map(|t| model.predict(&t.text).map(|p| (p.mixture, t.location)))
+        .collect();
+    assert!(mixtures.len() > 80);
+    let r3 = edge::geo::rdp(&mixtures, 3.0, 500, 9);
+    let r10 = edge::geo::rdp(&mixtures, 10.0, 500, 9);
+    let r100 = edge::geo::rdp(&mixtures, 100.0, 500, 9);
+    assert!(r3 > 0.02, "some mass lands near the truth: {r3}");
+    assert!(r3 <= r10 + 0.02 && r10 <= r100 + 0.02, "{r3} {r10} {r100}");
+    assert!(r100 > 0.9, "region-scale radius captures almost everything: {r100}");
+}
+
+#[test]
+fn training_is_reproducible_through_the_facade() {
+    let (m1, d) = trained_on(1005);
+    let (m2, _) = trained_on(1005);
+    let (_, test) = d.paper_split();
+    for t in test.iter().take(40) {
+        match (m1.predict(&t.text), m2.predict(&t.text)) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.point, b.point);
+                assert_eq!(a.attention, b.attention);
+            }
+            (None, None) => {}
+            _ => panic!("coverage differs between identical runs"),
+        }
+    }
+}
