@@ -129,8 +129,7 @@ impl EmbedNet {
 
     /// Word-id encoding with the pad/unknown fallback (never empty).
     fn encode(&self, words: &[String]) -> Vec<usize> {
-        let mut ids: Vec<usize> =
-            words.iter().filter_map(|w| self.vocab.get(w)).collect();
+        let mut ids: Vec<usize> = words.iter().filter_map(|w| self.vocab.get(w)).collect();
         if ids.is_empty() {
             ids.push(0);
         }
@@ -148,9 +147,8 @@ impl EmbedNet {
         let table = self.params.get(self.embed);
         let gathered = table.gather_rows(&ids);
         let mean = gathered.sum_rows().scale(1.0 / ids.len() as f32);
-        let logits = mean
-            .matmul(self.params.get(self.w))
-            .add_row_broadcast(self.params.get(self.b));
+        let logits =
+            mean.matmul(self.params.get(self.w)).add_row_broadcast(self.params.get(self.b));
         logits.row(0).to_vec()
     }
 }
@@ -162,11 +160,7 @@ impl Geolocator for EmbedNet {
 
     fn predict_point(&self, text: &str) -> Option<Point> {
         let logits = self.cell_logits(text);
-        let best = logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)?;
+        let best = logits.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c)?;
         Some(self.grid.cell_center(best))
     }
 }

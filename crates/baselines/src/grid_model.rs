@@ -127,9 +127,7 @@ impl GridCounts<Grid> {
             vocab_size: self.vocab_size,
         }
     }
-
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -153,11 +151,8 @@ mod tests {
     fn totals_are_consistent() {
         let c = counts();
         let word_mass: f64 = (0..c.grid().len()).map(|i| c.cell_total(i)).sum();
-        let from_words: f64 = c
-            .word_cells
-            .values()
-            .flat_map(|v| v.iter().map(|&(_, x)| x as f64))
-            .sum();
+        let from_words: f64 =
+            c.word_cells.values().flat_map(|v| v.iter().map(|&(_, x)| x as f64)).sum();
         assert!((word_mass - from_words).abs() < 1e-6);
         assert!(c.total_tweets() > 2900.0);
         assert!(c.vocab_size() > 100);
@@ -186,12 +181,8 @@ mod tests {
         let after: f64 = (0..s.grid().len()).map(|i| s.cell_total(i)).sum();
         assert!((before - after).abs() / before < 0.05, "{before} vs {after}");
         // A word's support grows.
-        let word = c
-            .word_cells
-            .iter()
-            .max_by_key(|(_, v)| v.len())
-            .map(|(w, _)| w.clone())
-            .unwrap();
+        let word =
+            c.word_cells.iter().max_by_key(|(_, v)| v.len()).map(|(w, _)| w.clone()).unwrap();
         assert!(s.word_cells(&word).len() > c.word_cells(&word).len());
     }
 

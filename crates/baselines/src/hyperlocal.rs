@@ -74,8 +74,7 @@ impl HyperLocal {
                     .sum::<f64>()
                     / pts.len() as f64;
                 let sigma_km = var_km.sqrt();
-                (sigma_km <= params.max_sigma_km)
-                    .then_some((gram, NgramModel { center, sigma_km }))
+                (sigma_km <= params.max_sigma_km).then_some((gram, NgramModel { center, sigma_km }))
             })
             .collect();
         Self { models, params }
@@ -166,12 +165,7 @@ mod tests {
         let center: Vec<(Point, Point)> =
             pairs.iter().map(|(_, t)| (d.bbox.center(), *t)).collect();
         let c = DistanceReport::from_pairs(&center).unwrap();
-        assert!(
-            r.median_km < c.median_km,
-            "Hyper-local {} vs center {}",
-            r.median_km,
-            c.median_km
-        );
+        assert!(r.median_km < c.median_km, "Hyper-local {} vs center {}", r.median_km, c.median_km);
     }
 
     #[test]

@@ -44,7 +44,6 @@ impl KullbackLeibler<Quadtree> {
 }
 
 impl<P: Partition> KullbackLeibler<P> {
-
     /// Per-cell cross-entropy (lower = better match).
     pub fn cell_cross_entropy(&self, text: &str) -> Vec<f64> {
         let words = model_words(text);
@@ -75,11 +74,7 @@ impl<P: Partition> Geolocator for KullbackLeibler<P> {
 
     fn predict_point(&self, text: &str) -> Option<Point> {
         let ce = self.cell_cross_entropy(text);
-        let best = ce
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)?;
+        let best = ce.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c)?;
         Some(self.counts.grid().cell_center(best))
     }
 }

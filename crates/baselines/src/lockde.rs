@@ -108,11 +108,7 @@ impl Geolocator for LocKde {
 
     fn predict_point(&self, text: &str) -> Option<Point> {
         let surface = self.tweet_surface(text)?;
-        let best = surface
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)?;
+        let best = surface.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c)?;
         Some(self.grid.center_of(self.grid.cell_at(best)))
     }
 }

@@ -53,7 +53,6 @@ impl NaiveBayes<Quadtree> {
 }
 
 impl<P: Partition> NaiveBayes<P> {
-
     /// Per-cell log-posterior scores for a text.
     pub fn cell_scores(&self, text: &str) -> Vec<f64> {
         let words = model_words(text);
@@ -91,11 +90,7 @@ impl<P: Partition> Geolocator for NaiveBayes<P> {
 
     fn predict_point(&self, text: &str) -> Option<Point> {
         let scores = self.cell_scores(text);
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)?;
+        let best = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c)?;
         Some(self.counts.grid().cell_center(best))
     }
 }

@@ -52,9 +52,8 @@ fn bench_spmm(c: &mut Criterion) {
 fn bench_sgns_epoch(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let vocab = 500usize;
-    let sentences: Vec<Vec<usize>> = (0..500)
-        .map(|_| (0..8).map(|_| rng.gen_range(0..vocab)).collect())
-        .collect();
+    let sentences: Vec<Vec<usize>> =
+        (0..500).map(|_| (0..8).map(|_| rng.gen_range(0..vocab)).collect()).collect();
     let mut counts = vec![0u64; vocab];
     for s in &sentences {
         for &t in s {
@@ -117,9 +116,8 @@ fn bench_attention_forward_backward(c: &mut Criterion) {
     let entity_sets: Vec<Vec<usize>> = (0..128)
         .map(|_| (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..2000)).collect())
         .collect();
-    let targets: Vec<(f64, f64)> = (0..128)
-        .map(|_| (rng.gen_range(40.0..41.0), rng.gen_range(-75.0..-74.0)))
-        .collect();
+    let targets: Vec<(f64, f64)> =
+        (0..128).map(|_| (rng.gen_range(40.0..41.0), rng.gen_range(-75.0..-74.0))).collect();
     c.bench_function("attention_batch128_fwd_bwd", |b| {
         b.iter(|| {
             let mut tape = Tape::new();

@@ -1,0 +1,65 @@
+//! Overhead of the observability layer on its hot paths, with each subsystem
+//! disabled (the default — must be a branch on a relaxed load, i.e. within
+//! noise of the baseline) and enabled (a relaxed atomic op).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_counter_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_counter");
+    group.bench_function("baseline_add", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(black_box(1));
+            black_box(x)
+        });
+    });
+    edge_obs::set_metrics_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| edge_obs::counter!("bench.overhead.counter").inc(black_box(1)));
+    });
+    edge_obs::set_metrics_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| edge_obs::counter!("bench.overhead.counter").inc(black_box(1)));
+    });
+    edge_obs::set_metrics_enabled(false);
+    group.finish();
+}
+
+fn bench_histogram_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_histogram");
+    edge_obs::set_metrics_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| edge_obs::histogram!("bench.overhead.histogram").record(black_box(3.5)));
+    });
+    edge_obs::set_metrics_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| edge_obs::histogram!("bench.overhead.histogram").record(black_box(3.5)));
+    });
+    edge_obs::set_metrics_enabled(false);
+    group.finish();
+}
+
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span");
+    edge_obs::set_trace_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let _span = edge_obs::span(black_box("bench.overhead.span"));
+        });
+    });
+    edge_obs::set_trace_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let _span = edge_obs::span(black_box("bench.overhead.span"));
+        });
+        // Enabled spans append to the global trace; keep it bounded.
+        edge_obs::trace::reset();
+    });
+    edge_obs::set_trace_enabled(false);
+    edge_obs::trace::reset();
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter_overhead, bench_histogram_overhead, bench_span_overhead);
+criterion_main!(benches);

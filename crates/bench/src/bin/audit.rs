@@ -8,7 +8,9 @@
 
 use serde::Serialize;
 
-use edge_data::{audit_entities, audit_entities_offset, covid19, dataset_recognizer, lama, nyma, EntityAudit};
+use edge_data::{
+    audit_entities, audit_entities_offset, covid19, dataset_recognizer, lama, nyma, EntityAudit,
+};
 
 #[derive(Serialize)]
 struct DatasetAudit {
@@ -44,5 +46,5 @@ fn main() {
     }
     print!("{text}");
     edge_bench::write_results("audit", &out, &text).expect("write results");
-    eprintln!("wrote results/audit.{{json,txt}}");
+    edge_obs::progress!("wrote results/audit.{{json,txt}}");
 }

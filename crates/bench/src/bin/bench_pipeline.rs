@@ -1,0 +1,44 @@
+//! End-to-end pipeline resource bench: runs the Table III method set on one
+//! corpus, recording per-method wall time and process peak RSS, plus the
+//! metrics-layer counters (matmul/spmm FLOPs, tape ops, NER misses) for the
+//! EDGE runs.
+//!
+//! Usage: `cargo run --release -p edge-bench --bin bench_pipeline [--size default]`
+//!
+//! Writes `results/BENCH_pipeline.{json,txt}`.
+
+use edge_bench::{render_pipeline_table, run_pipeline_bench, HarnessConfig, MethodSet};
+use edge_data::{nyma, PresetSize};
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let config = match size {
+        PresetSize::Smoke => HarnessConfig::smoke(),
+        _ => HarnessConfig::default(),
+    };
+    // Counters stay on for the whole sweep so the snapshot aggregates the
+    // kernel work (FLOPs, tape ops, NER misses) behind the wall-time numbers.
+    edge_obs::set_metrics_enabled(true);
+    edge_obs::metrics::reset();
+
+    let dataset = nyma(size, seeds[0]);
+    edge_obs::progress!("== pipeline bench on {} ({} tweets) ==", dataset.name, dataset.len());
+    let records = run_pipeline_bench(&dataset, MethodSet::Comparison, &config);
+    for r in &records {
+        edge_obs::progress!(
+            "   {:<24} {:>7.2}s  peak RSS {:>8.1} MB",
+            r.method,
+            r.wall_secs,
+            r.peak_rss_mb
+        );
+    }
+
+    let text = format!(
+        "Pipeline bench ({size:?} scale): wall time + peak RSS per method\n{}\n{}",
+        render_pipeline_table(&records),
+        edge_obs::metrics::snapshot().render()
+    );
+    print!("{text}");
+    edge_bench::write_results("BENCH_pipeline", &records, &text).expect("write results");
+    edge_obs::progress!("wrote results/BENCH_pipeline.{{json,txt}}");
+}

@@ -44,10 +44,8 @@ fn main() {
             .into_iter()
             .filter(|t| t.text.to_lowercase().contains("quarantine"))
             .collect();
-        let predicted: Vec<Point> = tweets
-            .iter()
-            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
-            .collect();
+        let predicted: Vec<Point> =
+            tweets.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
         let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
         text.push_str(&format!(
             "\n-- window {label}: {} quarantine tweets, {} predicted --\n{}",
@@ -76,5 +74,5 @@ fn main() {
     ));
     print!("{text}");
     edge_bench::write_results("fig1", &out, &text).expect("write results");
-    eprintln!("wrote results/fig1.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig1.{{json,txt}}");
 }

@@ -45,5 +45,5 @@ fn main() {
     }
     print!("{text}");
     edge_bench::write_results("fig5", &series, &text).expect("write results");
-    eprintln!("wrote results/fig5.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig5.{{json,txt}}");
 }

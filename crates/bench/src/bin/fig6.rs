@@ -48,7 +48,10 @@ fn main() {
         "Figure 6: parameter sensitivity on NYMA ({} seed(s))\n\n(a) number of mixture components M\n",
         seeds.len()
     );
-    text.push_str(&format!("{:>4} {:>9} {:>11} {:>8} {:>8}\n", "M", "Mean(km)", "Median(km)", "@3km", "@5km"));
+    text.push_str(&format!(
+        "{:>4} {:>9} {:>11} {:>8} {:>8}\n",
+        "M", "Mean(km)", "Median(km)", "@3km", "@5km"
+    ));
     for m in [1usize, 2, 4, 6, 8] {
         let mut c = base.clone();
         c.n_components = m;
@@ -61,7 +64,10 @@ fn main() {
     }
 
     text.push_str("\n(b) embedding length d\n");
-    text.push_str(&format!("{:>4} {:>9} {:>11} {:>8} {:>8}\n", "d", "Mean(km)", "Median(km)", "@3km", "@5km"));
+    text.push_str(&format!(
+        "{:>4} {:>9} {:>11} {:>8} {:>8}\n",
+        "d", "Mean(km)", "Median(km)", "@3km", "@5km"
+    ));
     let dims: &[usize] = match size {
         PresetSize::Smoke => &[8, 16, 32],
         _ => &[16, 32, 64, 128],
@@ -80,5 +86,5 @@ fn main() {
     }
     print!("{text}");
     edge_bench::write_results("fig6", &points, &text).expect("write results");
-    eprintln!("wrote results/fig6.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig6.{{json,txt}}");
 }

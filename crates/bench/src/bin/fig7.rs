@@ -98,5 +98,5 @@ fn main() {
     };
     print!("{text}");
     edge_bench::write_results("fig7", &out, &text).expect("write results");
-    eprintln!("wrote results/fig7.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig7.{{json,txt}}");
 }

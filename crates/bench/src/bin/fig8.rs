@@ -47,10 +47,8 @@ fn main() {
             .into_iter()
             .filter(|t| t.text.to_lowercase().contains("nipseyhussle"))
             .collect();
-        let predicted: Vec<Point> = mentions
-            .iter()
-            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
-            .collect();
+        let predicted: Vec<Point> =
+            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
         let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
         let hot_dist = heat.hotspots(1).first().map(|(p, _)| p.haversine_km(&marathon));
         text.push_str(&format!(
@@ -75,5 +73,5 @@ fn main() {
     ));
     print!("{text}");
     edge_bench::write_results("fig8", &out, &text).expect("write results");
-    eprintln!("wrote results/fig8.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig8.{{json,txt}}");
 }

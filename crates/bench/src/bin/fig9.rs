@@ -39,17 +39,16 @@ fn main() {
     ];
 
     let mut out = Vec::new();
-    let mut text = String::from("Figure 9: predicted locations of New Colossus Festival mentions (NY)\n");
+    let mut text =
+        String::from("Figure 9: predicted locations of New Colossus Festival mentions (NY)\n");
     for (label, start, end) in windows {
         let mentions: Vec<_> = dataset
             .window(start, end)
             .into_iter()
             .filter(|t| t.text.to_lowercase().contains("new colossus festival"))
             .collect();
-        let predicted: Vec<Point> = mentions
-            .iter()
-            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
-            .collect();
+        let predicted: Vec<Point> =
+            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
         let mean_km = (!predicted.is_empty()).then(|| {
             predicted.iter().map(|p| p.haversine_km(&venue_center)).sum::<f64>()
                 / predicted.len() as f64
@@ -71,5 +70,5 @@ fn main() {
     }
     print!("{text}");
     edge_bench::write_results("fig9", &out, &text).expect("write results");
-    eprintln!("wrote results/fig9.{{json,txt}}");
+    edge_obs::progress!("wrote results/fig9.{{json,txt}}");
 }

@@ -10,10 +10,8 @@ fn main() {
     let seed = seeds[0];
     let datasets = [nyma(size, seed), lama(size, seed), covid19(size, seed)];
 
-    let rows: Vec<edge_data::TableTwoRow> = datasets
-        .iter()
-        .map(|d| table_two_row(d, &dataset_recognizer(d)))
-        .collect();
+    let rows: Vec<edge_data::TableTwoRow> =
+        datasets.iter().map(|d| table_two_row(d, &dataset_recognizer(d))).collect();
 
     let mut text = format!(
         "Table II: Overview of dataset ({size:?} scale, seed {seed})\n{:<10} {:<24} {:>12} {:>12} {:>14} {:>14}\n",
@@ -27,5 +25,5 @@ fn main() {
     }
     print!("{text}");
     edge_bench::write_results("table2", &rows, &text).expect("write results");
-    eprintln!("wrote results/table2.{{json,txt}}");
+    edge_obs::progress!("wrote results/table2.{{json,txt}}");
 }

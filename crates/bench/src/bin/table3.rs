@@ -6,7 +6,9 @@
 //!
 //! Usage: `cargo run --release -p edge-bench --bin table3 [--size default] [--seeds 3]`
 
-use edge_bench::{method_names, render_table, run_method_seeds, HarnessConfig, MethodResult, MethodSet};
+use edge_bench::{
+    method_names, render_table, run_method_seeds, HarnessConfig, MethodResult, MethodSet,
+};
 use edge_data::{covid19, lama, nyma, PresetSize};
 
 fn main() {
@@ -18,11 +20,11 @@ fn main() {
 
     let mut results: Vec<MethodResult> = Vec::new();
     for dataset in [nyma(size, seeds[0]), lama(size, seeds[0]), covid19(size, seeds[0])] {
-        eprintln!("== {} ({} tweets) ==", dataset.name, dataset.len());
+        edge_obs::progress!("== {} ({} tweets) ==", dataset.name, dataset.len());
         for method in method_names(MethodSet::Comparison) {
             let start = std::time::Instant::now();
             let r = run_method_seeds(&dataset, method, &config, &seeds);
-            eprintln!(
+            edge_obs::progress!(
                 "   {:<24} mean {:>7.2} km  median {:>7.2} km  @3km {:.4}  @5km {:.4}  cov {:.1}%  [{:?}]",
                 r.method,
                 r.report.mean_km,
@@ -43,5 +45,5 @@ fn main() {
     );
     print!("{text}");
     edge_bench::write_results("table3", &results, &text).expect("write results");
-    eprintln!("wrote results/table3.{{json,txt}}");
+    edge_obs::progress!("wrote results/table3.{{json,txt}}");
 }

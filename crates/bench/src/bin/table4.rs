@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p edge-bench --bin table4 [--size default] [--seeds 3]`
 
-use edge_bench::{method_names, render_table, run_method_seeds, HarnessConfig, MethodResult, MethodSet};
+use edge_bench::{
+    method_names, render_table, run_method_seeds, HarnessConfig, MethodResult, MethodSet,
+};
 use edge_data::{covid19, lama, nyma, PresetSize};
 
 fn main() {
@@ -15,12 +17,16 @@ fn main() {
 
     let mut results: Vec<MethodResult> = Vec::new();
     for dataset in [nyma(size, seeds[0]), lama(size, seeds[0]), covid19(size, seeds[0])] {
-        eprintln!("== {} ({} tweets) ==", dataset.name, dataset.len());
+        edge_obs::progress!("== {} ({} tweets) ==", dataset.name, dataset.len());
         for method in method_names(MethodSet::Ablation) {
             let r = run_method_seeds(&dataset, method, &config, &seeds);
-            eprintln!(
+            edge_obs::progress!(
                 "   {:<12} mean {:>7.2} km  median {:>7.2} km  @3km {:.4}  @5km {:.4}",
-                r.method, r.report.mean_km, r.report.median_km, r.report.at_3km, r.report.at_5km
+                r.method,
+                r.report.mean_km,
+                r.report.median_km,
+                r.report.at_3km,
+                r.report.at_5km
             );
             results.push(r);
         }
@@ -33,5 +39,5 @@ fn main() {
     );
     print!("{text}");
     edge_bench::write_results("table4", &results, &text).expect("write results");
-    eprintln!("wrote results/table4.{{json,txt}}");
+    edge_obs::progress!("wrote results/table4.{{json,txt}}");
 }

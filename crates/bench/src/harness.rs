@@ -98,8 +98,14 @@ pub fn average_reports(reports: &[DistanceReport]) -> DistanceReport {
 /// Evaluates one [`Geolocator`] on the test split.
 fn eval_geolocator(g: &dyn Geolocator, test: &[edge_data::Tweet]) -> DistanceReport {
     let (pairs, coverage) = g.evaluate(test);
-    DistanceReport::from_pairs_with_coverage(&pairs, coverage)
-        .unwrap_or(DistanceReport { mean_km: f64::NAN, median_km: f64::NAN, at_3km: 0.0, at_5km: 0.0, n: 0, coverage })
+    DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap_or(DistanceReport {
+        mean_km: f64::NAN,
+        median_km: f64::NAN,
+        at_3km: 0.0,
+        at_5km: 0.0,
+        n: 0,
+        coverage,
+    })
 }
 
 /// Trains + evaluates EDGE (point metrics); also returns the mixture pairs
@@ -192,11 +198,12 @@ pub fn method_names(set: MethodSet) -> Vec<&'static str> {
 }
 
 /// Runs a whole method set on one dataset.
-pub fn run_method_set(dataset: &Dataset, set: MethodSet, config: &HarnessConfig) -> Vec<MethodResult> {
-    method_names(set)
-        .into_iter()
-        .map(|m| run_method(dataset, m, config))
-        .collect()
+pub fn run_method_set(
+    dataset: &Dataset,
+    set: MethodSet,
+    config: &HarnessConfig,
+) -> Vec<MethodResult> {
+    method_names(set).into_iter().map(|m| run_method(dataset, m, config)).collect()
 }
 
 /// Multi-seed wrapper: reruns one method with reseeded model configs and
@@ -247,10 +254,73 @@ pub fn edge_rdp_sweep(
     seed: u64,
 ) -> Vec<(f64, f64)> {
     let (_, mixtures) = run_edge(dataset, config);
-    radii_km
-        .iter()
-        .map(|&r| (r, rdp(&mixtures, r, samples_per_tweet, seed)))
+    radii_km.iter().map(|&r| (r, rdp(&mixtures, r, samples_per_tweet, seed))).collect()
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`).
+/// Returns 0 where `/proc/self/status` is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One method's resource footprint in the end-to-end pipeline bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineBenchRecord {
+    pub method: String,
+    pub dataset: String,
+    pub wall_secs: f64,
+    /// Process peak RSS after the method ran. Peak RSS is monotone over the
+    /// process lifetime, so per-method deltas show which stage grew it.
+    pub peak_rss_mb: f64,
+    pub mean_km: f64,
+}
+
+/// Times every method of `set` on `dataset`: wall time plus process peak RSS
+/// after each method, for `results/BENCH_pipeline.json`.
+pub fn run_pipeline_bench(
+    dataset: &Dataset,
+    set: MethodSet,
+    config: &HarnessConfig,
+) -> Vec<PipelineBenchRecord> {
+    method_names(set)
+        .into_iter()
+        .map(|m| {
+            let start = std::time::Instant::now();
+            let r = run_method(dataset, m, config);
+            PipelineBenchRecord {
+                method: m.to_string(),
+                dataset: dataset.name.clone(),
+                wall_secs: start.elapsed().as_secs_f64(),
+                peak_rss_mb: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
+                mean_km: r.report.mean_km,
+            }
+        })
         .collect()
+}
+
+/// Renders the pipeline bench as aligned text.
+pub fn render_pipeline_table(records: &[PipelineBenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<24} {:>10} {:>13} {:>9}\n",
+        "Dataset", "Algorithm", "Wall(s)", "PeakRSS(MB)", "Mean(km)"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:<12} {:<24} {:>10.2} {:>13.1} {:>9.2}\n",
+            r.dataset, r.method, r.wall_secs, r.peak_rss_mb, r.mean_km
+        ));
+    }
+    out
 }
 
 /// Renders a `MethodResult` table as aligned text (the shape of Table III).
@@ -321,8 +391,22 @@ mod tests {
 
     #[test]
     fn average_reports_is_fieldwise_mean() {
-        let a = DistanceReport { mean_km: 2.0, median_km: 1.0, at_3km: 0.5, at_5km: 0.6, n: 10, coverage: 1.0 };
-        let b = DistanceReport { mean_km: 4.0, median_km: 3.0, at_3km: 0.7, at_5km: 0.8, n: 20, coverage: 0.8 };
+        let a = DistanceReport {
+            mean_km: 2.0,
+            median_km: 1.0,
+            at_3km: 0.5,
+            at_5km: 0.6,
+            n: 10,
+            coverage: 1.0,
+        };
+        let b = DistanceReport {
+            mean_km: 4.0,
+            median_km: 3.0,
+            at_3km: 0.7,
+            at_5km: 0.8,
+            n: 20,
+            coverage: 0.8,
+        };
         let avg = average_reports(&[a, b]);
         assert_eq!(avg.mean_km, 3.0);
         assert_eq!(avg.median_km, 2.0);
@@ -364,7 +448,14 @@ mod tests {
         let r = MethodResult {
             method: "EDGE".into(),
             dataset: "NYMA".into(),
-            report: DistanceReport { mean_km: 6.21, median_km: 2.92, at_3km: 0.52, at_5km: 0.66, n: 100, coverage: 0.97 },
+            report: DistanceReport {
+                mean_km: 6.21,
+                median_km: 2.92,
+                at_3km: 0.52,
+                at_5km: 0.66,
+                n: 100,
+                coverage: 0.97,
+            },
         };
         let txt = render_table(&[r]);
         assert!(txt.contains("EDGE"));

@@ -8,7 +8,7 @@
 pub mod harness;
 
 pub use harness::{
-    average_reports, edge_rdp_sweep, method_names, parse_cli, render_table, run_edge,
-    run_method, run_method_seeds, run_method_set, write_results, HarnessConfig, MethodResult,
-    MethodSet,
+    average_reports, edge_rdp_sweep, method_names, parse_cli, peak_rss_bytes,
+    render_pipeline_table, render_table, run_edge, run_method, run_method_seeds, run_method_set,
+    run_pipeline_bench, write_results, HarnessConfig, MethodResult, MethodSet, PipelineBenchRecord,
 };

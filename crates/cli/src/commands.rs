@@ -1,6 +1,11 @@
 //! Subcommand implementations for `edge-cli`.
+//!
+//! Human-facing progress goes to stderr via [`edge_obs::progress!`]; stdout
+//! carries only the command's machine-parseable result (predictions, metric
+//! lines, profile tables).
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use edge_core::{EdgeConfig, EdgeModel};
 use edge_data::{dataset_recognizer, Dataset, PresetSize};
@@ -26,12 +31,24 @@ COMMANDS:
                  --components <M>                    (override profile)
                  --seed <u64>                        (default 42)
                  --out <path>                        (required)
+                 --trace <path>                      (dump span trace as JSONL)
+                 --metrics-out <path>                (dump metrics snapshot as JSON)
+                 --telemetry-out <dir>               (write per-epoch telemetry JSONL)
     predict    predict one tweet's location mixture
                  --model <path>                      (required)
                  --text <tweet text>                 (required)
     evaluate   score a model on a corpus's 25% test split
                  --model <path>                      (required)
                  --data <path>                       (required)
+                 --trace <path>                      (dump span trace as JSONL)
+                 --metrics-out <path>                (dump metrics snapshot as JSON)
+    profile    train under full tracing and print a self-time profile table
+                 --preset nyma|lama|ny2020|covid19   (default nyma)
+                 --size smoke|default|paper          (default smoke)
+                 --seed <u64>                        (default 42)
+                 --out <dir>                         (default results; telemetry
+                                                      JSONL lands in <dir>/telemetry)
+                 --trace <path>                      (also dump raw span trace JSONL)
 ";
 
 /// Parses `--key value` pairs.
@@ -42,9 +59,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -69,25 +84,65 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
     serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+fn build_preset(preset: &str, size: PresetSize, seed: u64) -> Result<Dataset, String> {
+    match preset {
+        "nyma" => Ok(edge_data::nyma(size, seed)),
+        "lama" => Ok(edge_data::lama(size, seed)),
+        "ny2020" => Ok(edge_data::ny2020(size, seed)),
+        "covid19" => Ok(edge_data::covid19(size, seed)),
+        other => Err(format!("unknown preset '{other}' (nyma|lama|ny2020|covid19)")),
+    }
+}
+
+/// The cross-cutting `--trace <path>` / `--metrics-out <path>` flags: the
+/// constructor turns the subsystems on so the command body is observed, and
+/// [`ObsOutputs::finish`] dumps what was collected.
+struct ObsOutputs {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+fn obs_from_flags(flags: &HashMap<String, String>) -> ObsOutputs {
+    let trace = flags.get("trace").cloned();
+    let metrics = flags.get("metrics-out").cloned();
+    if trace.is_some() {
+        edge_obs::set_trace_enabled(true);
+    }
+    if metrics.is_some() {
+        edge_obs::set_metrics_enabled(true);
+    }
+    ObsOutputs { trace, metrics }
+}
+
+impl ObsOutputs {
+    fn finish(self) -> Result<(), String> {
+        if let Some(path) = self.trace {
+            std::fs::write(&path, edge_obs::trace::dump_jsonl())
+                .map_err(|e| format!("writing trace {path}: {e}"))?;
+            edge_obs::progress!("wrote span trace to {path}");
+        }
+        if let Some(path) = self.metrics {
+            let json = serde_json::to_string_pretty(&edge_obs::metrics::snapshot())
+                .map_err(|e| e.to_string())?;
+            std::fs::write(&path, json).map_err(|e| format!("writing metrics {path}: {e}"))?;
+            edge_obs::progress!("wrote metrics snapshot to {path}");
+        }
+        Ok(())
+    }
+}
+
 /// `edge-cli generate`.
 pub fn generate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let out = required(&flags, "out")?;
     let size = parse_size(flags.get("size").map_or("default", String::as_str))?;
-    let seed: u64 = flags
-        .get("seed")
-        .map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?;
+    let seed: u64 =
+        flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?;
     let preset = flags.get("preset").map_or("nyma", String::as_str);
-    let dataset = match preset {
-        "nyma" => edge_data::nyma(size, seed),
-        "lama" => edge_data::lama(size, seed),
-        "ny2020" => edge_data::ny2020(size, seed),
-        "covid19" => edge_data::covid19(size, seed),
-        other => return Err(format!("unknown preset '{other}' (nyma|lama|ny2020|covid19)")),
-    };
+    let dataset = build_preset(preset, size, seed)?;
     let json = serde_json::to_string(&dataset).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
+    edge_obs::progress!(
         "wrote {} ({} tweets, {} gazetteer entries, timeline {}-{})",
         out,
         dataset.len(),
@@ -118,10 +173,18 @@ pub fn train(args: &[String]) -> Result<(), String> {
     if let Some(s) = flags.get("seed") {
         config.seed = s.parse().map_err(|_| format!("bad --seed '{s}'"))?;
     }
+    let obs = obs_from_flags(&flags);
+    let telemetry_dir = flags.get("telemetry-out").cloned();
+    if telemetry_dir.is_some() {
+        // Run name = the model file's stem, so telemetry pairs with the model.
+        let stem =
+            Path::new(out).file_stem().and_then(|s| s.to_str()).unwrap_or("train").to_string();
+        edge_obs::telemetry::start_run(&stem);
+    }
 
     let dataset = load_dataset(data)?;
     let (train_split, _) = dataset.paper_split();
-    println!(
+    edge_obs::progress!(
         "training EDGE on {} tweets (d={}, M={}, {} epochs) ...",
         train_split.len(),
         config.embed_dim,
@@ -131,7 +194,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     let (model, report) =
         EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config);
-    println!(
+    edge_obs::progress!(
         "done in {:.1?}: {} entities, NLL {:.3} -> {:.3}",
         started.elapsed(),
         model.entity_index().len(),
@@ -139,8 +202,16 @@ pub fn train(args: &[String]) -> Result<(), String> {
         report.epoch_losses.last().unwrap()
     );
     model.save(out).map_err(|e| e.to_string())?;
-    println!("saved model to {out}");
-    Ok(())
+    edge_obs::progress!("saved model to {out}");
+    if let Some(dir) = &telemetry_dir {
+        if let Some(path) =
+            edge_obs::telemetry::write_to_dir(dir).map_err(|e| format!("writing telemetry: {e}"))?
+        {
+            edge_obs::progress!("wrote telemetry to {}", path.display());
+        }
+        edge_obs::telemetry::stop();
+    }
+    obs.finish()
 }
 
 /// `edge-cli predict`.
@@ -176,6 +247,7 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = required(&flags, "model")?;
     let data = required(&flags, "data")?;
+    let obs = obs_from_flags(&flags);
     let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
     let dataset = load_dataset(data)?;
     let (_, test) = dataset.paper_split();
@@ -189,10 +261,97 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
         report.n,
         report.coverage * 100.0
     );
-    println!("mean   {:>8.2} km", report.mean_km);
-    println!("median {:>8.2} km", report.median_km);
-    println!("@3km   {:>8.4}", report.at_3km);
-    println!("@5km   {:>8.4}", report.at_5km);
+    println!("mean     {:>8.2} km", report.mean_km);
+    println!("median   {:>8.2} km", report.median_km);
+    println!("@3km     {:>8.4}", report.at_3km);
+    println!("@5km     {:>8.4}", report.at_5km);
+    // The complement of coverage: tweets whose entities all missed the
+    // training graph (satellite of the paper's coverage discussion).
+    println!("ner-miss {:>8.1} %", (1.0 - report.coverage) * 100.0);
+    obs.finish()
+}
+
+/// `edge-cli profile`: trains a (by default smoke-sized) preset under full
+/// tracing + metrics + telemetry, prints the self-time profile table and the
+/// metrics snapshot on stdout, and writes per-epoch telemetry JSONL under
+/// `<out>/telemetry/`.
+pub fn profile(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut preset = flags.get("preset").map_or("nyma", String::as_str);
+    let mut size_name = flags.get("size").map_or("smoke", String::as_str);
+    // `--preset smoke|default|paper` is accepted as a size shorthand: the
+    // profile of interest is the scale, not the corpus flavor.
+    if matches!(preset, "smoke" | "default" | "paper") {
+        size_name = preset;
+        preset = "nyma";
+    }
+    let size = parse_size(size_name)?;
+    let seed: u64 =
+        flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?;
+    let out_dir = flags.get("out").map_or("results", String::as_str);
+
+    edge_obs::set_metrics_enabled(true);
+    edge_obs::set_trace_enabled(true);
+    edge_obs::metrics::reset();
+    edge_obs::trace::reset();
+    let run = format!("profile-{preset}-{size_name}");
+    edge_obs::telemetry::start_run(&run);
+
+    let dataset = build_preset(preset, size, seed)?;
+    let (train_split, _) = dataset.paper_split();
+    let mut config = match size {
+        PresetSize::Smoke => EdgeConfig::smoke(),
+        _ => EdgeConfig::fast(),
+    };
+    config.seed = seed;
+    edge_obs::progress!(
+        "profiling EDGE training on {} tweets ({} epochs) ...",
+        train_split.len(),
+        config.epochs
+    );
+    let started = std::time::Instant::now();
+    let (model, report) =
+        EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config);
+    edge_obs::progress!(
+        "trained in {:.1?}: {} entities, final NLL {:.3}",
+        started.elapsed(),
+        model.entity_index().len(),
+        report.epoch_losses.last().unwrap()
+    );
+
+    let profile = edge_obs::trace::profile();
+    print!("{}", profile.render());
+    // The phases the paper's pipeline decomposes into; self-times partition
+    // the root span, so this should sit at (or very near) 100%.
+    let named = [
+        "train",
+        "entity2vec",
+        "graph.build",
+        "epoch",
+        "gcn",
+        "attention",
+        "mdn",
+        "backward",
+        "adam.step",
+        "matmul",
+        "sgns",
+    ];
+    println!("named-span coverage: {:.1}%", 100.0 * profile.coverage(&named));
+    println!();
+    print!("{}", edge_obs::metrics::snapshot().render());
+
+    let telemetry_dir = Path::new(out_dir).join("telemetry");
+    if let Some(path) = edge_obs::telemetry::write_to_dir(&telemetry_dir)
+        .map_err(|e| format!("writing telemetry: {e}"))?
+    {
+        edge_obs::progress!("wrote telemetry to {}", path.display());
+    }
+    edge_obs::telemetry::stop();
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, edge_obs::trace::dump_jsonl())
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
+        edge_obs::progress!("wrote span trace to {path}");
+    }
     Ok(())
 }
 
@@ -240,10 +399,8 @@ mod tests {
 
         generate(&strs(&["--preset", "nyma", "--size", "smoke", "--seed", "3", "--out", &corpus]))
             .expect("generate");
-        train(&strs(&[
-            "--data", &corpus, "--profile", "smoke", "--epochs", "2", "--out", &model,
-        ]))
-        .expect("train");
+        train(&strs(&["--data", &corpus, "--profile", "smoke", "--epochs", "2", "--out", &model]))
+            .expect("train");
         predict(&strs(&["--model", &model, "--text", "lunch near the Majestic Theatre"]))
             .expect("predict");
         evaluate(&strs(&["--model", &model, "--data", &corpus])).expect("evaluate");
@@ -256,5 +413,21 @@ mod tests {
     fn unknown_preset_is_reported() {
         let err = generate(&strs(&["--preset", "mars", "--out", "/tmp/x.json"])).unwrap_err();
         assert!(err.contains("mars"));
+    }
+
+    #[test]
+    fn profile_smoke_writes_telemetry_jsonl() {
+        let dir = std::env::temp_dir().join("edge_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.to_string_lossy().to_string();
+        profile(&strs(&["--size", "smoke", "--seed", "11", "--out", &out])).expect("profile");
+        let telemetry = dir.join("telemetry").join("profile-nyma-smoke.jsonl");
+        let text = std::fs::read_to_string(&telemetry).expect("telemetry file");
+        // Concurrent tests may also train while the run is active, so only
+        // require the records to exist and parse.
+        let records = edge_obs::telemetry::from_jsonl(&text).expect("parses");
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.nll.is_finite() && r.wall_secs >= 0.0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,13 +5,15 @@
 //! edge-cli train    --data corpus.json --profile fast --out model.json
 //! edge-cli predict  --model model.json --text "Tonight at the Majestic Theatre!"
 //! edge-cli evaluate --model model.json --data corpus.json
+//! edge-cli profile  --preset nyma --size smoke
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `train` fits EDGE on its 75%
 //! chronological training split and persists the model; `predict` prints
 //! the mixture, point estimate and attention weights for one tweet;
 //! `evaluate` scores the model on the corpus's test split with the paper's
-//! metrics.
+//! metrics; `profile` trains under full tracing and prints a self-time
+//! profile table plus a metrics snapshot.
 
 use std::process::ExitCode;
 
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
         Some("train") => commands::train(&args[1..]),
         Some("predict") => commands::predict(&args[1..]),
         Some("evaluate") => commands::evaluate(&args[1..]),
+        Some("profile") => commands::profile(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

@@ -66,10 +66,8 @@ impl BowModel {
         let m = config.n_components;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut params = ParamStore::new();
-        let w = params.add(
-            "bow_w",
-            xavier_uniform(vocab.len().max(1), theta_width(m), &mut rng).scale(0.1),
-        );
+        let w = params
+            .add("bow_w", xavier_uniform(vocab.len().max(1), theta_width(m), &mut rng).scale(0.1));
         let b = params.add("bow_b", init_head_bias(bbox, m));
 
         let mut model = Self { vocab, n_components: m, params, w, b };
@@ -134,9 +132,7 @@ impl BowModel {
     pub fn predict(&self, text: &str) -> Prediction {
         let v = self.vectorize(text);
         let x = Matrix::from_vec(1, self.vocab.len(), v);
-        let theta = x
-            .matmul(self.params.get(self.w))
-            .add_row_broadcast(self.params.get(self.b));
+        let theta = x.matmul(self.params.get(self.w)).add_row_broadcast(self.params.get(self.b));
         let mixture = decode_theta(theta.row(0), self.n_components);
         let point = mixture.mode();
         Prediction { mixture, point, attention: Vec::new() }

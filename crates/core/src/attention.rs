@@ -20,6 +20,8 @@ pub fn attention_aggregate(
     params: &ParamStore,
 ) -> NodeId {
     assert!(!entity_indices.is_empty(), "attention needs at least one entity");
+    edge_obs::counter!("core.attention.aggregate.calls").inc(1);
+    let _span = edge_obs::span("attention");
     let h = tape.gather_rows(smoothed, entity_indices.to_vec()); // K x h
     let q = tape.param(q1, params); // h x 1
     let b = tape.param(b1, params); // 1 x 1
@@ -48,12 +50,8 @@ pub fn attention_infer(
 ) -> (Matrix, Vec<f32>) {
     assert!(!entity_indices.is_empty(), "attention needs at least one entity");
     let h = smoothed.gather_rows(entity_indices); // K x h
-    let mut scores: Vec<f32> = h
-        .matmul(q1)
-        .data()
-        .iter()
-        .map(|s| (s + b1.get(0, 0)).max(0.0))
-        .collect();
+    let mut scores: Vec<f32> =
+        h.matmul(q1).data().iter().map(|s| (s + b1.get(0, 0)).max(0.0)).collect();
     softmax_in_place(&mut scores);
     let mut z = Matrix::zeros(1, h.cols());
     for (k, &w) in scores.iter().enumerate() {

@@ -61,12 +61,7 @@ impl EdgeConfig {
 
     /// CPU-friendly profile: same structure, dimension 64.
     pub fn fast() -> Self {
-        Self {
-            embed_dim: 64,
-            hidden_dim: 64,
-            n_components: 4,
-            ..Self::paper()
-        }
+        Self { embed_dim: 64, hidden_dim: 64, n_components: 4, ..Self::paper() }
     }
 
     /// A minimal profile for unit tests (dimension 16, few epochs).

@@ -296,13 +296,8 @@ mod tests {
         let cos = |a: usize, b: usize| edge_embed::cosine(&centered(a), &centered(b));
         let anchored = cos(phantom, majestic);
         // Average similarity to 20 arbitrary other entities.
-        let baseline: f32 = (0..20)
-            .map(|i| cos(phantom, (i * 7) % e2v.index.len()))
-            .sum::<f32>()
-            / 20.0;
-        assert!(
-            anchored > baseline + 0.1,
-            "anchored {anchored} vs baseline {baseline}"
-        );
+        let baseline: f32 =
+            (0..20).map(|i| cos(phantom, (i * 7) % e2v.index.len())).sum::<f32>() / 20.0;
+        assert!(anchored > baseline + 0.1, "anchored {anchored} vs baseline {baseline}");
     }
 }

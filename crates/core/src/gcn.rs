@@ -21,6 +21,8 @@ pub fn gcn_forward(
     params: &ParamStore,
 ) -> NodeId {
     assert!(!weights.is_empty(), "GCN needs at least one layer");
+    edge_obs::counter!("core.gcn.forward.calls").inc(1);
+    let _span = edge_obs::span("gcn");
     let mut h = features;
     for &w in weights {
         let wn = tape.param(w, params);
@@ -33,12 +35,10 @@ pub fn gcn_forward(
 
 /// Inference-path diffusion on plain matrices (no gradients): must match
 /// [`gcn_forward`] exactly — the tests verify both paths agree.
-pub fn gcn_infer(
-    adjacency: &CsrMatrix,
-    features: &Matrix,
-    weights: &[&Matrix],
-) -> Matrix {
+pub fn gcn_infer(adjacency: &CsrMatrix, features: &Matrix, weights: &[&Matrix]) -> Matrix {
     assert!(!weights.is_empty(), "GCN needs at least one layer");
+    edge_obs::counter!("core.gcn.infer.calls").inc(1);
+    let _span = edge_obs::span("gcn");
     let mut h = features.clone();
     for w in weights {
         let hw = h.matmul(w);
@@ -61,11 +61,7 @@ mod tests {
             g.add_edge_weight(i, i + 1, 1.0 + i as f32);
         }
         g.add_edge_weight(0, n - 1, 2.0);
-        let adj = Arc::new(CsrMatrix::from_triplets(
-            n,
-            n,
-            &normalized_adjacency_triplets(&g),
-        ));
+        let adj = Arc::new(CsrMatrix::from_triplets(n, n, &normalized_adjacency_triplets(&g)));
         let mut rng = StdRng::seed_from_u64(0);
         let x = Matrix::random_uniform(n, d, 1.0, &mut rng);
         let mut params = ParamStore::new();

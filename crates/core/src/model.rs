@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 use edge_data::Tweet;
 use edge_geo::{BBox, GaussianMixture, Point};
-use edge_graph::{build_cooccurrence_graph, graph_stats, normalized_adjacency_triplets, GraphStats};
+use edge_graph::{
+    build_cooccurrence_graph, graph_stats, normalized_adjacency_triplets, GraphStats,
+};
 use edge_tensor::init::xavier_uniform;
 use edge_tensor::tape::{ParamId, ParamStore, Tape};
 use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer};
@@ -77,25 +79,28 @@ impl EdgeModel {
     ) -> (Self, TrainReport) {
         config.validate();
         assert!(!train.is_empty(), "empty training set");
+        let _train_span = edge_obs::span("train");
 
         // Stage 1: entity2vec.
-        let e2v = run_entity2vec(train, &ner, &config.sgns, config.embed_dim);
-        assert!(
-            e2v.index.len() >= 2,
-            "training corpus yielded fewer than 2 entities"
-        );
+        let e2v = {
+            let _span = edge_obs::span("entity2vec");
+            run_entity2vec(train, &ner, &config.sgns, config.embed_dim)
+        };
+        assert!(e2v.index.len() >= 2, "training corpus yielded fewer than 2 entities");
 
         // Stage 2: co-occurrence graph + normalized adjacency.
-        let graph = build_cooccurrence_graph(
-            e2v.index.len(),
-            e2v.tweet_entities.iter().map(Vec::as_slice),
-        );
+        let _graph_span = edge_obs::span("graph.build");
+        let graph =
+            build_cooccurrence_graph(e2v.index.len(), e2v.tweet_entities.iter().map(Vec::as_slice));
         let stats = graph_stats(&graph);
         let adjacency = Arc::new(CsrMatrix::from_triplets(
             e2v.index.len(),
             e2v.index.len(),
             &normalized_adjacency_triplets(&graph),
         ));
+        drop(_graph_span);
+        edge_obs::gauge!("core.graph.nodes").set(e2v.index.len() as f64);
+        edge_obs::gauge!("core.graph.edges").set(stats.n_edges as f64);
 
         // Stage 3: parameters.
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -103,7 +108,12 @@ impl EdgeModel {
         let mut w_gcn = Vec::new();
         let mut in_dim = config.embed_dim;
         for layer in 0..config.gcn_layers {
-            w_gcn.push(params.add(format!("w_gcn{layer}"), xavier_uniform(in_dim, config.hidden_dim, &mut rng)));
+            w_gcn.push(
+                params.add(
+                    format!("w_gcn{layer}"),
+                    xavier_uniform(in_dim, config.hidden_dim, &mut rng),
+                ),
+            );
             in_dim = config.hidden_dim;
         }
         let h_dim = if config.use_gcn { config.hidden_dim } else { config.embed_dim };
@@ -155,7 +165,8 @@ impl EdgeModel {
         rng: &mut StdRng,
     ) -> TrainReport {
         // Usable tweets: at least one entity.
-        let usable: Vec<usize> = (0..train.len()).filter(|&i| !tweet_entities[i].is_empty()).collect();
+        let usable: Vec<usize> =
+            (0..train.len()).filter(|&i| !tweet_entities[i].is_empty()).collect();
         assert!(!usable.is_empty(), "no training tweet has a recognized entity");
 
         let mut optimizer = Adam::new(self.config.lr, 0.9, 0.999, 1e-8, self.config.weight_decay);
@@ -172,10 +183,17 @@ impl EdgeModel {
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut order = usable.clone();
 
-        for _ in 0..self.config.epochs {
+        let telemetry_on = edge_obs::telemetry::active();
+
+        for epoch in 0..self.config.epochs {
+            let _epoch_span = edge_obs::span("epoch");
+            let epoch_start = std::time::Instant::now();
             order.shuffle(rng);
             let mut epoch_nll = 0.0f64;
             let mut n_tweets = 0usize;
+            // Per-group sum of squared gradient entries over the epoch
+            // (gcn / attention / head), reported as L2 norms in telemetry.
+            let mut grad_sq = [0.0f64; 3];
             for batch in order.chunks(self.config.batch_size) {
                 let mut tape = Tape::new();
                 let x = tape.constant(self.features.clone());
@@ -202,6 +220,7 @@ impl EdgeModel {
                     z_rows.push(z);
                     targets.push((train[i].location.lat, train[i].location.lon));
                 }
+                let mdn_span = edge_obs::span("mdn");
                 let z = tape.concat_rows(z_rows); // B x h
                 let w = tape.param(self.q2, &self.params);
                 let b = tape.param(self.b2, &self.params);
@@ -209,15 +228,54 @@ impl EdgeModel {
                 let theta = tape.add_row_broadcast(lin, b); // Eq. 7
                 let nll_sum = tape.gmm_nll(theta, &targets, self.config.n_components);
                 let loss = tape.scale(nll_sum, 1.0 / batch.len() as f32);
+                drop(mdn_span);
                 let grads = tape.backward(loss);
+                if telemetry_on {
+                    for (pid, g) in &grads {
+                        let sq: f64 = g.data().iter().map(|&x| x as f64 * x as f64).sum();
+                        grad_sq[self.param_group(*pid)] += sq;
+                    }
+                }
+                let step_span = edge_obs::span("adam.step");
                 optimizer.step(&mut self.params, &grads);
+                drop(step_span);
 
                 epoch_nll += tape.scalar(nll_sum) as f64;
                 n_tweets += batch.len();
             }
-            epoch_losses.push(epoch_nll / n_tweets as f64);
+            let mean_nll = epoch_nll / n_tweets as f64;
+            epoch_losses.push(mean_nll);
+            edge_obs::counter!("core.train.epochs").inc(1);
+            edge_obs::gauge!("core.train.nll").set(mean_nll);
+            if telemetry_on {
+                let wall_secs = epoch_start.elapsed().as_secs_f64();
+                edge_obs::telemetry::record_epoch(edge_obs::EpochRecord {
+                    epoch,
+                    nll: mean_nll,
+                    grad_norms: ["gcn", "attention", "head"]
+                        .iter()
+                        .zip(grad_sq)
+                        .map(|(name, sq)| (name.to_string(), sq.sqrt()))
+                        .collect(),
+                    lr: self.config.lr as f64,
+                    tweets_per_sec: n_tweets as f64 / wall_secs.max(1e-9),
+                    wall_secs,
+                });
+            }
         }
         TrainReport { epoch_losses, n_train_used: usable.len(), graph }
+    }
+
+    /// Telemetry grouping of a parameter: 0 = GCN stack, 1 = attention
+    /// scorer, 2 = mixture head.
+    fn param_group(&self, pid: ParamId) -> usize {
+        if self.w_gcn.contains(&pid) {
+            0
+        } else if pid == self.q1 || pid == self.b1 {
+            1
+        } else {
+            2
+        }
     }
 
     /// Recomputes the cached diffused embeddings from the current weights.
@@ -316,14 +374,17 @@ impl EdgeModel {
 
     /// The entity indices a tweet text resolves to (known entities only).
     pub fn resolve_entities(&self, text: &str) -> Vec<usize> {
-        let mut ids: Vec<usize> = self
-            .ner
-            .recognize(text)
-            .into_iter()
-            .filter_map(|m| self.index.get(&m.id))
-            .collect();
+        let mut ids: Vec<usize> =
+            self.ner.recognize(text).into_iter().filter_map(|m| self.index.get(&m.id)).collect();
         ids.sort_unstable();
         ids.dedup();
+        edge_obs::counter!("core.ner.resolve.calls").inc(1);
+        if ids.is_empty() {
+            // The tweet mentions no entity present in the training graph —
+            // the coverage gap the paper excludes (and the quantity the
+            // `evaluate` miss rate reports).
+            edge_obs::counter!("core.ner.resolve.misses").inc(1);
+        }
         ids
     }
 
@@ -331,6 +392,7 @@ impl EdgeModel {
     /// tweet contains no entity present in the training graph (the ~2.8% of
     /// test tweets the paper excludes).
     pub fn predict(&self, text: &str) -> Option<Prediction> {
+        edge_obs::counter!("core.predict.calls").inc(1);
         let entities = self.resolve_entities(text);
         if entities.is_empty() {
             return None;
@@ -342,13 +404,16 @@ impl EdgeModel {
     pub fn predict_entities(&self, entities: &[usize]) -> Prediction {
         assert!(!entities.is_empty(), "prediction needs at least one entity");
         let (z, weights) = if self.config.use_attention {
-            attention_infer(&self.smoothed, entities, self.params.get(self.q1), self.params.get(self.b1))
+            attention_infer(
+                &self.smoothed,
+                entities,
+                self.params.get(self.q1),
+                self.params.get(self.b1),
+            )
         } else {
             (sum_infer(&self.smoothed, entities), Vec::new())
         };
-        let theta = z
-            .matmul(self.params.get(self.q2))
-            .add_row_broadcast(self.params.get(self.b2));
+        let theta = z.matmul(self.params.get(self.q2)).add_row_broadcast(self.params.get(self.b2));
         let mixture = decode_theta(theta.row(0), self.config.n_components);
         let point = mixture.mode();
         let attention = entities
@@ -364,11 +429,15 @@ impl EdgeModel {
     /// Prediction is pure, so tweets are scored in parallel.
     pub fn evaluate(&self, test: &[Tweet]) -> (Vec<(Prediction, Point)>, f64) {
         use rayon::prelude::*;
+        let _span = edge_obs::span("evaluate");
         let out: Vec<(Prediction, Point)> = test
             .par_iter()
             .filter_map(|t| self.predict(&t.text).map(|p| (p, t.location)))
             .collect();
         let coverage = out.len() as f64 / test.len().max(1) as f64;
+        // Uncovered tweets are exactly those whose entity resolution came up
+        // empty, so the NER miss rate is the complement of coverage.
+        edge_obs::gauge!("core.ner.miss_rate").set(1.0 - coverage);
         (out, coverage)
     }
 }
@@ -392,10 +461,7 @@ mod tests {
         let (_, report, _) = trained();
         let first = report.epoch_losses.first().copied().unwrap();
         let last = report.epoch_losses.last().copied().unwrap();
-        assert!(
-            last < first - 0.3,
-            "loss should drop substantially: {first} -> {last}"
-        );
+        assert!(last < first - 0.3, "loss should drop substantially: {first} -> {last}");
         assert!(report.n_train_used > 1000);
         assert!(report.graph.n_edges > 100);
     }
@@ -458,7 +524,8 @@ mod tests {
         let (train, _) = d.paper_split();
         let mut cfg = EdgeConfig::smoke();
         cfg.epochs = 2;
-        let (m1, r1) = EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg.clone());
+        let (m1, r1) =
+            EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg.clone());
         let (m2, r2) = EdgeModel::train(&train[..800], ner, &d.bbox, cfg);
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
         let p1 = m1.predict_entities(&[0, 1]);

@@ -195,8 +195,7 @@ mod tests {
         let (train, _) = d.paper_split();
         let mut cfg = EdgeConfig::smoke();
         cfg.epochs = 3;
-        let (model, _) =
-            EdgeModel::train(&train[..1000], dataset_recognizer(&d), &d.bbox, cfg);
+        let (model, _) = EdgeModel::train(&train[..1000], dataset_recognizer(&d), &d.bbox, cfg);
         (model, d)
     }
 
@@ -250,10 +249,7 @@ mod tests {
         let path = dir.join("garbage.json");
         std::fs::write(&path, "{not json").unwrap();
         assert!(matches!(EdgeModel::load(&path), Err(PersistError::Format(_))));
-        assert!(matches!(
-            EdgeModel::load(dir.join("missing.json")),
-            Err(PersistError::Io(_))
-        ));
+        assert!(matches!(EdgeModel::load(dir.join("missing.json")), Err(PersistError::Io(_))));
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,11 +38,8 @@ fn venue_ner() -> EntityRecognizer {
 /// A minimal trainable corpus: three venues at three corners.
 fn tiny_corpus(n_per: usize) -> Vec<Tweet> {
     let mut tweets = Vec::new();
-    let venues = [
-        ("alpha cafe", 40.2, -74.8),
-        ("beta park", 40.5, -74.5),
-        ("gamma pier", 40.8, -74.2),
-    ];
+    let venues =
+        [("alpha cafe", 40.2, -74.8), ("beta park", 40.5, -74.5), ("gamma pier", 40.8, -74.2)];
     let mut id = 0;
     for (name, lat, lon) in venues {
         for k in 0..n_per {
@@ -67,9 +64,8 @@ fn empty_training_set_is_rejected() {
 #[test]
 #[should_panic(expected = "fewer than 2 entities")]
 fn corpus_without_entities_is_rejected() {
-    let tweets: Vec<Tweet> = (0..50)
-        .map(|i| tweet(i, "nothing recognizable here", 40.5, -74.5))
-        .collect();
+    let tweets: Vec<Tweet> =
+        (0..50).map(|i| tweet(i, "nothing recognizable here", 40.5, -74.5)).collect();
     let _ = EdgeModel::train(&tweets, EntityRecognizer::new(), &bbox(), tiny_config());
 }
 
@@ -134,18 +130,16 @@ fn prediction_handles_adversarial_text() {
         "",
         "    ",
         "@#$%^&*()",
-        "alpha", // partial entity name: not a gazetteer match
+        "alpha",                    // partial entity name: not a gazetteer match
         &"alpha cafe ".repeat(500), // very long, many repeats of one entity
         "ALPHA CAFE BETA PARK GAMMA PIER",
         "\u{1F600}\u{1F30D} alpha cafe \u{2764}",
     ] {
-        match model.predict(text) {
-            Some(p) => {
-                assert!(p.point.is_finite(), "non-finite point for {text:?}");
-                let w: f32 = p.attention.iter().map(|(_, w)| w).sum();
-                assert!(p.attention.is_empty() || (w - 1.0).abs() < 1e-3);
-            }
-            None => {} // uncovered is a legal outcome
+        // `None` (uncovered) is a legal outcome for any of these inputs.
+        if let Some(p) = model.predict(text) {
+            assert!(p.point.is_finite(), "non-finite point for {text:?}");
+            let w: f32 = p.attention.iter().map(|(_, w)| w).sum();
+            assert!(p.attention.is_empty() || (w - 1.0).abs() < 1e-3);
         }
     }
 }
@@ -162,8 +156,8 @@ fn outlier_locations_do_not_poison_training() {
     let p = model.predict("alpha cafe").expect("covered");
     // Prediction stays with the majority mass, not the outliers.
     assert!(
-        p.point.haversine_km(&Point::new(40.2, -74.8)) <
-        p.point.haversine_km(&Point::new(40.999, -74.001)),
+        p.point.haversine_km(&Point::new(40.2, -74.8))
+            < p.point.haversine_km(&Point::new(40.999, -74.001)),
         "prediction {:?} pulled to outliers",
         p.point
     );

@@ -47,10 +47,7 @@ impl Dataset {
     /// for training and the remaining for test". Returns `(train, test)`
     /// slices.
     pub fn chronological_split(&self, train_fraction: f64) -> (&[Tweet], &[Tweet]) {
-        assert!(
-            (0.0..=1.0).contains(&train_fraction),
-            "train fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&train_fraction), "train fraction must be in [0,1]");
         debug_assert!(self.tweets.windows(2).all(|w| w[0].date <= w[1].date), "tweets not sorted");
         let cut = (self.tweets.len() as f64 * train_fraction).round() as usize;
         self.tweets.split_at(cut.min(self.tweets.len()))

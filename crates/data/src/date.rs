@@ -23,7 +23,10 @@ impl SimDate {
     /// years).
     pub fn new(year: i32, month: u8, day: u8) -> Self {
         assert!((1..=12).contains(&month), "month {month} out of range");
-        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid for {year}-{month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} invalid for {year}-{month}"
+        );
         Self { year, month, day }
     }
 
@@ -96,7 +99,14 @@ mod tests {
 
     #[test]
     fn ordinal_round_trips_across_years() {
-        for &(y, m, d) in &[(2014, 8, 1), (2014, 12, 1), (2020, 3, 12), (2020, 4, 2), (2020, 2, 29), (1999, 12, 31)] {
+        for &(y, m, d) in &[
+            (2014, 8, 1),
+            (2014, 12, 1),
+            (2020, 3, 12),
+            (2020, 4, 2),
+            (2020, 2, 29),
+            (1999, 12, 31),
+        ] {
             let date = SimDate::new(y, m, d);
             assert_eq!(SimDate::from_ordinal(date.to_ordinal()), date, "{date:?}");
         }

@@ -287,16 +287,14 @@ fn nearest_poi_weighted<'a>(pois: &'a [Poi], location: &Point, rng: &mut StdRng)
 /// The coarse POI whose footprint-scaled distance to `location` is
 /// smallest (`None` when the gazetteer has no coarse entities).
 fn nearest_coarse<'a>(pois: &'a [Poi], location: &Point) -> Option<&'a Poi> {
-    pois.iter()
-        .filter(|p| p.granularity == Granularity::Coarse)
-        .min_by(|a, b| {
-            let score = |p: &Poi| {
-                let dlat = p.location.lat - location.lat;
-                let dlon = p.location.lon - location.lon;
-                (dlat * dlat + dlon * dlon) / (p.sigma_deg * p.sigma_deg)
-            };
-            score(a).total_cmp(&score(b))
-        })
+    pois.iter().filter(|p| p.granularity == Granularity::Coarse).min_by(|a, b| {
+        let score = |p: &Poi| {
+            let dlat = p.location.lat - location.lat;
+            let dlon = p.location.lon - location.lon;
+            (dlat * dlat + dlon * dlon) / (p.sigma_deg * p.sigma_deg)
+        };
+        score(a).total_cmp(&score(b))
+    })
 }
 
 fn push_topic_mention(
@@ -343,7 +341,8 @@ fn distort(name: &str, rng: &mut StdRng) -> String {
             .filter(|&(i, c)| i == 0 || !"aeiou".contains(c))
             .map(|(_, c)| c)
             .collect();
-        *last = if squeezed.len() >= 2 { squeezed } else { format!("{last}{}", rng.gen_range(0..10)) };
+        *last =
+            if squeezed.len() >= 2 { squeezed } else { format!("{last}{}", rng.gen_range(0..10)) };
     }
     words.join(" ")
 }
@@ -376,7 +375,13 @@ mod tests {
 
     fn small_dataset() -> Dataset {
         let (metro, pois, topics) = setup();
-        generate("TEST", &metro, &pois, &topics, &GeneratorConfig { n_tweets: 2000, ..Default::default() })
+        generate(
+            "TEST",
+            &metro,
+            &pois,
+            &topics,
+            &GeneratorConfig { n_tweets: 2000, ..Default::default() },
+        )
     }
 
     #[test]
@@ -404,8 +409,8 @@ mod tests {
     #[test]
     fn noise_fraction_matches_config() {
         let d = small_dataset();
-        let no_entity = d.tweets.iter().filter(|t| t.gold_entities.is_empty()).count() as f64
-            / d.len() as f64;
+        let no_entity =
+            d.tweets.iter().filter(|t| t.gold_entities.is_empty()).count() as f64 / d.len() as f64;
         // p_noise 0.055 plus plain tweets that rolled no geo mention.
         assert!(no_entity > 0.03, "no-entity fraction {no_entity}");
         assert!(no_entity < 0.45, "no-entity fraction {no_entity}");
@@ -430,10 +435,8 @@ mod tests {
             .filter(|t| t.gold_entities.iter().any(|e| e == "phantomopera"))
             .collect();
         assert!(mentioning.len() > 50, "too few topic tweets: {}", mentioning.len());
-        let near = mentioning
-            .iter()
-            .filter(|t| t.location.haversine_km(&anchor_loc) < 3.0)
-            .count() as f64
+        let near = mentioning.iter().filter(|t| t.location.haversine_km(&anchor_loc) < 3.0).count()
+            as f64
             / mentioning.len() as f64;
         assert!(near > 0.6, "only {near} of topic tweets near anchor");
     }

@@ -23,5 +23,8 @@ pub use generator::{generate, GeneratorConfig};
 pub use metro::{MetroArea, PopulationCenter};
 pub use poi::{generate_pois, Granularity, Poi};
 pub use presets::{covid19, lama, ny2020, nyma, PresetSize};
-pub use stats::{audit_entities, audit_entities_offset, dataset_recognizer, table_two_row, EntityAudit, TableTwoRow};
+pub use stats::{
+    audit_entities, audit_entities_offset, dataset_recognizer, table_two_row, EntityAudit,
+    TableTwoRow,
+};
 pub use topics::{Topic, TopicStyle};

@@ -41,11 +41,31 @@ impl MetroArea {
             name: "New York Metropolitan Area".to_string(),
             bbox: BBox::new(40.49, 40.92, -74.27, -73.68),
             centers: vec![
-                PopulationCenter { center: Point::new(40.758, -73.985), sigma_deg: 0.030, weight: 0.32 }, // Manhattan core
-                PopulationCenter { center: Point::new(40.650, -73.950), sigma_deg: 0.045, weight: 0.24 }, // Brooklyn
-                PopulationCenter { center: Point::new(40.730, -73.800), sigma_deg: 0.050, weight: 0.18 }, // Queens
-                PopulationCenter { center: Point::new(40.850, -73.880), sigma_deg: 0.040, weight: 0.14 }, // Bronx
-                PopulationCenter { center: Point::new(40.580, -74.150), sigma_deg: 0.055, weight: 0.12 }, // Staten Island / NJ
+                PopulationCenter {
+                    center: Point::new(40.758, -73.985),
+                    sigma_deg: 0.030,
+                    weight: 0.32,
+                }, // Manhattan core
+                PopulationCenter {
+                    center: Point::new(40.650, -73.950),
+                    sigma_deg: 0.045,
+                    weight: 0.24,
+                }, // Brooklyn
+                PopulationCenter {
+                    center: Point::new(40.730, -73.800),
+                    sigma_deg: 0.050,
+                    weight: 0.18,
+                }, // Queens
+                PopulationCenter {
+                    center: Point::new(40.850, -73.880),
+                    sigma_deg: 0.040,
+                    weight: 0.14,
+                }, // Bronx
+                PopulationCenter {
+                    center: Point::new(40.580, -74.150),
+                    sigma_deg: 0.055,
+                    weight: 0.12,
+                }, // Staten Island / NJ
             ],
         }
     }
@@ -57,12 +77,36 @@ impl MetroArea {
             name: "Los Angeles Metropolitan Area".to_string(),
             bbox: BBox::new(33.70, 34.34, -118.67, -117.95),
             centers: vec![
-                PopulationCenter { center: Point::new(34.045, -118.250), sigma_deg: 0.050, weight: 0.26 }, // Downtown
-                PopulationCenter { center: Point::new(34.020, -118.480), sigma_deg: 0.045, weight: 0.18 }, // Westside
-                PopulationCenter { center: Point::new(33.770, -118.190), sigma_deg: 0.055, weight: 0.18 }, // Long Beach
-                PopulationCenter { center: Point::new(34.150, -118.140), sigma_deg: 0.050, weight: 0.14 }, // Pasadena
-                PopulationCenter { center: Point::new(33.990, -118.280), sigma_deg: 0.050, weight: 0.14 }, // South LA
-                PopulationCenter { center: Point::new(34.180, -118.450), sigma_deg: 0.060, weight: 0.10 }, // Valley
+                PopulationCenter {
+                    center: Point::new(34.045, -118.250),
+                    sigma_deg: 0.050,
+                    weight: 0.26,
+                }, // Downtown
+                PopulationCenter {
+                    center: Point::new(34.020, -118.480),
+                    sigma_deg: 0.045,
+                    weight: 0.18,
+                }, // Westside
+                PopulationCenter {
+                    center: Point::new(33.770, -118.190),
+                    sigma_deg: 0.055,
+                    weight: 0.18,
+                }, // Long Beach
+                PopulationCenter {
+                    center: Point::new(34.150, -118.140),
+                    sigma_deg: 0.050,
+                    weight: 0.14,
+                }, // Pasadena
+                PopulationCenter {
+                    center: Point::new(33.990, -118.280),
+                    sigma_deg: 0.050,
+                    weight: 0.14,
+                }, // South LA
+                PopulationCenter {
+                    center: Point::new(34.180, -118.450),
+                    sigma_deg: 0.060,
+                    weight: 0.10,
+                }, // Valley
             ],
         }
     }
@@ -118,9 +162,7 @@ mod tests {
 
     #[test]
     fn la_is_larger_than_ny() {
-        assert!(
-            MetroArea::los_angeles_like().scale_km() > MetroArea::new_york_like().scale_km()
-        );
+        assert!(MetroArea::los_angeles_like().scale_km() > MetroArea::new_york_like().scale_km());
     }
 
     #[test]
@@ -139,10 +181,7 @@ mod tests {
         let near_any_centre = (0..2000)
             .map(|_| metro.sample_location(&mut rng))
             .filter(|p| {
-                metro
-                    .centers
-                    .iter()
-                    .any(|c| p.haversine_km(&c.center) < c.sigma_deg * 3.0 * 111.0)
+                metro.centers.iter().any(|c| p.haversine_km(&c.center) < c.sigma_deg * 3.0 * 111.0)
             })
             .count();
         assert!(near_any_centre > 1800, "only {near_any_centre}/2000 near centres");

@@ -5,18 +5,53 @@ use rand::Rng;
 
 /// Adjective-like first components of POI names.
 pub const POI_FIRST: &[&str] = &[
-    "Majestic", "Imperial", "Liberty", "Union", "Grand", "Riverside", "Sunset", "Harbor",
-    "Crescent", "Golden", "Silver", "Summit", "Meridian", "Pioneer", "Cobalt", "Willow",
-    "Magnolia", "Granite", "Beacon", "Cedar", "Falcon", "Horizon", "Juniper", "Keystone",
-    "Lakeside", "Monarch", "Northgate", "Orchard", "Paramount", "Quarry", "Redwood", "Sterling",
-    "Tidewater", "Uptown", "Vanguard", "Westbrook", "Yellowstone", "Zephyr", "Atlas", "Bluebird",
+    "Majestic",
+    "Imperial",
+    "Liberty",
+    "Union",
+    "Grand",
+    "Riverside",
+    "Sunset",
+    "Harbor",
+    "Crescent",
+    "Golden",
+    "Silver",
+    "Summit",
+    "Meridian",
+    "Pioneer",
+    "Cobalt",
+    "Willow",
+    "Magnolia",
+    "Granite",
+    "Beacon",
+    "Cedar",
+    "Falcon",
+    "Horizon",
+    "Juniper",
+    "Keystone",
+    "Lakeside",
+    "Monarch",
+    "Northgate",
+    "Orchard",
+    "Paramount",
+    "Quarry",
+    "Redwood",
+    "Sterling",
+    "Tidewater",
+    "Uptown",
+    "Vanguard",
+    "Westbrook",
+    "Yellowstone",
+    "Zephyr",
+    "Atlas",
+    "Bluebird",
 ];
 
 /// Facility-type second components of POI names (with their coarse class).
 pub const POI_KIND: &[&str] = &[
     "Theatre", "Hospital", "Park", "Market", "Stadium", "Square", "Street", "Bridge", "Cafe",
-    "Museum", "Plaza", "Station", "Gallery", "Arena", "Library", "Pier", "Garden", "Tower",
-    "Hall", "Avenue",
+    "Museum", "Plaza", "Station", "Gallery", "Arena", "Library", "Pier", "Garden", "Tower", "Hall",
+    "Avenue",
 ];
 
 /// Whether a POI kind is a pure location (`Geolocation` category) rather
@@ -39,10 +74,45 @@ pub const HOOD_SECOND: &[&str] = &[
 /// overlap heavily with the stop-word list so bag-of-words baselines get the
 /// realistic amount of lexical noise.
 pub const FILLER: &[&str] = &[
-    "just", "really", "love", "this", "place", "today", "great", "time", "with", "friends",
-    "amazing", "vibes", "best", "day", "ever", "cant", "wait", "back", "again", "soon",
-    "beautiful", "morning", "night", "weekend", "finally", "here", "good", "everyone", "thanks",
-    "happy", "feeling", "blessed", "life", "city", "walk", "coffee", "dinner", "show", "music",
+    "just",
+    "really",
+    "love",
+    "this",
+    "place",
+    "today",
+    "great",
+    "time",
+    "with",
+    "friends",
+    "amazing",
+    "vibes",
+    "best",
+    "day",
+    "ever",
+    "cant",
+    "wait",
+    "back",
+    "again",
+    "soon",
+    "beautiful",
+    "morning",
+    "night",
+    "weekend",
+    "finally",
+    "here",
+    "good",
+    "everyone",
+    "thanks",
+    "happy",
+    "feeling",
+    "blessed",
+    "life",
+    "city",
+    "walk",
+    "coffee",
+    "dinner",
+    "show",
+    "music",
 ];
 
 /// Draws a random element of a non-empty slice.

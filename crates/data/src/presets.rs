@@ -96,8 +96,21 @@ fn generic_topics(pois: &[Poi], seed: u64) -> Vec<Topic> {
 }
 
 /// Appends a named signature POI and returns its index.
-fn push_signature(pois: &mut Vec<Poi>, name: &str, cat: EntityCategory, loc: Point, sigma: f64, g: Granularity) -> usize {
-    pois.push(Poi { name: name.to_string(), category: cat, location: loc, sigma_deg: sigma, granularity: g });
+fn push_signature(
+    pois: &mut Vec<Poi>,
+    name: &str,
+    cat: EntityCategory,
+    loc: Point,
+    sigma: f64,
+    g: Granularity,
+) -> usize {
+    pois.push(Poi {
+        name: name.to_string(),
+        category: cat,
+        location: loc,
+        sigma_deg: sigma,
+        granularity: g,
+    });
     pois.len() - 1
 }
 
@@ -183,8 +196,22 @@ fn covid_topics(pois: &[Poi], hospital_anchors: &[usize], market_anchors: &[usiz
     let late = (SimDate::new(2020, 3, 22), SimDate::new(2020, 4, 1));
     let _ = pois;
     vec![
-        Topic::steady("covid19", TopicStyle::Hashtag, vec![(h(0), 1.0), (h(1), 0.7)], 0.72, 0.62, 2.5),
-        Topic::steady("coronavirus", TopicStyle::Phrase, vec![(h(0), 1.0), (h(2), 0.6)], 0.65, 0.55, 2.0),
+        Topic::steady(
+            "covid19",
+            TopicStyle::Hashtag,
+            vec![(h(0), 1.0), (h(1), 0.7)],
+            0.72,
+            0.62,
+            2.5,
+        ),
+        Topic::steady(
+            "coronavirus",
+            TopicStyle::Phrase,
+            vec![(h(0), 1.0), (h(2), 0.6)],
+            0.65,
+            0.55,
+            2.0,
+        ),
         Topic::steady("pandemic", TopicStyle::Phrase, vec![(h(1), 1.0)], 0.55, 0.50, 1.5),
         // Quarantine spreads: early = two tight hotspots, late = many anchors.
         Topic::event(
@@ -211,7 +238,14 @@ fn covid_topics(pois: &[Poi], hospital_anchors: &[usize], market_anchors: &[usiz
         Topic::steady("masks", TopicStyle::Phrase, vec![(m(0), 1.0), (h(0), 0.5)], 0.60, 0.50, 1.4),
         Topic::steady("vaccine", TopicStyle::Phrase, vec![(h(1), 1.0)], 0.62, 0.55, 0.9),
         Topic::steady("stayhome", TopicStyle::Hashtag, vec![(m(1), 1.0)], 0.35, 0.30, 1.2),
-        Topic::steady("toilet paper", TopicStyle::Phrase, vec![(m(0), 1.0), (m(2), 0.8)], 0.70, 0.60, 1.0),
+        Topic::steady(
+            "toilet paper",
+            TopicStyle::Phrase,
+            vec![(m(0), 1.0), (m(2), 0.8)],
+            0.70,
+            0.60,
+            1.0,
+        ),
         Topic::steady("social distance", TopicStyle::Phrase, vec![(m(1), 0.7)], 0.38, 0.32, 1.1),
     ]
 }
@@ -300,7 +334,14 @@ pub fn ny2020(size: PresetSize, seed: u64) -> Dataset {
                 venue_center.lat + venue_rng.gen_range(-0.004..0.004),
                 venue_center.lon + venue_rng.gen_range(-0.004..0.004),
             );
-            push_signature(&mut pois, name, EntityCategory::Facility, loc, 0.0015, Granularity::Fine)
+            push_signature(
+                &mut pois,
+                name,
+                EntityCategory::Facility,
+                loc,
+                0.0015,
+                Granularity::Fine,
+            )
         })
         .collect();
 
@@ -400,19 +441,12 @@ mod tests {
     #[test]
     fn quarantine_footprint_spreads_between_fig1_windows() {
         let d = ny2020(PresetSize::Smoke, 3);
-        let quarantine: Vec<&crate::dataset::Tweet> = d
-            .tweets
-            .iter()
-            .filter(|t| t.gold_entities.iter().any(|e| e == "quarantine"))
-            .collect();
-        let early: Vec<_> = quarantine
-            .iter()
-            .filter(|t| t.date < SimDate::new(2020, 3, 22))
-            .collect();
-        let late: Vec<_> = quarantine
-            .iter()
-            .filter(|t| t.date >= SimDate::new(2020, 3, 22))
-            .collect();
+        let quarantine: Vec<&crate::dataset::Tweet> =
+            d.tweets.iter().filter(|t| t.gold_entities.iter().any(|e| e == "quarantine")).collect();
+        let early: Vec<_> =
+            quarantine.iter().filter(|t| t.date < SimDate::new(2020, 3, 22)).collect();
+        let late: Vec<_> =
+            quarantine.iter().filter(|t| t.date >= SimDate::new(2020, 3, 22)).collect();
         assert!(early.len() > 20 && late.len() > 20, "{} / {}", early.len(), late.len());
         // Spatial dispersion (mean distance to centroid) grows.
         let dispersion = |ts: &[&&crate::dataset::Tweet]| {
@@ -453,14 +487,11 @@ mod tests {
             .iter()
             .filter(|t| t.gold_entities.iter().any(|e| e == "new_colossus_festival"))
             .collect();
-        let during: Vec<_> =
-            fest.iter().filter(|t| t.date <= SimDate::new(2020, 3, 15)).collect();
+        let during: Vec<_> = fest.iter().filter(|t| t.date <= SimDate::new(2020, 3, 15)).collect();
         assert!(during.len() > 10, "during {}", during.len());
         let venue_center = Point::new(40.7205, -73.9879);
-        let near = during
-            .iter()
-            .filter(|t| t.location.haversine_km(&venue_center) < 2.5)
-            .count() as f64
+        let near = during.iter().filter(|t| t.location.haversine_km(&venue_center) < 2.5).count()
+            as f64
             / during.len() as f64;
         assert!(near > 0.6, "only {near} near venues during event");
     }

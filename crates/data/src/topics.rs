@@ -98,7 +98,9 @@ impl Topic {
     /// The topic's effective volume on `date`.
     pub fn volume_on(&self, date: SimDate) -> f64 {
         match self.window {
-            Some((start, end)) if date < start || date > end => self.weight * self.off_window_factor,
+            Some((start, end)) if date < start || date > end => {
+                self.weight * self.off_window_factor
+            }
             _ => self.weight,
         }
     }

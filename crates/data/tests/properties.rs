@@ -5,15 +5,7 @@ use edge_data::{generate, generate_pois, GeneratorConfig, MetroArea, SimDate, To
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        50usize..300,
-        0.0f64..0.9,
-        0.0f64..0.9,
-        0.0f64..0.2,
-        0.0f64..0.3,
-        0.0f64..0.5,
-        any::<u64>(),
-    )
+    (50usize..300, 0.0f64..0.9, 0.0f64..0.9, 0.0f64..0.2, 0.0f64..0.3, 0.0f64..0.5, any::<u64>())
         .prop_map(|(n, p_topic, p_geo, p_noise, p_distort, p_remote, seed)| GeneratorConfig {
             n_tweets: n,
             p_topic,

@@ -59,7 +59,9 @@ pub use edge_text as text;
 
 /// The names a downstream user wants in scope.
 pub mod prelude {
-    pub use edge_baselines::{Geolocator, HyperLocal, KullbackLeibler, LocKde, NaiveBayes, UnicodeCnn};
+    pub use edge_baselines::{
+        Geolocator, HyperLocal, KullbackLeibler, LocKde, NaiveBayes, UnicodeCnn,
+    };
     pub use edge_core::{BowModel, EdgeConfig, EdgeModel, Prediction};
     pub use edge_data::{Dataset, PresetSize, SimDate, Tweet};
     pub use edge_geo::{BBox, DistanceReport, GaussianMixture, Point};

@@ -70,9 +70,7 @@ impl PhraseDetector {
         let mut i = 0;
         while i < tokens.len() {
             if i + 1 < tokens.len() {
-                if let Some(merged) =
-                    self.merges.get(&(tokens[i].clone(), tokens[i + 1].clone()))
-                {
+                if let Some(merged) = self.merges.get(&(tokens[i].clone(), tokens[i + 1].clone())) {
                     out.push(merged.clone());
                     i += 2;
                     continue;

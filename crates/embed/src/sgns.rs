@@ -56,15 +56,17 @@ pub fn train_sgns(sentences: &[Vec<usize>], counts: &[u64], config: &SgnsConfig)
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // word2vec init: input U(-0.5/dim, 0.5/dim), output zeros.
-    let mut input: Vec<f32> = (0..vocab * config.dim)
-        .map(|_| (rng.gen::<f32>() - 0.5) / config.dim as f32)
-        .collect();
+    let mut input: Vec<f32> =
+        (0..vocab * config.dim).map(|_| (rng.gen::<f32>() - 0.5) / config.dim as f32).collect();
     let mut output: Vec<f32> = vec![0.0; vocab * config.dim];
 
     let total_steps = (config.epochs * sentences.len()).max(1) as f32;
     let mut sentences_done = 0f32;
 
+    let _span = edge_obs::span("sgns");
     for _ in 0..config.epochs {
+        let _epoch_span = edge_obs::span("sgns.epoch");
+        edge_obs::counter!("embed.sgns.epochs").inc(1);
         for sentence in sentences {
             let lr = config.lr * (1.0 - sentences_done / total_steps).max(1e-4);
             sentences_done += 1.0;
@@ -94,6 +96,7 @@ pub fn train_sgns(sentences: &[Vec<usize>], counts: &[u64], config: &SgnsConfig)
                     if ctx_pos == pos {
                         continue;
                     }
+                    edge_obs::counter!("embed.sgns.pairs").inc(1);
                     train_pair(
                         &mut input,
                         &mut output,
@@ -196,7 +199,15 @@ mod tests {
     }
 
     fn small_config() -> SgnsConfig {
-        SgnsConfig { dim: 16, window: 3, negatives: 4, epochs: 8, lr: 0.05, subsample_t: 0.0, seed: 7 }
+        SgnsConfig {
+            dim: 16,
+            window: 3,
+            negatives: 4,
+            epochs: 8,
+            lr: 0.05,
+            subsample_t: 0.0,
+            seed: 7,
+        }
     }
 
     #[test]

@@ -33,12 +33,8 @@ impl BBox {
     /// Returns `None` for an empty slice.
     pub fn enclosing(points: &[Point]) -> Option<Self> {
         let first = points.first()?;
-        let mut b = Self {
-            min_lat: first.lat,
-            max_lat: first.lat,
-            min_lon: first.lon,
-            max_lon: first.lon,
-        };
+        let mut b =
+            Self { min_lat: first.lat, max_lat: first.lat, min_lon: first.lon, max_lon: first.lon };
         for p in &points[1..] {
             b.min_lat = b.min_lat.min(p.lat);
             b.max_lat = b.max_lat.max(p.lat);
@@ -60,23 +56,20 @@ impl BBox {
 
     /// The geometric centre of the box.
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.min_lat + self.max_lat) / 2.0,
-            (self.min_lon + self.max_lon) / 2.0,
-        )
+        Point::new((self.min_lat + self.max_lat) / 2.0, (self.min_lon + self.max_lon) / 2.0)
     }
 
     /// Whether `p` lies inside the box (inclusive of edges).
     pub fn contains(&self, p: &Point) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Clamps `p` to the box.
     pub fn clamp(&self, p: &Point) -> Point {
-        Point::new(
-            p.lat.clamp(self.min_lat, self.max_lat),
-            p.lon.clamp(self.min_lon, self.max_lon),
-        )
+        Point::new(p.lat.clamp(self.min_lat, self.max_lat), p.lon.clamp(self.min_lon, self.max_lon))
     }
 
     /// Latitude extent in degrees.
@@ -112,10 +105,7 @@ impl BBox {
     /// Maps a unit-square coordinate `(u, v) ∈ [0,1]²` to a point in the box
     /// (`u` along longitude, `v` along latitude).
     pub fn lerp(&self, u: f64, v: f64) -> Point {
-        Point::new(
-            self.min_lat + v * self.lat_span(),
-            self.min_lon + u * self.lon_span(),
-        )
+        Point::new(self.min_lat + v * self.lat_span(), self.min_lon + u * self.lon_span())
     }
 }
 
@@ -153,11 +143,7 @@ mod tests {
 
     #[test]
     fn enclosing_covers_all_points() {
-        let pts = [
-            Point::new(40.5, -74.2),
-            Point::new(40.9, -73.7),
-            Point::new(40.7, -74.0),
-        ];
+        let pts = [Point::new(40.5, -74.2), Point::new(40.9, -73.7), Point::new(40.7, -74.0)];
         let b = BBox::enclosing(&pts).unwrap();
         for p in &pts {
             assert!(b.contains(p));

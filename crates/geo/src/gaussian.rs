@@ -85,7 +85,10 @@ impl BivariateGaussian {
 
     /// Log probability density at `p`.
     pub fn log_pdf(&self, p: &Point) -> f64 {
-        let norm = -(2.0 * std::f64::consts::PI * self.sigma_lat * self.sigma_lon
+        let norm = -(2.0
+            * std::f64::consts::PI
+            * self.sigma_lat
+            * self.sigma_lon
             * (1.0 - self.rho * self.rho).sqrt())
         .ln();
         norm - 0.5 * self.mahalanobis_sq(p)
@@ -209,10 +212,7 @@ impl ConfidenceEllipse {
                 let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 let u = self.semi_major * t.cos();
                 let v = self.semi_minor * t.sin();
-                Point::new(
-                    self.center.lat + cos * u - sin * v,
-                    self.center.lon + sin * u + cos * v,
-                )
+                Point::new(self.center.lat + cos * u - sin * v, self.center.lon + sin * u + cos * v)
             })
             .collect()
     }
@@ -258,7 +258,8 @@ mod tests {
         let n = (2.0 * half / step) as i64;
         for i in 0..n {
             for j in 0..n {
-                let p = Point::new(-half + (i as f64 + 0.5) * step, -half + (j as f64 + 0.5) * step);
+                let p =
+                    Point::new(-half + (i as f64 + 0.5) * step, -half + (j as f64 + 0.5) * step);
                 mass += g.pdf(&p) * step * step;
             }
         }
@@ -316,10 +317,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for conf in [0.75, 0.80, 0.85] {
             let e = g.confidence_ellipse(conf);
-            let inside = (0..40_000)
-                .filter(|_| e.contains(&g.sample(&mut rng)))
-                .count() as f64
-                / 40_000.0;
+            let inside =
+                (0..40_000).filter(|_| e.contains(&g.sample(&mut rng))).count() as f64 / 40_000.0;
             assert!((inside - conf).abs() < 0.01, "conf {conf}: inside {inside}");
         }
     }

@@ -26,11 +26,8 @@ impl Heatmap {
         let counts: Vec<f64> = grid.histogram(points).into_iter().map(f64::from).collect();
         let smoothed = Kde2d::new(grid.clone(), bandwidth_cells).smooth(&counts);
         let max = smoothed.iter().copied().fold(0.0f64, f64::max);
-        let values = if max > 0.0 {
-            smoothed.into_iter().map(|v| v / max).collect()
-        } else {
-            smoothed
-        };
+        let values =
+            if max > 0.0 { smoothed.into_iter().map(|v| v / max).collect() } else { smoothed };
         Self { grid, values, n_points: points.len() }
     }
 
@@ -65,10 +62,7 @@ impl Heatmap {
     /// use-case analyses to quantify how much a distribution shifted between
     /// two time windows.
     pub fn similarity(&self, other: &Heatmap) -> f64 {
-        assert_eq!(
-            self.grid, other.grid,
-            "heatmaps must share a grid to be compared"
-        );
+        assert_eq!(self.grid, other.grid, "heatmaps must share a grid to be compared");
         let dot: f64 = self.values.iter().zip(&other.values).map(|(a, b)| a * b).sum();
         let na: f64 = self.values.iter().map(|v| v * v).sum::<f64>().sqrt();
         let nb: f64 = other.values.iter().map(|v| v * v).sum::<f64>().sqrt();

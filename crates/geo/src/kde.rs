@@ -224,12 +224,10 @@ mod tests {
     #[test]
     fn focused_term_gets_narrow_bandwidth() {
         let focus = Point::new(40.7, -74.0);
-        let tight: Vec<Point> = (0..50)
-            .map(|i| Point::new(focus.lat + 1e-4 * i as f64, focus.lon))
-            .collect();
-        let spread: Vec<Point> = (0..50)
-            .map(|i| Point::new(40.0 + 0.02 * i as f64, -75.0 + 0.02 * i as f64))
-            .collect();
+        let tight: Vec<Point> =
+            (0..50).map(|i| Point::new(focus.lat + 1e-4 * i as f64, focus.lon)).collect();
+        let spread: Vec<Point> =
+            (0..50).map(|i| Point::new(40.0 + 0.02 * i as f64, -75.0 + 0.02 * i as f64)).collect();
         let k_tight = TermKde::fit(tight, 0.5, 10.0, 50.0);
         let k_spread = TermKde::fit(spread, 0.5, 10.0, 50.0);
         assert!(k_tight.bandwidth_km() < k_spread.bandwidth_km());

@@ -42,7 +42,7 @@ pub use gaussian::{BivariateGaussian, ConfidenceEllipse};
 pub use grid::{Cell, Grid};
 pub use heatmap::Heatmap;
 pub use kde::{Kde2d, TermKde};
-pub use metrics::{DistanceReport, rdp};
+pub use metrics::{rdp, DistanceReport};
 pub use mixture::GaussianMixture;
 pub use partition::Partition;
 pub use point::Point;

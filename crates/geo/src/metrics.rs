@@ -46,11 +46,8 @@ impl DistanceReport {
         errors.sort_by(f64::total_cmp);
         let n = errors.len();
         let mean = errors.iter().sum::<f64>() / n as f64;
-        let median = if n % 2 == 1 {
-            errors[n / 2]
-        } else {
-            (errors[n / 2 - 1] + errors[n / 2]) / 2.0
-        };
+        let median =
+            if n % 2 == 1 { errors[n / 2] } else { (errors[n / 2 - 1] + errors[n / 2]) / 2.0 };
         let at = |r: f64| errors.iter().filter(|&&e| e <= r).count() as f64 / n as f64;
         Some(Self {
             mean_km: mean,
@@ -67,10 +64,7 @@ impl DistanceReport {
         if pairs.is_empty() {
             return 0.0;
         }
-        pairs
-            .iter()
-            .filter(|(p, t)| p.haversine_km(t) <= radius_km)
-            .count() as f64
+        pairs.iter().filter(|(p, t)| p.haversine_km(t) <= radius_km).count() as f64
             / pairs.len() as f64
     }
 }

@@ -185,32 +185,22 @@ impl GaussianMixture {
         rng: &mut R,
     ) -> f64 {
         assert!(n_samples > 0, "need at least one sample");
-        let hits = (0..n_samples)
-            .filter(|_| self.sample(rng).haversine_km(center) <= radius_km)
-            .count();
+        let hits =
+            (0..n_samples).filter(|_| self.sample(rng).haversine_km(center) <= radius_km).count();
         hits as f64 / n_samples as f64
     }
 
     /// The index and weight of the heaviest component.
     pub fn dominant_component(&self) -> (usize, f64) {
-        let (idx, w) = self
-            .weights
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty");
+        let (idx, w) =
+            self.weights.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
         (idx, *w)
     }
 
     /// Shannon entropy of the component weights in nats — a quick scalar
     /// summary of how multi-modal the prediction is.
     pub fn weight_entropy(&self) -> f64 {
-        -self
-            .weights
-            .iter()
-            .filter(|&&w| w > 0.0)
-            .map(|w| w * w.ln())
-            .sum::<f64>()
+        -self.weights.iter().filter(|&&w| w > 0.0).map(|w| w * w.ln()).sum::<f64>()
     }
 }
 

@@ -59,7 +59,12 @@ mod tests {
 
     fn points() -> Vec<Point> {
         (0..200)
-            .map(|i| Point::new(40.0 + 0.9 * ((i * 7) % 100) as f64 / 100.0, -75.0 + 0.9 * (i % 100) as f64 / 100.0))
+            .map(|i| {
+                Point::new(
+                    40.0 + 0.9 * ((i * 7) % 100) as f64 / 100.0,
+                    -75.0 + 0.9 * (i % 100) as f64 / 100.0,
+                )
+            })
             .collect()
     }
 

@@ -72,10 +72,7 @@ impl Point {
     pub fn from_unit_vec(v: [f64; 3]) -> Self {
         let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
         let (x, y, z) = (v[0] / norm, v[1] / norm, v[2] / norm);
-        Self {
-            lat: z.asin().to_degrees(),
-            lon: y.atan2(x).to_degrees(),
-        }
+        Self { lat: z.asin().to_degrees(), lon: y.atan2(x).to_degrees() }
     }
 
     /// True when both coordinates are finite.
@@ -147,10 +144,7 @@ mod tests {
         let (e, n) = p.to_local_km(&NYC);
         let planar = (e * e + n * n).sqrt();
         let sphere = p.haversine_km(&NYC);
-        assert!(
-            (planar - sphere).abs() / sphere < 5e-3,
-            "planar {planar} vs haversine {sphere}"
-        );
+        assert!((planar - sphere).abs() / sphere < 5e-3, "planar {planar} vs haversine {sphere}");
     }
 
     #[test]

@@ -114,11 +114,7 @@ impl MvMfMixture {
 
     /// Density at `p`.
     pub fn pdf(&self, p: &Point) -> f64 {
-        self.weights
-            .iter()
-            .zip(&self.components)
-            .map(|(w, c)| w * c.pdf(p))
-            .sum()
+        self.weights.iter().zip(&self.components).map(|(w, c)| w * c.pdf(p)).sum()
     }
 
     /// The component mean with the highest weighted density — the point

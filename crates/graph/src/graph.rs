@@ -69,10 +69,9 @@ impl EntityGraph {
 
     /// Iterates every undirected edge once as `(a, b, weight)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(a, nbrs)| nbrs.iter().filter_map(move |(&b, &w)| (a < b).then_some((a, b, w))))
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            nbrs.iter().filter_map(move |(&b, &w)| (a < b).then_some((a, b, w)))
+        })
     }
 }
 

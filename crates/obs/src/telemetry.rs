@@ -1,0 +1,126 @@
+//! Training telemetry: per-epoch records fed by `EdgeModel::train` and
+//! written as JSONL under `results/telemetry/`.
+//!
+//! The sink is global so training code doesn't need a handle threaded
+//! through its config; it is inert until [`start_run`] is called.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// One epoch of training, as observed by the model's optimizer loop.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    /// Mean negative log-likelihood over the epoch (Eq. 13).
+    pub nll: f64,
+    /// L2 gradient norm per parameter group, e.g. `[("gcn", 0.8), ...]`.
+    pub grad_norms: Vec<(String, f64)>,
+    pub lr: f64,
+    /// Training throughput for the epoch.
+    pub tweets_per_sec: f64,
+    pub wall_secs: f64,
+}
+
+/// In-memory sink for one training run.
+#[derive(Debug, Default)]
+pub struct TrainTelemetry {
+    run: Option<String>,
+    records: Vec<EpochRecord>,
+}
+
+fn sink() -> &'static Mutex<TrainTelemetry> {
+    static SINK: OnceLock<Mutex<TrainTelemetry>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(TrainTelemetry::default()))
+}
+
+/// Begin collecting telemetry under the given run name, clearing any
+/// previous records. Until this is called, [`record_epoch`] is a no-op.
+pub fn start_run(name: &str) {
+    let mut t = sink().lock().unwrap();
+    t.run = Some(name.to_string());
+    t.records.clear();
+}
+
+/// Stop collecting and drop any buffered records.
+pub fn stop() {
+    let mut t = sink().lock().unwrap();
+    t.run = None;
+    t.records.clear();
+}
+
+/// True if a run is active (so producers can skip building records).
+pub fn active() -> bool {
+    sink().lock().unwrap().run.is_some()
+}
+
+/// Append one epoch record to the active run (no-op when inactive).
+pub fn record_epoch(record: EpochRecord) {
+    let mut t = sink().lock().unwrap();
+    if t.run.is_some() {
+        t.records.push(record);
+    }
+}
+
+/// Copy of the active run's records.
+pub fn records() -> Vec<EpochRecord> {
+    sink().lock().unwrap().records.clone()
+}
+
+/// Serialize records as JSONL, one epoch per line.
+pub fn to_jsonl(records: &[EpochRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&serde_json::to_string(rec).expect("epoch record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL telemetry file back into records.
+pub fn from_jsonl(input: &str) -> Result<Vec<EpochRecord>, serde_json::Error> {
+    input.lines().filter(|l| !l.trim().is_empty()).map(serde_json::from_str).collect()
+}
+
+/// Write the active run's records to `<dir>/<run>.jsonl` and return the
+/// path. Returns `None` when no run is active.
+pub fn write_to_dir(dir: impl AsRef<Path>) -> std::io::Result<Option<PathBuf>> {
+    let t = sink().lock().unwrap();
+    let Some(run) = &t.run else { return Ok(None) };
+    std::fs::create_dir_all(dir.as_ref())?;
+    let path = dir.as_ref().join(format!("{run}.jsonl"));
+    std::fs::write(&path, to_jsonl(&t.records))?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            nll: 3.25 - epoch as f64 * 0.1,
+            grad_norms: vec![("gcn".to_string(), 0.5), ("mdn".to_string(), 1.25)],
+            lr: 1e-3,
+            tweets_per_sec: 800.0,
+            wall_secs: 0.4,
+        }
+    }
+
+    #[test]
+    fn inactive_sink_drops_records() {
+        stop();
+        record_epoch(sample(0));
+        assert!(records().is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_records() {
+        let recs: Vec<EpochRecord> = (0..3).map(sample).collect();
+        let text = to_jsonl(&recs);
+        assert_eq!(text.lines().count(), 3);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+}

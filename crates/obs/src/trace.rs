@@ -1,0 +1,252 @@
+//! RAII span timers with a thread-aware in-memory trace.
+//!
+//! [`span("name")`](span) pushes onto a per-thread stack and, when the
+//! returned [`SpanGuard`] drops, appends a [`SpanRecord`] (with its parent id
+//! from the stack) to the global trace buffer. The buffer can be dumped as
+//! JSONL ([`dump_jsonl`]) or aggregated into a self-time / total-time
+//! [`Profile`] table.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span. Times are microseconds relative to the process's
+/// first span (so traces from one run share a clock).
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// 0 for root spans.
+    pub parent: u64,
+    pub name: &'static str,
+    /// Arbitrary but stable per-thread number.
+    pub thread: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+struct TraceState {
+    records: Mutex<Vec<SpanRecord>>,
+    epoch: Instant,
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| TraceState { records: Mutex::new(Vec::new()), epoch: Instant::now() })
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parent attribution).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Starts a span; the span ends (and is recorded) when the guard drops.
+/// A no-op when tracing is disabled.
+#[must_use = "the span ends when this guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::trace_enabled() {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    SpanGuard { inner: Some(OpenSpan { id, parent, name, start: Instant::now() }) }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+/// RAII handle returned by [`span`]; records the span on drop.
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else { return };
+        let end = Instant::now();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop back to (and including) this span: tolerates guards dropped
+            // out of order instead of corrupting parent attribution.
+            if let Some(pos) = stack.iter().rposition(|&id| id == open.id) {
+                stack.truncate(pos);
+            }
+        });
+        let st = state();
+        let start_us = open.start.saturating_duration_since(st.epoch).as_micros() as u64;
+        let dur_us = end.saturating_duration_since(open.start).as_micros() as u64;
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            thread: THREAD_ID.with(|t| *t),
+            start_us,
+            dur_us,
+        };
+        st.records.lock().unwrap().push(record);
+    }
+}
+
+/// Copy of the trace buffer, in completion order.
+pub fn records() -> Vec<SpanRecord> {
+    state().records.lock().unwrap().clone()
+}
+
+/// Clear the trace buffer (span ids keep counting).
+pub fn reset() {
+    state().records.lock().unwrap().clear();
+}
+
+/// Serialize the trace as JSONL: one span object per line.
+pub fn dump_jsonl() -> String {
+    let mut out = String::new();
+    for rec in records() {
+        out.push_str(&serde_json::to_string(&rec).expect("span serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL trace dump back into records (for round-trip tooling).
+/// Returns `None` on any malformed line.
+pub fn parse_jsonl(input: &str) -> Option<Vec<ParsedSpanRecord>> {
+    input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| serde_json::from_str(line).ok())
+        .collect()
+}
+
+/// Owned-name twin of [`SpanRecord`] used when reading traces back in.
+#[derive(Debug, Clone, serde::Deserialize, Serialize, PartialEq)]
+pub struct ParsedSpanRecord {
+    pub id: u64,
+    pub parent: u64,
+    pub name: String,
+    pub thread: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Aggregated per-span-name timing statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileRow {
+    pub name: String,
+    pub calls: u64,
+    /// Wall time inside spans of this name, including child spans.
+    pub total_us: u64,
+    /// Wall time inside spans of this name, excluding child spans.
+    pub self_us: u64,
+}
+
+/// A profile table: rows sorted by self-time, plus the trace's wall span.
+#[derive(Debug, Clone, Serialize)]
+pub struct Profile {
+    pub rows: Vec<ProfileRow>,
+    /// Wall time covered by root (parentless) spans.
+    pub root_total_us: u64,
+}
+
+/// Aggregate the given records into a profile table.
+///
+/// Self time is total time minus the total of direct children, so summing
+/// `self_us` over all rows recovers `root_total_us` exactly: the table
+/// attributes 100% of traced wall time to named spans.
+pub fn profile_of(records: &[SpanRecord]) -> Profile {
+    let mut child_time: HashMap<u64, u64> = HashMap::new();
+    for rec in records {
+        if rec.parent != 0 {
+            *child_time.entry(rec.parent).or_insert(0) += rec.dur_us;
+        }
+    }
+    let mut by_name: HashMap<&str, ProfileRow> = HashMap::new();
+    let mut root_total_us = 0u64;
+    for rec in records {
+        let children = child_time.get(&rec.id).copied().unwrap_or(0);
+        let row = by_name.entry(rec.name).or_insert_with(|| ProfileRow {
+            name: rec.name.to_string(),
+            calls: 0,
+            total_us: 0,
+            self_us: 0,
+        });
+        row.calls += 1;
+        row.total_us += rec.dur_us;
+        row.self_us += rec.dur_us.saturating_sub(children);
+        if rec.parent == 0 {
+            root_total_us += rec.dur_us;
+        }
+    }
+    let mut rows: Vec<ProfileRow> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    Profile { rows, root_total_us }
+}
+
+/// Profile of the current global trace buffer.
+pub fn profile() -> Profile {
+    profile_of(&records())
+}
+
+impl Profile {
+    /// Fraction of root wall time attributed to spans named in `names`
+    /// (by self time). With a root span around the whole run, the named
+    /// coverage is what the `profile` subcommand reports.
+    pub fn coverage(&self, names: &[&str]) -> f64 {
+        if self.root_total_us == 0 {
+            return 0.0;
+        }
+        let named: u64 = self
+            .rows
+            .iter()
+            .filter(|r| names.iter().any(|n| r.name.contains(n)))
+            .map(|r| r.self_us)
+            .sum();
+        named as f64 / self.root_total_us as f64
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>7}\n",
+            "span", "calls", "total", "self", "self%"
+        ));
+        let denom = self.root_total_us.max(1) as f64;
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12} {:>12} {:>6.1}%\n",
+                row.name,
+                row.calls,
+                format_us(row.total_us),
+                format_us(row.self_us),
+                100.0 * row.self_us as f64 / denom,
+            ));
+        }
+        out.push_str(&format!("traced wall time: {}\n", format_us(self.root_total_us)));
+        out
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3}s", us as f64 / 1e6)
+    }
+}

@@ -109,11 +109,7 @@ pub fn mixture_const_nll_row(logits: &[f32], log_comp: &[f32]) -> (f64, Vec<f32>
         max + xs.iter().map(|x| (x - max).exp()).sum::<f64>().ln()
     };
     let l64: Vec<f64> = logits.iter().map(|&x| x as f64).collect();
-    let joint: Vec<f64> = l64
-        .iter()
-        .zip(log_comp)
-        .map(|(&l, &c)| l + c as f64)
-        .collect();
+    let joint: Vec<f64> = l64.iter().zip(log_comp).map(|(&l, &c)| l + c as f64).collect();
     let lse_logits = lse(&l64);
     let lse_joint = lse(&joint);
     let loss = lse_logits - lse_joint;

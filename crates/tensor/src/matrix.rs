@@ -58,7 +58,12 @@ impl Matrix {
     }
 
     /// Uniform random entries in `[-scale, scale]`.
-    pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
         Self { rows, cols, data }
     }
@@ -130,12 +135,19 @@ impl Matrix {
     /// a k-inner loop ordered for cache-friendly access to `other`).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
+        edge_obs::counter!("tensor.matmul.calls").inc(1);
+        edge_obs::counter!("tensor.matmul.flops").inc(2 * (n * k * m) as u64);
+        // Only span products big enough to matter; sub-threshold products
+        // would flood the trace and their time shows up in the caller's
+        // self time anyway.
+        let _span = (n * k * m >= 32 * 1024).then(|| edge_obs::span("matmul"));
         let mut out = Matrix::zeros(n, m);
         // ikj loop order: the inner j-loop walks `other` and `out` rows
         // contiguously, which vectorizes well.
@@ -173,11 +185,7 @@ impl Matrix {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Elementwise combination of two equally shaped matrices.

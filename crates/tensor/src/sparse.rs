@@ -93,18 +93,18 @@ impl CsrMatrix {
             dense.shape()
         );
         let m = dense.cols();
+        edge_obs::counter!("tensor.spmm.calls").inc(1);
+        edge_obs::counter!("tensor.spmm.flops").inc(2 * (self.nnz() * m) as u64);
+        let _span = edge_obs::span("matmul.sparse");
         let mut out = Matrix::zeros(self.rows, m);
-        out.data_mut()
-            .par_chunks_mut(m)
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                for (c, v) in self.row_entries(r) {
-                    let src = dense.row(c);
-                    for (o, &x) in out_row.iter_mut().zip(src) {
-                        *o += v * x;
-                    }
+        out.data_mut().par_chunks_mut(m).enumerate().for_each(|(r, out_row)| {
+            for (c, v) in self.row_entries(r) {
+                let src = dense.row(c);
+                for (o, &x) in out_row.iter_mut().zip(src) {
+                    *o += v * x;
                 }
-            });
+            }
+        });
         out
     }
 

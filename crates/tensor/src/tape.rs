@@ -73,11 +73,7 @@ impl ParamStore {
 
     /// Iterates `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.mats
-            .iter()
-            .zip(&self.names)
-            .enumerate()
-            .map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
+        self.mats.iter().zip(&self.names).enumerate().map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
     }
 
     /// Total number of scalar parameters.
@@ -171,6 +167,7 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> NodeId {
+        edge_obs::counter!("tensor.tape.ops").inc(1);
         self.nodes.push(Node { value, op, requires_grad });
         NodeId(self.nodes.len() - 1)
     }
@@ -444,11 +441,7 @@ impl Tape {
             grad.row_mut(b).copy_from_slice(&g);
         }
         let g = self.rg(logits);
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss as f32]),
-            Op::MixtureConstNll(logits, grad),
-            g,
-        )
+        self.push(Matrix::from_vec(1, 1, vec![loss as f32]), Op::MixtureConstNll(logits, grad), g)
     }
 
     // ---- backward ---------------------------------------------------------
@@ -456,11 +449,9 @@ impl Tape {
     /// Reverse-mode sweep from scalar node `loss` (must be 1×1). Returns the
     /// gradient of every [`ParamId`] leaf that the loss depends on.
     pub fn backward(&self, loss: NodeId) -> Vec<(ParamId, Matrix)> {
-        assert_eq!(
-            self.value(loss).shape(),
-            (1, 1),
-            "backward must start from a scalar loss"
-        );
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward must start from a scalar loss");
+        edge_obs::counter!("tensor.tape.backward.calls").inc(1);
+        let _span = edge_obs::span("backward");
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
@@ -470,12 +461,13 @@ impl Tape {
             if !self.nodes[i].requires_grad {
                 continue;
             }
-            let acc = |grads: &mut Vec<Option<Matrix>>, target: NodeId, delta: Matrix| {
-                match &mut grads[target.0] {
+            let acc =
+                |grads: &mut Vec<Option<Matrix>>, target: NodeId, delta: Matrix| match &mut grads
+                    [target.0]
+                {
                     Some(existing) => existing.add_scaled_inplace(&delta, 1.0),
                     slot @ None => *slot = Some(delta),
-                }
-            };
+                };
             match &self.nodes[i].op {
                 Op::Constant => {}
                 Op::Param(pid) => {

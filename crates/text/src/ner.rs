@@ -111,11 +111,7 @@ impl From<EntityRecognizer> for RecognizerRepr {
 
 /// Canonical entity id for a surface form: lowercase, whitespace → `_`.
 pub fn canonical_id(surface: &str) -> String {
-    surface
-        .to_lowercase()
-        .split_whitespace()
-        .collect::<Vec<_>>()
-        .join("_")
+    surface.to_lowercase().split_whitespace().collect::<Vec<_>>().join("_")
 }
 
 impl EntityRecognizer {
@@ -137,7 +133,8 @@ impl EntityRecognizer {
 
     /// Adds one gazetteer entry.
     pub fn add_gazetteer_entry(&mut self, surface: &str, category: EntityCategory) {
-        let key: Vec<String> = surface.to_lowercase().split_whitespace().map(String::from).collect();
+        let key: Vec<String> =
+            surface.to_lowercase().split_whitespace().map(String::from).collect();
         if key.is_empty() {
             return;
         }
@@ -260,11 +257,8 @@ impl EntityRecognizer {
                 i = end;
                 continue;
             }
-            let surface = tokens[i..end]
-                .iter()
-                .map(|t| t.text.as_str())
-                .collect::<Vec<_>>()
-                .join(" ");
+            let surface =
+                tokens[i..end].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
             for c in consumed.iter_mut().skip(i).take(chunk_len) {
                 *c = true;
             }
@@ -319,7 +313,8 @@ mod tests {
     #[test]
     fn hashtags_and_mentions_become_entities() {
         let r = recognizer();
-        let ms = r.recognize("This is for real... hospital this morning during the #covid19 pandemic");
+        let ms =
+            r.recognize("This is for real... hospital this morning during the #covid19 pandemic");
         assert!(ms.iter().any(|m| m.id == "covid19"));
     }
 

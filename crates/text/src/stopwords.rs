@@ -8,14 +8,14 @@ const STOPWORDS: &[&str] = &[
     "because", "been", "before", "being", "but", "by", "can", "come", "could", "day", "did", "do",
     "does", "doing", "don't", "done", "down", "during", "each", "few", "for", "from", "further",
     "get", "go", "going", "good", "got", "great", "had", "has", "have", "having", "he", "her",
-    "here", "hers", "him", "his", "how", "i", "i'm", "if", "in", "into", "is", "it", "it's",
-    "its", "just", "like", "lol", "me", "more", "most", "my", "new", "no", "not", "now", "of",
-    "off", "on", "once", "one", "only", "or", "other", "our", "out", "over", "own", "really",
-    "rt", "said", "same", "say", "see", "she", "should", "so", "some", "such", "than", "that",
-    "the", "their", "them", "then", "there", "these", "they", "they're", "this", "those",
-    "through", "time", "to", "today", "too", "u", "under", "until", "up", "us", "very", "was",
-    "way", "we", "were", "what", "when", "where", "which", "while", "who", "why", "will", "with",
-    "would", "you", "your", "yours",
+    "here", "hers", "him", "his", "how", "i", "i'm", "if", "in", "into", "is", "it", "it's", "its",
+    "just", "like", "lol", "me", "more", "most", "my", "new", "no", "not", "now", "of", "off",
+    "on", "once", "one", "only", "or", "other", "our", "out", "over", "own", "really", "rt",
+    "said", "same", "say", "see", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "them", "then", "there", "these", "they", "they're", "this", "those", "through",
+    "time", "to", "today", "too", "u", "under", "until", "up", "us", "very", "was", "way", "we",
+    "were", "what", "when", "where", "which", "while", "who", "why", "will", "with", "would",
+    "you", "your", "yours",
 ];
 
 fn set() -> &'static HashSet<&'static str> {

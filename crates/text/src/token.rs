@@ -57,10 +57,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         };
         if kind != TokenKind::Word {
             // Hashtags/mentions: strip trailing punctuation, keep one token.
-            let clean: String = body
-                .chars()
-                .filter(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
+            let clean: String = body.chars().filter(|c| c.is_alphanumeric() || *c == '_').collect();
             if !clean.is_empty() {
                 tokens.push(Token { text: clean, kind });
             }

@@ -68,11 +68,7 @@ impl Vocab {
 
     /// Iterates `(id, token, count)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str, u64)> {
-        self.tokens
-            .iter()
-            .zip(&self.counts)
-            .enumerate()
-            .map(|(i, (t, &c))| (i, t.as_str(), c))
+        self.tokens.iter().zip(&self.counts).enumerate().map(|(i, (t, &c))| (i, t.as_str(), c))
     }
 
     /// A new vocabulary containing only tokens with `count >= min_count`,

@@ -10,12 +10,7 @@ use edge::prelude::*;
 fn main() {
     let dataset = edge::data::nyma(PresetSize::Smoke, 17);
     let (train, test) = dataset.paper_split();
-    println!(
-        "corpus: {} ({} train / {} test tweets)\n",
-        dataset.name,
-        train.len(),
-        test.len()
-    );
+    println!("corpus: {} ({} train / {} test tweets)\n", dataset.name, train.len(), test.len());
 
     let mut rows: Vec<(String, DistanceReport)> = Vec::new();
 

@@ -33,14 +33,10 @@ fn main() {
             .filter(|t| t.text.to_lowercase().contains("new colossus festival"))
             .collect();
 
-        let edge_points: Vec<Point> = mentions
-            .iter()
-            .filter_map(|t| model.predict(&t.text).map(|p| p.point))
-            .collect();
-        let hl_points: Vec<Point> = mentions
-            .iter()
-            .filter_map(|t| hyperlocal.predict_point(&t.text))
-            .collect();
+        let edge_points: Vec<Point> =
+            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+        let hl_points: Vec<Point> =
+            mentions.iter().filter_map(|t| hyperlocal.predict_point(&t.text)).collect();
 
         let mean_dist = |pts: &[Point]| -> Option<f64> {
             (!pts.is_empty()).then(|| {

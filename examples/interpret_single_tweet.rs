@@ -36,10 +36,7 @@ fn main() {
 
     println!("\nstep 3 - the predicted mixture (Eq. 6), one line per component:");
     for (weight, g) in prediction.mixture.iter() {
-        println!(
-            "   pi = {:.4}  centred at ({:.4}, {:.4})",
-            weight, g.mu.lat, g.mu.lon
-        );
+        println!("   pi = {:.4}  centred at ({:.4}, {:.4})", weight, g.mu.lat, g.mu.lon);
         for conf in [0.75, 0.80, 0.85] {
             let e = g.confidence_ellipse(conf);
             println!(
@@ -52,10 +49,7 @@ fn main() {
     }
 
     let (idx, w) = prediction.mixture.dominant_component();
-    println!(
-        "\nstep 4 - reading the result: component {idx} holds {:.1}% of the mass;",
-        w * 100.0
-    );
+    println!("\nstep 4 - reading the result: component {idx} holds {:.1}% of the mass;", w * 100.0);
     println!(
         "   mixture entropy {:.3} nats ({} modes worth of uncertainty)",
         prediction.mixture.weight_entropy(),

@@ -28,10 +28,8 @@ fn main() {
 
     // 3. Predict. The output is a full mixture distribution (Eq. 6), a
     //    point estimate (Eq. 14), and per-entity attention weights.
-    let tweet = test
-        .iter()
-        .find(|t| model.predict(&t.text).is_some())
-        .expect("a covered test tweet");
+    let tweet =
+        test.iter().find(|t| model.predict(&t.text).is_some()).expect("a covered test tweet");
     let prediction = model.predict(&tweet.text).expect("covered");
     println!("tweet: \"{}\"", tweet.text);
     println!("true location:  ({:.4}, {:.4})", tweet.location.lat, tweet.location.lon);

@@ -1,0 +1,292 @@
+//! In-workspace shim for `criterion` (no crates.io access — see
+//! `shims/README.md`).
+//!
+//! Implements the harness surface the workspace's benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`, [`BenchmarkGroup`]
+//! with `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of upstream's statistical analysis and HTML reports, each
+//! benchmark is calibrated to a per-sample iteration count, timed for
+//! `sample_size` samples, and a single plain-text line with min / mean /
+//! median nanoseconds per iteration is printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self }
+    }
+}
+
+/// A named group of related benchmarks (`group/id` in the report lines).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.criterion, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.criterion, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    measurement: Duration,
+    /// Per-sample mean nanoseconds, filled by `iter`.
+    samples_ns: Vec<f64>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.calibrating {
+            // Find an iteration count that makes one sample take ≥ ~1/50th of
+            // the measurement budget (so sample_size samples roughly fill it).
+            let target = (self.measurement.as_secs_f64() / 50.0).max(1e-4);
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                if elapsed >= target || iters >= 1 << 30 {
+                    self.iters_per_sample = iters;
+                    break;
+                }
+                // Grow geometrically toward the target.
+                let factor = (target / elapsed.max(1e-9)).clamp(2.0, 100.0);
+                iters = ((iters as f64) * factor).ceil() as u64;
+            }
+            return;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, f: &mut F) {
+    // Warm-up + calibration pass.
+    let warm_until = Instant::now() + config.warm_up;
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        sample_size: config.sample_size,
+        measurement: config.measurement,
+        samples_ns: Vec::new(),
+        calibrating: true,
+    };
+    loop {
+        f(&mut bencher);
+        if Instant::now() >= warm_until {
+            break;
+        }
+    }
+
+    // Measurement pass.
+    bencher.calibrating = false;
+    f(&mut bencher);
+
+    if bencher.samples_ns.is_empty() {
+        println!("bench {label:<40} (no iter() call)");
+        return;
+    }
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = bencher.samples_ns.iter().sum::<f64>() / bencher.samples_ns.len() as f64;
+    println!(
+        "bench {label:<40} min {} median {} mean {} ({} iters/sample, {} samples)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(mean),
+        bencher.iters_per_sample,
+        bencher.samples_ns.len(),
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+/// Re-export so generated code can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        // Should complete quickly and not panic.
+        c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+    }
+}

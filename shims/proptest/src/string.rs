@@ -1,0 +1,165 @@
+//! `&str` as a strategy: generates `String`s from a small regex-like pattern
+//! subset — enough for the patterns this workspace's tests use.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]` with
+//! ranges, the proptest escape `\PC` (any printable, i.e. non-control, char),
+//! and `{n}` / `{m,n}` repetition after an atom.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Closed char ranges to sample uniformly from (class members).
+    Class(Vec<(char, char)>),
+    /// `\PC`: printable characters, mostly ASCII with some multibyte.
+    Printable,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // skip ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                // Only `\PC` is needed; accept `\P` + one-char property name.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close =
+                chars[i..].iter().position(|&c| c == '}').expect("unterminated repetition") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+            let mut draw = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if draw < span {
+                    return char::from_u32(lo as u32 + draw as u32).unwrap_or(lo);
+                }
+                draw -= span;
+            }
+            unreachable!()
+        }
+        Atom::Printable => {
+            // Weighted toward ASCII printable; occasionally multibyte chars
+            // (accents, CJK, emoji) to exercise UTF-8 handling.
+            match rng.below(16) {
+                0 => {
+                    const EXOTIC: &[char] =
+                        &['é', 'ü', 'ß', 'λ', 'Ж', '中', '東', '😀', '🌍', '—', '“', '¿'];
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                }
+                _ => char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap(),
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let span = (piece.max - piece.min) as u64 + 1;
+            let reps = piece.min + rng.below(span) as usize;
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_never_emits_control_chars() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..100 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_members() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let s = "[a-zA-Z ]{1,40}".generate(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+}

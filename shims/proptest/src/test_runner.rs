@@ -1,0 +1,30 @@
+//! Runner configuration for the `proptest!` macro.
+
+/// Shim counterpart of upstream `ProptestConfig`. Only `cases` matters here.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic 64-bit seed from a test name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

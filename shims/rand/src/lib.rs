@@ -1,0 +1,228 @@
+//! In-workspace shim for the `rand` crate (no crates.io access in the build
+//! environment — see `shims/README.md`).
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses: a seedable
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the [`Rng`]
+//! extension methods `gen`, `gen_range`, `gen_bool`, and
+//! [`seq::SliceRandom::shuffle`]. The generator is deterministic per seed but
+//! produces a different stream than upstream rand's ChaCha12-based `StdRng`;
+//! workspace code only relies on self-consistency.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+pub mod seq;
+mod std_rng;
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// The next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically seeds the generator from a single `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (blanket-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type (floats in `[0,1)`,
+    /// uniform integers, fair bools).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from the type's standard distribution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = <$t as Standard>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let u = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    };
+}
+impl_float_range!(f32);
+impl_float_range!(f64);
+
+macro_rules! impl_int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    };
+}
+impl_int_range!(u8);
+impl_int_range!(u16);
+impl_int_range!(u32);
+impl_int_range!(u64);
+impl_int_range!(usize);
+impl_int_range!(i8);
+impl_int_range!(i16);
+impl_int_range!(i32);
+impl_int_range!(i64);
+impl_int_range!(isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&i));
+            let j = rng.gen_range(1..=3usize);
+            assert!((1..=3).contains(&j));
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let n = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mean: f64 = (0..100_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

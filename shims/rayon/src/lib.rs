@@ -1,0 +1,383 @@
+//! In-workspace shim for the `rayon` crate (no crates.io access in the build
+//! environment — see `shims/README.md`).
+//!
+//! Implements the data-parallel subset this workspace uses: `par_iter` over
+//! slices and `HashMap`s, `into_par_iter` over `Vec`s and ranges,
+//! `par_chunks_mut`, and the `map` / `filter_map` / `enumerate` / `for_each`
+//! / `collect` adapters. Work is executed on real OS threads via
+//! `std::thread::scope`, split into one contiguous bucket per thread, with
+//! result order preserved — semantically equivalent to rayon's indexed
+//! parallel iterators for the operations provided.
+//!
+//! Trade-off vs. real rayon: threads are spawned per call instead of pooled,
+//! so per-call overhead is tens of microseconds. Callers here already gate
+//! parallel paths behind work-size thresholds, which amortizes that cost.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Splits `items` into at most `n` contiguous buckets, preserving order.
+fn split_buckets<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let n = n.clamp(1, items.len().max(1));
+    let chunk = items.len().div_ceil(n);
+    let mut buckets = Vec::with_capacity(n);
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        buckets.push(items);
+        items = rest;
+    }
+    buckets
+}
+
+/// Runs `f` over every item on scoped worker threads, preserving input order
+/// in the returned vector. `None` results are dropped (filtering).
+fn drive_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    if items.len() <= 1 || current_num_threads() == 1 {
+        return items.into_iter().filter_map(f).collect();
+    }
+    let buckets = split_buckets(items, current_num_threads());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || bucket.into_iter().filter_map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a source of `Send` items plus composed per-item
+/// transforms, executed by [`drive_parallel`] at a terminal operation.
+pub trait ParallelIterator: Sized {
+    /// The item type flowing out of this iterator.
+    type Item: Send;
+
+    /// Materializes the (cheap) base items; transforms run later, in parallel.
+    fn base_items(self) -> Vec<Self::Item>;
+
+    /// Applies `consumer` to every item in parallel, keeping `Some` results
+    /// in input order. Adapters override this to compose their transform.
+    fn drive<R: Send, C: Fn(Self::Item) -> Option<R> + Sync>(self, consumer: &C) -> Vec<R> {
+        drive_parallel(self.base_items(), consumer)
+    }
+
+    /// Parallel map.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Parallel filter-map.
+    fn filter_map<R: Send, F: Fn(Self::Item) -> Option<R> + Sync>(
+        self,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap { base: self, f }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        self.drive(&|item| {
+            f(item);
+            None::<()>
+        });
+    }
+
+    /// Collects results (order-preserving).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.drive(&Some))
+    }
+
+    /// Sum of the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive(&Some).into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.base_items().len()
+    }
+}
+
+/// Parallel map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn base_items(self) -> Vec<R> {
+        let f = self.f;
+        self.base.drive(&|x| Some(f(x)))
+    }
+
+    fn drive<R2: Send, C: Fn(R) -> Option<R2> + Sync>(self, consumer: &C) -> Vec<R2> {
+        let f = self.f;
+        self.base.drive(&|x| consumer(f(x)))
+    }
+}
+
+/// Parallel filter-map adapter.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn base_items(self) -> Vec<R> {
+        let f = self.f;
+        self.base.drive(&f)
+    }
+
+    fn drive<R2: Send, C: Fn(R) -> Option<R2> + Sync>(self, consumer: &C) -> Vec<R2> {
+        let f = self.f;
+        self.base.drive(&|x| f(x).and_then(consumer))
+    }
+}
+
+/// Index-pairing adapter. Indexing happens at materialization, so the
+/// transform chain below it still runs in parallel.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+
+    fn base_items(self) -> Vec<(usize, B::Item)> {
+        self.base.base_items().into_iter().enumerate().collect()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn base_items(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn base_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// By-reference parallel iteration (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, K: Sync + 'a, V: Sync + 'a, S> IntoParallelRefIterator<'a> for HashMap<K, V, S> {
+    type Iter = IntoParIter<(&'a K, &'a V)>;
+
+    fn par_iter(&'a self) -> IntoParIter<(&'a K, &'a V)> {
+        IntoParIter { items: self.iter().collect() }
+    }
+}
+
+/// By-value parallel iteration (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = IntoParIter<usize>;
+
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter { items: self.collect() }
+    }
+}
+
+/// Mutable chunked parallel iteration (`.par_chunks_mut()`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        IntoParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Order-preserving parallel `collect` targets.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from already-ordered results.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V, S: std::hash::BuildHasher + Default> FromParallelIterator<(K, V)>
+    for HashMap<K, V, S>
+{
+    fn from_par_vec(items: Vec<(K, V)>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn filter_map_drops_nones_in_order() {
+        let v: Vec<i32> = (0..100).collect();
+        let odd: Vec<i32> = v.par_iter().filter_map(|&x| (x % 2 == 1).then_some(x)).collect();
+        assert_eq!(odd, (0..100).filter(|x| x % 2 == 1).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each_writes_all() {
+        let mut data = vec![0usize; 40];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = i * 4 + j;
+            }
+        });
+        assert_eq!(data, (0..40).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn for_each_runs_once_per_item() {
+        let counter = AtomicUsize::new(0);
+        let v: Vec<u8> = vec![1; 257];
+        v.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn hashmap_par_iter_and_collect() {
+        let m: HashMap<String, u32> = (0..50).map(|i| (format!("k{i}"), i)).collect();
+        let back: HashMap<String, u32> = m.par_iter().map(|(k, &v)| (k.clone(), v + 1)).collect();
+        assert_eq!(back.len(), 50);
+        assert_eq!(back["k7"], 8);
+    }
+
+    #[test]
+    fn into_par_iter_over_vec_and_range() {
+        let s: u64 = (0usize..101).into_par_iter().map(|x| x as u64).sum();
+        assert_eq!(s, 5050);
+        let v = vec![3u64; 7];
+        let s2: u64 = v.into_par_iter().sum();
+        assert_eq!(s2, 21);
+    }
+
+    #[test]
+    fn work_actually_crosses_threads() {
+        // With >1 worker available, at least two distinct thread ids should
+        // touch a large enough workload.
+        if super::current_num_threads() < 2 {
+            return;
+        }
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        let v: Vec<u32> = (0..10_000).collect();
+        v.par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() >= 2);
+    }
+}

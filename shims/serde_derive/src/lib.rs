@@ -1,0 +1,369 @@
+//! In-workspace shim for `serde_derive` (no crates.io access — see
+//! `shims/README.md`): `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! generating impls of the shim `serde` crate's value-tree traits.
+//!
+//! Supports the shapes this workspace derives on:
+//! * named-field structs,
+//! * newtype and tuple structs (newtypes serialize transparently, wider
+//!   tuples as arrays),
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string),
+//! * the `#[serde(from = "T", into = "T")]` container attributes.
+//!
+//! No `syn`/`quote` available, so the input item is parsed directly from the
+//! `proc_macro` token stream and the generated impl is rendered as source
+//! text; anything outside the supported subset fails the build with a
+//! descriptive `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input parsed into.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — number of unnamed fields.
+    TupleStruct(usize),
+    /// `enum E { V1, V2 }` — unit variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]` container attribute.
+    from: Option<String>,
+    /// `#[serde(into = "T")]` container attribute.
+    into: Option<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts `from`/`into` out of a `serde(...)` attribute body.
+fn parse_serde_attr(body: TokenStream, from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(key) = &tokens[i] {
+            let key = key.to_string();
+            if (key == "from" || key == "into")
+                && matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+            {
+                if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                    let raw = lit.to_string();
+                    let ty = raw.trim_matches('"').to_string();
+                    if key == "from" {
+                        *from = Some(ty);
+                    } else {
+                        *into = Some(ty);
+                    }
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses the derive input item. Returns `Err(message)` on unsupported shapes.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut from = None;
+    let mut into = None;
+
+    // Outer attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    // Attribute: look inside for `serde(...)`.
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(id)) = inner.next() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                parse_serde_attr(args.stream(), &mut from, &mut into);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)` / `(super)` restriction.
+                        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            tokens.next();
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    other => return Err(format!("unexpected token '{other}' before struct/enum")),
+                }
+            }
+            Some(other) => return Err(format!("unexpected token '{other}' in derive input")),
+            None => return Err("ran out of tokens before struct/enum".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    // Generics are not supported (nothing in the workspace derives on them).
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive shim: generic type {name} unsupported"));
+    }
+
+    let body = tokens.next();
+    let shape = match (kind.as_str(), body) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::TupleStruct(0),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(g.stream())?)
+        }
+        (k, b) => return Err(format!("unsupported {k} body for {name}: {b:?}")),
+    };
+
+    Ok(Input { name, shape, from, into })
+}
+
+/// Field names of a named struct body, skipping attributes, visibility, and
+/// type tokens (commas inside `<...>` generics are depth-tracked).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments).
+        while matches!(&tokens[i..], [TokenTree::Punct(p), TokenTree::Group(_), ..] if p.as_char() == '#')
+        {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Field name.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other}")),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect ':', then skip the type until a top-level ','.
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected ':' after field {}", fields.last().unwrap()));
+        }
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body (top-level commas, angle-aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    count - usize::from(trailing_comma)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i..], [TokenTree::Punct(p), TokenTree::Group(_), ..] if p.as_char() == '#')
+        {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => return Err(format!("expected variant name, got {other}")),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive shim: enum variant {} carries data (unsupported)",
+                    variants.last().unwrap()
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token {other} after variant")),
+        }
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+
+    let body = if let Some(repr) = &input.into {
+        // Container attribute: convert to the repr type, serialize that.
+        format!(
+            "let repr: {repr} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&repr)"
+        )
+    } else {
+        match &input.shape {
+            Shape::NamedStruct(fields) => {
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                format!(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(entries)"
+                )
+            }
+            Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                    .collect();
+                format!("match self {{ {} }}", arms.join(", "))
+            }
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+
+    let body = if let Some(repr) = &input.from {
+        format!(
+            "let repr = <{repr} as ::serde::Deserialize>::from_value(v)?;\n\
+             ::core::result::Result::Ok(<Self as ::core::convert::From<{repr}>>::from(repr))"
+        )
+    } else {
+        match &input.shape {
+            Shape::NamedStruct(fields) => {
+                let mut sets = String::new();
+                for f in fields {
+                    sets.push_str(&format!("{f}: ::serde::field_from_object(entries, {f:?})?,\n"));
+                }
+                format!(
+                    "let entries = v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                     ::core::result::Result::Ok({name} {{ {sets} }})"
+                )
+            }
+            Shape::TupleStruct(1) => {
+                format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array\"))?;\n\
+                     if items.len() != {n} {{ return ::core::result::Result::Err(\
+                     ::serde::Error::custom(\"tuple arity mismatch\")); }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|var| format!("{var:?} => ::core::result::Result::Ok({name}::{var})"))
+                    .collect();
+                format!(
+                    "let s = v.as_str().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected variant string for \", {name:?})))?;\n\
+                     match s {{ {}, other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant {{other}}\"))) }}",
+                    arms.join(", ")
+                )
+            }
+        }
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

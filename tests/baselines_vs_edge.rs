@@ -86,7 +86,12 @@ fn ablations_degrade_the_full_model() {
     );
     // NoMixture specifically collapses multi-modal predictions; the paper
     // shows it far behind the full model.
-    assert!(full.at_3km > ablations[2].at_3km, "{} vs NoMixture {}", full.at_3km, ablations[2].at_3km);
+    assert!(
+        full.at_3km > ablations[2].at_3km,
+        "{} vs NoMixture {}",
+        full.at_3km,
+        ablations[2].at_3km
+    );
 }
 
 #[test]

@@ -42,19 +42,14 @@ fn cooccurrence_graph_reflects_corpus_pairs() {
     let (train, _) = d.paper_split();
     let sgns = SgnsConfig { dim: 8, epochs: 1, ..Default::default() };
     let e2v = run_entity2vec(train, &ner, &sgns, 8);
-    let graph = build_cooccurrence_graph(
-        e2v.index.len(),
-        e2v.tweet_entities.iter().map(Vec::as_slice),
-    );
+    let graph =
+        build_cooccurrence_graph(e2v.index.len(), e2v.tweet_entities.iter().map(Vec::as_slice));
     // Edge weights equal hand-counted co-occurrences for a sample of pairs.
     let mut checked = 0;
     for ids in e2v.tweet_entities.iter().filter(|ids| ids.len() >= 2).take(20) {
         let (a, b) = (ids[0], ids[1]);
-        let manual = e2v
-            .tweet_entities
-            .iter()
-            .filter(|t| t.contains(&a) && t.contains(&b))
-            .count() as f32;
+        let manual =
+            e2v.tweet_entities.iter().filter(|t| t.contains(&a) && t.contains(&b)).count() as f32;
         assert_eq!(graph.edge_weight(a, b), manual, "pair ({a},{b})");
         checked += 1;
     }
@@ -69,10 +64,8 @@ fn two_layer_diffusion_reaches_exactly_the_two_hop_egonet() {
     let (train, _) = d.paper_split();
     let sgns = SgnsConfig { dim: 4, epochs: 1, ..Default::default() };
     let e2v = run_entity2vec(&train[..1500], &ner, &sgns, 4);
-    let graph = build_cooccurrence_graph(
-        e2v.index.len(),
-        e2v.tweet_entities.iter().map(Vec::as_slice),
-    );
+    let graph =
+        build_cooccurrence_graph(e2v.index.len(), e2v.tweet_entities.iter().map(Vec::as_slice));
     let n = e2v.index.len();
     let adj = Arc::new(CsrMatrix::from_triplets(n, n, &normalized_adjacency_triplets(&graph)));
 
