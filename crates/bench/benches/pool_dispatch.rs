@@ -1,0 +1,71 @@
+//! Dispatch overhead of the `edge-par` persistent pool vs the legacy
+//! spawn-per-call path, at the workload shape the training loop actually
+//! uses (a `parallel_for` over a handful of row blocks).
+//!
+//! The acceptance bar for the pooled path is < 10µs per dispatch: the pool's
+//! cost is a queue push + condvar wake, while spawning pays thread creation
+//! and teardown on every call (hundreds of µs). On a single-core host the
+//! submitter drains every chunk itself, which is the overhead floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Worker count the dispatch benches force, so the pool machinery (queue
+/// push, condvar wake, chunk claiming) is actually exercised even on a
+/// single-core host, where `parallel_for` would otherwise short-circuit to
+/// the serial loop.
+const BENCH_WIDTH: usize = 4;
+
+/// One trivial task per index — isolates dispatch cost from work cost.
+fn dispatch_once(count: usize) -> u64 {
+    let acc = AtomicU64::new(0);
+    edge_par::parallel_for(count, |i| {
+        acc.fetch_add(i as u64, Ordering::Relaxed);
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    // Warm the pool up front so worker spawning is not billed to the first
+    // pooled sample.
+    edge_par::with_max_threads(BENCH_WIDTH, || dispatch_once(64));
+
+    // The serial fast path (width 1): the floor every dispatch pays.
+    group.bench_function("serial/64", |b| {
+        b.iter(|| black_box(edge_par::with_max_threads(1, || dispatch_once(64))));
+    });
+
+    for count in [8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("pooled", count), &count, |b, &n| {
+            edge_par::set_dispatch_mode(edge_par::DispatchMode::Pool);
+            b.iter(|| black_box(edge_par::with_max_threads(BENCH_WIDTH, || dispatch_once(n))));
+        });
+        group.bench_with_input(BenchmarkId::new("spawn", count), &count, |b, &n| {
+            edge_par::set_dispatch_mode(edge_par::DispatchMode::Spawn);
+            b.iter(|| black_box(edge_par::with_max_threads(BENCH_WIDTH, || dispatch_once(n))));
+            edge_par::set_dispatch_mode(edge_par::DispatchMode::Pool);
+        });
+    }
+    edge_par::set_dispatch_mode(edge_par::DispatchMode::Pool);
+    group.finish();
+}
+
+/// The rayon-shim layer on top of the pool (bucket split + per-bucket
+/// mutexes), as the model's `evaluate` / `predict_batch` use it.
+fn bench_shim_dispatch(c: &mut Criterion) {
+    use rayon::prelude::*;
+    let mut group = c.benchmark_group("shim_dispatch");
+    let items: Vec<u64> = (0..512).collect();
+    group.bench_function("par_iter_map_collect/512", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = items.par_iter().map(|&x| black_box(x + 1)).collect();
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_shim_dispatch);
+criterion_main!(benches);

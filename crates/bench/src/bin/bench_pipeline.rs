@@ -1,14 +1,28 @@
 //! End-to-end pipeline resource bench: runs the Table III method set on one
 //! corpus, recording per-method wall time and process peak RSS, plus the
 //! metrics-layer counters (matmul/spmm FLOPs, tape ops, NER misses) for the
-//! EDGE runs.
+//! EDGE runs, and a before/after dispatch speedup table for EDGE training
+//! (serial vs spawn-per-call vs the persistent `edge-par` pool).
 //!
 //! Usage: `cargo run --release -p edge-bench --bin bench_pipeline [--size default]`
 //!
-//! Writes `results/BENCH_pipeline.{json,txt}`.
+//! Writes `results/BENCH_pipeline.{json,txt}`. The JSON is an object:
+//! `{ "threads": N, "records": [...], "edge_speedup": {...} }`.
 
-use edge_bench::{render_pipeline_table, run_pipeline_bench, HarnessConfig, MethodSet};
+use edge_bench::{
+    render_pipeline_table, render_speedup_table, run_edge_speedup, run_pipeline_bench,
+    HarnessConfig, MethodSet,
+};
 use edge_data::{nyma, PresetSize};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PipelineBenchOutput {
+    /// Worker threads available to the pool for this run.
+    threads: usize,
+    records: Vec<edge_bench::PipelineBenchRecord>,
+    edge_speedup: edge_bench::EdgeSpeedup,
+}
 
 fn main() {
     let (size, seeds) = edge_bench::parse_cli();
@@ -22,7 +36,12 @@ fn main() {
     edge_obs::metrics::reset();
 
     let dataset = nyma(size, seeds[0]);
-    edge_obs::progress!("== pipeline bench on {} ({} tweets) ==", dataset.name, dataset.len());
+    edge_obs::progress!(
+        "== pipeline bench on {} ({} tweets, {} threads) ==",
+        dataset.name,
+        dataset.len(),
+        edge_par::num_threads()
+    );
     let records = run_pipeline_bench(&dataset, MethodSet::Comparison, &config);
     for r in &records {
         edge_obs::progress!(
@@ -33,12 +52,18 @@ fn main() {
         );
     }
 
+    edge_obs::progress!("== EDGE dispatch speedup (serial / spawn / pool) ==");
+    let edge_speedup = run_edge_speedup(&dataset, &config.edge);
+
     let text = format!(
-        "Pipeline bench ({size:?} scale): wall time + peak RSS per method\n{}\n{}",
+        "Pipeline bench ({size:?} scale): wall time + peak RSS per method\n{}\n\
+         EDGE training dispatch comparison\n{}\n{}",
         render_pipeline_table(&records),
+        render_speedup_table(&edge_speedup),
         edge_obs::metrics::snapshot().render()
     );
     print!("{text}");
-    edge_bench::write_results("BENCH_pipeline", &records, &text).expect("write results");
+    let output = PipelineBenchOutput { threads: edge_par::num_threads(), records, edge_speedup };
+    edge_bench::write_results("BENCH_pipeline", &output, &text).expect("write results");
     edge_obs::progress!("wrote results/BENCH_pipeline.{{json,txt}}");
 }

@@ -277,6 +277,8 @@ pub fn peak_rss_bytes() -> u64 {
 pub struct PipelineBenchRecord {
     pub method: String,
     pub dataset: String,
+    /// Worker threads the run fanned out to (`edge_par::num_threads()`).
+    pub threads: usize,
     pub wall_secs: f64,
     /// Process peak RSS after the method ran. Peak RSS is monotone over the
     /// process lifetime, so per-method deltas show which stage grew it.
@@ -299,6 +301,7 @@ pub fn run_pipeline_bench(
             PipelineBenchRecord {
                 method: m.to_string(),
                 dataset: dataset.name.clone(),
+                threads: edge_par::num_threads(),
                 wall_secs: start.elapsed().as_secs_f64(),
                 peak_rss_mb: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
                 mean_km: r.report.mean_km,
@@ -307,17 +310,98 @@ pub fn run_pipeline_bench(
         .collect()
 }
 
+/// One leg of the EDGE before/after speedup comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupLeg {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Threads the leg ran with.
+    pub threads: usize,
+    /// End-to-end wall time (train + evaluate).
+    pub wall_secs: f64,
+    /// Seconds inside the optimization loop (sum of per-epoch wall times).
+    pub train_secs: f64,
+    /// Mean error — must agree across legs (accuracy parity).
+    pub mean_km: f64,
+}
+
+/// Before/after table for the pooled-dispatch work: the same EDGE training
+/// run under serial (1 thread), legacy spawn-per-call dispatch, and the
+/// persistent pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeSpeedup {
+    pub legs: Vec<SpeedupLeg>,
+    /// `serial train_secs / pooled train_secs` — the headline number. ~1.0
+    /// on a single-core host.
+    pub train_speedup: f64,
+}
+
+fn run_edge_leg(dataset: &Dataset, config: &EdgeConfig, label: &str) -> SpeedupLeg {
+    let (train, test) = dataset.paper_split();
+    let ner = dataset_recognizer(dataset);
+    let start = std::time::Instant::now();
+    let (model, report) = EdgeModel::train(train, ner, &dataset.bbox, config.clone());
+    let (preds, coverage) = model.evaluate(test);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
+    let dist = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
+        .expect("EDGE produced no predictions");
+    SpeedupLeg {
+        label: label.to_string(),
+        threads: edge_par::num_threads(),
+        wall_secs,
+        train_secs: report.train_loop_secs(),
+        mean_km: dist.mean_km,
+    }
+}
+
+/// Measures the pooled-dispatch speedup on EDGE training: serial (pool
+/// clamped to 1 thread) vs spawn-per-call dispatch vs the persistent pool,
+/// all at identical seeds. The kernels are bit-for-bit deterministic across
+/// thread counts, so `mean_km` must match exactly across legs.
+pub fn run_edge_speedup(dataset: &Dataset, config: &EdgeConfig) -> EdgeSpeedup {
+    let serial =
+        edge_par::with_max_threads(1, || run_edge_leg(dataset, config, "serial (1 thread)"));
+    let spawn = {
+        let prev = edge_par::dispatch_mode();
+        edge_par::set_dispatch_mode(edge_par::DispatchMode::Spawn);
+        let leg = run_edge_leg(dataset, config, "spawn-per-call");
+        edge_par::set_dispatch_mode(prev);
+        leg
+    };
+    let pooled = run_edge_leg(dataset, config, "persistent pool");
+    let train_speedup = serial.train_secs / pooled.train_secs.max(1e-9);
+    EdgeSpeedup { legs: vec![serial, spawn, pooled], train_speedup }
+}
+
+/// Renders the EDGE speedup comparison as aligned text.
+pub fn render_speedup_table(s: &EdgeSpeedup) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>10} {:>11} {:>9}\n",
+        "Config", "Threads", "Wall(s)", "Train(s)", "Mean(km)"
+    ));
+    for leg in &s.legs {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>10.2} {:>11.2} {:>9.2}\n",
+            leg.label, leg.threads, leg.wall_secs, leg.train_secs, leg.mean_km
+        ));
+    }
+    out.push_str(&format!("train-loop speedup (serial / pooled): {:.2}x\n", s.train_speedup));
+    out
+}
+
 /// Renders the pipeline bench as aligned text.
 pub fn render_pipeline_table(records: &[PipelineBenchRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:<24} {:>10} {:>13} {:>9}\n",
-        "Dataset", "Algorithm", "Wall(s)", "PeakRSS(MB)", "Mean(km)"
+        "{:<12} {:<24} {:>7} {:>10} {:>13} {:>9}\n",
+        "Dataset", "Algorithm", "Threads", "Wall(s)", "PeakRSS(MB)", "Mean(km)"
     ));
     for r in records {
         out.push_str(&format!(
-            "{:<12} {:<24} {:>10.2} {:>13.1} {:>9.2}\n",
-            r.dataset, r.method, r.wall_secs, r.peak_rss_mb, r.mean_km
+            "{:<12} {:<24} {:>7} {:>10.2} {:>13.1} {:>9.2}\n",
+            r.dataset, r.method, r.threads, r.wall_secs, r.peak_rss_mb, r.mean_km
         ));
     }
     out

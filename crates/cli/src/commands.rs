@@ -30,6 +30,8 @@ COMMANDS:
                  --epochs <n>                        (override profile)
                  --components <M>                    (override profile)
                  --seed <u64>                        (default 42)
+                 --threads <n>                       (worker threads; default: all
+                                                      cores, or EDGE_NUM_THREADS)
                  --out <path>                        (required)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
@@ -40,12 +42,14 @@ COMMANDS:
     evaluate   score a model on a corpus's 25% test split
                  --model <path>                      (required)
                  --data <path>                       (required)
+                 --threads <n>                       (worker threads)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
     profile    train under full tracing and print a self-time profile table
                  --preset nyma|lama|ny2020|covid19   (default nyma)
                  --size smoke|default|paper          (default smoke)
                  --seed <u64>                        (default 42)
+                 --threads <n>                       (worker threads)
                  --out <dir>                         (default results; telemetry
                                                       JSONL lands in <dir>/telemetry)
                  --trace <path>                      (also dump raw span trace JSONL)
@@ -77,6 +81,19 @@ fn parse_size(s: &str) -> Result<PresetSize, String> {
         "paper" => Ok(PresetSize::Paper),
         other => Err(format!("unknown size '{other}' (smoke|default|paper)")),
     }
+}
+
+/// The cross-cutting `--threads <n>` flag: pins the `edge-par` pool width
+/// for everything the command runs (overrides `EDGE_NUM_THREADS`).
+fn apply_threads(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t.parse().map_err(|_| format!("bad --threads '{t}'"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        edge_par::set_num_threads(n);
+    }
+    Ok(())
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
@@ -173,6 +190,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     if let Some(s) = flags.get("seed") {
         config.seed = s.parse().map_err(|_| format!("bad --seed '{s}'"))?;
     }
+    apply_threads(&flags)?;
     let obs = obs_from_flags(&flags);
     let telemetry_dir = flags.get("telemetry-out").cloned();
     if telemetry_dir.is_some() {
@@ -247,6 +265,7 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = required(&flags, "model")?;
     let data = required(&flags, "data")?;
+    apply_threads(&flags)?;
     let obs = obs_from_flags(&flags);
     let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
     let dataset = load_dataset(data)?;
@@ -289,6 +308,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let seed: u64 =
         flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?;
     let out_dir = flags.get("out").map_or("results", String::as_str);
+    apply_threads(&flags)?;
 
     edge_obs::set_metrics_enabled(true);
     edge_obs::set_trace_enabled(true);
@@ -381,6 +401,16 @@ mod tests {
         assert_eq!(parse_size("smoke").unwrap(), PresetSize::Smoke);
         assert_eq!(parse_size("paper").unwrap(), PresetSize::Paper);
         assert!(parse_size("tiny").is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_validated() {
+        assert!(apply_threads(&parse_flags(&strs(&["--threads", "abc"])).unwrap()).is_err());
+        assert!(apply_threads(&parse_flags(&strs(&["--threads", "0"])).unwrap()).is_err());
+        // A valid count applies without error (pool width is global state;
+        // the pool spawns lazily, so nothing is created here).
+        apply_threads(&parse_flags(&strs(&["--threads", "2"])).unwrap()).unwrap();
+        assert_eq!(edge_par::num_threads(), 2);
     }
 
     #[test]

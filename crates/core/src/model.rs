@@ -43,10 +43,19 @@ pub struct Prediction {
 pub struct TrainReport {
     /// Mean per-tweet NLL per epoch.
     pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds per epoch (same indexing as `epoch_losses`).
+    pub epoch_wall_secs: Vec<f64>,
     /// Training tweets actually used (those with ≥1 recognized entity).
     pub n_train_used: usize,
     /// Entity-graph statistics.
     pub graph: GraphStats,
+}
+
+impl TrainReport {
+    /// Total wall-clock seconds spent in the optimization loop.
+    pub fn train_loop_secs(&self) -> f64 {
+        self.epoch_wall_secs.iter().sum()
+    }
 }
 
 /// The trained EDGE model.
@@ -181,6 +190,7 @@ impl EdgeModel {
         // it so Eq. 2-3 can actually differentiate entities.
         optimizer.exclude_from_decay(self.q1);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
         let mut order = usable.clone();
 
         let telemetry_on = edge_obs::telemetry::active();
@@ -244,11 +254,12 @@ impl EdgeModel {
                 n_tweets += batch.len();
             }
             let mean_nll = epoch_nll / n_tweets as f64;
+            let wall_secs = epoch_start.elapsed().as_secs_f64();
             epoch_losses.push(mean_nll);
+            epoch_wall_secs.push(wall_secs);
             edge_obs::counter!("core.train.epochs").inc(1);
             edge_obs::gauge!("core.train.nll").set(mean_nll);
             if telemetry_on {
-                let wall_secs = epoch_start.elapsed().as_secs_f64();
                 edge_obs::telemetry::record_epoch(edge_obs::EpochRecord {
                     epoch,
                     nll: mean_nll,
@@ -263,7 +274,7 @@ impl EdgeModel {
                 });
             }
         }
-        TrainReport { epoch_losses, n_train_used: usable.len(), graph }
+        TrainReport { epoch_losses, epoch_wall_secs, n_train_used: usable.len(), graph }
     }
 
     /// Telemetry grouping of a parameter: 0 = GCN stack, 1 = attention
@@ -400,6 +411,15 @@ impl EdgeModel {
         Some(self.predict_entities(&entities))
     }
 
+    /// Predicts a batch of tweet texts, fanning the work across the
+    /// `edge-par` pool (prediction is pure). Output is in input order;
+    /// uncovered tweets yield `None` at their position.
+    pub fn predict_batch(&self, texts: &[&str]) -> Vec<Option<Prediction>> {
+        use rayon::prelude::*;
+        let _span = edge_obs::span("predict_batch");
+        texts.par_iter().map(|t| self.predict(t)).collect()
+    }
+
     /// Predicts from resolved entity indices.
     pub fn predict_entities(&self, entities: &[usize]) -> Prediction {
         assert!(!entities.is_empty(), "prediction needs at least one entity");
@@ -462,6 +482,9 @@ mod tests {
         let first = report.epoch_losses.first().copied().unwrap();
         let last = report.epoch_losses.last().copied().unwrap();
         assert!(last < first - 0.3, "loss should drop substantially: {first} -> {last}");
+        assert_eq!(report.epoch_wall_secs.len(), report.epoch_losses.len());
+        assert!(report.epoch_wall_secs.iter().all(|&s| s > 0.0));
+        assert!(report.train_loop_secs() >= *report.epoch_wall_secs.last().unwrap());
         assert!(report.n_train_used > 1000);
         assert!(report.graph.n_edges > 100);
     }
@@ -515,6 +538,28 @@ mod tests {
     fn unknown_text_is_not_covered() {
         let (model, _, _) = trained();
         assert!(model.predict("zzz qqq completely unknown words").is_none());
+    }
+
+    #[test]
+    fn predict_batch_matches_serial_predict() {
+        let (model, _, d) = trained();
+        let (_, test) = d.paper_split();
+        let texts: Vec<&str> = test.iter().take(64).map(|t| t.text.as_str()).collect();
+        let batched = model.predict_batch(&texts);
+        assert_eq!(batched.len(), texts.len());
+        for (text, got) in texts.iter().zip(&batched) {
+            let serial = model.predict(text);
+            match (serial, got) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.point, b.point);
+                    assert_eq!(a.attention, b.attention);
+                }
+                (a, b) => {
+                    panic!("coverage mismatch for {text:?}: {:?} vs {:?}", a.is_some(), b.is_some())
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! # edge-par: the workspace's persistent worker pool
+//!
+//! Every `par_iter` / `par_chunks_mut` call in the workspace used to fan out
+//! through the vendored rayon shim by **spawning fresh OS threads per call**
+//! — tens of microseconds of overhead on every matmul, spmm, and evaluation
+//! sweep. This crate replaces that with a persistent, lazily-initialized
+//! worker pool:
+//!
+//! * **Parked workers.** Worker threads are spawned once (on first parallel
+//!   call), then park on a condvar between jobs. Dispatching a job is a
+//!   queue push + wake, not a `clone`+`spawn`+`join` cycle.
+//! * **Chunked indexed dispatch.** A job is a closure over an index range
+//!   `0..count`. Threads claim contiguous chunks via an atomic cursor — the
+//!   cheap half of work stealing: dynamic load balancing without per-worker
+//!   deques. Chunks claimed by a thread other than the submitter count as
+//!   steals (`par.pool.steals`).
+//! * **The caller participates.** The submitting thread works the job too,
+//!   which makes nested parallelism deadlock-free by construction: a pooled
+//!   task that itself calls [`parallel_for`] drives its own inner job to
+//!   completion even if every worker is busy.
+//! * **Panic propagation.** A panicking job index poisons the job; remaining
+//!   chunks are claimed-and-discarded and the first payload is re-thrown on
+//!   the submitting thread, matching `std::thread::scope` semantics.
+//! * **`EDGE_NUM_THREADS`.** The environment variable (or
+//!   [`set_num_threads`], e.g. from the CLI `--threads` flag) overrides the
+//!   detected hardware parallelism; [`with_max_threads`] scopes a cap (or a
+//!   raise, for tests) to the current thread.
+//!
+//! Observability: `par.pool.jobs` / `par.pool.steals` counters and the
+//! `par.pool.queue_depth` / `par.pool.threads` gauges via `edge-obs`.
+//!
+//! For A/B benchmarking the old behavior is kept behind
+//! [`DispatchMode::Spawn`] (or `EDGE_PAR_DISPATCH=spawn`): identical
+//! splitting, but executed on freshly spawned scoped threads per call.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on pool size, a backstop against runaway configuration.
+const MAX_WORKERS: usize = 256;
+
+/// Each thread claims indices in chunks of roughly `count / (width * OVERSUB)`
+/// so fast threads can rebalance without hammering the shared cursor.
+const OVERSUB: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Programmatic override set via [`set_num_threads`] (0 = unset).
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread cap/raise installed by [`with_max_threads`] (0 = unset).
+    static TL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("EDGE_NUM_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+    })
+}
+
+fn hardware_threads() -> usize {
+    // `available_parallelism` re-reads the cgroup CPU quota files on every
+    // call (several microseconds) — cache it, it cannot change under us in
+    // any way this pool would want to track.
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+}
+
+/// Sets the default parallelism for subsequent parallel calls (the CLI
+/// `--threads` flag lands here). Takes precedence over `EDGE_NUM_THREADS`.
+/// Workers are spawned lazily, so raising the count later is cheap; threads
+/// already parked stay parked if the count is lowered.
+pub fn set_num_threads(n: usize) {
+    REQUESTED_THREADS.store(n.clamp(1, MAX_WORKERS), Ordering::Relaxed);
+}
+
+/// The parallelism the next [`parallel_for`] on this thread will use:
+/// the [`with_max_threads`] scope, else [`set_num_threads`], else
+/// `EDGE_NUM_THREADS`, else the detected hardware parallelism.
+pub fn num_threads() -> usize {
+    let tl = TL_THREADS.with(Cell::get);
+    if tl > 0 {
+        return tl.min(MAX_WORKERS);
+    }
+    let req = REQUESTED_THREADS.load(Ordering::Relaxed);
+    if req > 0 {
+        return req;
+    }
+    env_threads().unwrap_or_else(hardware_threads).clamp(1, MAX_WORKERS)
+}
+
+/// Runs `f` with parallelism fixed to `n` on this thread (nested parallel
+/// calls made *from pooled tasks* see the global setting instead — the cap
+/// is a property of the calling thread, as in rayon's scoped pools).
+/// Used by the determinism property tests to sweep thread counts in-process.
+pub fn with_max_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = TL_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(n.clamp(1, MAX_WORKERS));
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch mode (pooled vs. legacy spawn-per-call, kept for A/B benches)
+// ---------------------------------------------------------------------------
+
+/// How [`parallel_for`] executes a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Persistent pool (the default): parked workers, chunked stealing.
+    Pool,
+    /// Legacy baseline: spawn scoped OS threads per call. Only useful to
+    /// measure what the pool buys (`bench_pipeline`, `pool_dispatch`).
+    Spawn,
+}
+
+static SPAWN_MODE: AtomicBool = AtomicBool::new(false);
+
+fn spawn_mode_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let from_env = std::env::var("EDGE_PAR_DISPATCH").is_ok_and(|v| v == "spawn");
+        if from_env {
+            SPAWN_MODE.store(true, Ordering::Relaxed);
+        }
+        from_env
+    })
+}
+
+/// Selects the dispatch strategy (also settable via `EDGE_PAR_DISPATCH=spawn`).
+pub fn set_dispatch_mode(mode: DispatchMode) {
+    spawn_mode_default();
+    SPAWN_MODE.store(mode == DispatchMode::Spawn, Ordering::Relaxed);
+}
+
+/// The current dispatch strategy.
+pub fn dispatch_mode() -> DispatchMode {
+    spawn_mode_default();
+    if SPAWN_MODE.load(Ordering::Relaxed) {
+        DispatchMode::Spawn
+    } else {
+        DispatchMode::Pool
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// One parallel region: a task closure over `0..count` plus the shared
+/// cursor/completion state threads coordinate through.
+///
+/// The task reference's lifetime is erased to `'static`. This is sound
+/// because [`Pool::run`] does not return until every index is accounted for
+/// (`done == count`), and no thread dereferences the task after claiming a
+/// chunk at or past `count` — so the borrow outlives every use.
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    count: usize,
+    grain: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Indices accounted for (executed, or discarded after a panic).
+    done: AtomicUsize,
+    panicked: AtomicBool,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl Job {
+    /// No unclaimed indices remain (claimed ≠ finished; see [`Job::complete`]).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.count
+    }
+
+    /// Every index has been executed or discarded.
+    fn complete(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.count
+    }
+
+    /// Claims and runs chunks until the cursor passes the end. Returns the
+    /// number of chunks this thread claimed.
+    fn work(&self) -> u64 {
+        let mut claimed = 0u64;
+        loop {
+            let lo = self.next.fetch_add(self.grain, Ordering::Relaxed);
+            if lo >= self.count {
+                return claimed;
+            }
+            let hi = (lo + self.grain).min(self.count);
+            claimed += 1;
+            // After a panic the remaining chunks are claimed-and-discarded so
+            // the submitter can stop waiting and rethrow.
+            if !self.panicked.load(Ordering::Relaxed) {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for i in lo..hi {
+                        (self.task)(i);
+                    }
+                }));
+                if let Err(payload) = result {
+                    self.panicked.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+            }
+            self.done.fetch_add(hi - lo, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct Pool {
+    /// Injector queue of open jobs. Workers service the front job; exhausted
+    /// jobs are dropped from the queue on the way.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_signal: Condvar,
+    /// Number of worker threads spawned so far (grows on demand).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_signal: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Ensures at least `needed` workers exist (the submitter itself is the
+    /// +1 that completes the requested width).
+    fn ensure_workers(&'static self, needed: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < needed.min(MAX_WORKERS - 1) {
+            let name = format!("edge-par-{}", *spawned);
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || self.worker_loop())
+                .expect("spawning edge-par worker");
+            *spawned += 1;
+        }
+        edge_obs::gauge!("par.pool.threads").set(*spawned as f64 + 1.0);
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    while queue.front().is_some_and(|j| j.exhausted()) {
+                        queue.pop_front();
+                    }
+                    edge_obs::gauge!("par.pool.queue_depth").set(queue.len() as f64);
+                    match queue.front() {
+                        Some(job) => break Arc::clone(job),
+                        None => queue = self.work_signal.wait(queue).unwrap(),
+                    }
+                }
+            };
+            let stolen = job.work();
+            if stolen > 0 {
+                edge_obs::counter!("par.pool.steals").inc(stolen);
+            }
+        }
+    }
+
+    /// Publishes `job`, works it from the submitting thread, waits for the
+    /// last in-flight chunk, and rethrows any panic.
+    fn run(&'static self, job: Arc<Job>) {
+        {
+            let mut queue = self.queue.lock().unwrap();
+            queue.push_back(Arc::clone(&job));
+            edge_obs::gauge!("par.pool.queue_depth").set(queue.len() as f64);
+        }
+        self.work_signal.notify_all();
+        job.work();
+        // Unclaimed work is gone; wait out chunks still running on workers.
+        // These are bounded by one chunk per worker, so a spin/yield wait
+        // beats parking the submitter on yet another condvar.
+        let mut spins = 0u32;
+        while !job.complete() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if job.panicked.load(Ordering::Relaxed) {
+            let payload = job
+                .panic
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| Box::new("edge-par task panicked"));
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatch entry points
+// ---------------------------------------------------------------------------
+
+/// Runs `task(i)` for every `i in 0..count` across the pool (plus the
+/// calling thread), blocking until all indices completed. Panics in `task`
+/// propagate to the caller. Serial (inline) when `count <= 1` or the
+/// configured parallelism is 1.
+pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
+    let width = num_threads().min(count);
+    if width <= 1 {
+        for i in 0..count {
+            task(i);
+        }
+        return;
+    }
+    edge_obs::counter!("par.pool.jobs").inc(1);
+    if dispatch_mode() == DispatchMode::Spawn {
+        return spawn_dispatch(count, width, &task);
+    }
+    let pool = pool();
+    pool.ensure_workers(width - 1);
+    let task_ref: &(dyn Fn(usize) + Sync) = &task;
+    // SAFETY: `Pool::run` blocks until every index is executed or discarded,
+    // and no thread touches `task` afterwards (see `Job` docs), so erasing
+    // the borrow's lifetime cannot outlive the closure.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
+    let job = Arc::new(Job {
+        task: task_static,
+        count,
+        grain: count.div_ceil(width * OVERSUB).max(1),
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    });
+    pool.run(job);
+}
+
+/// The legacy spawn-per-call execution of a parallel region: `width` scoped
+/// OS threads over contiguous ranges. Kept only as the A/B baseline for the
+/// `pool_dispatch` and `bench_pipeline` benches.
+fn spawn_dispatch<F: Fn(usize) + Sync>(count: usize, width: usize, task: &F) {
+    let per = count.div_ceil(width);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|t| {
+                let lo = (t * per).min(count);
+                let hi = ((t + 1) * per).min(count);
+                scope.spawn(move || {
+                    for i in lo..hi {
+                        task(i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_max_threads(8, || {
+            parallel_for(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn serial_when_width_one() {
+        let sum = AtomicU64::new(0);
+        with_max_threads(1, || {
+            parallel_for(100, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn work_crosses_threads_when_requested() {
+        let ids = Mutex::new(HashSet::new());
+        with_max_threads(4, || {
+            parallel_for(8, |_| {
+                // Hold each chunk long enough for parked workers to wake and
+                // claim the rest (the submitter alone would need ~80ms).
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.lock().unwrap().len() >= 2, "expected at least 2 threads");
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            with_max_threads(4, || {
+                parallel_for(1000, |i| {
+                    if i == 517 {
+                        panic!("boom at {i}");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("payload");
+        assert!(msg.contains("boom at 517"));
+    }
+
+    #[test]
+    fn nested_parallel_for_does_not_deadlock() {
+        let total = AtomicU64::new(0);
+        with_max_threads(4, || {
+            parallel_for(16, |_| {
+                // Inner regions run from pool workers and the submitter alike.
+                parallel_for(64, |j| {
+                    total.fetch_add(j as u64, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn spawn_mode_matches_pool_mode() {
+        let run = |mode: DispatchMode| {
+            set_dispatch_mode(mode);
+            let sum = AtomicU64::new(0);
+            with_max_threads(4, || {
+                parallel_for(5000, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            });
+            set_dispatch_mode(DispatchMode::Pool);
+            sum.into_inner()
+        };
+        assert_eq!(run(DispatchMode::Spawn), run(DispatchMode::Pool));
+    }
+
+    #[test]
+    fn with_max_threads_restores_on_exit_and_panic() {
+        assert_eq!(with_max_threads(3, num_threads), 3);
+        let before = num_threads();
+        let _ = std::panic::catch_unwind(|| {
+            with_max_threads(2, || panic!("inner"));
+        });
+        assert_eq!(num_threads(), before, "cap must unwind with the scope");
+    }
+
+    #[test]
+    fn zero_count_is_a_noop() {
+        parallel_for(0, |_| panic!("must not run"));
+    }
+}

@@ -5,7 +5,8 @@
 //! GPU; the Rust ML ecosystem has no equivalent for sparse GCN training, so
 //! this crate implements the required subset from scratch:
 //!
-//! * [`Matrix`] — dense row-major f32 matrices with a rayon-parallel matmul,
+//! * [`Matrix`] — dense row-major f32 matrices with a register-blocked,
+//!   pool-parallel matmul (dispatching onto `edge-par` via the rayon shim),
 //! * [`CsrMatrix`] — sparse CSR matrices for the constant GCN propagation
 //!   operator,
 //! * [`Tape`] — an eagerly evaluated autodiff graph covering dense/sparse
@@ -28,7 +29,7 @@ pub mod optim;
 pub mod sparse;
 pub mod tape;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PAR_THRESHOLD};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use sparse::CsrMatrix;
 pub use tape::{NodeId, ParamId, ParamStore, Tape};

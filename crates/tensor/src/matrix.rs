@@ -1,4 +1,5 @@
-//! Dense row-major f32 matrices with a rayon-parallel blocked matmul.
+//! Dense row-major f32 matrices with a pool-parallel, register-blocked
+//! matmul.
 //!
 //! This is the storage type of the autodiff engine. It deliberately stays
 //! two-dimensional: every tensor in the EDGE model (embedding tables, GCN
@@ -8,6 +9,18 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Work size (`rows × inner × cols`) above which [`Matrix::matmul`] fans out
+/// across the worker pool (and opens a trace span). Below it, the dispatch
+/// overhead outweighs the kernel time.
+pub const PAR_THRESHOLD: usize = 32 * 1024;
+
+/// Output rows per [`Matrix::matmul`] register block: each streamed row of
+/// the right-hand operand is reused this many times before eviction.
+const MATMUL_ROW_BLOCK: usize = 4;
+
+/// Square tile side for the cache-blocked [`Matrix::transpose`].
+const TRANSPOSE_BLOCK: usize = 32;
 
 /// A dense `rows × cols` matrix of `f32`, row-major.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,7 +144,7 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self × other` (rayon-parallel over row blocks, with
+    /// Matrix product `self × other` (pool-parallel over row blocks, with
     /// a k-inner loop ordered for cache-friendly access to `other`).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
@@ -147,37 +160,57 @@ impl Matrix {
         // Only span products big enough to matter; sub-threshold products
         // would flood the trace and their time shows up in the caller's
         // self time anyway.
-        let _span = (n * k * m >= 32 * 1024).then(|| edge_obs::span("matmul"));
+        let _span = (n * k * m >= PAR_THRESHOLD).then(|| edge_obs::span("matmul"));
         let mut out = Matrix::zeros(n, m);
-        // ikj loop order: the inner j-loop walks `other` and `out` rows
-        // contiguously, which vectorizes well.
-        let work = |(row_idx, out_row): (usize, &mut [f32])| {
-            let a_row = &self.data[row_idx * k..(row_idx + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
+        if out.data.is_empty() || k == 0 {
+            return out;
+        }
+        // Register-blocked ikj kernel: MATMUL_ROW_BLOCK rows of `out`
+        // accumulate together, so each row of `other` streamed through the
+        // vectorized inner j-loop is reused once per block row while hot in
+        // cache. Every output row still accumulates in ascending-k order, so
+        // results are bit-for-bit identical across block boundaries and
+        // thread counts.
+        let work = |(block_idx, out_block): (usize, &mut [f32])| {
+            let row0 = block_idx * MATMUL_ROW_BLOCK;
+            let rows_here = out_block.len() / m;
+            for kk in 0..k {
                 let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                for r in 0..rows_here {
+                    let a = self.data[(row0 + r) * k + kk];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out_block[r * m..(r + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         };
-        if n * k * m >= 32 * 1024 {
+        if n * k * m >= PAR_THRESHOLD {
             use rayon::prelude::*;
-            out.data.par_chunks_mut(m).enumerate().for_each(work);
+            out.data.par_chunks_mut(MATMUL_ROW_BLOCK * m).enumerate().for_each(work);
         } else {
-            out.data.chunks_mut(m).enumerate().for_each(work);
+            out.data.chunks_mut(MATMUL_ROW_BLOCK * m).enumerate().for_each(work);
         }
         out
     }
 
-    /// Transpose.
+    /// Transpose (cache-blocked: source and destination are walked in
+    /// `TRANSPOSE_BLOCK`-square tiles, so neither side strides a cold cache
+    /// line per element on large matrices).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
+            let r_end = (rb + TRANSPOSE_BLOCK).min(self.rows);
+            for cb in (0..self.cols).step_by(TRANSPOSE_BLOCK) {
+                let c_end = (cb + TRANSPOSE_BLOCK).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out

@@ -3,7 +3,12 @@
 //! The GCN propagation matrix `D̃^{-1/2} Ã D̃^{-1/2}` is a constant sparse
 //! operator applied to dense state matrices every layer (Eq. 1). This module
 //! provides the CSR storage and the two products the autodiff engine needs:
-//! `S · X` for the forward pass and `Sᵀ · G` for the backward pass.
+//! `S · X` for the forward pass and `Sᵀ · G` for the backward pass. Both are
+//! row-parallel over the output; the backward product runs on a transposed
+//! CSR that is built once and cached, so every GCN backward pass after the
+//! first reuses it.
+
+use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -11,13 +16,70 @@ use serde::{Deserialize, Serialize};
 use crate::matrix::Matrix;
 
 /// A compressed-sparse-row matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Column indices within each row are sorted ascending (an invariant of
+/// [`CsrMatrix::from_triplets`] that [`CsrMatrix::get`] binary-searches on).
+/// The matrix also lazily caches its transpose — see
+/// [`CsrMatrix::transposed`] — which the serialized form and equality
+/// deliberately ignore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "CsrParts", into = "CsrParts")]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f32>,
+    /// Lazily built transposed copy serving `transpose_matmul_dense`.
+    /// Cloning shares the cache; structural mutation never happens after
+    /// construction, so the cache cannot go stale.
+    transposed: OnceLock<Arc<CsrMatrix>>,
+}
+
+/// The serialized (and equality-relevant) fields of a [`CsrMatrix`] — the
+/// transpose cache is rebuilt on demand rather than persisted.
+#[derive(Serialize, Deserialize)]
+struct CsrParts {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl From<CsrMatrix> for CsrParts {
+    fn from(m: CsrMatrix) -> Self {
+        Self {
+            rows: m.rows,
+            cols: m.cols,
+            row_ptr: m.row_ptr,
+            col_idx: m.col_idx,
+            values: m.values,
+        }
+    }
+}
+
+impl From<CsrParts> for CsrMatrix {
+    fn from(p: CsrParts) -> Self {
+        Self {
+            rows: p.rows,
+            cols: p.cols,
+            row_ptr: p.row_ptr,
+            col_idx: p.col_idx,
+            values: p.values,
+            transposed: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -50,9 +112,13 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let col_idx: Vec<usize> = merged.iter().map(|&(_, c, _)| c).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        Self { rows, cols, row_ptr, col_idx, values }
+        debug_assert!(
+            (0..rows).all(|r| col_idx[row_ptr[r]..row_ptr[r + 1]].windows(2).all(|w| w[0] < w[1])),
+            "column indices within a row must be strictly ascending"
+        );
+        Self { rows, cols, row_ptr, col_idx, values, transposed: OnceLock::new() }
     }
 
     /// Number of rows.
@@ -77,12 +143,60 @@ impl CsrMatrix {
         self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
     }
 
-    /// Reads entry `(r, c)` (zero when not stored).
+    /// Reads entry `(r, c)` (zero when not stored). Binary search over the
+    /// row's sorted column indices.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.row_entries(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v)
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
     }
 
-    /// Dense product `self × dense` (rayon-parallel over output rows).
+    /// The transposed matrix as a fresh CSR (counting sort over the stored
+    /// entries, O(nnz + rows + cols)).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        // Walking source rows in order makes each transposed row's column
+        // indices (= original row indices) ascending, preserving the sorted
+        // invariant — and fixes the backward accumulation order to match the
+        // historical serial scatter loop bit-for-bit.
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                let slot = cursor[c];
+                col_idx[slot] = r;
+                values[slot] = v;
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+            transposed: OnceLock::new(),
+        }
+    }
+
+    /// The cached transpose, built on first use. The GCN adjacency operator
+    /// is constant across training, so the one-time O(nnz) build amortizes
+    /// over every backward pass of every epoch.
+    pub fn transposed(&self) -> &CsrMatrix {
+        self.transposed.get_or_init(|| Arc::new(self.transpose()))
+    }
+
+    /// Dense product `self × dense` (pool-parallel over output rows).
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -97,6 +211,9 @@ impl CsrMatrix {
         edge_obs::counter!("tensor.spmm.flops").inc(2 * (self.nnz() * m) as u64);
         let _span = edge_obs::span("matmul.sparse");
         let mut out = Matrix::zeros(self.rows, m);
+        if m == 0 {
+            return out;
+        }
         out.data_mut().par_chunks_mut(m).enumerate().for_each(|(r, out_row)| {
             for (c, v) in self.row_entries(r) {
                 let src = dense.row(c);
@@ -109,8 +226,10 @@ impl CsrMatrix {
     }
 
     /// Transposed product `selfᵀ × dense` — the backward-pass companion of
-    /// [`CsrMatrix::matmul_dense`]. Implemented as scatter-adds over the
-    /// stored entries (serial: output rows are written non-contiguously).
+    /// [`CsrMatrix::matmul_dense`]. Runs the row-parallel gather product on
+    /// the cached transposed CSR; each output row accumulates its sources in
+    /// ascending original-row order, so results are bit-for-bit identical to
+    /// the historical serial scatter-add at any thread count.
     pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.rows,
@@ -120,18 +239,7 @@ impl CsrMatrix {
             self.cols,
             dense.shape()
         );
-        let m = dense.cols();
-        let mut out = Matrix::zeros(self.cols, m);
-        for r in 0..self.rows {
-            let src = dense.row(r);
-            for (c, v) in self.row_entries(r) {
-                let dst = out.row_mut(c);
-                for (o, &x) in dst.iter_mut().zip(src) {
-                    *o += v * x;
-                }
-            }
-        }
-        out
+        self.transposed().matmul_dense(dense)
     }
 
     /// Converts to a dense matrix (test/debug helper; O(rows × cols)).
@@ -245,6 +353,36 @@ mod tests {
         for (a, b) in fast.data().iter().zip(slow.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn transpose_is_an_involution_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let triplets: Vec<(usize, usize, f32)> = (0..300)
+            .map(|_| (rng.gen_range(0..25), rng.gen_range(0..10), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let s = CsrMatrix::from_triplets(25, 10, &triplets);
+        let t = s.transpose();
+        assert_eq!(t.rows(), s.cols());
+        assert_eq!(t.cols(), s.rows());
+        assert_eq!(t.transpose(), s);
+        for r in 0..t.rows() {
+            let cols: Vec<usize> = t.row_entries(r).map(|(c, _)| c).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted: {cols:?}");
+        }
+    }
+
+    #[test]
+    fn transposed_cache_is_shared_by_clones_and_skipped_by_serde() {
+        let s = sample();
+        let t1 = s.transposed() as *const CsrMatrix;
+        let clone = s.clone();
+        assert_eq!(clone.transposed() as *const CsrMatrix, t1, "clone shares the cache");
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("transposed"), "cache must not serialize: {json}");
+        let back: CsrMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.transposed().to_dense().data(), s.transpose().to_dense().data());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Parallel-correctness properties: the pooled kernels must produce results
+//! **bit-for-bit identical** to the serial path at every thread count. The
+//! kernels guarantee this by parallelizing only across output rows (each row
+//! accumulates in a fixed order), so the sweep below — `EDGE_NUM_THREADS` ∈
+//! {1, 2, 8}, installed per-thread via `edge_par::with_max_threads` since the
+//! environment variable is read once per process — is a real invariant, not
+//! a tolerance check.
+
+use edge_tensor::{CsrMatrix, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The thread counts the determinism contract is checked under.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn random_dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, 1.0, &mut rng)
+}
+
+fn random_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triplets: Vec<(usize, usize, f32)> = (0..nnz)
+        .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen_range(-1.0..1.0)))
+        .collect();
+    CsrMatrix::from_triplets(rows, cols, &triplets)
+}
+
+/// Runs `f` under every swept thread count and asserts all results equal the
+/// single-threaded one, bit for bit.
+fn assert_thread_invariant(label: &str, f: impl Fn() -> Matrix) {
+    let serial = edge_par::with_max_threads(1, &f);
+    for threads in THREAD_SWEEP {
+        let parallel = edge_par::with_max_threads(threads, &f);
+        assert_eq!(serial.shape(), parallel.shape(), "{label} shape @ {threads} threads");
+        for (i, (a, b)) in serial.data().iter().zip(parallel.data()).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{label} diverges at entry {i} with {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_is_bitwise_deterministic_across_thread_counts() {
+    // 96×64×48 is far above PAR_THRESHOLD, so the parallel path engages.
+    const _: () = assert!(96 * 64 * 48 >= edge_tensor::PAR_THRESHOLD);
+    let a = random_dense(96, 64, 1);
+    let b = random_dense(64, 48, 2);
+    assert_thread_invariant("matmul", || a.matmul(&b));
+}
+
+#[test]
+fn spmm_is_bitwise_deterministic_across_thread_counts() {
+    let s = random_csr(120, 80, 1200, 3);
+    let x = random_dense(80, 40, 4);
+    assert_thread_invariant("spmm", || s.matmul_dense(&x));
+}
+
+#[test]
+fn transpose_matmul_is_bitwise_deterministic_across_thread_counts() {
+    let s = random_csr(90, 70, 900, 5);
+    let g = random_dense(90, 30, 6);
+    assert_thread_invariant("spmm^T", || s.transpose_matmul_dense(&g));
+}
+
+#[test]
+fn transpose_matmul_matches_historical_serial_scatter_bitwise() {
+    // The pre-pool implementation: serial scatter-adds over stored entries,
+    // walking source rows in ascending order. The cached-transpose gather
+    // kernel must reproduce it exactly.
+    let s = random_csr(64, 50, 700, 7);
+    let g = random_dense(64, 24, 8);
+    let mut scatter = Matrix::zeros(s.cols(), g.cols());
+    for r in 0..s.rows() {
+        let src: Vec<f32> = g.row(r).to_vec();
+        for (c, v) in s.row_entries(r) {
+            for (o, &x) in scatter.row_mut(c).iter_mut().zip(&src) {
+                *o += v * x;
+            }
+        }
+    }
+    for threads in THREAD_SWEEP {
+        let fast = edge_par::with_max_threads(threads, || s.transpose_matmul_dense(&g));
+        for (a, b) in scatter.data().iter().zip(fast.data()) {
+            assert!(a.to_bits() == b.to_bits(), "{a} vs {b} @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn nested_parallel_kernels_do_not_deadlock_and_stay_deterministic() {
+    // A pooled task that itself runs pooled kernels: the pool must service
+    // the inner regions (the submitting worker participates), and the
+    // results must still match the serial path bit-for-bit.
+    let a = random_dense(96, 64, 9);
+    let b = random_dense(64, 48, 10);
+    let expected = edge_par::with_max_threads(1, || a.matmul(&b));
+    let results: Vec<std::sync::Mutex<Option<Matrix>>> =
+        (0..4).map(|_| std::sync::Mutex::new(None)).collect();
+    edge_par::with_max_threads(8, || {
+        edge_par::parallel_for(4, |i| {
+            *results[i].lock().unwrap() = Some(a.matmul(&b));
+        });
+    });
+    for slot in results {
+        let got = slot.into_inner().unwrap().expect("inner kernel ran");
+        for (x, y) in expected.data().iter().zip(got.data()) {
+            assert!(x.to_bits() == y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn dense_transpose_blocked_path_matches_naive() {
+    for (rows, cols) in [(1, 1), (7, 3), (33, 65), (128, 37)] {
+        let m = random_dense(rows, cols, 1000 + (rows * cols) as u64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (cols, rows));
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(t.get(c, r).to_bits(), m.get(r, c).to_bits());
+            }
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //! benchmark is calibrated to a per-sample iteration count, timed for
 //! `sample_size` samples, and a single plain-text line with min / mean /
 //! median nanoseconds per iteration is printed to stdout.
+//!
+//! Like upstream, passing `--test` (`cargo bench ... -- --test`) skips
+//! calibration and measurement and runs each benchmark routine exactly once
+//! — a smoke check that the benches still execute, cheap enough for CI.
 
 use std::time::{Duration, Instant};
 
@@ -19,6 +23,7 @@ pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -27,6 +32,7 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -182,6 +188,19 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, f: &mut F) {
+    if config.test_mode {
+        // `-- --test`: execute the routine once to prove it runs; no timing.
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            sample_size: 1,
+            measurement: Duration::ZERO,
+            samples_ns: Vec::new(),
+            calibrating: false,
+        };
+        f(&mut bencher);
+        println!("test bench {label}: ok");
+        return;
+    }
     // Warm-up + calibration pass.
     let warm_until = Instant::now() + config.warm_up;
     let mut bencher = Bencher {
@@ -275,6 +294,18 @@ mod tests {
             .measurement_time(Duration::from_millis(20));
         // Should complete quickly and not panic.
         c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn test_mode_runs_routine_exactly_once() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut calls = 0u32;
+        c.bench_function("smoke/once", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
     }
 
     #[test]

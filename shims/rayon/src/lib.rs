@@ -4,17 +4,21 @@
 //! Implements the data-parallel subset this workspace uses: `par_iter` over
 //! slices and `HashMap`s, `into_par_iter` over `Vec`s and ranges,
 //! `par_chunks_mut`, and the `map` / `filter_map` / `enumerate` / `for_each`
-//! / `collect` adapters. Work is executed on real OS threads via
-//! `std::thread::scope`, split into one contiguous bucket per thread, with
-//! result order preserved — semantically equivalent to rayon's indexed
-//! parallel iterators for the operations provided.
+//! / `collect` adapters. Items are split into contiguous buckets dispatched
+//! onto the persistent `edge-par` worker pool, with result order preserved —
+//! semantically equivalent to rayon's indexed parallel iterators for the
+//! operations provided.
 //!
-//! Trade-off vs. real rayon: threads are spawned per call instead of pooled,
-//! so per-call overhead is tens of microseconds. Callers here already gate
-//! parallel paths behind work-size thresholds, which amortizes that cost.
+//! Like real rayon (and unlike this shim's original spawn-per-call
+//! implementation), worker threads are parked between calls, so per-call
+//! dispatch overhead is a queue push + wake rather than thread spawns.
+//! `EDGE_NUM_THREADS` / `edge_par::set_num_threads` control the fan-out;
+//! `edge_par::DispatchMode::Spawn` restores the spawn-per-call behavior for
+//! A/B benchmarks.
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Mutex;
 
 pub mod prelude {
     pub use crate::{
@@ -23,9 +27,10 @@ pub mod prelude {
     };
 }
 
-/// Number of worker threads a parallel call fans out to.
+/// Number of worker threads a parallel call fans out to (the `edge-par`
+/// pool's configured parallelism, `EDGE_NUM_THREADS`-overridable).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get())
+    edge_par::num_threads()
 }
 
 /// Splits `items` into at most `n` contiguous buckets, preserving order.
@@ -41,29 +46,38 @@ fn split_buckets<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
     buckets
 }
 
-/// Runs `f` over every item on scoped worker threads, preserving input order
+/// Runs `f` over every item on the `edge-par` pool, preserving input order
 /// in the returned vector. `None` results are dropped (filtering).
+///
+/// Items are pre-split into a few contiguous buckets per configured thread
+/// (chunked indexed dispatch); each pool task consumes one bucket. The
+/// per-bucket mutexes are uncontended — every slot is touched by exactly one
+/// task — and exist only to move owned data across the dispatch boundary
+/// without unsafe code.
 fn drive_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> Option<R> + Sync,
 {
-    if items.len() <= 1 || current_num_threads() == 1 {
+    let threads = current_num_threads();
+    if items.len() <= 1 || threads == 1 {
         return items.into_iter().filter_map(f).collect();
     }
-    let buckets = split_buckets(items, current_num_threads());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| scope.spawn(move || bucket.into_iter().filter_map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::new();
-        for h in handles {
-            out.extend(h.join().expect("rayon shim worker panicked"));
-        }
-        out
-    })
+    // Oversubscribe buckets so the pool can rebalance uneven work.
+    let buckets = split_buckets(items, threads * 4);
+    let inputs: Vec<Mutex<Option<Vec<T>>>> =
+        buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let outputs: Vec<Mutex<Vec<R>>> = (0..inputs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    edge_par::parallel_for(inputs.len(), |i| {
+        let bucket = inputs[i].lock().unwrap().take().expect("bucket consumed twice");
+        *outputs[i].lock().unwrap() = bucket.into_iter().filter_map(f).collect();
+    });
+    let mut out = Vec::new();
+    for slot in outputs {
+        out.extend(slot.into_inner().expect("edge-par task panicked"));
+    }
+    out
 }
 
 /// A parallel iterator: a source of `Send` items plus composed per-item
