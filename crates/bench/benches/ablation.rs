@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use edge_bench::{run_method, HarnessConfig};
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{dataset_recognizer, nyma, PresetSize};
 
 fn bench_variants(c: &mut Criterion) {
@@ -34,7 +34,10 @@ fn bench_mixture_size(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
                 let ner = dataset_recognizer(&d);
-                black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+                black_box(
+                    EdgeModel::train(train, ner, &d.bbox, config.clone(), &TrainOptions::default())
+                        .expect("train"),
+                )
             });
         });
     }
@@ -53,7 +56,10 @@ fn bench_gcn_layers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
             b.iter(|| {
                 let ner = dataset_recognizer(&d);
-                black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+                black_box(
+                    EdgeModel::train(train, ner, &d.bbox, config.clone(), &TrainOptions::default())
+                        .expect("train"),
+                )
             });
         });
     }

@@ -1,0 +1,43 @@
+//! Overhead of the fault-injection layer on production paths. With no
+//! failpoint armed (the production configuration) a `failpoint!` is one
+//! relaxed atomic load and a branch — it must sit within noise of the
+//! baseline. With the registry armed-but-`off` the named lookup runs, which
+//! is the price only fault-injection runs pay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn check_site() -> std::io::Result<u64> {
+    edge_faults::failpoint!("bench.overhead.site");
+    Ok(black_box(1u64))
+}
+
+fn bench_failpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults_failpoint");
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(Ok::<u64, std::io::Error>(black_box(1u64))));
+    });
+    edge_faults::clear();
+    group.bench_function("inactive", |b| {
+        b.iter(|| black_box(check_site()));
+    });
+    // Armed registry, but this site set to `off`: the hash lookup runs.
+    edge_faults::configure("bench.overhead.site", "off").unwrap();
+    group.bench_function("armed_off", |b| {
+        b.iter(|| black_box(check_site()));
+    });
+    edge_faults::clear();
+    group.finish();
+}
+
+fn bench_fired_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults_fired");
+    edge_faults::clear();
+    group.bench_function("inactive", |b| {
+        b.iter(|| black_box(edge_faults::fired(black_box("bench.overhead.fired"))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_failpoint_overhead, bench_fired_overhead);
+criterion_main!(benches);

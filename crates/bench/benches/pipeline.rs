@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use edge_core::{run_entity2vec, EdgeConfig, EdgeModel};
+use edge_core::{run_entity2vec, EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{dataset_recognizer, nyma, PresetSize};
 use edge_graph::{build_cooccurrence_graph, normalized_adjacency_triplets};
 
@@ -62,12 +62,17 @@ fn bench_train_and_predict(c: &mut Criterion) {
     c.bench_function("edge_train_1_epoch_smoke", |b| {
         b.iter(|| {
             let ner = dataset_recognizer(&d);
-            black_box(EdgeModel::train(train, ner, &d.bbox, config.clone()))
+            black_box(
+                EdgeModel::train(train, ner, &d.bbox, config.clone(), &TrainOptions::default())
+                    .expect("train"),
+            )
         });
     });
 
     let ner = dataset_recognizer(&d);
-    let (model, _) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke());
+    let (model, _) =
+        EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
     let texts: Vec<&str> = test.iter().take(200).map(|t| t.text.as_str()).collect();
     c.bench_function("edge_predict_200_tweets", |b| {
         b.iter(|| {

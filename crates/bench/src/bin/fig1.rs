@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{covid19, dataset_recognizer, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -29,7 +29,14 @@ fn main() {
         _ => EdgeConfig::fast(),
     };
     let (train, _) = dataset.paper_split();
-    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+    let (model, _) = EdgeModel::train(
+        train,
+        dataset_recognizer(&dataset),
+        &dataset.bbox,
+        config,
+        &TrainOptions::default(),
+    )
+    .expect("train");
 
     let windows = [
         ("03/12/2020-03/22/2020", SimDate::new(2020, 3, 12), SimDate::new(2020, 3, 22)),

@@ -10,7 +10,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{covid19, dataset_recognizer, PresetSize};
 use edge_geo::{ConfidenceEllipse, Point};
 
@@ -38,7 +38,14 @@ fn main() {
         _ => EdgeConfig::fast(),
     };
     let (train, test) = dataset.paper_split();
-    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+    let (model, _) = EdgeModel::train(
+        train,
+        dataset_recognizer(&dataset),
+        &dataset.bbox,
+        config,
+        &TrainOptions::default(),
+    )
+    .expect("train");
 
     // The paper's single-tweet demo: a quarantine mention the model covers.
     // Prefer one with several resolved entities — the attention trail is the

@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{dataset_recognizer, lama, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -30,7 +30,14 @@ fn main() {
         _ => EdgeConfig::fast(),
     };
     let (train, _) = dataset.paper_split();
-    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+    let (model, _) = EdgeModel::train(
+        train,
+        dataset_recognizer(&dataset),
+        &dataset.bbox,
+        config,
+        &TrainOptions::default(),
+    )
+    .expect("train");
 
     let marathon = Point::new(33.9890, -118.3310);
     let grid = Grid::new(dataset.bbox, 60, 60);

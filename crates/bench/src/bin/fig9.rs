@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{dataset_recognizer, ny2020, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -29,7 +29,14 @@ fn main() {
         _ => EdgeConfig::fast(),
     };
     let (train, _) = dataset.paper_split();
-    let (model, _) = EdgeModel::train(train, dataset_recognizer(&dataset), &dataset.bbox, config);
+    let (model, _) = EdgeModel::train(
+        train,
+        dataset_recognizer(&dataset),
+        &dataset.bbox,
+        config,
+        &TrainOptions::default(),
+    )
+    .expect("train");
 
     let venue_center = Point::new(40.7205, -73.9879);
     let grid = Grid::new(dataset.bbox, 60, 60);

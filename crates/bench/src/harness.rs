@@ -2,13 +2,15 @@
 //! split, evaluates the paper's metrics, and averages over seeds (the paper
 //! repeats every experiment 3 times and reports means).
 
+use std::path::Path;
+
 use serde::{Deserialize, Serialize};
 
 use edge_baselines::{
     Geolocator, GridCounts, HyperLocal, HyperLocalParams, KullbackLeibler, LocKde, LocKdeParams,
     NaiveBayes, UnicodeCnn, UnicodeCnnConfig,
 };
-use edge_core::{BowModel, EdgeConfig, EdgeModel};
+use edge_core::{BowModel, EdgeConfig, EdgeModel, TrainOptions};
 use edge_data::{dataset_recognizer, Dataset};
 use edge_geo::{rdp, DistanceReport, GaussianMixture, Grid, Point};
 
@@ -116,7 +118,9 @@ pub fn run_edge(
 ) -> (DistanceReport, Vec<(GaussianMixture, Point)>) {
     let (train, test) = dataset.paper_split();
     let ner = dataset_recognizer(dataset);
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, config.clone());
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, config.clone(), &TrainOptions::default())
+            .expect("train");
     let (preds, coverage) = model.evaluate(test);
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
     let report = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
@@ -340,7 +344,9 @@ fn run_edge_leg(dataset: &Dataset, config: &EdgeConfig, label: &str) -> SpeedupL
     let (train, test) = dataset.paper_split();
     let ner = dataset_recognizer(dataset);
     let start = std::time::Instant::now();
-    let (model, report) = EdgeModel::train(train, ner, &dataset.bbox, config.clone());
+    let (model, report) =
+        EdgeModel::train(train, ner, &dataset.bbox, config.clone(), &TrainOptions::default())
+            .expect("train");
     let (preds, coverage) = model.evaluate(test);
     let wall_secs = start.elapsed().as_secs_f64();
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
@@ -430,10 +436,17 @@ pub fn render_table(results: &[MethodResult]) -> String {
 }
 
 /// Writes results JSON next to a text rendering under `results/`.
+///
+/// The directory is created if absent and both files go through the
+/// crash-safe temp-file + fsync + rename path, so an interrupted run can
+/// tear neither a previous result nor the one being written.
 pub fn write_results(name: &str, json: &impl Serialize, text: &str) -> std::io::Result<()> {
-    std::fs::create_dir_all("results")?;
-    std::fs::write(format!("results/{name}.json"), serde_json::to_string_pretty(json)?)?;
-    std::fs::write(format!("results/{name}.txt"), text)?;
+    let dir = Path::new("results");
+    edge_faults::fsio::atomic_write(
+        dir.join(format!("{name}.json")),
+        serde_json::to_string_pretty(json)?.as_bytes(),
+    )?;
+    edge_faults::fsio::atomic_write(dir.join(format!("{name}.txt")), text.as_bytes())?;
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::{inspect_artifact, EdgeConfig, EdgeModel, TrainError, TrainOptions};
 use edge_data::{dataset_recognizer, Dataset, PresetSize};
 use edge_geo::{DistanceReport, Point};
 
@@ -33,18 +33,29 @@ COMMANDS:
                  --threads <n>                       (worker threads; default: all
                                                       cores, or EDGE_NUM_THREADS)
                  --out <path>                        (required)
+                 --checkpoint-dir <dir>              (write crash-safe checkpoints)
+                 --checkpoint-every <n>              (epochs between checkpoints;
+                                                      default 1)
+                 --resume                            (continue from the newest
+                                                      checkpoint in --checkpoint-dir)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
                  --telemetry-out <dir>               (write per-epoch telemetry JSONL)
     predict    predict one tweet's location mixture
                  --model <path>                      (required)
                  --text <tweet text>                 (required)
+                 --fallback-prior                    (answer zero-entity tweets with
+                                                      the training-split prior)
     evaluate   score a model on a corpus's 25% test split
                  --model <path>                      (required)
                  --data <path>                       (required)
+                 --fallback-prior                    (score zero-entity tweets with
+                                                      the training-split prior)
                  --threads <n>                       (worker threads)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
+    fsck       verify an artifact (model or checkpoint) without loading it
+                 <path>                              (positional, required)
     profile    train under full tracing and print a self-time profile table
                  --preset nyma|lama|ny2020|covid19   (default nyma)
                  --size smoke|default|paper          (default smoke)
@@ -55,7 +66,10 @@ COMMANDS:
                  --trace <path>                      (also dump raw span trace JSONL)
 ";
 
-/// Parses `--key value` pairs.
+/// Flags that take no value; present maps to `"true"`.
+const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior"];
+
+/// Parses `--key value` pairs plus the valueless [`BOOL_FLAGS`].
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -63,6 +77,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
@@ -94,6 +113,23 @@ fn apply_threads(flags: &HashMap<String, String>) -> Result<(), String> {
         edge_par::set_num_threads(n);
     }
     Ok(())
+}
+
+/// Turns a [`TrainError`] into an actionable user-facing message.
+fn describe_train_error(e: TrainError) -> String {
+    match &e {
+        TrainError::EmptyCorpus => format!("{e}; generate a corpus first (edge-cli generate)"),
+        TrainError::NoEntities(_) => {
+            format!("{e}; the corpus and recognizer share no vocabulary")
+        }
+        TrainError::Diverged { .. } => {
+            format!("{e}; lower the learning rate or enable --checkpoint-dir for rollback")
+        }
+        TrainError::Interrupted(_) => {
+            format!("{e}; rerun with --resume to continue from the last checkpoint")
+        }
+        TrainError::InvalidConfig(_) | TrainError::Checkpoint(_) => e.to_string(),
+    }
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
@@ -200,6 +236,20 @@ pub fn train(args: &[String]) -> Result<(), String> {
         edge_obs::telemetry::start_run(&stem);
     }
 
+    let mut opts = TrainOptions::default();
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        opts.checkpoint_dir = Some(dir.into());
+    }
+    if let Some(n) = flags.get("checkpoint-every") {
+        opts.checkpoint_every = n.parse().map_err(|_| format!("bad --checkpoint-every '{n}'"))?;
+    }
+    if flags.contains_key("resume") {
+        if opts.checkpoint_dir.is_none() {
+            return Err("--resume needs --checkpoint-dir".to_string());
+        }
+        opts.resume = true;
+    }
+
     let dataset = load_dataset(data)?;
     let (train_split, _) = dataset.paper_split();
     edge_obs::progress!(
@@ -211,13 +261,22 @@ pub fn train(args: &[String]) -> Result<(), String> {
     );
     let started = std::time::Instant::now();
     let (model, report) =
-        EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config);
+        EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config, &opts)
+            .map_err(describe_train_error)?;
+    if report.start_epoch > 0 {
+        edge_obs::progress!("resumed from checkpoint at epoch {}", report.start_epoch);
+    }
     edge_obs::progress!(
-        "done in {:.1?}: {} entities, NLL {:.3} -> {:.3}",
+        "done in {:.1?}: {} entities, NLL {:.3} -> {:.3}{}",
         started.elapsed(),
         model.entity_index().len(),
         report.epoch_losses.first().unwrap(),
-        report.epoch_losses.last().unwrap()
+        report.epoch_losses.last().unwrap(),
+        if report.rollbacks > 0 {
+            format!(" ({} divergence rollback(s))", report.rollbacks)
+        } else {
+            String::new()
+        }
     );
     model.save(out).map_err(|e| e.to_string())?;
     edge_obs::progress!("saved model to {out}");
@@ -237,7 +296,10 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = required(&flags, "model")?;
     let text = required(&flags, "text")?;
-    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let mut model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    if flags.contains_key("fallback-prior") {
+        model.set_fallback_prior(true);
+    }
     match model.predict(text) {
         None => println!("not covered: no entity of this tweet appears in the training graph"),
         Some(p) => {
@@ -267,7 +329,10 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let data = required(&flags, "data")?;
     apply_threads(&flags)?;
     let obs = obs_from_flags(&flags);
-    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let mut model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    if flags.contains_key("fallback-prior") {
+        model.set_fallback_prior(true);
+    }
     let dataset = load_dataset(data)?;
     let (_, test) = dataset.paper_split();
     let (preds, coverage) = model.evaluate(test);
@@ -330,8 +395,14 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         config.epochs
     );
     let started = std::time::Instant::now();
-    let (model, report) =
-        EdgeModel::train(train_split, dataset_recognizer(&dataset), &dataset.bbox, config);
+    let (model, report) = EdgeModel::train(
+        train_split,
+        dataset_recognizer(&dataset),
+        &dataset.bbox,
+        config,
+        &TrainOptions::default(),
+    )
+    .map_err(describe_train_error)?;
     edge_obs::progress!(
         "trained in {:.1?}: {} entities, final NLL {:.3}",
         started.elapsed(),
@@ -375,6 +446,23 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `edge-cli fsck <path>`: verifies an artifact's envelope (magic, length,
+/// CRC64) and payload (schema + internal consistency) without instantiating
+/// a model, and prints what it found.
+pub fn fsck(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: edge-cli fsck <artifact>".to_string());
+    };
+    let info = inspect_artifact(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: OK");
+    println!("  kind             {}", info.kind);
+    println!("  envelope version {}", info.envelope_version);
+    println!("  payload          {} bytes, crc64 {}", info.payload_bytes, info.crc64);
+    println!("  payload version  {}", info.payload_version);
+    println!("  {}", info.detail);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +482,15 @@ mod tests {
     fn flag_parsing_rejects_bad_shapes() {
         assert!(parse_flags(&strs(&["preset", "nyma"])).is_err());
         assert!(parse_flags(&strs(&["--preset"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let flags = parse_flags(&strs(&["--resume", "--checkpoint-dir", "ck", "--fallback-prior"]))
+            .unwrap();
+        assert_eq!(flags["resume"], "true");
+        assert_eq!(flags["fallback-prior"], "true");
+        assert_eq!(flags["checkpoint-dir"], "ck");
     }
 
     #[test]
@@ -433,10 +530,52 @@ mod tests {
             .expect("train");
         predict(&strs(&["--model", &model, "--text", "lunch near the Majestic Theatre"]))
             .expect("predict");
-        evaluate(&strs(&["--model", &model, "--data", &corpus])).expect("evaluate");
+        predict(&strs(&[
+            "--model",
+            &model,
+            "--text",
+            "no entities whatsoever",
+            "--fallback-prior",
+        ]))
+        .expect("predict with prior fallback");
+        evaluate(&strs(&["--model", &model, "--data", &corpus, "--fallback-prior"]))
+            .expect("evaluate");
+        fsck(&strs(&[&model])).expect("fsck accepts a healthy model");
+        assert!(fsck(&strs(&[&corpus])).is_err(), "a raw corpus is not an artifact");
 
         std::fs::remove_file(&corpus).ok();
         std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn train_with_checkpoints_and_resume() {
+        let dir = std::env::temp_dir().join("edge_cli_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("corpus.json").to_string_lossy().to_string();
+        let model = dir.join("model.json").to_string_lossy().to_string();
+        let ckpt = dir.join("ckpt").to_string_lossy().to_string();
+
+        generate(&strs(&["--preset", "nyma", "--size", "smoke", "--seed", "5", "--out", &corpus]))
+            .expect("generate");
+        let base = ["--data", &corpus, "--profile", "smoke", "--epochs", "3", "--out", &model];
+        let mut with_ckpt: Vec<&str> = base.to_vec();
+        with_ckpt.extend(["--checkpoint-dir", &ckpt, "--checkpoint-every", "1"]);
+        train(&strs(&with_ckpt)).expect("train with checkpoints");
+        assert!(
+            std::fs::read_dir(&ckpt).unwrap().count() > 0,
+            "checkpoints should have been written"
+        );
+        // Resuming a finished run is a no-op retrain from the last
+        // checkpoint's final state; it must succeed and re-save the model.
+        let mut resumed: Vec<&str> = with_ckpt.clone();
+        resumed.push("--resume");
+        train(&strs(&resumed)).expect("resume");
+        // --resume without --checkpoint-dir is a usage error.
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.push("--resume");
+        assert!(train(&strs(&bad)).unwrap_err().contains("--checkpoint-dir"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,13 +13,22 @@
 //! the mixture, point estimate and attention weights for one tweet;
 //! `evaluate` scores the model on the corpus's test split with the paper's
 //! metrics; `profile` trains under full tracing and prints a self-time
-//! profile table plus a metrics snapshot.
+//! profile table plus a metrics snapshot; `fsck` verifies a saved artifact
+//! (model or checkpoint) end to end without loading it.
+//!
+//! Setting `EDGE_FAILPOINTS` (e.g. `fsio.fsync=err`) arms the `edge-faults`
+//! failpoints for the whole invocation — the fault-injection harness works
+//! against the real binary, not just the library tests.
 
 use std::process::ExitCode;
 
 mod commands;
 
 fn main() -> ExitCode {
+    if let Err(msg) = edge_faults::init_from_env() {
+        eprintln!("error: bad EDGE_FAILPOINTS: {msg}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => commands::generate(&args[1..]),
@@ -27,6 +36,7 @@ fn main() -> ExitCode {
         Some("predict") => commands::predict(&args[1..]),
         Some("evaluate") => commands::evaluate(&args[1..]),
         Some("profile") => commands::profile(&args[1..]),
+        Some("fsck") => commands::fsck(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

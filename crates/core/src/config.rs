@@ -94,13 +94,38 @@ impl EdgeConfig {
         self
     }
 
-    /// Validates internal consistency; called by the model constructor.
+    /// Validates internal consistency; panics on violation. Prefer
+    /// [`EdgeConfig::check`] when the configuration comes from untrusted
+    /// input (a file on disk) rather than code.
     pub fn validate(&self) {
-        assert!(self.embed_dim > 0 && self.hidden_dim > 0, "dimensions must be positive");
-        assert!(self.gcn_layers >= 1, "need at least one GCN layer");
-        assert!(self.n_components >= 1, "need at least one mixture component");
-        assert!(self.epochs >= 1 && self.batch_size >= 1);
-        assert!(self.lr > 0.0 && self.weight_decay >= 0.0);
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking validation: returns the first violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if self.embed_dim == 0 || self.hidden_dim == 0 {
+            return Err("dimensions must be positive".to_string());
+        }
+        if self.gcn_layers < 1 {
+            return Err("need at least one GCN layer".to_string());
+        }
+        if self.n_components < 1 {
+            return Err("need at least one mixture component".to_string());
+        }
+        if self.epochs < 1 || self.batch_size < 1 {
+            return Err("epochs and batch size must be positive".to_string());
+        }
+        // NaN fails both arms, so a NaN lr or weight decay is rejected too.
+        if self.lr.is_nan()
+            || self.lr <= 0.0
+            || self.weight_decay.is_nan()
+            || self.weight_decay < 0.0
+        {
+            return Err("learning rate must be positive and weight decay non-negative".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -147,5 +172,16 @@ mod tests {
         let mut c = EdgeConfig::fast();
         c.gcn_layers = 0;
         c.validate();
+    }
+
+    #[test]
+    fn check_reports_violations_without_panicking() {
+        assert!(EdgeConfig::fast().check().is_ok());
+        let mut c = EdgeConfig::fast();
+        c.lr = f32::NAN;
+        assert!(c.check().unwrap_err().contains("learning rate"));
+        let mut c = EdgeConfig::fast();
+        c.n_components = 0;
+        assert!(c.check().unwrap_err().contains("mixture component"));
     }
 }

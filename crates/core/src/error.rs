@@ -1,0 +1,117 @@
+//! Typed errors for training and prediction. The library never panics on
+//! bad *input* (empty corpora, corrupt checkpoints, diverging optimization);
+//! panics are reserved for programming errors.
+
+use crate::persist::PersistError;
+
+/// Why [`crate::EdgeModel::train`] could not produce a model.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The configuration violates an invariant (message from
+    /// [`crate::EdgeConfig::check`]).
+    InvalidConfig(String),
+    /// The training slice was empty.
+    EmptyCorpus,
+    /// The corpus yielded too few recognized entities to build the entity
+    /// graph, or no training tweet mentions a recognized entity.
+    NoEntities(String),
+    /// A checkpoint could not be read back (resume or rollback path).
+    Checkpoint(PersistError),
+    /// Training was interrupted by an I/O condition (in practice: an
+    /// injected failpoint in the fault-injection suite).
+    Interrupted(std::io::Error),
+    /// The optimizer hit non-finite losses/gradients and the divergence
+    /// guard ran out of recovery options.
+    Diverged {
+        /// Epoch in which the final, unrecoverable divergence occurred.
+        epoch: usize,
+        /// Rollbacks performed before giving up.
+        rollbacks: u64,
+        /// What was observed and why recovery stopped.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainError::EmptyCorpus => write!(f, "empty training set"),
+            TrainError::NoEntities(msg) => write!(f, "unusable training corpus: {msg}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::Interrupted(e) => write!(f, "training interrupted: {e}"),
+            TrainError::Diverged { epoch, rollbacks, detail } => {
+                write!(
+                    f,
+                    "training diverged at epoch {epoch} after {rollbacks} rollback(s): {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Interrupted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Interrupted(e)
+    }
+}
+
+/// Why [`crate::EdgeModel::predict_entities`] could not predict.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PredictError {
+    /// The entity slice was empty — there is nothing to aggregate. Callers
+    /// with zero-entity tweets should use [`crate::EdgeModel::predict`]
+    /// (which reports the coverage gap as `None` or, opt-in, falls back to
+    /// the training prior).
+    NoEntities,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NoEntities => write!(f, "prediction needs at least one entity"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = TrainError::Diverged { epoch: 7, rollbacks: 3, detail: "nan loss".into() };
+        let s = e.to_string();
+        assert!(s.contains("epoch 7") && s.contains("3 rollback") && s.contains("nan loss"));
+        assert!(TrainError::EmptyCorpus.to_string().contains("empty"));
+        assert!(PredictError::NoEntities.to_string().contains("entity"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = TrainError::from(PersistError::Corrupt("x".into()));
+        assert!(e.source().is_some());
+        let e = TrainError::from(std::io::Error::other("fp"));
+        assert!(e.source().is_some());
+        assert!(TrainError::EmptyCorpus.source().is_none());
+    }
+}

@@ -25,16 +25,20 @@
 
 pub mod ablation;
 pub mod attention;
+pub mod checkpoint;
 pub mod config;
 pub mod entity2vec;
+pub mod error;
 pub mod gcn;
 pub mod mdn;
 pub mod model;
 pub mod persist;
 
 pub use ablation::BowModel;
+pub use checkpoint::{load_checkpoint, CheckpointState, Checkpointer};
 pub use config::EdgeConfig;
 pub use entity2vec::{entity_sentence, run_entity2vec, Entity2Vec, EntityIndex};
+pub use error::{PredictError, TrainError};
 pub use mdn::{decode_theta, init_head_bias, theta_width};
-pub use model::{EdgeModel, Prediction, TrainReport};
-pub use persist::PersistError;
+pub use model::{EdgeModel, Prediction, TrainOptions, TrainReport};
+pub use persist::{inspect_artifact, ArtifactInfo, PersistError};

@@ -2,6 +2,7 @@
 //! attention aggregation → Gaussian-mixture head, trained by maximizing the
 //! likelihood of geo-tagged training tweets (Eq. 13) with Adam.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -9,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use edge_data::Tweet;
-use edge_geo::{BBox, GaussianMixture, Point};
+use edge_geo::{BBox, BivariateGaussian, GaussianMixture, Point};
 use edge_graph::{
     build_cooccurrence_graph, graph_stats, normalized_adjacency_triplets, GraphStats,
 };
@@ -19,8 +20,10 @@ use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer};
 use edge_text::EntityRecognizer;
 
 use crate::attention::{attention_aggregate, attention_infer, sum_aggregate, sum_infer};
+use crate::checkpoint::{CheckpointState, Checkpointer, CHECKPOINT_VERSION};
 use crate::config::EdgeConfig;
 use crate::entity2vec::{run_entity2vec, EntityIndex};
+use crate::error::{PredictError, TrainError};
 use crate::gcn::{gcn_forward, gcn_infer};
 use crate::mdn::{decode_theta, init_head_bias, theta_width};
 
@@ -49,6 +52,68 @@ pub struct TrainReport {
     pub n_train_used: usize,
     /// Entity-graph statistics.
     pub graph: GraphStats,
+    /// Divergence-guard rollbacks performed over the run.
+    pub rollbacks: u64,
+    /// Epoch the run (re)started from: 0 for a fresh run, the resumed
+    /// checkpoint's next epoch otherwise.
+    pub start_epoch: usize,
+}
+
+/// Fault-tolerance knobs for [`EdgeModel::train`]. The default disables
+/// checkpointing entirely (`checkpoint_dir: None`), matching the previous
+/// behavior of `train`.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Where to write checkpoints; `None` disables checkpointing (and with
+    /// it, divergence-guard rollbacks — a diverging run then fails fast).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint after every N-th epoch (minimum 1).
+    pub checkpoint_every: usize,
+    /// How many recent checkpoints to retain (minimum 1).
+    pub keep_last: usize,
+    /// Resume from the newest verifiable checkpoint in `checkpoint_dir`
+    /// instead of starting fresh. The resumed run replays the remaining
+    /// epochs bit-for-bit identically to an uninterrupted run.
+    pub resume: bool,
+    /// Rollback budget for the divergence guard: after this many rollbacks,
+    /// the run fails with [`TrainError::Diverged`].
+    pub max_rollbacks: u32,
+    /// Optional global-norm gradient clipping threshold.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            keep_last: 3,
+            resume: false,
+            max_rollbacks: 3,
+            grad_clip: None,
+        }
+    }
+}
+
+/// Derives the batch-shuffle seed for one epoch. Shuffle order is a pure
+/// function of `(master seed, epoch)` — the property that lets a resumed
+/// run replay epochs identically without serializing RNG state. The odd
+/// constant is the splitmix64 increment, decorrelating adjacent epochs.
+fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+    seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Scales all gradients jointly so their global L2 norm is at most `clip`.
+/// A non-finite norm is left untouched — the divergence guard handles it.
+fn clip_global_norm(grads: &mut [(ParamId, Matrix)], clip: f32) {
+    let sq: f64 = grads.iter().flat_map(|(_, g)| g.data()).map(|&v| v as f64 * v as f64).sum();
+    let norm = sq.sqrt();
+    if norm.is_finite() && norm > clip as f64 {
+        let factor = (clip as f64 / norm) as f32;
+        for (_, g) in grads.iter_mut() {
+            *g = g.scale(factor);
+        }
+    }
 }
 
 impl TrainReport {
@@ -73,6 +138,22 @@ pub struct EdgeModel {
     b2: ParamId,
     /// Cached diffused embeddings for inference (refreshed after training).
     smoothed: Matrix,
+    /// Training-split location prior (one Gaussian over all training
+    /// tweets), the opt-in fallback for zero-entity tweets.
+    prior: Option<GaussianMixture>,
+    /// Whether `predict` falls back to `prior` for zero-entity tweets.
+    fallback_prior: bool,
+}
+
+impl std::fmt::Debug for EdgeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeModel")
+            .field("entities", &self.index.len())
+            .field("params", &self.params.len())
+            .field("prior", &self.prior.is_some())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl EdgeModel {
@@ -80,14 +161,23 @@ impl EdgeModel {
     ///
     /// `ner` is the recognizer with the corpus gazetteer; `bbox` is the
     /// study region (used only to initialize the mixture head sanely).
+    /// `opts` controls checkpointing, resume, and the divergence guard —
+    /// [`TrainOptions::default`] disables all of it.
+    ///
+    /// Bad input is a typed [`TrainError`], never a panic: an empty corpus,
+    /// a corpus without recognizable entities, an invalid configuration, or
+    /// an optimization that diverges beyond recovery.
     pub fn train(
         train: &[Tweet],
         ner: EntityRecognizer,
         bbox: &BBox,
         config: EdgeConfig,
-    ) -> (Self, TrainReport) {
-        config.validate();
-        assert!(!train.is_empty(), "empty training set");
+        opts: &TrainOptions,
+    ) -> Result<(Self, TrainReport), TrainError> {
+        config.check().map_err(TrainError::InvalidConfig)?;
+        if train.is_empty() {
+            return Err(TrainError::EmptyCorpus);
+        }
         let _train_span = edge_obs::span("train");
 
         // Stage 1: entity2vec.
@@ -95,7 +185,12 @@ impl EdgeModel {
             let _span = edge_obs::span("entity2vec");
             run_entity2vec(train, &ner, &config.sgns, config.embed_dim)
         };
-        assert!(e2v.index.len() >= 2, "training corpus yielded fewer than 2 entities");
+        if e2v.index.len() < 2 {
+            return Err(TrainError::NoEntities(format!(
+                "training corpus yielded {} entities (need at least 2)",
+                e2v.index.len()
+            )));
+        }
 
         // Stage 2: co-occurrence graph + normalized adjacency.
         let _graph_span = edge_obs::span("graph.build");
@@ -145,6 +240,11 @@ impl EdgeModel {
             e2v.embeddings.iter().flatten().copied().collect(),
         );
 
+        // The training-split location prior, kept for the opt-in
+        // zero-entity fallback at prediction time.
+        let locations: Vec<Point> = train.iter().map(|t| t.location).collect();
+        let prior = BivariateGaussian::fit(&locations).map(GaussianMixture::single);
+
         let mut model = Self {
             config,
             ner,
@@ -158,27 +258,19 @@ impl EdgeModel {
             q2,
             b2,
             smoothed: Matrix::zeros(0, 0),
+            prior,
+            fallback_prior: false,
         };
 
         // Stage 4: end-to-end optimization (Eq. 13).
-        let report = model.optimize(train, &e2v.tweet_entities, stats, &mut rng);
+        let report = model.optimize(train, &e2v.tweet_entities, stats, opts)?;
         model.refresh_smoothed();
-        (model, report)
+        Ok((model, report))
     }
 
-    fn optimize(
-        &mut self,
-        train: &[Tweet],
-        tweet_entities: &[Vec<usize>],
-        graph: GraphStats,
-        rng: &mut StdRng,
-    ) -> TrainReport {
-        // Usable tweets: at least one entity.
-        let usable: Vec<usize> =
-            (0..train.len()).filter(|&i| !tweet_entities[i].is_empty()).collect();
-        assert!(!usable.is_empty(), "no training tweet has a recognized entity");
-
-        let mut optimizer = Adam::new(self.config.lr, 0.9, 0.999, 1e-8, self.config.weight_decay);
+    /// Builds the Adam optimizer with this model's decay-exclusion set.
+    fn make_optimizer(&self, lr: f32) -> Adam {
+        let mut optimizer = Adam::new(lr, 0.9, 0.999, 1e-8, self.config.weight_decay);
         // Biases carry non-regularizable scale (the head bias holds the
         // degree-valued component means); decay applies to weights only.
         optimizer.exclude_from_decay(self.b1);
@@ -189,16 +281,114 @@ impl EdgeModel {
         // zone and the attention degenerates to a uniform average. Exempt
         // it so Eq. 2-3 can actually differentiate entities.
         optimizer.exclude_from_decay(self.q1);
+        optimizer
+    }
+
+    /// Can this freshly initialized model continue from `state`? Guards
+    /// against resuming under a different configuration or corpus.
+    fn check_resume_compat(&self, state: &CheckpointState) -> Result<(), TrainError> {
+        use crate::persist::PersistError;
+        if state.config != self.config {
+            return Err(TrainError::Checkpoint(PersistError::Corrupt(
+                "checkpoint was written under a different configuration".to_string(),
+            )));
+        }
+        if state.params.len() != self.params.len() {
+            return Err(TrainError::Checkpoint(PersistError::Corrupt(format!(
+                "checkpoint stores {} parameters, this corpus initializes {}",
+                state.params.len(),
+                self.params.len()
+            ))));
+        }
+        for i in 0..self.params.len() {
+            let (id, fresh) = (ParamId(i), self.params.get(ParamId(i)));
+            if state.params.get(id).shape() != fresh.shape() {
+                return Err(TrainError::Checkpoint(PersistError::Corrupt(format!(
+                    "parameter {i} is {:?} in the checkpoint but {:?} for this corpus",
+                    state.params.get(id).shape(),
+                    fresh.shape()
+                ))));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores parameters, Adam moments and epoch history from `state`,
+    /// stepping at `lr` (the checkpoint's own rate on resume, a halved one
+    /// on rollback). Returns `(next_epoch, stored rollbacks, optimizer)`.
+    fn restore_from(
+        &mut self,
+        state: CheckpointState,
+        lr: f32,
+        epoch_losses: &mut Vec<f64>,
+        epoch_wall_secs: &mut Vec<f64>,
+    ) -> (usize, u64, Adam) {
+        let mut optimizer = self.make_optimizer(lr);
+        optimizer.load_state(state.adam);
+        self.params = state.params;
+        *epoch_losses = state.epoch_losses;
+        *epoch_wall_secs = state.epoch_wall_secs;
+        (state.next_epoch, state.rollbacks, optimizer)
+    }
+
+    fn optimize(
+        &mut self,
+        train: &[Tweet],
+        tweet_entities: &[Vec<usize>],
+        graph: GraphStats,
+        opts: &TrainOptions,
+    ) -> Result<TrainReport, TrainError> {
+        // Usable tweets: at least one entity.
+        let usable: Vec<usize> =
+            (0..train.len()).filter(|&i| !tweet_entities[i].is_empty()).collect();
+        if usable.is_empty() {
+            return Err(TrainError::NoEntities(
+                "no training tweet has a recognized entity".to_string(),
+            ));
+        }
+
+        let checkpointer = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| Checkpointer::new(dir, opts.checkpoint_every, opts.keep_last));
+
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
-        let mut order = usable.clone();
+        let mut lr = self.config.lr;
+        let mut rollbacks = 0u64;
+        let mut epoch = 0usize;
+        let mut optimizer = self.make_optimizer(lr);
+
+        if opts.resume {
+            let Some(cp) = &checkpointer else {
+                return Err(TrainError::InvalidConfig(
+                    "resume requires a checkpoint directory".to_string(),
+                ));
+            };
+            if let Some((path, state)) = cp.latest()? {
+                self.check_resume_compat(&state)?;
+                lr = state.lr;
+                let (e, r, o) =
+                    self.restore_from(state, lr, &mut epoch_losses, &mut epoch_wall_secs);
+                (epoch, rollbacks, optimizer) = (e, r, o);
+                edge_obs::counter!("checkpoint.resumes").inc(1);
+                edge_obs::progress!(
+                    "[checkpoint] resuming from {} at epoch {epoch}",
+                    path.display()
+                );
+            }
+        }
+        let start_epoch = epoch;
 
         let telemetry_on = edge_obs::telemetry::active();
 
-        for epoch in 0..self.config.epochs {
+        'epochs: while epoch < self.config.epochs {
             let _epoch_span = edge_obs::span("epoch");
             let epoch_start = std::time::Instant::now();
-            order.shuffle(rng);
+            // Shuffle order is derived from (seed, epoch) alone so resumed
+            // and uninterrupted runs walk identical batch sequences.
+            let mut order = usable.clone();
+            order.shuffle(&mut StdRng::seed_from_u64(epoch_seed(self.config.seed, epoch)));
             let mut epoch_nll = 0.0f64;
             let mut n_tweets = 0usize;
             // Per-group sum of squared gradient entries over the epoch
@@ -239,7 +429,74 @@ impl EdgeModel {
                 let nll_sum = tape.gmm_nll(theta, &targets, self.config.n_components);
                 let loss = tape.scale(nll_sum, 1.0 / batch.len() as f32);
                 drop(mdn_span);
-                let grads = tape.backward(loss);
+                let batch_nll = tape.scalar(nll_sum) as f64;
+                let mut grads = tape.backward(loss);
+                if edge_faults::enabled() && edge_faults::fired("train.poison_grads") {
+                    // Fault-injection hook: simulate a numerically exploded
+                    // step by poisoning the first gradient.
+                    if let Some((_, g)) = grads.first_mut() {
+                        let (r, c) = g.shape();
+                        *g = Matrix::full(r, c, f32::NAN);
+                    }
+                }
+                if let Some(clip) = opts.grad_clip {
+                    clip_global_norm(&mut grads, clip);
+                }
+
+                // Divergence guard: a non-finite loss or gradient must not
+                // reach the parameters. Roll back to the last checkpoint at
+                // half the learning rate, or fail with a typed error.
+                let loss_finite = batch_nll.is_finite();
+                let finite = if !loss_finite {
+                    edge_obs::counter!("guard.nonfinite_loss").inc(1);
+                    false
+                } else if grads.iter().any(|(_, g)| g.data().iter().any(|v| !v.is_finite())) {
+                    edge_obs::counter!("guard.nonfinite_grads").inc(1);
+                    false
+                } else {
+                    true
+                };
+                if !finite {
+                    let detail = if loss_finite {
+                        "non-finite gradient".to_string()
+                    } else {
+                        format!("non-finite loss {batch_nll}")
+                    };
+                    rollbacks += 1;
+                    edge_obs::counter!("guard.rollbacks").inc(1);
+                    if rollbacks > opts.max_rollbacks as u64 {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            rollbacks,
+                            detail: format!("{detail}; rollback budget exhausted"),
+                        });
+                    }
+                    let Some(cp) = &checkpointer else {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            rollbacks,
+                            detail: format!("{detail}; checkpointing disabled"),
+                        });
+                    };
+                    let Some((path, state)) = cp.latest()? else {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            rollbacks,
+                            detail: format!("{detail}; no checkpoint to roll back to"),
+                        });
+                    };
+                    self.check_resume_compat(&state)?;
+                    lr *= 0.5;
+                    let (e, _, o) =
+                        self.restore_from(state, lr, &mut epoch_losses, &mut epoch_wall_secs);
+                    (epoch, optimizer) = (e, o);
+                    edge_obs::progress!(
+                        "[guard] {detail} at epoch {epoch}: rolled back to {} with lr {lr}",
+                        path.display()
+                    );
+                    continue 'epochs;
+                }
+
                 if telemetry_on {
                     for (pid, g) in &grads {
                         let sq: f64 = g.data().iter().map(|&x| x as f64 * x as f64).sum();
@@ -250,7 +507,7 @@ impl EdgeModel {
                 optimizer.step(&mut self.params, &grads);
                 drop(step_span);
 
-                epoch_nll += tape.scalar(nll_sum) as f64;
+                epoch_nll += batch_nll;
                 n_tweets += batch.len();
             }
             let mean_nll = epoch_nll / n_tweets as f64;
@@ -268,13 +525,47 @@ impl EdgeModel {
                         .zip(grad_sq)
                         .map(|(name, sq)| (name.to_string(), sq.sqrt()))
                         .collect(),
-                    lr: self.config.lr as f64,
+                    lr: lr as f64,
                     tweets_per_sec: n_tweets as f64 / wall_secs.max(1e-9),
                     wall_secs,
+                    rollbacks,
                 });
             }
+            if let Some(cp) = &checkpointer {
+                if cp.due_after(epoch) {
+                    let state = CheckpointState {
+                        schema_version: CHECKPOINT_VERSION,
+                        config: self.config.clone(),
+                        next_epoch: epoch + 1,
+                        lr,
+                        rollbacks,
+                        params: self.params.clone(),
+                        adam: optimizer.export_state(),
+                        epoch_losses: epoch_losses.clone(),
+                        epoch_wall_secs: epoch_wall_secs.clone(),
+                    };
+                    if let Err(e) = cp.write(&state) {
+                        // A failed checkpoint write must not kill a healthy
+                        // run; it only narrows recovery options.
+                        edge_obs::counter!("checkpoint.write_errors").inc(1);
+                        edge_obs::progress!("[checkpoint] write failed (continuing): {e}");
+                    }
+                }
+            }
+            // Fault-injection hook for interruption tests: an `err` here
+            // aborts training exactly at an epoch boundary, after any due
+            // checkpoint was written — the in-process analogue of SIGKILL.
+            edge_faults::failpoint!("train.epoch_end");
+            epoch += 1;
         }
-        TrainReport { epoch_losses, epoch_wall_secs, n_train_used: usable.len(), graph }
+        Ok(TrainReport {
+            epoch_losses,
+            epoch_wall_secs,
+            n_train_used: usable.len(),
+            graph,
+            rollbacks,
+            start_epoch,
+        })
     }
 
     /// Telemetry grouping of a parameter: 0 = GCN stack, 1 = attention
@@ -314,6 +605,7 @@ impl EdgeModel {
         b1: ParamId,
         q2: ParamId,
         b2: ParamId,
+        prior: Option<GaussianMixture>,
     ) -> Self {
         let mut model = Self {
             config,
@@ -328,6 +620,8 @@ impl EdgeModel {
             q2,
             b2,
             smoothed: Matrix::zeros(0, 0),
+            prior,
+            fallback_prior: false,
         };
         model.refresh_smoothed();
         model
@@ -368,6 +662,25 @@ impl EdgeModel {
         (self.q2, self.b2)
     }
 
+    /// The training-split location prior (persistence accessor; `None` when
+    /// the training split was too small to fit one).
+    pub fn prior(&self) -> Option<&GaussianMixture> {
+        self.prior.as_ref()
+    }
+
+    /// Opt into (or out of) predicting the training-split prior for tweets
+    /// with no recognized entity. Off by default: the paper excludes those
+    /// tweets, and silently imputing a region-level guess would distort
+    /// accuracy metrics unless explicitly requested.
+    pub fn set_fallback_prior(&mut self, enabled: bool) {
+        self.fallback_prior = enabled;
+    }
+
+    /// Whether the zero-entity prior fallback is active.
+    pub fn fallback_prior_enabled(&self) -> bool {
+        self.fallback_prior && self.prior.is_some()
+    }
+
     /// The entity inventory.
     pub fn entity_index(&self) -> &EntityIndex {
         &self.index
@@ -401,14 +714,26 @@ impl EdgeModel {
 
     /// Predicts a location mixture for a tweet text. Returns `None` when the
     /// tweet contains no entity present in the training graph (the ~2.8% of
-    /// test tweets the paper excludes).
+    /// test tweets the paper excludes) — unless the prior fallback was
+    /// enabled via [`EdgeModel::set_fallback_prior`], in which case such
+    /// tweets get the training-split prior (with no attention signal).
     pub fn predict(&self, text: &str) -> Option<Prediction> {
         edge_obs::counter!("core.predict.calls").inc(1);
         let entities = self.resolve_entities(text);
         if entities.is_empty() {
+            if self.fallback_prior {
+                if let Some(prior) = &self.prior {
+                    edge_obs::counter!("core.predict.fallbacks").inc(1);
+                    return Some(Prediction {
+                        mixture: prior.clone(),
+                        point: prior.mode(),
+                        attention: Vec::new(),
+                    });
+                }
+            }
             return None;
         }
-        Some(self.predict_entities(&entities))
+        self.predict_entities(&entities).ok()
     }
 
     /// Predicts a batch of tweet texts, fanning the work across the
@@ -420,9 +745,13 @@ impl EdgeModel {
         texts.par_iter().map(|t| self.predict(t)).collect()
     }
 
-    /// Predicts from resolved entity indices.
-    pub fn predict_entities(&self, entities: &[usize]) -> Prediction {
-        assert!(!entities.is_empty(), "prediction needs at least one entity");
+    /// Predicts from resolved entity indices. An empty slice is a typed
+    /// error: there is nothing to aggregate (callers holding raw text
+    /// should use [`EdgeModel::predict`], which handles the coverage gap).
+    pub fn predict_entities(&self, entities: &[usize]) -> Result<Prediction, PredictError> {
+        if entities.is_empty() {
+            return Err(PredictError::NoEntities);
+        }
         let (z, weights) = if self.config.use_attention {
             attention_infer(
                 &self.smoothed,
@@ -441,7 +770,7 @@ impl EdgeModel {
             .zip(weights)
             .map(|(&e, w)| (self.index.name(e).to_string(), w))
             .collect();
-        Prediction { mixture, point, attention }
+        Ok(Prediction { mixture, point, attention })
     }
 
     /// Evaluates on a test split: returns `(prediction, truth)` pairs for
@@ -472,7 +801,9 @@ mod tests {
         let d = nyma(PresetSize::Smoke, 11);
         let ner = dataset_recognizer(&d);
         let (train, _) = d.paper_split();
-        let (model, report) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke());
+        let (model, report) =
+            EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+                .expect("train");
         (model, report, d)
     }
 
@@ -569,12 +900,14 @@ mod tests {
         let (train, _) = d.paper_split();
         let mut cfg = EdgeConfig::smoke();
         cfg.epochs = 2;
+        let opts = TrainOptions::default();
         let (m1, r1) =
-            EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg.clone());
-        let (m2, r2) = EdgeModel::train(&train[..800], ner, &d.bbox, cfg);
+            EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg.clone(), &opts)
+                .unwrap();
+        let (m2, r2) = EdgeModel::train(&train[..800], ner, &d.bbox, cfg, &opts).unwrap();
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
-        let p1 = m1.predict_entities(&[0, 1]);
-        let p2 = m2.predict_entities(&[0, 1]);
+        let p1 = m1.predict_entities(&[0, 1]).unwrap();
+        let p2 = m2.predict_entities(&[0, 1]).unwrap();
         assert_eq!(p1.point, p2.point);
     }
 
@@ -590,15 +923,117 @@ mod tests {
             base.clone().ablation_sum(),
             base.clone().ablation_no_mixture(),
         ] {
-            let (model, report) =
-                EdgeModel::train(&train[..1000], dataset_recognizer(&d), &d.bbox, cfg.clone());
+            let (model, report) = EdgeModel::train(
+                &train[..1000],
+                dataset_recognizer(&d),
+                &d.bbox,
+                cfg.clone(),
+                &TrainOptions::default(),
+            )
+            .unwrap();
             assert!(report.epoch_losses.last().unwrap().is_finite());
-            let p = model.predict_entities(&[0]);
+            let p = model.predict_entities(&[0]).unwrap();
             assert_eq!(p.mixture.len(), cfg.n_components);
             if !cfg.use_attention {
                 assert!(p.attention.is_empty(), "SUM ablation reports no attention");
             }
         }
         let _ = ner;
+    }
+
+    #[test]
+    fn predict_entities_rejects_empty_slice() {
+        let (model, _, _) = trained();
+        assert_eq!(model.predict_entities(&[]).unwrap_err(), PredictError::NoEntities);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let d = nyma(PresetSize::Smoke, 11);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.gcn_layers = 0;
+        let err =
+            EdgeModel::train(train, dataset_recognizer(&d), &d.bbox, cfg, &TrainOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn fallback_prior_covers_unknown_text() {
+        let (mut model, _, d) = trained();
+        assert!(model.predict("zzz qqq completely unknown words").is_none());
+        model.set_fallback_prior(true);
+        assert!(model.fallback_prior_enabled());
+        let p = model.predict("zzz qqq completely unknown words").expect("prior fallback");
+        assert!(p.attention.is_empty(), "prior prediction carries no attention");
+        assert!(
+            d.bbox.expand(0.5).contains(&p.point),
+            "prior mode should sit in the study region: {:?}",
+            p.point
+        );
+        // Entity-bearing tweets are unaffected by the flag.
+        let (_, test) = d.paper_split();
+        let t = test.iter().find(|t| !model.resolve_entities(&t.text).is_empty()).unwrap();
+        let with = model.predict(&t.text).unwrap();
+        model.set_fallback_prior(false);
+        let without = model.predict(&t.text).unwrap();
+        assert_eq!(with.point, without.point);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resumes_from_scratch() {
+        // Checkpointing must not perturb training; `resume` with an empty
+        // directory is a fresh start. (Failpoint-driven interruption tests
+        // live in `tests/faults.rs` — a separate process — because the
+        // failpoint registry is global.)
+        let d = nyma(PresetSize::Smoke, 41);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 3;
+        let slice = &train[..600];
+        let (_, plain) = EdgeModel::train(
+            slice,
+            dataset_recognizer(&d),
+            &d.bbox,
+            cfg.clone(),
+            &TrainOptions::default(),
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("edge_train_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            resume: true, // empty dir: must behave as a fresh start
+            ..TrainOptions::default()
+        };
+        let (_, ckpt) =
+            EdgeModel::train(slice, dataset_recognizer(&d), &d.bbox, cfg, &opts).unwrap();
+        assert_eq!(plain.epoch_losses, ckpt.epoch_losses);
+        assert_eq!(ckpt.start_epoch, 0);
+        assert_eq!(ckpt.rollbacks, 0);
+        let cp = Checkpointer::new(&dir, 2, 3);
+        assert!(!cp.list().is_empty(), "checkpoints should have been written");
+        let (_, state) = cp.latest().unwrap().expect("latest checkpoint");
+        assert_eq!(state.next_epoch, 2, "epochs=3, every=2 → one checkpoint after epoch 1");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_dir_is_invalid_config() {
+        let d = nyma(PresetSize::Smoke, 41);
+        let (train, _) = d.paper_split();
+        let opts = TrainOptions { resume: true, ..TrainOptions::default() };
+        let err = EdgeModel::train(
+            &train[..600],
+            dataset_recognizer(&d),
+            &d.bbox,
+            EdgeConfig::smoke(),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
     }
 }

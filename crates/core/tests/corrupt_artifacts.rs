@@ -1,0 +1,117 @@
+//! Property tests for artifact-corruption handling: a saved model damaged
+//! by truncation at any offset or by any single flipped bit must always
+//! fail to load with a typed [`PersistError`] — never a panic, never a
+//! silently wrong model.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use edge_core::{EdgeConfig, EdgeModel, PersistError, TrainOptions};
+use edge_data::{SimDate, Tweet};
+use edge_geo::{BBox, Point};
+use edge_text::{EntityCategory, EntityRecognizer};
+
+/// Bytes of one valid saved model, trained once for the whole binary.
+fn model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let tweets: Vec<Tweet> = (0..40)
+            .map(|i| {
+                let (name, lat, lon) = if i % 2 == 0 {
+                    ("alpha cafe", 40.2, -74.8)
+                } else {
+                    ("beta park", 40.7, -74.3)
+                };
+                Tweet {
+                    id: i,
+                    text: format!("at {name} today {i}"),
+                    location: Point::new(lat, lon),
+                    date: SimDate::new(2020, 3, 12),
+                    gold_entities: vec![],
+                }
+            })
+            .collect();
+        let ner = EntityRecognizer::with_gazetteer([
+            ("alpha cafe", EntityCategory::Facility),
+            ("beta park", EntityCategory::Geolocation),
+        ]);
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 2;
+        let bbox = BBox::new(40.0, 41.0, -75.0, -74.0);
+        let (model, _) =
+            EdgeModel::train(&tweets, ner, &bbox, cfg, &TrainOptions::default()).expect("train");
+        let path = scratch_path("pristine");
+        model.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+fn scratch_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edge_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{tag}.edge"))
+}
+
+/// Writes `bytes` and asserts that loading yields a typed error without
+/// panicking, returning the error's display for diagnostics.
+fn load_must_fail(bytes: &[u8], tag: &str) -> Result<String, String> {
+    let path = scratch_path(tag);
+    std::fs::write(&path, bytes).map_err(|e| e.to_string())?;
+    let outcome = EdgeModel::load(&path);
+    std::fs::remove_file(&path).ok();
+    match outcome {
+        Err(e @ (PersistError::Io(_) | PersistError::Format(_) | PersistError::Corrupt(_))) => {
+            Ok(e.to_string())
+        }
+        Ok(_) => Err(format!("damaged artifact ({tag}) loaded successfully")),
+    }
+}
+
+proptest! {
+    #[test]
+    fn truncation_at_any_offset_is_a_typed_error(frac in 0.0f64..1.0) {
+        let bytes = model_bytes();
+        // frac < 1.0 strictly, so the file always loses at least one byte.
+        let keep = (bytes.len() as f64 * frac) as usize;
+        let msg = load_must_fail(&bytes[..keep], "trunc");
+        prop_assert!(msg.is_ok(), "truncated to {keep}/{}: {}", bytes.len(), msg.unwrap_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_a_typed_error(frac in 0.0f64..1.0, bit in 0usize..8) {
+        let mut bytes = model_bytes().to_vec();
+        let idx = (bytes.len() as f64 * frac) as usize;
+        let idx = idx.min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        let msg = load_must_fail(&bytes, "flip");
+        prop_assert!(msg.is_ok(), "flipped bit {bit} of byte {idx}: {}", msg.unwrap_err());
+    }
+
+    #[test]
+    fn random_garbage_is_a_typed_error(len in 0usize..4096, seed in 0u64..u64::MAX) {
+        // Arbitrary bytes, sometimes starting with plausible-looking JSON.
+        let mut state = seed;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let msg = load_must_fail(&bytes, "garbage");
+        prop_assert!(msg.is_ok(), "{len} garbage bytes: {}", msg.unwrap_err());
+    }
+}
+
+#[test]
+fn pristine_bytes_load() {
+    // Sanity check for the suite itself: the undamaged bytes do load.
+    let path = scratch_path("sane");
+    std::fs::write(&path, model_bytes()).unwrap();
+    let model = EdgeModel::load(&path).expect("pristine artifact loads");
+    assert!(model.predict("alpha cafe").is_some());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,7 +1,8 @@
 //! Failure-injection and degenerate-input tests for the EDGE model: the
 //! conditions a production system hits that a paper never mentions.
 
-use edge_core::{EdgeConfig, EdgeModel};
+use edge_core::model::TrainReport;
+use edge_core::{EdgeConfig, EdgeModel, TrainError, TrainOptions};
 use edge_data::{SimDate, Tweet};
 use edge_geo::{BBox, Point};
 use edge_text::{EntityCategory, EntityRecognizer};
@@ -55,24 +56,38 @@ fn tiny_corpus(n_per: usize) -> Vec<Tweet> {
     tweets
 }
 
-#[test]
-#[should_panic(expected = "empty training set")]
-fn empty_training_set_is_rejected() {
-    let _ = EdgeModel::train(&[], venue_ner(), &bbox(), tiny_config());
+/// Trains with default fault-tolerance options, unwrapping the result.
+fn train_ok(tweets: &[Tweet], ner: EntityRecognizer, cfg: EdgeConfig) -> (EdgeModel, TrainReport) {
+    EdgeModel::train(tweets, ner, &bbox(), cfg, &TrainOptions::default()).expect("train")
 }
 
 #[test]
-#[should_panic(expected = "fewer than 2 entities")]
-fn corpus_without_entities_is_rejected() {
+fn empty_training_set_is_a_typed_error() {
+    let err = EdgeModel::train(&[], venue_ner(), &bbox(), tiny_config(), &TrainOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, TrainError::EmptyCorpus), "{err}");
+    assert!(err.to_string().contains("empty training set"));
+}
+
+#[test]
+fn corpus_without_entities_is_a_typed_error() {
     let tweets: Vec<Tweet> =
         (0..50).map(|i| tweet(i, "nothing recognizable here", 40.5, -74.5)).collect();
-    let _ = EdgeModel::train(&tweets, EntityRecognizer::new(), &bbox(), tiny_config());
+    let err = EdgeModel::train(
+        &tweets,
+        EntityRecognizer::new(),
+        &bbox(),
+        tiny_config(),
+        &TrainOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, TrainError::NoEntities(_)), "{err}");
 }
 
 #[test]
 fn trains_on_a_minimal_corpus() {
     let tweets = tiny_corpus(30);
-    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    let (model, report) = train_ok(&tweets, venue_ner(), tiny_config());
     assert_eq!(model.entity_index().len(), 3);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     let p = model.predict("meet me at beta park").expect("covered");
@@ -95,7 +110,7 @@ fn identical_locations_collapse_sigma_without_nan() {
         .collect();
     let mut cfg = tiny_config();
     cfg.epochs = 30;
-    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), cfg);
+    let (model, report) = train_ok(&tweets, venue_ner(), cfg);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
     let p = model.predict("alpha cafe").expect("covered");
     assert!(p.point.is_finite());
@@ -116,7 +131,7 @@ fn identical_locations_collapse_sigma_without_nan() {
 fn single_occurrence_entities_survive() {
     let mut tweets = tiny_corpus(20);
     tweets.push(tweet(999, "rare visit to gamma pier and alpha cafe", 40.8, -74.2));
-    let (model, _) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    let (model, _) = train_ok(&tweets, venue_ner(), tiny_config());
     // All entities present and predictable.
     for name in ["alpha_cafe", "beta_park", "gamma_pier"] {
         assert!(model.entity_index().get(name).is_some(), "{name} missing");
@@ -125,7 +140,7 @@ fn single_occurrence_entities_survive() {
 
 #[test]
 fn prediction_handles_adversarial_text() {
-    let (model, _) = EdgeModel::train(&tiny_corpus(20), venue_ner(), &bbox(), tiny_config());
+    let (model, _) = train_ok(&tiny_corpus(20), venue_ner(), tiny_config());
     for text in [
         "",
         "    ",
@@ -151,7 +166,7 @@ fn outlier_locations_do_not_poison_training() {
     for i in 0..3 {
         tweets.push(tweet(9000 + i, "at alpha cafe", 40.999, -74.001));
     }
-    let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), tiny_config());
+    let (model, report) = train_ok(&tweets, venue_ner(), tiny_config());
     assert!(report.epoch_losses.last().unwrap().is_finite());
     let p = model.predict("alpha cafe").expect("covered");
     // Prediction stays with the majority mass, not the outliers.
@@ -167,7 +182,7 @@ fn outlier_locations_do_not_poison_training() {
 fn one_component_mixture_trains_and_predicts() {
     let mut cfg = tiny_config().ablation_no_mixture();
     cfg.epochs = 10;
-    let (model, _) = EdgeModel::train(&tiny_corpus(25), venue_ner(), &bbox(), cfg);
+    let (model, _) = train_ok(&tiny_corpus(25), venue_ner(), cfg);
     let p = model.predict("gamma pier").expect("covered");
     assert_eq!(p.mixture.len(), 1);
     assert_eq!(p.mixture.weights()[0], 1.0);
@@ -178,7 +193,7 @@ fn many_components_with_few_data_points_stay_finite() {
     let mut cfg = tiny_config();
     cfg.n_components = 8; // more modes than venues
     cfg.epochs = 12;
-    let (model, report) = EdgeModel::train(&tiny_corpus(12), venue_ner(), &bbox(), cfg);
+    let (model, report) = train_ok(&tiny_corpus(12), venue_ner(), cfg);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     let p = model.predict("beta park").expect("covered");
     assert_eq!(p.mixture.len(), 8);
@@ -189,6 +204,6 @@ fn many_components_with_few_data_points_stay_finite() {
 fn gcn_depth_three_works() {
     let mut cfg = tiny_config();
     cfg.gcn_layers = 3;
-    let (model, _) = EdgeModel::train(&tiny_corpus(20), venue_ner(), &bbox(), cfg);
+    let (model, _) = train_ok(&tiny_corpus(20), venue_ner(), cfg);
     assert!(model.predict("alpha cafe").is_some());
 }

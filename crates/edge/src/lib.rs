@@ -36,7 +36,8 @@
 //! let ner = edge::data::dataset_recognizer(&dataset);
 //! let mut config = EdgeConfig::smoke();
 //! config.epochs = 2;
-//! let (model, report) = EdgeModel::train(train, ner, &dataset.bbox, config);
+//! let (model, report) =
+//!     EdgeModel::train(train, ner, &dataset.bbox, config, &TrainOptions::default()).unwrap();
 //! assert!(report.epoch_losses.last().unwrap().is_finite());
 //!
 //! // Predict: a full Gaussian mixture plus the Eq.-14 point estimate.
@@ -62,7 +63,9 @@ pub mod prelude {
     pub use edge_baselines::{
         Geolocator, HyperLocal, KullbackLeibler, LocKde, NaiveBayes, UnicodeCnn,
     };
-    pub use edge_core::{BowModel, EdgeConfig, EdgeModel, Prediction};
+    pub use edge_core::{
+        BowModel, EdgeConfig, EdgeModel, Prediction, TrainError, TrainOptions, TrainReport,
+    };
     pub use edge_data::{Dataset, PresetSize, SimDate, Tweet};
     pub use edge_geo::{BBox, DistanceReport, GaussianMixture, Point};
 }

@@ -1,0 +1,67 @@
+//! CRC-64/XZ (reflected, poly `0x42F0E1EBA9EA3693`): the checksum embedded
+//! in persisted EDGE artifacts so the loader can tell a bit-flipped or
+//! truncated file from a valid one.
+
+use std::sync::OnceLock;
+
+/// The reflected form of the CRC-64/XZ polynomial.
+const POLY_REFLECTED: u64 = 0xC96C_5795_D787_0F42;
+
+fn table() -> &'static [u64; 256] {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u64; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ POLY_REFLECTED } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-64/XZ of `bytes` (init `!0`, xorout `!0`).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let table = table();
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = table[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // The CRC-64/XZ catalogue check value.
+        assert_eq!(checksum(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = checksum(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), reference, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = vec![0xABu8; 256];
+        let reference = checksum(&data);
+        for len in 0..data.len() {
+            assert_ne!(checksum(&data[..len]), reference, "missed truncation to {len}");
+        }
+    }
+}

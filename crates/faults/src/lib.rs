@@ -1,0 +1,412 @@
+//! # edge-faults: fault injection and crash-safe I/O
+//!
+//! A fail-rs-style failpoint layer plus the crash-safe file primitives the
+//! rest of the workspace builds its durability story on.
+//!
+//! ## Failpoints
+//!
+//! A *failpoint* is a named hook compiled into library code:
+//!
+//! ```ignore
+//! edge_faults::failpoint!("persist.save");   // inside a Result-returning fn
+//! ```
+//!
+//! Inactive failpoints cost one relaxed atomic load and a branch — the same
+//! disabled-path discipline as `edge-obs` (measured by the `faults_overhead`
+//! criterion bench). When activated, a failpoint performs a configured
+//! [`Action`]: return an injected I/O error, truncate a write, panic, or
+//! abort the whole process — the crash/corruption repertoire the
+//! fault-injection test suite drives.
+//!
+//! Activation is either programmatic ([`configure`], usually through a
+//! [`FailScenario`] in tests) or via the `EDGE_FAILPOINTS` environment
+//! variable parsed by [`init_from_env`] (the CLI calls it at startup):
+//!
+//! ```text
+//! EDGE_FAILPOINTS='fsio.write=err;train.epoch_end=3*off->abort'
+//! ```
+//!
+//! The spec grammar follows fail-rs: `;`-separated `name=spec` pairs, where
+//! a spec is a `->`-chained sequence of terms, each an action with an
+//! optional hit-count prefix. `3*off->abort` means "do nothing for the first
+//! three hits, then abort the process" — how the CI kill-resume job dies
+//! deterministically mid-training.
+//!
+//! ## Crash-safe I/O
+//!
+//! [`fsio::atomic_write`] writes temp-file + fsync + atomic rename (+
+//! directory fsync), so a crash at any instant leaves either the old file or
+//! the new file, never a torn hybrid. [`crc64::checksum`] (CRC-64/XZ) is the
+//! integrity check `edge-core` embeds in every persisted artifact.
+
+pub mod crc64;
+pub mod fsio;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an active failpoint does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Do nothing (useful with a count prefix to delay a later term).
+    Off,
+    /// Surface an injected error to the caller (an `Other`-kind
+    /// `std::io::Error` from [`check`] / [`failpoint!`]).
+    Err(Option<String>),
+    /// Panic at the failpoint site.
+    Panic(Option<String>),
+    /// Abort the whole process — the programmable SIGKILL used by
+    /// crash-recovery tests.
+    Abort,
+    /// For write sites: persist only the first `n` bytes, then fail — a
+    /// torn-write simulation.
+    Partial(usize),
+}
+
+/// One term of a spec chain: an action that fires at most `remaining` times
+/// (`None` = forever).
+#[derive(Debug, Clone)]
+struct Term {
+    remaining: Option<u64>,
+    action: Action,
+}
+
+/// Global on/off switch: true iff at least one failpoint is configured. The
+/// only thing the inactive hot path ever reads.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Vec<Term>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Vec<Term>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Vec<Term>>> {
+    // A panic action poisons the lock by design; the registry data is still
+    // consistent (we never unwind mid-mutation).
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True when any failpoint is configured. The inactive fast path — a relaxed
+/// load and a branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Parses one spec chain, e.g. `"3*off->1*err(disk full)->abort"`.
+fn parse_spec(spec: &str) -> Result<Vec<Term>, String> {
+    spec.split("->").map(|term| parse_term(term.trim())).collect()
+}
+
+fn parse_term(term: &str) -> Result<Term, String> {
+    let (remaining, action) = match term.split_once('*') {
+        Some((count, action)) => {
+            let n: u64 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad hit count '{count}' in failpoint term '{term}'"))?;
+            (Some(n), action.trim())
+        }
+        None => (None, term),
+    };
+    // Split `name(arg)` into the action name and the optional argument.
+    let (name, arg) = match action.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed '(' in failpoint term '{term}'"))?;
+            (name.trim(), Some(arg.to_string()))
+        }
+        None => (action, None),
+    };
+    let action = match name {
+        "off" => Action::Off,
+        "err" | "return" => Action::Err(arg),
+        "panic" => Action::Panic(arg),
+        "abort" => Action::Abort,
+        "partial" => {
+            let arg = arg.ok_or_else(|| format!("partial needs a byte count in '{term}'"))?;
+            let n = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad partial byte count '{arg}' in '{term}'"))?;
+            Action::Partial(n)
+        }
+        other => {
+            return Err(format!("unknown failpoint action '{other}' (off|err|panic|abort|partial)"))
+        }
+    };
+    Ok(Term { remaining, action })
+}
+
+/// Configures one failpoint from a spec string. Replaces any existing
+/// configuration for `name`.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let terms = parse_spec(spec)?;
+    let mut reg = lock_registry();
+    reg.insert(name.to_string(), terms);
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Removes one failpoint.
+pub fn remove(name: &str) {
+    let mut reg = lock_registry();
+    reg.remove(name);
+    if reg.is_empty() {
+        ACTIVE.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Removes every configured failpoint and deactivates the layer.
+pub fn clear() {
+    let mut reg = lock_registry();
+    reg.clear();
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// The currently configured failpoint names (for diagnostics).
+pub fn list() -> Vec<String> {
+    let mut names: Vec<String> = lock_registry().keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Applies a `name=spec;name=spec` configuration string (the
+/// `EDGE_FAILPOINTS` format). Returns the number of failpoints configured.
+pub fn apply_config_string(config: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for pair in config.split(';') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, spec) =
+            pair.split_once('=').ok_or_else(|| format!("expected name=spec, got '{pair}'"))?;
+        configure(name.trim(), spec.trim())?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads `EDGE_FAILPOINTS` and configures the named failpoints. A missing or
+/// empty variable is a no-op. Returns the number of failpoints configured.
+pub fn init_from_env() -> Result<usize, String> {
+    match std::env::var("EDGE_FAILPOINTS") {
+        Ok(config) if !config.trim().is_empty() => apply_config_string(&config),
+        _ => Ok(0),
+    }
+}
+
+/// Evaluates a failpoint by name: consumes one hit and returns the injected
+/// action, or `None` when the failpoint is unconfigured/exhausted/`off`.
+/// `Panic` and `Abort` actions execute here and do not return.
+pub fn eval(name: &str) -> Option<Action> {
+    if !enabled() {
+        return None;
+    }
+    let action = {
+        let mut reg = lock_registry();
+        let terms = reg.get_mut(name)?;
+        let mut hit = None;
+        for term in terms.iter_mut() {
+            match &mut term.remaining {
+                Some(0) => continue,
+                Some(n) => {
+                    *n -= 1;
+                    hit = Some(term.action.clone());
+                    break;
+                }
+                None => {
+                    hit = Some(term.action.clone());
+                    break;
+                }
+            }
+        }
+        hit?
+        // Lock dropped before any panic/abort below.
+    };
+    match action {
+        Action::Off => None,
+        Action::Panic(msg) => {
+            panic!("failpoint '{name}': {}", msg.unwrap_or_else(|| "injected panic".to_string()))
+        }
+        Action::Abort => {
+            eprintln!("failpoint '{name}': aborting process");
+            std::process::abort();
+        }
+        other => Some(other),
+    }
+}
+
+/// Builds the injected `std::io::Error` for an `err` action at `name`.
+pub fn injected_error(name: &str, msg: Option<String>) -> std::io::Error {
+    std::io::Error::other(format!(
+        "failpoint '{name}': {}",
+        msg.unwrap_or_else(|| "injected error".to_string())
+    ))
+}
+
+/// Evaluates a failpoint and converts an `err` action into an I/O error
+/// (`partial` is treated as `err` here — only write sites honor the byte
+/// budget). The typical call site is the [`failpoint!`] macro.
+pub fn check(name: &str) -> std::io::Result<()> {
+    match eval(name) {
+        Some(Action::Err(msg)) => Err(injected_error(name, msg)),
+        Some(Action::Partial(_)) => Err(injected_error(name, Some("partial write".to_string()))),
+        _ => Ok(()),
+    }
+}
+
+/// True when the failpoint fired with an `err`/`partial` action — for sites
+/// that inject *state* corruption (e.g. a NaN gradient) rather than
+/// returning an error.
+pub fn fired(name: &str) -> bool {
+    matches!(eval(name), Some(Action::Err(_)) | Some(Action::Partial(_)))
+}
+
+/// The failpoint hook: a no-op branch when the layer is inactive; when the
+/// named failpoint is configured `err`, early-returns an injected
+/// `std::io::Error` via `?` (the enclosing function's error type must be
+/// `From<std::io::Error>`).
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::check($name)?;
+        }
+    };
+}
+
+fn scenario_lock() -> &'static Mutex<()> {
+    static SCENARIO: OnceLock<Mutex<()>> = OnceLock::new();
+    SCENARIO.get_or_init(|| Mutex::new(()))
+}
+
+/// Serializes fault-injection tests: holds a global lock for its lifetime,
+/// starts from a clean registry (plus anything in `EDGE_FAILPOINTS`), and
+/// clears all failpoints on drop. Mirrors fail-rs's `FailScenario`.
+pub struct FailScenario {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl FailScenario {
+    /// Acquires the scenario lock and resets failpoint state.
+    pub fn setup() -> Self {
+        let guard = scenario_lock().lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        init_from_env().expect("EDGE_FAILPOINTS parses");
+        Self { _guard: guard }
+    }
+}
+
+impl Drop for FailScenario {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_failpoints_do_nothing() {
+        let _s = FailScenario::setup();
+        assert!(!enabled());
+        assert!(eval("nope").is_none());
+        assert!(check("nope").is_ok());
+        assert!(!fired("nope"));
+    }
+
+    #[test]
+    fn err_action_yields_io_error() {
+        let _s = FailScenario::setup();
+        configure("t.err", "err(disk is gone)").unwrap();
+        let err = check("t.err").unwrap_err();
+        assert!(err.to_string().contains("disk is gone"), "{err}");
+        assert!(err.to_string().contains("t.err"));
+    }
+
+    #[test]
+    fn count_prefix_limits_hits() {
+        let _s = FailScenario::setup();
+        configure("t.count", "2*err").unwrap();
+        assert!(check("t.count").is_err());
+        assert!(check("t.count").is_err());
+        assert!(check("t.count").is_ok(), "third hit is exhausted");
+    }
+
+    #[test]
+    fn chains_advance_through_terms() {
+        let _s = FailScenario::setup();
+        configure("t.chain", "2*off->1*err(now)->off").unwrap();
+        assert!(check("t.chain").is_ok());
+        assert!(check("t.chain").is_ok());
+        assert!(check("t.chain").is_err(), "third hit errs");
+        assert!(check("t.chain").is_ok(), "then the trailing off term holds");
+        assert!(check("t.chain").is_ok());
+    }
+
+    #[test]
+    fn partial_action_carries_byte_budget() {
+        let _s = FailScenario::setup();
+        configure("t.partial", "partial(17)").unwrap();
+        assert_eq!(eval("t.partial"), Some(Action::Partial(17)));
+    }
+
+    #[test]
+    fn config_string_sets_many_and_reports_errors() {
+        let _s = FailScenario::setup();
+        assert_eq!(apply_config_string("a=err; b=2*off->abort ;").unwrap(), 2);
+        let mut names = list();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+        assert!(apply_config_string("broken").is_err());
+        assert!(apply_config_string("a=explode").is_err());
+        assert!(apply_config_string("a=partial").is_err(), "partial needs a byte count");
+        assert!(apply_config_string("a=err(unclosed").is_err());
+        assert!(apply_config_string("a=x*err").is_err());
+    }
+
+    #[test]
+    fn remove_and_clear_deactivate() {
+        let _s = FailScenario::setup();
+        configure("t.rm", "err").unwrap();
+        assert!(enabled());
+        remove("t.rm");
+        assert!(!enabled());
+        configure("t.rm", "err").unwrap();
+        clear();
+        assert!(!enabled());
+        assert!(check("t.rm").is_ok());
+    }
+
+    #[test]
+    fn panic_action_panics_at_site() {
+        let _s = FailScenario::setup();
+        configure("t.panic", "panic(boom)").unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            let _ = eval("t.panic");
+        });
+        let err = caught.unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom"), "{msg}");
+        // The registry survives a panicking failpoint.
+        clear();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn failpoint_macro_early_returns() {
+        let _s = FailScenario::setup();
+        fn site() -> std::io::Result<u32> {
+            crate::failpoint!("t.macro");
+            Ok(7)
+        }
+        assert_eq!(site().unwrap(), 7);
+        configure("t.macro", "err").unwrap();
+        assert!(site().is_err());
+    }
+}

@@ -20,6 +20,9 @@ pub struct EpochRecord {
     /// Training throughput for the epoch.
     pub tweets_per_sec: f64,
     pub wall_secs: f64,
+    /// Divergence-guard rollbacks performed so far in the run (cumulative,
+    /// so a jump in this series marks the epoch that diverged).
+    pub rollbacks: u64,
 }
 
 /// In-memory sink for one training run.
@@ -87,9 +90,10 @@ pub fn from_jsonl(input: &str) -> Result<Vec<EpochRecord>, serde_json::Error> {
 pub fn write_to_dir(dir: impl AsRef<Path>) -> std::io::Result<Option<PathBuf>> {
     let t = sink().lock().unwrap();
     let Some(run) = &t.run else { return Ok(None) };
-    std::fs::create_dir_all(dir.as_ref())?;
     let path = dir.as_ref().join(format!("{run}.jsonl"));
-    std::fs::write(&path, to_jsonl(&t.records))?;
+    // Crash-safe: a run killed mid-dump leaves either the previous telemetry
+    // file or the new one, never a torn half of each.
+    edge_faults::fsio::atomic_write(&path, to_jsonl(&t.records).as_bytes())?;
     Ok(Some(path))
 }
 
@@ -105,6 +109,7 @@ mod tests {
             lr: 1e-3,
             tweets_per_sec: 800.0,
             wall_secs: 0.4,
+            rollbacks: 0,
         }
     }
 

@@ -34,7 +34,8 @@ fn main() {
     cfg.embed_dim = 32;
     cfg.hidden_dim = 32;
     cfg.sgns.dim = 32;
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, cfg);
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, cfg, &TrainOptions::default()).expect("train");
     let (preds, coverage) = model.evaluate(test);
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
     if let Some(report) = DistanceReport::from_pairs_with_coverage(&pairs, coverage) {

@@ -16,7 +16,9 @@ fn main() {
     let (train, _) = dataset.paper_split();
     let ner = edge::data::dataset_recognizer(&dataset);
     println!("training EDGE on the training window ...");
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
 
     // The two Figure-1 windows.
     let windows = [

@@ -16,7 +16,9 @@ fn main() {
     let (train, _) = dataset.paper_split();
     let ner = edge::data::dataset_recognizer(&dataset);
     println!("training EDGE on the NY 2020 crawl ({} tweets) ...", train.len());
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
     println!("fitting the Hyper-local baseline ...\n");
     let hyperlocal = HyperLocal::fit(train, HyperLocalParams::default());
 

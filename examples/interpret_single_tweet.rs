@@ -12,7 +12,9 @@ fn main() {
     let (train, test) = dataset.paper_split();
     let ner = edge::data::dataset_recognizer(&dataset);
     println!("training EDGE on {} covid tweets ...\n", train.len());
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
 
     // A held-out quarantine tweet, like the paper's protest example.
     let (tweet, prediction) = test

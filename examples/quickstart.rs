@@ -18,7 +18,9 @@ fn main() {
     println!("training EDGE ...");
     let ner = edge::data::dataset_recognizer(&dataset);
     let config = EdgeConfig::smoke();
-    let (model, report) = EdgeModel::train(train, ner, &dataset.bbox, config);
+    let (model, report) =
+        EdgeModel::train(train, ner, &dataset.bbox, config, &TrainOptions::default())
+            .expect("train");
     println!(
         "  entities in graph: {} | training NLL: {:.3} -> {:.3}\n",
         model.entity_index().len(),

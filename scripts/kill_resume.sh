@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Kill-resume crash test: SIGKILL an `edge-cli train` run as soon as it has
+# written a checkpoint, resume it, and require the final model to be
+# byte-identical to an uninterrupted reference run.
+#
+# Usage: scripts/kill_resume.sh  (expects a release edge-cli; override with
+# EDGE_CLI=path/to/edge-cli)
+set -euo pipefail
+
+BIN=${EDGE_CLI:-target/release/edge-cli}
+if [ ! -x "$BIN" ]; then
+    echo "building edge-cli ..."
+    cargo build --release -p edge-cli
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" generate --preset nyma --size smoke --seed 7 --out "$WORK/corpus.json"
+
+# Reference: one uninterrupted run.
+"$BIN" train --data "$WORK/corpus.json" --profile smoke --epochs 6 \
+    --out "$WORK/reference.json"
+
+# Victim: checkpoints every epoch; SIGKILLed the moment a checkpoint lands.
+"$BIN" train --data "$WORK/corpus.json" --profile smoke --epochs 6 \
+    --checkpoint-dir "$WORK/ckpt" --checkpoint-every 1 \
+    --out "$WORK/resumed.json" &
+pid=$!
+for _ in $(seq 1 600); do
+    if compgen -G "$WORK/ckpt/ckpt-*.edge" > /dev/null; then break; fi
+    kill -0 "$pid" 2>/dev/null || break # finished before we could kill it
+    sleep 0.05
+done
+if kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid"
+    echo "SIGKILLed training (pid $pid) mid-run"
+fi
+wait "$pid" 2>/dev/null || true
+
+# Every checkpoint that survived the kill must verify end to end — a torn
+# write may never surface as a readable file.
+for f in "$WORK"/ckpt/ckpt-*.edge; do
+    "$BIN" fsck "$f"
+done
+
+# Resume and finish the interrupted run.
+"$BIN" train --data "$WORK/corpus.json" --profile smoke --epochs 6 \
+    --checkpoint-dir "$WORK/ckpt" --checkpoint-every 1 --resume \
+    --out "$WORK/resumed.json"
+
+cmp "$WORK/reference.json" "$WORK/resumed.json"
+echo "kill-resume OK: resumed model is byte-identical to the reference"

@@ -17,7 +17,8 @@ fn dataset() -> edge::data::Dataset {
 fn edge_report(d: &edge::data::Dataset, config: EdgeConfig) -> DistanceReport {
     let (train, test) = d.paper_split();
     let ner = edge::data::dataset_recognizer(d);
-    let (model, _) = EdgeModel::train(train, ner, &d.bbox, config);
+    let (model, _) =
+        EdgeModel::train(train, ner, &d.bbox, config, &TrainOptions::default()).expect("train");
     let (preds, coverage) = model.evaluate(test);
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
     DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap()
@@ -36,7 +37,9 @@ fn edge_beats_naive_bayes() {
     let test = &test[..2000];
 
     let ner = edge::data::dataset_recognizer(&d);
-    let (model, _) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::fast());
+    let (model, _) =
+        EdgeModel::train(train, ner, &d.bbox, EdgeConfig::fast(), &TrainOptions::default())
+            .expect("train");
     let (preds, coverage) = model.evaluate(test);
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
     let edge = DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap();
@@ -99,7 +102,9 @@ fn mixture_head_expresses_multimodality_where_nomixture_cannot() {
     let d = dataset();
     let (train, test) = d.paper_split();
     let ner = edge::data::dataset_recognizer(&d);
-    let (full, _) = EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke());
+    let (full, _) =
+        EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
 
     // Across covered test tweets, the full model frequently uses more than
     // one effective component (weight entropy > 0.2 nats).

@@ -8,7 +8,9 @@ fn trained_on(seed: u64) -> (EdgeModel, edge::data::Dataset) {
     let dataset = edge::data::nyma(PresetSize::Smoke, seed);
     let (train, _) = dataset.paper_split();
     let ner = edge::data::dataset_recognizer(&dataset);
-    let (model, _) = EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke());
+    let (model, _) =
+        EdgeModel::train(train, ner, &dataset.bbox, EdgeConfig::smoke(), &TrainOptions::default())
+            .expect("train");
     (model, dataset)
 }
 
@@ -71,7 +73,7 @@ fn attention_differentiates_entities() {
     let mut asymmetric = 0;
     let mut pairs = 0;
     for i in (0..n - 1).step_by(3).take(40) {
-        let p = model.predict_entities(&[i, i + 1]);
+        let p = model.predict_entities(&[i, i + 1]).expect("covered");
         assert_eq!(p.attention.len(), 2);
         let w0 = p.attention[0].1;
         pairs += 1;
