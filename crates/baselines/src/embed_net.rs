@@ -108,12 +108,12 @@ impl EmbedNet {
                 let mut log_comp = Matrix::full(batch.len(), n_cells, -1e9);
                 for (r, &i) in batch.iter().enumerate() {
                     let ids = &encoded[i];
-                    let gathered = tape.gather_rows(table, ids.clone());
+                    let gathered = tape.gather_rows(table, ids);
                     let summed = tape.sum_rows(gathered);
                     rows.push(tape.scale(summed, 1.0 / ids.len() as f32));
                     log_comp.set(r, targets[i], 0.0);
                 }
-                let z = tape.concat_rows(rows);
+                let z = tape.concat_rows(&rows);
                 let wn = tape.param(model.w, &model.params);
                 let bn = tape.param(model.b, &model.params);
                 let lin = tape.matmul(z, wn);
@@ -121,6 +121,9 @@ impl EmbedNet {
                 let nll = tape.mixture_const_nll(logits, &log_comp);
                 let loss = tape.scale(nll, 1.0 / batch.len() as f32);
                 let grads = tape.backward(loss);
+                // Drop the tape's shared parameter leaves before stepping so
+                // the copy-on-write update happens in place.
+                drop(tape);
                 optimizer.step(&mut model.params, &grads);
             }
         }

@@ -152,7 +152,7 @@ impl UnicodeCnn {
                 let mut pooled_rows = Vec::with_capacity(batch.len());
                 let mut log_comp = Matrix::zeros(batch.len(), model.mixture.len());
                 for (row, &i) in batch.iter().enumerate() {
-                    let seq = tape.gather_rows(embed_node, id_rows[i].clone());
+                    let seq = tape.gather_rows(embed_node, &id_rows[i]);
                     let unfolded = tape.im2col(seq, model.config.kernel);
                     let conv = tape.matmul(unfolded, conv_w_node);
                     let biased = tape.add_row_broadcast(conv, conv_b_node);
@@ -160,7 +160,7 @@ impl UnicodeCnn {
                     pooled_rows.push(tape.max_pool_rows(act));
                     log_comp.row_mut(row).copy_from_slice(&log_comp_rows[i]);
                 }
-                let pooled = tape.concat_rows(pooled_rows);
+                let pooled = tape.concat_rows(&pooled_rows);
                 let dw = tape.param(model.dense_w, &model.params);
                 let db = tape.param(model.dense_b, &model.params);
                 let lin = tape.matmul(pooled, dw);
@@ -168,6 +168,9 @@ impl UnicodeCnn {
                 let nll = tape.mixture_const_nll(logits, &log_comp);
                 let loss = tape.scale(nll, 1.0 / batch.len() as f32);
                 let grads = tape.backward(loss);
+                // Drop the tape's shared parameter leaves before stepping so
+                // the copy-on-write update happens in place.
+                drop(tape);
                 optimizer.step(&mut model.params, &grads);
             }
         }

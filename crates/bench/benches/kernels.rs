@@ -128,7 +128,7 @@ fn bench_attention_forward_backward(c: &mut Criterion) {
                     edge_core::attention::attention_aggregate(&mut tape, sn, ids, q1, b1, &params)
                 })
                 .collect();
-            let z = tape.concat_rows(zs);
+            let z = tape.concat_rows(&zs);
             let w = tape.param(q2, &params);
             let bias = tape.param(b2, &params);
             let lin = tape.matmul(z, w);

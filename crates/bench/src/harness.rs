@@ -327,26 +327,39 @@ pub struct SpeedupLeg {
     pub train_secs: f64,
     /// Mean error — must agree across legs (accuracy parity).
     pub mean_km: f64,
+    /// Steady-state heap allocations per training batch (minimum over all
+    /// batches). `None` unless the `alloc-stats` counting allocator is
+    /// compiled in. Zero for the arena legs; large for the fresh-alloc leg.
+    #[serde(default)]
+    pub allocs_per_batch: Option<u64>,
 }
 
-/// Before/after table for the pooled-dispatch work: the same EDGE training
-/// run under serial (1 thread), legacy spawn-per-call dispatch, and the
-/// persistent pool.
+/// Before/after table for the training hot path: the same EDGE training run
+/// under serial (1 thread), legacy spawn-per-call dispatch, the fresh-alloc
+/// reference (no tape arena), and the persistent pool with arena reuse.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdgeSpeedup {
     pub legs: Vec<SpeedupLeg>,
     /// `serial train_secs / pooled train_secs` — the headline number. ~1.0
     /// on a single-core host.
     pub train_speedup: f64,
+    /// `fresh-alloc train_secs / pooled train_secs` — what the tape arena
+    /// buys at identical thread count and dispatch mode.
+    #[serde(default)]
+    pub arena_speedup: f64,
 }
 
-fn run_edge_leg(dataset: &Dataset, config: &EdgeConfig, label: &str) -> SpeedupLeg {
+fn run_edge_leg(
+    dataset: &Dataset,
+    config: &EdgeConfig,
+    label: &str,
+    opts: &TrainOptions,
+) -> SpeedupLeg {
     let (train, test) = dataset.paper_split();
     let ner = dataset_recognizer(dataset);
     let start = std::time::Instant::now();
     let (model, report) =
-        EdgeModel::train(train, ner, &dataset.bbox, config.clone(), &TrainOptions::default())
-            .expect("train");
+        EdgeModel::train(train, ner, &dataset.bbox, config.clone(), opts).expect("train");
     let (preds, coverage) = model.evaluate(test);
     let wall_secs = start.elapsed().as_secs_f64();
     let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
@@ -358,42 +371,52 @@ fn run_edge_leg(dataset: &Dataset, config: &EdgeConfig, label: &str) -> SpeedupL
         wall_secs,
         train_secs: report.train_loop_secs(),
         mean_km: dist.mean_km,
+        allocs_per_batch: report.steady_batch_allocs,
     }
 }
 
-/// Measures the pooled-dispatch speedup on EDGE training: serial (pool
-/// clamped to 1 thread) vs spawn-per-call dispatch vs the persistent pool,
-/// all at identical seeds. The kernels are bit-for-bit deterministic across
-/// thread counts, so `mean_km` must match exactly across legs.
+/// Measures the hot-path speedups on EDGE training: serial (pool clamped to
+/// 1 thread) vs spawn-per-call dispatch vs fresh allocation (arena disabled)
+/// vs the persistent pool with arena reuse, all at identical seeds. The
+/// kernels are bit-for-bit deterministic across thread counts and the arena
+/// is bit-for-bit invisible, so `mean_km` must match exactly across legs.
 pub fn run_edge_speedup(dataset: &Dataset, config: &EdgeConfig) -> EdgeSpeedup {
+    let opts = TrainOptions::default();
     let serial =
-        edge_par::with_max_threads(1, || run_edge_leg(dataset, config, "serial (1 thread)"));
+        edge_par::with_max_threads(1, || run_edge_leg(dataset, config, "serial (1 thread)", &opts));
     let spawn = {
         let prev = edge_par::dispatch_mode();
         edge_par::set_dispatch_mode(edge_par::DispatchMode::Spawn);
-        let leg = run_edge_leg(dataset, config, "spawn-per-call");
+        let leg = run_edge_leg(dataset, config, "spawn-per-call", &opts);
         edge_par::set_dispatch_mode(prev);
         leg
     };
-    let pooled = run_edge_leg(dataset, config, "persistent pool");
+    let fresh = {
+        let fresh_opts = TrainOptions { fresh_alloc: true, ..TrainOptions::default() };
+        run_edge_leg(dataset, config, "fresh-alloc (no arena)", &fresh_opts)
+    };
+    let pooled = run_edge_leg(dataset, config, "persistent pool", &opts);
     let train_speedup = serial.train_secs / pooled.train_secs.max(1e-9);
-    EdgeSpeedup { legs: vec![serial, spawn, pooled], train_speedup }
+    let arena_speedup = fresh.train_secs / pooled.train_secs.max(1e-9);
+    EdgeSpeedup { legs: vec![serial, spawn, fresh, pooled], train_speedup, arena_speedup }
 }
 
 /// Renders the EDGE speedup comparison as aligned text.
 pub fn render_speedup_table(s: &EdgeSpeedup) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<18} {:>8} {:>10} {:>11} {:>9}\n",
-        "Config", "Threads", "Wall(s)", "Train(s)", "Mean(km)"
+        "{:<22} {:>8} {:>10} {:>11} {:>9} {:>12}\n",
+        "Config", "Threads", "Wall(s)", "Train(s)", "Mean(km)", "Alloc/batch"
     ));
     for leg in &s.legs {
+        let allocs = leg.allocs_per_batch.map_or_else(|| "-".to_string(), |a| a.to_string());
         out.push_str(&format!(
-            "{:<18} {:>8} {:>10.2} {:>11.2} {:>9.2}\n",
-            leg.label, leg.threads, leg.wall_secs, leg.train_secs, leg.mean_km
+            "{:<22} {:>8} {:>10.2} {:>11.2} {:>9.2} {:>12}\n",
+            leg.label, leg.threads, leg.wall_secs, leg.train_secs, leg.mean_km, allocs
         ));
     }
     out.push_str(&format!("train-loop speedup (serial / pooled): {:.2}x\n", s.train_speedup));
+    out.push_str(&format!("arena speedup (fresh-alloc / pooled): {:.2}x\n", s.arena_speedup));
     out
 }
 

@@ -38,6 +38,9 @@ COMMANDS:
                                                       default 1)
                  --resume                            (continue from the newest
                                                       checkpoint in --checkpoint-dir)
+                 --fresh-alloc                       (disable the tape arena; allocate
+                                                      every batch fresh — bit-identical,
+                                                      for A/B timing)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
                  --telemetry-out <dir>               (write per-epoch telemetry JSONL)
@@ -67,7 +70,7 @@ COMMANDS:
 ";
 
 /// Flags that take no value; present maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior"];
+const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior", "fresh-alloc"];
 
 /// Parses `--key value` pairs plus the valueless [`BOOL_FLAGS`].
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -248,6 +251,11 @@ pub fn train(args: &[String]) -> Result<(), String> {
             return Err("--resume needs --checkpoint-dir".to_string());
         }
         opts.resume = true;
+    }
+    // Escape hatch: disable the tape arena and allocate every batch fresh
+    // (bit-identical results; for A/B timing and allocator debugging).
+    if flags.contains_key("fresh-alloc") {
+        opts.fresh_alloc = true;
     }
 
     let dataset = load_dataset(data)?;

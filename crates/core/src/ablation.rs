@@ -95,6 +95,9 @@ impl BowModel {
                 let nll = tape.gmm_nll(theta, &targets, m);
                 let loss = tape.scale(nll, 1.0 / batch.len() as f32);
                 let grads = tape.backward(loss);
+                // Drop the tape's shared parameter leaves before stepping so
+                // the copy-on-write update happens in place.
+                drop(tape);
                 optimizer.step(&mut model.params, &grads);
             }
         }

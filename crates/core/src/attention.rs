@@ -22,7 +22,7 @@ pub fn attention_aggregate(
     assert!(!entity_indices.is_empty(), "attention needs at least one entity");
     edge_obs::counter!("core.attention.aggregate.calls").inc(1);
     let _span = edge_obs::span("attention");
-    let h = tape.gather_rows(smoothed, entity_indices.to_vec()); // K x h
+    let h = tape.gather_rows(smoothed, entity_indices); // K x h
     let q = tape.param(q1, params); // h x 1
     let b = tape.param(b1, params); // 1 x 1
     let scores = tape.matmul(h, q); // Eq. 2: K x 1
@@ -36,7 +36,7 @@ pub fn attention_aggregate(
 /// Tape path of the SUM ablation: plain summation of entity rows.
 pub fn sum_aggregate(tape: &mut Tape, smoothed: NodeId, entity_indices: &[usize]) -> NodeId {
     assert!(!entity_indices.is_empty(), "aggregation needs at least one entity");
-    let h = tape.gather_rows(smoothed, entity_indices.to_vec());
+    let h = tape.gather_rows(smoothed, entity_indices);
     tape.sum_rows(h)
 }
 

@@ -30,6 +30,7 @@ pub mod config;
 pub mod entity2vec;
 pub mod error;
 pub mod gcn;
+mod infer;
 pub mod mdn;
 pub mod model;
 pub mod persist;

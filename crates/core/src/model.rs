@@ -15,17 +15,17 @@ use edge_graph::{
     build_cooccurrence_graph, graph_stats, normalized_adjacency_triplets, GraphStats,
 };
 use edge_tensor::init::xavier_uniform;
-use edge_tensor::tape::{ParamId, ParamStore, Tape};
-use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer};
+use edge_tensor::tape::{NodeId, ParamId, ParamStore, Tape};
+use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer, TapeArena};
 use edge_text::EntityRecognizer;
 
-use crate::attention::{attention_aggregate, attention_infer, sum_aggregate, sum_infer};
+use crate::attention::{attention_aggregate, sum_aggregate};
 use crate::checkpoint::{CheckpointState, Checkpointer, CHECKPOINT_VERSION};
 use crate::config::EdgeConfig;
 use crate::entity2vec::{run_entity2vec, EntityIndex};
 use crate::error::{PredictError, TrainError};
 use crate::gcn::{gcn_forward, gcn_infer};
-use crate::mdn::{decode_theta, init_head_bias, theta_width};
+use crate::mdn::{init_head_bias, theta_width};
 
 /// A location prediction: the mixture (the paper's primary output), the
 /// Eq.-14 point estimate, and the interpretability signals.
@@ -57,6 +57,10 @@ pub struct TrainReport {
     /// Epoch the run (re)started from: 0 for a fresh run, the resumed
     /// checkpoint's next epoch otherwise.
     pub start_epoch: usize,
+    /// Minimum heap allocations observed in a single training batch —
+    /// `Some(0)` demonstrates the zero-allocation steady state. `None`
+    /// unless the `alloc-stats` counting allocator is compiled in.
+    pub steady_batch_allocs: Option<u64>,
 }
 
 /// Fault-tolerance knobs for [`EdgeModel::train`]. The default disables
@@ -80,6 +84,11 @@ pub struct TrainOptions {
     pub max_rollbacks: u32,
     /// Optional global-norm gradient clipping threshold.
     pub grad_clip: Option<f32>,
+    /// Disable cross-batch buffer recycling and allocate every tape buffer
+    /// fresh — the reference mode the arena path is verified against (its
+    /// results are bit-for-bit identical; this switch only changes where the
+    /// memory comes from).
+    pub fresh_alloc: bool,
 }
 
 impl Default for TrainOptions {
@@ -91,6 +100,7 @@ impl Default for TrainOptions {
             resume: false,
             max_rollbacks: 3,
             grad_clip: None,
+            fresh_alloc: false,
         }
     }
 }
@@ -111,7 +121,7 @@ fn clip_global_norm(grads: &mut [(ParamId, Matrix)], clip: f32) {
     if norm.is_finite() && norm > clip as f64 {
         let factor = (clip as f64 / norm) as f32;
         for (_, g) in grads.iter_mut() {
-            *g = g.scale(factor);
+            g.scale_inplace(factor);
         }
     }
 }
@@ -129,7 +139,8 @@ pub struct EdgeModel {
     ner: EntityRecognizer,
     index: EntityIndex,
     adjacency: Arc<CsrMatrix>,
-    features: Matrix,
+    /// Entity2vec features, shared with training tapes zero-copy.
+    features: Arc<Matrix>,
     params: ParamStore,
     w_gcn: Vec<ParamId>,
     q1: ParamId,
@@ -234,11 +245,11 @@ impl EdgeModel {
         let q2 = params.add("q2", xavier_uniform(h_dim, out, &mut rng).scale(0.1));
         let b2 = params.add("b2", init_head_bias(bbox, config.n_components));
 
-        let features = Matrix::from_vec(
+        let features = Arc::new(Matrix::from_vec(
             e2v.index.len(),
             config.embed_dim,
             e2v.embeddings.iter().flatten().copied().collect(),
-        );
+        ));
 
         // The training-split location prior, kept for the opt-in
         // zero-entity fallback at prediction time.
@@ -381,6 +392,19 @@ impl EdgeModel {
         let start_epoch = epoch;
 
         let telemetry_on = edge_obs::telemetry::active();
+        let alloc_on = edge_obs::alloc::active();
+
+        // Cross-batch recycled storage: the tape arena plus the staging
+        // vectors for aggregation rows, targets and gradients all live for
+        // the whole run, so once the first epoch has warmed the pools a
+        // steady-state batch performs zero heap allocations
+        // (`opts.fresh_alloc` reverts to per-batch allocation — the
+        // bit-identical reference mode).
+        let mut arena = TapeArena::new();
+        let mut z_rows: Vec<NodeId> = Vec::new();
+        let mut targets: Vec<(f64, f64)> = Vec::new();
+        let mut grads: Vec<(ParamId, Matrix)> = Vec::new();
+        let mut steady_batch_allocs: Option<u64> = None;
 
         'epochs: while epoch < self.config.epochs {
             let _epoch_span = edge_obs::span("epoch");
@@ -394,16 +418,23 @@ impl EdgeModel {
             // Per-group sum of squared gradient entries over the epoch
             // (gcn / attention / head), reported as L2 norms in telemetry.
             let mut grad_sq = [0.0f64; 3];
+            let mut epoch_min_allocs: Option<u64> = None;
             for batch in order.chunks(self.config.batch_size) {
-                let mut tape = Tape::new();
-                let x = tape.constant(self.features.clone());
+                let allocs_before =
+                    if alloc_on { Some(edge_obs::alloc::counts().count) } else { None };
+                let mut tape = if opts.fresh_alloc {
+                    Tape::new()
+                } else {
+                    Tape::with_arena(std::mem::take(&mut arena))
+                };
+                let x = tape.constant_shared(Arc::clone(&self.features));
                 let smoothed = if self.config.use_gcn {
                     gcn_forward(&mut tape, &self.adjacency, x, &self.w_gcn, &self.params)
                 } else {
                     x
                 };
-                let mut z_rows = Vec::with_capacity(batch.len());
-                let mut targets = Vec::with_capacity(batch.len());
+                z_rows.clear();
+                targets.clear();
                 for &i in batch {
                     let z = if self.config.use_attention {
                         attention_aggregate(
@@ -421,7 +452,7 @@ impl EdgeModel {
                     targets.push((train[i].location.lat, train[i].location.lon));
                 }
                 let mdn_span = edge_obs::span("mdn");
-                let z = tape.concat_rows(z_rows); // B x h
+                let z = tape.concat_rows(&z_rows); // B x h
                 let w = tape.param(self.q2, &self.params);
                 let b = tape.param(self.b2, &self.params);
                 let lin = tape.matmul(z, w);
@@ -430,13 +461,21 @@ impl EdgeModel {
                 let loss = tape.scale(nll_sum, 1.0 / batch.len() as f32);
                 drop(mdn_span);
                 let batch_nll = tape.scalar(nll_sum) as f64;
-                let mut grads = tape.backward(loss);
+                tape.backward_into(loss, &mut grads);
+                // Retire the tape *before* the optimizer step: its shared
+                // parameter leaves drop their refcounts here, so Adam's
+                // copy-on-write `get_mut` updates in place instead of
+                // deep-cloning every parameter.
+                if opts.fresh_alloc {
+                    drop(tape);
+                } else {
+                    arena = tape.into_arena();
+                }
                 if edge_faults::enabled() && edge_faults::fired("train.poison_grads") {
                     // Fault-injection hook: simulate a numerically exploded
                     // step by poisoning the first gradient.
                     if let Some((_, g)) = grads.first_mut() {
-                        let (r, c) = g.shape();
-                        *g = Matrix::full(r, c, f32::NAN);
+                        g.fill(f32::NAN);
                     }
                 }
                 if let Some(clip) = opts.grad_clip {
@@ -494,6 +533,11 @@ impl EdgeModel {
                         "[guard] {detail} at epoch {epoch}: rolled back to {} with lr {lr}",
                         path.display()
                     );
+                    if !opts.fresh_alloc {
+                        for (_, g) in grads.drain(..) {
+                            arena.recycle(g);
+                        }
+                    }
                     continue 'epochs;
                 }
 
@@ -506,6 +550,19 @@ impl EdgeModel {
                 let step_span = edge_obs::span("adam.step");
                 optimizer.step(&mut self.params, &grads);
                 drop(step_span);
+                if opts.fresh_alloc {
+                    grads.clear();
+                } else {
+                    // Gradient buffers go back to the pool for the next batch.
+                    for (_, g) in grads.drain(..) {
+                        arena.recycle(g);
+                    }
+                }
+                if let Some(before) = allocs_before {
+                    let delta = edge_obs::alloc::counts().count.saturating_sub(before);
+                    epoch_min_allocs = Some(epoch_min_allocs.map_or(delta, |m| m.min(delta)));
+                    steady_batch_allocs = Some(steady_batch_allocs.map_or(delta, |m| m.min(delta)));
+                }
 
                 epoch_nll += batch_nll;
                 n_tweets += batch.len();
@@ -529,6 +586,7 @@ impl EdgeModel {
                     tweets_per_sec: n_tweets as f64 / wall_secs.max(1e-9),
                     wall_secs,
                     rollbacks,
+                    batch_allocs: epoch_min_allocs,
                 });
             }
             if let Some(cp) = &checkpointer {
@@ -565,6 +623,7 @@ impl EdgeModel {
             graph,
             rollbacks,
             start_epoch,
+            steady_batch_allocs,
         })
     }
 
@@ -586,7 +645,7 @@ impl EdgeModel {
             let weights: Vec<&Matrix> = self.w_gcn.iter().map(|&w| self.params.get(w)).collect();
             gcn_infer(&self.adjacency, &self.features, &weights)
         } else {
-            self.features.clone()
+            Matrix::clone(&self.features)
         };
     }
 
@@ -612,7 +671,7 @@ impl EdgeModel {
             ner,
             index,
             adjacency,
-            features,
+            features: Arc::new(features),
             params,
             w_gcn,
             q1,
@@ -740,9 +799,13 @@ impl EdgeModel {
     /// `edge-par` pool (prediction is pure). Output is in input order;
     /// uncovered tweets yield `None` at their position.
     pub fn predict_batch(&self, texts: &[&str]) -> Vec<Option<Prediction>> {
-        use rayon::prelude::*;
         let _span = edge_obs::span("predict_batch");
-        texts.par_iter().map(|t| self.predict(t)).collect()
+        let mut out: Vec<Option<Prediction>> = Vec::with_capacity(texts.len());
+        out.resize_with(texts.len(), || None);
+        edge_par::parallel_for_chunks_mut(&mut out, 1, |i, slot| {
+            slot[0] = self.predict(texts[i]);
+        });
+        out
     }
 
     /// Predicts from resolved entity indices. An empty slice is a typed
@@ -752,18 +815,15 @@ impl EdgeModel {
         if entities.is_empty() {
             return Err(PredictError::NoEntities);
         }
-        let (z, weights) = if self.config.use_attention {
-            attention_infer(
-                &self.smoothed,
-                entities,
-                self.params.get(self.q1),
-                self.params.get(self.b1),
-            )
-        } else {
-            (sum_infer(&self.smoothed, entities), Vec::new())
+        let p = crate::infer::InferParams {
+            q1: self.params.get(self.q1),
+            b1: self.params.get(self.b1),
+            q2: self.params.get(self.q2),
+            b2: self.params.get(self.b2),
+            use_attention: self.config.use_attention,
+            n_components: self.config.n_components,
         };
-        let theta = z.matmul(self.params.get(self.q2)).add_row_broadcast(self.params.get(self.b2));
-        let mixture = decode_theta(theta.row(0), self.config.n_components);
+        let (mixture, weights) = crate::infer::infer_prediction(&self.smoothed, entities, &p);
         let point = mixture.mode();
         let attention = entities
             .iter()
@@ -777,11 +837,13 @@ impl EdgeModel {
     /// covered tweets (in input order) and the coverage fraction.
     /// Prediction is pure, so tweets are scored in parallel.
     pub fn evaluate(&self, test: &[Tweet]) -> (Vec<(Prediction, Point)>, f64) {
-        use rayon::prelude::*;
         let _span = edge_obs::span("evaluate");
-        let out: Vec<(Prediction, Point)> = test
-            .par_iter()
-            .filter_map(|t| self.predict(&t.text).map(|p| (p, t.location)))
+        let texts: Vec<&str> = test.iter().map(|t| t.text.as_str()).collect();
+        let out: Vec<(Prediction, Point)> = self
+            .predict_batch(&texts)
+            .into_iter()
+            .zip(test)
+            .filter_map(|(p, t)| p.map(|p| (p, t.location)))
             .collect();
         let coverage = out.len() as f64 / test.len().max(1) as f64;
         // Uncovered tweets are exactly those whose entity resolution came up
@@ -909,6 +971,39 @@ mod tests {
         let p1 = m1.predict_entities(&[0, 1]).unwrap();
         let p2 = m2.predict_entities(&[0, 1]).unwrap();
         assert_eq!(p1.point, p2.point);
+    }
+
+    #[test]
+    fn fresh_alloc_reference_mode_is_bit_identical() {
+        // The arena path re-carves recycled (re-zeroed) buffers; the
+        // fresh-alloc path allocates everything. Same numbers, to the bit —
+        // losses, parameters, and predictions.
+        let d = nyma(PresetSize::Smoke, 21);
+        let (train, _) = d.paper_split();
+        let mut cfg = EdgeConfig::smoke();
+        cfg.epochs = 2;
+        let (m1, r1) = EdgeModel::train(
+            &train[..800],
+            dataset_recognizer(&d),
+            &d.bbox,
+            cfg.clone(),
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        let opts = TrainOptions { fresh_alloc: true, ..TrainOptions::default() };
+        let (m2, r2) =
+            EdgeModel::train(&train[..800], dataset_recognizer(&d), &d.bbox, cfg, &opts).unwrap();
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        for ((_, name, a), (_, _, b)) in m1.param_store().iter().zip(m2.param_store().iter()) {
+            assert_eq!(a.shape(), b.shape(), "{name}");
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!(x.to_bits() == y.to_bits(), "{name}: {x} vs {y}");
+            }
+        }
+        let p1 = m1.predict_entities(&[0, 1]).unwrap();
+        let p2 = m2.predict_entities(&[0, 1]).unwrap();
+        assert_eq!(p1.point, p2.point);
+        assert_eq!(p1.attention, p2.attention);
     }
 
     #[test]

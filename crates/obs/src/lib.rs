@@ -41,6 +41,7 @@
 //! assert_eq!(snap.counter("demo.calls"), Some(1));
 //! ```
 
+pub mod alloc;
 pub mod metrics;
 pub mod telemetry;
 pub mod trace;

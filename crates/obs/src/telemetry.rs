@@ -23,6 +23,10 @@ pub struct EpochRecord {
     /// Divergence-guard rollbacks performed so far in the run (cumulative,
     /// so a jump in this series marks the epoch that diverged).
     pub rollbacks: u64,
+    /// Minimum heap allocations observed in a single batch this epoch.
+    /// `Some` only when the `alloc-stats` counting allocator is compiled in;
+    /// after arena warmup this should be 0 at `--threads 1`.
+    pub batch_allocs: Option<u64>,
 }
 
 /// In-memory sink for one training run.
@@ -110,7 +114,18 @@ mod tests {
             tweets_per_sec: 800.0,
             wall_secs: 0.4,
             rollbacks: 0,
+            batch_allocs: None,
         }
+    }
+
+    #[test]
+    fn records_without_batch_allocs_still_parse() {
+        // Telemetry written before the alloc-stats field existed must keep
+        // round-tripping (the serde shim maps a missing `Option` to `None`).
+        let legacy = r#"{"epoch":0,"nll":3.0,"grad_norms":[],"lr":0.001,"tweets_per_sec":1.0,"wall_secs":0.1,"rollbacks":0}"#;
+        let recs = from_jsonl(legacy).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].batch_allocs, None);
     }
 
     #[test]

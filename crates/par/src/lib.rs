@@ -168,12 +168,15 @@ type PanicPayload = Box<dyn Any + Send + 'static>;
 /// One parallel region: a task closure over `0..count` plus the shared
 /// cursor/completion state threads coordinate through.
 ///
-/// The task reference's lifetime is erased to `'static`. This is sound
+/// The task is stored as a raw (lifetime-less) pointer so that `Job`
+/// allocations can be cached and reused across dispatches: between regions
+/// the pointer dangles, which is fine for a raw pointer and would be UB for
+/// the `&'static` reference this field used to be. Dereferencing is sound
 /// because [`Pool::run`] does not return until every index is accounted for
 /// (`done == count`), and no thread dereferences the task after claiming a
-/// chunk at or past `count` — so the borrow outlives every use.
+/// chunk at or past `count` — so the pointee outlives every use.
 struct Job {
-    task: &'static (dyn Fn(usize) + Sync),
+    task: *const (dyn Fn(usize) + Sync),
     count: usize,
     grain: usize,
     /// Next unclaimed index.
@@ -183,6 +186,13 @@ struct Job {
     panicked: AtomicBool,
     panic: Mutex<Option<PanicPayload>>,
 }
+
+// SAFETY: the raw task pointer is only dereferenced while the submitting
+// thread blocks in `Pool::run`, during which the pointee (a `Sync` closure
+// borrowed from the submitter's stack) is valid and shareable. All other
+// fields are atomics or mutexes.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
 
 impl Job {
     /// No unclaimed indices remain (claimed ≠ finished; see [`Job::complete`]).
@@ -210,8 +220,12 @@ impl Job {
             // the submitter can stop waiting and rethrow.
             if !self.panicked.load(Ordering::Relaxed) {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // SAFETY: a worker only reaches a job through the pool
+                    // queue, and `Pool::run` keeps the pointee alive (and the
+                    // job queued) until every index is accounted for.
+                    let task = unsafe { &*self.task };
                     for i in lo..hi {
-                        (self.task)(i);
+                        task(i);
                     }
                 }));
                 if let Err(payload) = result {
@@ -308,6 +322,15 @@ impl Pool {
                 std::thread::yield_now();
             }
         }
+        // Retire the finished job from the queue (workers would drop it
+        // lazily, but only on their next wake — eagerly removing it lets the
+        // submitter's cached `Arc` drop back to refcount 1 for reuse).
+        {
+            let mut queue = self.queue.lock().unwrap();
+            if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+                queue.remove(pos);
+            }
+        }
         if job.panicked.load(Ordering::Relaxed) {
             let payload = job
                 .panic
@@ -323,6 +346,14 @@ impl Pool {
 // ---------------------------------------------------------------------------
 // Public dispatch entry points
 // ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread cache of the last dispatched `Job` allocation. A train loop
+    /// dispatches thousands of regions from one thread; once the pool retires
+    /// a finished job from its queue the submitter holds the only `Arc`, so
+    /// the next dispatch can re-initialize it in place instead of allocating.
+    static JOB_CACHE: Cell<Option<Arc<Job>>> = const { Cell::new(None) };
+}
 
 /// Runs `task(i)` for every `i in 0..count` across the pool (plus the
 /// calling thread), blocking until all indices completed. Panics in `task`
@@ -347,16 +378,77 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
     // and no thread touches `task` afterwards (see `Job` docs), so erasing
     // the borrow's lifetime cannot outlive the closure.
     let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
-    let job = Arc::new(Job {
-        task: task_static,
-        count,
-        grain: count.div_ceil(width * OVERSUB).max(1),
-        next: AtomicUsize::new(0),
-        done: AtomicUsize::new(0),
-        panicked: AtomicBool::new(false),
-        panic: Mutex::new(None),
+    let task_ptr: *const (dyn Fn(usize) + Sync) = task_static;
+    let grain = count.div_ceil(width * OVERSUB).max(1);
+    let mut cached = JOB_CACHE.with(Cell::take);
+    let reusable = cached.as_mut().and_then(Arc::get_mut);
+    let job = if let Some(slot) = reusable {
+        slot.task = task_ptr;
+        slot.count = count;
+        slot.grain = grain;
+        slot.next = AtomicUsize::new(0);
+        slot.done = AtomicUsize::new(0);
+        slot.panicked = AtomicBool::new(false);
+        // The panic slot is drained on rethrow; clearing keeps a poisoned
+        // mutex from a previous region from leaking into this one.
+        slot.panic = Mutex::new(None);
+        edge_obs::counter!("par.pool.job_reuse").inc(1);
+        cached.expect("just matched Some")
+    } else {
+        // The cached allocation (if any) is still referenced by a worker that
+        // has not dropped its handle yet — allocate fresh; reuse is
+        // best-effort and the stale Arc is simply dropped here.
+        edge_obs::counter!("par.pool.job_alloc").inc(1);
+        Arc::new(Job {
+            task: task_ptr,
+            count,
+            grain,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        })
+    };
+    pool.run(Arc::clone(&job));
+    JOB_CACHE.with(|c| c.set(Some(job)));
+}
+
+/// Splits `data` into `chunk_size`-element chunks and runs
+/// `task(chunk_index, chunk)` for each, in parallel, blocking until all
+/// chunks completed. The final chunk may be shorter. Unlike the rayon-shim
+/// `par_chunks_mut`, this performs **no heap allocation** on the serial path
+/// (parallelism 1), which is what makes a zero-allocation train loop at
+/// `--threads 1` possible.
+pub fn parallel_for_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk_size: usize,
+    task: F,
+) {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let count = len.div_ceil(chunk_size);
+    // A raw base pointer shared across threads; each index maps to a disjoint
+    // `[lo, hi)` range so no two tasks alias.
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let base = SendPtr(data.as_mut_ptr());
+    // Capture the wrapper by reference, not its raw-pointer field — Rust 2021
+    // disjoint capture would otherwise grab the bare `*mut T`, which is not
+    // `Sync`.
+    let base = &base;
+    parallel_for(count, |idx| {
+        let lo = idx * chunk_size;
+        let hi = (lo + chunk_size).min(len);
+        // SAFETY: `base` points at `data`, which outlives this call because
+        // `parallel_for` blocks until every index completes; chunk ranges are
+        // disjoint, so each `&mut [T]` is exclusive.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+        task(idx, chunk);
     });
-    pool.run(job);
 }
 
 /// The legacy spawn-per-call execution of a parallel region: `width` scoped
@@ -486,5 +578,69 @@ mod tests {
     #[test]
     fn zero_count_is_a_noop() {
         parallel_for(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn chunks_mut_covers_disjoint_ranges() {
+        for threads in [1, 2, 8] {
+            let mut data = vec![0u64; 10_007];
+            with_max_threads(threads, || {
+                parallel_for_chunks_mut(&mut data, 64, |idx, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v += (idx * 64 + k) as u64 + 1;
+                    }
+                });
+            });
+            assert!(
+                data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1),
+                "every element written exactly once at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_mut_handles_ragged_tail_and_empty() {
+        let mut data = vec![0u8; 10];
+        parallel_for_chunks_mut(&mut data, 3, |idx, chunk| {
+            assert_eq!(chunk.len(), if idx == 3 { 1 } else { 3 });
+            chunk.fill(1);
+        });
+        assert!(data.iter().all(|&v| v == 1));
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_for_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn job_cache_survives_repeated_dispatch() {
+        // Back-to-back regions from one thread must stay correct whether the
+        // cached job allocation is reused or not (reuse is best-effort).
+        let total = AtomicU64::new(0);
+        with_max_threads(4, || {
+            for _ in 0..100 {
+                parallel_for(257, |i| {
+                    total.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100 * (0..257).sum::<u64>());
+    }
+
+    #[test]
+    fn dispatch_after_panic_is_clean() {
+        with_max_threads(4, || {
+            let _ = std::panic::catch_unwind(|| {
+                parallel_for(512, |i| {
+                    if i == 100 {
+                        panic!("poisoned region");
+                    }
+                });
+            });
+            // The cached job from the panicked region must be fully reset.
+            let sum = AtomicU64::new(0);
+            parallel_for(512, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..512).sum::<u64>());
+        });
     }
 }

@@ -1,0 +1,198 @@
+//! Cross-batch buffer recycling for the training hot path.
+//!
+//! A [`TapeArena`] owns every kind of transient storage one training batch
+//! needs — matrix value/gradient buffers, gather index lists, concat node
+//! lists, fused-loss scratch, the tape's node vector itself — keyed by
+//! power-of-two capacity classes. The train loop threads one arena through
+//! its batches ([`crate::Tape::with_arena`] → [`crate::Tape::into_arena`]):
+//! the first batch populates the pools ("warmup") and every later batch of
+//! the same shape re-carves its tape out of recycled storage, performing
+//! **zero heap allocations** (verified by the `alloc-stats` counting
+//! allocator in `edge-obs`).
+//!
+//! Recycled buffers are re-zeroed on take, so a pooled matrix is
+//! indistinguishable from [`Matrix::zeros`] — results are bit-for-bit
+//! identical to the fresh-allocation path, which `tests/arena.rs` asserts
+//! across thread counts.
+
+use crate::loss::LossScratch;
+use crate::matrix::Matrix;
+use crate::tape::{Node, NodeId};
+
+/// A pool of `Vec<T>` buffers bucketed by power-of-two capacity class.
+///
+/// Invariant: every buffer filed under class `c` has `capacity >= 2^c`, so
+/// `take(len)` serving from class `ceil_log2(len)` (or any higher class)
+/// never needs to grow the returned vector. Fresh buffers are allocated with
+/// capacity rounded up to the class boundary so they return to the class
+/// they were requested from.
+#[derive(Debug)]
+struct ClassPool<T> {
+    classes: Vec<Vec<Vec<T>>>,
+    fresh: u64,
+    reused: u64,
+}
+
+impl<T> Default for ClassPool<T> {
+    fn default() -> Self {
+        Self { classes: Vec::new(), fresh: 0, reused: 0 }
+    }
+}
+
+impl<T> ClassPool<T> {
+    /// An empty (cleared) buffer with capacity at least `len`.
+    fn take(&mut self, len: usize) -> Vec<T> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let class = len.next_power_of_two().trailing_zeros() as usize;
+        for c in class..self.classes.len() {
+            if let Some(buf) = self.classes[c].pop() {
+                debug_assert!(buf.capacity() >= len);
+                self.reused += 1;
+                return buf;
+            }
+        }
+        self.fresh += 1;
+        Vec::with_capacity(len.next_power_of_two())
+    }
+
+    /// Files `buf` (cleared) under its capacity class for later reuse.
+    fn put(&mut self, mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        buf.clear();
+        let class = (usize::BITS - 1 - cap.leading_zeros()) as usize;
+        if self.classes.len() <= class {
+            self.classes.resize_with(class + 1, Vec::new);
+        }
+        self.classes[class].push(buf);
+    }
+}
+
+/// Allocation statistics for one arena (see [`TapeArena::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Buffers that had to be freshly allocated (warmup and shape changes).
+    pub fresh: u64,
+    /// Buffers served from the pools.
+    pub reused: u64,
+}
+
+/// Reusable storage for tapes: matrix buffers, index lists, node vectors,
+/// and loss scratch, recycled across training batches.
+#[derive(Debug, Default)]
+pub struct TapeArena {
+    mats: ClassPool<f32>,
+    indices: ClassPool<usize>,
+    node_lists: ClassPool<NodeId>,
+    /// The tape's (emptied) node vector, kept so its capacity survives the
+    /// tape teardown between batches.
+    pub(crate) nodes: Vec<Node>,
+    /// The backward pass's per-node gradient slots.
+    pub(crate) slots: Vec<Option<Matrix>>,
+    /// Intermediate buffers for the fused mixture losses.
+    pub(crate) loss_scratch: LossScratch,
+}
+
+impl TapeArena {
+    /// An empty arena. Pools fill lazily as tapes built on it are torn down.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed `rows × cols` matrix, recycled if a large-enough buffer is
+    /// pooled. Identical (bit-for-bit) to [`Matrix::zeros`].
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut buf = self.mats.take(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Like [`TapeArena::take_matrix`] with the shape of `like`.
+    pub fn take_matrix_like(&mut self, like: &Matrix) -> Matrix {
+        self.take_matrix(like.rows(), like.cols())
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.mats.put(m.into_data());
+    }
+
+    /// An empty `usize` list with capacity at least `len`.
+    pub(crate) fn take_indices(&mut self, len: usize) -> Vec<usize> {
+        self.indices.take(len)
+    }
+
+    pub(crate) fn recycle_indices(&mut self, v: Vec<usize>) {
+        self.indices.put(v);
+    }
+
+    /// An empty `NodeId` list with capacity at least `len`.
+    pub(crate) fn take_node_list(&mut self, len: usize) -> Vec<NodeId> {
+        self.node_lists.take(len)
+    }
+
+    pub(crate) fn recycle_node_list(&mut self, v: Vec<NodeId>) {
+        self.node_lists.put(v);
+    }
+
+    /// Fresh-vs-reused buffer counts across all pools. After warmup a
+    /// steady-state training loop should only grow `reused`.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            fresh: self.mats.fresh + self.indices.fresh + self.node_lists.fresh,
+            reused: self.mats.reused + self.indices.reused + self.node_lists.reused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_matrix_is_zeroed_after_recycle() {
+        let mut arena = TapeArena::new();
+        let mut m = arena.take_matrix(3, 5);
+        m.fill(7.5);
+        arena.recycle(m);
+        let again = arena.take_matrix(3, 5);
+        assert_eq!(again, Matrix::zeros(3, 5));
+        assert_eq!(arena.stats().reused, 1);
+    }
+
+    #[test]
+    fn same_shape_round_trip_reuses_capacity() {
+        let mut arena = TapeArena::new();
+        for _ in 0..10 {
+            let m = arena.take_matrix(7, 9);
+            arena.recycle(m);
+        }
+        // One fresh allocation (the first), nine reuses.
+        assert_eq!(arena.stats(), ArenaStats { fresh: 1, reused: 9 });
+    }
+
+    #[test]
+    fn smaller_request_reuses_larger_buffer() {
+        let mut arena = TapeArena::new();
+        let big = arena.take_matrix(16, 16);
+        arena.recycle(big);
+        let small = arena.take_matrix(2, 3);
+        assert_eq!(small, Matrix::zeros(2, 3));
+        assert_eq!(arena.stats().reused, 1);
+    }
+
+    #[test]
+    fn zero_sized_take_allocates_nothing() {
+        let mut arena = TapeArena::new();
+        let m = arena.take_matrix(0, 4);
+        assert_eq!(m.shape(), (0, 4));
+        arena.recycle(m);
+        assert_eq!(arena.stats(), ArenaStats { fresh: 0, reused: 0 });
+    }
+}

@@ -6,7 +6,7 @@
 //! this crate implements the required subset from scratch:
 //!
 //! * [`Matrix`] — dense row-major f32 matrices with a register-blocked,
-//!   pool-parallel matmul (dispatching onto `edge-par` via the rayon shim),
+//!   pool-parallel matmul (dispatching directly onto `edge-par`),
 //! * [`CsrMatrix`] — sparse CSR matrices for the constant GCN propagation
 //!   operator,
 //! * [`Tape`] — an eagerly evaluated autodiff graph covering dense/sparse
@@ -16,12 +16,15 @@
 //!   finite-difference-verified gradients,
 //! * [`optim`] — SGD and Adam with decoupled weight decay (the paper's
 //!   training configuration),
-//! * [`init`] — Xavier/He initialization.
+//! * [`init`] — Xavier/He initialization,
+//! * [`TapeArena`] — cross-batch buffer recycling so the steady-state train
+//!   loop performs zero heap allocations per batch.
 //!
 //! The engine is deliberately rank-2 (every value is a matrix): all tensors
 //! in the EDGE model family are naturally matrices, and the restriction
 //! keeps every backward rule small enough to test exhaustively.
 
+pub mod arena;
 pub mod init;
 pub mod loss;
 pub mod matrix;
@@ -29,6 +32,7 @@ pub mod optim;
 pub mod sparse;
 pub mod tape;
 
+pub use arena::{ArenaStats, TapeArena};
 pub use matrix::{Matrix, PAR_THRESHOLD};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use sparse::CsrMatrix;

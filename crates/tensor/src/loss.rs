@@ -4,6 +4,35 @@
 //! spanning many orders of magnitude, and f32 accumulation visibly degrades
 //! the gradients near convergence.
 
+/// Per-component log-density and the pieces the gradient needs.
+#[derive(Debug, Default, Clone, Copy)]
+struct Comp {
+    ln_n: f64,
+    dx: f64,
+    dy: f64,
+    s1: f64,
+    s2: f64,
+    rho: f64,
+    q: f64,
+    z: f64,
+}
+
+/// Reusable intermediate buffers for the fused loss rows. One scratch serves
+/// any mixture size: each call clears and refills, so after the first call at
+/// the largest `m` no further heap allocation happens. Computation order is
+/// identical with or without a warm scratch — results are bit-for-bit the
+/// same as the allocating entry points.
+#[derive(Debug, Default)]
+pub struct LossScratch {
+    exp_pi: Vec<f64>,
+    pi: Vec<f64>,
+    comps: Vec<Comp>,
+    ln_terms: Vec<f64>,
+    resp: Vec<f64>,
+    l64: Vec<f64>,
+    joint: Vec<f64>,
+}
+
 /// Forward + gradient of the bivariate-Gaussian-mixture NLL for one sample
 /// (one row of the Eq. 7 output).
 ///
@@ -19,7 +48,25 @@
 /// * `∂L/∂μ`, `∂L/∂σ̂`, `∂L/∂ρ̂` via `∂ln N_m` chained through the
 ///   activations.
 pub fn gmm_nll_row(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> (f64, Vec<f32>) {
+    let mut scratch = LossScratch::default();
+    let mut grad = vec![0.0f32; 6 * m];
+    let loss = gmm_nll_row_into(theta, t_lat, t_lon, m, &mut scratch, &mut grad);
+    (loss, grad)
+}
+
+/// [`gmm_nll_row`] writing the gradient into `grad` (length `6 * m`, fully
+/// overwritten) and using caller-owned scratch, so steady-state calls are
+/// allocation-free.
+pub fn gmm_nll_row_into(
+    theta: &[f32],
+    t_lat: f64,
+    t_lon: f64,
+    m: usize,
+    scratch: &mut LossScratch,
+    grad: &mut [f32],
+) -> f64 {
     assert_eq!(theta.len(), 6 * m, "theta row must have 6M entries");
+    assert_eq!(grad.len(), 6 * m, "grad row must have 6M entries");
     let pi_hat = &theta[0..m];
     let mu_lat = &theta[m..2 * m];
     let mu_lon = &theta[2 * m..3 * m];
@@ -29,51 +76,46 @@ pub fn gmm_nll_row(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> (f64, Vec
 
     // Activations (f64).
     let max_pi = pi_hat.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-    let exp_pi: Vec<f64> = pi_hat.iter().map(|&p| ((p as f64) - max_pi).exp()).collect();
-    let sum_pi: f64 = exp_pi.iter().sum();
-    let pi: Vec<f64> = exp_pi.iter().map(|e| e / sum_pi).collect();
+    scratch.exp_pi.clear();
+    scratch.exp_pi.extend(pi_hat.iter().map(|&p| ((p as f64) - max_pi).exp()));
+    let sum_pi: f64 = scratch.exp_pi.iter().sum();
+    scratch.pi.clear();
+    scratch.pi.extend(scratch.exp_pi.iter().map(|e| e / sum_pi));
+    let pi = &scratch.pi;
 
     let softplus = |x: f64| if x > 30.0 { x } else { x.exp().ln_1p() };
     let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
 
-    // Per-component log-density and the pieces the gradient needs.
-    struct Comp {
-        ln_n: f64,
-        dx: f64,
-        dy: f64,
-        s1: f64,
-        s2: f64,
-        rho: f64,
-        q: f64,
-        z: f64,
-    }
-    let comps: Vec<Comp> = (0..m)
-        .map(|k| {
-            // Floor σ at a small epsilon: softplus output is positive but can
-            // underflow to 0 in f64 for very negative inputs.
-            let s1 = softplus(sig_lat_hat[k] as f64).max(1e-8);
-            let s2 = softplus(sig_lon_hat[k] as f64).max(1e-8);
-            let rh = rho_hat[k] as f64;
-            let rho = (rh / (1.0 + rh.abs())).clamp(-0.999_999, 0.999_999);
-            let q = 1.0 - rho * rho;
-            let dx = (t_lat - mu_lat[k] as f64) / s1;
-            let dy = (t_lon - mu_lon[k] as f64) / s2;
-            let z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
-            let ln_n = -(2.0 * std::f64::consts::PI * s1 * s2 * q.sqrt()).ln() - z / (2.0 * q);
-            Comp { ln_n, dx, dy, s1, s2, rho, q, z }
-        })
-        .collect();
+    scratch.comps.clear();
+    scratch.comps.extend((0..m).map(|k| {
+        // Floor σ at a small epsilon: softplus output is positive but can
+        // underflow to 0 in f64 for very negative inputs.
+        let s1 = softplus(sig_lat_hat[k] as f64).max(1e-8);
+        let s2 = softplus(sig_lon_hat[k] as f64).max(1e-8);
+        let rh = rho_hat[k] as f64;
+        let rho = (rh / (1.0 + rh.abs())).clamp(-0.999_999, 0.999_999);
+        let q = 1.0 - rho * rho;
+        let dx = (t_lat - mu_lat[k] as f64) / s1;
+        let dy = (t_lon - mu_lon[k] as f64) / s2;
+        let z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
+        let ln_n = -(2.0 * std::f64::consts::PI * s1 * s2 * q.sqrt()).ln() - z / (2.0 * q);
+        Comp { ln_n, dx, dy, s1, s2, rho, q, z }
+    }));
+    let comps = &scratch.comps;
 
     // Log-sum-exp of ln π_m + ln N_m.
-    let ln_terms: Vec<f64> = comps.iter().zip(&pi).map(|(c, p)| p.ln() + c.ln_n).collect();
+    scratch.ln_terms.clear();
+    scratch.ln_terms.extend(comps.iter().zip(pi).map(|(c, p)| p.ln() + c.ln_n));
+    let ln_terms = &scratch.ln_terms;
     let max_t = ln_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let lse = max_t + ln_terms.iter().map(|t| (t - max_t).exp()).sum::<f64>().ln();
     let loss = -lse;
 
     // Responsibilities.
-    let resp: Vec<f64> = ln_terms.iter().map(|t| (t - lse).exp()).collect();
+    scratch.resp.clear();
+    scratch.resp.extend(ln_terms.iter().map(|t| (t - lse).exp()));
+    let resp = &scratch.resp;
 
-    let mut grad = vec![0.0f32; 6 * m];
     for k in 0..m {
         let c = &comps[k];
         let r = resp[k];
@@ -93,7 +135,7 @@ pub fn gmm_nll_row(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> (f64, Vec
         let t = 1.0 + (rho_hat[k] as f64).abs();
         grad[5 * m + k] = (-r * dln_drho / (t * t)) as f32;
     }
-    (loss, grad)
+    loss
 }
 
 /// Forward + gradient of the fixed-component mixture NLL for one sample
@@ -103,22 +145,37 @@ pub fn gmm_nll_row(theta: &[f32], t_lat: f64, t_lon: f64, m: usize) -> (f64, Vec
 /// respect to `logits_m` is `π_m − r_m` where `r` are the posterior
 /// responsibilities.
 pub fn mixture_const_nll_row(logits: &[f32], log_comp: &[f32]) -> (f64, Vec<f32>) {
+    let mut scratch = LossScratch::default();
+    let mut grad = vec![0.0f32; logits.len()];
+    let loss = mixture_const_nll_row_into(logits, log_comp, &mut scratch, &mut grad);
+    (loss, grad)
+}
+
+/// [`mixture_const_nll_row`] writing the gradient into `grad` (same length
+/// as `logits`, fully overwritten) and using caller-owned scratch.
+pub fn mixture_const_nll_row_into(
+    logits: &[f32],
+    log_comp: &[f32],
+    scratch: &mut LossScratch,
+    grad: &mut [f32],
+) -> f64 {
     assert_eq!(logits.len(), log_comp.len(), "logits/log_comp length mismatch");
+    assert_eq!(grad.len(), logits.len(), "grad/logits length mismatch");
     let lse = |xs: &[f64]| -> f64 {
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         max + xs.iter().map(|x| (x - max).exp()).sum::<f64>().ln()
     };
-    let l64: Vec<f64> = logits.iter().map(|&x| x as f64).collect();
-    let joint: Vec<f64> = l64.iter().zip(log_comp).map(|(&l, &c)| l + c as f64).collect();
-    let lse_logits = lse(&l64);
-    let lse_joint = lse(&joint);
+    scratch.l64.clear();
+    scratch.l64.extend(logits.iter().map(|&x| x as f64));
+    scratch.joint.clear();
+    scratch.joint.extend(scratch.l64.iter().zip(log_comp).map(|(&l, &c)| l + c as f64));
+    let lse_logits = lse(&scratch.l64);
+    let lse_joint = lse(&scratch.joint);
     let loss = lse_logits - lse_joint;
-    let grad: Vec<f32> = l64
-        .iter()
-        .zip(&joint)
-        .map(|(&l, &j)| ((l - lse_logits).exp() - (j - lse_joint).exp()) as f32)
-        .collect();
-    (loss, grad)
+    for ((g, &l), &j) in grad.iter_mut().zip(&scratch.l64).zip(&scratch.joint) {
+        *g = ((l - lse_logits).exp() - (j - lse_joint).exp()) as f32;
+    }
+    loss
 }
 
 #[cfg(test)]
@@ -273,6 +330,28 @@ mod tests {
                 grad[i]
             );
         }
+    }
+
+    #[test]
+    fn warm_scratch_is_bitwise_identical_to_fresh() {
+        // One scratch across shrinking/growing mixture sizes must reproduce
+        // the allocating path exactly, bit for bit.
+        let mut scratch = LossScratch::default();
+        for m in [4, 1, 2, 4] {
+            let theta = sample_theta(m);
+            let (fresh_loss, fresh_grad) = gmm_nll_row(&theta, 40.7, -74.0, m);
+            let mut grad = vec![0.0f32; 6 * m];
+            let loss = gmm_nll_row_into(&theta, 40.7, -74.0, m, &mut scratch, &mut grad);
+            assert_eq!(loss.to_bits(), fresh_loss.to_bits());
+            assert!(grad.iter().zip(&fresh_grad).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        let logits = [0.5f32, -0.3, 1.2, 0.0];
+        let log_comp = [-2.0f32, -0.5, -3.0, -1.0];
+        let (fresh_loss, fresh_grad) = mixture_const_nll_row(&logits, &log_comp);
+        let mut grad = [0.0f32; 4];
+        let loss = mixture_const_nll_row_into(&logits, &log_comp, &mut scratch, &mut grad);
+        assert_eq!(loss.to_bits(), fresh_loss.to_bits());
+        assert!(grad.iter().zip(&fresh_grad).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -144,9 +144,44 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Consumes the matrix and returns its backing vector (capacity intact) —
+    /// the hand-off primitive of the [`crate::arena::TapeArena`] recycler.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes `self` to `rows × cols` with every entry zeroed, reusing the
+    /// existing capacity. The in-place equivalent of [`Matrix::zeros`].
+    pub(crate) fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites every entry with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Copies `other`'s contents into `self` (shapes must match).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix product `self × other` (pool-parallel over row blocks, with
     /// a k-inner loop ordered for cache-friendly access to `other`).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into `out` (reshaped and overwritten, its
+    /// allocation reused). Results are bit-for-bit identical to `matmul`
+    /// at every thread count.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -161,9 +196,9 @@ impl Matrix {
         // would flood the trace and their time shows up in the caller's
         // self time anyway.
         let _span = (n * k * m >= PAR_THRESHOLD).then(|| edge_obs::span("matmul"));
-        let mut out = Matrix::zeros(n, m);
+        out.reset_zeroed(n, m);
         if out.data.is_empty() || k == 0 {
-            return out;
+            return;
         }
         // Register-blocked ikj kernel: MATMUL_ROW_BLOCK rows of `out`
         // accumulate together, so each row of `other` streamed through the
@@ -171,7 +206,7 @@ impl Matrix {
         // cache. Every output row still accumulates in ascending-k order, so
         // results are bit-for-bit identical across block boundaries and
         // thread counts.
-        let work = |(block_idx, out_block): (usize, &mut [f32])| {
+        let work = |block_idx: usize, out_block: &mut [f32]| {
             let row0 = block_idx * MATMUL_ROW_BLOCK;
             let rows_here = out_block.len() / m;
             for kk in 0..k {
@@ -189,19 +224,28 @@ impl Matrix {
             }
         };
         if n * k * m >= PAR_THRESHOLD {
-            use rayon::prelude::*;
-            out.data.par_chunks_mut(MATMUL_ROW_BLOCK * m).enumerate().for_each(work);
+            // Chunk layout matches the serial path exactly, so partitioning
+            // cannot change results. `edge_par` rather than the rayon shim:
+            // the shim heap-allocates its chunk list per call even at one
+            // thread, which would break the zero-allocation train loop.
+            edge_par::parallel_for_chunks_mut(&mut out.data, MATMUL_ROW_BLOCK * m, work);
         } else {
-            out.data.chunks_mut(MATMUL_ROW_BLOCK * m).enumerate().for_each(work);
+            out.data.chunks_mut(MATMUL_ROW_BLOCK * m).enumerate().for_each(|(i, b)| work(i, b));
         }
-        out
     }
 
     /// Transpose (cache-blocked: source and destination are walked in
     /// `TRANSPOSE_BLOCK`-square tiles, so neither side strides a cold cache
     /// line per element on large matrices).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] writing into `out` (reshaped and overwritten).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_zeroed(self.cols, self.rows);
         for rb in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
             let r_end = (rb + TRANSPOSE_BLOCK).min(self.rows);
             for cb in (0..self.cols).step_by(TRANSPOSE_BLOCK) {
@@ -213,12 +257,19 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// [`Matrix::map`] writing into `out` (reshaped and overwritten).
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&v| f(v)));
     }
 
     /// Elementwise combination of two equally shaped matrices.
@@ -229,6 +280,15 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
+    }
+
+    /// [`Matrix::zip_map`] writing into `out` (reshaped and overwritten).
+    pub fn zip_map_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
     }
 
     /// `self + other`.
@@ -251,6 +311,13 @@ impl Matrix {
         self.map(|v| v * s)
     }
 
+    /// In-place scalar multiple (bitwise identical to [`Matrix::scale`]).
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
     /// In-place `self += other * s` (the accumulation primitive of the
     /// backward pass and the optimizers).
     pub fn add_scaled_inplace(&mut self, other: &Matrix, s: f32) {
@@ -262,15 +329,25 @@ impl Matrix {
 
     /// Adds `row` (a 1×cols matrix) to every row of `self`.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.add_row_broadcast_into(row, &mut out);
+        out
+    }
+
+    /// [`Matrix::add_row_broadcast`] writing into `out` (reshaped and
+    /// overwritten).
+    pub fn add_row_broadcast_into(&self, row: &Matrix, out: &mut Matrix) {
         assert_eq!(row.rows, 1, "broadcast operand must be a single row");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend_from_slice(&self.data);
         for r in 0..out.rows {
             for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Sum of all entries.
@@ -280,13 +357,19 @@ impl Matrix {
 
     /// Column-wise sum, returned as a 1×cols matrix.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] writing into `out` (reshaped and overwritten).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.reset_zeroed(1, self.cols);
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -296,12 +379,20 @@ impl Matrix {
 
     /// Gathers rows by index into a new matrix. Indices may repeat.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather index {idx} out of range {}", self.rows);
-            out.row_mut(i).copy_from_slice(self.row(idx));
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// [`Matrix::gather_rows`] writing into `out` (reshaped and overwritten).
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        for &idx in indices {
+            assert!(idx < self.rows, "gather index {idx} out of range {}", self.rows);
+            out.data.extend_from_slice(self.row(idx));
+        }
     }
 
     /// The maximum absolute entry (0 for the empty matrix).

@@ -163,24 +163,24 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, g) in grads {
             let shape = g.shape();
-            let m = Self::slot(&mut self.m, *id, shape);
-            for (mi, &gi) in m.data_mut().iter_mut().zip(g.data()) {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            {
+                let m = Self::slot(&mut self.m, *id, shape);
+                for (mi, &gi) in m.data_mut().iter_mut().zip(g.data()) {
+                    *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                }
             }
-            let m_snapshot = m.clone();
-            let v = Self::slot(&mut self.v, *id, shape);
-            for (vi, &gi) in v.data_mut().iter_mut().zip(g.data()) {
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            {
+                let v = Self::slot(&mut self.v, *id, shape);
+                for (vi, &gi) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                }
             }
             let decay = if self.no_decay.contains(&id.0) { 0.0 } else { self.weight_decay };
+            let m = self.m[id.0].as_ref().expect("just inserted");
+            let v = self.v[id.0].as_ref().expect("just inserted");
             let p = params.get_mut(*id);
             assert_eq!(p.shape(), shape, "gradient shape mismatch for param {}", id.0);
-            for ((pi, &mi), &vi) in p
-                .data_mut()
-                .iter_mut()
-                .zip(m_snapshot.data())
-                .zip(self.v[id.0].as_ref().expect("just inserted").data())
-            {
+            for ((pi, &mi), &vi) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
                 *pi -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + decay * *pi);

@@ -10,7 +10,6 @@
 
 use std::sync::{Arc, OnceLock};
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
@@ -198,6 +197,15 @@ impl CsrMatrix {
 
     /// Dense product `self × dense` (pool-parallel over output rows).
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_dense_into(dense, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::matmul_dense`] writing into `out` (reshaped and
+    /// overwritten, its allocation reused). Bit-for-bit identical to the
+    /// allocating form at every thread count.
+    pub fn matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -210,11 +218,15 @@ impl CsrMatrix {
         edge_obs::counter!("tensor.spmm.calls").inc(1);
         edge_obs::counter!("tensor.spmm.flops").inc(2 * (self.nnz() * m) as u64);
         let _span = edge_obs::span("matmul.sparse");
-        let mut out = Matrix::zeros(self.rows, m);
+        out.reset_zeroed(self.rows, m);
         if m == 0 {
-            return out;
+            return;
         }
-        out.data_mut().par_chunks_mut(m).enumerate().for_each(|(r, out_row)| {
+        // One chunk per output row, exactly as the rayon-shim path chunked it
+        // (`par_chunks_mut(m)`), so partitioning cannot change results. The
+        // `edge_par` entry point performs no heap allocation on the serial
+        // path, keeping the train loop allocation-free at one thread.
+        edge_par::parallel_for_chunks_mut(out.data_mut(), m, |r, out_row| {
             for (c, v) in self.row_entries(r) {
                 let src = dense.row(c);
                 for (o, &x) in out_row.iter_mut().zip(src) {
@@ -222,7 +234,6 @@ impl CsrMatrix {
                 }
             }
         });
-        out
     }
 
     /// Transposed product `selfᵀ × dense` — the backward-pass companion of
@@ -231,6 +242,14 @@ impl CsrMatrix {
     /// ascending original-row order, so results are bit-for-bit identical to
     /// the historical serial scatter-add at any thread count.
     pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_dense_into(dense, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::transpose_matmul_dense`] writing into `out` (reshaped and
+    /// overwritten).
+    pub fn transpose_matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             dense.rows(),
@@ -239,7 +258,7 @@ impl CsrMatrix {
             self.cols,
             dense.shape()
         );
-        self.transposed().matmul_dense(dense)
+        self.transposed().matmul_dense_into(dense, out);
     }
 
     /// Converts to a dense matrix (test/debug helper; O(rows × cols)).

@@ -190,9 +190,9 @@ fn gather_concat_slice_gradients() {
         &move |t, p| {
             let x = t.param(w, p);
             // Repeated indices exercise the scatter-add backward.
-            let g1 = t.gather_rows(x, vec![0, 2, 2, 5]);
-            let g2 = t.gather_rows(x, vec![1, 1]);
-            let cat = t.concat_rows(vec![g1, g2]);
+            let g1 = t.gather_rows(x, &[0, 2, 2, 5]);
+            let g2 = t.gather_rows(x, &[1, 1]);
+            let cat = t.concat_rows(&[g1, g2]);
             let sl = t.slice_cols(cat, 1, 3);
             let sq = t.hadamard(sl, sl);
             t.sum_all(sq)
