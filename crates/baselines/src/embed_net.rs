@@ -21,8 +21,10 @@ use edge_tensor::tape::{ParamId, ParamStore, Tape};
 use edge_tensor::{Adam, Matrix, Optimizer};
 use edge_text::Vocab;
 
-use crate::geolocator::Geolocator;
 use crate::grid_model::model_words;
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// Hyper-parameters of the embedding-averaging baseline.
 #[derive(Debug, Clone)]
@@ -184,7 +186,7 @@ mod tests {
         let (train, test) = d.paper_split();
         let model = EmbedNet::fit(train, Grid::new(d.bbox, 25, 25), small_config());
         assert!(model.vocab_len() > 100);
-        let (pairs, cov) = model.evaluate(test);
+        let PointEval { pairs, coverage: cov, .. } = model.evaluate_points(test);
         assert_eq!(cov, 1.0, "EmbedNet never abstains");
         let r = DistanceReport::from_pairs(&pairs).unwrap();
         let center: Vec<(Point, Point)> =

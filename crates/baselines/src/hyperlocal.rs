@@ -14,8 +14,10 @@ use edge_data::Tweet;
 use edge_geo::Point;
 use edge_text::ngrams;
 
-use crate::geolocator::Geolocator;
 use crate::grid_model::model_words;
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// A geo-specific n-gram's spatial model.
 #[derive(Debug, Clone, Copy)]
@@ -141,7 +143,7 @@ mod tests {
     fn coverage_is_partial() {
         let (m, d) = fitted();
         let (_, test) = d.paper_split();
-        let (_, coverage) = m.evaluate(test);
+        let PointEval { coverage, .. } = m.evaluate_points(test);
         assert!(
             coverage > 0.25 && coverage < 0.98,
             "Hyper-local coverage should be partial: {coverage}"
@@ -159,7 +161,7 @@ mod tests {
     fn covered_predictions_beat_center_baseline() {
         let (m, d) = fitted();
         let (_, test) = d.paper_split();
-        let (pairs, _) = m.evaluate(test);
+        let PointEval { pairs, .. } = m.evaluate_points(test);
         assert!(pairs.len() > 100);
         let r = DistanceReport::from_pairs(&pairs).unwrap();
         let center: Vec<(Point, Point)> =

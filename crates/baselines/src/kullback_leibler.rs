@@ -9,8 +9,10 @@
 use edge_data::Tweet;
 use edge_geo::{Grid, Partition, Point, Quadtree};
 
-use crate::geolocator::Geolocator;
 use crate::grid_model::{model_words, GridCounts};
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// The trained KL grid model, generic over the spatial partition.
 pub struct KullbackLeibler<P: Partition = Grid> {
@@ -90,7 +92,7 @@ mod tests {
         let d = nyma(PresetSize::Smoke, 5);
         let (train, test) = d.paper_split();
         let kl = KullbackLeibler::fit(train, Grid::new(d.bbox, 50, 50));
-        let (pairs, cov) = kl.evaluate(test);
+        let PointEval { pairs, coverage: cov, .. } = kl.evaluate_points(test);
         assert_eq!(cov, 1.0);
         let r = DistanceReport::from_pairs(&pairs).unwrap();
         let center: Vec<(Point, Point)> =

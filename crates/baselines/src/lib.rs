@@ -5,11 +5,11 @@
 //! al.) and the character-level UnicodeCNN with a mixture-of-von-Mises–
 //! Fisher head (Izbicki et al.).
 //!
-//! All methods expose the [`Geolocator`] trait the benchmark harness
-//! evaluates through.
+//! All methods expose the [`Geolocator`] trait (now part of
+//! `edge_core::predict`, where EDGE and BOW pick it up through the blanket
+//! `Predictor` implementation) the benchmark harness evaluates through.
 
 pub mod embed_net;
-pub mod geolocator;
 pub mod grid_model;
 pub mod hyperlocal;
 pub mod kullback_leibler;
@@ -17,8 +17,8 @@ pub mod lockde;
 pub mod naive_bayes;
 pub mod unicode_cnn;
 
+pub use edge_core::{Geolocator, PointEval};
 pub use embed_net::{EmbedNet, EmbedNetConfig};
-pub use geolocator::Geolocator;
 pub use grid_model::{model_words, GridCounts};
 pub use hyperlocal::{HyperLocal, HyperLocalParams};
 pub use kullback_leibler::KullbackLeibler;

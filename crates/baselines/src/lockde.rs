@@ -16,8 +16,10 @@ use rayon::prelude::*;
 use edge_data::Tweet;
 use edge_geo::{Grid, Point, TermKde};
 
-use crate::geolocator::Geolocator;
 use crate::grid_model::model_words;
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// The trained LocKDE model.
 pub struct LocKde {
@@ -144,7 +146,7 @@ mod tests {
     fn predictions_inside_region_and_beat_center() {
         let (m, d) = fitted();
         let (_, test) = d.paper_split();
-        let (pairs, cov) = m.evaluate(test);
+        let PointEval { pairs, coverage: cov, .. } = m.evaluate_points(test);
         assert!(cov > 0.5, "coverage {cov}");
         for (p, _) in &pairs {
             assert!(d.bbox.contains(p));

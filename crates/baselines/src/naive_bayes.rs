@@ -13,8 +13,10 @@
 use edge_data::Tweet;
 use edge_geo::{Grid, Partition, Point, Quadtree};
 
-use crate::geolocator::Geolocator;
 use crate::grid_model::{model_words, GridCounts};
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// The trained NaiveBayes grid model, generic over the spatial partition
 /// (uniform [`Grid`] by default; [`Quadtree`] for the Ajao-et-al.
@@ -143,7 +145,7 @@ mod tests {
     fn beats_center_baseline_on_test_split() {
         let (nb, d) = fitted();
         let (_, test) = d.paper_split();
-        let (pairs, cov) = nb.evaluate(test);
+        let PointEval { pairs, coverage: cov, .. } = nb.evaluate_points(test);
         assert_eq!(cov, 1.0, "NB covers everything");
         let r = DistanceReport::from_pairs(&pairs).unwrap();
         let center: Vec<(Point, Point)> =
@@ -159,8 +161,9 @@ mod tests {
         let raw = NaiveBayes::fit(train, Grid::new(d.bbox, 40, 40));
         let smooth = NaiveBayes::fit_kde2d(train, Grid::new(d.bbox, 40, 40), 1.0);
         assert_eq!(smooth.name(), "NaiveBayes_kde2d");
-        let (pairs_raw, _) = raw.evaluate(&test[..300.min(test.len())]);
-        let (pairs_smooth, _) = smooth.evaluate(&test[..300.min(test.len())]);
+        let PointEval { pairs: pairs_raw, .. } = raw.evaluate_points(&test[..300.min(test.len())]);
+        let PointEval { pairs: pairs_smooth, .. } =
+            smooth.evaluate_points(&test[..300.min(test.len())]);
         let r_raw = DistanceReport::from_pairs(&pairs_raw).unwrap();
         let r_smooth = DistanceReport::from_pairs(&pairs_smooth).unwrap();
         // Both produce sane results; the smoothed variant should not be
@@ -185,8 +188,9 @@ mod quadtree_tests {
         let quad = NaiveBayes::fit_quadtree(train, tree);
         assert_eq!(quad.name(), "NaiveBayes_quadtree");
         let grid = NaiveBayes::fit(train, Grid::new(d.bbox, 50, 50));
-        let (q_pairs, q_cov) = quad.evaluate(&test[..500.min(test.len())]);
-        let (g_pairs, _) = grid.evaluate(&test[..500.min(test.len())]);
+        let PointEval { pairs: q_pairs, coverage: q_cov, .. } =
+            quad.evaluate_points(&test[..500.min(test.len())]);
+        let PointEval { pairs: g_pairs, .. } = grid.evaluate_points(&test[..500.min(test.len())]);
         assert_eq!(q_cov, 1.0);
         let q = DistanceReport::from_pairs(&q_pairs).unwrap();
         let g = DistanceReport::from_pairs(&g_pairs).unwrap();

@@ -20,7 +20,9 @@ use edge_tensor::init::xavier_uniform;
 use edge_tensor::tape::{softmax_in_place, ParamId, ParamStore, Tape};
 use edge_tensor::{Adam, Matrix, Optimizer};
 
-use crate::geolocator::Geolocator;
+use edge_core::Geolocator;
+#[cfg(test)]
+use edge_core::PointEval;
 
 /// UnicodeCNN hyper-parameters.
 #[derive(Debug, Clone)]
@@ -288,7 +290,7 @@ mod tests {
         let d = nyma(PresetSize::Smoke, 19);
         let (train, test) = d.paper_split();
         let model = UnicodeCnn::fit(&train[..600], &d.bbox, small_config());
-        let (_, coverage) = model.evaluate(&test[..100]);
+        let PointEval { coverage, .. } = model.evaluate_points(&test[..100]);
         assert_eq!(coverage, 1.0, "UnicodeCNN never abstains");
     }
 }

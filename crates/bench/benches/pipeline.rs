@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use edge_core::{run_entity2vec, EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{run_entity2vec, EdgeConfig, EdgeModel, PredictRequest, Predictor, TrainOptions};
 use edge_data::{dataset_recognizer, nyma, PresetSize};
 use edge_graph::{build_cooccurrence_graph, normalized_adjacency_triplets};
 
@@ -73,10 +73,15 @@ fn bench_train_and_predict(c: &mut Criterion) {
     let (model, _) =
         EdgeModel::train(train, ner, &d.bbox, EdgeConfig::smoke(), &TrainOptions::default())
             .expect("train");
-    let texts: Vec<&str> = test.iter().take(200).map(|t| t.text.as_str()).collect();
+    let requests: Vec<PredictRequest> =
+        test.iter().take(200).map(|t| PredictRequest::text(&t.text)).collect();
     c.bench_function("edge_predict_200_tweets", |b| {
         b.iter(|| {
-            let covered: usize = texts.iter().filter_map(|t| model.predict(t)).count();
+            let covered: usize = model
+                .locate_batch(&requests, &Default::default())
+                .iter()
+                .filter(|r| r.is_ok())
+                .count();
             black_box(covered)
         });
     });

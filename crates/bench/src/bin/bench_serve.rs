@@ -1,0 +1,237 @@
+//! Closed-loop serving benchmark: measures end-to-end `POST /predict`
+//! throughput and latency against a live `edge-serve` server over real
+//! sockets, in four legs (all on one keep-alive connection):
+//!
+//! 1. `unbatched` — one text per request, `max_batch = 1`, default server
+//!    config (cache on): every request pays the full per-request fixed
+//!    cost (syscalls, HTTP framing, scheduler handoff).
+//! 2. `batched` — 32 texts per request, `max_batch = 32`, same config:
+//!    the fixed cost is amortized across the batch. The headline
+//!    `speedup_batched_vs_unbatched` is leg 2 over leg 1 — identical
+//!    server defaults, only the batching differs.
+//! 3. `unbatched-cold` / 4. `batched-cold` — the same pair with the
+//!    response cache disabled, isolating the model-bound regime where
+//!    every text pays the full inference cost (dominated by the
+//!    mixture-mode gradient ascent, ~50us/text at smoke scale).
+//!
+//! Usage: `cargo run --release -p edge-bench --bin bench_serve [--size smoke]`
+//!
+//! Writes `results/BENCH_serve.{json,txt}`. The JSON object carries one
+//! record per leg (throughput, p50/p95/p99 request latency, cache hit
+//! rate) plus `speedup_batched_vs_unbatched` (warm pair) and
+//! `cold_speedup_batched_vs_unbatched` (cold pair).
+
+use std::time::Instant;
+
+use edge_core::EdgeModel;
+use edge_serve::{Client, ServeConfig, Server};
+use serde::Serialize;
+
+/// How many texts each batched request carries (= leg 2's `max_batch`).
+const BATCH: usize = 32;
+
+#[derive(Serialize)]
+struct LegRecord {
+    leg: String,
+    requests: usize,
+    texts_per_request: usize,
+    total_texts: usize,
+    wall_secs: f64,
+    texts_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBenchOutput {
+    threads: usize,
+    corpus: String,
+    covered_texts: usize,
+    legs: Vec<LegRecord>,
+    /// Leg "batched" texts/sec over leg "unbatched" texts/sec (both under
+    /// the default server config).
+    speedup_batched_vs_unbatched: f64,
+    /// The same ratio with the response cache disabled in both legs.
+    cold_speedup_batched_vs_unbatched: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs one closed-loop leg against a fresh server on an ephemeral port.
+fn run_leg(
+    name: &str,
+    model_path: &str,
+    config: ServeConfig,
+    texts: &[String],
+    texts_per_request: usize,
+    requests: usize,
+    warmup: usize,
+) -> LegRecord {
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), ..config };
+    let server = Server::start_from_artifact(model_path, config).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let batch_at = |i: usize| -> Vec<&str> {
+        (0..texts_per_request)
+            .map(|j| texts[(i * texts_per_request + j) % texts.len()].as_str())
+            .collect()
+    };
+    let shoot = |client: &mut Client, i: usize| {
+        let refs = batch_at(i);
+        let resp = if texts_per_request == 1 {
+            client.predict(refs[0]).expect("predict")
+        } else {
+            client.predict_batch(&refs).expect("predict_batch")
+        };
+        assert_eq!(resp.status, 200, "bench traffic must succeed: {}", resp.text());
+    };
+
+    // Warmup: fault in lazy state (threads, allocator pools) and, when the
+    // cache is on, populate it with the whole text pool so the timed
+    // window measures the steady state.
+    for i in 0..warmup {
+        shoot(&mut client, i);
+    }
+
+    let mut latencies_us = Vec::with_capacity(requests);
+    let started = Instant::now();
+    for i in 0..requests {
+        let t0 = Instant::now();
+        shoot(&mut client, i);
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let (cache_hits, cache_misses) = server.cache_stats();
+    server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_texts = requests * texts_per_request;
+    let lookups = cache_hits + cache_misses;
+    LegRecord {
+        leg: name.to_string(),
+        requests,
+        texts_per_request,
+        total_texts,
+        wall_secs,
+        texts_per_sec: total_texts as f64 / wall_secs,
+        p50_us: percentile(&latencies_us, 50.0),
+        p95_us: percentile(&latencies_us, 95.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        cache_hits,
+        cache_misses,
+        cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+    }
+}
+
+fn render_table(legs: &[LegRecord], speedup: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>7} {:>12} {:>10} {:>10} {:>10} {:>9}\n",
+        "leg", "requests", "texts", "texts/sec", "p50 us", "p95 us", "p99 us", "hit rate"
+    ));
+    for l in legs {
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>7} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.1}%\n",
+            l.leg,
+            l.requests,
+            l.total_texts,
+            l.texts_per_sec,
+            l.p50_us,
+            l.p95_us,
+            l.p99_us,
+            l.cache_hit_rate * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "\nbatched vs unbatched speedup (default config): {speedup:.2}x (texts/sec)\n"
+    ));
+    out
+}
+
+fn main() {
+    let (size, seeds) = edge_bench::parse_cli();
+    let dataset = edge_data::nyma(size, seeds[0]);
+    edge_obs::progress!(
+        "== serve bench on {} ({} tweets, {} threads) ==",
+        dataset.name,
+        dataset.len(),
+        edge_par::num_threads()
+    );
+
+    // One trained artifact shared by every leg, so all legs serve
+    // bit-identical parameters.
+    let (train, test) = dataset.paper_split();
+    let mut cfg = edge_core::EdgeConfig::smoke();
+    cfg.epochs = 2;
+    let (model, _) = EdgeModel::train(
+        train,
+        edge_data::dataset_recognizer(&dataset),
+        &dataset.bbox,
+        cfg,
+        &Default::default(),
+    )
+    .expect("train");
+    let model_path =
+        std::env::temp_dir().join(format!("edge_bench_serve_{}.model.json", std::process::id()));
+    model.save(&model_path).expect("save");
+    let model_path = model_path.to_string_lossy().into_owned();
+
+    let covered: Vec<String> = test
+        .iter()
+        .filter(|t| !model.resolve_entities(&t.text).is_empty())
+        .map(|t| t.text.clone())
+        .collect();
+    assert!(covered.len() >= BATCH, "corpus too small to fill one batch");
+    edge_obs::progress!("   artifact {model_path}, {} covered texts", covered.len());
+
+    // A fixed text pool shared by every leg, small enough that the warm
+    // legs reach cache steady state during warmup.
+    let pool: Vec<String> = covered.iter().take(256).cloned().collect();
+    let warm =
+        |max_batch: usize| ServeConfig { max_batch, max_delay_us: 200, ..ServeConfig::default() };
+    let cold = |max_batch: usize| ServeConfig { cache_capacity: 0, ..warm(max_batch) };
+
+    // Warm pair: identical default config, only the batching differs. The
+    // warmup covers the pool at least once so the cache is populated.
+    let unbatched = run_leg("unbatched", &model_path, warm(1), &pool, 1, 2000, pool.len() + 50);
+    edge_obs::progress!("   unbatched       {:>10.0} texts/sec", unbatched.texts_per_sec);
+    let batched =
+        run_leg("batched", &model_path, warm(BATCH), &pool, BATCH, 400, pool.len() / BATCH + 10);
+    edge_obs::progress!("   batched         {:>10.0} texts/sec", batched.texts_per_sec);
+
+    // Cold pair: same comparison with the cache disabled (model-bound).
+    let unbatched_cold = run_leg("unbatched-cold", &model_path, cold(1), &pool, 1, 600, 60);
+    edge_obs::progress!("   unbatched-cold  {:>10.0} texts/sec", unbatched_cold.texts_per_sec);
+    let batched_cold = run_leg("batched-cold", &model_path, cold(BATCH), &pool, BATCH, 200, 10);
+    edge_obs::progress!("   batched-cold    {:>10.0} texts/sec", batched_cold.texts_per_sec);
+
+    let speedup = batched.texts_per_sec / unbatched.texts_per_sec;
+    let cold_speedup = batched_cold.texts_per_sec / unbatched_cold.texts_per_sec;
+    let legs = vec![unbatched, batched, unbatched_cold, batched_cold];
+    let text = format!(
+        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}",
+        render_table(&legs, speedup)
+    );
+    print!("{text}");
+    let output = ServeBenchOutput {
+        threads: edge_par::num_threads(),
+        corpus: dataset.name.clone(),
+        covered_texts: covered.len(),
+        legs,
+        speedup_batched_vs_unbatched: speedup,
+        cold_speedup_batched_vs_unbatched: cold_speedup,
+    };
+    edge_bench::write_results("BENCH_serve", &output, &text).expect("write results");
+    std::fs::remove_file(&model_path).ok();
+    edge_obs::progress!("wrote results/BENCH_serve.{{json,txt}}");
+}

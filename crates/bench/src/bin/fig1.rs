@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{EdgeConfig, EdgeModel, Geolocator, TrainOptions};
 use edge_data::{covid19, dataset_recognizer, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -52,7 +52,7 @@ fn main() {
             .filter(|t| t.text.to_lowercase().contains("quarantine"))
             .collect();
         let predicted: Vec<Point> =
-            tweets.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+            tweets.iter().filter_map(|t| model.predict_point(&t.text)).collect();
         let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
         text.push_str(&format!(
             "\n-- window {label}: {} quarantine tweets, {} predicted --\n{}",

@@ -10,7 +10,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{EdgeConfig, EdgeModel, PredictRequest, Predictor, TrainOptions};
 use edge_data::{covid19, dataset_recognizer, PresetSize};
 use edge_geo::{ConfidenceEllipse, Point};
 
@@ -53,7 +53,10 @@ fn main() {
     let candidates: Vec<_> = test
         .iter()
         .filter(|t| t.text.to_lowercase().contains("quarantine"))
-        .filter_map(|t| model.predict(&t.text).map(|p| (t, p)))
+        .filter_map(|t| {
+            let req = PredictRequest::text(&t.text);
+            model.locate(&req, &Default::default()).ok().map(|r| (t, r.prediction))
+        })
         .collect();
     let (tweet, prediction) = candidates
         .iter()

@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{EdgeConfig, EdgeModel, Geolocator, TrainOptions};
 use edge_data::{dataset_recognizer, lama, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -55,7 +55,7 @@ fn main() {
             .filter(|t| t.text.to_lowercase().contains("nipseyhussle"))
             .collect();
         let predicted: Vec<Point> =
-            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+            mentions.iter().filter_map(|t| model.predict_point(&t.text)).collect();
         let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
         let hot_dist = heat.hotspots(1).first().map(|(p, _)| p.haversine_km(&marathon));
         text.push_str(&format!(

@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 
-use edge_core::{EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{EdgeConfig, EdgeModel, Geolocator, TrainOptions};
 use edge_data::{dataset_recognizer, ny2020, PresetSize, SimDate};
 use edge_geo::{Grid, Heatmap, Point};
 
@@ -55,7 +55,7 @@ fn main() {
             .filter(|t| t.text.to_lowercase().contains("new colossus festival"))
             .collect();
         let predicted: Vec<Point> =
-            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+            mentions.iter().filter_map(|t| model.predict_point(&t.text)).collect();
         let mean_km = (!predicted.is_empty()).then(|| {
             predicted.iter().map(|p| p.haversine_km(&venue_center)).sum::<f64>()
                 / predicted.len() as f64

@@ -7,10 +7,12 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use edge_baselines::{
-    Geolocator, GridCounts, HyperLocal, HyperLocalParams, KullbackLeibler, LocKde, LocKdeParams,
-    NaiveBayes, UnicodeCnn, UnicodeCnnConfig,
+    GridCounts, HyperLocal, HyperLocalParams, KullbackLeibler, LocKde, LocKdeParams, NaiveBayes,
+    UnicodeCnn, UnicodeCnnConfig,
 };
-use edge_core::{BowModel, EdgeConfig, EdgeModel, TrainOptions};
+use edge_core::{
+    BowModel, EdgeConfig, EdgeModel, Geolocator, PredictOptions, Predictor, TrainOptions,
+};
 use edge_data::{dataset_recognizer, Dataset};
 use edge_geo::{rdp, DistanceReport, GaussianMixture, Grid, Point};
 
@@ -97,16 +99,18 @@ pub fn average_reports(reports: &[DistanceReport]) -> DistanceReport {
     }
 }
 
-/// Evaluates one [`Geolocator`] on the test split.
+/// Evaluates one [`Geolocator`] on the test split — the single scoring
+/// path every method (EDGE and BOW included, via the blanket `Predictor`
+/// implementation) goes through.
 fn eval_geolocator(g: &dyn Geolocator, test: &[edge_data::Tweet]) -> DistanceReport {
-    let (pairs, coverage) = g.evaluate(test);
-    DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap_or(DistanceReport {
+    let outcome = g.evaluate_points(test);
+    outcome.report().unwrap_or(DistanceReport {
         mean_km: f64::NAN,
         median_km: f64::NAN,
         at_3km: 0.0,
         at_5km: 0.0,
         n: 0,
-        coverage,
+        coverage: outcome.coverage,
     })
 }
 
@@ -121,11 +125,9 @@ pub fn run_edge(
     let (model, _) =
         EdgeModel::train(train, ner, &dataset.bbox, config.clone(), &TrainOptions::default())
             .expect("train");
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let report = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
-        .expect("EDGE produced no predictions");
-    let mixtures = preds.into_iter().map(|(p, t)| (p.mixture, t)).collect();
+    let outcome = model.evaluate(test, &PredictOptions::default());
+    let report = outcome.report().expect("EDGE produced no predictions");
+    let mixtures = outcome.pairs.into_iter().map(|(p, t)| (p.mixture, t)).collect();
     (report, mixtures)
 }
 
@@ -142,9 +144,7 @@ pub fn run_method(dataset: &Dataset, method: &str, config: &HarnessConfig) -> Me
         "EDGE" => run_edge(dataset, &config.edge).0,
         "BOW" => {
             let model = BowModel::train(train, &dataset.bbox, &config.edge, 4000);
-            let pairs: Vec<(Point, Point)> =
-                model.evaluate(test).into_iter().map(|(p, t)| (p.point, t)).collect();
-            DistanceReport::from_pairs(&pairs).expect("BOW predictions")
+            eval_geolocator(&model, test)
         }
         "NoGCN" => run_edge(dataset, &config.edge.clone().ablation_no_gcn()).0,
         "SUM" => run_edge(dataset, &config.edge.clone().ablation_sum()).0,
@@ -360,11 +360,9 @@ fn run_edge_leg(
     let start = std::time::Instant::now();
     let (model, report) =
         EdgeModel::train(train, ner, &dataset.bbox, config.clone(), opts).expect("train");
-    let (preds, coverage) = model.evaluate(test);
+    let outcome = model.evaluate(test, &PredictOptions::default());
     let wall_secs = start.elapsed().as_secs_f64();
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let dist = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
-        .expect("EDGE produced no predictions");
+    let dist = outcome.report().expect("EDGE produced no predictions");
     SpeedupLeg {
         label: label.to_string(),
         threads: edge_par::num_threads(),

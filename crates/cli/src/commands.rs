@@ -7,9 +7,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use edge_core::{inspect_artifact, EdgeConfig, EdgeModel, TrainError, TrainOptions};
+use edge_core::{
+    inspect_artifact, EdgeConfig, EdgeModel, PredictError, PredictOptions, PredictRequest,
+    Predictor, TrainError, TrainOptions,
+};
 use edge_data::{dataset_recognizer, Dataset, PresetSize};
-use edge_geo::{DistanceReport, Point};
 
 /// The help text.
 pub const USAGE: &str = "\
@@ -57,6 +59,15 @@ COMMANDS:
                  --threads <n>                       (worker threads)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
+    serve      run the batched HTTP inference server on a saved model
+                 --model <path>                      (required)
+                 --addr <host:port>                  (default 127.0.0.1:7878)
+                 --max-batch <n>                     (default 32)
+                 --max-delay-us <n>                  (batching window; default 500)
+                 --queue-capacity <n>                (shed beyond this; default 256)
+                 --cache-capacity <n>                (0 disables; default 4096)
+                 --fallback-prior                    (default zero-entity policy)
+                 --threads <n>                       (worker threads)
     fsck       verify an artifact (model or checkpoint) without loading it
                  <path>                              (positional, required)
     profile    train under full tracing and print a self-time profile table
@@ -304,13 +315,18 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = required(&flags, "model")?;
     let text = required(&flags, "text")?;
-    let mut model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
-    if flags.contains_key("fallback-prior") {
-        model.set_fallback_prior(true);
-    }
-    match model.predict(text) {
-        None => println!("not covered: no entity of this tweet appears in the training graph"),
-        Some(p) => {
+    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let opts = PredictOptions::default().with_fallback_prior(flags.contains_key("fallback-prior"));
+    match model.locate(&PredictRequest::text(text), &opts) {
+        Err(PredictError::NoEntities) => {
+            println!("not covered: no entity of this tweet appears in the training graph")
+        }
+        Err(e) => return Err(e.to_string()),
+        Ok(resp) => {
+            let p = &resp.prediction;
+            if resp.from_fallback {
+                println!("(answered with the training-split prior: no recognized entity)");
+            }
             println!("point estimate (Eq. 14): ({:.5}, {:.5})", p.point.lat, p.point.lon);
             if !p.attention.is_empty() {
                 println!("attention:");
@@ -337,16 +353,12 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let data = required(&flags, "data")?;
     apply_threads(&flags)?;
     let obs = obs_from_flags(&flags);
-    let mut model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
-    if flags.contains_key("fallback-prior") {
-        model.set_fallback_prior(true);
-    }
+    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let opts = PredictOptions::default().with_fallback_prior(flags.contains_key("fallback-prior"));
     let dataset = load_dataset(data)?;
     let (_, test) = dataset.paper_split();
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let report = DistanceReport::from_pairs_with_coverage(&pairs, coverage)
-        .ok_or("the model covered no test tweet")?;
+    let outcome = model.evaluate(test, &opts);
+    let report = outcome.report().ok_or("the model covered no test tweet")?;
     println!(
         "test tweets {:>6}   covered {:>6} ({:.1}%)",
         test.len(),
@@ -457,6 +469,39 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 /// `edge-cli fsck <path>`: verifies an artifact's envelope (magic, length,
 /// CRC64) and payload (schema + internal consistency) without instantiating
 /// a model, and prints what it found.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    apply_threads(&flags)?;
+    let model = required(&flags, "model")?;
+
+    let mut config = edge_serve::ServeConfig { handle_signals: true, ..Default::default() };
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    fn numeric<T: std::str::FromStr>(
+        flags: &HashMap<String, String>,
+        key: &str,
+        slot: &mut T,
+    ) -> Result<(), String> {
+        if let Some(v) = flags.get(key) {
+            *slot = v.parse().map_err(|_| format!("bad --{key} '{v}'"))?;
+        }
+        Ok(())
+    }
+    numeric(&flags, "max-batch", &mut config.max_batch)?;
+    numeric(&flags, "max-delay-us", &mut config.max_delay_us)?;
+    numeric(&flags, "queue-capacity", &mut config.queue_capacity)?;
+    numeric(&flags, "cache-capacity", &mut config.cache_capacity)?;
+    config.fallback_prior = flags.contains_key("fallback-prior");
+
+    let server = edge_serve::Server::start_from_artifact(model, config)?;
+    edge_obs::progress!("serving {} on http://{}", model, server.addr());
+    edge_obs::progress!("endpoints: POST /predict, GET /healthz, GET /metrics, POST /reload");
+    server.wait();
+    edge_obs::progress!("drained; bye");
+    Ok(())
+}
+
 pub fn fsck(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("usage: edge-cli fsck <artifact>".to_string());

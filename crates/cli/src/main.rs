@@ -6,6 +6,7 @@
 //! edge-cli predict  --model model.json --text "Tonight at the Majestic Theatre!"
 //! edge-cli evaluate --model model.json --data corpus.json
 //! edge-cli profile  --preset nyma --size smoke
+//! edge-cli serve    --model model.json --addr 127.0.0.1:7878
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `train` fits EDGE on its 75%
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         Some("predict") => commands::predict(&args[1..]),
         Some("evaluate") => commands::evaluate(&args[1..]),
         Some("profile") => commands::profile(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("fsck") => commands::fsck(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);

@@ -12,15 +12,17 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use edge_data::Tweet;
-use edge_geo::{BBox, Point};
+use edge_geo::BBox;
 use edge_tensor::init::xavier_uniform;
 use edge_tensor::tape::{ParamId, ParamStore, Tape};
 use edge_tensor::{Adam, Matrix, Optimizer};
 use edge_text::{is_stopword, lower_words, Vocab};
 
 use crate::config::EdgeConfig;
+use crate::error::PredictError;
 use crate::mdn::{decode_theta, init_head_bias, theta_width};
 use crate::model::Prediction;
+use crate::predict::{PredictInput, PredictOptions, PredictRequest, PredictResponse, Predictor};
 
 /// The trained BOW ablation model: a *single* dense layer from the
 /// word-frequency vector straight to the mixture parameters, exactly as the
@@ -140,10 +142,32 @@ impl BowModel {
         let point = mixture.mode();
         Prediction { mixture, point, attention: Vec::new() }
     }
+}
 
-    /// Evaluates on a test split; BOW covers every tweet.
-    pub fn evaluate(&self, test: &[Tweet]) -> Vec<(Prediction, Point)> {
-        test.iter().map(|t| (self.predict(&t.text), t.location)).collect()
+impl Predictor for BowModel {
+    fn name(&self) -> &str {
+        "BOW"
+    }
+
+    /// BOW covers every text (coverage 1.0). Pre-resolved entity input is
+    /// meaningless here — BOW has no entity inventory — and is rejected as
+    /// a typed [`PredictError::UnsupportedInput`].
+    fn locate_batch(
+        &self,
+        requests: &[PredictRequest],
+        _opts: &PredictOptions,
+    ) -> Vec<Result<PredictResponse, PredictError>> {
+        requests
+            .iter()
+            .map(|r| match &r.input {
+                PredictInput::Text(text) => {
+                    Ok(PredictResponse { prediction: self.predict(text), from_fallback: false })
+                }
+                PredictInput::Entities(_) => {
+                    Err(PredictError::UnsupportedInput("BOW predicts from raw text only"))
+                }
+            })
+            .collect()
     }
 }
 
@@ -151,7 +175,7 @@ impl BowModel {
 mod tests {
     use super::*;
     use edge_data::{nyma, PresetSize};
-    use edge_geo::DistanceReport;
+    use edge_geo::{DistanceReport, Point};
 
     #[test]
     fn bow_trains_and_beats_center_baseline() {
@@ -161,10 +185,10 @@ mod tests {
         cfg.epochs = 6;
         let model = BowModel::train(train, &d.bbox, &cfg, 1500);
         assert!(model.vocab_len() > 100);
-        let preds = model.evaluate(test);
-        assert_eq!(preds.len(), test.len(), "BOW covers everything");
-        let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-        let r = DistanceReport::from_pairs(&pairs).unwrap();
+        let outcome = model.evaluate(test, &PredictOptions::default());
+        assert_eq!(outcome.pairs.len(), test.len(), "BOW covers everything");
+        assert_eq!(outcome.abstained, 0);
+        let r = DistanceReport::from_pairs(&outcome.point_pairs()).unwrap();
         let center_pairs: Vec<(Point, Point)> =
             test.iter().map(|t| (d.bbox.center(), t.location)).collect();
         let c = DistanceReport::from_pairs(&center_pairs).unwrap();

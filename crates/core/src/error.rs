@@ -72,20 +72,37 @@ impl From<std::io::Error> for TrainError {
     }
 }
 
-/// Why [`crate::EdgeModel::predict_entities`] could not predict.
-#[derive(Debug, PartialEq, Eq)]
+/// Why [`crate::Predictor::locate`] could not predict a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PredictError {
-    /// The entity slice was empty — there is nothing to aggregate. Callers
-    /// with zero-entity tweets should use [`crate::EdgeModel::predict`]
-    /// (which reports the coverage gap as `None` or, opt-in, falls back to
-    /// the training prior).
+    /// The request resolved to no known entity — the coverage gap the paper
+    /// excludes. The typed abstention: callers either skip the tweet or
+    /// retry with [`crate::PredictOptions::fallback_prior`] to answer it
+    /// with the training-split prior.
     NoEntities,
+    /// A pre-resolved entity index points outside the model's entity
+    /// inventory (stale indices from a different model generation).
+    EntityOutOfRange {
+        /// The offending index.
+        id: usize,
+        /// The size of the entity inventory it was checked against.
+        n_entities: usize,
+    },
+    /// The predictor does not support this request input shape (e.g. the
+    /// BOW baseline has no entity inventory to index into).
+    UnsupportedInput(&'static str),
 }
 
 impl std::fmt::Display for PredictError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PredictError::NoEntities => write!(f, "prediction needs at least one entity"),
+            PredictError::EntityOutOfRange { id, n_entities } => {
+                write!(f, "entity index {id} out of range (model has {n_entities} entities)")
+            }
+            PredictError::UnsupportedInput(what) => {
+                write!(f, "unsupported request input: {what}")
+            }
         }
     }
 }

@@ -34,6 +34,7 @@ mod infer;
 pub mod mdn;
 pub mod model;
 pub mod persist;
+pub mod predict;
 
 pub use ablation::BowModel;
 pub use checkpoint::{load_checkpoint, CheckpointState, Checkpointer};
@@ -43,3 +44,7 @@ pub use error::{PredictError, TrainError};
 pub use mdn::{decode_theta, init_head_bias, theta_width};
 pub use model::{EdgeModel, Prediction, TrainOptions, TrainReport};
 pub use persist::{inspect_artifact, ArtifactInfo, PersistError};
+pub use predict::{
+    EvalOutcome, Geolocator, PointEval, PredictInput, PredictOptions, PredictRequest,
+    PredictResponse, Predictor,
+};

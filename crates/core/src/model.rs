@@ -26,6 +26,7 @@ use crate::entity2vec::{run_entity2vec, EntityIndex};
 use crate::error::{PredictError, TrainError};
 use crate::gcn::{gcn_forward, gcn_infer};
 use crate::mdn::{init_head_bias, theta_width};
+use crate::predict::{PredictInput, PredictOptions, PredictRequest, PredictResponse, Predictor};
 
 /// A location prediction: the mixture (the paper's primary output), the
 /// Eq.-14 point estimate, and the interpretability signals.
@@ -728,14 +729,18 @@ impl EdgeModel {
     }
 
     /// Opt into (or out of) predicting the training-split prior for tweets
-    /// with no recognized entity. Off by default: the paper excludes those
-    /// tweets, and silently imputing a region-level guess would distort
-    /// accuracy metrics unless explicitly requested.
+    /// with no recognized entity (legacy mutating flag, consulted only by
+    /// the deprecated `predict`/`predict_batch` shims).
+    #[deprecated(
+        since = "0.6.0",
+        note = "pass `PredictOptions { fallback_prior: true, .. }` to `Predictor::locate` instead"
+    )]
     pub fn set_fallback_prior(&mut self, enabled: bool) {
         self.fallback_prior = enabled;
     }
 
     /// Whether the zero-entity prior fallback is active.
+    #[deprecated(since = "0.6.0", note = "the fallback is per-call now; see `PredictOptions`")]
     pub fn fallback_prior_enabled(&self) -> bool {
         self.fallback_prior && self.prior.is_some()
     }
@@ -771,48 +776,47 @@ impl EdgeModel {
         ids
     }
 
-    /// Predicts a location mixture for a tweet text. Returns `None` when the
-    /// tweet contains no entity present in the training graph (the ~2.8% of
-    /// test tweets the paper excludes) — unless the prior fallback was
-    /// enabled via [`EdgeModel::set_fallback_prior`], in which case such
-    /// tweets get the training-split prior (with no attention signal).
-    pub fn predict(&self, text: &str) -> Option<Prediction> {
+    /// Predicts one request without batching plumbing: resolves entities
+    /// (for text input), applies the zero-entity policy from `opts`, and
+    /// runs the tape-free inference engine. Both the [`Predictor`]
+    /// implementation and the deprecated shims route through here, so the
+    /// serving layer and the legacy API are bit-identical by construction.
+    fn locate_one(
+        &self,
+        request: &PredictRequest,
+        opts: &PredictOptions,
+    ) -> Result<PredictResponse, PredictError> {
         edge_obs::counter!("core.predict.calls").inc(1);
-        let entities = self.resolve_entities(text);
+        let resolved;
+        let entities: &[usize] = match &request.input {
+            PredictInput::Text(text) => {
+                resolved = self.resolve_entities(text);
+                &resolved
+            }
+            PredictInput::Entities(ids) => {
+                if let Some(&bad) = ids.iter().find(|&&id| id >= self.index.len()) {
+                    return Err(PredictError::EntityOutOfRange {
+                        id: bad,
+                        n_entities: self.index.len(),
+                    });
+                }
+                ids
+            }
+        };
         if entities.is_empty() {
-            if self.fallback_prior {
+            if opts.fallback_prior {
                 if let Some(prior) = &self.prior {
                     edge_obs::counter!("core.predict.fallbacks").inc(1);
-                    return Some(Prediction {
-                        mixture: prior.clone(),
-                        point: prior.mode(),
-                        attention: Vec::new(),
+                    return Ok(PredictResponse {
+                        prediction: Prediction {
+                            mixture: prior.clone(),
+                            point: prior.mode(),
+                            attention: Vec::new(),
+                        },
+                        from_fallback: true,
                     });
                 }
             }
-            return None;
-        }
-        self.predict_entities(&entities).ok()
-    }
-
-    /// Predicts a batch of tweet texts, fanning the work across the
-    /// `edge-par` pool (prediction is pure). Output is in input order;
-    /// uncovered tweets yield `None` at their position.
-    pub fn predict_batch(&self, texts: &[&str]) -> Vec<Option<Prediction>> {
-        let _span = edge_obs::span("predict_batch");
-        let mut out: Vec<Option<Prediction>> = Vec::with_capacity(texts.len());
-        out.resize_with(texts.len(), || None);
-        edge_par::parallel_for_chunks_mut(&mut out, 1, |i, slot| {
-            slot[0] = self.predict(texts[i]);
-        });
-        out
-    }
-
-    /// Predicts from resolved entity indices. An empty slice is a typed
-    /// error: there is nothing to aggregate (callers holding raw text
-    /// should use [`EdgeModel::predict`], which handles the coverage gap).
-    pub fn predict_entities(&self, entities: &[usize]) -> Result<Prediction, PredictError> {
-        if entities.is_empty() {
             return Err(PredictError::NoEntities);
         }
         let p = crate::infer::InferParams {
@@ -830,26 +834,72 @@ impl EdgeModel {
             .zip(weights)
             .map(|(&e, w)| (self.index.name(e).to_string(), w))
             .collect();
-        Ok(Prediction { mixture, point, attention })
+        Ok(PredictResponse {
+            prediction: Prediction { mixture, point, attention },
+            from_fallback: false,
+        })
     }
 
-    /// Evaluates on a test split: returns `(prediction, truth)` pairs for
-    /// covered tweets (in input order) and the coverage fraction.
-    /// Prediction is pure, so tweets are scored in parallel.
-    pub fn evaluate(&self, test: &[Tweet]) -> (Vec<(Prediction, Point)>, f64) {
-        let _span = edge_obs::span("evaluate");
-        let texts: Vec<&str> = test.iter().map(|t| t.text.as_str()).collect();
-        let out: Vec<(Prediction, Point)> = self
-            .predict_batch(&texts)
+    /// The [`PredictOptions`] equivalent of the deprecated mutating
+    /// `set_fallback_prior` flag (used by the legacy shims only).
+    fn legacy_options(&self) -> PredictOptions {
+        PredictOptions { fallback_prior: self.fallback_prior }
+    }
+
+    /// Predicts a location mixture for a tweet text.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Predictor::locate` with `PredictRequest::text` (returns a typed \
+                `PredictError::NoEntities` abstention instead of `None`)"
+    )]
+    pub fn predict(&self, text: &str) -> Option<Prediction> {
+        self.locate_one(&PredictRequest::text(text), &self.legacy_options())
+            .ok()
+            .map(|r| r.prediction)
+    }
+
+    /// Predicts a batch of tweet texts.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Predictor::locate_batch` with `PredictRequest::text` requests"
+    )]
+    pub fn predict_batch(&self, texts: &[&str]) -> Vec<Option<Prediction>> {
+        let requests: Vec<PredictRequest> =
+            texts.iter().map(|&t| PredictRequest::text(t)).collect();
+        self.locate_batch(&requests, &self.legacy_options())
             .into_iter()
-            .zip(test)
-            .filter_map(|(p, t)| p.map(|p| (p, t.location)))
-            .collect();
-        let coverage = out.len() as f64 / test.len().max(1) as f64;
-        // Uncovered tweets are exactly those whose entity resolution came up
-        // empty, so the NER miss rate is the complement of coverage.
-        edge_obs::gauge!("core.ner.miss_rate").set(1.0 - coverage);
-        (out, coverage)
+            .map(|r| r.ok().map(|r| r.prediction))
+            .collect()
+    }
+
+    /// Predicts from resolved entity indices.
+    #[deprecated(since = "0.6.0", note = "use `Predictor::locate` with `PredictRequest::entities`")]
+    pub fn predict_entities(&self, entities: &[usize]) -> Result<Prediction, PredictError> {
+        self.locate_one(&PredictRequest::entities(entities), &PredictOptions::default())
+            .map(|r| r.prediction)
+    }
+}
+
+impl Predictor for EdgeModel {
+    fn name(&self) -> &str {
+        "EDGE"
+    }
+
+    /// Fans the batch across the `edge-par` pool (prediction is pure).
+    /// Output is in input order, one result per request.
+    fn locate_batch(
+        &self,
+        requests: &[PredictRequest],
+        opts: &PredictOptions,
+    ) -> Vec<Result<PredictResponse, PredictError>> {
+        let _span = edge_obs::span("predict_batch");
+        let mut out: Vec<Option<Result<PredictResponse, PredictError>>> =
+            Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || None);
+        edge_par::parallel_for_chunks_mut(&mut out, 1, |i, slot| {
+            slot[0] = Some(self.locate_one(&requests[i], opts));
+        });
+        out.into_iter().map(|r| r.expect("every request slot is filled")).collect()
     }
 }
 
@@ -886,9 +936,11 @@ mod tests {
     fn predictions_are_sane_and_interpretable() {
         let (model, _, d) = trained();
         let (_, test) = d.paper_split();
+        let opts = PredictOptions::default();
         let mut covered = 0;
         for t in test.iter().take(200) {
-            let Some(p) = model.predict(&t.text) else { continue };
+            let Ok(r) = model.locate(&PredictRequest::text(&t.text), &opts) else { continue };
+            let p = r.prediction;
             covered += 1;
             assert_eq!(p.mixture.len(), model.config().n_components);
             assert!(p.point.is_finite());
@@ -910,13 +962,13 @@ mod tests {
     fn model_beats_region_center_baseline() {
         let (model, _, d) = trained();
         let (_, test) = d.paper_split();
-        let (preds, coverage) = model.evaluate(test);
-        assert!(coverage > 0.7, "coverage {coverage}");
-        let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-        let report = DistanceReport::from_pairs(&pairs).unwrap();
+        let outcome = model.evaluate(test, &PredictOptions::default());
+        assert!(outcome.coverage > 0.7, "coverage {}", outcome.coverage);
+        assert_eq!(outcome.pairs.len() + outcome.abstained, test.len());
+        let report = DistanceReport::from_pairs(&outcome.point_pairs()).unwrap();
         // The fixed center-of-region guess.
         let center_pairs: Vec<(Point, Point)> =
-            preds.iter().map(|(_, t)| (d.bbox.center(), *t)).collect();
+            outcome.pairs.iter().map(|(_, t)| (d.bbox.center(), *t)).collect();
         let center = DistanceReport::from_pairs(&center_pairs).unwrap();
         assert!(
             report.median_km < center.median_km,
@@ -928,30 +980,84 @@ mod tests {
     }
 
     #[test]
-    fn unknown_text_is_not_covered() {
+    fn unknown_text_is_a_typed_abstention() {
         let (model, _, _) = trained();
-        assert!(model.predict("zzz qqq completely unknown words").is_none());
+        let err = model
+            .locate(&PredictRequest::text("zzz qqq completely unknown words"), &Default::default())
+            .unwrap_err();
+        assert_eq!(err, PredictError::NoEntities);
     }
 
     #[test]
-    fn predict_batch_matches_serial_predict() {
+    fn locate_batch_matches_serial_locate() {
         let (model, _, d) = trained();
         let (_, test) = d.paper_split();
-        let texts: Vec<&str> = test.iter().take(64).map(|t| t.text.as_str()).collect();
-        let batched = model.predict_batch(&texts);
-        assert_eq!(batched.len(), texts.len());
-        for (text, got) in texts.iter().zip(&batched) {
-            let serial = model.predict(text);
+        let opts = PredictOptions::default();
+        let requests: Vec<PredictRequest> =
+            test.iter().take(64).map(|t| PredictRequest::text(&t.text)).collect();
+        let batched = model.locate_batch(&requests, &opts);
+        assert_eq!(batched.len(), requests.len());
+        for (req, got) in requests.iter().zip(&batched) {
+            let serial = model.locate(req, &opts);
             match (serial, got) {
-                (None, None) => {}
-                (Some(a), Some(b)) => {
-                    assert_eq!(a.point, b.point);
-                    assert_eq!(a.attention, b.attention);
+                (Err(a), Err(b)) => assert_eq!(a, *b),
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.prediction.point, b.prediction.point);
+                    assert_eq!(a.prediction.attention, b.prediction.attention);
                 }
                 (a, b) => {
-                    panic!("coverage mismatch for {text:?}: {:?} vs {:?}", a.is_some(), b.is_some())
+                    panic!("coverage mismatch for {req:?}: {:?} vs {:?}", a.is_ok(), b.is_ok())
                 }
             }
+        }
+    }
+
+    #[test]
+    fn stale_entity_indices_are_a_typed_error() {
+        let (model, _, _) = trained();
+        let n = model.entity_index().len();
+        let err = model.locate(&PredictRequest::entities(vec![0, n]), &Default::default());
+        assert_eq!(err.unwrap_err(), PredictError::EntityOutOfRange { id: n, n_entities: n });
+    }
+
+    /// The deprecated pre-`Predictor` surface stays behaviorally identical
+    /// to the unified API it delegates to. This module is the shim layer's
+    /// only sanctioned caller.
+    #[allow(deprecated)]
+    mod deprecated_shims {
+        use super::*;
+
+        #[test]
+        fn shims_delegate_to_the_unified_api() {
+            let (mut model, _, d) = trained();
+            let (_, test) = d.paper_split();
+            let t = test.iter().find(|t| !model.resolve_entities(&t.text).is_empty()).unwrap();
+            let via_shim = model.predict(&t.text).expect("covered");
+            let via_locate = model
+                .locate(&PredictRequest::text(&t.text), &PredictOptions::default())
+                .expect("covered");
+            assert_eq!(via_shim.point, via_locate.prediction.point);
+            assert_eq!(via_shim.attention, via_locate.prediction.attention);
+
+            let batched = model.predict_batch(&[t.text.as_str(), "zzz unknown"]);
+            assert_eq!(batched[0].as_ref().unwrap().point, via_shim.point);
+            assert!(batched[1].is_none(), "uncovered text maps back to None");
+
+            let ids = model.resolve_entities(&t.text);
+            let via_entities = model.predict_entities(&ids).expect("covered");
+            assert_eq!(via_entities.point, via_shim.point);
+            assert_eq!(
+                model.predict_entities(&[]).unwrap_err(),
+                PredictError::NoEntities,
+                "empty entity slice stays a typed error"
+            );
+
+            // The mutating fallback flag still drives the shims.
+            assert!(model.predict("zzz qqq unknown").is_none());
+            model.set_fallback_prior(true);
+            assert!(model.fallback_prior_enabled());
+            let p = model.predict("zzz qqq unknown").expect("prior fallback");
+            assert!(p.attention.is_empty());
         }
     }
 
@@ -968,9 +1074,10 @@ mod tests {
                 .unwrap();
         let (m2, r2) = EdgeModel::train(&train[..800], ner, &d.bbox, cfg, &opts).unwrap();
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
-        let p1 = m1.predict_entities(&[0, 1]).unwrap();
-        let p2 = m2.predict_entities(&[0, 1]).unwrap();
-        assert_eq!(p1.point, p2.point);
+        let req = PredictRequest::entities(vec![0, 1]);
+        let p1 = m1.locate(&req, &Default::default()).unwrap();
+        let p2 = m2.locate(&req, &Default::default()).unwrap();
+        assert_eq!(p1.prediction.point, p2.prediction.point);
     }
 
     #[test]
@@ -1000,8 +1107,9 @@ mod tests {
                 assert!(x.to_bits() == y.to_bits(), "{name}: {x} vs {y}");
             }
         }
-        let p1 = m1.predict_entities(&[0, 1]).unwrap();
-        let p2 = m2.predict_entities(&[0, 1]).unwrap();
+        let req = PredictRequest::entities(vec![0, 1]);
+        let p1 = m1.locate(&req, &Default::default()).unwrap().prediction;
+        let p2 = m2.locate(&req, &Default::default()).unwrap().prediction;
         assert_eq!(p1.point, p2.point);
         assert_eq!(p1.attention, p2.attention);
     }
@@ -1027,7 +1135,10 @@ mod tests {
             )
             .unwrap();
             assert!(report.epoch_losses.last().unwrap().is_finite());
-            let p = model.predict_entities(&[0]).unwrap();
+            let p = model
+                .locate(&PredictRequest::entities(vec![0]), &Default::default())
+                .unwrap()
+                .prediction;
             assert_eq!(p.mixture.len(), cfg.n_components);
             if !cfg.use_attention {
                 assert!(p.attention.is_empty(), "SUM ablation reports no attention");
@@ -1037,9 +1148,10 @@ mod tests {
     }
 
     #[test]
-    fn predict_entities_rejects_empty_slice() {
+    fn empty_entity_request_is_a_typed_abstention() {
         let (model, _, _) = trained();
-        assert_eq!(model.predict_entities(&[]).unwrap_err(), PredictError::NoEntities);
+        let err = model.locate(&PredictRequest::entities(Vec::new()), &Default::default());
+        assert_eq!(err.unwrap_err(), PredictError::NoEntities);
     }
 
     #[test]
@@ -1056,24 +1168,27 @@ mod tests {
 
     #[test]
     fn fallback_prior_covers_unknown_text() {
-        let (mut model, _, d) = trained();
-        assert!(model.predict("zzz qqq completely unknown words").is_none());
-        model.set_fallback_prior(true);
-        assert!(model.fallback_prior_enabled());
-        let p = model.predict("zzz qqq completely unknown words").expect("prior fallback");
-        assert!(p.attention.is_empty(), "prior prediction carries no attention");
+        let (model, _, d) = trained();
+        let req = PredictRequest::text("zzz qqq completely unknown words");
+        let opts = PredictOptions::default();
+        assert_eq!(model.locate(&req, &opts).unwrap_err(), PredictError::NoEntities);
+        let with_prior = opts.with_fallback_prior(true);
+        let r = model.locate(&req, &with_prior).expect("prior fallback");
+        assert!(r.from_fallback, "the response records its prior provenance");
+        assert!(r.prediction.attention.is_empty(), "prior prediction carries no attention");
         assert!(
-            d.bbox.expand(0.5).contains(&p.point),
+            d.bbox.expand(0.5).contains(&r.prediction.point),
             "prior mode should sit in the study region: {:?}",
-            p.point
+            r.prediction.point
         );
-        // Entity-bearing tweets are unaffected by the flag.
+        // Entity-bearing tweets are unaffected by the option.
         let (_, test) = d.paper_split();
         let t = test.iter().find(|t| !model.resolve_entities(&t.text).is_empty()).unwrap();
-        let with = model.predict(&t.text).unwrap();
-        model.set_fallback_prior(false);
-        let without = model.predict(&t.text).unwrap();
-        assert_eq!(with.point, without.point);
+        let treq = PredictRequest::text(&t.text);
+        let with = model.locate(&treq, &with_prior).unwrap();
+        let without = model.locate(&treq, &opts).unwrap();
+        assert_eq!(with.prediction.point, without.prediction.point);
+        assert!(!with.from_fallback);
     }
 
     #[test]

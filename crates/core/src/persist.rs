@@ -374,6 +374,7 @@ impl EdgeModel {
 mod tests {
     use super::*;
     use crate::model::TrainOptions;
+    use crate::predict::{PredictOptions, PredictRequest, Predictor};
     use edge_data::{dataset_recognizer, nyma, PresetSize};
 
     fn trained() -> (EdgeModel, edge_data::Dataset) {
@@ -409,14 +410,17 @@ mod tests {
         let (_, test) = d.paper_split();
         let mut compared = 0;
         for t in test.iter().take(60) {
-            match (model.predict(&t.text), loaded.predict(&t.text)) {
-                (Some(a), Some(b)) => {
+            let req = PredictRequest::text(&t.text);
+            let opts = PredictOptions::default();
+            match (model.locate(&req, &opts), loaded.locate(&req, &opts)) {
+                (Ok(a), Ok(b)) => {
+                    let (a, b) = (a.prediction, b.prediction);
                     assert_eq!(a.point, b.point, "points differ for: {}", t.text);
                     assert_eq!(a.attention, b.attention);
                     assert_eq!(a.mixture.weights(), b.mixture.weights());
                     compared += 1;
                 }
-                (None, None) => {}
+                (Err(_), Err(_)) => {}
                 _ => panic!("coverage differs after reload"),
             }
         }

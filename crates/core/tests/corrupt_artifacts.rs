@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use edge_core::{EdgeConfig, EdgeModel, PersistError, TrainOptions};
+use edge_core::{EdgeConfig, EdgeModel, PersistError, PredictRequest, Predictor, TrainOptions};
 use edge_data::{SimDate, Tweet};
 use edge_geo::{BBox, Point};
 use edge_text::{EntityCategory, EntityRecognizer};
@@ -112,6 +112,6 @@ fn pristine_bytes_load() {
     let path = scratch_path("sane");
     std::fs::write(&path, model_bytes()).unwrap();
     let model = EdgeModel::load(&path).expect("pristine artifact loads");
-    assert!(model.predict("alpha cafe").is_some());
+    assert!(model.locate(&PredictRequest::text("alpha cafe"), &Default::default()).is_ok());
     std::fs::remove_file(&path).ok();
 }

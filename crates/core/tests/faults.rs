@@ -15,8 +15,8 @@
 use std::path::PathBuf;
 
 use edge_core::{
-    inspect_artifact, load_checkpoint, Checkpointer, EdgeConfig, EdgeModel, TrainError,
-    TrainOptions,
+    inspect_artifact, load_checkpoint, Checkpointer, EdgeConfig, EdgeModel, PredictRequest,
+    Predictor, TrainError, TrainOptions,
 };
 use edge_data::{SimDate, Tweet};
 use edge_geo::{BBox, Point};
@@ -237,7 +237,7 @@ fn checkpoint_write_failures_do_not_kill_training() {
     let (model, report) = EdgeModel::train(&tweets, venue_ner(), &bbox(), cfg(3), &opts)
         .expect("checkpoint write failures are non-fatal");
     assert_eq!(report.epoch_losses.len(), 3);
-    assert!(model.predict("beta park").is_some());
+    assert!(model.locate(&PredictRequest::text("beta park"), &Default::default()).is_ok());
     assert!(
         Checkpointer::new(&dir, 1, 3).list().is_empty(),
         "no checkpoint should have survived the injected failure"

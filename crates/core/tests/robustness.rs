@@ -2,7 +2,9 @@
 //! conditions a production system hits that a paper never mentions.
 
 use edge_core::model::TrainReport;
-use edge_core::{EdgeConfig, EdgeModel, TrainError, TrainOptions};
+use edge_core::{
+    EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainError, TrainOptions,
+};
 use edge_data::{SimDate, Tweet};
 use edge_geo::{BBox, Point};
 use edge_text::{EntityCategory, EntityRecognizer};
@@ -56,6 +58,11 @@ fn tiny_corpus(n_per: usize) -> Vec<Tweet> {
     tweets
 }
 
+/// The new unified API in the old `Option` shape, for terse assertions.
+fn locate_text(model: &EdgeModel, text: &str) -> Option<edge_core::Prediction> {
+    model.locate(&PredictRequest::text(text), &PredictOptions::default()).ok().map(|r| r.prediction)
+}
+
 /// Trains with default fault-tolerance options, unwrapping the result.
 fn train_ok(tweets: &[Tweet], ner: EntityRecognizer, cfg: EdgeConfig) -> (EdgeModel, TrainReport) {
     EdgeModel::train(tweets, ner, &bbox(), cfg, &TrainOptions::default()).expect("train")
@@ -90,7 +97,7 @@ fn trains_on_a_minimal_corpus() {
     let (model, report) = train_ok(&tweets, venue_ner(), tiny_config());
     assert_eq!(model.entity_index().len(), 3);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
-    let p = model.predict("meet me at beta park").expect("covered");
+    let p = locate_text(&model, "meet me at beta park").expect("covered");
     assert!(p.point.is_finite());
 }
 
@@ -112,7 +119,7 @@ fn identical_locations_collapse_sigma_without_nan() {
     cfg.epochs = 30;
     let (model, report) = train_ok(&tweets, venue_ner(), cfg);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
-    let p = model.predict("alpha cafe").expect("covered");
+    let p = locate_text(&model, "alpha cafe").expect("covered");
     assert!(p.point.is_finite());
     // With point-mass data the density is razor-sharp; require the
     // prediction to pick the right venue, not a particular radius.
@@ -151,7 +158,7 @@ fn prediction_handles_adversarial_text() {
         "\u{1F600}\u{1F30D} alpha cafe \u{2764}",
     ] {
         // `None` (uncovered) is a legal outcome for any of these inputs.
-        if let Some(p) = model.predict(text) {
+        if let Some(p) = locate_text(&model, text) {
             assert!(p.point.is_finite(), "non-finite point for {text:?}");
             let w: f32 = p.attention.iter().map(|(_, w)| w).sum();
             assert!(p.attention.is_empty() || (w - 1.0).abs() < 1e-3);
@@ -168,7 +175,7 @@ fn outlier_locations_do_not_poison_training() {
     }
     let (model, report) = train_ok(&tweets, venue_ner(), tiny_config());
     assert!(report.epoch_losses.last().unwrap().is_finite());
-    let p = model.predict("alpha cafe").expect("covered");
+    let p = locate_text(&model, "alpha cafe").expect("covered");
     // Prediction stays with the majority mass, not the outliers.
     assert!(
         p.point.haversine_km(&Point::new(40.2, -74.8))
@@ -183,7 +190,7 @@ fn one_component_mixture_trains_and_predicts() {
     let mut cfg = tiny_config().ablation_no_mixture();
     cfg.epochs = 10;
     let (model, _) = train_ok(&tiny_corpus(25), venue_ner(), cfg);
-    let p = model.predict("gamma pier").expect("covered");
+    let p = locate_text(&model, "gamma pier").expect("covered");
     assert_eq!(p.mixture.len(), 1);
     assert_eq!(p.mixture.weights()[0], 1.0);
 }
@@ -195,7 +202,7 @@ fn many_components_with_few_data_points_stay_finite() {
     cfg.epochs = 12;
     let (model, report) = train_ok(&tiny_corpus(12), venue_ner(), cfg);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
-    let p = model.predict("beta park").expect("covered");
+    let p = locate_text(&model, "beta park").expect("covered");
     assert_eq!(p.mixture.len(), 8);
     assert!((p.mixture.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 }
@@ -205,5 +212,5 @@ fn gcn_depth_three_works() {
     let mut cfg = tiny_config();
     cfg.gcn_layers = 3;
     let (model, _) = train_ok(&tiny_corpus(20), venue_ner(), cfg);
-    assert!(model.predict("alpha cafe").is_some());
+    assert!(locate_text(&model, "alpha cafe").is_some());
 }

@@ -40,10 +40,12 @@
 //!     EdgeModel::train(train, ner, &dataset.bbox, config, &TrainOptions::default()).unwrap();
 //! assert!(report.epoch_losses.last().unwrap().is_finite());
 //!
-//! // Predict: a full Gaussian mixture plus the Eq.-14 point estimate.
-//! if let Some(prediction) = model.predict(&test[0].text) {
-//!     println!("point estimate: {:?}", prediction.point);
-//!     for (entity, weight) in &prediction.attention {
+//! // Predict through the unified API: a full Gaussian mixture plus the
+//! // Eq.-14 point estimate, or a typed abstention for uncovered tweets.
+//! let request = PredictRequest::text(&test[0].text);
+//! if let Ok(response) = model.locate(&request, &PredictOptions::default()) {
+//!     println!("point estimate: {:?}", response.prediction.point);
+//!     for (entity, weight) in &response.prediction.attention {
 //!         println!("  attended {entity} with weight {weight:.3}");
 //!     }
 //! }
@@ -64,7 +66,9 @@ pub mod prelude {
         Geolocator, HyperLocal, KullbackLeibler, LocKde, NaiveBayes, UnicodeCnn,
     };
     pub use edge_core::{
-        BowModel, EdgeConfig, EdgeModel, Prediction, TrainError, TrainOptions, TrainReport,
+        BowModel, EdgeConfig, EdgeModel, EvalOutcome, PointEval, PredictError, PredictInput,
+        PredictOptions, PredictRequest, PredictResponse, Prediction, Predictor, TrainError,
+        TrainOptions, TrainReport,
     };
     pub use edge_data::{Dataset, PresetSize, SimDate, Tweet};
     pub use edge_geo::{BBox, DistanceReport, GaussianMixture, Point};

@@ -1,0 +1,299 @@
+//! The micro-batching scheduler: connection threads enqueue resolved
+//! texts into a bounded queue; one scheduler thread drains it in batches
+//! of up to `max_batch`, holding an under-full batch open for at most
+//! `max_delay_us` before flushing. Batches go through the model's
+//! order-preserving `locate_batch`, so responses are bit-identical to
+//! direct calls regardless of how texts were grouped.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use edge_core::{PredictOptions, PredictRequest, Predictor};
+
+use crate::cache::{CacheKey, ResponseCache};
+use crate::json::{render_error, render_response};
+use crate::slot::ModelSlot;
+
+/// One text admitted to the queue.
+pub struct Job {
+    /// Entity ids resolved against `generation`'s model at admission.
+    pub entities: Vec<usize>,
+    /// Generation the entities were resolved under.
+    pub generation: u64,
+    /// The original text, kept so the scheduler can re-resolve after a
+    /// hot reload swapped the model underneath this job.
+    pub text: String,
+    /// Zero-entity policy for this job.
+    pub fallback: bool,
+    /// Where the rendered fragment lands.
+    pub pending: Arc<Pending>,
+    /// Index into the pending response.
+    pub index: usize,
+}
+
+/// A connection thread's rendezvous for one `POST /predict`: the
+/// scheduler fills slots as batches complete; the handler blocks on
+/// [`Pending::wait`] until all of its texts are answered.
+pub struct Pending {
+    state: Mutex<PendingState>,
+    done: Condvar,
+}
+
+/// Fragment slots plus the count still outstanding.
+type PendingState = (Vec<Option<Arc<Vec<u8>>>>, usize);
+
+impl Pending {
+    /// A pending response expecting `n` fragments.
+    pub fn new(n: usize) -> Self {
+        Self { state: Mutex::new((vec![None; n], n)), done: Condvar::new() }
+    }
+
+    /// Delivers fragment `i`.
+    pub fn fulfill(&self, i: usize, bytes: Arc<Vec<u8>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.0[i].replace(bytes).is_none() {
+            state.1 -= 1;
+        }
+        if state.1 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every fragment arrived; `None` on timeout (scheduler
+    /// wedged — the handler turns this into a 500).
+    pub fn wait(&self, timeout: Duration) -> Option<Vec<Arc<Vec<u8>>>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.1 > 0 {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (s, timed_out) =
+                self.done.wait_timeout(state, remaining).unwrap_or_else(|e| e.into_inner());
+            state = s;
+            if timed_out.timed_out() && state.1 > 0 {
+                return None;
+            }
+        }
+        Some(state.0.iter().map(|slot| Arc::clone(slot.as_ref().expect("filled"))).collect())
+    }
+}
+
+/// The bounded admission queue. `try_submit` is all-or-nothing: either
+/// every text of a POST fits, or none are queued and the request is shed
+/// with 429 — a partial admission would block the handler forever on the
+/// texts that were dropped.
+pub struct BatchQueue {
+    inner: Mutex<VecDeque<Job>>,
+    capacity: usize,
+    arrived: Condvar,
+}
+
+impl BatchQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(VecDeque::new()), capacity, arrived: Condvar::new() }
+    }
+
+    /// Admits all jobs or none. Returns whether they were queued.
+    pub fn try_submit(&self, jobs: Vec<Job>) -> bool {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() + jobs.len() > self.capacity {
+            return false;
+        }
+        q.extend(jobs);
+        edge_obs::gauge!("serve.queue.depth").set(q.len() as f64);
+        self.arrived.notify_one();
+        true
+    }
+
+    /// Queue length right now.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Waits briefly for a first job, then keeps the batch open until it
+    /// holds `max_batch` jobs or `max_delay` elapsed since the first
+    /// arrival. Returns an empty batch when nothing arrived within the
+    /// idle window (so the caller's loop can observe failpoints and
+    /// shutdown between waits), and `None` only when shutting down with
+    /// an empty queue.
+    fn pop_batch(
+        &self,
+        max_batch: usize,
+        max_delay: Duration,
+        shutdown: &dyn Fn() -> bool,
+    ) -> Option<Vec<Job>> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            if shutdown() {
+                return None;
+            }
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            if q.is_empty() {
+                return if shutdown() { None } else { Some(Vec::new()) };
+            }
+        }
+        let deadline = Instant::now() + max_delay;
+        while q.len() < max_batch && !shutdown() {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else { break };
+            let (guard, timed_out) =
+                self.arrived.wait_timeout(q, remaining).unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        let take = q.len().min(max_batch);
+        let batch: Vec<Job> = q.drain(..take).collect();
+        edge_obs::gauge!("serve.queue.depth").set(q.len() as f64);
+        Some(batch)
+    }
+}
+
+/// The scheduler loop: runs on its own thread until `shutdown()` holds
+/// *and* the queue is drained, so accepted requests are answered even
+/// during a graceful shutdown.
+pub fn run_scheduler(
+    queue: &BatchQueue,
+    slot: &ModelSlot,
+    cache: &ResponseCache,
+    max_batch: usize,
+    max_delay: Duration,
+    shutdown: impl Fn() -> bool,
+) {
+    loop {
+        // Test hook: hold the scheduler while a failpoint has hits left —
+        // before popping, so the queue-overflow suite can fill the queue
+        // deterministically and watch submissions shed.
+        while edge_faults::enabled() && edge_faults::fired("serve.dispatch.hold") {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let Some(batch) = queue.pop_batch(max_batch, max_delay, &shutdown) else { return };
+        if batch.is_empty() {
+            continue;
+        }
+        dispatch(&batch, slot, cache);
+    }
+}
+
+/// Runs one batch through the current model and fulfills its jobs.
+fn dispatch(batch: &[Job], slot: &ModelSlot, cache: &ResponseCache) {
+    let _span = edge_obs::span("serve.dispatch");
+    edge_obs::histogram!("serve.batch.size").record(batch.len() as f64);
+    let (model, generation) = slot.get();
+
+    // Jobs resolved under an older generation re-resolve against the model
+    // that will actually answer them (entity ids are not stable across
+    // models); their admission-time cache key is stale either way.
+    let resolved: Vec<Vec<usize>> = batch
+        .iter()
+        .map(|job| {
+            if job.generation == generation {
+                job.entities.clone()
+            } else {
+                model.resolve_entities(&job.text)
+            }
+        })
+        .collect();
+
+    // `locate_batch` takes one options struct, so partition by fallback
+    // flag; each partition keeps its order, so results map back exactly.
+    for fallback in [false, true] {
+        let selected: Vec<usize> =
+            (0..batch.len()).filter(|&i| batch[i].fallback == fallback).collect();
+        if selected.is_empty() {
+            continue;
+        }
+        let requests: Vec<PredictRequest> =
+            selected.iter().map(|&i| PredictRequest::entities(resolved[i].clone())).collect();
+        let opts = PredictOptions::default().with_fallback_prior(fallback);
+        let results = model.locate_batch(&requests, &opts);
+        for (&i, result) in selected.iter().zip(&results) {
+            let bytes = Arc::new(match result {
+                Ok(resp) => render_response(resp),
+                Err(err) => render_error(err),
+            });
+            if result.is_ok() {
+                let key = CacheKey { generation, entities: resolved[i].clone(), fallback };
+                cache.insert(key, Arc::clone(&bytes));
+            }
+            batch[i].pending.fulfill(batch[i].index, Arc::clone(&bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_collects_out_of_order_fragments() {
+        let p = Pending::new(3);
+        p.fulfill(2, Arc::new(b"c".to_vec()));
+        p.fulfill(0, Arc::new(b"a".to_vec()));
+        p.fulfill(1, Arc::new(b"b".to_vec()));
+        let got = p.wait(Duration::from_secs(1)).unwrap();
+        let joined: Vec<u8> = got.iter().flat_map(|b| b.iter().copied()).collect();
+        assert_eq!(joined, b"abc");
+    }
+
+    #[test]
+    fn pending_wait_times_out_when_unfulfilled() {
+        let p = Pending::new(1);
+        assert!(p.wait(Duration::from_millis(10)).is_none());
+    }
+
+    fn job(pending: &Arc<Pending>, index: usize) -> Job {
+        Job {
+            entities: vec![],
+            generation: 1,
+            text: String::new(),
+            fallback: false,
+            pending: Arc::clone(pending),
+            index,
+        }
+    }
+
+    #[test]
+    fn submission_is_all_or_nothing() {
+        let q = BatchQueue::new(3);
+        let p = Arc::new(Pending::new(4));
+        assert!(q.try_submit(vec![job(&p, 0), job(&p, 1)]));
+        // Two queued + two more would exceed capacity 3: nothing admitted.
+        assert!(!q.try_submit(vec![job(&p, 2), job(&p, 3)]));
+        assert_eq!(q.depth(), 2);
+        assert!(q.try_submit(vec![job(&p, 2)]));
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn pop_batch_flushes_on_deadline_and_on_size() {
+        let q = BatchQueue::new(16);
+        let shutdown = || false;
+        let p = Arc::new(Pending::new(8));
+        q.try_submit((0..2).map(|i| job(&p, i)).collect());
+        let started = Instant::now();
+        let batch = q.pop_batch(8, Duration::from_millis(5), &shutdown).unwrap();
+        assert_eq!(batch.len(), 2, "under-full batch flushes at the deadline");
+        assert!(started.elapsed() >= Duration::from_millis(4));
+        q.try_submit((0..8).map(|i| job(&p, i)).collect());
+        let batch = q.pop_batch(4, Duration::from_secs(5), &shutdown).unwrap();
+        assert_eq!(batch.len(), 4, "full batch flushes immediately");
+        assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue_before_stopping() {
+        let q = BatchQueue::new(16);
+        let shutdown = || true;
+        let p = Arc::new(Pending::new(1));
+        q.try_submit(vec![job(&p, 0)]);
+        // Shutdown already requested, but the queued job still comes out.
+        let batch = q.pop_batch(8, Duration::from_millis(1), &shutdown).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(q.pop_batch(8, Duration::from_millis(1), &shutdown).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! A sharded LRU cache for rendered predictions.
+//!
+//! EDGE predictions are a pure function of the *resolved entity set* (the
+//! recognizer sorts and dedups mentions), the fallback policy, and the
+//! model generation — so the cache key is exactly that triple, and a hit
+//! returns the fully rendered JSON fragment without touching the model.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What uniquely determines a rendered prediction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Model generation the entry was computed under.
+    pub generation: u64,
+    /// Resolved entity ids (sorted + deduped by the recognizer).
+    pub entities: Vec<usize>,
+    /// Whether the zero-entity prior fallback was in effect.
+    pub fallback: bool,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, (u64, Arc<Vec<u8>>)>,
+    tick: u64,
+}
+
+/// Sharded LRU over rendered JSON fragments. Eviction is an O(shard)
+/// min-tick scan — shards stay small (capacity/shards entries), so the
+/// scan is cheaper than the bookkeeping of a linked LRU at this size.
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// Capacity 0 builds a disabled cache: every lookup misses, inserts
+    /// are dropped.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity / shards;
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks the key up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        if self.per_shard == 0 {
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some((last, bytes)) => {
+                *last = tick;
+                let bytes = Arc::clone(bytes);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                edge_obs::counter!("serve.cache.hits").inc(1);
+                Some(bytes)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                edge_obs::counter!("serve.cache.misses").inc(1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered fragment, evicting the least-recently-used entry
+    /// of the shard when full.
+    pub fn insert(&self, key: CacheKey, bytes: Arc<Vec<u8>>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, (last, _))| *last).map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, (tick, bytes));
+    }
+
+    /// Drops every entry — called on hot reload so stale generations
+    /// cannot be served (keys carry the generation too; clearing just
+    /// reclaims the memory immediately).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).map.clear();
+        }
+    }
+
+    /// Lifetime (hits, misses) — independent of whether the global metrics
+    /// registry is enabled.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: usize) -> CacheKey {
+        CacheKey { generation: 1, entities: vec![id], fallback: false }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_clear() {
+        let cache = ResponseCache::new(64, 4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), Arc::new(b"x".to_vec()));
+        assert_eq!(cache.get(&key(1)).unwrap().as_slice(), b"x");
+        cache.clear();
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn distinct_generations_do_not_collide() {
+        let cache = ResponseCache::new(64, 4);
+        cache.insert(CacheKey { generation: 1, ..key(7) }, Arc::new(b"old".to_vec()));
+        let new_gen = CacheKey { generation: 2, ..key(7) };
+        assert!(cache.get(&new_gen).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One shard of capacity 2 keeps the recently touched keys.
+        let cache = ResponseCache::new(2, 1);
+        cache.insert(key(1), Arc::new(b"1".to_vec()));
+        cache.insert(key(2), Arc::new(b"2".to_vec()));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1
+        cache.insert(key(3), Arc::new(b"3".to_vec())); // evicts 2
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let cache = ResponseCache::new(0, 4);
+        cache.insert(key(1), Arc::new(b"x".to_vec()));
+        assert!(cache.get(&key(1)).is_none());
+    }
+}

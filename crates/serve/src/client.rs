@@ -1,0 +1,115 @@
+//! A tiny blocking HTTP/1.1 client over one keep-alive connection — the
+//! counterpart of [`crate::http`] for integration tests, the serving
+//! bench, and anything else in-workspace that needs to talk to the
+//! server without a network crate.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 429, ...).
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (panics on binary bodies — fine for JSON APIs).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("utf-8 body")
+    }
+
+    /// Parses the body as a JSON value tree.
+    pub fn json(&self) -> serde_json::Value {
+        serde_json::from_str(self.text()).expect("json body")
+    }
+}
+
+/// A persistent connection to one server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects (keep-alive; one connection reused for every call).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: edge-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `POST /predict` with a single text.
+    pub fn predict(&mut self, text: &str) -> std::io::Result<Response> {
+        let value = serde_json::Value::Object(vec![(
+            "text".to_string(),
+            serde_json::Value::Str(text.to_string()),
+        )]);
+        let body = serde_json::to_string(&value).unwrap();
+        self.request("POST", "/predict", body.as_bytes())
+    }
+
+    /// `POST /predict` with a batch of texts.
+    pub fn predict_batch(&mut self, texts: &[&str]) -> std::io::Result<Response> {
+        let items: Vec<serde_json::Value> =
+            texts.iter().map(|t| serde_json::Value::Str(t.to_string())).collect();
+        let value =
+            serde_json::Value::Object(vec![("texts".to_string(), serde_json::Value::Array(items))]);
+        let body = serde_json::to_string(&value).unwrap();
+        self.request("POST", "/predict", body.as_bytes())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        use std::io::BufRead;
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 =
+            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+                || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"),
+            )?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut self.reader, &mut body)?;
+        Ok(Response { status, body })
+    }
+}

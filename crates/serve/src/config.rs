@@ -1,0 +1,84 @@
+//! Server configuration: the batching, backpressure, and cache knobs.
+
+/// Tunables for [`crate::Server`]. The defaults suit an interactive
+/// deployment: sub-millisecond batching delay, a queue deep enough to
+/// absorb bursts, and a cache sized for a few thousand distinct entity
+/// sets.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Largest batch handed to the model in one `locate_batch` call.
+    /// 1 disables micro-batching (every text dispatched alone).
+    pub max_batch: usize,
+    /// How long the scheduler holds an under-full batch open waiting for
+    /// more texts before flushing it anyway.
+    pub max_delay_us: u64,
+    /// Admission-queue capacity in texts. A `POST /predict` whose texts do
+    /// not all fit is rejected with `429` (explicit shedding) rather than
+    /// queued partially.
+    pub queue_capacity: usize,
+    /// Total cached responses across all shards; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Shard count for the response cache (reduces lock contention).
+    pub cache_shards: usize,
+    /// Server-side default for requests that do not set `fallback_prior`
+    /// themselves: answer zero-entity tweets with the training-split prior
+    /// instead of a typed abstention.
+    pub fallback_prior: bool,
+    /// Install SIGTERM/SIGINT handlers so the process drains gracefully.
+    /// The CLI turns this on; in-process tests leave it off.
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            max_batch: 32,
+            max_delay_us: 500,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            fallback_prior: false,
+            handle_signals: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates invariants that would otherwise dead-lock or divide by
+    /// zero deep inside the scheduler.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.cache_shards == 0 {
+            return Err("cache_shards must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected() {
+        let c = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { cache_shards: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
+//! the four serving endpoints, with keep-alive and `Content-Length`
+//! framing. No network crates: the build environment is offline and the
+//! request shapes are fully under our control.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body (a batch of tweets is a few KiB; 1 MiB
+/// leaves two orders of magnitude of headroom).
+const MAX_BODY: usize = 1 << 20;
+/// Header-count cap so a hostile client cannot balloon memory.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// What one read attempt on a keep-alive connection produced.
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any bytes of a next request.
+    Closed,
+    /// The read timed out while *idle* (no request in flight) — the caller
+    /// can poll its shutdown flag and try again without losing framing.
+    Idle,
+}
+
+/// Reads one HTTP/1.1 request. A timeout on the very first line (idle
+/// keep-alive connection) is reported as [`ReadOutcome::Idle`]; a timeout
+/// mid-request is a framing error and closes the connection.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            return Ok(ReadOutcome::Idle);
+        }
+        Err(e) => return Err(e),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for _ in 0..MAX_HEADERS {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(reader, &mut body)?;
+    }
+    Ok(ReadOutcome::Request(Request { method, path, body, keep_alive }))
+}
+
+/// Writes one response with `Content-Length` framing.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut r = BufReader::new(&raw[..]);
+        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+            panic!("expected a request")
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_query_strings() {
+        let raw = b"GET /healthz?v=1 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+            panic!("expected a request")
+        };
+        assert_eq!(req.path, "/healthz");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn eof_is_a_clean_close() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(matches!(read_request(&mut r).unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let raw = format!("POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let mut r = BufReader::new(raw.as_bytes());
+        assert!(read_request(&mut r).is_err());
+    }
+
+    #[test]
+    fn response_is_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # edge-serve — batched, hot-reloadable inference serving
+//!
+//! An HTTP/1.1 inference server for trained EDGE models, built directly
+//! on `std::net` (the workspace is offline; see `shims/README.md` for the
+//! no-external-crates policy). Four endpoints:
+//!
+//! | endpoint | method | purpose |
+//! |---|---|---|
+//! | `/predict` | POST | single (`{"text": ...}`) or batch (`{"texts": [...]}`) prediction |
+//! | `/healthz` | GET | liveness + current model generation |
+//! | `/metrics` | GET | text dump of the `edge-obs` metrics registry |
+//! | `/reload` | POST | atomically swap in a new model artifact (`{"path": ...}`) |
+//!
+//! Inside, texts flow through a micro-batching scheduler ([`batch`]):
+//! connection threads resolve entities, consult a sharded response cache
+//! ([`cache`]), and enqueue the misses into a bounded queue that a single
+//! scheduler thread drains in batches of up to `max_batch`, dispatched
+//! through the model's order-preserving `locate_batch`. Responses are
+//! **bit-identical** to direct [`edge_core::Predictor`] calls: batching,
+//! caching, and the wire format never change a single float bit (the
+//! JSON writer emits shortest-round-trip decimals).
+//!
+//! Overload is explicit: a `POST` whose texts do not all fit in the
+//! queue is shed with `429` and counted in `serve.shed`. Hot reload is
+//! atomic: the artifact is checksum-verified *before* the swap, in-flight
+//! batches finish on the model they started with, and a corrupt artifact
+//! leaves the old model serving. SIGTERM (CLI mode) drains gracefully.
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod slot;
+
+pub use cache::{CacheKey, ResponseCache};
+pub use client::Client;
+pub use config::ServeConfig;
+pub use server::Server;
+pub use slot::ModelSlot;

@@ -1,0 +1,397 @@
+//! The HTTP server: accept loop, routing, admission, hot reload, and
+//! graceful drain.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use edge_core::EdgeModel;
+
+use crate::batch::{run_scheduler, BatchQueue, Job, Pending};
+use crate::cache::{CacheKey, ResponseCache};
+use crate::config::ServeConfig;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::{parse_predict_body, render_error, simple_object};
+use crate::slot::ModelSlot;
+
+/// How long a handler waits for the scheduler before giving up with 500.
+const PREDICT_TIMEOUT: Duration = Duration::from_secs(60);
+/// Read timeout on idle keep-alive connections, so they observe drain.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// How long shutdown waits for in-flight work before force-exiting.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Process-wide flag set by SIGTERM/SIGINT when `handle_signals` is on.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: *const ()) -> *const ();
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as *const ());
+        signal(SIGINT, on_signal as extern "C" fn(i32) as *const ());
+    }
+}
+
+/// Everything the connection handlers share.
+struct ServerState {
+    config: ServeConfig,
+    slot: ModelSlot,
+    queue: BatchQueue,
+    cache: ResponseCache,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running inference server. Dropping the handle does *not* stop it;
+/// call [`Server::shutdown`] (or send SIGTERM with `handle_signals`).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the batching scheduler, and
+    /// returns once the socket is listening.
+    pub fn start(model: EdgeModel, config: ServeConfig) -> Result<Server, String> {
+        config.validate()?;
+        edge_obs::set_metrics_enabled(true);
+        if config.handle_signals {
+            #[cfg(unix)]
+            install_signal_handlers();
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+        let state = Arc::new(ServerState {
+            cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
+            queue: BatchQueue::new(config.queue_capacity),
+            slot: ModelSlot::new(model),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config,
+        });
+
+        let scheduler_thread = {
+            let state = Arc::clone(&state);
+            // The scheduler borrows pieces of the shared state; re-wrap
+            // them as Arcs pointing into dedicated clones would be wrong —
+            // instead pass closures over the one state Arc.
+            std::thread::Builder::new()
+                .name("edge-serve-sched".into())
+                .spawn(move || {
+                    scheduler_entry(state);
+                })
+                .map_err(|e| e.to_string())?
+        };
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("edge-serve-accept".into())
+                .spawn(move || accept_loop(listener, state))
+                .map_err(|e| e.to_string())?
+        };
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+            scheduler_thread: Some(scheduler_thread),
+        })
+    }
+
+    /// Loads the model from a saved artifact, then starts.
+    pub fn start_from_artifact(path: &str, config: ServeConfig) -> Result<Server, String> {
+        let model = EdgeModel::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+        Server::start(model, config)
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current model generation.
+    pub fn generation(&self) -> u64 {
+        self.state.slot.generation()
+    }
+
+    /// Lifetime cache (hits, misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.state.cache.stats()
+    }
+
+    /// Jobs currently waiting in the batching queue.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue.depth()
+    }
+
+    /// Requests a graceful drain and blocks until the accept loop and
+    /// scheduler exit (bounded by the drain timeout).
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a signal (or programmatic shutdown) stops the server.
+    /// The CLI's foreground mode.
+    pub fn wait(self) {
+        while !self.state.shutdown.load(Ordering::Acquire) && !SIGNALLED.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        edge_obs::progress!("edge-serve: draining ({} in flight)", self.state.queue.depth());
+        self.shutdown();
+    }
+}
+
+fn scheduler_entry(state: Arc<ServerState>) {
+    let max_batch = state.config.max_batch;
+    let max_delay = Duration::from_micros(state.config.max_delay_us);
+    run_scheduler(&state.queue, &state.slot, &state.cache, max_batch, max_delay, || {
+        state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire)
+    });
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire) {
+            state.shutdown.store(true, Ordering::Release);
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                edge_obs::counter!("serve.connections").inc(1);
+                // Fault hook on the accept path: an injected error drops
+                // the connection before any request is read.
+                if edge_faults::enabled() && edge_faults::check("serve.accept").is_err() {
+                    edge_obs::counter!("serve.accept.failures").inc(1);
+                    drop(stream);
+                    continue;
+                }
+                let state = Arc::clone(&state);
+                state.active_connections.fetch_add(1, Ordering::AcqRel);
+                let result =
+                    std::thread::Builder::new().name("edge-serve-conn".into()).spawn(move || {
+                        connection_loop(stream, &state);
+                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if result.is_err() {
+                    edge_obs::counter!("serve.accept.failures").inc(1);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Drain: wait for in-flight connections and queued work, bounded.
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while (state.active_connections.load(Ordering::Acquire) > 0 || state.queue.depth() > 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let draining = state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire);
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(req)) => {
+                let keep_alive = req.keep_alive && !draining;
+                if handle_request(&req, &mut writer, keep_alive, state).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Idle) => {
+                if draining {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(
+    req: &Request,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    edge_obs::counter!("serve.requests").inc(1);
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => handle_predict(req, writer, keep_alive, state),
+        ("GET", "/healthz") => {
+            let generation = state.slot.generation().to_string();
+            let body =
+                simple_object(&[("status", "ok"), ("model", "EDGE"), ("generation", &generation)]);
+            write_response(writer, 200, "application/json", &body, keep_alive)
+        }
+        ("GET", "/metrics") => {
+            let mut text = edge_obs::metrics::snapshot().render();
+            let (hits, misses) = state.cache.stats();
+            text.push_str(&format!(
+                "serve.cache.stats hits={hits} misses={misses} queue_depth={}\n",
+                state.queue.depth()
+            ));
+            write_response(writer, 200, "text/plain", text.as_bytes(), keep_alive)
+        }
+        ("POST", "/reload") => handle_reload(req, writer, keep_alive, state),
+        (_, "/predict") | (_, "/reload") | (_, "/healthz") | (_, "/metrics") => {
+            let body = simple_object(&[("error", "method_not_allowed")]);
+            write_response(writer, 405, "application/json", &body, keep_alive)
+        }
+        _ => {
+            let body = simple_object(&[("error", "not_found")]);
+            write_response(writer, 404, "application/json", &body, keep_alive)
+        }
+    };
+    edge_obs::histogram!("serve.request.us").record(started.elapsed().as_micros() as f64);
+    result
+}
+
+fn handle_predict(
+    req: &Request,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let body = match parse_predict_body(&req.body) {
+        Ok(b) => b,
+        Err(msg) => {
+            let body = simple_object(&[("error", "bad_request"), ("detail", &msg)]);
+            return write_response(writer, 400, "application/json", &body, keep_alive);
+        }
+    };
+    let fallback = body.fallback_prior.unwrap_or(state.config.fallback_prior);
+    let (model, generation) = state.slot.get();
+    edge_obs::counter!("serve.predict.texts").inc(body.texts.len() as u64);
+
+    // Resolve entities up front: abstentions answer immediately, cache
+    // hits skip the queue, and only genuine model work is admitted.
+    let mut fragments: Vec<Option<Arc<Vec<u8>>>> = vec![None; body.texts.len()];
+    let mut seeds: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, text) in body.texts.iter().enumerate() {
+        let entities = model.resolve_entities(text);
+        if entities.is_empty() && !fallback {
+            fragments[i] = Some(Arc::new(render_error(&edge_core::PredictError::NoEntities)));
+            continue;
+        }
+        let key = CacheKey { generation, entities: entities.clone(), fallback };
+        if let Some(bytes) = state.cache.get(&key) {
+            fragments[i] = Some(bytes);
+            continue;
+        }
+        seeds.push((i, entities));
+    }
+    drop(model);
+
+    if !seeds.is_empty() {
+        let pending = Arc::new(Pending::new(seeds.len()));
+        let jobs: Vec<Job> = seeds
+            .iter()
+            .enumerate()
+            .map(|(k, (i, entities))| Job {
+                entities: entities.clone(),
+                generation,
+                text: body.texts[*i].clone(),
+                fallback,
+                pending: Arc::clone(&pending),
+                index: k,
+            })
+            .collect();
+        if !state.queue.try_submit(jobs) {
+            edge_obs::counter!("serve.shed").inc(1);
+            let body = simple_object(&[("error", "overloaded")]);
+            return write_response(writer, 429, "application/json", &body, keep_alive);
+        }
+        let Some(results) = pending.wait(PREDICT_TIMEOUT) else {
+            let body = simple_object(&[("error", "timeout")]);
+            return write_response(writer, 500, "application/json", &body, keep_alive);
+        };
+        for ((i, _), bytes) in seeds.iter().zip(results) {
+            fragments[*i] = Some(bytes);
+        }
+    }
+
+    // Assemble: a bare object for the single shape, an envelope for batch.
+    let mut out: Vec<u8> = Vec::with_capacity(64 * fragments.len());
+    if body.single {
+        out.extend_from_slice(&fragments[0].take().expect("filled"));
+    } else {
+        out.extend_from_slice(b"{\"results\":[");
+        for (i, frag) in fragments.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            out.extend_from_slice(frag.as_ref().expect("filled"));
+        }
+        out.extend_from_slice(b"]}");
+    }
+    write_response(writer, 200, "application/json", &out, keep_alive)
+}
+
+fn handle_reload(
+    req: &Request,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let path = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(s).ok())
+        .and_then(|v| v.get("path").and_then(|p| p.as_str().map(str::to_string)));
+    let Some(path) = path else {
+        let body = simple_object(&[("error", "bad_request"), ("detail", "body needs a \"path\"")]);
+        return write_response(writer, 400, "application/json", &body, keep_alive);
+    };
+    match state.slot.reload_from(&path) {
+        Ok(generation) => {
+            // Entries keyed under older generations can never be returned
+            // (the key carries the generation); clearing reclaims memory.
+            state.cache.clear();
+            edge_obs::counter!("serve.reloads").inc(1);
+            edge_obs::progress!("edge-serve: reloaded {path} as generation {generation}");
+            let generation = generation.to_string();
+            let body = simple_object(&[("status", "ok"), ("generation", &generation)]);
+            write_response(writer, 200, "application/json", &body, keep_alive)
+        }
+        Err(msg) => {
+            edge_obs::counter!("serve.reload.failures").inc(1);
+            let body = simple_object(&[("error", "reload_rejected"), ("detail", &msg)]);
+            write_response(writer, 422, "application/json", &body, keep_alive)
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Fault-injection tests for the serving path: queue overflow must shed
+//! with 429, a failing reload must leave the old model serving, and a
+//! dropped accept must not take the listener down.
+//!
+//! `FailScenario::setup` holds a global lock, so these tests are
+//! serialized against each other (and any other failpoint user).
+
+mod util;
+
+use std::time::Duration;
+
+use edge_faults::FailScenario;
+use edge_serve::{Client, ServeConfig};
+
+/// With the scheduler held at the `serve.dispatch.hold` failpoint, a tiny
+/// queue fills up and further texts are shed with 429 (and counted).
+#[test]
+fn full_queue_sheds_with_429() {
+    let scenario = FailScenario::setup();
+    let server = util::start_server(ServeConfig {
+        max_batch: 4,
+        queue_capacity: 4,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let texts = util::covered_texts(6);
+    assert!(texts.len() >= 5, "need enough covered texts to overflow a queue of 4");
+
+    // Freeze the scheduler before it can drain anything: it checks this
+    // failpoint between idle waits (every ~20ms), so after a grace period
+    // it is parked in the hold loop and nothing gets dispatched.
+    edge_faults::configure("serve.dispatch.hold", "10000*err").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fill the queue from background threads (their requests will block in
+    // Pending::wait until we release the scheduler).
+    let filler = {
+        let texts = texts.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let refs: Vec<&str> = texts[..4].iter().map(String::as_str).collect();
+            client.predict_batch(&refs).unwrap()
+        })
+    };
+    // Wait until the four jobs are actually queued.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() < 4 {
+        assert!(std::time::Instant::now() < deadline, "queue never filled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The queue is full: the next text must be shed, all or nothing.
+    let mut client = Client::connect(addr).unwrap();
+    let shed = client.predict(&texts[4]).unwrap();
+    assert_eq!(shed.status, 429, "full queue must shed: {}", shed.text());
+    assert_eq!(shed.json().get("error").unwrap().as_str(), Some("overloaded"));
+
+    // A batch that does not entirely fit is also rejected whole.
+    let refs: Vec<&str> = texts[..2].iter().map(String::as_str).collect();
+    assert_eq!(client.predict_batch(&refs).unwrap().status, 429);
+
+    // Release the scheduler: the queued requests complete normally.
+    edge_faults::remove("serve.dispatch.hold");
+    let resp = filler.join().unwrap();
+    assert_eq!(resp.status, 200, "queued batch completes after release");
+    let after = client.predict(&texts[4]).unwrap();
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body, util::expected_fragment(&texts[4]));
+
+    server.shutdown();
+    drop(scenario);
+}
+
+/// An injected failure on the reload path is surfaced as 422 and the old
+/// model keeps serving; once the failpoint is exhausted, reload succeeds.
+#[test]
+fn failed_reload_keeps_old_model_serving() {
+    let scenario = FailScenario::setup();
+    let w = util::world();
+    let server = util::start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    edge_faults::configure("serve.reload", "1*err(injected reload fault)").unwrap();
+
+    let body = format!("{{\"path\":{}}}", serde_json::to_string(&w.model_path).unwrap());
+    let resp = client.request("POST", "/reload", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 422, "injected fault must reject the reload: {}", resp.text());
+    assert_eq!(server.generation(), 1, "failed reload must not bump the generation");
+
+    // The old model still answers, bit for bit.
+    let text = util::covered_texts(1).remove(0);
+    let resp = client.predict(&text).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, util::expected_fragment(&text));
+
+    // The failpoint fired once; the same reload now goes through.
+    let resp = client.request("POST", "/reload", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "reload succeeds once the fault is spent: {}", resp.text());
+    assert_eq!(server.generation(), 2);
+
+    server.shutdown();
+    drop(scenario);
+}
+
+/// An injected accept failure drops one connection; the listener survives
+/// and the next connection is served normally.
+#[test]
+fn dropped_accept_does_not_kill_the_listener() {
+    let scenario = FailScenario::setup();
+    let server = util::start_server(ServeConfig::default());
+    let addr = server.addr();
+    let text = util::covered_texts(1).remove(0);
+
+    edge_faults::configure("serve.accept", "1*err").unwrap();
+
+    // The first connection is accepted then dropped: the request errors out
+    // (reset or EOF, depending on timing).
+    let mut doomed = Client::connect(addr).unwrap();
+    assert!(doomed.predict(&text).is_err(), "the faulted connection must be dropped");
+
+    // The listener is still alive: a fresh connection works.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.predict(&text).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, util::expected_fragment(&text));
+
+    server.shutdown();
+    drop(scenario);
+}

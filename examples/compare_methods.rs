@@ -20,8 +20,7 @@ fn main() {
     let kl = KullbackLeibler::fit(train, grid());
     let hl = HyperLocal::fit(train, HyperLocalParams::default());
     for model in [&nb as &dyn Geolocator, &kl, &hl] {
-        let (pairs, coverage) = model.evaluate(test);
-        if let Some(report) = DistanceReport::from_pairs_with_coverage(&pairs, coverage) {
+        if let Some(report) = model.evaluate_points(test).report() {
             rows.push((model.name().to_string(), report));
         }
     }
@@ -36,9 +35,9 @@ fn main() {
     cfg.sgns.dim = 32;
     let (model, _) =
         EdgeModel::train(train, ner, &dataset.bbox, cfg, &TrainOptions::default()).expect("train");
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    if let Some(report) = DistanceReport::from_pairs_with_coverage(&pairs, coverage) {
+    // EDGE scores through the very same `Geolocator` facade as the
+    // baselines (blanket impl over `Predictor`).
+    if let Some(report) = model.evaluate_points(test).report() {
         rows.push(("EDGE".to_string(), report));
     }
 

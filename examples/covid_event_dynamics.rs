@@ -34,7 +34,7 @@ fn main() {
             .filter(|t| t.text.to_lowercase().contains("quarantine"))
             .collect();
         let predicted: Vec<Point> =
-            quarantine.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+            quarantine.iter().filter_map(|t| model.predict_point(&t.text)).collect();
         let heat = Heatmap::from_points(grid.clone(), &predicted, 1.5);
         println!(
             "window {label}: {} quarantine tweets, {} predicted",

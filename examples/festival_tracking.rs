@@ -36,7 +36,7 @@ fn main() {
             .collect();
 
         let edge_points: Vec<Point> =
-            mentions.iter().filter_map(|t| model.predict(&t.text).map(|p| p.point)).collect();
+            mentions.iter().filter_map(|t| model.predict_point(&t.text)).collect();
         let hl_points: Vec<Point> =
             mentions.iter().filter_map(|t| hyperlocal.predict_point(&t.text)).collect();
 

@@ -20,7 +20,11 @@ fn main() {
     let (tweet, prediction) = test
         .iter()
         .filter(|t| t.text.to_lowercase().contains("quarantine"))
-        .find_map(|t| model.predict(&t.text).map(|p| (t, p)))
+        .find_map(|t| {
+            let response =
+                model.locate(&PredictRequest::text(&t.text), &Default::default()).ok()?;
+            Some((t, response.prediction))
+        })
         .expect("a covered quarantine tweet");
 
     println!("tweet: \"{}\"\n", tweet.text);

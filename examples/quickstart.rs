@@ -30,9 +30,14 @@ fn main() {
 
     // 3. Predict. The output is a full mixture distribution (Eq. 6), a
     //    point estimate (Eq. 14), and per-entity attention weights.
-    let tweet =
-        test.iter().find(|t| model.predict(&t.text).is_some()).expect("a covered test tweet");
-    let prediction = model.predict(&tweet.text).expect("covered");
+    let opts = PredictOptions::default();
+    let (tweet, prediction) = test
+        .iter()
+        .find_map(|t| {
+            let response = model.locate(&PredictRequest::text(&t.text), &opts).ok()?;
+            Some((t, response.prediction))
+        })
+        .expect("a covered test tweet");
     println!("tweet: \"{}\"", tweet.text);
     println!("true location:  ({:.4}, {:.4})", tweet.location.lat, tweet.location.lon);
     println!(
@@ -59,9 +64,8 @@ fn main() {
     }
 
     // 4. Evaluate with the paper's metrics.
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let metrics = DistanceReport::from_pairs_with_coverage(&pairs, coverage).expect("predictions");
+    let outcome = model.evaluate(test, &opts);
+    let metrics = outcome.report().expect("predictions");
     println!(
         "\ntest metrics: mean {:.2} km | median {:.2} km | @3km {:.3} | @5km {:.3} | coverage {:.1}%",
         metrics.mean_km,

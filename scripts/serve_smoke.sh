@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Serve smoke gate: trains a tiny model, runs the real `edge-cli serve`
+# binary in the background, and drives every endpoint with curl —
+# /healthz, /predict (single and batch), /metrics, and a /reload that must
+# reject a corrupted artifact while the old model keeps answering.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build --release -p edge-cli
+BIN=target/release/edge-cli
+
+echo "== train a tiny model =="
+$BIN generate --preset nyma --size smoke --seed 7 --out "$WORKDIR/corpus.json"
+$BIN train --data "$WORKDIR/corpus.json" --profile smoke --epochs 2 \
+    --out "$WORKDIR/model.json"
+
+ADDR=127.0.0.1:7979
+echo "== start the server on $ADDR =="
+$BIN serve --model "$WORKDIR/model.json" --addr "$ADDR" &
+SERVER_PID=$!
+
+# Wait for the socket to come up.
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+    sleep 0.2
+done
+
+echo "== /healthz =="
+curl -sf "http://$ADDR/healthz" | tee "$WORKDIR/health.json"
+python3 - "$WORKDIR/health.json" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1]))
+assert h["status"] == "ok", h
+assert h["model"] == "EDGE", h
+assert h["generation"] == "1", h
+EOF
+
+echo "== /predict: find a covered tweet and assert a non-empty mixture =="
+python3 - "$WORKDIR/corpus.json" "$ADDR" <<'EOF'
+import json, subprocess, sys
+
+corpus = json.load(open(sys.argv[1]))
+addr = sys.argv[2]
+tweets = [t["text"] for t in corpus["tweets"]]
+
+def post(path, payload):
+    out = subprocess.run(
+        ["curl", "-s", "-w", "\n%{http_code}", f"http://{addr}{path}",
+         "-H", "Content-Type: application/json", "-d", json.dumps(payload)],
+        check=True, capture_output=True, text=True).stdout
+    body, status = out.rsplit("\n", 1)
+    return int(status), json.loads(body)
+
+# Single predictions until one tweet is covered.
+covered = None
+for text in tweets[:200]:
+    status, body = post("/predict", {"text": text})
+    assert status == 200, (status, body)
+    if "point" in body:
+        covered = text
+        assert body["mixture"], "a prediction must carry a non-empty mixture"
+        assert body["attention"], "and its attention weights"
+        lat, lon = body["point"]["lat"], body["point"]["lon"]
+        assert 40.0 < lat < 41.5 and -75.0 < lon < -73.0, body["point"]
+        break
+    assert body.get("error") == "no_entities", body
+assert covered is not None, "no covered tweet in the first 200"
+
+# The batch shape works and keeps per-text order.
+status, body = post("/predict", {"texts": [covered, "zzz nothing here"]})
+assert status == 200, (status, body)
+results = body["results"]
+assert len(results) == 2 and results[0]["mixture"], results
+assert results[1].get("error") == "no_entities", results
+print("predict OK:", covered[:60])
+EOF
+
+echo "== /metrics =="
+curl -sf "http://$ADDR/metrics" | grep -q "serve.requests" || {
+    echo "metrics dump is missing serve counters"; exit 1; }
+
+echo "== /reload rejects a corrupted artifact =="
+python3 - "$WORKDIR/model.json" <<'EOF'
+import pathlib, sys
+p = pathlib.Path(sys.argv[1] + ".corrupt")
+b = bytearray(pathlib.Path(sys.argv[1]).read_bytes())
+b[len(b) // 2] ^= 0x20
+p.write_bytes(bytes(b))
+EOF
+STATUS=$(curl -s -o "$WORKDIR/reload.json" -w '%{http_code}' \
+    -d "{\"path\": \"$WORKDIR/model.json.corrupt\"}" "http://$ADDR/reload")
+cat "$WORKDIR/reload.json"; echo
+[ "$STATUS" = "422" ] || { echo "expected 422, got $STATUS"; exit 1; }
+# The old model keeps serving.
+curl -sf "http://$ADDR/healthz" | grep -q '"generation":"1"' || {
+    echo "rejected reload must not bump the generation"; exit 1; }
+
+echo "== /reload swaps in a healthy artifact =="
+STATUS=$(curl -s -o "$WORKDIR/reload2.json" -w '%{http_code}' \
+    -d "{\"path\": \"$WORKDIR/model.json\"}" "http://$ADDR/reload")
+cat "$WORKDIR/reload2.json"; echo
+[ "$STATUS" = "200" ] || { echo "expected 200, got $STATUS"; exit 1; }
+curl -sf "http://$ADDR/healthz" | grep -q '"generation":"2"' || {
+    echo "healthy reload must bump the generation"; exit 1; }
+
+echo "== graceful shutdown on SIGTERM =="
+kill "$SERVER_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; break; }
+    sleep 0.2
+done
+[ -z "$SERVER_PID" ] || { echo "server did not drain on SIGTERM"; exit 1; }
+
+echo "serve smoke OK"

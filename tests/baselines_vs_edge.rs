@@ -19,9 +19,7 @@ fn edge_report(d: &edge::data::Dataset, config: EdgeConfig) -> DistanceReport {
     let ner = edge::data::dataset_recognizer(d);
     let (model, _) =
         EdgeModel::train(train, ner, &d.bbox, config, &TrainOptions::default()).expect("train");
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap()
+    model.evaluate_points(test).report().unwrap()
 }
 
 #[test]
@@ -40,14 +38,11 @@ fn edge_beats_naive_bayes() {
     let (model, _) =
         EdgeModel::train(train, ner, &d.bbox, EdgeConfig::fast(), &TrainOptions::default())
             .expect("train");
-    let (preds, coverage) = model.evaluate(test);
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let edge = DistanceReport::from_pairs_with_coverage(&pairs, coverage).unwrap();
+    let edge = model.evaluate_points(test).report().unwrap();
 
     let nb = {
         let m = NaiveBayes::fit(train, edge::geo::Grid::new(d.bbox, 100, 100));
-        let (pairs, cov) = m.evaluate(test);
-        DistanceReport::from_pairs_with_coverage(&pairs, cov).unwrap()
+        m.evaluate_points(test).report().unwrap()
     };
     assert!(edge.median_km < nb.median_km, "EDGE {} vs NB {}", edge.median_km, nb.median_km);
     assert!(edge.at_5km > nb.at_5km, "EDGE {} vs NB {}", edge.at_5km, nb.at_5km);
@@ -59,7 +54,7 @@ fn hyperlocal_covers_partially_but_edge_covers_more() {
     let d = dataset();
     let (train, test) = d.paper_split();
     let hl = HyperLocal::fit(train, HyperLocalParams::default());
-    let (_, hl_coverage) = hl.evaluate(test);
+    let hl_coverage = hl.evaluate_points(test).coverage;
     let edge = edge_report(&d, EdgeConfig::smoke());
     assert!(hl_coverage < 1.0, "Hyper-local must abstain sometimes");
     assert!(
@@ -111,7 +106,8 @@ fn mixture_head_expresses_multimodality_where_nomixture_cannot() {
     let mut multimodal = 0;
     let mut covered = 0;
     for t in test.iter().take(300) {
-        if let Some(p) = full.predict(&t.text) {
+        if let Ok(r) = full.locate(&PredictRequest::text(&t.text), &Default::default()) {
+            let p = r.prediction;
             covered += 1;
             if p.mixture.weight_entropy() > 0.2 {
                 multimodal += 1;

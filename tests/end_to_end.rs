@@ -18,13 +18,12 @@ fn trained_on(seed: u64) -> (EdgeModel, edge::data::Dataset) {
 fn full_pipeline_beats_naive_center_guess() {
     let (model, dataset) = trained_on(1001);
     let (_, test) = dataset.paper_split();
-    let (preds, coverage) = model.evaluate(test);
-    assert!(coverage > 0.7, "coverage {coverage}");
+    let outcome = model.evaluate(test, &PredictOptions::default());
+    assert!(outcome.coverage > 0.7, "coverage {}", outcome.coverage);
 
-    let pairs: Vec<(Point, Point)> = preds.iter().map(|(p, t)| (p.point, *t)).collect();
-    let edge_report = DistanceReport::from_pairs(&pairs).unwrap();
+    let edge_report = DistanceReport::from_pairs(&outcome.point_pairs()).unwrap();
     let center: Vec<(Point, Point)> =
-        preds.iter().map(|(_, t)| (dataset.bbox.center(), *t)).collect();
+        outcome.pairs.iter().map(|(_, t)| (dataset.bbox.center(), *t)).collect();
     let center_report = DistanceReport::from_pairs(&center).unwrap();
 
     assert!(edge_report.median_km < center_report.median_km);
@@ -38,7 +37,10 @@ fn mixture_outputs_are_valid_distributions() {
     let (_, test) = dataset.paper_split();
     let mut checked = 0;
     for t in test.iter().take(100) {
-        let Some(p) = model.predict(&t.text) else { continue };
+        let Ok(r) = model.locate(&PredictRequest::text(&t.text), &Default::default()) else {
+            continue;
+        };
+        let p = r.prediction;
         checked += 1;
         // Weights sum to 1; every component is non-degenerate.
         let w_sum: f64 = p.mixture.weights().iter().sum();
@@ -73,7 +75,10 @@ fn attention_differentiates_entities() {
     let mut asymmetric = 0;
     let mut pairs = 0;
     for i in (0..n - 1).step_by(3).take(40) {
-        let p = model.predict_entities(&[i, i + 1]).expect("covered");
+        let p = model
+            .locate(&PredictRequest::entities(vec![i, i + 1]), &Default::default())
+            .expect("covered")
+            .prediction;
         assert_eq!(p.attention.len(), 2);
         let w0 = p.attention[0].1;
         pairs += 1;
@@ -95,7 +100,10 @@ fn rdp_metric_works_end_to_end() {
     let mixtures: Vec<(GaussianMixture, Point)> = test
         .iter()
         .take(150)
-        .filter_map(|t| model.predict(&t.text).map(|p| (p.mixture, t.location)))
+        .filter_map(|t| {
+            let r = model.locate(&PredictRequest::text(&t.text), &Default::default()).ok()?;
+            Some((r.prediction.mixture, t.location))
+        })
         .collect();
     assert!(mixtures.len() > 80);
     let r3 = edge::geo::rdp(&mixtures, 3.0, 500, 9);
@@ -112,12 +120,14 @@ fn training_is_reproducible_through_the_facade() {
     let (m2, _) = trained_on(1005);
     let (_, test) = d.paper_split();
     for t in test.iter().take(40) {
-        match (m1.predict(&t.text), m2.predict(&t.text)) {
-            (Some(a), Some(b)) => {
-                assert_eq!(a.point, b.point);
-                assert_eq!(a.attention, b.attention);
+        let req = PredictRequest::text(&t.text);
+        let opts = PredictOptions::default();
+        match (m1.locate(&req, &opts), m2.locate(&req, &opts)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.prediction.point, b.prediction.point);
+                assert_eq!(a.prediction.attention, b.prediction.attention);
             }
-            (None, None) => {}
+            (Err(_), Err(_)) => {}
             _ => panic!("coverage differs between identical runs"),
         }
     }
