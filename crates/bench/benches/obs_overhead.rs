@@ -40,6 +40,55 @@ fn bench_histogram_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The labeled hot path: a pre-resolved family cell must cost the same as
+/// a bare counter (one relaxed atomic add) — resolution happens once, not
+/// per increment. The `resolve_each_inc` leg shows why pre-resolution
+/// matters: it pays the family lock + label lookup every time.
+fn bench_labeled_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_labeled");
+    edge_obs::set_metrics_enabled(true);
+    let cell = edge_obs::labels::counter_family("bench_overhead_labeled", "bench scratch")
+        .with(&[("endpoint", "predict"), ("status", "200")]);
+    group.bench_function("preresolved_inc", |b| {
+        b.iter(|| cell.inc(black_box(1)));
+    });
+    group.bench_function("resolve_each_inc", |b| {
+        b.iter(|| {
+            edge_obs::labels::counter_family("bench_overhead_labeled", "bench scratch")
+                .with(black_box(&[("endpoint", "predict"), ("status", "200")]))
+                .inc(1)
+        });
+    });
+    edge_obs::set_metrics_enabled(false);
+    group.finish();
+}
+
+/// The request ring's push is on every request's exit path; it must stay a
+/// handful of relaxed stores behind a seqlock, never a lock or allocation.
+fn bench_ring_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_ring");
+    let ring = edge_obs::RequestRing::new(1024);
+    let record = edge_obs::RequestRecord {
+        id: 7,
+        endpoint: "predict",
+        status: 200,
+        batch: 32,
+        cache_hits: 3,
+        stage_us: [12, 80, 5, 150, 9],
+        total_us: 260,
+    };
+    group.bench_function("push", |b| {
+        b.iter(|| ring.push(black_box(record)));
+    });
+    group.bench_function("push_and_read_64", |b| {
+        b.iter(|| {
+            ring.push(black_box(record));
+            black_box(ring.recent(64).len())
+        });
+    });
+    group.finish();
+}
+
 fn bench_span_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_span");
     edge_obs::set_trace_enabled(false);
@@ -61,5 +110,12 @@ fn bench_span_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counter_overhead, bench_histogram_overhead, bench_span_overhead);
+criterion_group!(
+    benches,
+    bench_counter_overhead,
+    bench_histogram_overhead,
+    bench_labeled_overhead,
+    bench_ring_overhead,
+    bench_span_overhead
+);
 criterion_main!(benches);

@@ -18,17 +18,32 @@
 //!
 //! Writes `results/BENCH_serve.{json,txt}`. The JSON object carries one
 //! record per leg (throughput, p50/p95/p99 request latency, cache hit
-//! rate) plus `speedup_batched_vs_unbatched` (warm pair) and
-//! `cold_speedup_batched_vs_unbatched` (cold pair).
+//! rate, and the server-side per-stage latency decomposition medians
+//! from the request ring) plus `speedup_batched_vs_unbatched` (warm
+//! pair), `cold_speedup_batched_vs_unbatched` (cold pair), and
+//! `obs_overhead` — the warm batched throughput with the metrics layer
+//! on vs off (interleaved reps, best of 5 each), which CI gates at <= 2%.
 
 use std::time::Instant;
 
 use edge_core::EdgeModel;
+use edge_obs::ring::{STAGE_BATCH, STAGE_INFERENCE, STAGE_PARSE, STAGE_QUEUE, STAGE_SERIALIZE};
 use edge_serve::{Client, ServeConfig, Server};
 use serde::Serialize;
 
 /// How many texts each batched request carries (= leg 2's `max_batch`).
 const BATCH: usize = 32;
+
+/// Server-side medians of the ring's per-stage decomposition over the
+/// leg's successful `/predict` requests.
+#[derive(Clone, Copy, Serialize)]
+struct StageMedians {
+    parse_us: f64,
+    queue_us: f64,
+    batch_us: f64,
+    inference_us: f64,
+    serialize_us: f64,
+}
 
 #[derive(Serialize)]
 struct LegRecord {
@@ -44,6 +59,17 @@ struct LegRecord {
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    stage_median_us: StageMedians,
+}
+
+/// The warm batched leg rerun with the metrics layer on vs off.
+#[derive(Serialize)]
+struct ObsOverhead {
+    enabled_texts_per_sec: f64,
+    disabled_texts_per_sec: f64,
+    /// `max(0, 1 - enabled/disabled)` — the throughput the observability
+    /// layer costs on the warm batched path. CI gates this at <= 0.02.
+    overhead_frac: f64,
 }
 
 #[derive(Serialize)]
@@ -57,6 +83,7 @@ struct ServeBenchOutput {
     speedup_batched_vs_unbatched: f64,
     /// The same ratio with the response cache disabled in both legs.
     cold_speedup_batched_vs_unbatched: f64,
+    obs_overhead: ObsOverhead,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -65,6 +92,17 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     }
     let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
     sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Median of one ring stage over the leg's successful predict records.
+/// Empty yields 0.0 (not NaN) so the JSON stays loadable.
+fn stage_median(records: &[edge_obs::RequestRecord], stage: usize) -> f64 {
+    let mut v: Vec<u64> = records.iter().map(|r| r.stage_us[stage]).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2] as f64
 }
 
 /// Runs one closed-loop leg against a fresh server on an ephemeral port.
@@ -112,6 +150,20 @@ fn run_leg(
     }
     let wall_secs = started.elapsed().as_secs_f64();
     let (cache_hits, cache_misses) = server.cache_stats();
+    // Per-stage decomposition from the request ring: the server's own view
+    // of where each request's latency went.
+    let ring: Vec<edge_obs::RequestRecord> = server
+        .recent_requests(requests)
+        .into_iter()
+        .filter(|r| r.endpoint == "predict" && r.status == 200)
+        .collect();
+    let stage_median_us = StageMedians {
+        parse_us: stage_median(&ring, STAGE_PARSE),
+        queue_us: stage_median(&ring, STAGE_QUEUE),
+        batch_us: stage_median(&ring, STAGE_BATCH),
+        inference_us: stage_median(&ring, STAGE_INFERENCE),
+        serialize_us: stage_median(&ring, STAGE_SERIALIZE),
+    };
     server.shutdown();
 
     latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -130,7 +182,24 @@ fn run_leg(
         cache_hits,
         cache_misses,
         cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+        stage_median_us,
     }
+}
+
+fn render_stage_table(legs: &[LegRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n{:<16} {:>9} {:>9} {:>9} {:>12} {:>12}\n",
+        "stage medians", "parse us", "queue us", "batch us", "inference us", "serialize us"
+    ));
+    for l in legs {
+        let s = &l.stage_median_us;
+        out.push_str(&format!(
+            "{:<16} {:>9.1} {:>9.1} {:>9.1} {:>12.1} {:>12.1}\n",
+            l.leg, s.parse_us, s.queue_us, s.batch_us, s.inference_us, s.serialize_us
+        ));
+    }
+    out
 }
 
 fn render_table(legs: &[LegRecord], speedup: f64) -> String {
@@ -215,12 +284,42 @@ fn main() {
     let batched_cold = run_leg("batched-cold", &model_path, cold(BATCH), &pool, BATCH, 200, 10);
     edge_obs::progress!("   batched-cold    {:>10.0} texts/sec", batched_cold.texts_per_sec);
 
+    // Observability overhead: the warm batched leg with the metrics layer
+    // on vs off. The ring and the stage cells stay on in both legs (they
+    // are always-on by design); the comparison isolates the
+    // counters/histograms/labels hot path. Reps are interleaved on/off and
+    // each side takes its best, so slow machine-wide drift (thermal,
+    // neighbors) hits both sides equally instead of biasing one.
+    let obs_rep = |enable_metrics: bool| {
+        let name = if enable_metrics { "obs-on" } else { "obs-off" };
+        let config = ServeConfig { enable_metrics, ..warm(BATCH) };
+        run_leg(name, &model_path, config, &pool, BATCH, 300, pool.len() / BATCH + 5).texts_per_sec
+    };
+    let (mut obs_on, mut obs_off) = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        obs_on = obs_on.max(obs_rep(true));
+        obs_off = obs_off.max(obs_rep(false));
+    }
+    let obs_overhead = ObsOverhead {
+        enabled_texts_per_sec: obs_on,
+        disabled_texts_per_sec: obs_off,
+        overhead_frac: (1.0 - obs_on / obs_off).max(0.0),
+    };
+    edge_obs::progress!(
+        "   obs overhead    {:>9.2}% (on {:.0} vs off {:.0} texts/sec)",
+        obs_overhead.overhead_frac * 100.0,
+        obs_on,
+        obs_off
+    );
+
     let speedup = batched.texts_per_sec / unbatched.texts_per_sec;
     let cold_speedup = batched_cold.texts_per_sec / unbatched_cold.texts_per_sec;
     let legs = vec![unbatched, batched, unbatched_cold, batched_cold];
     let text = format!(
-        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}",
-        render_table(&legs, speedup)
+        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}{}\nobs overhead (warm batched, metrics on vs off): {:.2}%\n",
+        render_table(&legs, speedup),
+        render_stage_table(&legs),
+        obs_overhead.overhead_frac * 100.0
     );
     print!("{text}");
     let output = ServeBenchOutput {
@@ -230,6 +329,7 @@ fn main() {
         legs,
         speedup_batched_vs_unbatched: speedup,
         cold_speedup_batched_vs_unbatched: cold_speedup,
+        obs_overhead,
     };
     edge_bench::write_results("BENCH_serve", &output, &text).expect("write results");
     std::fs::remove_file(&model_path).ok();

@@ -68,6 +68,16 @@ COMMANDS:
                  --cache-capacity <n>                (0 disables; default 4096)
                  --fallback-prior                    (default zero-entity policy)
                  --threads <n>                       (worker threads)
+                 --slo-p99-us <n>                    (SLO latency target; default 100000)
+                 --slo-max-shed-rate <f>             (SLO shed budget; default 0.01)
+                 --slo-window-secs <n>               (SLO rolling window; default 60)
+                 --ring-capacity <n>                 (request ring size; default 1024)
+                 --slow-request-us <n>               (log requests slower than this
+                                                      as JSONL on stderr; 0 = off)
+    top        live dashboard for a running server (polls /metrics)
+                 --addr <host:port>                  (default 127.0.0.1:7878)
+                 --interval-ms <n>                   (poll interval; default 1000)
+                 --iters <n>                         (rows to print; 0 = forever)
     fsck       verify an artifact (model or checkpoint) without loading it
                  <path>                              (positional, required)
     profile    train under full tracing and print a self-time profile table
@@ -492,14 +502,105 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     numeric(&flags, "max-delay-us", &mut config.max_delay_us)?;
     numeric(&flags, "queue-capacity", &mut config.queue_capacity)?;
     numeric(&flags, "cache-capacity", &mut config.cache_capacity)?;
+    numeric(&flags, "slo-p99-us", &mut config.slo_target_p99_us)?;
+    numeric(&flags, "slo-max-shed-rate", &mut config.slo_max_shed_rate)?;
+    numeric(&flags, "slo-window-secs", &mut config.slo_window_secs)?;
+    numeric(&flags, "ring-capacity", &mut config.ring_capacity)?;
+    numeric(&flags, "slow-request-us", &mut config.slow_request_us)?;
     config.fallback_prior = flags.contains_key("fallback-prior");
 
     let server = edge_serve::Server::start_from_artifact(model, config)?;
     edge_obs::progress!("serving {} on http://{}", model, server.addr());
-    edge_obs::progress!("endpoints: POST /predict, GET /healthz, GET /metrics, POST /reload");
+    edge_obs::progress!(
+        "endpoints: POST /predict, GET /healthz, GET /metrics, POST /reload, GET /debug/requests"
+    );
     server.wait();
     edge_obs::progress!("drained; bye");
     Ok(())
+}
+
+/// `edge-cli top`: polls a running server's `/metrics` and prints one
+/// rate/latency/SLO row per interval — a terminal dashboard for the serve
+/// pipeline. `--iters 1` doubles as a CI check that the exposition parses.
+pub fn top(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let sock: std::net::SocketAddr =
+        addr.parse().map_err(|_| format!("bad --addr '{addr}' (want host:port)"))?;
+    let iters: u64 = match flags.get("iters") {
+        Some(v) => v.parse().map_err(|_| format!("bad --iters '{v}'"))?,
+        None => 0, // poll until interrupted
+    };
+    let interval_ms: u64 = match flags.get("interval-ms") {
+        Some(v) => v.parse().map_err(|_| format!("bad --interval-ms '{v}'"))?,
+        None => 1_000,
+    };
+    let mut client =
+        edge_serve::Client::connect(sock).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>7}",
+        "qps", "p50_ms", "p95_ms", "p99_ms", "shed%", "hit%", "queue", "budget"
+    );
+    let mut prev: Option<(std::time::Instant, f64, f64, f64, f64)> = None;
+    let mut i = 0u64;
+    loop {
+        let resp =
+            client.request("GET", "/metrics", b"").map_err(|e| format!("GET /metrics: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET /metrics returned {}", resp.status));
+        }
+        let scrape = edge_obs::openmetrics::parse(resp.text())
+            .map_err(|e| format!("/metrics is not valid OpenMetrics: {e}"))?;
+        let now = std::time::Instant::now();
+        let val = |name: &str| scrape.value(name, &[]).unwrap_or(0.0);
+        let requests = val("serve_requests_total");
+        let shed = val("serve_shed_total");
+        let hits = val("serve_cache_stats_hits");
+        let misses = val("serve_cache_stats_misses");
+
+        let (qps, shed_rate, hit_rate) = match prev {
+            Some((t, r0, s0, h0, m0)) => {
+                let dt = now.duration_since(t).as_secs_f64().max(1e-9);
+                let dr = (requests - r0).max(0.0);
+                let ds = (shed - s0).max(0.0);
+                let dh = (hits - h0).max(0.0);
+                let dm = (misses - m0).max(0.0);
+                let lookups = dh + dm;
+                (
+                    dr / dt,
+                    if dr > 0.0 { ds / dr } else { 0.0 },
+                    if lookups > 0.0 { dh / lookups } else { 0.0 },
+                )
+            }
+            // First sample has no rate base; lifetime ratios stand in.
+            None => {
+                let lookups = hits + misses;
+                (
+                    0.0,
+                    if requests > 0.0 { shed / requests } else { 0.0 },
+                    if lookups > 0.0 { hits / lookups } else { 0.0 },
+                )
+            }
+        };
+        println!(
+            "{:>8.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>7.2} {:>6.0} {:>7.3}",
+            qps,
+            val("serve_request_us_p50") / 1_000.0,
+            val("serve_request_us_p95") / 1_000.0,
+            val("serve_request_us_p99") / 1_000.0,
+            shed_rate * 100.0,
+            hit_rate * 100.0,
+            val("serve_queue_depth"),
+            val("serve_slo_budget_remaining"),
+        );
+        prev = Some((now, requests, shed, hits, misses));
+        i += 1;
+        if iters > 0 && i >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 pub fn fsck(args: &[String]) -> Result<(), String> {

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         Some("evaluate") => commands::evaluate(&args[1..]),
         Some("profile") => commands::profile(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("top") => commands::top(&args[1..]),
         Some("fsck") => commands::fsck(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);

@@ -897,6 +897,10 @@ impl Predictor for EdgeModel {
             Vec::with_capacity(requests.len());
         out.resize_with(requests.len(), || None);
         edge_par::parallel_for_chunks_mut(&mut out, 1, |i, slot| {
+            // Per-item stage span: `edge-par` re-adopts the submitter's
+            // context on its workers, so this parents to the dispatching
+            // span (and keeps its request id) even across threads.
+            let _item = edge_obs::span("predict_item");
             slot[0] = Some(self.locate_one(&requests[i], opts));
         });
         out.into_iter().map(|r| r.expect("every request slot is filled")).collect()

@@ -1,0 +1,238 @@
+//! Labeled metric families: counters, gauges, and histograms keyed by a
+//! small static label set (`endpoint`, `status`, `stage`, ...).
+//!
+//! A family is registered once by name; each distinct label combination
+//! resolves to a leaked `&'static` cell, so the hot path is exactly the
+//! same relaxed atomic op as the unlabeled metrics in [`crate::metrics`].
+//! Resolution (`with`) takes a lock — call it once at startup and keep the
+//! returned handle (the serving layer pre-resolves its whole
+//! endpoint × status grid into a struct of handles).
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// One label combination: `(key, value)` pairs in declaration order.
+pub type LabelPairs = Vec<(&'static str, &'static str)>;
+
+macro_rules! family {
+    ($Family:ident, $Metric:ident, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $Family {
+            name: &'static str,
+            help: &'static str,
+            cells: Mutex<HashMap<LabelPairs, &'static $Metric>>,
+        }
+
+        impl $Family {
+            fn new(name: &'static str, help: &'static str) -> Self {
+                Self { name, help, cells: Mutex::new(HashMap::new()) }
+            }
+
+            /// Resolves (or creates) the cell for `labels`. Takes a lock:
+            /// resolve once and cache the `&'static` handle on hot paths.
+            pub fn with(&self, labels: &[(&'static str, &'static str)]) -> &'static $Metric {
+                let mut cells = self.cells.lock().unwrap();
+                if let Some(cell) = cells.get(labels) {
+                    return cell;
+                }
+                let handle: &'static $Metric = Box::leak(Box::default());
+                cells.insert(labels.to_vec(), handle);
+                handle
+            }
+
+            pub fn name(&self) -> &'static str {
+                self.name
+            }
+
+            pub fn help(&self) -> &'static str {
+                self.help
+            }
+
+            fn cells(&self) -> Vec<(LabelPairs, &'static $Metric)> {
+                let mut cells: Vec<_> =
+                    self.cells.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
+                cells.sort_by(|a, b| a.0.cmp(&b.0));
+                cells
+            }
+        }
+    };
+}
+
+family!(CounterFamily, Counter, "A counter family: one [`Counter`] per label combination.");
+family!(GaugeFamily, Gauge, "A gauge family: one [`Gauge`] per label combination.");
+family!(HistogramFamily, Histogram, "A histogram family: one [`Histogram`] per label combination.");
+
+#[derive(Default)]
+struct LabeledRegistry {
+    counters: Mutex<HashMap<&'static str, &'static CounterFamily>>,
+    gauges: Mutex<HashMap<&'static str, &'static GaugeFamily>>,
+    histograms: Mutex<HashMap<&'static str, &'static HistogramFamily>>,
+}
+
+fn registry() -> &'static LabeledRegistry {
+    static REGISTRY: OnceLock<LabeledRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(LabeledRegistry::default)
+}
+
+/// Looks up or creates the counter family `name` (`help` is kept from the
+/// first registration).
+pub fn counter_family(name: &'static str, help: &'static str) -> &'static CounterFamily {
+    let mut map = registry().counters.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(CounterFamily::new(name, help))))
+}
+
+/// Looks up or creates the gauge family `name`.
+pub fn gauge_family(name: &'static str, help: &'static str) -> &'static GaugeFamily {
+    let mut map = registry().gauges.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(GaugeFamily::new(name, help))))
+}
+
+/// Looks up or creates the histogram family `name`.
+pub fn histogram_family(name: &'static str, help: &'static str) -> &'static HistogramFamily {
+    let mut map = registry().histograms.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(HistogramFamily::new(name, help))))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One labeled counter cell in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct LabeledCounterCell {
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+/// One labeled gauge cell in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct LabeledGaugeCell {
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// One labeled histogram cell in a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct LabeledHistogramCell {
+    pub labels: Vec<(String, String)>,
+    pub value: HistogramSnapshot,
+}
+
+/// Point-in-time copy of one counter family.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterFamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub cells: Vec<LabeledCounterCell>,
+}
+
+/// Point-in-time copy of one gauge family.
+#[derive(Debug, Clone, Serialize)]
+pub struct GaugeFamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub cells: Vec<LabeledGaugeCell>,
+}
+
+/// Point-in-time copy of one histogram family.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramFamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub cells: Vec<LabeledHistogramCell>,
+}
+
+fn owned(labels: &LabelPairs) -> Vec<(String, String)> {
+    labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+/// Appends every labeled family to `snap` (called by [`crate::metrics::snapshot`]).
+pub(crate) fn snapshot_into(snap: &mut crate::metrics::MetricsSnapshot) {
+    let reg = registry();
+    for family in reg.counters.lock().unwrap().values() {
+        snap.counter_families.push(CounterFamilySnapshot {
+            name: family.name.to_string(),
+            help: family.help.to_string(),
+            cells: family
+                .cells()
+                .iter()
+                .map(|(labels, c)| LabeledCounterCell { labels: owned(labels), value: c.get() })
+                .collect(),
+        });
+    }
+    for family in reg.gauges.lock().unwrap().values() {
+        snap.gauge_families.push(GaugeFamilySnapshot {
+            name: family.name.to_string(),
+            help: family.help.to_string(),
+            cells: family
+                .cells()
+                .iter()
+                .map(|(labels, g)| LabeledGaugeCell { labels: owned(labels), value: g.get() })
+                .collect(),
+        });
+    }
+    for family in reg.histograms.lock().unwrap().values() {
+        snap.histogram_families.push(HistogramFamilySnapshot {
+            name: family.name.to_string(),
+            help: family.help.to_string(),
+            cells: family
+                .cells()
+                .iter()
+                .map(|(labels, h)| LabeledHistogramCell {
+                    labels: owned(labels),
+                    value: h.snapshot(),
+                })
+                .collect(),
+        });
+    }
+    snap.counter_families.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauge_families.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histogram_families.sort_by(|a, b| a.name.cmp(&b.name));
+}
+
+/// Zeroes every cell of every family (names and cells stay registered).
+/// Called by [`crate::metrics::reset`].
+pub(crate) fn reset_all() {
+    let reg = registry();
+    for family in reg.counters.lock().unwrap().values() {
+        for (_, c) in family.cells() {
+            c.reset();
+        }
+    }
+    for family in reg.gauges.lock().unwrap().values() {
+        for (_, g) in family.cells() {
+            g.reset();
+        }
+    }
+    for family in reg.histograms.lock().unwrap().values() {
+        for (_, h) in family.cells() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_labels_resolve_to_the_same_cell() {
+        let fam = counter_family("labels.test.same", "test");
+        let a = fam.with(&[("endpoint", "predict"), ("status", "200")]);
+        let b = fam.with(&[("endpoint", "predict"), ("status", "200")]);
+        let c = fam.with(&[("endpoint", "predict"), ("status", "429")]);
+        assert!(std::ptr::eq(a, b), "identical labels must share a cell");
+        assert!(!std::ptr::eq(a, c), "distinct labels must not share a cell");
+    }
+
+    #[test]
+    fn families_are_registered_once() {
+        let a = counter_family("labels.test.once", "first help wins");
+        let b = counter_family("labels.test.once", "ignored");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.help(), "first help wins");
+    }
+}

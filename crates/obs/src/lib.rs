@@ -42,15 +42,22 @@
 //! ```
 
 pub mod alloc;
+pub mod labels;
 pub mod metrics;
+pub mod openmetrics;
+pub mod ring;
+pub mod slo;
 pub mod telemetry;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use ring::{RequestRecord, RequestRing};
+pub use slo::{SloConfig, SloStatus, SloTracker};
 pub use telemetry::{EpochRecord, TrainTelemetry};
-pub use trace::{span, Profile, SpanGuard};
+pub use trace::{span, Profile, SpanContext, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
@@ -59,6 +66,44 @@ static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 /// relaxed load + branch (see `crates/bench/benches/obs_overhead.rs`).
 pub fn set_metrics_enabled(enabled: bool) {
     METRICS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+struct LeaseState {
+    count: usize,
+    prior: bool,
+}
+
+static LEASES: Mutex<LeaseState> = Mutex::new(LeaseState { count: 0, prior: false });
+
+/// Enables metrics for as long as the returned lease lives. The first
+/// outstanding lease saves the prior global state and enables; dropping
+/// the last restores it. Refcounted rather than save/restore so embedded
+/// servers running concurrently (the in-process test suites) cannot turn
+/// each other's metrics off mid-flight.
+#[must_use = "metrics are re-disabled when the lease is dropped"]
+pub fn metrics_lease() -> MetricsLease {
+    let mut state = LEASES.lock().unwrap_or_else(|e| e.into_inner());
+    if state.count == 0 {
+        state.prior = metrics_enabled();
+        set_metrics_enabled(true);
+    }
+    state.count += 1;
+    MetricsLease { _priv: () }
+}
+
+/// RAII handle returned by [`metrics_lease`].
+pub struct MetricsLease {
+    _priv: (),
+}
+
+impl Drop for MetricsLease {
+    fn drop(&mut self) {
+        let mut state = LEASES.lock().unwrap_or_else(|e| e.into_inner());
+        state.count -= 1;
+        if state.count == 0 {
+            set_metrics_enabled(state.prior);
+        }
+    }
 }
 
 #[inline(always)]

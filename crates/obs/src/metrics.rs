@@ -34,7 +34,7 @@ impl Counter {
         self.value.load(Ordering::Relaxed)
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
 }
@@ -63,7 +63,7 @@ impl Gauge {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.bits.store(0f64.to_bits(), Ordering::Relaxed);
     }
 }
@@ -154,7 +154,7 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -162,7 +162,7 @@ impl Histogram {
         self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
             sum: self.sum(),
@@ -195,6 +195,36 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated value at quantile `q` (in `[0, 1]`): walk the cumulative
+    /// bucket counts to the bucket where the rank falls, then interpolate
+    /// linearly inside that bucket. A deterministic function of the bucket
+    /// counts, so concurrent and serial recordings of the same values
+    /// estimate identical quantiles.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(lower, n) in &self.buckets {
+            let next = cum + n;
+            if next as f64 >= rank {
+                // Bucket 0 reports lower edge 0.0; its true upper edge is
+                // bucket 1's lower edge.
+                let upper = if lower == 0.0 { bucket_lower_edge(1) } else { lower * 2.0 };
+                let within = (rank - cum as f64) / n as f64;
+                return lower + (upper - lower) * within.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        self.buckets.last().map_or(0.0, |&(lower, _)| lower * 2.0)
+    }
+
+    /// `(p50, p95, p99)` — the quantiles the OpenMetrics exposition carries.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
     }
 }
 
@@ -264,12 +294,17 @@ macro_rules! histogram {
     }};
 }
 
-/// Point-in-time copy of every registered metric, sorted by name.
+/// Point-in-time copy of every registered metric, sorted by name. Labeled
+/// families ([`crate::labels`]) ride along so one snapshot covers the whole
+/// registry.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub counter_families: Vec<crate::labels::CounterFamilySnapshot>,
+    pub gauge_families: Vec<crate::labels::GaugeFamilySnapshot>,
+    pub histogram_families: Vec<crate::labels::HistogramFamilySnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -283,6 +318,34 @@ impl MetricsSnapshot {
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Value of one labeled counter cell (exact label match).
+    pub fn labeled_counter(&self, family: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counter_families
+            .iter()
+            .find(|f| f.name == family)
+            .and_then(|f| f.cells.iter().find(|c| label_match(&c.labels, labels)).map(|c| c.value))
+    }
+
+    /// Value of one labeled gauge cell (exact label match).
+    pub fn labeled_gauge(&self, family: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauge_families
+            .iter()
+            .find(|f| f.name == family)
+            .and_then(|f| f.cells.iter().find(|c| label_match(&c.labels, labels)).map(|c| c.value))
+    }
+
+    /// One labeled histogram cell (exact label match).
+    pub fn labeled_histogram(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histogram_families
+            .iter()
+            .find(|f| f.name == family)
+            .and_then(|f| f.cells.iter().find(|c| label_match(&c.labels, labels)).map(|c| &c.value))
     }
 
     /// Human-readable one-metric-per-line rendering.
@@ -302,8 +365,41 @@ impl MetricsSnapshot {
                 h.mean()
             ));
         }
+        let labels_of = |labels: &[(String, String)]| {
+            let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        for fam in &self.counter_families {
+            for cell in &fam.cells {
+                let name = format!("{}{}", fam.name, labels_of(&cell.labels));
+                out.push_str(&format!("counter   {name:<44} {}\n", cell.value));
+            }
+        }
+        for fam in &self.gauge_families {
+            for cell in &fam.cells {
+                let name = format!("{}{}", fam.name, labels_of(&cell.labels));
+                out.push_str(&format!("gauge     {name:<44} {}\n", cell.value));
+            }
+        }
+        for fam in &self.histogram_families {
+            for cell in &fam.cells {
+                let name = format!("{}{}", fam.name, labels_of(&cell.labels));
+                let h = &cell.value;
+                out.push_str(&format!(
+                    "histogram {name:<44} count={} sum={:.4} mean={:.6}\n",
+                    h.count,
+                    h.sum,
+                    h.mean()
+                ));
+            }
+        }
         out
     }
+}
+
+fn label_match(cell: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    cell.len() == want.len()
+        && cell.iter().zip(want).all(|((ck, cv), (wk, wv))| ck == wk && cv == wv)
 }
 
 /// Snapshot every registered metric.
@@ -322,10 +418,12 @@ pub fn snapshot() -> MetricsSnapshot {
     snap.counters.sort();
     snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    crate::labels::snapshot_into(&mut snap);
     snap
 }
 
-/// Zero every registered metric (names stay registered).
+/// Zero every registered metric, labeled families included (names stay
+/// registered).
 pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().unwrap().values() {
@@ -337,6 +435,7 @@ pub fn reset() {
     for h in reg.histograms.lock().unwrap().values() {
         h.reset();
     }
+    crate::labels::reset_all();
 }
 
 #[cfg(test)]

@@ -1,0 +1,240 @@
+//! A fixed-capacity, lock-free ring of compact per-request records.
+//!
+//! The serving layer pushes one [`RequestRecord`] per HTTP request —
+//! always, not just when metrics are enabled, so the last N requests are
+//! inspectable (`GET /debug/requests`) even on a production server that
+//! never turned detailed telemetry on. Writers claim a slot with one
+//! `fetch_add` and publish through a per-slot sequence number (a seqlock):
+//! readers skip slots that are mid-write or were overwritten while being
+//! read. A reader never blocks a writer and vice versa.
+//!
+//! The one caveat of any seqlock ring: if the ring wraps *while a single
+//! record is still being written* (capacity pushes in the lifetime of one
+//! ~100ns write), two writers can interleave on a slot and the loser's
+//! record is dropped by the sequence check. With the default capacity of
+//! 1024 that window is unreachable in practice.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stages of the serve→predict pipeline, in request order. Indexes into
+/// [`RequestRecord::stage_us`].
+pub const STAGE_NAMES: [&str; N_STAGES] = ["parse", "queue", "batch", "inference", "serialize"];
+/// Number of tracked stages.
+pub const N_STAGES: usize = 5;
+/// Index of the parse stage (request read → jobs submitted).
+pub const STAGE_PARSE: usize = 0;
+/// Index of the queue-wait stage (submit → batch pop).
+pub const STAGE_QUEUE: usize = 1;
+/// Index of the batch-assembly stage (pop → inference fan-out).
+pub const STAGE_BATCH: usize = 2;
+/// Index of the inference stage (model call → fragment rendered).
+pub const STAGE_INFERENCE: usize = 3;
+/// Index of the serialize stage (fragments → response flushed).
+pub const STAGE_SERIALIZE: usize = 4;
+
+/// One compact per-request record.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// The request id (also echoed as `X-Request-Id` and tagged on spans).
+    pub id: u64,
+    /// Endpoint label (`predict`, `healthz`, ...).
+    pub endpoint: &'static str,
+    /// HTTP status the response carried.
+    pub status: u16,
+    /// Number of texts in the request (0 for non-predict endpoints).
+    pub batch: u32,
+    /// How many of those texts were answered from the response cache.
+    pub cache_hits: u32,
+    /// Per-stage wall micros, indexed like [`STAGE_NAMES`].
+    pub stage_us: [u64; N_STAGES],
+    /// End-to-end request micros (read → response flushed).
+    pub total_us: u64,
+}
+
+impl Default for RequestRecord {
+    fn default() -> Self {
+        RequestRecord {
+            id: 0,
+            endpoint: "",
+            status: 0,
+            batch: 0,
+            cache_hits: 0,
+            stage_us: [0; N_STAGES],
+            total_us: 0,
+        }
+    }
+}
+
+impl RequestRecord {
+    /// One JSON object, keys stable — the line format of `/debug/requests`
+    /// and the slow-request log.
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = STAGE_NAMES
+            .iter()
+            .zip(self.stage_us)
+            .map(|(name, us)| format!("\"{name}\":{us}"))
+            .collect();
+        format!(
+            "{{\"id\":{},\"endpoint\":\"{}\",\"status\":{},\"batch\":{},\"cache_hits\":{},\"stage_us\":{{{}}},\"total_us\":{}}}",
+            self.id,
+            self.endpoint,
+            self.status,
+            self.batch,
+            self.cache_hits,
+            stages.join(","),
+            self.total_us
+        )
+    }
+}
+
+struct Slot {
+    /// Seqlock: `2k+1` while push `k` is writing, `2k+2` once published.
+    seq: AtomicU64,
+    data: UnsafeCell<RequestRecord>,
+}
+
+// SAFETY: concurrent access to `data` is guarded by the per-slot sequence
+// protocol — readers discard any value whose surrounding sequence reads
+// disagree or are odd (write in progress).
+unsafe impl Sync for Slot {}
+
+/// The ring itself. See the module docs for the concurrency contract.
+pub struct RequestRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl RequestRing {
+    /// A ring holding the last `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RequestRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: UnsafeCell::new(RequestRecord::default()),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records ever pushed (not capped by capacity).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends a record, overwriting the oldest once full. Lock-free: one
+    /// `fetch_add` plus two sequence stores and the payload copy.
+    pub fn push(&self, record: RequestRecord) {
+        let k = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(k % self.slots.len() as u64) as usize];
+        slot.seq.store(2 * k + 1, Ordering::Release);
+        // SAFETY: the odd sequence marks the slot as mid-write; readers
+        // that observe it discard the payload.
+        unsafe { std::ptr::write_volatile(slot.data.get(), record) };
+        slot.seq.store(2 * k + 2, Ordering::Release);
+    }
+
+    /// The last `n` consistently-readable records, oldest first. Records
+    /// overwritten or mid-write during the read are skipped, so under
+    /// write pressure fewer than `n` may come back.
+    pub fn recent(&self, n: usize) -> Vec<RequestRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let take = (n as u64).min(self.slots.len() as u64).min(head);
+        let mut out = Vec::with_capacity(take as usize);
+        for k in (head - take)..head {
+            let slot = &self.slots[(k % self.slots.len() as u64) as usize];
+            let published = 2 * k + 2;
+            if slot.seq.load(Ordering::Acquire) != published {
+                continue;
+            }
+            // SAFETY: a stale read is detected by re-checking the sequence
+            // below; a torn value is discarded, never used.
+            let record = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            if slot.seq.load(Ordering::Acquire) == published {
+                out.push(record);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> RequestRecord {
+        RequestRecord { id, endpoint: "predict", status: 200, ..Default::default() }
+    }
+
+    #[test]
+    fn keeps_the_last_capacity_records_in_order() {
+        let ring = RequestRing::new(4);
+        assert!(ring.recent(8).is_empty());
+        for id in 1..=10 {
+            ring.push(rec(id));
+        }
+        let ids: Vec<u64> = ring.recent(8).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+        let ids: Vec<u64> = ring.recent(2).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![9, 10]);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear_records() {
+        let ring = std::sync::Arc::new(RequestRing::new(64));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        // Every field derives from the id, so a torn record
+                        // is detectable below.
+                        let id = t * 10_000 + i;
+                        ring.push(RequestRecord {
+                            id,
+                            endpoint: "predict",
+                            status: 200,
+                            batch: id as u32,
+                            cache_hits: id as u32,
+                            stage_us: [id; N_STAGES],
+                            total_us: id,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for r in ring.recent(64) {
+                assert_eq!(r.batch, r.id as u32, "torn record: {r:?}");
+                assert_eq!(r.total_us, r.id);
+                assert!(r.stage_us.iter().all(|&s| s == r.id));
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 8_000);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = rec(7);
+        r.stage_us = [1, 2, 3, 4, 5];
+        r.total_us = 15;
+        assert_eq!(
+            r.to_json(),
+            "{\"id\":7,\"endpoint\":\"predict\",\"status\":200,\"batch\":0,\"cache_hits\":0,\
+             \"stage_us\":{\"parse\":1,\"queue\":2,\"batch\":3,\"inference\":4,\"serialize\":5},\
+             \"total_us\":15}"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Rolling-window SLO tracking: latency-objective violations, shed rate,
+//! and error-budget burn.
+//!
+//! The objective is "p99 latency under `target_p99_us`": by definition at
+//! most 1% of requests may exceed the target, so the **error budget** is
+//! that 1% and the **burn rate** is the observed violation fraction over
+//! the rolling window divided by it. Burn 1.0 means the budget is being
+//! consumed exactly as fast as it accrues; above 1.0 the SLO is being
+//! missed and `/healthz` degrades. Shedding (429) is tracked against its
+//! own ceiling (`max_shed_rate`).
+//!
+//! The window is a circle of per-second buckets tagged with their epoch
+//! second; recording is a few relaxed atomic adds (no locks), and a bucket
+//! is lazily re-zeroed by the first recorder of a new second. A racing
+//! recorder on the second's edge can land an event in the adjacent bucket
+//! — acceptable smear for an alerting signal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Fraction of requests a p99 objective allows over the target.
+const BUDGET: f64 = 0.01;
+
+/// The objective and window.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency target the p99 must stay under, in microseconds.
+    pub target_p99_us: u64,
+    /// Highest acceptable fraction of requests shed with 429.
+    pub max_shed_rate: f64,
+    /// Rolling window length in seconds.
+    pub window_secs: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { target_p99_us: 100_000, max_shed_rate: 0.01, window_secs: 60 }
+    }
+}
+
+struct Bucket {
+    /// Epoch second this bucket currently holds, +1 (0 = never used).
+    sec: AtomicU64,
+    requests: AtomicU64,
+    violations: AtomicU64,
+    sheds: AtomicU64,
+}
+
+/// The tracker. One per server (not global), so tests and multi-server
+/// processes do not bleed into each other.
+pub struct SloTracker {
+    config: SloConfig,
+    start: Instant,
+    buckets: Box<[Bucket]>,
+}
+
+/// Point-in-time rollup over the window.
+#[derive(Debug, Clone, Default)]
+pub struct SloStatus {
+    /// Completed requests observed in the window.
+    pub requests: u64,
+    /// Requests over the latency target.
+    pub violations: u64,
+    /// Requests shed with 429.
+    pub sheds: u64,
+    /// `violations / requests`.
+    pub violation_rate: f64,
+    /// `sheds / (requests + sheds)`.
+    pub shed_rate: f64,
+    /// `violation_rate / 0.01` — 1.0 burns the budget exactly as fast as
+    /// it accrues.
+    pub burn_rate: f64,
+    /// `1 - burn_rate`, clamped to `[0, 1]`.
+    pub budget_remaining: f64,
+    /// The SLO is being missed: budget over-burning or shed rate above its
+    /// ceiling.
+    pub degraded: bool,
+}
+
+impl SloTracker {
+    pub fn new(config: SloConfig) -> Self {
+        let window = config.window_secs.max(1);
+        SloTracker {
+            config: SloConfig { window_secs: window, ..config },
+            start: Instant::now(),
+            buckets: (0..window)
+                .map(|_| Bucket {
+                    sec: AtomicU64::new(0),
+                    requests: AtomicU64::new(0),
+                    violations: AtomicU64::new(0),
+                    sheds: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// The bucket for the current second, lazily re-zeroed on first touch.
+    fn bucket(&self) -> &Bucket {
+        let sec = self.start.elapsed().as_secs();
+        let bucket = &self.buckets[(sec % self.config.window_secs) as usize];
+        let tag = sec + 1;
+        let current = bucket.sec.load(Ordering::Acquire);
+        if current != tag
+            && bucket
+                .sec
+                .compare_exchange(current, tag, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            bucket.requests.store(0, Ordering::Relaxed);
+            bucket.violations.store(0, Ordering::Relaxed);
+            bucket.sheds.store(0, Ordering::Relaxed);
+        }
+        bucket
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, latency_us: u64) {
+        let bucket = self.bucket();
+        bucket.requests.fetch_add(1, Ordering::Relaxed);
+        if latency_us > self.config.target_p99_us {
+            bucket.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one request shed with 429.
+    pub fn record_shed(&self) {
+        self.bucket().sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls up the window.
+    pub fn status(&self) -> SloStatus {
+        let now_tag = self.start.elapsed().as_secs() + 1;
+        let oldest_tag = now_tag.saturating_sub(self.config.window_secs - 1);
+        let (mut requests, mut violations, mut sheds) = (0u64, 0u64, 0u64);
+        for bucket in &self.buckets {
+            let tag = bucket.sec.load(Ordering::Acquire);
+            if tag == 0 || tag < oldest_tag || tag > now_tag {
+                continue;
+            }
+            requests += bucket.requests.load(Ordering::Relaxed);
+            violations += bucket.violations.load(Ordering::Relaxed);
+            sheds += bucket.sheds.load(Ordering::Relaxed);
+        }
+        let violation_rate = if requests == 0 { 0.0 } else { violations as f64 / requests as f64 };
+        let admitted_or_shed = requests + sheds;
+        let shed_rate =
+            if admitted_or_shed == 0 { 0.0 } else { sheds as f64 / admitted_or_shed as f64 };
+        let burn_rate = violation_rate / BUDGET;
+        SloStatus {
+            requests,
+            violations,
+            sheds,
+            violation_rate,
+            shed_rate,
+            burn_rate,
+            budget_remaining: (1.0 - burn_rate).clamp(0.0, 1.0),
+            degraded: admitted_or_shed > 0
+                && (burn_rate > 1.0 || shed_rate > self.config.max_shed_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(target_us: u64) -> SloTracker {
+        SloTracker::new(SloConfig { target_p99_us: target_us, ..SloConfig::default() })
+    }
+
+    #[test]
+    fn no_traffic_is_not_degraded() {
+        let t = tracker(1_000);
+        let s = t.status();
+        assert_eq!(s.requests, 0);
+        assert!(!s.degraded);
+        assert_eq!(s.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn within_target_keeps_the_budget() {
+        let t = tracker(1_000);
+        for _ in 0..100 {
+            t.record(500);
+        }
+        // Exactly 1% over target burns the budget at rate 1.0 — still OK.
+        t.record(2_000);
+        let s = t.status();
+        assert_eq!(s.requests, 101);
+        assert_eq!(s.violations, 1);
+        assert!(!s.degraded, "burn {:.2} must not degrade", s.burn_rate);
+    }
+
+    #[test]
+    fn sustained_violations_burn_the_budget() {
+        let t = tracker(1_000);
+        for _ in 0..10 {
+            t.record(5_000);
+        }
+        let s = t.status();
+        assert_eq!(s.violations, 10);
+        assert!(s.burn_rate > 1.0);
+        assert_eq!(s.budget_remaining, 0.0);
+        assert!(s.degraded);
+    }
+
+    #[test]
+    fn shedding_past_the_ceiling_degrades() {
+        let t = SloTracker::new(SloConfig {
+            target_p99_us: 1_000_000,
+            max_shed_rate: 0.10,
+            window_secs: 60,
+        });
+        for _ in 0..80 {
+            t.record(10);
+        }
+        for _ in 0..20 {
+            t.record_shed();
+        }
+        let s = t.status();
+        assert_eq!(s.sheds, 20);
+        assert!((s.shed_rate - 0.2).abs() < 1e-9);
+        assert!(s.degraded, "20% shed over a 10% ceiling must degrade");
+        assert_eq!(s.violations, 0, "shedding alone burns no latency budget");
+    }
+
+    #[test]
+    fn window_buckets_expire() {
+        // A 1-second window: events recorded now are gone two seconds later.
+        let t = SloTracker::new(SloConfig { target_p99_us: 1, max_shed_rate: 0.0, window_secs: 1 });
+        t.record(100);
+        assert!(t.status().degraded);
+        std::thread::sleep(std::time::Duration::from_millis(2_100));
+        let s = t.status();
+        assert_eq!(s.requests, 0, "bucket from an expired second must not count");
+        assert!(!s.degraded);
+    }
+}

@@ -5,9 +5,17 @@
 //! from the stack) to the global trace buffer. The buffer can be dumped as
 //! JSONL ([`dump_jsonl`]) or aggregated into a self-time / total-time
 //! [`Profile`] table.
+//!
+//! Spans also carry a **request id** so a serving-side trace can be sliced
+//! per request even when its work hops threads: a handler enters a
+//! [`request_scope`], captures its [`SpanContext`] ([`current_context`]),
+//! threads it through queues alongside the work, and the thread that picks
+//! the work up re-[`adopt`]s it — new spans there parent to the handler's
+//! span and inherit its request id. [`record_manual`] appends a span for an
+//! interval measured outside any guard (e.g. queue wait).
 
 use serde::Serialize;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -23,6 +31,9 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Arbitrary but stable per-thread number.
     pub thread: u64,
+    /// Request id from the enclosing [`request_scope`] / [`adopt`]
+    /// (0 outside any request).
+    pub request: u64,
     pub start_us: u64,
     pub dur_us: u64,
 }
@@ -39,11 +50,116 @@ fn state() -> &'static TraceState {
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     /// Stack of open span ids on this thread (for parent attribution).
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Request id new spans on this thread are tagged with (0 = none).
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mints a process-unique request id (serve mints one per connection
+/// request; ids are also usable while tracing is disabled, e.g. for the
+/// `X-Request-Id` response header and the request ring).
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A portable span context: enough to re-parent work on another thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The request this work belongs to (0 = none).
+    pub request: u64,
+    /// The span id new child spans should parent to (0 = root).
+    pub span: u64,
+}
+
+/// The context a span started *right now* on this thread would inherit:
+/// the current request id and the innermost open span.
+pub fn current_context() -> SpanContext {
+    SpanContext {
+        request: CURRENT_REQUEST.with(Cell::get),
+        span: SPAN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(0)),
+    }
+}
+
+/// Tags spans opened on this thread with `request` until the guard drops.
+#[must_use = "the request scope ends when this guard is dropped"]
+pub fn request_scope(request: u64) -> RequestScopeGuard {
+    let prev = CURRENT_REQUEST.with(|c| c.replace(request));
+    RequestScopeGuard { prev }
+}
+
+/// RAII handle returned by [`request_scope`].
+pub struct RequestScopeGuard {
+    prev: u64,
+}
+
+impl Drop for RequestScopeGuard {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.prev));
+    }
+}
+
+/// Adopts a [`SpanContext`] captured on another thread: until the guard
+/// drops, spans opened here carry the context's request id and parent to
+/// its span. `edge-par` wraps pooled tasks in this so worker-thread spans
+/// stay attached to the submitting span; the serving scheduler adopts each
+/// job's context around its inference. Cheap when tracing is disabled
+/// (two thread-local writes).
+#[must_use = "the adopted context ends when this guard is dropped"]
+pub fn adopt(ctx: SpanContext) -> AdoptGuard {
+    let prev_request = CURRENT_REQUEST.with(|c| c.replace(ctx.request));
+    let pushed = if crate::trace_enabled() && ctx.span != 0 {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(ctx.span));
+        Some(ctx.span)
+    } else {
+        None
+    };
+    AdoptGuard { prev_request, pushed }
+}
+
+/// RAII handle returned by [`adopt`].
+pub struct AdoptGuard {
+    prev_request: u64,
+    pushed: Option<u64>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.pushed {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                    stack.truncate(pos);
+                }
+            });
+        }
+        CURRENT_REQUEST.with(|c| c.set(self.prev_request));
+    }
+}
+
+/// Appends a span for an interval measured manually (no guard was open):
+/// the caller supplies the parent context and both endpoints. Used for
+/// cross-thread stages like queue wait, where the span conceptually starts
+/// on one thread (submit) and ends on another (dispatch).
+pub fn record_manual(name: &'static str, ctx: SpanContext, start: Instant, end: Instant) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let st = state();
+    let record = SpanRecord {
+        id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+        parent: ctx.span,
+        name,
+        thread: THREAD_ID.with(|t| *t),
+        request: ctx.request,
+        start_us: start.saturating_duration_since(st.epoch).as_micros() as u64,
+        dur_us: end.saturating_duration_since(start).as_micros() as u64,
+    };
+    st.records.lock().unwrap().push(record);
 }
 
 /// Starts a span; the span ends (and is recorded) when the guard drops.
@@ -60,13 +176,15 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(id);
         parent
     });
-    SpanGuard { inner: Some(OpenSpan { id, parent, name, start: Instant::now() }) }
+    let request = CURRENT_REQUEST.with(Cell::get);
+    SpanGuard { inner: Some(OpenSpan { id, parent, name, request, start: Instant::now() }) }
 }
 
 struct OpenSpan {
     id: u64,
     parent: u64,
     name: &'static str,
+    request: u64,
     start: Instant,
 }
 
@@ -95,6 +213,7 @@ impl Drop for SpanGuard {
             parent: open.parent,
             name: open.name,
             thread: THREAD_ID.with(|t| *t),
+            request: open.request,
             start_us,
             dur_us,
         };
@@ -139,6 +258,7 @@ pub struct ParsedSpanRecord {
     pub parent: u64,
     pub name: String,
     pub thread: u64,
+    pub request: u64,
     pub start_us: u64,
     pub dur_us: u64,
 }

@@ -179,6 +179,11 @@ struct Job {
     task: *const (dyn Fn(usize) + Sync),
     count: usize,
     grain: usize,
+    /// The submitter's span context at dispatch (tracing enabled only):
+    /// workers adopt it around each claimed chunk, so spans opened inside
+    /// pooled tasks parent to the submitting span and keep its request id
+    /// instead of dangling as per-worker roots.
+    ctx: Option<edge_obs::trace::SpanContext>,
     /// Next unclaimed index.
     next: AtomicUsize,
     /// Indices accounted for (executed, or discarded after a panic).
@@ -224,6 +229,7 @@ impl Job {
                     // queue, and `Pool::run` keeps the pointee alive (and the
                     // job queued) until every index is accounted for.
                     let task = unsafe { &*self.task };
+                    let _adopt = self.ctx.map(edge_obs::trace::adopt);
                     for i in lo..hi {
                         task(i);
                     }
@@ -368,8 +374,9 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
         return;
     }
     edge_obs::counter!("par.pool.jobs").inc(1);
+    let ctx = edge_obs::trace_enabled().then(edge_obs::trace::current_context);
     if dispatch_mode() == DispatchMode::Spawn {
-        return spawn_dispatch(count, width, &task);
+        return spawn_dispatch(count, width, &task, ctx);
     }
     let pool = pool();
     pool.ensure_workers(width - 1);
@@ -386,6 +393,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
         slot.task = task_ptr;
         slot.count = count;
         slot.grain = grain;
+        slot.ctx = ctx;
         slot.next = AtomicUsize::new(0);
         slot.done = AtomicUsize::new(0);
         slot.panicked = AtomicBool::new(false);
@@ -403,6 +411,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
             task: task_ptr,
             count,
             grain,
+            ctx,
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
@@ -454,7 +463,12 @@ pub fn parallel_for_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
 /// The legacy spawn-per-call execution of a parallel region: `width` scoped
 /// OS threads over contiguous ranges. Kept only as the A/B baseline for the
 /// `pool_dispatch` and `bench_pipeline` benches.
-fn spawn_dispatch<F: Fn(usize) + Sync>(count: usize, width: usize, task: &F) {
+fn spawn_dispatch<F: Fn(usize) + Sync>(
+    count: usize,
+    width: usize,
+    task: &F,
+    ctx: Option<edge_obs::trace::SpanContext>,
+) {
     let per = count.div_ceil(width);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..width)
@@ -462,6 +476,7 @@ fn spawn_dispatch<F: Fn(usize) + Sync>(count: usize, width: usize, task: &F) {
                 let lo = (t * per).min(count);
                 let hi = ((t + 1) * per).min(count);
                 scope.spawn(move || {
+                    let _adopt = ctx.map(edge_obs::trace::adopt);
                     for i in lo..hi {
                         task(i);
                     }
@@ -608,6 +623,36 @@ mod tests {
         assert!(data.iter().all(|&v| v == 1));
         let mut empty: Vec<u8> = Vec::new();
         parallel_for_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn pooled_tasks_adopt_the_submitters_span_context() {
+        edge_obs::set_trace_enabled(true);
+        let request = edge_obs::trace::next_request_id();
+        let outer_id;
+        {
+            let _scope = edge_obs::trace::request_scope(request);
+            let outer = edge_obs::span("par.adopt.outer");
+            outer_id = edge_obs::trace::current_context().span;
+            with_max_threads(4, || {
+                parallel_for(8, |_| {
+                    // Hold chunks so parked workers wake and claim some.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    let _inner = edge_obs::span("par.adopt.inner");
+                });
+            });
+            drop(outer);
+        }
+        edge_obs::set_trace_enabled(false);
+        let records = edge_obs::trace::records();
+        let inners: Vec<_> = records.iter().filter(|r| r.name == "par.adopt.inner").collect();
+        assert_eq!(inners.len(), 8);
+        for inner in &inners {
+            assert_eq!(inner.parent, outer_id, "pooled span must parent to the submitter");
+            assert_eq!(inner.request, request, "pooled span must keep the request id");
+        }
+        let threads: HashSet<u64> = inners.iter().map(|r| r.thread).collect();
+        assert!(threads.len() >= 2, "adoption must be exercised across threads");
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! The micro-batching scheduler: connection threads enqueue resolved
 //! texts into a bounded queue; one scheduler thread drains it in batches
 //! of up to `max_batch`, holding an under-full batch open for at most
-//! `max_delay_us` before flushing. Batches go through the model's
-//! order-preserving `locate_batch`, so responses are bit-identical to
-//! direct calls regardless of how texts were grouped.
+//! `max_delay_us` before flushing. Each popped batch fans out across the
+//! `edge-par` worker pool, one order-preserving model call per job, so
+//! responses are bit-identical to direct calls regardless of how texts
+//! were grouped — and each job carries its request's span context, so
+//! queue-wait, batch-assembly, and inference show up as stages of the
+//! originating request in both the trace and `/debug/requests`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use edge_core::{PredictOptions, PredictRequest, Predictor};
+use edge_obs::trace;
 
 use crate::cache::{CacheKey, ResponseCache};
 use crate::json::{render_error, render_response};
@@ -30,6 +35,41 @@ pub struct Job {
     pub pending: Arc<Pending>,
     /// Index into the pending response.
     pub index: usize,
+    /// Span context of the originating request: the scheduler and the
+    /// `edge-par` workers adopt it, so queue/batch/inference spans parent
+    /// to the request's root span even across threads.
+    pub ctx: trace::SpanContext,
+    /// Admission time — the queue-wait stage starts here.
+    pub submitted: Instant,
+    /// Per-request stage accumulators, read by the handler after its
+    /// [`Pending`] resolves.
+    pub stages: Arc<StageCells>,
+}
+
+/// Stage wall-micros for one request, written scheduler/worker-side and
+/// read by the connection handler once all fragments arrived. A request's
+/// texts can land in different batches; `fetch_max` keeps the slowest
+/// path, which is what a per-request latency decomposition means.
+#[derive(Default)]
+pub struct StageCells {
+    queue: AtomicU64,
+    batch: AtomicU64,
+    inference: AtomicU64,
+}
+
+impl StageCells {
+    fn note(cell: &AtomicU64, us: u64) {
+        cell.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// `(queue, batch, inference)` micros recorded so far.
+    pub fn load(&self) -> (u64, u64, u64) {
+        (
+            self.queue.load(Ordering::Relaxed),
+            self.batch.load(Ordering::Relaxed),
+            self.inference.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A connection thread's rendezvous for one `POST /predict`: the
@@ -183,6 +223,7 @@ pub fn run_scheduler(
 fn dispatch(batch: &[Job], slot: &ModelSlot, cache: &ResponseCache) {
     let _span = edge_obs::span("serve.dispatch");
     edge_obs::histogram!("serve.batch.size").record(batch.len() as f64);
+    let popped = Instant::now();
     let (model, generation) = slot.get();
 
     // Jobs resolved under an older generation re-resolve against the model
@@ -199,30 +240,44 @@ fn dispatch(batch: &[Job], slot: &ModelSlot, cache: &ResponseCache) {
         })
         .collect();
 
-    // `locate_batch` takes one options struct, so partition by fallback
-    // flag; each partition keeps its order, so results map back exactly.
-    for fallback in [false, true] {
-        let selected: Vec<usize> =
-            (0..batch.len()).filter(|&i| batch[i].fallback == fallback).collect();
-        if selected.is_empty() {
-            continue;
-        }
-        let requests: Vec<PredictRequest> =
-            selected.iter().map(|&i| PredictRequest::entities(resolved[i].clone())).collect();
-        let opts = PredictOptions::default().with_fallback_prior(fallback);
-        let results = model.locate_batch(&requests, &opts);
-        for (&i, result) in selected.iter().zip(&results) {
-            let bytes = Arc::new(match result {
-                Ok(resp) => render_response(resp),
-                Err(err) => render_error(err),
-            });
-            if result.is_ok() {
-                let key = CacheKey { generation, entities: resolved[i].clone(), fallback };
-                cache.insert(key, Arc::clone(&bytes));
-            }
-            batch[i].pending.fulfill(batch[i].index, Arc::clone(&bytes));
-        }
+    // Queue-wait (submit → pop) and batch assembly (pop → fan-out) are
+    // recorded per job against the *request's* span context, so the trace
+    // shows them under the request root even though they happen on the
+    // scheduler thread.
+    let assembled = Instant::now();
+    for job in batch {
+        trace::record_manual("serve.stage.queue", job.ctx, job.submitted, popped);
+        trace::record_manual("serve.stage.batch", job.ctx, popped, assembled);
+        StageCells::note(&job.stages.queue, (popped - job.submitted).as_micros() as u64);
+        StageCells::note(&job.stages.batch, (assembled - popped).as_micros() as u64);
     }
+
+    // Fan out across the worker pool, one model call per job. Each worker
+    // adopts the job's context, so its inference span (and the model's
+    // `predict_*` spans under it) stitch into the right request. `locate`
+    // delegates to the same order-preserving single-item `locate_batch`
+    // path as before, so responses stay bit-identical to unbatched calls.
+    edge_par::parallel_for(batch.len(), |i| {
+        let job = &batch[i];
+        let _adopt = trace::adopt(job.ctx);
+        let inference_started = Instant::now();
+        let _inf = edge_obs::span("serve.stage.inference");
+        let opts = PredictOptions::default().with_fallback_prior(job.fallback);
+        let result = model.locate(&PredictRequest::entities(resolved[i].clone()), &opts);
+        let bytes = Arc::new(match &result {
+            Ok(resp) => render_response(resp),
+            Err(err) => render_error(err),
+        });
+        if result.is_ok() {
+            let key =
+                CacheKey { generation, entities: resolved[i].clone(), fallback: job.fallback };
+            cache.insert(key, Arc::clone(&bytes));
+        }
+        // Note the stage before fulfilling: fulfill wakes the handler,
+        // which reads the cells immediately.
+        StageCells::note(&job.stages.inference, inference_started.elapsed().as_micros() as u64);
+        job.pending.fulfill(job.index, bytes);
+    });
 }
 
 #[cfg(test)]
@@ -254,6 +309,9 @@ mod tests {
             fallback: false,
             pending: Arc::clone(pending),
             index,
+            ctx: trace::SpanContext::default(),
+            submitted: Instant::now(),
+            stages: Arc::new(StageCells::default()),
         }
     }
 

@@ -11,6 +11,8 @@ use std::net::{SocketAddr, TcpStream};
 pub struct Response {
     /// Status code (200, 429, ...).
     pub status: u16,
+    /// Response headers in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
 }
@@ -24,6 +26,11 @@ impl Response {
     /// Parses the body as a JSON value tree.
     pub fn json(&self) -> serde_json::Value {
         serde_json::from_str(self.text()).expect("json body")
+    }
+
+    /// First header with this name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 }
 
@@ -44,11 +51,26 @@ impl Client {
 
     /// Sends one request and reads the response.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`Client::request`] with extra request headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: edge-serve\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: edge-serve\r\nContent-Length: {}\r\n",
             body.len()
         )?;
+        for (name, value) in extra_headers {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        self.writer.write_all(b"\r\n")?;
         self.writer.write_all(body)?;
         self.writer.flush()?;
         self.read_response()
@@ -88,6 +110,7 @@ impl Client {
                 || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"),
             )?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -101,15 +124,17 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                    content_length = value.parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name.to_string(), value.to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         std::io::Read::read_exact(&mut self.reader, &mut body)?;
-        Ok(Response { status, body })
+        Ok(Response { status, headers, body })
     }
 }

@@ -29,6 +29,19 @@ pub struct ServeConfig {
     /// Install SIGTERM/SIGINT handlers so the process drains gracefully.
     /// The CLI turns this on; in-process tests leave it off.
     pub handle_signals: bool,
+    /// Hold a metrics lease for the server's lifetime so counters and
+    /// histograms record. Off is the baseline leg of the overhead bench.
+    pub enable_metrics: bool,
+    /// Latency target the predict p99 must stay under (SLO), microseconds.
+    pub slo_target_p99_us: u64,
+    /// Highest acceptable 429-shed fraction before `/healthz` degrades.
+    pub slo_max_shed_rate: f64,
+    /// Rolling SLO window, seconds.
+    pub slo_window_secs: u64,
+    /// Capacity of the always-on `/debug/requests` ring.
+    pub ring_capacity: usize,
+    /// Log any request slower than this to stderr as JSONL; 0 disables.
+    pub slow_request_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +55,12 @@ impl Default for ServeConfig {
             cache_shards: 8,
             fallback_prior: false,
             handle_signals: false,
+            enable_metrics: true,
+            slo_target_p99_us: 100_000,
+            slo_max_shed_rate: 0.01,
+            slo_window_secs: 60,
+            ring_capacity: 1024,
+            slow_request_us: 0,
         }
     }
 }
@@ -58,6 +77,15 @@ impl ServeConfig {
         }
         if self.cache_shards == 0 {
             return Err("cache_shards must be at least 1".into());
+        }
+        if self.ring_capacity == 0 {
+            return Err("ring_capacity must be at least 1".into());
+        }
+        if self.slo_window_secs == 0 {
+            return Err("slo_window_secs must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.slo_max_shed_rate) {
+            return Err("slo_max_shed_rate must be within [0, 1]".into());
         }
         Ok(())
     }
@@ -79,6 +107,12 @@ mod tests {
         let c = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
         let c = ServeConfig { cache_shards: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { ring_capacity: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { slo_window_secs: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { slo_max_shed_rate: 1.5, ..ServeConfig::default() };
         assert!(c.validate().is_err());
     }
 }

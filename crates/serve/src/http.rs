@@ -18,10 +18,25 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// Query string after the `?` (empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Client-supplied `X-Request-Id`, echoed back verbatim when present.
+    pub request_id: Option<String>,
+}
+
+impl Request {
+    /// The value of `name` in the query string (`?n=32&flat`), if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
 }
 
 /// What one read attempt on a keep-alive connection produced.
@@ -54,10 +69,14 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     if method.is_empty() || target.is_empty() {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
     }
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
 
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
+    let mut request_id = None;
     for _ in 0..MAX_HEADERS {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -75,6 +94,8 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+            request_id = Some(value.to_string());
         }
     }
     if content_length > MAX_BODY {
@@ -84,7 +105,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     if content_length > 0 {
         io::Read::read_exact(reader, &mut body)?;
     }
-    Ok(ReadOutcome::Request(Request { method, path, body, keep_alive }))
+    Ok(ReadOutcome::Request(Request { method, path, query, body, keep_alive, request_id }))
 }
 
 /// Writes one response with `Content-Length` framing.
@@ -92,6 +113,19 @@ pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra headers (e.g. `X-Request-Id`) ahead of
+/// the body.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
@@ -109,9 +143,13 @@ pub fn write_response(
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -142,7 +180,37 @@ mod tests {
             panic!("expected a request")
         };
         assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "v=1");
+        assert_eq!(req.query_param("v"), Some("1"));
+        assert_eq!(req.query_param("n"), None);
         assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn client_request_id_is_captured() {
+        let raw = b"GET /healthz HTTP/1.1\r\nX-Request-ID: abc-7\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+            panic!("expected a request")
+        };
+        assert_eq!(req.request_id.as_deref(), Some("abc-7"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Request-Id", "req-3")],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Request-Id: req-3\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

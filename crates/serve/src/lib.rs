@@ -7,9 +7,15 @@
 //! | endpoint | method | purpose |
 //! |---|---|---|
 //! | `/predict` | POST | single (`{"text": ...}`) or batch (`{"texts": [...]}`) prediction |
-//! | `/healthz` | GET | liveness + current model generation |
-//! | `/metrics` | GET | text dump of the `edge-obs` metrics registry |
+//! | `/healthz` | GET | liveness, current model generation, SLO budget (degrades when burning) |
+//! | `/metrics` | GET | OpenMetrics exposition of the `edge-obs` registry, with p50/p95/p99 per histogram |
 //! | `/reload` | POST | atomically swap in a new model artifact (`{"path": ...}`) |
+//! | `/debug/requests` | GET | the last N per-request records (status, batch, per-stage micros) |
+//!
+//! Every response carries an `X-Request-Id` header (echoing the client's,
+//! if sent), and the same id tags every span the request produced — on the
+//! connection thread, the scheduler, and the `edge-par` workers — so one
+//! request can be reconstructed end-to-end from the JSONL trace.
 //!
 //! Inside, texts flow through a micro-batching scheduler ([`batch`]):
 //! connection threads resolve entities, consult a sharded response cache
@@ -32,6 +38,7 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod json;
+mod metrics;
 pub mod server;
 pub mod slot;
 

@@ -1,0 +1,94 @@
+//! Pre-resolved labeled metric handles for the serving hot path.
+//!
+//! Resolving a label combination takes the family's registry lock, so the
+//! handlers never do it per request: every cell the server can touch is
+//! resolved once into a static grid, and steady-state recording is an
+//! array index plus one relaxed atomic op — the same lock-free contract
+//! as the unlabeled `counter!`/`histogram!` macros.
+
+use std::sync::OnceLock;
+
+use edge_obs::ring::{N_STAGES, STAGE_NAMES};
+use edge_obs::{Counter, Histogram};
+
+/// Endpoint labels in grid order; `other` catches unknown paths.
+pub(crate) const ENDPOINTS: [&str; 6] =
+    ["predict", "healthz", "metrics", "reload", "debug_requests", "other"];
+
+/// Statuses the server can actually emit; anything else lands in `other`.
+const STATUSES: [(u16, &str); 8] = [
+    (200, "200"),
+    (400, "400"),
+    (404, "404"),
+    (405, "405"),
+    (422, "422"),
+    (429, "429"),
+    (500, "500"),
+    (503, "503"),
+];
+
+/// The `serve_http_requests{endpoint,status}` cell for a combination.
+pub(crate) fn request_counter(endpoint: &'static str, status: u16) -> &'static Counter {
+    static GRID: OnceLock<Vec<&'static Counter>> = OnceLock::new();
+    let grid = GRID.get_or_init(|| {
+        let family = edge_obs::labels::counter_family(
+            "serve_http_requests",
+            "HTTP requests served, by endpoint and response status.",
+        );
+        let mut cells = Vec::with_capacity(ENDPOINTS.len() * (STATUSES.len() + 1));
+        for endpoint in ENDPOINTS {
+            for (_, status) in STATUSES {
+                cells.push(family.with(&[("endpoint", endpoint), ("status", status)]));
+            }
+            cells.push(family.with(&[("endpoint", endpoint), ("status", "other")]));
+        }
+        cells
+    });
+    let e = ENDPOINTS.iter().position(|&ep| ep == endpoint).unwrap_or(ENDPOINTS.len() - 1);
+    let s = STATUSES.iter().position(|&(code, _)| code == status).unwrap_or(STATUSES.len());
+    grid[e * (STATUSES.len() + 1) + s]
+}
+
+/// Per-stage latency cells (`serve_stage_us{stage=...}`), indexed like
+/// [`STAGE_NAMES`].
+pub(crate) fn stage_hists() -> &'static [&'static Histogram; N_STAGES] {
+    static CELLS: OnceLock<[&'static Histogram; N_STAGES]> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let family = edge_obs::labels::histogram_family(
+            "serve_stage_us",
+            "Per-request pipeline stage latency in microseconds.",
+        );
+        std::array::from_fn(|i| family.with(&[("stage", STAGE_NAMES[i])]))
+    })
+}
+
+/// `serve_predict_texts{batch_path}`: whether a text was answered inline
+/// (abstention / cache hit) or went through the batched model path.
+pub(crate) fn batch_path_counter(batched: bool) -> &'static Counter {
+    static CELLS: OnceLock<[&'static Counter; 2]> = OnceLock::new();
+    let cells = CELLS.get_or_init(|| {
+        let family = edge_obs::labels::counter_family(
+            "serve_predict_texts",
+            "Predict texts answered, by path (inline vs batched).",
+        );
+        [family.with(&[("batch_path", "inline")]), family.with(&[("batch_path", "batched")])]
+    });
+    cells[batched as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_resolve_known_and_unknown_cells() {
+        let a = request_counter("predict", 200);
+        let b = request_counter("predict", 200);
+        assert!(std::ptr::eq(a, b), "same combination must share a cell");
+        // Unknown status falls into the endpoint's `other` column.
+        let odd = request_counter("predict", 418);
+        assert!(!std::ptr::eq(a, odd));
+        assert_eq!(stage_hists().len(), N_STAGES);
+        assert!(!std::ptr::eq(batch_path_counter(false), batch_path_counter(true)));
+    }
+}

@@ -9,12 +9,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use edge_core::EdgeModel;
+use edge_obs::ring::{
+    RequestRecord, N_STAGES, STAGE_BATCH, STAGE_INFERENCE, STAGE_PARSE, STAGE_QUEUE,
+    STAGE_SERIALIZE,
+};
+use edge_obs::{RequestRing, SloConfig, SloStatus, SloTracker};
 
-use crate::batch::{run_scheduler, BatchQueue, Job, Pending};
+use crate::batch::{run_scheduler, BatchQueue, Job, Pending, StageCells};
 use crate::cache::{CacheKey, ResponseCache};
 use crate::config::ServeConfig;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request, write_response_with, ReadOutcome, Request};
 use crate::json::{parse_predict_body, render_error, simple_object};
+use crate::metrics::{batch_path_counter, request_counter, stage_hists};
 use crate::slot::ModelSlot;
 
 /// How long a handler waits for the scheduler before giving up with 500.
@@ -50,6 +56,8 @@ struct ServerState {
     slot: ModelSlot,
     queue: BatchQueue,
     cache: ResponseCache,
+    ring: RequestRing,
+    slo: SloTracker,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -61,6 +69,9 @@ pub struct Server {
     state: Arc<ServerState>,
     accept_thread: Option<JoinHandle<()>>,
     scheduler_thread: Option<JoinHandle<()>>,
+    /// Keeps metrics recording for the server's lifetime; the prior
+    /// global state is restored when the last lease drops.
+    _metrics_lease: Option<edge_obs::MetricsLease>,
 }
 
 impl Server {
@@ -68,7 +79,7 @@ impl Server {
     /// returns once the socket is listening.
     pub fn start(model: EdgeModel, config: ServeConfig) -> Result<Server, String> {
         config.validate()?;
-        edge_obs::set_metrics_enabled(true);
+        let metrics_lease = config.enable_metrics.then(edge_obs::metrics_lease);
         if config.handle_signals {
             #[cfg(unix)]
             install_signal_handlers();
@@ -82,6 +93,12 @@ impl Server {
             cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
             queue: BatchQueue::new(config.queue_capacity),
             slot: ModelSlot::new(model),
+            ring: RequestRing::new(config.ring_capacity),
+            slo: SloTracker::new(SloConfig {
+                target_p99_us: config.slo_target_p99_us,
+                max_shed_rate: config.slo_max_shed_rate,
+                window_secs: config.slo_window_secs,
+            }),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -111,6 +128,7 @@ impl Server {
             state,
             accept_thread: Some(accept_thread),
             scheduler_thread: Some(scheduler_thread),
+            _metrics_lease: metrics_lease,
         })
     }
 
@@ -138,6 +156,17 @@ impl Server {
     /// Jobs currently waiting in the batching queue.
     pub fn queue_depth(&self) -> usize {
         self.state.queue.depth()
+    }
+
+    /// Current SLO rollup (what `/healthz` reports).
+    pub fn slo_status(&self) -> SloStatus {
+        self.state.slo.status()
+    }
+
+    /// The last `n` request records from the debug ring, oldest first
+    /// (what `GET /debug/requests` serves).
+    pub fn recent_requests(&self, n: usize) -> Vec<RequestRecord> {
+        self.state.ring.recent(n)
     }
 
     /// Requests a graceful drain and blocks until the accept loop and
@@ -243,6 +272,37 @@ fn connection_loop(stream: TcpStream, state: &ServerState) {
     }
 }
 
+/// Tracks the response status and stamps `X-Request-Id` on every write.
+struct Responder<'a, W: Write> {
+    writer: &'a mut W,
+    keep_alive: bool,
+    request_id: &'a str,
+    status: u16,
+}
+
+impl<W: Write> Responder<'_, W> {
+    fn send(&mut self, status: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
+        self.status = status;
+        write_response_with(
+            self.writer,
+            status,
+            content_type,
+            &[("X-Request-Id", self.request_id)],
+            body,
+            self.keep_alive,
+        )
+    }
+}
+
+/// What the predict handler learned about its request, for the debug
+/// ring and the labeled stage histograms.
+#[derive(Default)]
+struct PredictStats {
+    stage_us: [u64; N_STAGES],
+    batch: u32,
+    cache_hits: u32,
+}
+
 fn handle_request(
     req: &Request,
     writer: &mut impl Write,
@@ -250,54 +310,97 @@ fn handle_request(
     state: &ServerState,
 ) -> std::io::Result<()> {
     let started = Instant::now();
-    edge_obs::counter!("serve.requests").inc(1);
-    let result = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => handle_predict(req, writer, keep_alive, state),
-        ("GET", "/healthz") => {
-            let generation = state.slot.generation().to_string();
-            let body =
-                simple_object(&[("status", "ok"), ("model", "EDGE"), ("generation", &generation)]);
-            write_response(writer, 200, "application/json", &body, keep_alive)
-        }
-        ("GET", "/metrics") => {
-            let mut text = edge_obs::metrics::snapshot().render();
-            let (hits, misses) = state.cache.stats();
-            text.push_str(&format!(
-                "serve.cache.stats hits={hits} misses={misses} queue_depth={}\n",
-                state.queue.depth()
-            ));
-            write_response(writer, 200, "text/plain", text.as_bytes(), keep_alive)
-        }
-        ("POST", "/reload") => handle_reload(req, writer, keep_alive, state),
-        (_, "/predict") | (_, "/reload") | (_, "/healthz") | (_, "/metrics") => {
-            let body = simple_object(&[("error", "method_not_allowed")]);
-            write_response(writer, 405, "application/json", &body, keep_alive)
-        }
-        _ => {
-            let body = simple_object(&[("error", "not_found")]);
-            write_response(writer, 404, "application/json", &body, keep_alive)
-        }
+    // Every request gets a fresh id; spans opened anywhere below (this
+    // thread, the scheduler, the worker pool) carry it, and the response
+    // echoes the client's X-Request-Id when it sent one.
+    let request_id = edge_obs::trace::next_request_id();
+    let _scope = edge_obs::trace::request_scope(request_id);
+    let minted = format!("req-{request_id}");
+    let header_id = req.request_id.as_deref().unwrap_or(&minted);
+    let endpoint: &'static str = match req.path.as_str() {
+        "/predict" => "predict",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/reload" => "reload",
+        "/debug/requests" => "debug_requests",
+        _ => "other",
     };
-    edge_obs::histogram!("serve.request.us").record(started.elapsed().as_micros() as f64);
+    let mut rsp = Responder { writer, keep_alive, request_id: header_id, status: 0 };
+    let mut stats = PredictStats::default();
+
+    let root = edge_obs::span("serve.request");
+    let result = match (req.method.as_str(), endpoint) {
+        ("POST", "predict") => handle_predict(req, &mut rsp, state, &mut stats),
+        ("GET", "healthz") => handle_healthz(&mut rsp, state),
+        ("GET", "metrics") => handle_metrics(&mut rsp, state),
+        ("GET", "debug_requests") => handle_debug_requests(req, &mut rsp, state),
+        ("POST", "reload") => handle_reload(req, &mut rsp, state),
+        (_, "other") => {
+            rsp.send(404, "application/json", &simple_object(&[("error", "not_found")]))
+        }
+        _ => rsp.send(405, "application/json", &simple_object(&[("error", "method_not_allowed")])),
+    };
+    drop(root);
+
+    let total_us = started.elapsed().as_micros() as u64;
+    edge_obs::counter!("serve.requests").inc(1);
+    edge_obs::histogram!("serve.request.us").record(total_us as f64);
+    request_counter(endpoint, rsp.status).inc(1);
+    for (i, &us) in stats.stage_us.iter().enumerate() {
+        if us > 0 {
+            stage_hists()[i].record(us as f64);
+        }
+    }
+    if endpoint == "predict" && rsp.status != 0 {
+        if rsp.status == 429 {
+            state.slo.record_shed();
+        } else {
+            state.slo.record(total_us);
+        }
+    }
+    let record = RequestRecord {
+        id: request_id,
+        endpoint,
+        status: rsp.status,
+        batch: stats.batch,
+        cache_hits: stats.cache_hits,
+        stage_us: stats.stage_us,
+        total_us,
+    };
+    state.ring.push(record);
+    if state.config.slow_request_us > 0 && total_us >= state.config.slow_request_us {
+        edge_obs::progress!("{}", record.to_json());
+    }
     result
 }
 
-fn handle_predict(
+fn handle_predict<W: Write>(
     req: &Request,
-    writer: &mut impl Write,
-    keep_alive: bool,
+    rsp: &mut Responder<'_, W>,
     state: &ServerState,
+    stats: &mut PredictStats,
 ) -> std::io::Result<()> {
+    // Capture the request's root context before the parse span opens:
+    // queue/batch/inference stages are siblings of parse under the root,
+    // not children of it.
+    let ctx = edge_obs::trace::current_context();
+    // The parse stage covers everything up to admission: body parse,
+    // entity resolution, cache probes, job construction, submit.
+    let parse_started = Instant::now();
+    let parse_span = edge_obs::span("serve.stage.parse");
     let body = match parse_predict_body(&req.body) {
         Ok(b) => b,
         Err(msg) => {
+            drop(parse_span);
+            stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
             let body = simple_object(&[("error", "bad_request"), ("detail", &msg)]);
-            return write_response(writer, 400, "application/json", &body, keep_alive);
+            return rsp.send(400, "application/json", &body);
         }
     };
     let fallback = body.fallback_prior.unwrap_or(state.config.fallback_prior);
     let (model, generation) = state.slot.get();
     edge_obs::counter!("serve.predict.texts").inc(body.texts.len() as u64);
+    stats.batch = body.texts.len() as u32;
 
     // Resolve entities up front: abstentions answer immediately, cache
     // hits skip the queue, and only genuine model work is admitted.
@@ -307,18 +410,24 @@ fn handle_predict(
         let entities = model.resolve_entities(text);
         if entities.is_empty() && !fallback {
             fragments[i] = Some(Arc::new(render_error(&edge_core::PredictError::NoEntities)));
+            batch_path_counter(false).inc(1);
             continue;
         }
         let key = CacheKey { generation, entities: entities.clone(), fallback };
         if let Some(bytes) = state.cache.get(&key) {
             fragments[i] = Some(bytes);
+            stats.cache_hits += 1;
+            batch_path_counter(false).inc(1);
             continue;
         }
+        batch_path_counter(true).inc(1);
         seeds.push((i, entities));
     }
     drop(model);
 
     if !seeds.is_empty() {
+        let stages = Arc::new(StageCells::default());
+        let submitted = Instant::now();
         let pending = Arc::new(Pending::new(seeds.len()));
         let jobs: Vec<Job> = seeds
             .iter()
@@ -330,23 +439,40 @@ fn handle_predict(
                 fallback,
                 pending: Arc::clone(&pending),
                 index: k,
+                ctx,
+                submitted,
+                stages: Arc::clone(&stages),
             })
             .collect();
         if !state.queue.try_submit(jobs) {
             edge_obs::counter!("serve.shed").inc(1);
+            drop(parse_span);
+            stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
             let body = simple_object(&[("error", "overloaded")]);
-            return write_response(writer, 429, "application/json", &body, keep_alive);
+            return rsp.send(429, "application/json", &body);
         }
+        drop(parse_span);
+        stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
         let Some(results) = pending.wait(PREDICT_TIMEOUT) else {
             let body = simple_object(&[("error", "timeout")]);
-            return write_response(writer, 500, "application/json", &body, keep_alive);
+            return rsp.send(500, "application/json", &body);
         };
         for ((i, _), bytes) in seeds.iter().zip(results) {
             fragments[*i] = Some(bytes);
         }
+        let (queue_us, batch_us, inference_us) = stages.load();
+        stats.stage_us[STAGE_QUEUE] = queue_us;
+        stats.stage_us[STAGE_BATCH] = batch_us;
+        stats.stage_us[STAGE_INFERENCE] = inference_us;
+    } else {
+        drop(parse_span);
+        stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
     }
 
-    // Assemble: a bare object for the single shape, an envelope for batch.
+    // Serialize: fragments → bytes on the wire. A bare object for the
+    // single shape, an envelope for batch.
+    let serialize_started = Instant::now();
+    let serialize_span = edge_obs::span("serve.stage.serialize");
     let mut out: Vec<u8> = Vec::with_capacity(64 * fragments.len());
     if body.single {
         out.extend_from_slice(&fragments[0].take().expect("filled"));
@@ -360,13 +486,74 @@ fn handle_predict(
         }
         out.extend_from_slice(b"]}");
     }
-    write_response(writer, 200, "application/json", &out, keep_alive)
+    let result = rsp.send(200, "application/json", &out);
+    drop(serialize_span);
+    stats.stage_us[STAGE_SERIALIZE] = serialize_started.elapsed().as_micros() as u64;
+    result
 }
 
-fn handle_reload(
+fn handle_healthz<W: Write>(
+    rsp: &mut Responder<'_, W>,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let slo = state.slo.status();
+    let generation = state.slot.generation().to_string();
+    let status = if slo.degraded { "degraded" } else { "ok" };
+    let budget = format!("{:.4}", slo.budget_remaining);
+    let burn = format!("{:.4}", slo.burn_rate);
+    let shed = format!("{:.4}", slo.shed_rate);
+    let body = simple_object(&[
+        ("status", status),
+        ("model", "EDGE"),
+        ("generation", &generation),
+        ("slo_budget_remaining", &budget),
+        ("slo_burn_rate", &burn),
+        ("slo_shed_rate", &shed),
+    ]);
+    rsp.send(200, "application/json", &body)
+}
+
+fn handle_metrics<W: Write>(
+    rsp: &mut Responder<'_, W>,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    // Point-in-time gauges are refreshed at scrape so the exposition is
+    // self-contained (these replace the old ad-hoc `serve.cache.stats`
+    // trailer line).
+    let (hits, misses) = state.cache.stats();
+    edge_obs::gauge!("serve.cache.stats.hits").set(hits as f64);
+    edge_obs::gauge!("serve.cache.stats.misses").set(misses as f64);
+    edge_obs::gauge!("serve.queue.depth").set(state.queue.depth() as f64);
+    let slo = state.slo.status();
+    edge_obs::gauge!("serve.slo.burn.rate").set(slo.burn_rate);
+    edge_obs::gauge!("serve.slo.budget.remaining").set(slo.budget_remaining);
+    edge_obs::gauge!("serve.slo.shed.rate").set(slo.shed_rate);
+    edge_obs::gauge!("serve.slo.degraded").set(if slo.degraded { 1.0 } else { 0.0 });
+    let text = edge_obs::openmetrics::render(&edge_obs::metrics::snapshot());
+    rsp.send(200, edge_obs::openmetrics::CONTENT_TYPE, text.as_bytes())
+}
+
+fn handle_debug_requests<W: Write>(
     req: &Request,
-    writer: &mut impl Write,
-    keep_alive: bool,
+    rsp: &mut Responder<'_, W>,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let n = req.query_param("n").and_then(|v| v.parse().ok()).unwrap_or(64usize);
+    let records = state.ring.recent(n);
+    let mut body = String::from("{\"requests\":[");
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&record.to_json());
+    }
+    body.push_str("]}");
+    rsp.send(200, "application/json", body.as_bytes())
+}
+
+fn handle_reload<W: Write>(
+    req: &Request,
+    rsp: &mut Responder<'_, W>,
     state: &ServerState,
 ) -> std::io::Result<()> {
     let path = std::str::from_utf8(&req.body)
@@ -375,7 +562,7 @@ fn handle_reload(
         .and_then(|v| v.get("path").and_then(|p| p.as_str().map(str::to_string)));
     let Some(path) = path else {
         let body = simple_object(&[("error", "bad_request"), ("detail", "body needs a \"path\"")]);
-        return write_response(writer, 400, "application/json", &body, keep_alive);
+        return rsp.send(400, "application/json", &body);
     };
     match state.slot.reload_from(&path) {
         Ok(generation) => {
@@ -386,12 +573,12 @@ fn handle_reload(
             edge_obs::progress!("edge-serve: reloaded {path} as generation {generation}");
             let generation = generation.to_string();
             let body = simple_object(&[("status", "ok"), ("generation", &generation)]);
-            write_response(writer, 200, "application/json", &body, keep_alive)
+            rsp.send(200, "application/json", &body)
         }
         Err(msg) => {
             edge_obs::counter!("serve.reload.failures").inc(1);
             let body = simple_object(&[("error", "reload_rejected"), ("detail", &msg)]);
-            write_response(writer, 422, "application/json", &body, keep_alive)
+            rsp.send(422, "application/json", &body)
         }
     }
 }

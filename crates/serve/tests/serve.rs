@@ -146,9 +146,16 @@ fn healthz_metrics_and_unknown_routes() {
     let _ = client.predict(&util::covered_texts(1)[0]).unwrap();
     let metrics = client.request("GET", "/metrics", b"").unwrap();
     assert_eq!(metrics.status, 200);
-    let text = metrics.text();
-    assert!(text.contains("serve.requests"), "metrics dump lists serve counters: {text}");
-    assert!(text.contains("serve.cache.stats"));
+    assert_eq!(metrics.header("content-type"), Some(edge_obs::openmetrics::CONTENT_TYPE));
+    let scrape = edge_obs::openmetrics::parse(metrics.text()).expect("exposition parses");
+    assert!(
+        scrape.value("serve_requests_total", &[]).unwrap_or(0.0) >= 1.0,
+        "exposition lists serve counters"
+    );
+    assert!(
+        scrape.value("serve_cache_stats_hits", &[]).is_some(),
+        "cache stats are proper gauges now"
+    );
 
     assert_eq!(client.request("GET", "/nope", b"").unwrap().status, 404);
     assert_eq!(client.request("GET", "/predict", b"").unwrap().status, 405);

@@ -72,6 +72,7 @@ pub fn uncovered_text() -> String {
 
 /// What the server must answer for `text`, byte for byte: the rendered
 /// direct `Predictor::locate` result.
+#[allow(dead_code)] // not every test binary uses every fixture
 pub fn expected_fragment(text: &str) -> Vec<u8> {
     let w = world();
     match w.model.locate(&PredictRequest::text(text), &PredictOptions::default()) {

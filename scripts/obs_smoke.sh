@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Observability smoke gate: runs the real `edge-cli serve` binary and checks
+# the request-scoped observability surface end to end —
+#   * every response (including errors) carries an X-Request-Id, and a
+#     client-supplied id is echoed back;
+#   * /metrics is valid OpenMetrics (parsed by the in-repo parser via
+#     `edge-cli top`), labeled, with quantiles, and the right Content-Type;
+#   * /debug/requests replays recent requests with monotone ids and sane
+#     per-stage timings;
+#   * --slow-request-us logs slow requests as JSONL on stderr;
+#   * a server with an impossible SLO target degrades its /healthz.
+#
+# Usage: scripts/obs_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build --release -p edge-cli
+BIN=target/release/edge-cli
+
+echo "== train a tiny model =="
+$BIN generate --preset nyma --size smoke --seed 11 --out "$WORKDIR/corpus.json"
+$BIN train --data "$WORKDIR/corpus.json" --profile smoke --epochs 2 \
+    --out "$WORKDIR/model.json"
+
+ADDR=127.0.0.1:7993
+echo "== start the server on $ADDR (slow-request log armed) =="
+$BIN serve --model "$WORKDIR/model.json" --addr "$ADDR" \
+    --slow-request-us 1 2>"$WORKDIR/server.stderr" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+    sleep 0.2
+done
+
+echo "== 200 requests; every response must carry an X-Request-Id =="
+python3 - "$WORKDIR/corpus.json" "$ADDR" <<'EOF'
+import http.client, json, sys
+
+corpus = json.load(open(sys.argv[1]))
+texts = [t["text"] for t in corpus["tweets"]][:200]
+conn = http.client.HTTPConnection(sys.argv[2], timeout=30)
+
+ids = []
+for i, text in enumerate(texts):
+    conn.request("POST", "/predict", json.dumps({"text": text}),
+                 {"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    resp.read()
+    assert resp.status == 200, (i, resp.status)
+    rid = resp.getheader("X-Request-Id")
+    assert rid, f"request {i} came back without an X-Request-Id"
+    ids.append(rid)
+assert len(set(ids)) == len(ids), "minted request ids must be unique"
+
+# A client-supplied id is echoed verbatim.
+conn.request("POST", "/predict", json.dumps({"text": texts[0]}),
+             {"Content-Type": "application/json", "X-Request-Id": "smoke-42"})
+resp = conn.getresponse(); resp.read()
+assert resp.getheader("X-Request-Id") == "smoke-42", resp.getheader("X-Request-Id")
+
+# Even a 404 carries one.
+conn.request("GET", "/nope")
+resp = conn.getresponse(); resp.read()
+assert resp.status == 404 and resp.getheader("X-Request-Id"), resp.status
+conn.close()
+print("request ids OK: 200 unique ids, echo and 404 covered")
+EOF
+
+echo "== /metrics parses as OpenMetrics (in-repo parser via edge-cli top) =="
+$BIN top --addr "$ADDR" --iters 2 --interval-ms 200
+curl -sfi "http://$ADDR/metrics" -o "$WORKDIR/metrics.raw"
+grep -qi "content-type: application/openmetrics-text" "$WORKDIR/metrics.raw" || {
+    echo "wrong /metrics Content-Type"; exit 1; }
+tail -1 "$WORKDIR/metrics.raw" | grep -q "# EOF" || {
+    echo "/metrics must end with # EOF"; exit 1; }
+grep -q 'serve_http_requests_total{endpoint="predict",status="200"}' \
+    "$WORKDIR/metrics.raw" || { echo "missing labeled request counter"; exit 1; }
+grep -q 'serve_request_us_p99' "$WORKDIR/metrics.raw" || {
+    echo "missing p99 quantile gauge"; exit 1; }
+
+echo "== /debug/requests replays recent records =="
+curl -sf "http://$ADDR/debug/requests?n=100" -o "$WORKDIR/debug.json"
+python3 - "$WORKDIR/debug.json" <<'EOF'
+import json, sys
+reqs = json.load(open(sys.argv[1]))["requests"]
+assert len(reqs) > 0, "ring came back empty"
+predicts = [r for r in reqs if r["endpoint"] == "predict"]
+assert predicts, "no predict records in the ring"
+ids = [r["id"] for r in reqs]
+assert ids == sorted(ids), "ring replay must be in request order"
+for r in predicts:
+    assert r["status"] == 200, r
+    stages = r["stage_us"]
+    assert set(stages) == {"parse", "queue", "batch", "inference", "serialize"}, r
+    # Stage decomposition must not exceed the end-to-end latency (small
+    # slack for clock quantization).
+    assert sum(stages.values()) <= r["total_us"] * 1.05 + 50, r
+print(f"debug ring OK: {len(reqs)} records, {len(predicts)} predicts")
+EOF
+
+echo "== slow-request log wrote JSONL to stderr =="
+grep -q '"stage_us"' "$WORKDIR/server.stderr" || {
+    echo "--slow-request-us 1 must log every request"; exit 1; }
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+ADDR=127.0.0.1:7994
+echo "== a server with an impossible SLO target degrades /healthz =="
+$BIN serve --model "$WORKDIR/model.json" --addr "$ADDR" --slo-p99-us 1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+    sleep 0.2
+done
+for _ in $(seq 1 10); do
+    curl -sf -d '{"text": "smoke"}' "http://$ADDR/predict" >/dev/null
+done
+curl -sf "http://$ADDR/healthz" | tee "$WORKDIR/health.json"; echo
+grep -q '"status":"degraded"' "$WORKDIR/health.json" || {
+    echo "healthz must report degraded when the error budget burns"; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q 'serve_slo_degraded 1' || {
+    echo "metrics must expose the degraded flag"; exit 1; }
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+echo "obs smoke OK"

@@ -87,7 +87,7 @@ print("predict OK:", covered[:60])
 EOF
 
 echo "== /metrics =="
-curl -sf "http://$ADDR/metrics" | grep -q "serve.requests" || {
+curl -sf "http://$ADDR/metrics" | grep -q "serve_requests_total" || {
     echo "metrics dump is missing serve counters"; exit 1; }
 
 echo "== /reload rejects a corrupted artifact =="

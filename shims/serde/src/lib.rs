@@ -106,6 +106,30 @@ impl Value {
         }
     }
 
+    /// The numeric value as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
