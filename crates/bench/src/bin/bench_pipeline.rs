@@ -1,17 +1,19 @@
 //! End-to-end pipeline resource bench: runs the Table III method set on one
 //! corpus, recording per-method wall time and process peak RSS, plus the
 //! metrics-layer counters (matmul/spmm FLOPs, tape ops, NER misses) for the
-//! EDGE runs, and a before/after dispatch speedup table for EDGE training
-//! (serial vs spawn-per-call vs the persistent `edge-par` pool).
+//! EDGE runs, a before/after dispatch speedup table for EDGE training
+//! (serial vs spawn-per-call vs the persistent `edge-par` pool vs forced
+//! scalar kernels), and the `simd_vs_scalar` microkernel comparison.
 //!
 //! Usage: `cargo run --release -p edge-bench --bin bench_pipeline [--size default]`
 //!
 //! Writes `results/BENCH_pipeline.{json,txt}`. The JSON is an object:
-//! `{ "threads": N, "records": [...], "edge_speedup": {...} }`.
+//! `{ "threads": N, "records": [...], "edge_speedup": {...},
+//!    "simd_vs_scalar": {...} }`.
 
 use edge_bench::{
-    render_pipeline_table, render_speedup_table, run_edge_speedup, run_pipeline_bench,
-    HarnessConfig, MethodSet,
+    render_pipeline_table, render_simd_table, render_speedup_table, run_edge_speedup,
+    run_pipeline_bench, run_simd_kernel_bench, HarnessConfig, MethodSet,
 };
 use edge_data::{nyma, PresetSize};
 use serde::Serialize;
@@ -22,6 +24,7 @@ struct PipelineBenchOutput {
     threads: usize,
     records: Vec<edge_bench::PipelineBenchRecord>,
     edge_speedup: edge_bench::EdgeSpeedup,
+    simd_vs_scalar: edge_bench::SimdKernelBench,
 }
 
 fn main() {
@@ -52,18 +55,27 @@ fn main() {
         );
     }
 
-    edge_obs::progress!("== EDGE dispatch speedup (serial / spawn / pool) ==");
+    edge_obs::progress!("== EDGE dispatch speedup (serial / spawn / pool / scalar) ==");
     let edge_speedup = run_edge_speedup(&dataset, &config.edge);
+
+    edge_obs::progress!("== SIMD vs scalar microkernels ==");
+    let simd_vs_scalar = run_simd_kernel_bench();
 
     let text = format!(
         "Pipeline bench ({size:?} scale): wall time + peak RSS per method\n{}\n\
-         EDGE training dispatch comparison\n{}\n{}",
+         EDGE training dispatch comparison\n{}\n{}\n{}",
         render_pipeline_table(&records),
         render_speedup_table(&edge_speedup),
+        render_simd_table(&simd_vs_scalar),
         edge_obs::metrics::snapshot().render()
     );
     print!("{text}");
-    let output = PipelineBenchOutput { threads: edge_par::num_threads(), records, edge_speedup };
+    let output = PipelineBenchOutput {
+        threads: edge_par::num_threads(),
+        records,
+        edge_speedup,
+        simd_vs_scalar,
+    };
     edge_bench::write_results("BENCH_pipeline", &output, &text).expect("write results");
     edge_obs::progress!("wrote results/BENCH_pipeline.{{json,txt}}");
 }

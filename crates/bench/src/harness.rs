@@ -336,7 +336,8 @@ pub struct SpeedupLeg {
 
 /// Before/after table for the training hot path: the same EDGE training run
 /// under serial (1 thread), legacy spawn-per-call dispatch, the fresh-alloc
-/// reference (no tape arena), and the persistent pool with arena reuse.
+/// reference (no tape arena), the persistent pool with arena reuse, and the
+/// pool with the SIMD kernels forced off.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdgeSpeedup {
     pub legs: Vec<SpeedupLeg>,
@@ -347,6 +348,15 @@ pub struct EdgeSpeedup {
     /// buys at identical thread count and dispatch mode.
     #[serde(default)]
     pub arena_speedup: f64,
+    /// `scalar-kernel train_secs / pooled train_secs` — what the AVX2
+    /// kernels buy end to end. ~1.0 when SIMD is unavailable or disabled.
+    #[serde(default)]
+    pub simd_speedup: f64,
+    /// Whether the AVX2 kernels were active for the non-scalar legs (false
+    /// under `EDGE_NO_SIMD` or on hardware without AVX2+FMA, in which case
+    /// the scalar leg is an exact replica of the pooled leg).
+    #[serde(default)]
+    pub simd_active: bool,
 }
 
 fn run_edge_leg(
@@ -373,30 +383,93 @@ fn run_edge_leg(
     }
 }
 
+/// Takes the per-leg minimum of two interleaved measurement rounds. The
+/// runs are deterministic, so accuracy and allocation counts must agree;
+/// only the timings are noise and the minimum is the robust estimator.
+fn merge_best(best: SpeedupLeg, next: SpeedupLeg) -> SpeedupLeg {
+    assert_eq!(best.label, next.label);
+    assert!(
+        best.mean_km.to_bits() == next.mean_km.to_bits(),
+        "{}: nondeterministic across rounds: {} vs {}",
+        best.label,
+        best.mean_km,
+        next.mean_km
+    );
+    SpeedupLeg {
+        wall_secs: best.wall_secs.min(next.wall_secs),
+        train_secs: best.train_secs.min(next.train_secs),
+        ..best
+    }
+}
+
 /// Measures the hot-path speedups on EDGE training: serial (pool clamped to
 /// 1 thread) vs spawn-per-call dispatch vs fresh allocation (arena disabled)
-/// vs the persistent pool with arena reuse, all at identical seeds. The
-/// kernels are bit-for-bit deterministic across thread counts and the arena
-/// is bit-for-bit invisible, so `mean_km` must match exactly across legs.
+/// vs the persistent pool with arena reuse vs the pool with scalar kernels
+/// forced, all at identical seeds.
+///
+/// The first four legs run the bit-for-bit deterministic kernels, so their
+/// `mean_km` must match exactly; the scalar-kernel leg swaps the geo vector
+/// polynomials for libm and may drift by < 1e-6 km (and is exact too when
+/// SIMD is off, since then it replicates the pooled leg).
+///
+/// Every leg is measured twice in interleaved rounds and the per-leg
+/// minimum is kept: a single-shot ratio of two multi-second runs on a busy
+/// CI host carries ±5% noise, which previously let `train_speedup` dip
+/// below 1.0 even though the pooled leg executes strictly less work.
 pub fn run_edge_speedup(dataset: &Dataset, config: &EdgeConfig) -> EdgeSpeedup {
     let opts = TrainOptions::default();
-    let serial =
-        edge_par::with_max_threads(1, || run_edge_leg(dataset, config, "serial (1 thread)", &opts));
-    let spawn = {
-        let prev = edge_par::dispatch_mode();
-        edge_par::set_dispatch_mode(edge_par::DispatchMode::Spawn);
-        let leg = run_edge_leg(dataset, config, "spawn-per-call", &opts);
-        edge_par::set_dispatch_mode(prev);
-        leg
-    };
-    let fresh = {
-        let fresh_opts = TrainOptions { fresh_alloc: true, ..TrainOptions::default() };
-        run_edge_leg(dataset, config, "fresh-alloc (no arena)", &fresh_opts)
-    };
-    let pooled = run_edge_leg(dataset, config, "persistent pool", &opts);
-    let train_speedup = serial.train_secs / pooled.train_secs.max(1e-9);
-    let arena_speedup = fresh.train_secs / pooled.train_secs.max(1e-9);
-    EdgeSpeedup { legs: vec![serial, spawn, fresh, pooled], train_speedup, arena_speedup }
+    let fresh_opts = TrainOptions { fresh_alloc: true, ..TrainOptions::default() };
+    type Leg<'a> = (&'static str, Box<dyn Fn(&str) -> SpeedupLeg + 'a>);
+    let legs_spec: Vec<Leg<'_>> = vec![
+        (
+            "serial (1 thread)",
+            Box::new(|l: &str| {
+                edge_par::with_max_threads(1, || run_edge_leg(dataset, config, l, &opts))
+            }),
+        ),
+        (
+            "spawn-per-call",
+            Box::new(|l: &str| {
+                let prev = edge_par::dispatch_mode();
+                edge_par::set_dispatch_mode(edge_par::DispatchMode::Spawn);
+                let leg = run_edge_leg(dataset, config, l, &opts);
+                edge_par::set_dispatch_mode(prev);
+                leg
+            }),
+        ),
+        (
+            "fresh-alloc (no arena)",
+            Box::new(|l: &str| run_edge_leg(dataset, config, l, &fresh_opts)),
+        ),
+        ("persistent pool", Box::new(|l: &str| run_edge_leg(dataset, config, l, &opts))),
+        (
+            "scalar kernels",
+            Box::new(|l: &str| {
+                edge_tensor::with_scalar_kernels(|| {
+                    edge_geo::with_scalar_kernels(|| run_edge_leg(dataset, config, l, &opts))
+                })
+            }),
+        ),
+    ];
+    let mut best: Vec<Option<SpeedupLeg>> = (0..legs_spec.len()).map(|_| None).collect();
+    for _round in 0..2 {
+        for (slot, (label, run)) in best.iter_mut().zip(&legs_spec) {
+            let leg = run(label);
+            *slot = Some(match slot.take() {
+                None => leg,
+                Some(prev) => merge_best(prev, leg),
+            });
+        }
+    }
+    let legs: Vec<SpeedupLeg> = best.into_iter().map(|l| l.expect("measured")).collect();
+    let pooled_secs = legs[3].train_secs.max(1e-9);
+    EdgeSpeedup {
+        train_speedup: legs[0].train_secs / pooled_secs,
+        arena_speedup: legs[2].train_secs / pooled_secs,
+        simd_speedup: legs[4].train_secs / pooled_secs,
+        simd_active: edge_tensor::simd_active(),
+        legs,
+    }
 }
 
 /// Renders the EDGE speedup comparison as aligned text.
@@ -415,6 +488,186 @@ pub fn render_speedup_table(s: &EdgeSpeedup) -> String {
     }
     out.push_str(&format!("train-loop speedup (serial / pooled): {:.2}x\n", s.train_speedup));
     out.push_str(&format!("arena speedup (fresh-alloc / pooled): {:.2}x\n", s.arena_speedup));
+    out.push_str(&format!(
+        "simd speedup (scalar kernels / pooled): {:.2}x (simd {})\n",
+        s.simd_speedup,
+        if s.simd_active { "on" } else { "off" }
+    ));
+    out
+}
+
+/// One microkernel's SIMD-vs-scalar throughput comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelLeg {
+    /// Throughput with the vector kernels active (equals `scalar` when SIMD
+    /// is unavailable or disabled).
+    pub simd: f64,
+    /// Throughput with the scalar reference kernels forced.
+    pub scalar: f64,
+    /// `simd / scalar`.
+    pub speedup: f64,
+}
+
+/// The `simd_vs_scalar` section of `BENCH_pipeline.json`: single-thread
+/// throughput of each vectorized microkernel against its scalar reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimdKernelBench {
+    /// False under `EDGE_NO_SIMD` or without AVX2+FMA; the CI speedup gates
+    /// only apply when true.
+    pub simd_active: bool,
+    /// Dense matmul GFLOP/s at (64×400)·(400×400) — the GCN-layer shape
+    /// class. Bit-for-bit deterministic, so no FMA: the port-limited ceiling
+    /// is ~2.3x the (SSE-autovectorized) scalar kernel, not the naive 8x.
+    pub matmul_gflops: KernelLeg,
+    /// Sparse×dense GFLOP/s at 1000×1000 (20k nnz) × 1000×256 — the
+    /// diffusion-operator shape class. Also bit-for-bit deterministic.
+    pub spmm_gflops: KernelLeg,
+    /// Batched haversine throughput, millions of pairs/s. Accuracy-gated
+    /// (vector polynomials vs libm), hence the larger headroom.
+    pub haversine_mpairs: KernelLeg,
+    /// Mixture-density evaluations (8 components), millions of pdf calls/s.
+    /// Accuracy-gated like the haversine.
+    pub mixture_pdf_meval: KernelLeg,
+}
+
+/// Runs `f` repeatedly for ~`budget` and returns the fastest per-iteration
+/// time in seconds — the minimum is the standard noise-robust estimator for
+/// a deterministic kernel.
+fn best_iter_secs(budget: std::time::Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches, scratch buffers, and the pack-buffer pool
+    let deadline = std::time::Instant::now() + budget;
+    let mut best = f64::INFINITY;
+    loop {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+        if std::time::Instant::now() >= deadline {
+            return best;
+        }
+    }
+}
+
+fn kernel_leg(work_per_iter: f64, mut run: impl FnMut()) -> KernelLeg {
+    const BUDGET: std::time::Duration = std::time::Duration::from_millis(200);
+    let simd_secs = best_iter_secs(BUDGET, &mut run);
+    let scalar_secs = edge_tensor::with_scalar_kernels(|| {
+        edge_geo::with_scalar_kernels(|| best_iter_secs(BUDGET, &mut run))
+    });
+    let simd = work_per_iter / simd_secs;
+    let scalar = work_per_iter / scalar_secs;
+    KernelLeg { simd, scalar, speedup: simd / scalar }
+}
+
+/// Measures the `simd_vs_scalar` microkernel section: every kernel pair runs
+/// single-threaded (the parallel dimension is covered by the speedup legs)
+/// over the same inputs, SIMD first, then under the scalar-kernel override.
+pub fn run_simd_kernel_bench() -> SimdKernelBench {
+    use edge_tensor::{CsrMatrix, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x51_3D);
+
+    edge_par::with_max_threads(1, || {
+        let (n, k, m) = (64, 400, 400);
+        let a = Matrix::random_uniform(n, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, m, 1.0, &mut rng);
+        let mut out = Matrix::zeros(n, m);
+        let matmul_gflops = kernel_leg(2.0 * (n * k * m) as f64 / 1e9, || {
+            a.matmul_into(&b, &mut out);
+        });
+
+        let (rows, cols, nnz, width) = (1000, 1000, 20_000, 256);
+        let triplets: Vec<(usize, usize, f32)> = (0..nnz)
+            .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen_range(-1.0f32..1.0)))
+            .collect();
+        let sparse = CsrMatrix::from_triplets(rows, cols, &triplets);
+        let dense = Matrix::random_uniform(cols, width, 1.0, &mut rng);
+        let mut sout = Matrix::zeros(rows, width);
+        let spmm_gflops = kernel_leg(2.0 * (sparse.nnz() * width) as f64 / 1e9, || {
+            sparse.matmul_dense_into(&dense, &mut sout);
+        });
+
+        let pairs: Vec<(edge_geo::Point, edge_geo::Point)> = (0..4096)
+            .map(|_| {
+                (
+                    edge_geo::Point::new(rng.gen_range(-80.0..80.0), rng.gen_range(-179.0..179.0)),
+                    edge_geo::Point::new(rng.gen_range(-80.0..80.0), rng.gen_range(-179.0..179.0)),
+                )
+            })
+            .collect();
+        let haversine_mpairs = kernel_leg(pairs.len() as f64 / 1e6, || {
+            std::hint::black_box(edge_geo::haversine_km_batch(&pairs));
+        });
+
+        let mix = edge_geo::GaussianMixture::new(
+            (0..8)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.1..1.0),
+                        edge_geo::BivariateGaussian::new(
+                            edge_geo::Point::new(
+                                rng.gen_range(40.0..41.0),
+                                rng.gen_range(-75.0..-74.0),
+                            ),
+                            rng.gen_range(0.01..0.2),
+                            rng.gen_range(0.01..0.2),
+                            rng.gen_range(-0.5..0.5),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let queries: Vec<edge_geo::Point> = (0..1024)
+            .map(|_| edge_geo::Point::new(rng.gen_range(40.0..41.0), rng.gen_range(-75.0..-74.0)))
+            .collect();
+        let mixture_pdf_meval = kernel_leg(queries.len() as f64 / 1e6, || {
+            // The mode search's density loop: the SoA evaluator when the
+            // vector kernels are active, the scalar pdf otherwise.
+            match edge_geo::simd::MixtureEval::new(&mix) {
+                Some(eval) => {
+                    for q in &queries {
+                        std::hint::black_box(eval.pdf(q));
+                    }
+                }
+                None => {
+                    for q in &queries {
+                        std::hint::black_box(mix.pdf(q));
+                    }
+                }
+            }
+        });
+
+        SimdKernelBench {
+            simd_active: edge_tensor::simd_active(),
+            matmul_gflops,
+            spmm_gflops,
+            haversine_mpairs,
+            mixture_pdf_meval,
+        }
+    })
+}
+
+/// Renders the SIMD microkernel comparison as aligned text.
+pub fn render_simd_table(s: &SimdKernelBench) -> String {
+    let mut out = format!(
+        "SIMD microkernels (single thread, simd {}):\n{:<28} {:>10} {:>10} {:>9}\n",
+        if s.simd_active { "on" } else { "off" },
+        "Kernel",
+        "SIMD",
+        "Scalar",
+        "Speedup"
+    );
+    for (name, leg) in [
+        ("matmul (GFLOP/s)", &s.matmul_gflops),
+        ("spmm (GFLOP/s)", &s.spmm_gflops),
+        ("haversine (Mpairs/s)", &s.haversine_mpairs),
+        ("mixture pdf (Meval/s)", &s.mixture_pdf_meval),
+    ] {
+        out.push_str(&format!(
+            "{:<28} {:>10.2} {:>10.2} {:>8.2}x\n",
+            name, leg.simd, leg.scalar, leg.speedup
+        ));
+    }
     out
 }
 

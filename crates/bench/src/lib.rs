@@ -9,7 +9,8 @@ pub mod harness;
 
 pub use harness::{
     average_reports, edge_rdp_sweep, method_names, parse_cli, peak_rss_bytes,
-    render_pipeline_table, render_speedup_table, render_table, run_edge, run_edge_speedup,
-    run_method, run_method_seeds, run_method_set, run_pipeline_bench, write_results, EdgeSpeedup,
-    HarnessConfig, MethodResult, MethodSet, PipelineBenchRecord, SpeedupLeg,
+    render_pipeline_table, render_simd_table, render_speedup_table, render_table, run_edge,
+    run_edge_speedup, run_method, run_method_seeds, run_method_set, run_pipeline_bench,
+    run_simd_kernel_bench, write_results, EdgeSpeedup, HarnessConfig, KernelLeg, MethodResult,
+    MethodSet, PipelineBenchRecord, SimdKernelBench, SpeedupLeg,
 };

@@ -67,9 +67,7 @@ pub(crate) fn infer_prediction(
             softmax_in_place(&mut scratch.weights); // Eq. 3
             let mut z = arena.take_matrix(1, h.cols());
             for (k, &w) in scratch.weights.iter().enumerate() {
-                for (zv, &hv) in z.row_mut(0).iter_mut().zip(h.row(k)) {
-                    *zv += w * hv; // Eq. 4
-                }
+                edge_tensor::axpy(w, h.row(k), z.row_mut(0)); // Eq. 4
             }
             (z, scratch.weights.clone())
         } else {

@@ -20,7 +20,10 @@
 //!   adaptive-bandwidth kernel density estimation,
 //! * [`metrics`] — Mean / Median / @3km / @5km and Radius Density
 //!   Precision, the evaluation metrics of Tables III–IV and Figure 5,
-//! * [`heatmap`] — density heatmaps for the Figure 1/8/9 use cases.
+//! * [`heatmap`] — density heatmaps for the Figure 1/8/9 use cases,
+//! * [`simd`] — runtime-detected AVX2+FMA kernels for batched haversine
+//!   and mixture-density evaluation, accuracy-gated against the scalar
+//!   paths (`EDGE_NO_SIMD` disables them).
 //!
 //! Everything is deterministic given an explicit seed; nothing here reads
 //! clocks or global RNG state.
@@ -35,6 +38,7 @@ pub mod mixture;
 pub mod partition;
 pub mod point;
 pub mod quadtree;
+pub mod simd;
 pub mod vmf;
 
 pub use bbox::BBox;
@@ -47,6 +51,7 @@ pub use mixture::GaussianMixture;
 pub use partition::Partition;
 pub use point::Point;
 pub use quadtree::Quadtree;
+pub use simd::{haversine_km_batch, simd_active, simd_available, with_scalar_kernels};
 pub use vmf::{MvMfMixture, VonMisesFisher};
 
 /// Mean Earth radius in kilometres (IUGG value), used by all haversine math.

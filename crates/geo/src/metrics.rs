@@ -42,7 +42,7 @@ impl DistanceReport {
         if pairs.is_empty() {
             return None;
         }
-        let mut errors: Vec<f64> = pairs.iter().map(|(p, t)| p.haversine_km(t)).collect();
+        let mut errors = crate::simd::haversine_km_batch(pairs);
         errors.sort_by(f64::total_cmp);
         let n = errors.len();
         let mean = errors.iter().sum::<f64>() / n as f64;
@@ -64,8 +64,8 @@ impl DistanceReport {
         if pairs.is_empty() {
             return 0.0;
         }
-        pairs.iter().filter(|(p, t)| p.haversine_km(t) <= radius_km).count() as f64
-            / pairs.len() as f64
+        let errors = crate::simd::haversine_km_batch(pairs);
+        errors.iter().filter(|&&e| e <= radius_km).count() as f64 / pairs.len() as f64
     }
 }
 

@@ -123,13 +123,32 @@ impl GaussianMixture {
     /// is robust to the wildly varying density magnitudes that degree-scale
     /// σ values produce.
     pub fn mode(&self) -> Point {
+        // With the AVX2 kernels active the search runs on a precomputed
+        // structure-of-arrays evaluator (accuracy-gated against the scalar
+        // path in `tests/simd_accuracy.rs`); otherwise on the exact scalar
+        // density and gradient below.
+        if let Some(eval) = crate::simd::MixtureEval::new(self) {
+            return self.mode_with(&|p| eval.pdf(p), &|p| eval.grad(p));
+        }
+        self.mode_with(&|p| self.pdf(p), &|p| {
+            let (mut g_lat, mut g_lon) = (0.0, 0.0);
+            for (w, comp) in self.iter() {
+                let (a, b) = comp.pdf_grad(p);
+                g_lat += w * a;
+                g_lon += w * b;
+            }
+            (g_lat, g_lon)
+        })
+    }
+
+    fn mode_with(&self, pdf: &dyn Fn(&Point) -> f64, grad: &dyn Fn(&Point) -> (f64, f64)) -> Point {
         let mut starts: Vec<Point> = self.components.iter().map(|g| g.mu).collect();
         starts.push(self.mean());
         let mut best = starts[0];
-        let mut best_density = self.pdf(&best);
+        let mut best_density = pdf(&best);
         for start in starts {
-            let refined = self.ascend(start);
-            let d = self.pdf(&refined);
+            let refined = self.ascend(start, pdf, grad);
+            let d = pdf(&refined);
             if d > best_density {
                 best_density = d;
                 best = refined;
@@ -138,7 +157,12 @@ impl GaussianMixture {
         best
     }
 
-    fn ascend(&self, mut p: Point) -> Point {
+    fn ascend(
+        &self,
+        mut p: Point,
+        pdf: &dyn Fn(&Point) -> f64,
+        grad: &dyn Fn(&Point) -> (f64, f64),
+    ) -> Point {
         // Scale the initial step to the smallest component σ so the search
         // resolves the sharpest mode.
         let min_sigma = self
@@ -147,20 +171,15 @@ impl GaussianMixture {
             .map(|g| g.sigma_lat.min(g.sigma_lon))
             .fold(f64::INFINITY, f64::min);
         let mut step = min_sigma * 0.5;
-        let mut density = self.pdf(&p);
+        let mut density = pdf(&p);
         for _ in 0..200 {
-            let (mut g_lat, mut g_lon) = (0.0, 0.0);
-            for (w, comp) in self.iter() {
-                let (a, b) = comp.pdf_grad(&p);
-                g_lat += w * a;
-                g_lon += w * b;
-            }
+            let (g_lat, g_lon) = grad(&p);
             let norm = (g_lat * g_lat + g_lon * g_lon).sqrt();
             if norm < 1e-300 || step < 1e-10 {
                 break;
             }
             let candidate = Point::new(p.lat + step * g_lat / norm, p.lon + step * g_lon / norm);
-            let cd = self.pdf(&candidate);
+            let cd = pdf(&candidate);
             if cd > density {
                 p = candidate;
                 density = cd;

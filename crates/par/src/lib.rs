@@ -366,6 +366,15 @@ thread_local! {
 /// propagate to the caller. Serial (inline) when `count <= 1` or the
 /// configured parallelism is 1.
 pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
+    parallel_for_grained(count, 1, task);
+}
+
+/// [`parallel_for`] with a floor on the claim grain: each atomic-cursor claim
+/// covers at least `min_grain` indices. Kernels whose per-index work is small
+/// relative to dispatch (the SIMD matmul tiles) raise it so cursor traffic
+/// stays amortized; the grain only changes how indices are *claimed*, never
+/// the per-index work, so results are unaffected.
+pub fn parallel_for_grained<F: Fn(usize) + Sync>(count: usize, min_grain: usize, task: F) {
     let width = num_threads().min(count);
     if width <= 1 {
         for i in 0..count {
@@ -386,7 +395,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(count: usize, task: F) {
     // the borrow's lifetime cannot outlive the closure.
     let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
     let task_ptr: *const (dyn Fn(usize) + Sync) = task_static;
-    let grain = count.div_ceil(width * OVERSUB).max(1);
+    let grain = count.div_ceil(width * OVERSUB).max(min_grain).max(1);
     let mut cached = JOB_CACHE.with(Cell::take);
     let reusable = cached.as_mut().and_then(Arc::get_mut);
     let job = if let Some(slot) = reusable {
@@ -433,6 +442,17 @@ pub fn parallel_for_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
     chunk_size: usize,
     task: F,
 ) {
+    parallel_for_chunks_mut_grained(data, chunk_size, 1, task);
+}
+
+/// [`parallel_for_chunks_mut`] with a floor on how many chunks one
+/// atomic-cursor claim covers (see [`parallel_for_grained`]).
+pub fn parallel_for_chunks_mut_grained<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk_size: usize,
+    min_grain: usize,
+    task: F,
+) {
     assert!(chunk_size > 0, "chunk_size must be positive");
     let len = data.len();
     if len == 0 {
@@ -449,7 +469,7 @@ pub fn parallel_for_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
     // disjoint capture would otherwise grab the bare `*mut T`, which is not
     // `Sync`.
     let base = &base;
-    parallel_for(count, |idx| {
+    parallel_for_grained(count, min_grain, |idx| {
         let lo = idx * chunk_size;
         let hi = (lo + chunk_size).min(len);
         // SAFETY: `base` points at `data`, which outlives this call because

@@ -18,7 +18,10 @@
 //!   training configuration),
 //! * [`init`] — Xavier/He initialization,
 //! * [`TapeArena`] — cross-batch buffer recycling so the steady-state train
-//!   loop performs zero heap allocations per batch.
+//!   loop performs zero heap allocations per batch,
+//! * [`simd`] — runtime-detected AVX2 microkernels for matmul and spmm that
+//!   are bit-for-bit identical to the scalar reference kernels (`EDGE_NO_SIMD`
+//!   falls back to pure scalar).
 //!
 //! The engine is deliberately rank-2 (every value is a matrix): all tensors
 //! in the EDGE model family are naturally matrices, and the restriction
@@ -29,11 +32,13 @@ pub mod init;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
+pub mod simd;
 pub mod sparse;
 pub mod tape;
 
 pub use arena::{ArenaStats, TapeArena};
 pub use matrix::{Matrix, PAR_THRESHOLD};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use simd::{axpy, simd_active, simd_available, with_scalar_kernels};
 pub use sparse::CsrMatrix;
 pub use tape::{NodeId, ParamId, ParamStore, Tape};

@@ -16,8 +16,23 @@ use serde::{Deserialize, Serialize};
 pub const PAR_THRESHOLD: usize = 32 * 1024;
 
 /// Output rows per [`Matrix::matmul`] register block: each streamed row of
-/// the right-hand operand is reused this many times before eviction.
-const MATMUL_ROW_BLOCK: usize = 4;
+/// the right-hand operand is reused this many times before eviction. Also the
+/// row height of the AVX2 register tile (`simd::TILE_ROWS`), so pool chunk
+/// boundaries and SIMD tile boundaries always coincide.
+pub(crate) const MATMUL_ROW_BLOCK: usize = 4;
+
+/// The dispatch threshold actually applied by [`Matrix::matmul`]: the AVX2
+/// kernels clear a given product ~4x faster than scalar, so the work size at
+/// which pool dispatch pays for itself rises by the same factor. Under
+/// `EDGE_NO_SIMD` this is exactly [`PAR_THRESHOLD`], keeping the scalar
+/// engine byte-identical to its pre-SIMD behavior.
+pub(crate) fn par_threshold() -> usize {
+    if crate::simd::simd_active() {
+        PAR_THRESHOLD * 4
+    } else {
+        PAR_THRESHOLD
+    }
+}
 
 /// Square tile side for the cache-blocked [`Matrix::transpose`].
 const TRANSPOSE_BLOCK: usize = 32;
@@ -200,6 +215,14 @@ impl Matrix {
         if out.data.is_empty() || k == 0 {
             return;
         }
+        let parallel = n * k * m >= par_threshold();
+        if crate::simd::matmul_into_simd(&self.data, &other.data, &mut out.data, n, k, m, parallel)
+        {
+            return;
+        }
+        // Scalar reference kernel (also the `EDGE_NO_SIMD` / narrow-output
+        // path — the SIMD kernel above is bit-for-bit identical to it).
+        //
         // Register-blocked ikj kernel: MATMUL_ROW_BLOCK rows of `out`
         // accumulate together, so each row of `other` streamed through the
         // vectorized inner j-loop is reused once per block row while hot in
@@ -223,7 +246,7 @@ impl Matrix {
                 }
             }
         };
-        if n * k * m >= PAR_THRESHOLD {
+        if parallel {
             // Chunk layout matches the serial path exactly, so partitioning
             // cannot change results. `edge_par` rather than the rayon shim:
             // the shim heap-allocates its chunk list per call even at one

@@ -142,6 +142,15 @@ impl CsrMatrix {
         self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
     }
 
+    /// The stored column indices and values of row `r` as parallel slices —
+    /// the raw form of [`CsrMatrix::row_entries`] the SIMD gather kernel
+    /// consumes.
+    fn row_slices(&self, r: usize) -> (&[usize], &[f32]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
     /// Reads entry `(r, c)` (zero when not stored). Binary search over the
     /// row's sorted column indices.
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -222,15 +231,25 @@ impl CsrMatrix {
         if m == 0 {
             return;
         }
+        // Kernel choice is captured here, on the submitting thread, so a
+        // `with_scalar_kernels` override governs the whole parallel region.
+        let use_simd = crate::simd::spmm_simd_active(m);
         // One chunk per output row, exactly as the rayon-shim path chunked it
         // (`par_chunks_mut(m)`), so partitioning cannot change results. The
         // `edge_par` entry point performs no heap allocation on the serial
         // path, keeping the train loop allocation-free at one thread.
         edge_par::parallel_for_chunks_mut(out.data_mut(), m, |r, out_row| {
-            for (c, v) in self.row_entries(r) {
-                let src = dense.row(c);
-                for (o, &x) in out_row.iter_mut().zip(src) {
-                    *o += v * x;
+            if use_simd {
+                let (cols, vals) = self.row_slices(r);
+                // SAFETY: `use_simd` captured a true `spmm_simd_active` above,
+                // so AVX2 is available; `cols` indexes rows of `dense`.
+                unsafe { crate::simd::spmm_row_simd(cols, vals, dense.data(), m, out_row) };
+            } else {
+                for (c, v) in self.row_entries(r) {
+                    let src = dense.row(c);
+                    for (o, &x) in out_row.iter_mut().zip(src) {
+                        *o += v * x;
+                    }
                 }
             }
         });

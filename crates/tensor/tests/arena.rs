@@ -117,36 +117,59 @@ fn assert_bitwise_eq(label: &str, a: &[(ParamId, Matrix)], b: &[(ParamId, Matrix
 #[test]
 fn arena_tapes_match_fresh_tapes_bitwise_across_threads() {
     let s = setup();
-    for threads in THREAD_SWEEP {
-        edge_par::with_max_threads(threads, || {
-            let mut arena = TapeArena::new();
-            for batch in 0..s.batches.len() {
-                let (fresh_loss, fresh_grads, _) = run_batch(&s, Tape::new(), batch);
-                let (pool_loss, pool_grads, back) =
-                    run_batch(&s, Tape::with_arena(std::mem::take(&mut arena)), batch);
-                assert!(
-                    fresh_loss.to_bits() == pool_loss.to_bits(),
-                    "loss diverges at batch {batch} with {threads} threads"
-                );
-                assert_bitwise_eq(
-                    &format!("batch {batch} @ {threads} threads"),
-                    &fresh_grads,
-                    &pool_grads,
-                );
-                // Recycle the arena-path gradients like the train loop does.
-                arena = back;
-                for (_, g) in pool_grads {
-                    arena.recycle(g);
-                }
+    // The scalar single-thread fresh-tape run anchors the whole sweep: every
+    // (threads × kernels × fresh/arena) combination must reproduce it bit
+    // for bit, which is exactly the training determinism contract.
+    let reference: Vec<(f32, Vec<(ParamId, Matrix)>)> = edge_tensor::with_scalar_kernels(|| {
+        edge_par::with_max_threads(1, || {
+            (0..s.batches.len())
+                .map(|batch| {
+                    let (loss, grads, _) = run_batch(&s, Tape::new(), batch);
+                    (loss, grads)
+                })
+                .collect()
+        })
+    });
+    for simd in [false, true] {
+        for threads in THREAD_SWEEP {
+            let body = || {
+                edge_par::with_max_threads(threads, || {
+                    let mut arena = TapeArena::new();
+                    for (batch, (ref_loss, ref_grads)) in reference.iter().enumerate() {
+                        let tag = format!("batch {batch} @ {threads} threads, simd={simd}");
+                        let (fresh_loss, fresh_grads, _) = run_batch(&s, Tape::new(), batch);
+                        let (pool_loss, pool_grads, back) =
+                            run_batch(&s, Tape::with_arena(std::mem::take(&mut arena)), batch);
+                        assert!(
+                            fresh_loss.to_bits() == pool_loss.to_bits()
+                                && fresh_loss.to_bits() == ref_loss.to_bits(),
+                            "loss diverges at {tag}"
+                        );
+                        assert_bitwise_eq(&tag, &fresh_grads, &pool_grads);
+                        assert_bitwise_eq(&tag, ref_grads, &pool_grads);
+                        // Recycle the arena-path gradients like the train
+                        // loop does.
+                        arena = back;
+                        for (_, g) in pool_grads {
+                            arena.recycle(g);
+                        }
+                    }
+                    // The steady state actually recycles: after six batches
+                    // the pools must have served far more buffers than they
+                    // allocated fresh.
+                    let stats = arena.stats();
+                    assert!(
+                        stats.reused > stats.fresh,
+                        "arena never warmed up: {stats:?} @ {threads} threads"
+                    );
+                });
+            };
+            if simd {
+                body();
+            } else {
+                edge_tensor::with_scalar_kernels(body);
             }
-            // The steady state actually recycles: after six batches the pools
-            // must have served far more buffers than they allocated fresh.
-            let stats = arena.stats();
-            assert!(
-                stats.reused > stats.fresh,
-                "arena never warmed up: {stats:?} @ {threads} threads"
-            );
-        });
+        }
     }
 }
 

@@ -1,10 +1,14 @@
 //! Parallel-correctness properties: the pooled kernels must produce results
-//! **bit-for-bit identical** to the serial path at every thread count. The
-//! kernels guarantee this by parallelizing only across output rows (each row
-//! accumulates in a fixed order), so the sweep below — `EDGE_NUM_THREADS` ∈
-//! {1, 2, 8}, installed per-thread via `edge_par::with_max_threads` since the
-//! environment variable is read once per process — is a real invariant, not
-//! a tolerance check.
+//! **bit-for-bit identical** to the serial path at every thread count, and
+//! the AVX2 kernels must be bit-for-bit identical to the scalar reference.
+//! The kernels guarantee this by parallelizing only across output rows and
+//! accumulating every output element in the same (ascending-k / ascending-
+//! entry) order with unfused mul + add, so the sweep below — threads ∈
+//! {1, 2, 8} × kernels ∈ {simd, scalar}, installed per-thread via
+//! `edge_par::with_max_threads` / `edge_tensor::with_scalar_kernels` since
+//! the corresponding environment variables are read once per process — is a
+//! real invariant, not a tolerance check. (On hardware without AVX2 the simd
+//! arm silently runs scalar and the sweep still passes.)
 
 use edge_tensor::{CsrMatrix, Matrix};
 use rand::rngs::StdRng;
@@ -26,18 +30,26 @@ fn random_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
     CsrMatrix::from_triplets(rows, cols, &triplets)
 }
 
-/// Runs `f` under every swept thread count and asserts all results equal the
-/// single-threaded one, bit for bit.
+/// Runs `f` under every (thread count × simd on/off) combination and asserts
+/// all results equal the scalar single-threaded reference, bit for bit.
 fn assert_thread_invariant(label: &str, f: impl Fn() -> Matrix) {
-    let serial = edge_par::with_max_threads(1, &f);
-    for threads in THREAD_SWEEP {
-        let parallel = edge_par::with_max_threads(threads, &f);
-        assert_eq!(serial.shape(), parallel.shape(), "{label} shape @ {threads} threads");
-        for (i, (a, b)) in serial.data().iter().zip(parallel.data()).enumerate() {
-            assert!(
-                a.to_bits() == b.to_bits(),
-                "{label} diverges at entry {i} with {threads} threads: {a} vs {b}"
+    let reference = edge_tensor::with_scalar_kernels(|| edge_par::with_max_threads(1, &f));
+    for simd in [false, true] {
+        for threads in THREAD_SWEEP {
+            let run = || edge_par::with_max_threads(threads, &f);
+            let result = if simd { run() } else { edge_tensor::with_scalar_kernels(run) };
+            assert_eq!(
+                reference.shape(),
+                result.shape(),
+                "{label} shape @ {threads} threads, simd={simd}"
             );
+            for (i, (a, b)) in reference.data().iter().zip(result.data()).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{label} diverges at entry {i} with {threads} threads, \
+                     simd={simd}: {a} vs {b}"
+                );
+            }
         }
     }
 }
@@ -108,6 +120,82 @@ fn nested_parallel_kernels_do_not_deadlock_and_stay_deterministic() {
         let got = slot.into_inner().unwrap().expect("inner kernel ran");
         for (x, y) in expected.data().iter().zip(got.data()) {
             assert!(x.to_bits() == y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn matmul_simd_tail_shapes_match_scalar_bitwise() {
+    // Widths straddling the 16-column tile (masked/zero-padded tails), row
+    // counts straddling the 4-row block, and a single-row product that takes
+    // the unpacked strided path — every tail case of the AVX2 kernel.
+    for (n, k, m) in
+        [(1, 64, 48), (3, 33, 17), (5, 40, 16), (8, 21, 9), (13, 29, 31), (64, 50, 100)]
+    {
+        let a = random_dense(n, k, 100 + (n * k) as u64);
+        let b = random_dense(k, m, 200 + (k * m) as u64);
+        assert_thread_invariant(&format!("matmul {n}x{k}x{m}"), || a.matmul(&b));
+    }
+}
+
+#[test]
+fn matmul_simd_replicates_the_zero_skip_bitwise() {
+    // The scalar kernel skips `a == 0.0` entries; `-0.0` accumulators make
+    // skip-vs-add observable (`-0.0 + 0.0 == 0.0`), so the SIMD kernel must
+    // replicate the skip exactly.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut a = Matrix::zeros(12, 40);
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let v = match rng.gen_range(0..4) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.gen_range(-1.0..1.0),
+            };
+            a.set(r, c, v);
+        }
+    }
+    let mut b = random_dense(40, 24, 12);
+    for c in 0..b.cols() {
+        b.set(0, c, -0.0);
+    }
+    assert_thread_invariant("matmul zero-skip", || a.matmul(&b));
+}
+
+#[test]
+fn spmm_simd_tail_widths_match_scalar_bitwise() {
+    // Dense widths exercising the 32-strip, 8-strip, and scalar-tail loops
+    // of the SIMD gather (and, below 8, the scalar fallback gate).
+    let s = random_csr(60, 45, 500, 21);
+    for m in [5, 8, 9, 24, 33, 40, 64] {
+        let x = random_dense(45, m, 300 + m as u64);
+        assert_thread_invariant(&format!("spmm width {m}"), || s.matmul_dense(&x));
+        let g = random_dense(60, m, 400 + m as u64);
+        assert_thread_invariant(&format!("spmm^T width {m}"), || s.transpose_matmul_dense(&g));
+    }
+}
+
+#[test]
+fn axpy_simd_matches_scalar_bitwise() {
+    // Lengths exercising the 8-lane strips, the scalar tail, and the
+    // below-8 scalar gate; alpha including the zero and -0.0 edge cases.
+    let mut rng = StdRng::seed_from_u64(31);
+    for len in [1, 7, 8, 9, 24, 31, 257] {
+        for alpha in [0.0f32, -0.0, 0.37, -2.5] {
+            let x: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let base: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut reference = base.clone();
+            for (yv, &xv) in reference.iter_mut().zip(&x) {
+                *yv += alpha * xv;
+            }
+            let mut simd = base.clone();
+            edge_tensor::axpy(alpha, &x, &mut simd);
+            let mut scalar = base.clone();
+            edge_tensor::with_scalar_kernels(|| edge_tensor::axpy(alpha, &x, &mut scalar));
+            for i in 0..len {
+                assert_eq!(reference[i].to_bits(), simd[i].to_bits(), "simd len {len} @ {i}");
+                assert_eq!(reference[i].to_bits(), scalar[i].to_bits(), "scalar len {len} @ {i}");
+            }
         }
     }
 }
