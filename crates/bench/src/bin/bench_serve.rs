@@ -20,9 +20,12 @@
 //! record per leg (throughput, p50/p95/p99 request latency, cache hit
 //! rate, and the server-side per-stage latency decomposition medians
 //! from the request ring) plus `speedup_batched_vs_unbatched` (warm
-//! pair), `cold_speedup_batched_vs_unbatched` (cold pair), and
+//! pair), `cold_speedup_batched_vs_unbatched` (cold pair),
 //! `obs_overhead` — the warm batched throughput with the metrics layer
-//! on vs off (interleaved reps, best of 5 each), which CI gates at <= 2%.
+//! on vs off (interleaved reps, best of 5 each), which CI gates at <= 2%
+//! — and `robustness_overhead`, the same comparison with the robustness
+//! layer (deadline propagation, socket read/write budgets, brownout
+//! controller) on vs off, gated at the same <= 2%.
 
 use std::time::Instant;
 
@@ -72,6 +75,18 @@ struct ObsOverhead {
     overhead_frac: f64,
 }
 
+/// The warm batched leg rerun with the robustness layer (deadline
+/// propagation, read/write budgets, brownout controller) on vs off.
+#[derive(Serialize)]
+struct RobustnessOverhead {
+    enabled_texts_per_sec: f64,
+    disabled_texts_per_sec: f64,
+    /// `max(0, 1 - enabled/disabled)` — what deadline checks, socket
+    /// budgets, and controller ticks cost on the healthy warm batched
+    /// path. CI gates this at <= 0.02.
+    overhead_frac: f64,
+}
+
 #[derive(Serialize)]
 struct ServeBenchOutput {
     threads: usize,
@@ -84,6 +99,7 @@ struct ServeBenchOutput {
     /// The same ratio with the response cache disabled in both legs.
     cold_speedup_batched_vs_unbatched: f64,
     obs_overhead: ObsOverhead,
+    robustness_overhead: RobustnessOverhead,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -312,14 +328,53 @@ fn main() {
         obs_off
     );
 
+    // Robustness overhead: the warm batched leg with the robustness layer
+    // on (server defaults: deadline budget armed, read/write socket
+    // budgets, brownout controller ticking) vs off (all three disabled).
+    // Same interleaved best-of discipline as the obs comparison. These
+    // legs are measured but deliberately NOT appended to `legs`, whose
+    // membership CI asserts exactly.
+    let robust_rep = |enabled: bool| {
+        let name = if enabled { "robust-on" } else { "robust-off" };
+        let config = if enabled {
+            warm(BATCH)
+        } else {
+            ServeConfig {
+                default_deadline_us: 0,
+                read_budget_us: 0,
+                write_timeout_us: 0,
+                brownout_enabled: false,
+                ..warm(BATCH)
+            }
+        };
+        run_leg(name, &model_path, config, &pool, BATCH, 300, pool.len() / BATCH + 5).texts_per_sec
+    };
+    let (mut robust_on, mut robust_off) = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        robust_on = robust_on.max(robust_rep(true));
+        robust_off = robust_off.max(robust_rep(false));
+    }
+    let robustness_overhead = RobustnessOverhead {
+        enabled_texts_per_sec: robust_on,
+        disabled_texts_per_sec: robust_off,
+        overhead_frac: (1.0 - robust_on / robust_off).max(0.0),
+    };
+    edge_obs::progress!(
+        "   robust overhead {:>9.2}% (on {:.0} vs off {:.0} texts/sec)",
+        robustness_overhead.overhead_frac * 100.0,
+        robust_on,
+        robust_off
+    );
+
     let speedup = batched.texts_per_sec / unbatched.texts_per_sec;
     let cold_speedup = batched_cold.texts_per_sec / unbatched_cold.texts_per_sec;
     let legs = vec![unbatched, batched, unbatched_cold, batched_cold];
     let text = format!(
-        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}{}\nobs overhead (warm batched, metrics on vs off): {:.2}%\n",
+        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}{}\nobs overhead (warm batched, metrics on vs off): {:.2}%\nrobustness overhead (warm batched, deadlines+budgets+brownout on vs off): {:.2}%\n",
         render_table(&legs, speedup),
         render_stage_table(&legs),
-        obs_overhead.overhead_frac * 100.0
+        obs_overhead.overhead_frac * 100.0,
+        robustness_overhead.overhead_frac * 100.0
     );
     print!("{text}");
     let output = ServeBenchOutput {
@@ -330,6 +385,7 @@ fn main() {
         speedup_batched_vs_unbatched: speedup,
         cold_speedup_batched_vs_unbatched: cold_speedup,
         obs_overhead,
+        robustness_overhead,
     };
     edge_bench::write_results("BENCH_serve", &output, &text).expect("write results");
     std::fs::remove_file(&model_path).ok();

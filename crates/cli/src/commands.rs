@@ -74,10 +74,24 @@ COMMANDS:
                  --ring-capacity <n>                 (request ring size; default 1024)
                  --slow-request-us <n>               (log requests slower than this
                                                       as JSONL on stderr; 0 = off)
+                 --default-deadline-us <n>           (deadline for requests without
+                                                      X-Deadline-Us; 0 = unbounded;
+                                                      default 30000000)
+                 --max-body-bytes <n>                (413 beyond this; default 1048576)
+                 --brownout-p99-us <n>               (latency target driving brownout
+                                                      escalation; default 100000)
+                 --no-brownout                       (disable the degradation ladder)
+                 --reload-breaker-threshold <n>      (consecutive /reload failures
+                                                      before the breaker opens;
+                                                      0 = off; default 3)
+                 --reload-breaker-cooldown-secs <n>  (open-breaker cooldown; default 10)
     top        live dashboard for a running server (polls /metrics)
                  --addr <host:port>                  (default 127.0.0.1:7878)
                  --interval-ms <n>                   (poll interval; default 1000)
                  --iters <n>                         (rows to print; 0 = forever)
+                 --max-errors <n>                    (exit non-zero after this many
+                                                      consecutive failed polls;
+                                                      default 5)
     fsck       verify an artifact (model or checkpoint) without loading it
                  <path>                              (positional, required)
     profile    train under full tracing and print a self-time profile table
@@ -91,7 +105,7 @@ COMMANDS:
 ";
 
 /// Flags that take no value; present maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior", "fresh-alloc"];
+const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior", "fresh-alloc", "no-brownout"];
 
 /// Parses `--key value` pairs plus the valueless [`BOOL_FLAGS`].
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -507,6 +521,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     numeric(&flags, "slo-window-secs", &mut config.slo_window_secs)?;
     numeric(&flags, "ring-capacity", &mut config.ring_capacity)?;
     numeric(&flags, "slow-request-us", &mut config.slow_request_us)?;
+    numeric(&flags, "default-deadline-us", &mut config.default_deadline_us)?;
+    numeric(&flags, "max-body-bytes", &mut config.max_body_bytes)?;
+    numeric(&flags, "brownout-p99-us", &mut config.brownout_p99_us)?;
+    numeric(&flags, "reload-breaker-threshold", &mut config.reload_breaker_threshold)?;
+    numeric(&flags, "reload-breaker-cooldown-secs", &mut config.reload_breaker_cooldown_secs)?;
+    config.brownout_enabled = !flags.contains_key("no-brownout");
     config.fallback_prior = flags.contains_key("fallback-prior");
 
     let server = edge_serve::Server::start_from_artifact(model, config)?;
@@ -522,6 +542,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 /// `edge-cli top`: polls a running server's `/metrics` and prints one
 /// rate/latency/SLO row per interval — a terminal dashboard for the serve
 /// pipeline. `--iters 1` doubles as a CI check that the exposition parses.
+/// Transient poll failures reconnect and keep going; `--max-errors`
+/// consecutive failures exit non-zero so a supervisor notices a server
+/// that is actually gone, not just restarting.
 pub fn top(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
@@ -535,6 +558,10 @@ pub fn top(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --interval-ms '{v}'"))?,
         None => 1_000,
     };
+    let max_errors: u32 = match flags.get("max-errors") {
+        Some(v) => v.parse().map_err(|_| format!("bad --max-errors '{v}'"))?,
+        None => 5,
+    };
     let mut client =
         edge_serve::Client::connect(sock).map_err(|e| format!("connect {addr}: {e}"))?;
 
@@ -544,14 +571,41 @@ pub fn top(args: &[String]) -> Result<(), String> {
     );
     let mut prev: Option<(std::time::Instant, f64, f64, f64, f64)> = None;
     let mut i = 0u64;
+    let mut consecutive_errors = 0u32;
     loop {
-        let resp =
-            client.request("GET", "/metrics", b"").map_err(|e| format!("GET /metrics: {e}"))?;
-        if resp.status != 200 {
-            return Err(format!("GET /metrics returned {}", resp.status));
-        }
-        let scrape = edge_obs::openmetrics::parse(resp.text())
-            .map_err(|e| format!("/metrics is not valid OpenMetrics: {e}"))?;
+        let polled = client
+            .request("GET", "/metrics", b"")
+            .map_err(|e| format!("GET /metrics: {e}"))
+            .and_then(|resp| {
+                if resp.status != 200 {
+                    return Err(format!("GET /metrics returned {}", resp.status));
+                }
+                edge_obs::openmetrics::parse(resp.text())
+                    .map_err(|e| format!("/metrics is not valid OpenMetrics: {e}"))
+            });
+        let scrape = match polled {
+            Ok(scrape) => {
+                consecutive_errors = 0;
+                scrape
+            }
+            Err(msg) => {
+                consecutive_errors += 1;
+                if max_errors > 0 && consecutive_errors >= max_errors {
+                    return Err(format!(
+                        "{msg} ({consecutive_errors} consecutive failed polls; giving up)"
+                    ));
+                }
+                edge_obs::progress!(
+                    "edge-cli top: {msg} (retry {consecutive_errors}/{max_errors})"
+                );
+                // The old connection may be torn mid-frame; redial it.
+                if let Ok(fresh) = edge_serve::Client::connect(sock) {
+                    client = fresh;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                continue;
+            }
+        };
         let now = std::time::Instant::now();
         let val = |name: &str| scrape.value(name, &[]).unwrap_or(0.0);
         let requests = val("serve_requests_total");
@@ -730,6 +784,22 @@ mod tests {
         bad.push("--resume");
         assert!(train(&strs(&bad)).unwrap_err().contains("--checkpoint-dir"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_gives_up_after_consecutive_failures() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept-and-drop server: every poll sees a torn connection, so
+        // `top` reconnects, retries, and finally exits non-zero.
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                drop(stream);
+            }
+        });
+        let err =
+            top(&strs(&["--addr", &addr, "--interval-ms", "5", "--max-errors", "3"])).unwrap_err();
+        assert!(err.contains("consecutive"), "{err}");
     }
 
     #[test]

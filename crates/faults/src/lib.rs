@@ -14,9 +14,10 @@
 //! Inactive failpoints cost one relaxed atomic load and a branch — the same
 //! disabled-path discipline as `edge-obs` (measured by the `faults_overhead`
 //! criterion bench). When activated, a failpoint performs a configured
-//! [`Action`]: return an injected I/O error, truncate a write, panic, or
-//! abort the whole process — the crash/corruption repertoire the
-//! fault-injection test suite drives.
+//! [`Action`]: return an injected I/O error, truncate a write, stall the
+//! thread (`sleep(250)` — wedged-worker simulation), panic, or abort the
+//! whole process — the crash/corruption repertoire the fault-injection test
+//! suite drives.
 //!
 //! Activation is either programmatic ([`configure`], usually through a
 //! [`FailScenario`] in tests) or via the `EDGE_FAILPOINTS` environment
@@ -62,6 +63,10 @@ pub enum Action {
     /// For write sites: persist only the first `n` bytes, then fail — a
     /// torn-write simulation.
     Partial(usize),
+    /// Stall the calling thread for `n` milliseconds, then continue
+    /// normally — a wedged-worker / slow-dependency simulation. The sleep
+    /// happens inside [`eval`]; `check` still returns `Ok`.
+    Sleep(u64),
 }
 
 /// One term of a spec chain: an action that fires at most `remaining` times
@@ -133,8 +138,18 @@ fn parse_term(term: &str) -> Result<Term, String> {
                 .map_err(|_| format!("bad partial byte count '{arg}' in '{term}'"))?;
             Action::Partial(n)
         }
+        "sleep" | "delay" => {
+            let arg = arg.ok_or_else(|| format!("sleep needs milliseconds in '{term}'"))?;
+            let ms = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad sleep duration '{arg}' in '{term}'"))?;
+            Action::Sleep(ms)
+        }
         other => {
-            return Err(format!("unknown failpoint action '{other}' (off|err|panic|abort|partial)"))
+            return Err(format!(
+                "unknown failpoint action '{other}' (off|err|panic|abort|partial|sleep)"
+            ))
         }
     };
     Ok(Term { remaining, action })
@@ -235,6 +250,12 @@ pub fn eval(name: &str) -> Option<Action> {
         Action::Abort => {
             eprintln!("failpoint '{name}': aborting process");
             std::process::abort();
+        }
+        Action::Sleep(ms) => {
+            // The stall executes here so every hook style (check / fired /
+            // eval) pays it; callers then proceed normally.
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Some(Action::Sleep(ms))
         }
         other => Some(other),
     }
@@ -354,6 +375,19 @@ mod tests {
         let _s = FailScenario::setup();
         configure("t.partial", "partial(17)").unwrap();
         assert_eq!(eval("t.partial"), Some(Action::Partial(17)));
+    }
+
+    #[test]
+    fn sleep_action_stalls_then_continues() {
+        let _s = FailScenario::setup();
+        configure("t.sleep", "sleep(30)").unwrap();
+        let start = std::time::Instant::now();
+        // check() must sleep but still succeed: the caller continues.
+        assert!(check("t.sleep").is_ok());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(25), "{:?}", start.elapsed());
+        assert!(!fired("t.sleep"), "sleep is not an err-style firing");
+        assert!(apply_config_string("a=sleep").is_err(), "sleep needs a duration");
+        assert!(apply_config_string("a=delay(5)").is_ok(), "delay is an alias");
     }
 
     #[test]

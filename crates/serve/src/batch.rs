@@ -17,7 +17,8 @@ use edge_core::{PredictOptions, PredictRequest, Predictor};
 use edge_obs::trace;
 
 use crate::cache::{CacheKey, ResponseCache};
-use crate::json::{render_error, render_response};
+use crate::deadline::Deadline;
+use crate::json::{render_deadline_error, render_error, render_response};
 use crate::slot::ModelSlot;
 
 /// One text admitted to the queue.
@@ -44,6 +45,10 @@ pub struct Job {
     /// Per-request stage accumulators, read by the handler after its
     /// [`Pending`] resolves.
     pub stages: Arc<StageCells>,
+    /// The originating request's deadline budget. Expired jobs are
+    /// evicted from the queue (and skipped at dispatch) with a typed
+    /// `deadline_exceeded` fragment instead of burning model time.
+    pub deadline: Deadline,
 }
 
 /// Stage wall-micros for one request, written scheduler/worker-side and
@@ -150,6 +155,46 @@ impl BatchQueue {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Evicts every queued job whose deadline has passed, fulfilling it
+    /// with the typed `deadline_exceeded` fragment so its handler answers
+    /// 504 immediately instead of waiting for a batch that would be
+    /// wasted work. The `serve.queue.expire` failpoint (err action)
+    /// force-expires everything queued — the deterministic handle the
+    /// fault suite uses to cover this path. Returns the eviction count.
+    pub fn evict_expired(&self) -> usize {
+        let force = edge_faults::enabled() && edge_faults::fired("serve.queue.expire");
+        let evicted: Vec<Job> = {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if q.is_empty() {
+                return 0;
+            }
+            let mut kept = VecDeque::with_capacity(q.len());
+            let mut evicted = Vec::new();
+            for job in q.drain(..) {
+                if force || job.deadline.expired() {
+                    evicted.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            *q = kept;
+            if !evicted.is_empty() {
+                edge_obs::gauge!("serve.queue.depth").set(q.len() as f64);
+            }
+            evicted
+            // Lock dropped before fulfill wakes the waiting handlers.
+        };
+        let n = evicted.len();
+        if n > 0 {
+            edge_obs::counter!("serve.queue.evicted").inc(n as u64);
+            let fragment = Arc::new(render_deadline_error());
+            for job in evicted {
+                job.pending.fulfill(job.index, Arc::clone(&fragment));
+            }
+        }
+        n
+    }
+
     /// Waits briefly for a first job, then keeps the batch open until it
     /// holds `max_batch` jobs or `max_delay` elapsed since the first
     /// arrival. Returns an empty batch when nothing arrived within the
@@ -203,14 +248,21 @@ pub fn run_scheduler(
     max_batch: usize,
     max_delay: Duration,
     shutdown: impl Fn() -> bool,
+    tick: impl Fn(),
 ) {
     loop {
         // Test hook: hold the scheduler while a failpoint has hits left —
         // before popping, so the queue-overflow suite can fill the queue
-        // deterministically and watch submissions shed.
+        // deterministically and watch submissions shed. Expired jobs are
+        // still evicted (and the brownout controller still ticks) while
+        // held: a wedged dispatch path must not pin doomed requests.
         while edge_faults::enabled() && edge_faults::fired("serve.dispatch.hold") {
+            queue.evict_expired();
+            tick();
             std::thread::sleep(Duration::from_millis(1));
         }
+        queue.evict_expired();
+        tick();
         let Some(batch) = queue.pop_batch(max_batch, max_delay, &shutdown) else { return };
         if batch.is_empty() {
             continue;
@@ -260,6 +312,18 @@ fn dispatch(batch: &[Job], slot: &ModelSlot, cache: &ResponseCache) {
     edge_par::parallel_for(batch.len(), |i| {
         let job = &batch[i];
         let _adopt = trace::adopt(job.ctx);
+        // Injected worker stall (`sleep(ms)` action) — the wedged-worker
+        // simulation the chaos harness drives. Placed before the expiry
+        // check so a stalled worker plus a tight budget yields a typed
+        // 504, never a silently late answer.
+        if edge_faults::enabled() {
+            let _ = edge_faults::eval("serve.worker.stall");
+        }
+        if job.deadline.expired() {
+            edge_obs::counter!("serve.deadline.expired").inc(1);
+            job.pending.fulfill(job.index, Arc::new(render_deadline_error()));
+            return;
+        }
         let inference_started = Instant::now();
         let _inf = edge_obs::span("serve.stage.inference");
         let opts = PredictOptions::default().with_fallback_prior(job.fallback);
@@ -302,6 +366,10 @@ mod tests {
     }
 
     fn job(pending: &Arc<Pending>, index: usize) -> Job {
+        job_with_deadline(pending, index, Deadline::none())
+    }
+
+    fn job_with_deadline(pending: &Arc<Pending>, index: usize, deadline: Deadline) -> Job {
         Job {
             entities: vec![],
             generation: 1,
@@ -312,6 +380,7 @@ mod tests {
             ctx: trace::SpanContext::default(),
             submitted: Instant::now(),
             stages: Arc::new(StageCells::default()),
+            deadline,
         }
     }
 
@@ -341,6 +410,47 @@ mod tests {
         let batch = q.pop_batch(4, Duration::from_secs(5), &shutdown).unwrap();
         assert_eq!(batch.len(), 4, "full batch flushes immediately");
         assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn expired_jobs_are_evicted_with_a_typed_fragment() {
+        let q = BatchQueue::new(16);
+        let p = Arc::new(Pending::new(2));
+        q.try_submit(vec![
+            job_with_deadline(&p, 0, Deadline::after_us(1)),
+            job_with_deadline(&p, 1, Deadline::none()),
+        ]);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(q.evict_expired(), 1, "only the expired job goes");
+        assert_eq!(q.depth(), 1, "the unbounded job stays queued");
+        // The evicted slot resolved to the deadline fragment; fulfill the
+        // survivor so wait() returns.
+        p.fulfill(1, Arc::new(b"ok".to_vec()));
+        let got = p.wait(Duration::from_secs(1)).unwrap();
+        assert!(
+            std::str::from_utf8(&got[0]).unwrap().contains("deadline_exceeded"),
+            "{:?}",
+            std::str::from_utf8(&got[0])
+        );
+        assert_eq!(&*got[1], b"ok");
+    }
+
+    #[test]
+    fn expire_failpoint_force_evicts_everything() {
+        let _s = edge_faults::FailScenario::setup();
+        edge_faults::configure("serve.queue.expire", "1*err").unwrap();
+        let q = BatchQueue::new(16);
+        let p = Arc::new(Pending::new(2));
+        q.try_submit(vec![job(&p, 0), job(&p, 1)]);
+        assert_eq!(q.evict_expired(), 2, "failpoint expires unbounded jobs too");
+        assert_eq!(q.depth(), 0);
+        let got = p.wait(Duration::from_secs(1)).unwrap();
+        for frag in &got {
+            assert!(std::str::from_utf8(frag).unwrap().contains("deadline_exceeded"));
+        }
+        // Failpoint exhausted: eviction is a no-op again.
+        q.try_submit(vec![job(&Arc::new(Pending::new(1)), 0)]);
+        assert_eq!(q.evict_expired(), 0);
     }
 
     #[test]

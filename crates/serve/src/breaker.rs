@@ -1,0 +1,133 @@
+//! A circuit breaker for `/reload`: after repeated checksum/deserialize
+//! failures the breaker opens and rejects further reload attempts with
+//! `503 + Retry-After` instead of re-verifying a corrupt artifact (a full
+//! CRC64 pass plus a deserialize attempt) on every call — a corrupt-reload
+//! storm must not become a CPU denial of service.
+//!
+//! Classic three-state machine: **closed** (attempts flow), **open**
+//! (attempts rejected until the cooldown expires), **half-open** (the
+//! first attempt after cooldown is let through as a probe; failure
+//! re-opens immediately, success closes).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// See the module docs.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerState>,
+}
+
+impl CircuitBreaker {
+    /// Opens after `threshold` consecutive failures, for `cooldown`.
+    /// `threshold == 0` disables the breaker (always closed).
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            state: Mutex::new(BreakerState { consecutive_failures: 0, open_until: None }),
+        }
+    }
+
+    /// `Ok` when an attempt may proceed; `Err(retry_after_secs)` while
+    /// open. The first call after the cooldown expires transitions to
+    /// half-open and is allowed as the probe.
+    pub fn check(&self) -> Result<(), u64> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(until) = s.open_until {
+            let now = Instant::now();
+            if now < until {
+                let secs = (until - now).as_secs_f64().ceil() as u64;
+                return Err(secs.max(1));
+            }
+            // Cooldown over: half-open. Clear the gate so this caller
+            // probes; a failure re-opens via record_failure.
+            s.open_until = None;
+        }
+        Ok(())
+    }
+
+    /// Notes a failed attempt; opens the breaker at the threshold (and on
+    /// every failure past it, including the half-open probe).
+    pub fn record_failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        if s.consecutive_failures >= self.threshold {
+            s.open_until = Some(Instant::now() + self.cooldown);
+        }
+    }
+
+    /// Notes a successful attempt: closes the breaker and resets.
+    pub fn record_success(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.consecutive_failures = 0;
+        s.open_until = None;
+    }
+
+    /// True while attempts would be rejected right now.
+    pub fn is_open(&self) -> bool {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(s.open_until, Some(until) if Instant::now() < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_threshold_and_reports_retry_after() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(10));
+        assert!(b.check().is_ok());
+        b.record_failure();
+        b.record_failure();
+        assert!(b.check().is_ok(), "below threshold stays closed");
+        b.record_failure();
+        let retry = b.check().unwrap_err();
+        assert!((1..=10).contains(&retry), "{retry}");
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(10));
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert!(b.check().is_ok(), "streak broke, still closed");
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_success_closes() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        b.record_failure();
+        assert!(b.check().is_err(), "open");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.check().is_ok(), "cooldown over: half-open probe allowed");
+        b.record_failure();
+        assert!(b.check().is_err(), "probe failed: re-opened");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.check().is_ok());
+        b.record_success();
+        assert!(b.check().is_ok());
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let b = CircuitBreaker::new(0, Duration::from_secs(10));
+        for _ in 0..100 {
+            b.record_failure();
+        }
+        assert!(b.check().is_ok());
+    }
+}

@@ -42,6 +42,42 @@ pub struct ServeConfig {
     pub ring_capacity: usize,
     /// Log any request slower than this to stderr as JSONL; 0 disables.
     pub slow_request_us: u64,
+    /// Deadline budget for requests that do not send `X-Deadline-Us`,
+    /// microseconds; 0 leaves them unbounded.
+    pub default_deadline_us: u64,
+    /// Largest accepted request body; bigger declared bodies get 413.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading one request once its first byte
+    /// arrives (the slow-loris bound), microseconds; 0 disables.
+    pub read_budget_us: u64,
+    /// Socket write timeout so a stalled reader cannot pin a connection
+    /// thread, microseconds; 0 disables.
+    pub write_timeout_us: u64,
+    /// Master switch for the brownout load controller.
+    pub brownout_enabled: bool,
+    /// Latency target driving brownout escalation, microseconds.
+    /// Deliberately separate from `slo_target_p99_us` (alerting): a
+    /// tightened alerting SLO must not self-inflict a brownout.
+    pub brownout_p99_us: u64,
+    /// Queue-shed (429) fraction driving brownout escalation.
+    pub brownout_max_shed_rate: f64,
+    /// Rolling window of the brownout controller, seconds (short so
+    /// recovery is observed quickly).
+    pub brownout_window_secs: u64,
+    /// Consecutive unhealthy controller ticks before escalating a mode.
+    pub brownout_escalate_ticks: u32,
+    /// Consecutive healthy controller ticks before recovering a mode.
+    pub brownout_recover_ticks: u32,
+    /// Minimum spacing between controller ticks, microseconds; 0 ticks
+    /// on every evaluation (tests).
+    pub brownout_tick_us: u64,
+    /// `Retry-After` seconds advertised on brownout 503 rejections.
+    pub retry_after_secs: u64,
+    /// Consecutive `/reload` failures before its circuit breaker opens;
+    /// 0 disables the breaker.
+    pub reload_breaker_threshold: u32,
+    /// How long an open `/reload` breaker rejects attempts, seconds.
+    pub reload_breaker_cooldown_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +97,20 @@ impl Default for ServeConfig {
             slo_window_secs: 60,
             ring_capacity: 1024,
             slow_request_us: 0,
+            default_deadline_us: 30_000_000,
+            max_body_bytes: 1 << 20,
+            read_budget_us: 2_000_000,
+            write_timeout_us: 5_000_000,
+            brownout_enabled: true,
+            brownout_p99_us: 100_000,
+            brownout_max_shed_rate: 0.05,
+            brownout_window_secs: 3,
+            brownout_escalate_ticks: 2,
+            brownout_recover_ticks: 3,
+            brownout_tick_us: 500_000,
+            retry_after_secs: 1,
+            reload_breaker_threshold: 3,
+            reload_breaker_cooldown_secs: 10,
         }
     }
 }
@@ -86,6 +136,23 @@ impl ServeConfig {
         }
         if !(0.0..=1.0).contains(&self.slo_max_shed_rate) {
             return Err("slo_max_shed_rate must be within [0, 1]".into());
+        }
+        if self.max_body_bytes == 0 {
+            return Err("max_body_bytes must be at least 1".into());
+        }
+        if self.brownout_enabled {
+            if self.brownout_window_secs == 0 {
+                return Err("brownout_window_secs must be at least 1".into());
+            }
+            if self.brownout_escalate_ticks == 0 || self.brownout_recover_ticks == 0 {
+                return Err("brownout escalate/recover ticks must be at least 1".into());
+            }
+            if !(0.0..=1.0).contains(&self.brownout_max_shed_rate) {
+                return Err("brownout_max_shed_rate must be within [0, 1]".into());
+            }
+        }
+        if self.retry_after_secs == 0 {
+            return Err("retry_after_secs must be at least 1".into());
         }
         Ok(())
     }
@@ -113,6 +180,18 @@ mod tests {
         let c = ServeConfig { slo_window_secs: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
         let c = ServeConfig { slo_max_shed_rate: 1.5, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { max_body_bytes: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { brownout_escalate_ticks: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            brownout_escalate_ticks: 0,
+            brownout_enabled: false,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_ok(), "brownout knobs unchecked when disabled");
+        let c = ServeConfig { retry_after_secs: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -1,15 +1,37 @@
 //! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
-//! the four serving endpoints, with keep-alive and `Content-Length`
-//! framing. No network crates: the build environment is offline and the
-//! request shapes are fully under our control.
+//! the serving endpoints, with keep-alive and `Content-Length` framing.
+//! No network crates: the build environment is offline and the request
+//! shapes are fully under our control.
+//!
+//! Robustness posture: reads are bounded three ways. A per-request *read
+//! budget* caps how long a started request may trickle in (slow-loris),
+//! `max_body_bytes` caps buffering (memory exhaustion → typed 413), and a
+//! header-count cap bounds header parsing. The budget is armed by the
+//! first byte of a request, so an idle keep-alive connection can sit
+//! forever while a half-sent request cannot.
 
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
-/// Largest accepted request body (a batch of tweets is a few KiB; 1 MiB
-/// leaves two orders of magnitude of headroom).
-const MAX_BODY: usize = 1 << 20;
 /// Header-count cap so a hostile client cannot balloon memory.
 const MAX_HEADERS: usize = 64;
+
+/// Read-side limits for one request, owned by the connection loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Largest accepted request body; a bigger `Content-Length` yields
+    /// [`ReadOutcome::TooLarge`] without buffering the body.
+    pub max_body_bytes: usize,
+    /// Total wall-clock budget for reading one request once its first
+    /// byte arrives. Zero disables the bound (tests).
+    pub read_budget: Duration,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        Self { max_body_bytes: 1 << 20, read_budget: Duration::from_secs(2) }
+    }
+}
 
 /// One parsed request.
 #[derive(Debug)]
@@ -26,6 +48,8 @@ pub struct Request {
     pub keep_alive: bool,
     /// Client-supplied `X-Request-Id`, echoed back verbatim when present.
     pub request_id: Option<String>,
+    /// Client-supplied `X-Deadline-Us` budget in microseconds, if any.
+    pub deadline_us: Option<u64>,
 }
 
 impl Request {
@@ -40,6 +64,7 @@ impl Request {
 }
 
 /// What one read attempt on a keep-alive connection produced.
+#[derive(Debug)]
 pub enum ReadOutcome {
     /// A complete request.
     Request(Request),
@@ -48,19 +73,86 @@ pub enum ReadOutcome {
     /// The read timed out while *idle* (no request in flight) — the caller
     /// can poll its shutdown flag and try again without losing framing.
     Idle,
+    /// The declared `Content-Length` exceeds `max_body_bytes`. The body
+    /// was not read, so the caller must answer 413 and close.
+    TooLarge,
 }
 
-/// Reads one HTTP/1.1 request. A timeout on the very first line (idle
-/// keep-alive connection) is reported as [`ReadOutcome::Idle`]; a timeout
-/// mid-request is a framing error and closes the connection.
-pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+fn is_block(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Arms the per-request budget on first use; errs once it is spent.
+fn charge_budget(start: &mut Option<Instant>, limits: &ReadLimits) -> io::Result<()> {
+    let started = *start.get_or_insert_with(Instant::now);
+    if !limits.read_budget.is_zero() && started.elapsed() >= limits.read_budget {
+        return Err(io::Error::new(io::ErrorKind::TimedOut, "request read budget exhausted"));
+    }
+    Ok(())
+}
+
+/// Line read that survives socket read timeouts and enforces the budget
+/// chunk by chunk. Working on `fill_buf`/`consume` directly (instead of
+/// `read_line`) matters: a drip feed that lands a byte inside every
+/// socket poll interval never surfaces a `WouldBlock`, so the budget
+/// must be charged on *partial progress*, not only on timeouts.
+fn read_line_budgeted(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    start: &mut Option<Instant>,
+    limits: &ReadLimits,
+) -> io::Result<usize> {
+    loop {
+        let (used, done) = match reader.fill_buf() {
+            Ok([]) => return Ok(line.len()),
+            Ok(buf) => {
+                if start.is_none() {
+                    *start = Some(Instant::now());
+                }
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        line.push_str(&String::from_utf8_lossy(&buf[..=i]));
+                        (i + 1, true)
+                    }
+                    None => {
+                        line.push_str(&String::from_utf8_lossy(buf));
+                        (buf.len(), false)
+                    }
+                }
+            }
+            Err(e) if is_block(&e) => {
+                if start.is_none() {
+                    // Nothing of this request has arrived: genuinely idle.
+                    return Err(e);
+                }
+                charge_budget(start, limits)?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        reader.consume(used);
+        if done {
+            return Ok(line.len());
+        }
+        // Progress without a complete line still burns the budget — a
+        // slow-loris dripping bytes must not outlive it.
+        charge_budget(start, limits)?;
+    }
+}
+
+/// Reads one HTTP/1.1 request. A timeout before any byte of the request
+/// (idle keep-alive connection) is reported as [`ReadOutcome::Idle`]; once
+/// the first byte arrives the whole request must land within the read
+/// budget or the connection is dropped (`TimedOut`) — the slow-loris bound.
+pub fn read_request(reader: &mut impl BufRead, limits: &ReadLimits) -> io::Result<ReadOutcome> {
+    let mut start: Option<Instant> = None;
     let mut line = String::new();
-    match reader.read_line(&mut line) {
+    match read_line_budgeted(reader, &mut line, &mut start, limits) {
         Ok(0) => return Ok(ReadOutcome::Closed),
         Ok(_) => {}
-        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-            return Ok(ReadOutcome::Idle);
-        }
+        // Idle only when nothing arrived; a half-line past its budget is a
+        // TimedOut error, not an idle poll.
+        Err(e) if is_block(&e) && line.is_empty() => return Ok(ReadOutcome::Idle),
         Err(e) => return Err(e),
     }
     let mut parts = line.split_whitespace();
@@ -77,9 +169,10 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
     let mut request_id = None;
+    let mut deadline_us = None;
     for _ in 0..MAX_HEADERS {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        if read_line_budgeted(reader, &mut header, &mut start, limits)? == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
         }
         let header = header.trim_end();
@@ -96,16 +189,41 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
             keep_alive = !value.eq_ignore_ascii_case("close");
         } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
             request_id = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-deadline-us") {
+            deadline_us = Some(value.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad x-deadline-us header")
+            })?);
         }
     }
-    if content_length > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    if content_length > limits.max_body_bytes {
+        return Ok(ReadOutcome::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        io::Read::read_exact(reader, &mut body)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        match io::Read::read(reader, &mut body[filled..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body")),
+            Ok(n) => {
+                filled += n;
+                // Same drip-feed rule as the line reader: partial body
+                // progress burns the budget too.
+                if filled < content_length {
+                    charge_budget(&mut start, limits)?;
+                }
+            }
+            Err(e) if is_block(&e) => charge_budget(&mut start, limits)?,
+            Err(e) => return Err(e),
+        }
     }
-    Ok(ReadOutcome::Request(Request { method, path, query, body, keep_alive, request_id }))
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+        request_id,
+        deadline_us,
+    }))
 }
 
 /// Writes one response with `Content-Length` framing.
@@ -134,10 +252,12 @@ pub fn write_response_with(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
@@ -159,24 +279,29 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
+    fn limits() -> ReadLimits {
+        ReadLimits::default()
+    }
+
     #[test]
     fn parses_post_with_body() {
         let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
         let mut r = BufReader::new(&raw[..]);
-        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+        let ReadOutcome::Request(req) = read_request(&mut r, &limits()).unwrap() else {
             panic!("expected a request")
         };
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/predict");
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive);
+        assert_eq!(req.deadline_us, None);
     }
 
     #[test]
     fn connection_close_and_query_strings() {
         let raw = b"GET /healthz?v=1 HTTP/1.1\r\nConnection: close\r\n\r\n";
         let mut r = BufReader::new(&raw[..]);
-        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+        let ReadOutcome::Request(req) = read_request(&mut r, &limits()).unwrap() else {
             panic!("expected a request")
         };
         assert_eq!(req.path, "/healthz");
@@ -190,10 +315,23 @@ mod tests {
     fn client_request_id_is_captured() {
         let raw = b"GET /healthz HTTP/1.1\r\nX-Request-ID: abc-7\r\n\r\n";
         let mut r = BufReader::new(&raw[..]);
-        let ReadOutcome::Request(req) = read_request(&mut r).unwrap() else {
+        let ReadOutcome::Request(req) = read_request(&mut r, &limits()).unwrap() else {
             panic!("expected a request")
         };
         assert_eq!(req.request_id.as_deref(), Some("abc-7"));
+    }
+
+    #[test]
+    fn deadline_header_is_captured_and_validated() {
+        let raw = b"POST /predict HTTP/1.1\r\nX-Deadline-Us: 2500\r\nContent-Length: 0\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let ReadOutcome::Request(req) = read_request(&mut r, &limits()).unwrap() else {
+            panic!("expected a request")
+        };
+        assert_eq!(req.deadline_us, Some(2500));
+        let raw = b"POST /predict HTTP/1.1\r\nX-Deadline-Us: soon\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        assert!(read_request(&mut r, &limits()).is_err(), "garbage deadline is a 400");
     }
 
     #[test]
@@ -216,14 +354,165 @@ mod tests {
     #[test]
     fn eof_is_a_clean_close() {
         let mut r = BufReader::new(&b""[..]);
-        assert!(matches!(read_request(&mut r).unwrap(), ReadOutcome::Closed));
+        assert!(matches!(read_request(&mut r, &limits()).unwrap(), ReadOutcome::Closed));
     }
 
     #[test]
-    fn oversized_bodies_are_rejected() {
-        let raw = format!("POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        let mut r = BufReader::new(raw.as_bytes());
-        assert!(read_request(&mut r).is_err());
+    fn oversized_bodies_are_a_typed_outcome() {
+        let lim = ReadLimits { max_body_bytes: 64, ..ReadLimits::default() };
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 65\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        assert!(matches!(read_request(&mut r, &lim).unwrap(), ReadOutcome::TooLarge));
+        // At the limit is still fine.
+        let mut raw = b"POST /p HTTP/1.1\r\nContent-Length: 64\r\n\r\n".to_vec();
+        raw.extend(vec![b'x'; 64]);
+        let mut r = BufReader::new(&raw[..]);
+        assert!(matches!(read_request(&mut r, &lim).unwrap(), ReadOutcome::Request(_)));
+    }
+
+    /// A reader that yields its script one chunk per call, with a
+    /// `WouldBlock` between chunks — a byte-dribbling client.
+    struct Dribble {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        ready: bool,
+        buffered: Vec<u8>,
+    }
+
+    impl Dribble {
+        fn new(script: &[&[u8]]) -> Self {
+            Self {
+                chunks: script.iter().map(|c| c.to_vec()).collect(),
+                next: 0,
+                ready: true,
+                buffered: Vec::new(),
+            }
+        }
+    }
+
+    impl io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let data = self.fill_buf()?;
+            let n = data.len().min(buf.len());
+            buf[..n].copy_from_slice(&data[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for Dribble {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.buffered.is_empty() {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+                }
+                if self.next >= self.chunks.len() {
+                    return Ok(&[]);
+                }
+                self.buffered = self.chunks[self.next].clone();
+                self.next += 1;
+                self.ready = false;
+            }
+            Ok(&self.buffered)
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.buffered.drain(..amt);
+        }
+    }
+
+    #[test]
+    fn dribbled_request_is_reassembled_within_budget() {
+        let mut r = Dribble::new(&[
+            b"POST /pre",
+            b"dict HTTP/1.1\r\nContent-",
+            b"Length: 4\r\n\r\n",
+            b"ab",
+            b"cd",
+        ]);
+        let ReadOutcome::Request(req) = read_request(&mut r, &limits()).unwrap() else {
+            panic!("expected a request")
+        };
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_when_the_budget_expires() {
+        // An endless half-request: budget of zero-ish must kill it fast.
+        struct Stall {
+            sent: bool,
+        }
+        impl io::Read for Stall {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let data = self.fill_buf()?;
+                let n = data.len().min(buf.len());
+                buf[..n].copy_from_slice(&data[..n]);
+                self.consume(n);
+                Ok(n)
+            }
+        }
+        impl BufRead for Stall {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                if !self.sent {
+                    self.sent = true;
+                    return Ok(b"POST /predict HT");
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let lim = ReadLimits { read_budget: Duration::from_millis(10), ..ReadLimits::default() };
+        let err = read_request(&mut Stall { sent: false }, &lim).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+    }
+
+    /// The case the chaos harness caught: a drip feed that always has
+    /// one more byte ready (so the socket never reports `WouldBlock`)
+    /// must still be cut off by the budget via partial-progress charges.
+    #[test]
+    fn steady_drip_without_newline_is_cut_off() {
+        struct Drip;
+        impl io::Read for Drip {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let data = self.fill_buf()?;
+                let n = data.len().min(buf.len());
+                buf[..n].copy_from_slice(&data[..n]);
+                self.consume(n);
+                Ok(n)
+            }
+        }
+        impl BufRead for Drip {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(b"a") // endless header-less request line, one byte at a time
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let lim = ReadLimits { read_budget: Duration::from_millis(10), ..ReadLimits::default() };
+        let started = Instant::now();
+        let err = read_request(&mut Drip, &lim).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(started.elapsed() < Duration::from_secs(1), "cutoff must track the budget");
+    }
+
+    #[test]
+    fn idle_timeout_before_any_byte_reports_idle() {
+        struct NeverReady;
+        impl io::Read for NeverReady {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"))
+            }
+        }
+        impl BufRead for NeverReady {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"))
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        assert!(matches!(read_request(&mut NeverReady, &limits()).unwrap(), ReadOutcome::Idle));
     }
 
     #[test]

@@ -94,6 +94,19 @@ fn push_f32(out: &mut Vec<u8>, x: f32) {
 /// "sigma_lat":..,"sigma_lon":..,"rho":..},..],"attention":[["name",w],..],
 /// "from_fallback":bool}`.
 pub fn render_response(resp: &PredictResponse) -> Vec<u8> {
+    render_response_inner(resp, false)
+}
+
+/// [`render_response`] for brownout `PriorOnly` answers: identical wire
+/// shape plus a trailing `"degraded":true`, so clients can tell a
+/// quality-reduced answer from a full one. The normal path never emits
+/// the key at all — bit-identity with direct `Predictor` calls rides on
+/// that.
+pub fn render_response_degraded(resp: &PredictResponse) -> Vec<u8> {
+    render_response_inner(resp, true)
+}
+
+fn render_response_inner(resp: &PredictResponse, degraded: bool) -> Vec<u8> {
     let p = &resp.prediction;
     let mut out = Vec::with_capacity(256);
     out.extend_from_slice(b"{\"point\":{\"lat\":");
@@ -132,8 +145,20 @@ pub fn render_response(resp: &PredictResponse) -> Vec<u8> {
     }
     out.extend_from_slice(b"],\"from_fallback\":");
     out.extend_from_slice(if resp.from_fallback { b"true" } else { b"false" });
+    if degraded {
+        out.extend_from_slice(b",\"degraded\":true");
+    }
     out.push(b'}');
     out
+}
+
+/// The typed `DeadlineExceeded` fragment (HTTP 504): what a queued text
+/// evicted past its budget — or a whole expired request — answers with.
+pub fn render_deadline_error() -> Vec<u8> {
+    simple_object(&[
+        ("error", "deadline_exceeded"),
+        ("detail", "request deadline budget exhausted"),
+    ])
 }
 
 /// Renders a typed prediction error as `{"error": "...", "detail": "..."}`.
@@ -234,5 +259,23 @@ mod tests {
         let v: serde_json::Value =
             serde_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
         assert_eq!(v.get("error").unwrap().as_str().unwrap(), "no_entities");
+        let bytes = render_deadline_error();
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str().unwrap(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn degraded_rendering_adds_only_the_marker() {
+        let resp = response();
+        let full = render_response(&resp);
+        let degraded = render_response_degraded(&resp);
+        assert!(!String::from_utf8(full.clone()).unwrap().contains("degraded"));
+        let text = String::from_utf8(degraded.clone()).unwrap();
+        assert!(text.ends_with(",\"degraded\":true}"), "{text}");
+        // Identical prefix: the marker is strictly additive.
+        assert_eq!(&degraded[..full.len() - 1], &full[..full.len() - 1]);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("degraded"), Some(&serde_json::Value::Bool(true)));
     }
 }

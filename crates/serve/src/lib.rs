@@ -31,19 +31,44 @@
 //! atomic: the artifact is checksum-verified *before* the swap, in-flight
 //! batches finish on the model they started with, and a corrupt artifact
 //! leaves the old model serving. SIGTERM (CLI mode) drains gracefully.
+//!
+//! ## Robustness
+//!
+//! Every request carries a deadline budget ([`deadline`]): the client's
+//! `X-Deadline-Us` header, or the server default. The budget bounds queue
+//! admission, batch flush, inference, and the final wait; an expired
+//! request answers a typed `504 deadline_exceeded`, and queued jobs past
+//! budget are evicted rather than flushed. Socket read budgets bound
+//! slow-loris senders (the request must finish arriving within the budget
+//! once its first byte lands) and write timeouts bound stalled readers.
+//! Oversized bodies are refused with `413` before a byte of the body is
+//! read.
+//!
+//! Under sustained overload a load controller ([`brownout`]) walks a
+//! degradation ladder — `Full → CacheOnly → PriorOnly → Shed` — with
+//! hysteresis, trading answer quality for survival, and walks back up
+//! when the pressure clears. `/reload` sits behind a circuit breaker
+//! ([`breaker`]) so a corrupt-artifact storm cannot churn the serving
+//! path. The [`client`] retries idempotent requests with capped,
+//! decorrelated-jitter backoff, honoring `Retry-After`.
 
 pub mod batch;
+pub mod breaker;
+pub mod brownout;
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod deadline;
 pub mod http;
 pub mod json;
 mod metrics;
 pub mod server;
 pub mod slot;
 
+pub use brownout::Mode;
 pub use cache::{CacheKey, ResponseCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use config::ServeConfig;
+pub use deadline::Deadline;
 pub use server::Server;
 pub use slot::ModelSlot;

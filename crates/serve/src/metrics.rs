@@ -16,15 +16,17 @@ pub(crate) const ENDPOINTS: [&str; 6] =
     ["predict", "healthz", "metrics", "reload", "debug_requests", "other"];
 
 /// Statuses the server can actually emit; anything else lands in `other`.
-const STATUSES: [(u16, &str); 8] = [
+const STATUSES: [(u16, &str); 10] = [
     (200, "200"),
     (400, "400"),
     (404, "404"),
     (405, "405"),
+    (413, "413"),
     (422, "422"),
     (429, "429"),
     (500, "500"),
     (503, "503"),
+    (504, "504"),
 ];
 
 /// The `serve_http_requests{endpoint,status}` cell for a combination.
@@ -76,6 +78,41 @@ pub(crate) fn batch_path_counter(batched: bool) -> &'static Counter {
     cells[batched as usize]
 }
 
+/// Brownout mode names in ladder order, shared by the labeled families
+/// below and [`crate::brownout::Mode::name`].
+const MODES: [&str; 4] = ["full", "cache_only", "prior_only", "shed"];
+
+fn mode_index(mode: &str) -> usize {
+    MODES.iter().position(|&m| m == mode).unwrap_or(0)
+}
+
+/// `serve_brownout_rejections{mode}`: predicts rejected (503) because the
+/// load controller was in this mode.
+pub(crate) fn mode_rejection_counter(mode: &'static str) -> &'static Counter {
+    static CELLS: OnceLock<[&'static Counter; 4]> = OnceLock::new();
+    let cells = CELLS.get_or_init(|| {
+        let family = edge_obs::labels::counter_family(
+            "serve_brownout_rejections",
+            "Predict requests rejected with 503 by brownout mode.",
+        );
+        std::array::from_fn(|i| family.with(&[("mode", MODES[i])]))
+    });
+    cells[mode_index(mode)]
+}
+
+/// `serve_mode_transitions{to}`: load-controller transitions into a mode.
+pub(crate) fn mode_transition_counter(to: &'static str) -> &'static Counter {
+    static CELLS: OnceLock<[&'static Counter; 4]> = OnceLock::new();
+    let cells = CELLS.get_or_init(|| {
+        let family = edge_obs::labels::counter_family(
+            "serve_mode_transitions",
+            "Brownout load-controller transitions, by destination mode.",
+        );
+        std::array::from_fn(|i| family.with(&[("to", MODES[i])]))
+    });
+    cells[mode_index(to)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,7 +125,10 @@ mod tests {
         // Unknown status falls into the endpoint's `other` column.
         let odd = request_counter("predict", 418);
         assert!(!std::ptr::eq(a, odd));
+        assert!(!std::ptr::eq(a, request_counter("predict", 504)));
         assert_eq!(stage_hists().len(), N_STAGES);
         assert!(!std::ptr::eq(batch_path_counter(false), batch_path_counter(true)));
+        assert!(!std::ptr::eq(mode_rejection_counter("shed"), mode_rejection_counter("full")));
+        assert!(std::ptr::eq(mode_transition_counter("full"), mode_transition_counter("full")));
     }
 }

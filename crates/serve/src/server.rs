@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use edge_core::EdgeModel;
+use edge_core::{EdgeModel, Predictor};
 use edge_obs::ring::{
     RequestRecord, N_STAGES, STAGE_BATCH, STAGE_INFERENCE, STAGE_PARSE, STAGE_QUEUE,
     STAGE_SERIALIZE,
@@ -16,11 +16,20 @@ use edge_obs::ring::{
 use edge_obs::{RequestRing, SloConfig, SloStatus, SloTracker};
 
 use crate::batch::{run_scheduler, BatchQueue, Job, Pending, StageCells};
+use crate::breaker::CircuitBreaker;
+use crate::brownout::{BrownoutConfig, LoadController, Mode};
 use crate::cache::{CacheKey, ResponseCache};
 use crate::config::ServeConfig;
-use crate::http::{read_request, write_response_with, ReadOutcome, Request};
-use crate::json::{parse_predict_body, render_error, simple_object};
-use crate::metrics::{batch_path_counter, request_counter, stage_hists};
+use crate::deadline::Deadline;
+use crate::http::{read_request, write_response_with, ReadLimits, ReadOutcome, Request};
+use crate::json::{
+    parse_predict_body, render_deadline_error, render_error, render_response_degraded,
+    simple_object,
+};
+use crate::metrics::{
+    batch_path_counter, mode_rejection_counter, mode_transition_counter, request_counter,
+    stage_hists,
+};
 use crate::slot::ModelSlot;
 
 /// How long a handler waits for the scheduler before giving up with 500.
@@ -58,6 +67,9 @@ struct ServerState {
     cache: ResponseCache,
     ring: RequestRing,
     slo: SloTracker,
+    brownout: LoadController,
+    reload_breaker: CircuitBreaker,
+    read_limits: ReadLimits,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -99,6 +111,23 @@ impl Server {
                 max_shed_rate: config.slo_max_shed_rate,
                 window_secs: config.slo_window_secs,
             }),
+            brownout: LoadController::new(BrownoutConfig {
+                enabled: config.brownout_enabled,
+                target_p99_us: config.brownout_p99_us,
+                max_shed_rate: config.brownout_max_shed_rate,
+                window_secs: config.brownout_window_secs,
+                escalate_ticks: config.brownout_escalate_ticks,
+                recover_ticks: config.brownout_recover_ticks,
+                tick_interval: Duration::from_micros(config.brownout_tick_us),
+            }),
+            reload_breaker: CircuitBreaker::new(
+                config.reload_breaker_threshold,
+                Duration::from_secs(config.reload_breaker_cooldown_secs),
+            ),
+            read_limits: ReadLimits {
+                max_body_bytes: config.max_body_bytes,
+                read_budget: Duration::from_micros(config.read_budget_us),
+            },
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -163,6 +192,16 @@ impl Server {
         self.state.slo.status()
     }
 
+    /// The brownout load-controller mode right now.
+    pub fn brownout_mode(&self) -> Mode {
+        self.state.brownout.mode()
+    }
+
+    /// True while the `/reload` circuit breaker rejects attempts.
+    pub fn reload_breaker_open(&self) -> bool {
+        self.state.reload_breaker.is_open()
+    }
+
     /// The last `n` request records from the debug ring, oldest first
     /// (what `GET /debug/requests` serves).
     pub fn recent_requests(&self, n: usize) -> Vec<RequestRecord> {
@@ -195,9 +234,45 @@ impl Server {
 fn scheduler_entry(state: Arc<ServerState>) {
     let max_batch = state.config.max_batch;
     let max_delay = Duration::from_micros(state.config.max_delay_us);
-    run_scheduler(&state.queue, &state.slot, &state.cache, max_batch, max_delay, || {
-        state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire)
+    run_scheduler(
+        &state.queue,
+        &state.slot,
+        &state.cache,
+        max_batch,
+        max_delay,
+        || state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire),
+        || tick_brownout(&state),
+    );
+}
+
+/// Advances the load controller and publishes a transition everywhere an
+/// operator can see it: labeled counters, the `serve.mode` gauge, the
+/// request ring (as a synthetic `mode:<name>` record with a freshly
+/// minted id, so ring replay stays ordered), and the progress log.
+fn tick_brownout(state: &ServerState) {
+    let Some(transition) = state.brownout.maybe_tick() else { return };
+    mode_transition_counter(transition.to.name()).inc(1);
+    edge_obs::gauge!("serve.mode").set(transition.to as u8 as f64);
+    let endpoint: &'static str = match transition.to {
+        Mode::Full => "mode:full",
+        Mode::CacheOnly => "mode:cache_only",
+        Mode::PriorOnly => "mode:prior_only",
+        Mode::Shed => "mode:shed",
+    };
+    state.ring.push(RequestRecord {
+        id: edge_obs::trace::next_request_id(),
+        endpoint,
+        status: 0,
+        batch: transition.from as u8 as u32,
+        cache_hits: 0,
+        stage_us: [0; N_STAGES],
+        total_us: 0,
     });
+    edge_obs::progress!(
+        "edge-serve: brownout {} -> {}",
+        transition.from.name(),
+        transition.to.name()
+    );
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
@@ -244,6 +319,12 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 
 fn connection_loop(stream: TcpStream, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    if state.config.write_timeout_us > 0 {
+        // A stalled reader (full send buffer, client not draining) errors
+        // the write instead of pinning this thread forever.
+        let _ =
+            stream.set_write_timeout(Some(Duration::from_micros(state.config.write_timeout_us)));
+    }
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -252,7 +333,7 @@ fn connection_loop(stream: TcpStream, state: &ServerState) {
     let mut reader = BufReader::new(stream);
     loop {
         let draining = state.shutdown.load(Ordering::Acquire) || SIGNALLED.load(Ordering::Acquire);
-        match read_request(&mut reader) {
+        match read_request(&mut reader, &state.read_limits) {
             Ok(ReadOutcome::Request(req)) => {
                 let keep_alive = req.keep_alive && !draining;
                 if handle_request(&req, &mut writer, keep_alive, state).is_err() {
@@ -267,7 +348,41 @@ fn connection_loop(stream: TcpStream, state: &ServerState) {
                     return;
                 }
             }
-            Ok(ReadOutcome::Closed) | Err(_) => return,
+            Ok(ReadOutcome::TooLarge) => {
+                // The oversize body was never read, so framing is gone:
+                // answer 413 and close.
+                edge_obs::counter!("serve.body.too_large").inc(1);
+                request_counter("other", 413).inc(1);
+                let body = simple_object(&[("error", "payload_too_large")]);
+                let _ =
+                    write_response_with(&mut writer, 413, "application/json", &[], &body, false);
+                return;
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Err(e) => {
+                match e.kind() {
+                    std::io::ErrorKind::TimedOut => {
+                        // Slow-loris: the request never finished arriving
+                        // within the read budget.
+                        edge_obs::counter!("serve.read.timeouts").inc(1);
+                    }
+                    std::io::ErrorKind::InvalidData => {
+                        // Torn/garbage framing still gets a typed status
+                        // before the connection drops.
+                        let body = simple_object(&[("error", "bad_request")]);
+                        let _ = write_response_with(
+                            &mut writer,
+                            400,
+                            "application/json",
+                            &[],
+                            &body,
+                            false,
+                        );
+                    }
+                    _ => {}
+                }
+                return;
+            }
         }
     }
 }
@@ -282,15 +397,22 @@ struct Responder<'a, W: Write> {
 
 impl<W: Write> Responder<'_, W> {
     fn send(&mut self, status: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
+        self.send_with(status, content_type, &[], body)
+    }
+
+    /// [`Responder::send`] with extra response headers (`Retry-After`).
+    fn send_with(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
         self.status = status;
-        write_response_with(
-            self.writer,
-            status,
-            content_type,
-            &[("X-Request-Id", self.request_id)],
-            body,
-            self.keep_alive,
-        )
+        let mut headers = Vec::with_capacity(extra_headers.len() + 1);
+        headers.push(("X-Request-Id", self.request_id));
+        headers.extend_from_slice(extra_headers);
+        write_response_with(self.writer, status, content_type, &headers, body, self.keep_alive)
     }
 }
 
@@ -328,9 +450,14 @@ fn handle_request(
     let mut rsp = Responder { writer, keep_alive, request_id: header_id, status: 0 };
     let mut stats = PredictStats::default();
 
+    // The request's budget: the client's X-Deadline-Us when sent, the
+    // server default otherwise. Minted here, threaded through admission,
+    // flush, inference, and the final wait.
+    let deadline = Deadline::resolve(req.deadline_us, state.config.default_deadline_us);
+
     let root = edge_obs::span("serve.request");
     let result = match (req.method.as_str(), endpoint) {
-        ("POST", "predict") => handle_predict(req, &mut rsp, state, &mut stats),
+        ("POST", "predict") => handle_predict(req, &mut rsp, state, &mut stats, deadline),
         ("GET", "healthz") => handle_healthz(&mut rsp, state),
         ("GET", "metrics") => handle_metrics(&mut rsp, state),
         ("GET", "debug_requests") => handle_debug_requests(req, &mut rsp, state),
@@ -352,10 +479,21 @@ fn handle_request(
         }
     }
     if endpoint == "predict" && rsp.status != 0 {
-        if rsp.status == 429 {
-            state.slo.record_shed();
-        } else {
-            state.slo.record(total_us);
+        match rsp.status {
+            // Queue sheds count against both the alerting tracker and the
+            // brownout controller.
+            429 => {
+                state.slo.record_shed();
+                state.brownout.record_shed();
+            }
+            // Brownout rejections: honest shed reporting in /healthz, but
+            // never fed back into the controller (a mode must not sustain
+            // itself on the load it sheds).
+            503 => state.slo.record_shed(),
+            _ => {
+                state.slo.record(total_us);
+                state.brownout.record(total_us);
+            }
         }
     }
     let record = RequestRecord {
@@ -371,7 +509,23 @@ fn handle_request(
     if state.config.slow_request_us > 0 && total_us >= state.config.slow_request_us {
         edge_obs::progress!("{}", record.to_json());
     }
+    // Advance the load controller after the ring push so a transition
+    // record minted now carries an id above this request's.
+    tick_brownout(state);
     result
+}
+
+/// Rejects a predict with `503 + Retry-After` because of the brownout
+/// mode (Shed, or a cache miss under CacheOnly).
+fn reject_browned_out<W: Write>(
+    rsp: &mut Responder<'_, W>,
+    state: &ServerState,
+    mode: Mode,
+) -> std::io::Result<()> {
+    mode_rejection_counter(mode.name()).inc(1);
+    let retry = state.config.retry_after_secs.to_string();
+    let body = simple_object(&[("error", "browned_out"), ("mode", mode.name())]);
+    rsp.send_with(503, "application/json", &[("Retry-After", &retry)], &body)
 }
 
 fn handle_predict<W: Write>(
@@ -379,13 +533,19 @@ fn handle_predict<W: Write>(
     rsp: &mut Responder<'_, W>,
     state: &ServerState,
     stats: &mut PredictStats,
+    deadline: Deadline,
 ) -> std::io::Result<()> {
+    // Shed mode rejects before spending anything on the body.
+    let mode = state.brownout.mode();
+    if mode == Mode::Shed {
+        return reject_browned_out(rsp, state, mode);
+    }
     // Capture the request's root context before the parse span opens:
     // queue/batch/inference stages are siblings of parse under the root,
     // not children of it.
     let ctx = edge_obs::trace::current_context();
-    // The parse stage covers everything up to admission: body parse,
-    // entity resolution, cache probes, job construction, submit.
+    // The parse stage covers body parse, entity resolution, and cache
+    // probes; it ends at admission, where queue time takes over.
     let parse_started = Instant::now();
     let parse_span = edge_obs::span("serve.stage.parse");
     let body = match parse_predict_body(&req.body) {
@@ -402,10 +562,22 @@ fn handle_predict<W: Write>(
     edge_obs::counter!("serve.predict.texts").inc(body.texts.len() as u64);
     stats.batch = body.texts.len() as u32;
 
+    // A request that arrived already out of budget is not worth resolving.
+    if deadline.expired() {
+        drop(parse_span);
+        stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
+        edge_obs::counter!("serve.deadline.expired").inc(1);
+        return rsp.send(504, "application/json", &render_deadline_error());
+    }
+
     // Resolve entities up front: abstentions answer immediately, cache
     // hits skip the queue, and only genuine model work is admitted.
+    // Brownout modes decide what happens to a miss: CacheOnly rejects the
+    // request, PriorOnly answers from the fallback prior Gaussian with a
+    // `degraded` marker, Full admits it to the batch queue.
     let mut fragments: Vec<Option<Arc<Vec<u8>>>> = vec![None; body.texts.len()];
     let mut seeds: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut degraded_prior: Option<Arc<Vec<u8>>> = None;
     for (i, text) in body.texts.iter().enumerate() {
         let entities = model.resolve_entities(text);
         if entities.is_empty() && !fallback {
@@ -420,13 +592,45 @@ fn handle_predict<W: Write>(
             batch_path_counter(false).inc(1);
             continue;
         }
-        batch_path_counter(true).inc(1);
-        seeds.push((i, entities));
+        match mode {
+            Mode::CacheOnly | Mode::Shed => {
+                drop(parse_span);
+                stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
+                return reject_browned_out(rsp, state, mode);
+            }
+            Mode::PriorOnly => {
+                // Skip diffusion/attention entirely: one shared prior
+                // answer per request, explicitly marked degraded.
+                if degraded_prior.is_none() {
+                    let opts = edge_core::PredictOptions::default().with_fallback_prior(true);
+                    let result =
+                        model.locate(&edge_core::PredictRequest::entities(Vec::new()), &opts);
+                    degraded_prior = Some(Arc::new(match &result {
+                        Ok(resp) => render_response_degraded(resp),
+                        Err(err) => render_error(err),
+                    }));
+                }
+                fragments[i] = Some(Arc::clone(degraded_prior.as_ref().expect("just filled")));
+                edge_obs::counter!("serve.degraded.answers").inc(1);
+                batch_path_counter(false).inc(1);
+            }
+            Mode::Full => {
+                batch_path_counter(true).inc(1);
+                seeds.push((i, entities));
+            }
+        }
     }
     drop(model);
 
     if !seeds.is_empty() {
         let stages = Arc::new(StageCells::default());
+        // The parse stage ends here, at admission: job construction and
+        // the submit itself contend on the queue mutex (the scheduler
+        // holds it to evict expired jobs), and that wait is queue time.
+        // Ending parse first keeps the stages disjoint, so their sum
+        // never exceeds the request's end-to-end latency.
+        drop(parse_span);
+        stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
         let submitted = Instant::now();
         let pending = Arc::new(Pending::new(seeds.len()));
         let jobs: Vec<Job> = seeds
@@ -442,21 +646,37 @@ fn handle_predict<W: Write>(
                 ctx,
                 submitted,
                 stages: Arc::clone(&stages),
+                deadline,
             })
             .collect();
         if !state.queue.try_submit(jobs) {
             edge_obs::counter!("serve.shed").inc(1);
-            drop(parse_span);
-            stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
             let body = simple_object(&[("error", "overloaded")]);
-            return rsp.send(429, "application/json", &body);
+            let retry = state.config.retry_after_secs.to_string();
+            return rsp.send_with(429, "application/json", &[("Retry-After", &retry)], &body);
         }
-        drop(parse_span);
-        stats.stage_us[STAGE_PARSE] = parse_started.elapsed().as_micros() as u64;
-        let Some(results) = pending.wait(PREDICT_TIMEOUT) else {
+        // Wait no longer than the request's own budget: a bounded request
+        // answers 504 the moment its budget is gone, not at the generic
+        // scheduler-wedge timeout.
+        let wait_limit = match deadline.remaining() {
+            Some(remaining) => remaining.min(PREDICT_TIMEOUT),
+            None => PREDICT_TIMEOUT,
+        };
+        let results = pending.wait(wait_limit);
+        if deadline.expired() {
+            edge_obs::counter!("serve.deadline.expired").inc(1);
+            return rsp.send(504, "application/json", &render_deadline_error());
+        }
+        let Some(results) = results else {
             let body = simple_object(&[("error", "timeout")]);
             return rsp.send(500, "application/json", &body);
         };
+        // Queue eviction resolves a job to the deadline fragment; a
+        // request holding one is answered 504 as a whole, matching the
+        // typed contract regardless of which stage gave up first.
+        if results.iter().any(|b| b.as_slice() == render_deadline_error().as_slice()) {
+            return rsp.send(504, "application/json", &render_deadline_error());
+        }
         for ((i, _), bytes) in seeds.iter().zip(results) {
             fragments[*i] = Some(bytes);
         }
@@ -506,6 +726,7 @@ fn handle_healthz<W: Write>(
         ("status", status),
         ("model", "EDGE"),
         ("generation", &generation),
+        ("mode", state.brownout.mode().name()),
         ("slo_budget_remaining", &budget),
         ("slo_burn_rate", &burn),
         ("slo_shed_rate", &shed),
@@ -529,6 +750,7 @@ fn handle_metrics<W: Write>(
     edge_obs::gauge!("serve.slo.budget.remaining").set(slo.budget_remaining);
     edge_obs::gauge!("serve.slo.shed.rate").set(slo.shed_rate);
     edge_obs::gauge!("serve.slo.degraded").set(if slo.degraded { 1.0 } else { 0.0 });
+    edge_obs::gauge!("serve.mode").set(state.brownout.mode() as u8 as f64);
     let text = edge_obs::openmetrics::render(&edge_obs::metrics::snapshot());
     rsp.send(200, edge_obs::openmetrics::CONTENT_TYPE, text.as_bytes())
 }
@@ -564,8 +786,21 @@ fn handle_reload<W: Write>(
         let body = simple_object(&[("error", "bad_request"), ("detail", "body needs a \"path\"")]);
         return rsp.send(400, "application/json", &body);
     };
+    // A corrupt-artifact storm (checksum/deserialize failures in a row)
+    // opens the breaker: further attempts are refused outright until the
+    // cooldown lapses, protecting the serving path from reload churn.
+    if let Err(retry_after) = state.reload_breaker.check() {
+        edge_obs::counter!("serve.reload.breaker.rejected").inc(1);
+        let retry = retry_after.to_string();
+        let body = simple_object(&[
+            ("error", "circuit_open"),
+            ("detail", "reload breaker open after repeated failures"),
+        ]);
+        return rsp.send_with(503, "application/json", &[("Retry-After", &retry)], &body);
+    }
     match state.slot.reload_from(&path) {
         Ok(generation) => {
+            state.reload_breaker.record_success();
             // Entries keyed under older generations can never be returned
             // (the key carries the generation); clearing reclaims memory.
             state.cache.clear();
@@ -576,6 +811,7 @@ fn handle_reload<W: Write>(
             rsp.send(200, "application/json", &body)
         }
         Err(msg) => {
+            state.reload_breaker.record_failure();
             edge_obs::counter!("serve.reload.failures").inc(1);
             let body = simple_object(&[("error", "reload_rejected"), ("detail", &msg)]);
             rsp.send(422, "application/json", &body)

@@ -1,0 +1,105 @@
+//! Response-cache invalidation coverage: entries cached under an old
+//! model generation must never be served after a reload (byte-level
+//! check against a genuinely different model), and capacity-eviction
+//! churn must keep the hit/miss accounting consistent.
+
+mod util;
+
+use edge_core::{EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainOptions};
+use edge_data::dataset_recognizer;
+use edge_serve::{Client, ServeConfig};
+
+/// Trains a second, genuinely different model (more epochs → different
+/// parameters) and returns its artifact path plus a loaded handle.
+fn second_model() -> (String, EdgeModel) {
+    let w = util::world();
+    let (train, _) = w.dataset.paper_split();
+    let mut cfg = EdgeConfig::smoke();
+    cfg.epochs = 4;
+    let (model, _) = EdgeModel::train(
+        train,
+        dataset_recognizer(&w.dataset),
+        &w.dataset.bbox,
+        cfg,
+        &TrainOptions::default(),
+    )
+    .expect("train second model");
+    let path = std::env::temp_dir()
+        .join(format!("edge_serve_cache_inval_{}.model.json", std::process::id()));
+    model.save(&path).expect("save");
+    let path = path.to_string_lossy().into_owned();
+    let model = EdgeModel::load(&path).expect("load");
+    (path, model)
+}
+
+/// After a reload, a text answered (and cached) under generation 1 must
+/// be answered by the *new* model — the stale generation-1 bytes must
+/// never appear again, verified byte-for-byte against both models.
+#[test]
+fn stale_entries_are_never_served_after_reload() {
+    let (new_path, new_model) = second_model();
+    let server = util::start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let text = util::covered_texts(1).remove(0);
+
+    // Serve and cache under generation 1.
+    let before = client.predict(&text).unwrap();
+    assert_eq!(before.status, 200);
+    assert_eq!(before.body, util::expected_fragment(&text));
+    // Hit the cache once so the entry is demonstrably live.
+    let cached = client.predict(&text).unwrap();
+    assert_eq!(cached.body, before.body);
+    let (hits, _) = server.cache_stats();
+    assert!(hits >= 1, "second identical predict should hit the cache");
+
+    // Swap in the different model.
+    let body = format!("{{\"path\":{}}}", serde_json::to_string(&new_path).unwrap());
+    let resp = client.request("POST", "/reload", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(server.generation(), 2);
+
+    // The same text now answers with the new model's bytes, exactly.
+    let after = client.predict(&text).unwrap();
+    assert_eq!(after.status, 200);
+    let expected_new =
+        match new_model.locate(&PredictRequest::text(&text), &PredictOptions::default()) {
+            Ok(resp) => edge_serve::json::render_response(&resp),
+            Err(err) => edge_serve::json::render_error(&err),
+        };
+    assert_eq!(after.body, expected_new, "post-reload answer must come from the new model");
+    assert_ne!(after.body, before.body, "the two models must actually disagree");
+
+    std::fs::remove_file(&new_path).ok();
+    server.shutdown();
+}
+
+/// Under heavy capacity churn (cache far smaller than the working set),
+/// every response stays byte-identical and the hit/miss counters stay
+/// consistent: each admitted text is exactly one lookup, so hits+misses
+/// equals the lookup count and hits never exceed it.
+#[test]
+fn capacity_eviction_churn_keeps_stats_consistent() {
+    let server = util::start_server(ServeConfig {
+        cache_capacity: 2,
+        cache_shards: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let texts = util::covered_texts(4);
+    assert!(texts.len() >= 3, "need a working set larger than the cache");
+
+    let mut lookups = 0u64;
+    for round in 0..3 {
+        for text in &texts {
+            let resp = client.predict(text).unwrap();
+            assert_eq!(resp.status, 200, "round {round}: {}", resp.text());
+            assert_eq!(resp.body, util::expected_fragment(text), "round {round}");
+            lookups += 1;
+        }
+    }
+    let (hits, misses) = server.cache_stats();
+    assert_eq!(hits + misses, lookups, "every admitted text is exactly one lookup");
+    assert!(misses >= texts.len() as u64, "cold first round must miss");
+    assert!(hits <= lookups, "gauge consistency");
+    server.shutdown();
+}

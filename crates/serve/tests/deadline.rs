@@ -1,0 +1,116 @@
+//! Deadline-propagation and request-bounding tests: a request's budget
+//! (the `X-Deadline-Us` header or the server default) must produce a
+//! typed 504 when exhausted, never a late answer; and oversized bodies
+//! must be refused with 413 before a byte of the body is read.
+
+mod util;
+
+use edge_serve::{Client, ServeConfig};
+
+fn predict_body(text: &str) -> Vec<u8> {
+    format!("{{\"text\":{}}}", serde_json::to_string(&text).unwrap()).into_bytes()
+}
+
+/// A one-microsecond client deadline is spent before parsing finishes:
+/// the request answers `504 deadline_exceeded`, and the connection (plus
+/// the server) keeps working afterwards.
+#[test]
+fn tiny_client_deadline_yields_504() {
+    let server = util::start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let text = util::covered_texts(1).remove(0);
+
+    let resp = client
+        .request_with_headers("POST", "/predict", &[("X-Deadline-Us", "1")], &predict_body(&text))
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    assert_eq!(resp.json().get("error").unwrap().as_str(), Some("deadline_exceeded"));
+
+    // The same connection still serves: the deadline bounded one request,
+    // not the transport.
+    let resp = client.predict(&text).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, util::expected_fragment(&text));
+    server.shutdown();
+}
+
+/// Without `X-Deadline-Us`, the server default applies.
+#[test]
+fn server_default_deadline_bounds_unlabeled_requests() {
+    let server = util::start_server(ServeConfig { default_deadline_us: 1, ..Default::default() });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let text = util::covered_texts(1).remove(0);
+    let resp = client.predict(&text).unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    assert_eq!(resp.json().get("error").unwrap().as_str(), Some("deadline_exceeded"));
+    server.shutdown();
+}
+
+/// A generous budget changes nothing about the answer: bit-identical to
+/// the direct model call. `X-Deadline-Us: 0` opts out of the server
+/// default entirely (unbounded).
+#[test]
+fn bounded_and_unbounded_requests_stay_bit_identical() {
+    let server = util::start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let text = util::covered_texts(1).remove(0);
+
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/predict",
+            &[("X-Deadline-Us", "10000000")],
+            &predict_body(&text),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.body, util::expected_fragment(&text));
+
+    let resp = client
+        .request_with_headers("POST", "/predict", &[("X-Deadline-Us", "0")], &predict_body(&text))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.body, util::expected_fragment(&text));
+    server.shutdown();
+}
+
+/// A garbage deadline header is torn framing: typed 400, connection drops.
+#[test]
+fn malformed_deadline_header_is_a_bad_request() {
+    let server = util::start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let text = util::covered_texts(1).remove(0);
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/predict",
+            &[("X-Deadline-Us", "soonish")],
+            &predict_body(&text),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    server.shutdown();
+}
+
+/// A body bigger than `max_body_bytes` is refused with 413 and the
+/// connection closes (the unread body means framing is gone); the server
+/// itself keeps serving new connections.
+#[test]
+fn oversized_body_gets_413_and_the_server_survives() {
+    let server = util::start_server(ServeConfig { max_body_bytes: 64, ..ServeConfig::default() });
+    let addr = server.addr();
+    let text = util::covered_texts(1).remove(0);
+
+    let mut doomed = Client::connect(addr).unwrap();
+    let big = format!("{{\"text\":\"{}\"}}", "x".repeat(256));
+    let resp = doomed.request("POST", "/predict", big.as_bytes()).unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    assert_eq!(resp.json().get("error").unwrap().as_str(), Some("payload_too_large"));
+    assert!(doomed.predict(&text).is_err(), "the oversize connection must be closed");
+
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.predict(&text).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, util::expected_fragment(&text));
+    server.shutdown();
+}
