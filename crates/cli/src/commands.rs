@@ -59,12 +59,19 @@ COMMANDS:
                  --threads <n>                       (worker threads)
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
-    serve      run the batched HTTP inference server on a saved model
-                 --model <path>                      (required)
+    serve      run the event-loop HTTP inference server on saved model(s)
+                 --model <path>                      (required; repeat as
+                                                      --model NAME=PATH to load
+                                                      one shard per metro and
+                                                      route by resolved entities)
                  --addr <host:port>                  (default 127.0.0.1:7878)
+                 --event-loops <n>                   (epoll loop threads; default 2)
+                 --replicas <n>                      (scheduler threads per shard;
+                                                      default 1)
                  --max-batch <n>                     (default 32)
                  --max-delay-us <n>                  (batching window; default 500)
-                 --queue-capacity <n>                (shed beyond this; default 256)
+                 --queue-capacity <n>                (shed beyond this, per shard;
+                                                      default 256)
                  --cache-capacity <n>                (0 disables; default 4096)
                  --fallback-prior                    (default zero-entity policy)
                  --threads <n>                       (worker threads)
@@ -85,10 +92,11 @@ COMMANDS:
                                                       before the breaker opens;
                                                       0 = off; default 3)
                  --reload-breaker-cooldown-secs <n>  (open-breaker cooldown; default 10)
-    top        live dashboard for a running server (polls /metrics)
+    top        live dashboard for a running server (polls /metrics; prints
+               one row per model shard plus a total row)
                  --addr <host:port>                  (default 127.0.0.1:7878)
                  --interval-ms <n>                   (poll interval; default 1000)
-                 --iters <n>                         (rows to print; 0 = forever)
+                 --iters <n>                         (samples to print; 0 = forever)
                  --max-errors <n>                    (exit non-zero after this many
                                                       consecutive failed polls;
                                                       default 5)
@@ -494,9 +502,26 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 /// CRC64) and payload (schema + internal consistency) without instantiating
 /// a model, and prints what it found.
 pub fn serve(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    // `--model` is repeatable (one shard per metro); pre-extract every
+    // occurrence, since `parse_flags` keeps only the last repeat.
+    let mut models: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--model" {
+            let v = args.get(i + 1).ok_or("--model needs a value")?;
+            models.push(v.clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let flags = parse_flags(&rest)?;
     apply_threads(&flags)?;
-    let model = required(&flags, "model")?;
+    if models.is_empty() {
+        return Err("missing required --model".to_string());
+    }
 
     let mut config = edge_serve::ServeConfig { handle_signals: true, ..Default::default() };
     if let Some(addr) = flags.get("addr") {
@@ -526,11 +551,35 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     numeric(&flags, "brownout-p99-us", &mut config.brownout_p99_us)?;
     numeric(&flags, "reload-breaker-threshold", &mut config.reload_breaker_threshold)?;
     numeric(&flags, "reload-breaker-cooldown-secs", &mut config.reload_breaker_cooldown_secs)?;
+    numeric(&flags, "event-loops", &mut config.event_loops)?;
+    numeric(&flags, "replicas", &mut config.replicas)?;
     config.brownout_enabled = !flags.contains_key("no-brownout");
     config.fallback_prior = flags.contains_key("fallback-prior");
 
-    let server = edge_serve::Server::start_from_artifact(model, config)?;
-    edge_obs::progress!("serving {} on http://{}", model, server.addr());
+    // A bare path is the classic single-model server; any NAME=PATH spec
+    // switches to the routed multi-shard form (all specs must then name
+    // their shard).
+    let server = if models.len() == 1 && !models[0].contains('=') {
+        edge_serve::Server::start_from_artifact(&models[0], config)?
+    } else {
+        let specs: Vec<(String, String)> = models
+            .iter()
+            .map(|spec| match spec.split_once('=') {
+                Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                    Ok((name.to_string(), path.to_string()))
+                }
+                _ => Err(format!("bad --model '{spec}' (want NAME=PATH when multi-shard)")),
+            })
+            .collect::<Result<_, _>>()?;
+        edge_serve::Server::start_from_artifacts(&specs, config)?
+    };
+    edge_obs::progress!(
+        "serving {} ({} shard{}) on http://{}",
+        models.join(", "),
+        server.shard_names().len(),
+        if server.shard_names().len() == 1 { "" } else { "s" },
+        server.addr()
+    );
     edge_obs::progress!(
         "endpoints: POST /predict, GET /healthz, GET /metrics, POST /reload, GET /debug/requests"
     );
@@ -566,10 +615,27 @@ pub fn top(args: &[String]) -> Result<(), String> {
         edge_serve::Client::connect(sock).map_err(|e| format!("connect {addr}: {e}"))?;
 
     println!(
-        "{:>8} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>7}",
-        "qps", "p50_ms", "p95_ms", "p99_ms", "shed%", "hit%", "queue", "budget"
+        "{:>12} {:>8} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>10}",
+        "shard", "qps", "p50_ms", "p95_ms", "p99_ms", "shed%", "hit%", "queue", "mode"
     );
-    let mut prev: Option<(std::time::Instant, f64, f64, f64, f64)> = None;
+    // Previous-scrape counters per row (total + one per shard), for rates.
+    type RowCounters = HashMap<String, (f64, f64, f64, f64)>;
+    // One dashboard row: the unlabeled whole-server rollup ("total") or
+    // one shard's `serve_shard_*` family values.
+    struct TopRow {
+        name: String,
+        requests: f64,
+        /// A shed *counter* for the total row, a shed-rate *gauge* for
+        /// shard rows (`shed_is_counter` says which).
+        shed: f64,
+        hits: f64,
+        misses: f64,
+        latency_us: [f64; 3],
+        queue: f64,
+        mode: f64,
+        shed_is_counter: bool,
+    }
+    let mut prev: Option<(std::time::Instant, RowCounters)> = None;
     let mut i = 0u64;
     let mut consecutive_errors = 0u32;
     loop {
@@ -607,48 +673,118 @@ pub fn top(args: &[String]) -> Result<(), String> {
             }
         };
         let now = std::time::Instant::now();
-        let val = |name: &str| scrape.value(name, &[]).unwrap_or(0.0);
-        let requests = val("serve_requests_total");
-        let shed = val("serve_shed_total");
-        let hits = val("serve_cache_stats_hits");
-        let misses = val("serve_cache_stats_misses");
-
-        let (qps, shed_rate, hit_rate) = match prev {
-            Some((t, r0, s0, h0, m0)) => {
-                let dt = now.duration_since(t).as_secs_f64().max(1e-9);
-                let dr = (requests - r0).max(0.0);
-                let ds = (shed - s0).max(0.0);
-                let dh = (hits - h0).max(0.0);
-                let dm = (misses - m0).max(0.0);
-                let lookups = dh + dm;
-                (
-                    dr / dt,
-                    if dr > 0.0 { ds / dr } else { 0.0 },
-                    if lookups > 0.0 { dh / lookups } else { 0.0 },
-                )
-            }
-            // First sample has no rate base; lifetime ratios stand in.
-            None => {
-                let lookups = hits + misses;
-                (
-                    0.0,
-                    if requests > 0.0 { shed / requests } else { 0.0 },
-                    if lookups > 0.0 { hits / lookups } else { 0.0 },
-                )
-            }
+        let val = |name: &str, labels: &[(&str, &str)]| scrape.value(name, labels).unwrap_or(0.0);
+        let mode_name = |m: f64| match m as i64 {
+            0 => "full",
+            1 => "cache_only",
+            2 => "prior_only",
+            3 => "shed",
+            _ => "?",
         };
-        println!(
-            "{:>8.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>7.2} {:>6.0} {:>7.3}",
-            qps,
-            val("serve_request_us_p50") / 1_000.0,
-            val("serve_request_us_p95") / 1_000.0,
-            val("serve_request_us_p99") / 1_000.0,
-            shed_rate * 100.0,
-            hit_rate * 100.0,
-            val("serve_queue_depth"),
-            val("serve_slo_budget_remaining"),
-        );
-        prev = Some((now, requests, shed, hits, misses));
+        // Shard rows come from the `serve_shard_*` labeled families; the
+        // total row keeps the unlabeled whole-server rollups.
+        let mut shard_names: Vec<String> = scrape
+            .samples()
+            .filter(|s| s.name == "serve_shard_requests_total")
+            .filter_map(|s| s.labels.iter().find(|(k, _)| k == "shard").map(|(_, v)| v.clone()))
+            .collect();
+        shard_names.sort();
+        shard_names.dedup();
+
+        let mut rows = vec![TopRow {
+            name: "total".to_string(),
+            requests: val("serve_requests_total", &[]),
+            shed: val("serve_shed_total", &[]),
+            hits: val("serve_cache_stats_hits", &[]),
+            misses: val("serve_cache_stats_misses", &[]),
+            latency_us: [
+                val("serve_request_us_p50", &[]),
+                val("serve_request_us_p95", &[]),
+                val("serve_request_us_p99", &[]),
+            ],
+            queue: val("serve_queue_depth", &[]),
+            mode: val("serve_mode", &[]),
+            shed_is_counter: true,
+        }];
+        for name in &shard_names {
+            let l: &[(&str, &str)] = &[("shard", name)];
+            rows.push(TopRow {
+                name: name.clone(),
+                requests: val("serve_shard_requests_total", l),
+                shed: val("serve_shard_shed_rate", l),
+                hits: val("serve_shard_cache_hits", l),
+                misses: val("serve_shard_cache_misses", l),
+                latency_us: [
+                    val("serve_shard_request_us_p50", l),
+                    val("serve_shard_request_us_p95", l),
+                    val("serve_shard_request_us_p99", l),
+                ],
+                queue: val("serve_shard_queue_depth", l),
+                mode: val("serve_shard_mode", l),
+                shed_is_counter: false,
+            });
+        }
+
+        let mut next_prev: RowCounters = HashMap::new();
+        for row in &rows {
+            let base = prev
+                .as_ref()
+                .and_then(|(t, m)| m.get(&row.name).map(|&(r0, s0, h0, m0)| (*t, r0, s0, h0, m0)));
+            let (qps, shed_rate, hit_rate) = match base {
+                Some((t, r0, s0, h0, m0)) => {
+                    let dt = now.duration_since(t).as_secs_f64().max(1e-9);
+                    let dr = (row.requests - r0).max(0.0);
+                    let ds = (row.shed - s0).max(0.0);
+                    let dh = (row.hits - h0).max(0.0);
+                    let dm = (row.misses - m0).max(0.0);
+                    let lookups = dh + dm;
+                    (
+                        dr / dt,
+                        if row.shed_is_counter {
+                            if dr > 0.0 {
+                                ds / dr
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            row.shed // per-shard shed rate is already a gauge
+                        },
+                        if lookups > 0.0 { dh / lookups } else { 0.0 },
+                    )
+                }
+                // First sample has no rate base; lifetime ratios stand in.
+                None => {
+                    let lookups = row.hits + row.misses;
+                    (
+                        0.0,
+                        if row.shed_is_counter {
+                            if row.requests > 0.0 {
+                                row.shed / row.requests
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            row.shed
+                        },
+                        if lookups > 0.0 { row.hits / lookups } else { 0.0 },
+                    )
+                }
+            };
+            println!(
+                "{:>12.12} {:>8.1} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>7.2} {:>6.0} {:>10}",
+                row.name,
+                qps,
+                row.latency_us[0] / 1_000.0,
+                row.latency_us[1] / 1_000.0,
+                row.latency_us[2] / 1_000.0,
+                shed_rate * 100.0,
+                hit_rate * 100.0,
+                row.queue,
+                mode_name(row.mode),
+            );
+            next_prev.insert(row.name.clone(), (row.requests, row.shed, row.hits, row.misses));
+        }
+        prev = Some((now, next_prev));
         i += 1;
         if iters > 0 && i >= iters {
             return Ok(());

@@ -141,6 +141,67 @@ impl Drop for AdoptGuard {
     }
 }
 
+/// A span whose lifetime is detached from any thread's span stack: it is
+/// opened with [`DetachedSpan::begin`], hands out its [`SpanContext`] for
+/// children to [`adopt`] (possibly on other threads), and records itself
+/// when dropped or [`finish`](DetachedSpan::finish)ed — from whatever
+/// thread that happens on.
+///
+/// This is what an event-loop server needs for its per-request root span:
+/// a [`span`] guard held across an asynchronous wait would sit on the loop
+/// thread's stack and mis-parent every other request's spans, while a
+/// detached span never touches the stack at all.
+#[derive(Debug)]
+pub struct DetachedSpan {
+    /// 0 when tracing was disabled at `begin` (then drop is a no-op).
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    request: u64,
+    start: Instant,
+}
+
+impl DetachedSpan {
+    /// Opens a detached span parented to the calling thread's current
+    /// context (like [`span`]), without pushing the thread's span stack.
+    #[must_use = "the span ends when this value is dropped"]
+    pub fn begin(name: &'static str) -> DetachedSpan {
+        let ctx = current_context();
+        let id =
+            if crate::trace_enabled() { NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed) } else { 0 };
+        DetachedSpan { id, parent: ctx.span, name, request: ctx.request, start: Instant::now() }
+    }
+
+    /// The context child spans should [`adopt`]: this span's request id and
+    /// (when tracing is live) this span's id as their parent.
+    pub fn ctx(&self) -> SpanContext {
+        SpanContext { request: self.request, span: self.id }
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for DetachedSpan {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let end = Instant::now();
+        let st = state();
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            thread: THREAD_ID.with(|t| *t),
+            request: self.request,
+            start_us: self.start.saturating_duration_since(st.epoch).as_micros() as u64,
+            dur_us: end.saturating_duration_since(self.start).as_micros() as u64,
+        };
+        st.records.lock().unwrap().push(record);
+    }
+}
+
 /// Appends a span for an interval measured manually (no guard was open):
 /// the caller supplies the parent context and both endpoints. Used for
 /// cross-thread stages like queue wait, where the span conceptually starts

@@ -83,6 +83,10 @@ impl StageCells {
 pub struct Pending {
     state: Mutex<PendingState>,
     done: Condvar,
+    /// Ran once when the last fragment lands — how the event loop learns
+    /// (via its waker) that an async request is ready to serialize,
+    /// without any thread blocking in [`Pending::wait`].
+    notifier: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 /// Fragment slots plus the count still outstanding.
@@ -91,18 +95,53 @@ type PendingState = (Vec<Option<Arc<Vec<u8>>>>, usize);
 impl Pending {
     /// A pending response expecting `n` fragments.
     pub fn new(n: usize) -> Self {
-        Self { state: Mutex::new((vec![None; n], n)), done: Condvar::new() }
+        Self { state: Mutex::new((vec![None; n], n)), done: Condvar::new(), notifier: None }
     }
 
-    /// Delivers fragment `i`.
+    /// [`Pending::new`] plus a completion callback, invoked exactly once
+    /// from whichever thread delivers the final fragment.
+    pub fn with_notifier(n: usize, notifier: impl Fn() + Send + Sync + 'static) -> Self {
+        Self {
+            state: Mutex::new((vec![None; n], n)),
+            done: Condvar::new(),
+            notifier: Some(Box::new(notifier)),
+        }
+    }
+
+    /// Delivers fragment `i`. First delivery wins: a duplicate (a late
+    /// batch result racing a deadline eviction, say) neither overwrites
+    /// the fragment nor re-notifies.
     pub fn fulfill(&self, i: usize, bytes: Arc<Vec<u8>>) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.0[i].replace(bytes).is_none() {
-            state.1 -= 1;
-        }
-        if state.1 == 0 {
+        let completed = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let newly_filled = state.0[i].is_none();
+            if newly_filled {
+                state.0[i] = Some(bytes);
+                state.1 -= 1;
+            }
+            // Only the fulfill that *drops the count to zero* completes;
+            // a duplicate arriving after completion must not re-notify.
+            newly_filled && state.1 == 0
+        };
+        // Wake outside the lock; `wait` re-checks the count under it, so
+        // the early drop costs nothing and the notifier can take locks of
+        // its own without ordering against ours.
+        if completed {
             self.done.notify_all();
+            if let Some(notifier) = &self.notifier {
+                notifier();
+            }
         }
+    }
+
+    /// The fragments if all arrived, without blocking — the event loop's
+    /// check when a completion wake (or a timeout tick) comes in.
+    pub fn try_results(&self) -> Option<Vec<Arc<Vec<u8>>>> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.1 > 0 {
+            return None;
+        }
+        Some(state.0.iter().map(|slot| Arc::clone(slot.as_ref().expect("filled"))).collect())
     }
 
     /// Blocks until every fragment arrived; `None` on timeout (scheduler
@@ -153,6 +192,13 @@ impl BatchQueue {
     /// Queue length right now.
     pub fn depth(&self) -> usize {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Wakes every scheduler parked in `pop_batch` so a shutdown is
+    /// observed immediately instead of at the next 20ms idle poll.
+    pub fn notify_waiters(&self) {
+        let _q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.arrived.notify_all();
     }
 
     /// Evicts every queued job whose deadline has passed, fulfilling it
@@ -363,6 +409,27 @@ mod tests {
     fn pending_wait_times_out_when_unfulfilled() {
         let p = Pending::new(1);
         assert!(p.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn pending_notifier_fires_once_on_the_last_fragment() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&fired);
+        let p = Pending::with_notifier(2, move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(p.try_results().is_none());
+        p.fulfill(1, Arc::new(b"b".to_vec()));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "not complete yet");
+        assert!(p.try_results().is_none());
+        p.fulfill(0, Arc::new(b"a".to_vec()));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Duplicate fulfills never re-notify.
+        p.fulfill(0, Arc::new(b"x".to_vec()));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let got = p.try_results().unwrap();
+        assert_eq!(&*got[0], b"a");
+        assert_eq!(&*got[1], b"b");
     }
 
     fn job(pending: &Arc<Pending>, index: usize) -> Job {

@@ -78,6 +78,13 @@ pub struct ServeConfig {
     pub reload_breaker_threshold: u32,
     /// How long an open `/reload` breaker rejects attempts, seconds.
     pub reload_breaker_cooldown_secs: u64,
+    /// Event-loop threads sharing the connection load. Connections are
+    /// handed off round-robin at accept; each loop multiplexes thousands
+    /// of keep-alive sockets over one `epoll` instance.
+    pub event_loops: usize,
+    /// Scheduler threads per shard draining its micro-batch queue. More
+    /// than one lets a shard keep batching while a batch is in flight.
+    pub replicas: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +118,8 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             reload_breaker_threshold: 3,
             reload_breaker_cooldown_secs: 10,
+            event_loops: 2,
+            replicas: 1,
         }
     }
 }
@@ -154,6 +163,12 @@ impl ServeConfig {
         if self.retry_after_secs == 0 {
             return Err("retry_after_secs must be at least 1".into());
         }
+        if self.event_loops == 0 {
+            return Err("event_loops must be at least 1".into());
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -192,6 +207,10 @@ mod tests {
         };
         assert!(c.validate().is_ok(), "brownout knobs unchecked when disabled");
         let c = ServeConfig { retry_after_secs: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { event_loops: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { replicas: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -226,6 +226,97 @@ pub fn read_request(reader: &mut impl BufRead, limits: &ReadLimits) -> io::Resul
     }))
 }
 
+/// What [`parse_buffered`] found at the front of a connection's read
+/// buffer. The event loop calls it after every read edge; `Partial` just
+/// means "wait for more bytes".
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer does not yet hold one complete request.
+    Partial,
+    /// One complete request; `consumed` bytes belong to it (the rest of
+    /// the buffer is the next pipelined request).
+    Complete { req: Request, consumed: usize },
+    /// Declared `Content-Length` exceeds `max_body_bytes` — answer 413
+    /// and close without waiting for the body.
+    TooLarge,
+    /// Malformed framing (bad request line, bad `Content-Length`, bad
+    /// `X-Deadline-Us`) — answer 400 and close.
+    Bad(&'static str),
+}
+
+/// Parses one request from the front of `buf` without consuming it — the
+/// non-blocking twin of [`read_request`], for event-loop connections that
+/// accumulate bytes across read edges. Same grammar, same quirks (header
+/// cap breaks to the body, colon-less header lines are skipped), same
+/// error strings, so blocking and buffered paths answer identically.
+pub fn parse_buffered(buf: &[u8], limits: &ReadLimits) -> ParseStatus {
+    let mut pos = 0usize;
+    let Some(line_end) = find_line(buf, pos) else {
+        return ParseStatus::Partial;
+    };
+    let line = String::from_utf8_lossy(&buf[pos..line_end]);
+    pos = line_end + 1;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
+        return ParseStatus::Bad("malformed request line");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut request_id = None;
+    let mut deadline_us = None;
+    for _ in 0..MAX_HEADERS {
+        let Some(line_end) = find_line(buf, pos) else {
+            return ParseStatus::Partial;
+        };
+        let header = String::from_utf8_lossy(&buf[pos..line_end]);
+        pos = line_end + 1;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => return ParseStatus::Bad("bad content-length"),
+            };
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+            request_id = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-deadline-us") {
+            deadline_us = match value.parse() {
+                Ok(n) => Some(n),
+                Err(_) => return ParseStatus::Bad("bad x-deadline-us header"),
+            };
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return ParseStatus::TooLarge;
+    }
+    if buf.len() < pos + content_length {
+        return ParseStatus::Partial;
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    ParseStatus::Complete {
+        req: Request { method, path, query, body, keep_alive, request_id, deadline_us },
+        consumed: pos + content_length,
+    }
+}
+
+/// Index of the `\n` ending the line that starts at `from`, if buffered.
+fn find_line(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..].iter().position(|&b| b == b'\n').map(|i| from + i)
+}
+
 /// Writes one response with `Content-Length` framing.
 pub fn write_response(
     stream: &mut impl Write,
@@ -513,6 +604,54 @@ mod tests {
             fn consume(&mut self, _amt: usize) {}
         }
         assert!(matches!(read_request(&mut NeverReady, &limits()).unwrap(), ReadOutcome::Idle));
+    }
+
+    #[test]
+    fn buffered_parser_matches_the_blocking_grammar() {
+        let raw = b"POST /predict?fast=1 HTTP/1.1\r\nX-Request-Id: r9\r\nX-Deadline-Us: 2500\r\nContent-Length: 4\r\n\r\nabcdGET /next";
+        let ParseStatus::Complete { req, consumed } = parse_buffered(raw, &limits()) else {
+            panic!("expected a complete request")
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query_param("fast"), Some("1"));
+        assert_eq!(req.request_id.as_deref(), Some("r9"));
+        assert_eq!(req.deadline_us, Some(2500));
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(&raw[consumed..], b"GET /next", "pipelined tail stays buffered");
+    }
+
+    #[test]
+    fn buffered_parser_reports_partial_until_the_request_lands() {
+        let full = b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_buffered(&full[..cut], &limits()), ParseStatus::Partial),
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        assert!(matches!(parse_buffered(full, &limits()), ParseStatus::Complete { .. }));
+    }
+
+    #[test]
+    fn buffered_parser_types_bad_and_oversized_requests() {
+        assert!(matches!(
+            parse_buffered(b"\r\n\r\n", &limits()),
+            ParseStatus::Bad("malformed request line")
+        ));
+        assert!(matches!(
+            parse_buffered(b"POST /p HTTP/1.1\r\nContent-Length: soon\r\n\r\n", &limits()),
+            ParseStatus::Bad("bad content-length")
+        ));
+        assert!(matches!(
+            parse_buffered(b"POST /p HTTP/1.1\r\nX-Deadline-Us: soonish\r\n\r\n", &limits()),
+            ParseStatus::Bad("bad x-deadline-us header")
+        ));
+        let lim = ReadLimits { max_body_bytes: 64, ..ReadLimits::default() };
+        assert!(matches!(
+            parse_buffered(b"POST /p HTTP/1.1\r\nContent-Length: 65\r\n\r\n", &lim),
+            ParseStatus::TooLarge
+        ));
     }
 
     #[test]

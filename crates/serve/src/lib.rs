@@ -1,8 +1,9 @@
 //! # edge-serve — batched, hot-reloadable inference serving
 //!
 //! An HTTP/1.1 inference server for trained EDGE models, built directly
-//! on `std::net` (the workspace is offline; see `shims/README.md` for the
-//! no-external-crates policy). Four endpoints:
+//! on `std::net` plus raw `epoll` syscalls ([`reactor`]; the workspace is
+//! offline — see `shims/README.md` for the no-external-crates policy).
+//! Endpoints:
 //!
 //! | endpoint | method | purpose |
 //! |---|---|---|
@@ -17,14 +18,33 @@
 //! connection thread, the scheduler, and the `edge-par` workers — so one
 //! request can be reconstructed end-to-end from the JSONL trace.
 //!
-//! Inside, texts flow through a micro-batching scheduler ([`batch`]):
-//! connection threads resolve entities, consult a sharded response cache
-//! ([`cache`]), and enqueue the misses into a bounded queue that a single
-//! scheduler thread drains in batches of up to `max_batch`, dispatched
+//! ## Architecture
+//!
+//! Connections are multiplexed by a small pool of **event loops**
+//! ([`reactor`], [`server`]): each loop thread owns one edge-triggered
+//! `epoll` instance and a set of non-blocking connection state machines
+//! supporting HTTP/1.1 keep-alive *and pipelining* (responses strictly in
+//! request order). An idle keep-alive connection is one fd in an interest
+//! list — 10k+ of them cost zero threads. Wakeups between threads use
+//! `eventfd`: batch completions and `SIGTERM` both unpark a sleeping
+//! loop in microseconds.
+//!
+//! A server can load **multiple model shards** (one per metro, say) behind
+//! an entity **router** ([`router`]): each text's resolved entity set
+//! picks a shard — by gazetteer affinity when one shard uniquely knows
+//! the mentioned entities, by consistent hashing otherwise — and every
+//! shard runs its own micro-batch queue, scheduler replicas, response
+//! cache partition, SLO tracker, and brownout ladder. Per-shard state is
+//! visible as `serve_shard_*` labeled metric families.
+//!
+//! Texts flow through a micro-batching scheduler ([`batch`]): the event
+//! loop resolves entities, consults the shard's response cache
+//! ([`cache`]), and enqueues the misses into its bounded queue, which
+//! scheduler threads drain in batches of up to `max_batch`, dispatched
 //! through the model's order-preserving `locate_batch`. Responses are
 //! **bit-identical** to direct [`edge_core::Predictor`] calls: batching,
-//! caching, and the wire format never change a single float bit (the
-//! JSON writer emits shortest-round-trip decimals).
+//! caching, routing, and the wire format never change a single float bit
+//! (the JSON writer emits shortest-round-trip decimals).
 //!
 //! Overload is explicit: a `POST` whose texts do not all fit in the
 //! queue is shed with `429` and counted in `serve.shed`. Hot reload is
@@ -62,6 +82,8 @@ pub mod deadline;
 pub mod http;
 pub mod json;
 mod metrics;
+pub mod reactor;
+pub mod router;
 pub mod server;
 pub mod slot;
 
@@ -70,5 +92,6 @@ pub use cache::{CacheKey, ResponseCache};
 pub use client::{Client, RetryPolicy};
 pub use config::ServeConfig;
 pub use deadline::Deadline;
+pub use router::{HashRing, Router};
 pub use server::Server;
 pub use slot::ModelSlot;

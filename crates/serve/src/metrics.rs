@@ -9,7 +9,7 @@
 use std::sync::OnceLock;
 
 use edge_obs::ring::{N_STAGES, STAGE_NAMES};
-use edge_obs::{Counter, Histogram};
+use edge_obs::{Counter, Gauge, Histogram};
 
 /// Endpoint labels in grid order; `other` catches unknown paths.
 pub(crate) const ENDPOINTS: [&str; 6] =
@@ -113,6 +113,81 @@ pub(crate) fn mode_transition_counter(to: &'static str) -> &'static Counter {
     cells[mode_index(to)]
 }
 
+/// Every per-shard cell, resolved once at server start for a leaked
+/// shard name (shard topology is fixed for the process lifetime, so the
+/// leak is bounded and the hot path stays an array-free pointer deref).
+///
+/// The `serve_shard_request_us` histogram is what gives each shard its
+/// own `_p50/_p95/_p99` estimate gauges in the OpenMetrics exposition —
+/// the per-shard p99 the bench and `edge-cli top` report.
+pub(crate) struct ShardCells {
+    /// `serve_shard_requests{shard}`: predict requests this shard served.
+    pub requests: &'static Counter,
+    /// `serve_shard_texts{shard}`: predict texts routed to this shard.
+    pub texts: &'static Counter,
+    /// `serve_shard_request_us{shard}`: predict latency per shard.
+    pub request_us: &'static Histogram,
+    /// Scrape-time gauges mirroring the shard's queue/cache/SLO state.
+    pub queue_depth: &'static Gauge,
+    pub shed_rate: &'static Gauge,
+    pub cache_hits: &'static Gauge,
+    pub cache_misses: &'static Gauge,
+    pub mode: &'static Gauge,
+    pub generation: &'static Gauge,
+}
+
+/// Resolves the full cell set for one shard label.
+pub(crate) fn shard_cells(shard: &'static str) -> ShardCells {
+    let label: &[(&'static str, &'static str)] = &[("shard", shard)];
+    ShardCells {
+        requests: edge_obs::labels::counter_family(
+            "serve_shard_requests",
+            "Predict requests served, by model shard.",
+        )
+        .with(label),
+        texts: edge_obs::labels::counter_family(
+            "serve_shard_texts",
+            "Predict texts routed, by model shard.",
+        )
+        .with(label),
+        request_us: edge_obs::labels::histogram_family(
+            "serve_shard_request_us",
+            "Predict request latency in microseconds, by model shard.",
+        )
+        .with(label),
+        queue_depth: edge_obs::labels::gauge_family(
+            "serve_shard_queue_depth",
+            "Micro-batch queue depth, by model shard.",
+        )
+        .with(label),
+        shed_rate: edge_obs::labels::gauge_family(
+            "serve_shard_shed_rate",
+            "Rolling shed fraction, by model shard.",
+        )
+        .with(label),
+        cache_hits: edge_obs::labels::gauge_family(
+            "serve_shard_cache_hits",
+            "Response-cache hits, by model shard.",
+        )
+        .with(label),
+        cache_misses: edge_obs::labels::gauge_family(
+            "serve_shard_cache_misses",
+            "Response-cache misses, by model shard.",
+        )
+        .with(label),
+        mode: edge_obs::labels::gauge_family(
+            "serve_shard_mode",
+            "Brownout ladder position (0=full .. 3=shed), by model shard.",
+        )
+        .with(label),
+        generation: edge_obs::labels::gauge_family(
+            "serve_shard_generation",
+            "Loaded model generation, by model shard.",
+        )
+        .with(label),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +205,16 @@ mod tests {
         assert!(!std::ptr::eq(batch_path_counter(false), batch_path_counter(true)));
         assert!(!std::ptr::eq(mode_rejection_counter("shed"), mode_rejection_counter("full")));
         assert!(std::ptr::eq(mode_transition_counter("full"), mode_transition_counter("full")));
+    }
+
+    #[test]
+    fn shard_cells_are_stable_per_label() {
+        let a = shard_cells("nyma");
+        let b = shard_cells("nyma");
+        let other = shard_cells("lama");
+        assert!(std::ptr::eq(a.requests, b.requests));
+        assert!(std::ptr::eq(a.request_us, b.request_us));
+        assert!(!std::ptr::eq(a.requests, other.requests));
+        assert!(!std::ptr::eq(a.mode, other.mode));
     }
 }

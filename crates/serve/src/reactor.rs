@@ -1,0 +1,323 @@
+//! Dependency-free `epoll` reactor primitives for the event-loop server.
+//!
+//! The workspace is offline (no `libc`, no `mio`), so the handful of
+//! syscalls an event loop needs — `epoll_create1`/`epoll_ctl`/
+//! `epoll_wait`, `eventfd`, `poll`, and `setrlimit` — are declared as
+//! `extern "C"` shims against the C library `std` already links, the same
+//! precedent as the `signal()` shim the server uses for SIGTERM. Errors
+//! surface as `io::Error::last_os_error()`, so `errno` text comes through.
+//!
+//! Three building blocks:
+//!
+//! * [`Poller`] — an `epoll` instance. Sockets register **once** with
+//!   [`interest_rw`] (edge-triggered, both directions, peer-hangup); the
+//!   loop then reads/writes to `WouldBlock` on every edge, so 10k idle
+//!   keep-alive connections cost zero threads and zero per-tick work.
+//! * [`Waker`] — an `eventfd` another thread writes to pull a sleeping
+//!   loop out of `epoll_wait` (new connection handed off, batch
+//!   completed, shutdown requested).
+//! * [`raise_nofile_limit`] — lifts `RLIMIT_NOFILE` toward a target so
+//!   the high-concurrency bench can actually hold 10k+ sockets.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// epoll interest/event bits (uapi/linux/eventpoll.h).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EFD_NONBLOCK: i32 = 0x800;
+const EFD_CLOEXEC: i32 = 0x80000;
+
+const POLLIN_FLAG: i16 = 0x001;
+const RLIMIT_NOFILE: i32 = 7;
+
+/// The standard read/write registration for a connection: edge-triggered
+/// readiness in both directions plus peer half-close notification.
+pub const fn interest_rw() -> u32 {
+    EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET
+}
+
+/// One `struct epoll_event`. Packed on x86_64 (the kernel ABI packs it
+/// there so 32- and 64-bit layouts agree); natural alignment elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// Readiness bits reported by the kernel.
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token the fd was registered under.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An `epoll` instance owning its fd.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    /// Registers `fd` under `token` with the given interest bits.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, data: token };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Changes an existing registration's interest/token.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, data: token };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Removes a registration (closing the fd also removes it; explicit
+    /// delete keeps the loop's bookkeeping honest).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Blocks for readiness up to `timeout_ms` (`-1` = forever). Fills
+    /// `events` and returns how many fired; `EINTR` is reported as zero
+    /// events so callers just re-loop.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n =
+            unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A zeroed event buffer for [`Poller::wait`].
+pub fn event_buffer(n: usize) -> Vec<EpollEvent> {
+    vec![EpollEvent { events: 0, data: 0 }; n]
+}
+
+/// An `eventfd` used to wake a loop out of `epoll_wait` from another
+/// thread. Level-triggered reads: a wake before the loop sleeps still
+/// wakes the next `epoll_wait` immediately.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker { fd: raw_eventfd()? })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Posts a wake. Saturation (`EAGAIN` on a counter at `u64::MAX - 1`)
+    /// is fine: the loop is already guaranteed to wake.
+    pub fn wake(&self) {
+        eventfd_write(self.fd);
+    }
+
+    /// Consumes all posted wakes so the next `epoll_wait` can sleep.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A bare non-blocking `eventfd` (for the process-wide signal fd, which
+/// must never be dropped/closed — signal handlers hold its number).
+pub fn raw_eventfd() -> io::Result<RawFd> {
+    cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })
+}
+
+/// Adds 1 to an eventfd counter. Async-signal-safe (one `write` call), so
+/// signal handlers can use it to wake a parked [`wait_readable`].
+pub fn eventfd_write(fd: RawFd) {
+    let one: u64 = 1;
+    unsafe { write(fd, &one as *const u64 as *const u8, 8) };
+}
+
+/// Blocks until `fd` is readable or `timeout_ms` passes (`-1` = forever).
+/// Returns whether it became readable. `EINTR` counts as a wake: the
+/// caller re-checks its condition either way.
+pub fn wait_readable(fd: RawFd, timeout_ms: i32) -> bool {
+    let mut pfd = PollFd { fd, events: POLLIN_FLAG, revents: 0 };
+    let n = unsafe { poll(&mut pfd, 1, timeout_ms) };
+    n != 0
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `target` (capped at the hard
+/// limit). Returns the soft limit now in effect. The high-concurrency
+/// bench calls this before opening 10k+ sockets.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.cur >= target {
+        return Ok(lim.cur);
+    }
+    if lim.max < target {
+        // Privileged processes may lift the hard limit too; unprivileged
+        // ones fall through to soft = old hard below.
+        let both = RLimit { cur: target, max: target };
+        if cvt(unsafe { setrlimit(RLIMIT_NOFILE, &both) }).is_ok() {
+            return Ok(target);
+        }
+    }
+    let raised = RLimit { cur: target.min(lim.max), max: lim.max };
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &raised) })?;
+    Ok(raised.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_edge_triggered_readability() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, interest_rw()).unwrap();
+        let mut events = event_buffer(8);
+
+        // Freshly registered writable socket: an EPOLLOUT edge fires.
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].events() & EPOLLOUT != 0);
+
+        // Nothing to read yet: a short wait times out with zero events.
+        assert_eq!(poller.wait(&mut events, 10).unwrap(), 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].events() & EPOLLIN != 0);
+
+        // Edge-triggered: without draining the socket, no new edge fires.
+        assert_eq!(poller.wait(&mut events, 20).unwrap(), 0);
+        let mut buf = [0u8; 16];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+
+        // Peer hangup surfaces as EPOLLRDHUP/EPOLLHUP.
+        drop(a);
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].events() & (EPOLLRDHUP | EPOLLHUP) != 0);
+        poller.delete(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_a_sleeping_poller_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.fd(), 1, EPOLLIN).unwrap();
+        let mut events = event_buffer(4);
+        assert_eq!(poller.wait(&mut events, 10).unwrap(), 0, "no wake yet");
+
+        // A wake posted before the wait still wakes it (level-triggered).
+        waker.wake();
+        waker.wake();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 1);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 10).unwrap(), 0, "drained");
+    }
+
+    #[test]
+    fn raw_eventfd_wait_readable_roundtrip() {
+        let fd = raw_eventfd().unwrap();
+        assert!(!wait_readable(fd, 10), "nothing written yet");
+        eventfd_write(fd);
+        assert!(wait_readable(fd, 1000));
+        // Level-triggered: still readable until consumed.
+        assert!(wait_readable(fd, 0));
+        unsafe { close(fd) };
+    }
+
+    #[test]
+    fn nofile_limit_raises_toward_target() {
+        let now = raise_nofile_limit(1024).unwrap();
+        assert!(now >= 1024 || now > 0, "soft limit reported: {now}");
+        // Idempotent: asking again for less than current keeps it.
+        let again = raise_nofile_limit(512).unwrap();
+        assert!(again >= now.min(1024));
+    }
+}

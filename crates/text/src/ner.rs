@@ -147,6 +147,17 @@ impl EntityRecognizer {
         self.gazetteer.len()
     }
 
+    /// Merges another recognizer's gazetteer into this one. On conflicting
+    /// entries the existing category wins, so merge order decides ties.
+    /// Used by the serving router to build a union recognizer over every
+    /// loaded shard model (routing needs to see all shards' entities).
+    pub fn merge(&mut self, other: &EntityRecognizer) {
+        for (toks, cat) in &other.gazetteer {
+            self.max_phrase_len = self.max_phrase_len.max(toks.len());
+            self.gazetteer.entry(toks.clone()).or_insert(*cat);
+        }
+    }
+
     /// Looks up a lowercase token sequence.
     fn lookup(&self, toks: &[String]) -> Option<EntityCategory> {
         self.gazetteer.get(toks).copied()
@@ -406,5 +417,20 @@ mod tests {
     #[test]
     fn empty_text_yields_no_entities() {
         assert!(recognizer().recognize("").is_empty());
+    }
+
+    #[test]
+    fn merge_unions_gazetteers_with_existing_entries_winning() {
+        let mut a = EntityRecognizer::with_gazetteer([("Broadway", EntityCategory::Geolocation)]);
+        let b = EntityRecognizer::with_gazetteer([
+            ("Broadway", EntityCategory::Other),
+            ("Sunset Boulevard West", EntityCategory::Geolocation),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.gazetteer_len(), 2);
+        let ms = a.recognize("on Broadway then sunset boulevard west");
+        let broadway = ms.iter().find(|m| m.id == "broadway").expect("broadway");
+        assert_eq!(broadway.category, EntityCategory::Geolocation);
+        assert!(ms.iter().any(|m| m.id == "sunset_boulevard_west"));
     }
 }

@@ -87,7 +87,10 @@ print("predict OK:", covered[:60])
 EOF
 
 echo "== /metrics =="
-curl -sf "http://$ADDR/metrics" | grep -q "serve_requests_total" || {
+# (body is buffered before grep: with pipefail, grep -q quitting at the
+# first match can hand curl an EPIPE and fail the whole pipeline.)
+curl -sf "http://$ADDR/metrics" > "$WORKDIR/metrics.txt"
+grep -q "serve_requests_total" "$WORKDIR/metrics.txt" || {
     echo "metrics dump is missing serve counters"; exit 1; }
 
 echo "== /reload rejects a corrupted artifact =="
@@ -103,7 +106,8 @@ STATUS=$(curl -s -o "$WORKDIR/reload.json" -w '%{http_code}' \
 cat "$WORKDIR/reload.json"; echo
 [ "$STATUS" = "422" ] || { echo "expected 422, got $STATUS"; exit 1; }
 # The old model keeps serving.
-curl -sf "http://$ADDR/healthz" | grep -q '"generation":"1"' || {
+curl -sf "http://$ADDR/healthz" > "$WORKDIR/health1.json"
+grep -q '"generation":"1"' "$WORKDIR/health1.json" || {
     echo "rejected reload must not bump the generation"; exit 1; }
 
 echo "== /reload swaps in a healthy artifact =="
@@ -111,7 +115,8 @@ STATUS=$(curl -s -o "$WORKDIR/reload2.json" -w '%{http_code}' \
     -d "{\"path\": \"$WORKDIR/model.json\"}" "http://$ADDR/reload")
 cat "$WORKDIR/reload2.json"; echo
 [ "$STATUS" = "200" ] || { echo "expected 200, got $STATUS"; exit 1; }
-curl -sf "http://$ADDR/healthz" | grep -q '"generation":"2"' || {
+curl -sf "http://$ADDR/healthz" > "$WORKDIR/health2.json"
+grep -q '"generation":"2"' "$WORKDIR/health2.json" || {
     echo "healthy reload must bump the generation"; exit 1; }
 
 echo "== graceful shutdown on SIGTERM =="
@@ -121,5 +126,132 @@ for _ in $(seq 1 50); do
     sleep 0.2
 done
 [ -z "$SERVER_PID" ] || { echo "server did not drain on SIGTERM"; exit 1; }
+
+echo "== two-shard routing: disjoint metros land on their own shard =="
+$BIN generate --preset lama --size smoke --seed 8 --out "$WORKDIR/corpus2.json"
+$BIN train --data "$WORKDIR/corpus2.json" --profile smoke --epochs 2 \
+    --out "$WORKDIR/model2.json"
+
+# Raise the fd ceiling before the server inherits it: the
+# high-concurrency leg below holds thousands of sockets on both sides.
+ulimit -n 65536 2>/dev/null || ulimit -n "$(ulimit -Hn)" || true
+echo "   ulimit -n: $(ulimit -n)"
+
+ADDR2=127.0.0.1:7980
+$BIN serve --model "nyma=$WORKDIR/model.json" --model "lama=$WORKDIR/model2.json" \
+    --addr "$ADDR2" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR2/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "two-shard server died"; exit 1; }
+    sleep 0.2
+done
+
+python3 - "$WORKDIR/corpus.json" "$WORKDIR/corpus2.json" "$ADDR2" <<'EOF'
+import json, subprocess, sys
+
+ny_corpus = json.load(open(sys.argv[1]))
+la_corpus = json.load(open(sys.argv[2]))
+addr = sys.argv[3]
+
+def post(path, payload):
+    out = subprocess.run(
+        ["curl", "-s", "-w", "\n%{http_code}", f"http://{addr}{path}",
+         "-H", "Content-Type: application/json", "-d", json.dumps(payload)],
+        check=True, capture_output=True, text=True).stdout
+    body, status = out.rsplit("\n", 1)
+    return int(status), json.loads(body)
+
+# Drive covered tweets from each metro: their entity sets are disjoint,
+# so gazetteer affinity must route them to their own shard.
+answered = 0
+for corpus in (ny_corpus, la_corpus):
+    for t in corpus["tweets"][:60]:
+        status, body = post("/predict", {"text": t["text"]})
+        assert status == 200, (status, body)
+        if "point" in body:
+            answered += 1
+assert answered > 0, "no covered tweets in either metro"
+
+metrics = subprocess.run(
+    ["curl", "-sf", f"http://{addr}/metrics"],
+    check=True, capture_output=True, text=True).stdout
+
+def shard_value(name, shard):
+    needle = f'{name}{{shard="{shard}"}}'
+    for line in metrics.splitlines():
+        if line.startswith(needle):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"missing {needle}")
+
+ny = shard_value("serve_shard_texts_total", "nyma")
+la = shard_value("serve_shard_texts_total", "lama")
+assert ny > 0, f"nyma shard got no texts: {ny}"
+assert la > 0, f"lama shard got no texts: {la}"
+print(f"routing OK: nyma={ny:.0f} lama={la:.0f} texts")
+EOF
+
+echo "== high concurrency: 2k idle keep-alive connections =="
+python3 - "$ADDR2" "$WORKDIR/corpus.json" <<'EOF'
+import http.client, json, socket, sys, time
+
+host, port = sys.argv[1].split(":")
+port = int(port)
+corpus = json.load(open(sys.argv[2]))
+texts = [t["text"] for t in corpus["tweets"][:64]]
+
+# Hold 2000 idle keep-alive connections. Transient connect failures
+# (finite listen backlog) back off and retry.
+herd, tries = [], 0
+while len(herd) < 2000 and tries < 500:
+    try:
+        herd.append(socket.create_connection((host, port), timeout=5))
+    except OSError:
+        tries += 1
+        time.sleep(0.01)
+assert len(herd) >= 2000, f"only {len(herd)} connections held"
+print(f"holding {len(herd)} idle keep-alive connections")
+
+# Foreground traffic on one more connection while the herd sits idle.
+conn = http.client.HTTPConnection(host, port, timeout=30)
+for i in range(100):
+    body = json.dumps({"texts": texts[(i * 8) % len(texts):][:8] or texts[:8]})
+    conn.request("POST", "/predict", body,
+                 {"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    assert resp.status == 200, (resp.status, resp.read())
+    resp.read()
+
+conn.request("GET", "/metrics", headers={})
+metrics = conn.getresponse().read().decode()
+
+def shard_values(name):
+    out = {}
+    for line in metrics.splitlines():
+        if line.startswith(name + "{"):
+            labels, value = line.rsplit(" ", 1)
+            shard = labels.split('shard="', 1)[1].split('"', 1)[0]
+            out[shard] = float(value)
+    return out
+
+p99 = shard_values("serve_shard_request_us_p99")
+shed = shard_values("serve_shard_shed_rate")
+assert p99, "no per-shard p99 in the exposition"
+for s, v in p99.items():
+    assert 0 < v < 2_000_000, f"shard {s} p99 out of range under load: {v} us"
+for s, v in shed.items():
+    assert v == 0.0, f"shard {s} shed under idle-connection load: {v}"
+print("per-shard p99 (us):", {s: round(v) for s, v in p99.items()},
+      "shed:", shed)
+for s in herd:
+    s.close()
+EOF
+
+kill "$SERVER_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; break; }
+    sleep 0.2
+done
+[ -z "$SERVER_PID" ] || { echo "two-shard server did not drain"; exit 1; }
 
 echo "serve smoke OK"
