@@ -38,7 +38,9 @@
 use std::net::TcpStream;
 use std::time::Instant;
 
-use edge_core::EdgeModel;
+use edge_core::{
+    ArtifactLoad, EdgeModel, ModelArtifact, PredictOptions, PredictRequest, Predictor, QuantMode,
+};
 use edge_obs::ring::{STAGE_BATCH, STAGE_INFERENCE, STAGE_PARSE, STAGE_QUEUE, STAGE_SERIALIZE};
 use edge_serve::{Client, ServeConfig, Server};
 use serde::Serialize;
@@ -138,6 +140,40 @@ struct HighConcurrency {
     per_shard: Vec<ShardStat>,
 }
 
+/// Replica cold start: artifact open → model ready → first successful
+/// prediction, legacy JSON envelope vs zero-copy mapped layout. Each
+/// sample loads a fresh model (what one more serve replica pays).
+#[derive(Serialize)]
+struct ColdStart {
+    replicas: usize,
+    /// Median per-replica legacy cold start (deserialize + GCN recompute
+    /// + first predict), microseconds.
+    legacy_us: f64,
+    /// Median per-replica mapped cold start (mmap open + meta parse +
+    /// first predict), microseconds.
+    mmap_us: f64,
+    /// `legacy_us / mmap_us` — the headline the CI gate holds ≥ 10.
+    speedup: f64,
+}
+
+/// One quantization mode's accuracy/size against the f32 baseline on the
+/// full test split.
+#[derive(Serialize)]
+struct QuantLeg {
+    mode: String,
+    artifact_bytes: u64,
+    mean_km: f64,
+    /// `|mean_km - f32 mean_km|` — the CI drift gate.
+    drift_km: f64,
+}
+
+#[derive(Serialize)]
+struct Quantization {
+    f32_artifact_bytes: u64,
+    f32_mean_km: f64,
+    modes: Vec<QuantLeg>,
+}
+
 #[derive(Serialize)]
 struct ServeBenchOutput {
     threads: usize,
@@ -154,6 +190,8 @@ struct ServeBenchOutput {
     router_overhead: RouterOverhead,
     multi_shard: LegRecord,
     high_concurrency: HighConcurrency,
+    cold_start: ColdStart,
+    quantization: Quantization,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -456,6 +494,67 @@ fn render_table(legs: &[LegRecord], speedup: f64) -> String {
     out
 }
 
+/// Median of raw microsecond samples.
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Measures per-replica cold start for both formats: each sample loads a
+/// fresh model from disk and answers one prediction (the serve pipeline's
+/// replica spin-up path, minus the socket).
+fn run_cold_start(legacy_path: &str, mmap_path: &str, text: &str, replicas: usize) -> ColdStart {
+    let req = PredictRequest::text(text);
+    let opts = PredictOptions::default();
+    let mut legacy = Vec::with_capacity(replicas);
+    let mut mapped = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let t0 = Instant::now();
+        #[allow(deprecated)] // this leg exists to measure the legacy loader
+        let m = EdgeModel::load(legacy_path).expect("legacy load");
+        m.locate(&req, &opts).expect("first predict");
+        legacy.push(t0.elapsed().as_secs_f64() * 1e6);
+
+        let t0 = Instant::now();
+        let m = ModelArtifact::open(mmap_path).expect("open").load_model().expect("load");
+        m.locate(&req, &opts).expect("first predict");
+        mapped.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let legacy_us = median_us(&mut legacy);
+    let mmap_us = median_us(&mut mapped);
+    ColdStart { replicas, legacy_us, mmap_us, speedup: legacy_us / mmap_us }
+}
+
+/// Saves the model under each quantization mode, reloads it, and scores
+/// the full test split — the accuracy-drift gate for quantized serving.
+fn run_quantization(model: &EdgeModel, test: &[edge_data::Tweet], mmap_path: &str) -> Quantization {
+    let opts = PredictOptions::default();
+    let mean_of = |m: &EdgeModel| {
+        m.evaluate(test, &opts).report().expect("quant eval covers the test split").mean_km
+    };
+    let f32_mean_km = mean_of(model);
+    let f32_artifact_bytes = std::fs::metadata(mmap_path).expect("stat f32").len();
+    let modes = [QuantMode::F16, QuantMode::Int8]
+        .into_iter()
+        .map(|quant| {
+            let path = std::env::temp_dir()
+                .join(format!("edge_bench_serve_{}.{quant}", std::process::id()));
+            model.save_artifact(&path, quant).expect("quantized save");
+            let artifact_bytes = std::fs::metadata(&path).expect("stat").len();
+            let loaded = ModelArtifact::open(&path).expect("open").load_model().expect("load");
+            let mean_km = mean_of(&loaded);
+            std::fs::remove_file(&path).ok();
+            QuantLeg {
+                mode: quant.to_string(),
+                artifact_bytes,
+                mean_km,
+                drift_km: (mean_km - f32_mean_km).abs(),
+            }
+        })
+        .collect();
+    Quantization { f32_artifact_bytes, f32_mean_km, modes }
+}
+
 fn main() {
     if let Ok(spec) = std::env::var("EDGE_BENCH_HERD") {
         herd_child(&spec);
@@ -483,9 +582,14 @@ fn main() {
     )
     .expect("train");
     let model_path =
+        std::env::temp_dir().join(format!("edge_bench_serve_{}.edgemap", std::process::id()));
+    model.save_artifact(&model_path, QuantMode::None).expect("save");
+    let legacy_path =
         std::env::temp_dir().join(format!("edge_bench_serve_{}.model.json", std::process::id()));
-    model.save(&model_path).expect("save");
+    #[allow(deprecated)] // the cold-start leg measures the legacy loader
+    model.save(&legacy_path).expect("legacy save");
     let model_path = model_path.to_string_lossy().into_owned();
+    let legacy_path = legacy_path.to_string_lossy().into_owned();
 
     let covered: Vec<String> = test
         .iter()
@@ -515,8 +619,8 @@ fn main() {
     let multi = |config: ServeConfig| {
         let path = model_path.clone();
         move || {
-            let east = EdgeModel::load(&path).expect("load");
-            let west = EdgeModel::load(&path).expect("load");
+            let east = EdgeModel::load_artifact(&path).expect("load");
+            let west = EdgeModel::load_artifact(&path).expect("load");
             Server::start_shards(
                 vec![("east".to_string(), east), ("west".to_string(), west)],
                 config.clone(),
@@ -655,11 +759,41 @@ fn main() {
         high_concurrency.p99_us
     );
 
+    // Replica cold start (legacy deserialize vs mmap open) and the
+    // quantization accuracy-drift gate.
+    let cold_start = run_cold_start(&legacy_path, &model_path, &pool[0], 5);
+    edge_obs::progress!(
+        "   cold-start      legacy {:>8.0} us  mmap {:>8.0} us  ({:.0}x)",
+        cold_start.legacy_us,
+        cold_start.mmap_us,
+        cold_start.speedup
+    );
+    let quantization = run_quantization(&model, test, &model_path);
+    for q in &quantization.modes {
+        edge_obs::progress!(
+            "   quant {:<9} {:>10} bytes  mean {:.2} km (drift {:.3} km)",
+            q.mode,
+            q.artifact_bytes,
+            q.mean_km,
+            q.drift_km
+        );
+    }
+
     let speedup = batched.texts_per_sec / unbatched.texts_per_sec;
     let cold_speedup = batched_cold.texts_per_sec / unbatched_cold.texts_per_sec;
     let legs = vec![unbatched, batched, unbatched_cold, batched_cold];
+    let quant_lines: String = quantization
+        .modes
+        .iter()
+        .map(|q| {
+            format!(
+                "quantization {}: {} bytes (f32 {}), mean {:.2} km, drift {:.3} km\n",
+                q.mode, q.artifact_bytes, quantization.f32_artifact_bytes, q.mean_km, q.drift_km
+            )
+        })
+        .collect();
     let text = format!(
-        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}{}\nobs overhead (warm batched, metrics on vs off): {:.2}%\nrobustness overhead (warm batched, deadlines+budgets+brownout on vs off): {:.2}%\nrouter overhead (warm batched, two-shard routed vs single-shard): {:.2}%\nmulti-shard: {:.0} texts/sec across {} shards\nhigh-concurrency: {} idle keep-alive conns held, p50 {:.0} us, p99 {:.0} us\n",
+        "Serve bench ({size:?} scale): closed-loop POST /predict over real sockets\n{}{}\nobs overhead (warm batched, metrics on vs off): {:.2}%\nrobustness overhead (warm batched, deadlines+budgets+brownout on vs off): {:.2}%\nrouter overhead (warm batched, two-shard routed vs single-shard): {:.2}%\nmulti-shard: {:.0} texts/sec across {} shards\nhigh-concurrency: {} idle keep-alive conns held, p50 {:.0} us, p99 {:.0} us\nreplica cold start: legacy {:.0} us vs mmap {:.0} us ({:.0}x, median of {})\n{}",
         render_table(&legs, speedup),
         render_stage_table(&legs),
         obs_overhead.overhead_frac * 100.0,
@@ -670,6 +804,11 @@ fn main() {
         high_concurrency.connections_held,
         high_concurrency.p50_us,
         high_concurrency.p99_us,
+        cold_start.legacy_us,
+        cold_start.mmap_us,
+        cold_start.speedup,
+        cold_start.replicas,
+        quant_lines,
     );
     print!("{text}");
     let output = ServeBenchOutput {
@@ -684,8 +823,11 @@ fn main() {
         router_overhead,
         multi_shard,
         high_concurrency,
+        cold_start,
+        quantization,
     };
     edge_bench::write_results("BENCH_serve", &output, &text).expect("write results");
     std::fs::remove_file(&model_path).ok();
+    std::fs::remove_file(&legacy_path).ok();
     edge_obs::progress!("wrote results/BENCH_serve.{{json,txt}}");
 }

@@ -36,7 +36,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use edge_core::EdgeModel;
+use edge_core::{EdgeModel, QuantMode};
 use edge_faults::FailScenario;
 use edge_serve::brownout::Mode;
 use edge_serve::{Client, RetryPolicy, ServeConfig, Server};
@@ -209,7 +209,7 @@ fn main() {
     .expect("train");
     let model_path =
         std::env::temp_dir().join(format!("edge_chaos_{}.model.json", std::process::id()));
-    model.save(&model_path).expect("save");
+    model.save_artifact(&model_path, QuantMode::None).expect("save");
     let model_path = model_path.to_string_lossy().into_owned();
 
     let covered: Vec<String> = test

@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use edge_core::{
-    inspect_artifact, EdgeConfig, EdgeModel, PredictError, PredictOptions, PredictRequest,
-    Predictor, TrainError, TrainOptions,
+    inspect_artifact, upgrade_artifact, ArtifactInfo, ArtifactLoad, EdgeConfig, EdgeModel,
+    PredictError, PredictOptions, PredictRequest, Predictor, QuantMode, TrainError, TrainOptions,
 };
 use edge_data::{dataset_recognizer, Dataset, PresetSize};
 
@@ -46,6 +46,10 @@ COMMANDS:
                  --trace <path>                      (dump span trace as JSONL)
                  --metrics-out <path>                (dump metrics snapshot as JSON)
                  --telemetry-out <dir>               (write per-epoch telemetry JSONL)
+                 --quantize none|f16|int8            (smoothed-table encoding of the
+                                                      saved artifact; default none)
+                 --format mmap|legacy                (artifact layout; default mmap,
+                                                      the zero-copy mapped format)
     predict    predict one tweet's location mixture
                  --model <path>                      (required)
                  --text <tweet text>                 (required)
@@ -73,6 +77,11 @@ COMMANDS:
                  --queue-capacity <n>                (shed beyond this, per shard;
                                                       default 256)
                  --cache-capacity <n>                (0 disables; default 4096)
+                 --cache-lsh-bits <n>                (SimHash signature width of the
+                                                      approximate cache tier; default 16)
+                 --cache-hamming-max <n>             (serve cached answers of entity
+                                                      sets within this Hamming distance;
+                                                      0 = exact only; default 0)
                  --fallback-prior                    (default zero-entity policy)
                  --threads <n>                       (worker threads)
                  --slo-p99-us <n>                    (SLO latency target; default 100000)
@@ -100,8 +109,16 @@ COMMANDS:
                  --max-errors <n>                    (exit non-zero after this many
                                                       consecutive failed polls;
                                                       default 5)
-    fsck       verify an artifact (model or checkpoint) without loading it
+    fsck       verify an artifact (model or checkpoint) without loading it;
+               mapped models print their section table and quant mode
                  <path>                              (positional, required)
+                 --upgrade                           (rewrite a legacy envelope in
+                                                      the zero-copy mapped layout,
+                                                      atomically)
+                 --quantize none|f16|int8            (with --upgrade: re-encode the
+                                                      smoothed table; default none)
+                 --out <path>                        (with --upgrade: write here
+                                                      instead of in place)
     profile    train under full tracing and print a self-time profile table
                  --preset nyma|lama|ny2020|covid19   (default nyma)
                  --size smoke|default|paper          (default smoke)
@@ -113,7 +130,7 @@ COMMANDS:
 ";
 
 /// Flags that take no value; present maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior", "fresh-alloc", "no-brownout"];
+const BOOL_FLAGS: &[&str] = &["resume", "fallback-prior", "fresh-alloc", "no-brownout", "upgrade"];
 
 /// Parses `--key value` pairs plus the valueless [`BOOL_FLAGS`].
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -329,8 +346,24 @@ pub fn train(args: &[String]) -> Result<(), String> {
             String::new()
         }
     );
-    model.save(out).map_err(|e| e.to_string())?;
-    edge_obs::progress!("saved model to {out}");
+    let quant: QuantMode = flags.get("quantize").map_or(Ok(QuantMode::None), |q| q.parse())?;
+    match flags.get("format").map_or("mmap", String::as_str) {
+        "mmap" => {
+            model.save_artifact(out, quant).map_err(|e| e.to_string())?;
+            edge_obs::progress!("saved model to {out} (mmap, quant={quant})");
+        }
+        "legacy" => {
+            if quant != QuantMode::None {
+                return Err("--format legacy cannot quantize (use --format mmap)".to_string());
+            }
+            // The legacy JSON envelope stays producible for compatibility
+            // tests and older readers.
+            #[allow(deprecated)]
+            model.save(out).map_err(|e| e.to_string())?;
+            edge_obs::progress!("saved model to {out} (legacy envelope)");
+        }
+        other => return Err(format!("unknown format '{other}' (mmap|legacy)")),
+    }
     if let Some(dir) = &telemetry_dir {
         if let Some(path) =
             edge_obs::telemetry::write_to_dir(dir).map_err(|e| format!("writing telemetry: {e}"))?
@@ -347,7 +380,7 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = required(&flags, "model")?;
     let text = required(&flags, "text")?;
-    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let model = EdgeModel::load_artifact(model_path).map_err(|e| e.to_string())?;
     let opts = PredictOptions::default().with_fallback_prior(flags.contains_key("fallback-prior"));
     match model.locate(&PredictRequest::text(text), &opts) {
         Err(PredictError::NoEntities) => {
@@ -385,7 +418,7 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let data = required(&flags, "data")?;
     apply_threads(&flags)?;
     let obs = obs_from_flags(&flags);
-    let model = EdgeModel::load(model_path).map_err(|e| e.to_string())?;
+    let model = EdgeModel::load_artifact(model_path).map_err(|e| e.to_string())?;
     let opts = PredictOptions::default().with_fallback_prior(flags.contains_key("fallback-prior"));
     let dataset = load_dataset(data)?;
     let (_, test) = dataset.paper_split();
@@ -541,6 +574,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     numeric(&flags, "max-delay-us", &mut config.max_delay_us)?;
     numeric(&flags, "queue-capacity", &mut config.queue_capacity)?;
     numeric(&flags, "cache-capacity", &mut config.cache_capacity)?;
+    numeric(&flags, "cache-lsh-bits", &mut config.cache_lsh_bits)?;
+    numeric(&flags, "cache-hamming-max", &mut config.cache_hamming_max)?;
     numeric(&flags, "slo-p99-us", &mut config.slo_target_p99_us)?;
     numeric(&flags, "slo-max-shed-rate", &mut config.slo_max_shed_rate)?;
     numeric(&flags, "slo-window-secs", &mut config.slo_window_secs)?;
@@ -794,17 +829,75 @@ pub fn top(args: &[String]) -> Result<(), String> {
 }
 
 pub fn fsck(args: &[String]) -> Result<(), String> {
-    let [path] = args else {
-        return Err("usage: edge-cli fsck <artifact>".to_string());
-    };
-    let info = inspect_artifact(path).map_err(|e| format!("{path}: {e}"))?;
+    // One positional <path> plus the optional --upgrade/--quantize/--out.
+    let mut path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            rest.push(args[i].clone());
+            i += 1;
+            if !BOOL_FLAGS.contains(&key) {
+                if let Some(v) = args.get(i) {
+                    rest.push(v.clone());
+                    i += 1;
+                }
+            }
+        } else {
+            if path.is_some() {
+                return Err("fsck takes exactly one artifact path".to_string());
+            }
+            path = Some(args[i].clone());
+            i += 1;
+        }
+    }
+    let flags = parse_flags(&rest)?;
+    let path = path.ok_or(
+        "usage: edge-cli fsck <artifact> [--upgrade] [--quantize none|f16|int8] [--out <path>]",
+    )?;
+
+    if flags.contains_key("upgrade") {
+        let quant: QuantMode = flags.get("quantize").map_or(Ok(QuantMode::None), |q| q.parse())?;
+        let out = flags.get("out").map_or(path.as_str(), String::as_str);
+        let info = upgrade_artifact(&path, out, quant).map_err(|e| format!("{path}: {e}"))?;
+        edge_obs::progress!("upgraded {path} -> {out} (quant={quant})");
+        print_artifact_info(out, &info);
+        return Ok(());
+    }
+    if flags.contains_key("quantize") || flags.contains_key("out") {
+        return Err("--quantize/--out only apply together with --upgrade".to_string());
+    }
+    let info = inspect_artifact(&path).map_err(|e| format!("{path}: {e}"))?;
+    print_artifact_info(&path, &info);
+    Ok(())
+}
+
+/// Renders one verified artifact for `fsck`: the envelope summary, and for
+/// mapped artifacts the quant mode plus the full section table (every CRC
+/// shown here was re-verified by the inspection that produced `info`).
+fn print_artifact_info(path: &str, info: &ArtifactInfo) {
     println!("{path}: OK");
     println!("  kind             {}", info.kind);
     println!("  envelope version {}", info.envelope_version);
     println!("  payload          {} bytes, crc64 {}", info.payload_bytes, info.crc64);
     println!("  payload version  {}", info.payload_version);
+    if let Some(quant) = &info.quant {
+        println!("  quant            {quant}");
+    }
+    if !info.sections.is_empty() {
+        println!(
+            "  {:<10} {:>5} {:>10} {:>10} {:>13}  {:<16} status",
+            "section", "dtype", "offset", "bytes", "shape", "crc64"
+        );
+        for s in &info.sections {
+            let shape = if s.rows > 0 { format!("{}x{}", s.rows, s.cols) } else { "-".to_string() };
+            println!(
+                "  {:<10} {:>5} {:>10} {:>10} {:>13}  {:<16} OK",
+                s.tag, s.dtype, s.offset, s.bytes, shape, s.crc64
+            );
+        }
+    }
     println!("  {}", info.detail);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -889,6 +982,43 @@ mod tests {
 
         std::fs::remove_file(&corpus).ok();
         std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn quantized_and_legacy_formats_round_trip_through_the_cli() {
+        let dir = std::env::temp_dir().join("edge_cli_quant_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("corpus.json").to_string_lossy().to_string();
+        let legacy = dir.join("legacy.json").to_string_lossy().to_string();
+        let int8 = dir.join("model.int8").to_string_lossy().to_string();
+
+        generate(&strs(&["--preset", "nyma", "--size", "smoke", "--seed", "9", "--out", &corpus]))
+            .expect("generate");
+        let base = ["--data", &corpus, "--profile", "smoke", "--epochs", "2"];
+
+        // int8-quantized mapped artifact: trains, predicts, fscks.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--out", &int8, "--quantize", "int8"]);
+        train(&strs(&args)).expect("train int8");
+        predict(&strs(&["--model", &int8, "--text", "lunch near the Majestic Theatre"]))
+            .expect("predict from int8 artifact");
+        fsck(&strs(&[&int8])).expect("fsck understands quantized artifacts");
+
+        // The legacy envelope is still writable, refuses to quantize, and
+        // upgrades in place via fsck --upgrade.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--out", &legacy, "--format", "legacy"]);
+        train(&strs(&args)).expect("train legacy");
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.extend(["--out", &legacy, "--format", "legacy", "--quantize", "f16"]);
+        assert!(train(&strs(&bad)).unwrap_err().contains("legacy"));
+        fsck(&strs(&[&legacy, "--upgrade"])).expect("upgrade in place");
+        predict(&strs(&["--model", &legacy, "--text", "lunch near the Majestic Theatre"]))
+            .expect("predict from upgraded artifact");
+        // --quantize without --upgrade is a usage error.
+        assert!(fsck(&strs(&[&legacy, "--quantize", "f16"])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

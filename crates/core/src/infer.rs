@@ -17,6 +17,7 @@ use edge_geo::GaussianMixture;
 use edge_tensor::tape::softmax_in_place;
 use edge_tensor::{Matrix, TapeArena};
 
+use crate::artifact::SmoothedStore;
 use crate::mdn::decode_theta;
 
 thread_local! {
@@ -47,7 +48,7 @@ pub(crate) struct InferParams<'a> {
 /// `add_row_broadcast` → `decode_theta` pipeline; only the storage strategy
 /// differs (`tests` assert agreement with `attention_infer`).
 pub(crate) fn infer_prediction(
-    smoothed: &Matrix,
+    smoothed: &SmoothedStore,
     entities: &[usize],
     p: &InferParams<'_>,
 ) -> (GaussianMixture, Vec<f32>) {
@@ -56,7 +57,9 @@ pub(crate) fn infer_prediction(
         let scratch = &mut *cell.borrow_mut();
         let arena = &mut scratch.arena;
         let mut h = arena.take_matrix(entities.len(), smoothed.cols());
-        smoothed.gather_rows_into(entities, &mut h); // K x h
+        // K x h — rows were copied into scratch here even before the mmap
+        // redesign, so quantized stores dequantize inside the same copy.
+        smoothed.gather_rows_into(entities, &mut h);
         let (z, weights) = if p.use_attention {
             let mut scores = arena.take_matrix(entities.len(), 1);
             h.matmul_into(p.q1, &mut scores); // Eq. 2: K x 1

@@ -24,6 +24,7 @@
 //! the structurally different BOW baseline as [`BowModel`].
 
 pub mod ablation;
+pub mod artifact;
 pub mod attention;
 pub mod checkpoint;
 pub mod config;
@@ -37,6 +38,7 @@ pub mod persist;
 pub mod predict;
 
 pub use ablation::BowModel;
+pub use artifact::{upgrade_artifact, ArtifactLoad, ModelArtifact, QuantMode, SectionInfo};
 pub use checkpoint::{load_checkpoint, CheckpointState, Checkpointer};
 pub use config::EdgeConfig;
 pub use entity2vec::{entity_sentence, run_entity2vec, Entity2Vec, EntityIndex};

@@ -19,6 +19,7 @@ use edge_tensor::tape::{NodeId, ParamId, ParamStore, Tape};
 use edge_tensor::{Adam, CsrMatrix, Matrix, Optimizer, TapeArena};
 use edge_text::EntityRecognizer;
 
+use crate::artifact::{LazyAdjacency, LazyFeatures, SmoothedStore};
 use crate::attention::{attention_aggregate, sum_aggregate};
 use crate::checkpoint::{CheckpointState, Checkpointer, CHECKPOINT_VERSION};
 use crate::config::EdgeConfig;
@@ -139,17 +140,22 @@ pub struct EdgeModel {
     config: EdgeConfig,
     ner: EntityRecognizer,
     index: EntityIndex,
-    adjacency: Arc<CsrMatrix>,
-    /// Entity2vec features, shared with training tapes zero-copy.
-    features: Arc<Matrix>,
+    /// Normalized adjacency; lazily materialized on mmap-loaded models
+    /// (only re-saving or re-training ever touches it).
+    adjacency: LazyAdjacency,
+    /// Entity2vec features, shared with training tapes zero-copy; lazily
+    /// materialized on mmap-loaded models.
+    features: LazyFeatures,
     params: ParamStore,
     w_gcn: Vec<ParamId>,
     q1: ParamId,
     b1: ParamId,
     q2: ParamId,
     b2: ParamId,
-    /// Cached diffused embeddings for inference (refreshed after training).
-    smoothed: Matrix,
+    /// Cached diffused embeddings for inference (refreshed after training);
+    /// on mmap-loaded models a borrowed — possibly quantized — view of the
+    /// artifact's `smoothed` section.
+    smoothed: SmoothedStore,
     /// Training-split location prior (one Gaussian over all training
     /// tweets), the opt-in fallback for zero-entity tweets.
     prior: Option<GaussianMixture>,
@@ -261,15 +267,15 @@ impl EdgeModel {
             config,
             ner,
             index: e2v.index,
-            adjacency,
-            features,
+            adjacency: LazyAdjacency::Ready(adjacency),
+            features: LazyFeatures::Ready(features),
             params,
             w_gcn,
             q1,
             b1,
             q2,
             b2,
-            smoothed: Matrix::zeros(0, 0),
+            smoothed: SmoothedStore::Owned(Matrix::zeros(0, 0)),
             prior,
             fallback_prior: false,
         };
@@ -428,9 +434,9 @@ impl EdgeModel {
                 } else {
                     Tape::with_arena(std::mem::take(&mut arena))
                 };
-                let x = tape.constant_shared(Arc::clone(&self.features));
+                let x = tape.constant_shared(Arc::clone(self.features.get()));
                 let smoothed = if self.config.use_gcn {
-                    gcn_forward(&mut tape, &self.adjacency, x, &self.w_gcn, &self.params)
+                    gcn_forward(&mut tape, self.adjacency.get(), x, &self.w_gcn, &self.params)
                 } else {
                     x
                 };
@@ -642,12 +648,12 @@ impl EdgeModel {
 
     /// Recomputes the cached diffused embeddings from the current weights.
     fn refresh_smoothed(&mut self) {
-        self.smoothed = if self.config.use_gcn {
+        self.smoothed = SmoothedStore::Owned(if self.config.use_gcn {
             let weights: Vec<&Matrix> = self.w_gcn.iter().map(|&w| self.params.get(w)).collect();
-            gcn_infer(&self.adjacency, &self.features, &weights)
+            gcn_infer(self.adjacency.get(), self.features.get(), &weights)
         } else {
-            Matrix::clone(&self.features)
-        };
+            Matrix::clone(self.features.get())
+        });
     }
 
     /// Rebuilds a model from its persisted parts (see `persist`); the
@@ -671,15 +677,15 @@ impl EdgeModel {
             config,
             ner,
             index,
-            adjacency,
-            features: Arc::new(features),
+            adjacency: LazyAdjacency::Ready(adjacency),
+            features: LazyFeatures::Ready(Arc::new(features)),
             params,
             w_gcn,
             q1,
             b1,
             q2,
             b2,
-            smoothed: Matrix::zeros(0, 0),
+            smoothed: SmoothedStore::Owned(Matrix::zeros(0, 0)),
             prior,
             fallback_prior: false,
         };
@@ -687,19 +693,73 @@ impl EdgeModel {
         model
     }
 
+    /// Builds a model around pre-verified artifact stores — the mmap
+    /// loading path in [`crate::artifact`]. The smoothed table arrives
+    /// ready (stored precomputed in the artifact), so nothing is
+    /// recomputed here: this is the microsecond cold-start constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_stores(
+        config: EdgeConfig,
+        ner: EntityRecognizer,
+        index: EntityIndex,
+        adjacency: LazyAdjacency,
+        features: LazyFeatures,
+        params: ParamStore,
+        w_gcn: Vec<ParamId>,
+        q1: ParamId,
+        b1: ParamId,
+        q2: ParamId,
+        b2: ParamId,
+        smoothed: SmoothedStore,
+        prior: Option<GaussianMixture>,
+    ) -> Self {
+        Self {
+            config,
+            ner,
+            index,
+            adjacency,
+            features,
+            params,
+            w_gcn,
+            q1,
+            b1,
+            q2,
+            b2,
+            smoothed,
+            prior,
+            fallback_prior: false,
+        }
+    }
+
     /// The model's configuration.
     pub fn config(&self) -> &EdgeConfig {
         &self.config
     }
 
-    /// The normalized adjacency operator (persistence accessor).
+    /// The normalized adjacency operator (persistence accessor). On an
+    /// mmap-loaded model this materializes the section on first touch;
+    /// `fsck` has already vouched for its parseability — the fallible
+    /// variant is [`Self::try_adjacency`], which the save paths use.
     pub fn adjacency_matrix(&self) -> &Arc<CsrMatrix> {
-        &self.adjacency
+        self.adjacency.get()
     }
 
-    /// The entity2vec feature matrix `X` (persistence accessor).
+    /// Like [`Self::adjacency_matrix`], but surfaces a typed error if the
+    /// artifact's adjacency section cannot be parsed.
+    pub(crate) fn try_adjacency(&self) -> Result<&Arc<CsrMatrix>, crate::PersistError> {
+        self.adjacency.try_get()
+    }
+
+    /// The entity2vec feature matrix `X` (persistence accessor). On an
+    /// mmap-loaded model this materializes the section on first touch
+    /// (infallible: shape and checksum were verified at open).
     pub fn feature_matrix(&self) -> &Matrix {
-        &self.features
+        self.features.get()
+    }
+
+    /// The inference embedding table (owned, or borrowed from an mmap).
+    pub(crate) fn smoothed_store(&self) -> &SmoothedStore {
+        &self.smoothed
     }
 
     /// The trained parameters (persistence accessor).
@@ -755,9 +815,10 @@ impl EdgeModel {
         &self.ner
     }
 
-    /// The diffused (spatially smoothed) embedding of entity `idx`.
-    pub fn smoothed_embedding(&self, idx: usize) -> &[f32] {
-        self.smoothed.row(idx)
+    /// The diffused (spatially smoothed) embedding of entity `idx`,
+    /// decoded to owned floats (quantized mmap models dequantize here).
+    pub fn smoothed_embedding(&self, idx: usize) -> Vec<f32> {
+        self.smoothed.row_to_vec(idx)
     }
 
     /// The entity indices a tweet text resolves to (known entities only).

@@ -1,6 +1,14 @@
-//! Model persistence: save a trained [`EdgeModel`] to disk and load it back
-//! for inference — the deployment path a real user of this library needs
-//! (train once on a crawl, serve predictions later).
+//! Legacy model persistence: the checksummed JSON envelope, plus the
+//! typed error and `fsck` machinery shared with the mmap layout.
+//!
+//! New artifacts are written in the zero-copy mapped layout by
+//! [`crate::artifact`] (`EdgeModel::save_artifact`), and loading goes
+//! through [`crate::artifact::ModelArtifact`], which sniffs the magic and
+//! falls back to this module's envelope reader — existing artifacts stay
+//! loadable forever, and `fsck --upgrade` migrates them. The envelope is
+//! still what training checkpoints use ([`crate::checkpoint`]): they are
+//! read-modify-write state, not serve-time weights, so zero-copy buys
+//! nothing there.
 //!
 //! Every artifact (models here, training checkpoints in
 //! [`crate::checkpoint`]) is written crash-safely — temp file, fsync, atomic
@@ -185,21 +193,32 @@ pub(crate) fn read_artifact(
 pub struct ArtifactInfo {
     /// `"model"` or `"checkpoint"`.
     pub kind: String,
-    /// Envelope version from the header.
+    /// Envelope version (legacy) or mapped-layout version.
     pub envelope_version: u32,
-    /// Payload size in bytes.
+    /// Payload size in bytes (whole file for mapped artifacts).
     pub payload_bytes: usize,
-    /// Payload CRC-64/XZ (hex), as verified.
+    /// Payload CRC-64/XZ (hex) for legacy envelopes; the section-table
+    /// CRC for mapped artifacts. Verified either way.
     pub crc64: String,
     /// Payload schema version.
     pub payload_version: u32,
     /// One-line human summary of the payload contents.
     pub detail: String,
+    /// Quantization mode of a mapped model (`None` for legacy artifacts).
+    pub quant: Option<String>,
+    /// Verified section table of a mapped artifact (empty for legacy).
+    pub sections: Vec<crate::artifact::SectionInfo>,
 }
 
 /// Fully verifies the artifact at `path`: envelope + checksum + payload
 /// parse + internal consistency. This is the engine behind `edge-cli fsck`.
+/// Routes on the magic bytes: mapped artifacts get the section-table
+/// verification in [`crate::artifact`], everything else the legacy
+/// envelope checks below.
 pub fn inspect_artifact(path: impl AsRef<Path>) -> Result<ArtifactInfo, PersistError> {
+    if crate::artifact::sniff_mapped(path.as_ref())? {
+        return crate::artifact::inspect_mapped(path.as_ref());
+    }
     let (header, payload) = read_envelope(&path)?;
     let (payload_version, detail) = match header.kind.as_str() {
         KIND_MODEL => {
@@ -237,6 +256,8 @@ pub fn inspect_artifact(path: impl AsRef<Path>) -> Result<ArtifactInfo, PersistE
         crc64: header.crc64,
         payload_version,
         detail,
+        quant: None,
+        sections: Vec::new(),
     })
 }
 
@@ -315,32 +336,44 @@ impl SavedModel {
 }
 
 impl EdgeModel {
-    /// Saves the trained model to `path` — crash-safe (temp file + fsync +
-    /// atomic rename) and checksummed, so a concurrent crash can never leave
-    /// a half-written artifact at `path`.
+    /// Saves the trained model in the legacy JSON envelope — crash-safe
+    /// (temp file + fsync + atomic rename) and checksummed.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `save_artifact` (zero-copy mmap layout, optional quantization); this \
+                writer remains for producing legacy-envelope artifacts only"
+    )]
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let doc = self.to_saved();
+        self.save_envelope(path)
+    }
+
+    /// Loads a model artifact in either format, verifying checksums first.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `ModelArtifact::open(path)?.load_model()` or \
+                `<EdgeModel as ArtifactLoad>::load_artifact(path)`"
+    )]
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        crate::artifact::ModelArtifact::open(path)?.load_model()
+    }
+
+    /// The non-deprecated legacy-envelope writer (the `--format legacy`
+    /// escape hatch and the deprecated [`EdgeModel::save`] shim).
+    pub(crate) fn save_envelope(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let doc = self.to_saved()?;
         let json = serde_json::to_string(&doc)?;
         write_artifact(path, KIND_MODEL, &json)
     }
 
-    /// Loads a model saved by [`EdgeModel::save`], verifying the embedded
-    /// checksum first. The diffused-embedding cache is recomputed, so
-    /// predictions from the loaded model are bit-identical to the original's.
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let payload = read_artifact(path, KIND_MODEL)?;
-        let doc: SavedModel = serde_json::from_str(&payload)?;
-        doc.validate()?;
-        Ok(Self::from_saved(doc))
-    }
-
-    fn to_saved(&self) -> SavedModel {
-        SavedModel {
+    /// Fallible because a mapped model materializes its lazy adjacency
+    /// section here.
+    pub(crate) fn to_saved(&self) -> Result<SavedModel, PersistError> {
+        Ok(SavedModel {
             format_version: FORMAT_VERSION,
             config: self.config().clone(),
             ner: self.recognizer().clone(),
             index: self.entity_index().clone(),
-            adjacency: self.adjacency_matrix().as_ref().clone(),
+            adjacency: self.try_adjacency()?.as_ref().clone(),
             features: self.feature_matrix().clone(),
             params: self.param_store().clone(),
             w_gcn: self.gcn_param_ids().to_vec(),
@@ -349,10 +382,10 @@ impl EdgeModel {
             q2: self.head_param_ids().0,
             b2: self.head_param_ids().1,
             prior: self.prior().cloned(),
-        }
+        })
     }
 
-    fn from_saved(doc: SavedModel) -> Self {
+    pub(crate) fn from_saved(doc: SavedModel) -> Self {
         Self::from_parts(
             doc.config,
             doc.ner,
@@ -371,6 +404,9 @@ impl EdgeModel {
 }
 
 #[cfg(test)]
+// The deprecated save/load shims are exercised on purpose: they must keep
+// delegating to the artifact API bit-identically.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::TrainOptions;
@@ -437,7 +473,7 @@ mod tests {
     #[test]
     fn load_rejects_wrong_version() {
         let (model, _) = trained();
-        let mut doc = model.to_saved();
+        let mut doc = model.to_saved().unwrap();
         doc.format_version = 999;
         assert!(matches!(doc.validate(), Err(PersistError::Corrupt(_))));
     }
@@ -445,7 +481,7 @@ mod tests {
     #[test]
     fn load_rejects_inconsistent_shapes() {
         let (model, _) = trained();
-        let mut doc = model.to_saved();
+        let mut doc = model.to_saved().unwrap();
         doc.features = Matrix::zeros(3, 3);
         assert!(matches!(doc.validate(), Err(PersistError::Corrupt(_))));
     }

@@ -38,10 +38,13 @@
 //! [`fsio::atomic_write`] writes temp-file + fsync + atomic rename (+
 //! directory fsync), so a crash at any instant leaves either the old file or
 //! the new file, never a torn hybrid. [`crc64::checksum`] (CRC-64/XZ) is the
-//! integrity check `edge-core` embeds in every persisted artifact.
+//! integrity check `edge-core` embeds in every persisted artifact, and
+//! [`mmap::Mmap`] is the read-only mapping the zero-copy artifact loader
+//! borrows tensor sections from.
 
 pub mod crc64;
 pub mod fsio;
+pub mod mmap;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};

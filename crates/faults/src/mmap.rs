@@ -1,0 +1,219 @@
+//! Read-only memory-mapped files for zero-copy artifact loading.
+//!
+//! The workspace is offline (no `libc`, no `memmap2`), so `mmap`/`munmap`
+//! are declared as `extern "C"` shims against the C library `std` already
+//! links — the same precedent as the `epoll` shims in `edge-serve`'s
+//! reactor. Errors surface as `io::Error::last_os_error()`, so `errno`
+//! text comes through.
+//!
+//! On non-Unix targets (and as a portability escape hatch) [`Mmap::open`]
+//! falls back to reading the whole file into an 8-byte-aligned heap
+//! buffer: callers get the same `&[u8]` view either way, just without the
+//! shared-page-cache economics.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the kernel shares the
+//! physical pages between every process (and every in-process replica)
+//! that maps the same artifact, which is what makes N-replica serving
+//! cost one physical copy of the model.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: isize,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// How the bytes are held: a real kernel mapping or an owned fallback
+/// buffer (non-Unix, or an empty file where `mmap` would reject `len 0`).
+enum Backing {
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// `Vec<u64>` rather than `Vec<u8>` so the base pointer is 8-byte
+    /// aligned like a page-aligned mapping (section offsets inside the
+    /// artifact are page-multiples, so alignment of the base decides the
+    /// alignment of every section).
+    Owned { buf: Vec<u64>, len: usize },
+}
+
+/// A read-only view of a whole file, zero-copy where the platform allows.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ,
+// never remapped), so shared references across threads are sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only. Returns the owned-buffer fallback on
+    /// non-Unix targets and for empty files.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        Self::from_file(&file, len)
+    }
+
+    #[cfg(unix)]
+    fn from_file(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Ok(Mmap { backing: Backing::Owned { buf: Vec::new(), len: 0 } });
+        }
+        // SAFETY: fd is a live file descriptor, len is the file's size,
+        // and the constants request a read-only private mapping.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { backing: Backing::Mapped { ptr: ptr as *mut u8, len } })
+    }
+
+    #[cfg(not(unix))]
+    fn from_file(file: &File, len: usize) -> io::Result<Mmap> {
+        Ok(Self::read_aligned(file, len)?)
+    }
+
+    /// Fallback reader: the whole file in an 8-byte-aligned buffer.
+    #[cfg_attr(unix, allow(dead_code))]
+    fn read_aligned(mut file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let words = len.div_ceil(8);
+        let mut buf: Vec<u64> = vec![0; words];
+        // SAFETY: u64 has no invalid bit patterns; the byte view covers
+        // exactly the allocation we just zeroed.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, words * 8) };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(Mmap { backing: Backing::Owned { buf, len } })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it is unmapped only in Drop.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned { buf, len } => {
+                // SAFETY: the buffer holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned { len, .. } => *len,
+        }
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe { sys::munmap(ptr as *mut std::os::raw::c_void, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => "mapped",
+            Backing::Owned { .. } => "owned",
+        };
+        f.debug_struct("Mmap").field("kind", &kind).field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("edge_mmap_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Mmap::open(Path::new("/nonexistent/edge_mmap_test")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn fallback_reader_matches_mapping() {
+        let path = temp_path("fallback");
+        let payload: Vec<u8> = (0..9_999u32).map(|i| (i % 251) as u8).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let owned = Mmap::read_aligned(&file, payload.len()).unwrap();
+        assert_eq!(owned.as_slice(), &payload[..]);
+        // The fallback base pointer carries mapping-grade alignment.
+        assert_eq!(owned.as_slice().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

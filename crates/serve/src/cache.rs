@@ -1,9 +1,22 @@
-//! A sharded LRU cache for rendered predictions.
+//! A sharded LRU cache for rendered predictions, with an optional
+//! approximate (LSH) tier.
 //!
 //! EDGE predictions are a pure function of the *resolved entity set* (the
 //! recognizer sorts and dedups mentions), the fallback policy, and the
 //! model generation — so the cache key is exactly that triple, and a hit
 //! returns the fully rendered JSON fragment without touching the model.
+//!
+//! The approximate tier (off by default) SimHashes each entity set into a
+//! compact binary code: every entity votes its `splitmix64` bit pattern,
+//! the per-bit majority becomes the signature. Entity sets that mostly
+//! overlap land within a small Hamming distance, so a miss in the exact
+//! map can still be answered by a near neighbor — useful for retweet
+//! storms where sets differ by one incidental entity. A neighbor hit
+//! serves the *neighbor's* rendered prediction, so this trades accuracy
+//! for hit rate; `hamming_max == 0` disables the tier entirely and the
+//! cache is byte-identical to the exact-only behavior. Generation and
+//! fallback policy always match exactly — approximation never crosses a
+//! model reload.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,20 +38,74 @@ struct Shard {
     tick: u64,
 }
 
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// SimHash over the resolved entity set: each entity's `splitmix64` bit
+/// pattern votes ±1 per signature bit, the majority wins. Deterministic,
+/// order-independent (keys arrive sorted + deduped anyway), and stable
+/// across processes — no random hyperplanes to persist.
+fn simhash(entities: &[usize], bits: u32) -> u64 {
+    let mut votes = [0i32; 64];
+    for &e in entities {
+        let h = splitmix64(e as u64);
+        for (i, v) in votes.iter_mut().enumerate().take(bits as usize) {
+            *v += if (h >> i) & 1 == 1 { 1 } else { -1 };
+        }
+    }
+    let mut sig = 0u64;
+    for (i, &v) in votes.iter().enumerate().take(bits as usize) {
+        if v > 0 {
+            sig |= 1 << i;
+        }
+    }
+    sig
+}
+
+/// One entry of the approximate tier: the signature plus everything that
+/// must match *exactly* for a neighbor hit to be sound.
+struct LshEntry {
+    generation: u64,
+    fallback: bool,
+    signature: u64,
+    tick: u64,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// The approximate tier lives in one flat ring, not the exact shards: a
+/// Hamming-ball query has no single home shard (neighbors hash apart), so
+/// sharding it would silently drop most candidates.
+struct LshRing {
+    entries: Vec<LshEntry>,
+    tick: u64,
+}
+
 /// Sharded LRU over rendered JSON fragments. Eviction is an O(shard)
 /// min-tick scan — shards stay small (capacity/shards entries), so the
 /// scan is cheaper than the bookkeeping of a linked LRU at this size.
+/// When `hamming_max > 0` a second, approximate tier answers exact-map
+/// misses by linear XOR+popcount scan over SimHash signatures.
 pub struct ResponseCache {
     shards: Vec<Mutex<Shard>>,
     per_shard: usize,
+    lsh_bits: u32,
+    hamming_max: u32,
+    lsh: Mutex<LshRing>,
     hits: AtomicU64,
     misses: AtomicU64,
+    lsh_hits: AtomicU64,
 }
 
 impl ResponseCache {
     /// Capacity 0 builds a disabled cache: every lookup misses, inserts
-    /// are dropped.
-    pub fn new(capacity: usize, shards: usize) -> Self {
+    /// are dropped. `hamming_max` 0 (or `lsh_bits` 0) disables the
+    /// approximate tier, leaving behavior byte-identical to the exact
+    /// cache.
+    pub fn new(capacity: usize, shards: usize, lsh_bits: u32, hamming_max: u32) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity / shards;
         Self {
@@ -46,9 +113,17 @@ impl ResponseCache {
                 .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0 }))
                 .collect(),
             per_shard,
+            lsh_bits: lsh_bits.min(64),
+            hamming_max,
+            lsh: Mutex::new(LshRing { entries: Vec::new(), tick: 0 }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            lsh_hits: AtomicU64::new(0),
         }
+    }
+
+    fn lsh_enabled(&self) -> bool {
+        self.hamming_max > 0 && self.lsh_bits > 0 && self.per_shard > 0
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -58,28 +133,64 @@ impl ResponseCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks the key up, refreshing its recency on a hit.
+    /// Looks the key up, refreshing its recency on a hit. On an exact
+    /// miss the approximate tier (when enabled) is consulted for the
+    /// nearest signature within the Hamming budget.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
         if self.per_shard == 0 {
             return None;
         }
-        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
-        shard.tick += 1;
-        let tick = shard.tick;
-        match shard.map.get_mut(key) {
-            Some((last, bytes)) => {
+        {
+            let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some((last, bytes)) = shard.map.get_mut(key) {
                 *last = tick;
                 let bytes = Arc::clone(bytes);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 edge_obs::counter!("serve.cache.hits").inc(1);
-                Some(bytes)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                edge_obs::counter!("serve.cache.misses").inc(1);
-                None
+                return Some(bytes);
             }
         }
+        if self.lsh_enabled() {
+            if let Some(bytes) = self.lsh_get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lsh_hits.fetch_add(1, Ordering::Relaxed);
+                edge_obs::counter!("serve.cache.hits").inc(1);
+                edge_obs::counter!("serve.cache.lsh_hits").inc(1);
+                return Some(bytes);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        edge_obs::counter!("serve.cache.misses").inc(1);
+        None
+    }
+
+    /// Scans the approximate tier for the signature nearest to `key`'s
+    /// within `hamming_max`, most recent on ties. O(ring), one popcount
+    /// per entry.
+    fn lsh_get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let sig = simhash(&key.entities, self.lsh_bits);
+        let mut ring = self.lsh.lock().unwrap_or_else(|e| e.into_inner());
+        ring.tick += 1;
+        let tick = ring.tick;
+        let mut best: Option<(u32, u64, usize)> = None;
+        for (i, e) in ring.entries.iter().enumerate() {
+            if e.generation != key.generation || e.fallback != key.fallback {
+                continue;
+            }
+            let d = (e.signature ^ sig).count_ones();
+            if d <= self.hamming_max
+                && best.map_or(true, |(bd, bt, _)| d < bd || (d == bd && e.tick > bt))
+            {
+                best = Some((d, e.tick, i));
+            }
+        }
+        best.map(|(_, _, i)| {
+            let entry = &mut ring.entries[i];
+            entry.tick = tick;
+            Arc::clone(&entry.bytes)
+        })
     }
 
     /// Inserts a rendered fragment, evicting the least-recently-used entry
@@ -98,7 +209,41 @@ impl ResponseCache {
                 shard.map.remove(&oldest);
             }
         }
-        shard.map.insert(key, (tick, bytes));
+        shard.map.insert(key.clone(), (tick, bytes.clone()));
+        drop(shard);
+
+        if self.lsh_enabled() {
+            let signature = simhash(&key.entities, self.lsh_bits);
+            let mut ring = self.lsh.lock().unwrap_or_else(|e| e.into_inner());
+            ring.tick += 1;
+            let tick = ring.tick;
+            // Same (generation, fallback, signature) → overwrite in place;
+            // otherwise LRU-evict once the ring reaches the cache capacity.
+            if let Some(e) = ring.entries.iter_mut().find(|e| {
+                e.generation == key.generation
+                    && e.fallback == key.fallback
+                    && e.signature == signature
+            }) {
+                e.tick = tick;
+                e.bytes = bytes;
+                return;
+            }
+            let cap = self.per_shard * self.shards.len();
+            if ring.entries.len() >= cap {
+                if let Some(oldest) =
+                    ring.entries.iter().enumerate().min_by_key(|(_, e)| e.tick).map(|(i, _)| i)
+                {
+                    ring.entries.swap_remove(oldest);
+                }
+            }
+            ring.entries.push(LshEntry {
+                generation: key.generation,
+                fallback: key.fallback,
+                signature,
+                tick,
+                bytes,
+            });
+        }
     }
 
     /// Drops every entry — called on hot reload so stale generations
@@ -108,12 +253,19 @@ impl ResponseCache {
         for shard in &self.shards {
             shard.lock().unwrap_or_else(|e| e.into_inner()).map.clear();
         }
+        self.lsh.lock().unwrap_or_else(|e| e.into_inner()).entries.clear();
     }
 
     /// Lifetime (hits, misses) — independent of whether the global metrics
-    /// registry is enabled.
+    /// registry is enabled. LSH-tier hits are included in hits and also
+    /// reported separately by [`Self::lsh_hit_count`].
     pub fn stats(&self) -> (u64, u64) {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// How many hits were served by the approximate tier.
+    pub fn lsh_hit_count(&self) -> u64 {
+        self.lsh_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -127,7 +279,7 @@ mod tests {
 
     #[test]
     fn hit_after_insert_miss_after_clear() {
-        let cache = ResponseCache::new(64, 4);
+        let cache = ResponseCache::new(64, 4, 0, 0);
         assert!(cache.get(&key(1)).is_none());
         cache.insert(key(1), Arc::new(b"x".to_vec()));
         assert_eq!(cache.get(&key(1)).unwrap().as_slice(), b"x");
@@ -138,7 +290,7 @@ mod tests {
 
     #[test]
     fn distinct_generations_do_not_collide() {
-        let cache = ResponseCache::new(64, 4);
+        let cache = ResponseCache::new(64, 4, 0, 0);
         cache.insert(CacheKey { generation: 1, ..key(7) }, Arc::new(b"old".to_vec()));
         let new_gen = CacheKey { generation: 2, ..key(7) };
         assert!(cache.get(&new_gen).is_none());
@@ -147,7 +299,7 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_entry() {
         // One shard of capacity 2 keeps the recently touched keys.
-        let cache = ResponseCache::new(2, 1);
+        let cache = ResponseCache::new(2, 1, 0, 0);
         cache.insert(key(1), Arc::new(b"1".to_vec()));
         cache.insert(key(2), Arc::new(b"2".to_vec()));
         assert!(cache.get(&key(1)).is_some()); // refresh 1
@@ -159,8 +311,98 @@ mod tests {
 
     #[test]
     fn capacity_zero_disables_the_cache() {
-        let cache = ResponseCache::new(0, 4);
+        let cache = ResponseCache::new(0, 4, 0, 0);
         cache.insert(key(1), Arc::new(b"x".to_vec()));
         assert!(cache.get(&key(1)).is_none());
+    }
+
+    /// An overlapping (but not equal) entity set must land within a small
+    /// Hamming distance of the original's signature.
+    fn near_neighbor_sets(bits: u32, hamming_max: u32) -> (Vec<usize>, Vec<usize>) {
+        let base: Vec<usize> = (0..12).collect();
+        for extra in 100..100_000 {
+            let mut near = base.clone();
+            near.push(extra);
+            let d = (simhash(&base, bits) ^ simhash(&near, bits)).count_ones();
+            if d > 0 && d <= hamming_max {
+                return (base, near);
+            }
+        }
+        panic!("no near neighbor found");
+    }
+
+    #[test]
+    fn lsh_tier_answers_near_neighbor_misses() {
+        let cache = ResponseCache::new(64, 4, 16, 3);
+        let (base, near) = near_neighbor_sets(16, 3);
+        cache.insert(
+            CacheKey { generation: 1, entities: base, fallback: false },
+            Arc::new(b"cached".to_vec()),
+        );
+        let probe = CacheKey { generation: 1, entities: near, fallback: false };
+        assert_eq!(cache.get(&probe).unwrap().as_slice(), b"cached");
+        assert_eq!(cache.lsh_hit_count(), 1);
+        assert_eq!(cache.stats().0, 1, "LSH hits count as hits");
+    }
+
+    #[test]
+    fn lsh_tier_never_crosses_generation_or_fallback() {
+        let cache = ResponseCache::new(64, 4, 16, 16 - 1);
+        let entities: Vec<usize> = (0..8).collect();
+        cache.insert(
+            CacheKey { generation: 1, entities: entities.clone(), fallback: false },
+            Arc::new(b"gen1".to_vec()),
+        );
+        // Identical signature, different generation / fallback: both miss.
+        assert!(cache
+            .get(&CacheKey { generation: 2, entities: entities.clone(), fallback: false })
+            .is_none());
+        assert!(cache.get(&CacheKey { generation: 1, entities, fallback: true }).is_none());
+        assert_eq!(cache.lsh_hit_count(), 0);
+    }
+
+    #[test]
+    fn hamming_zero_is_byte_identical_to_exact_cache() {
+        // Same operation sequence against an exact cache and a
+        // hamming_max=0 cache: every outcome must agree, including for
+        // near-neighbor probes the LSH tier would have answered.
+        let exact = ResponseCache::new(64, 4, 0, 0);
+        let off = ResponseCache::new(64, 4, 16, 0);
+        let (base, near) = near_neighbor_sets(16, 3);
+        for c in [&exact, &off] {
+            c.insert(
+                CacheKey { generation: 1, entities: base.clone(), fallback: false },
+                Arc::new(b"v".to_vec()),
+            );
+        }
+        let probes = [
+            CacheKey { generation: 1, entities: base, fallback: false },
+            CacheKey { generation: 1, entities: near, fallback: false },
+            CacheKey { generation: 1, entities: vec![999], fallback: false },
+        ];
+        for p in &probes {
+            let (a, b) = (exact.get(p), off.get(p));
+            assert_eq!(a.is_some(), b.is_some(), "outcome diverged for {p:?}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+        assert_eq!(exact.stats(), off.stats());
+        assert_eq!(off.lsh_hit_count(), 0);
+    }
+
+    #[test]
+    fn lsh_ring_is_bounded_and_cleared() {
+        let cache = ResponseCache::new(4, 1, 16, 3);
+        for i in 0..64 {
+            cache.insert(
+                CacheKey { generation: 1, entities: vec![i, i + 1000], fallback: false },
+                Arc::new(vec![i as u8]),
+            );
+        }
+        let ring_len = cache.lsh.lock().unwrap().entries.len();
+        assert!(ring_len <= 4, "ring grew to {ring_len}");
+        cache.clear();
+        assert!(cache.lsh.lock().unwrap().entries.is_empty());
     }
 }

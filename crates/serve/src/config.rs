@@ -22,6 +22,14 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Shard count for the response cache (reduces lock contention).
     pub cache_shards: usize,
+    /// Width (in bits, at most 64) of the SimHash entity-code signature
+    /// used by the approximate cache tier. Only meaningful when
+    /// `cache_hamming_max > 0`.
+    pub cache_lsh_bits: u32,
+    /// Largest Hamming distance between SimHash signatures the approximate
+    /// cache tier accepts as a hit. 0 (the default) disables the LSH tier
+    /// entirely — lookups are byte-identical to the exact cache.
+    pub cache_hamming_max: u32,
     /// Server-side default for requests that do not set `fallback_prior`
     /// themselves: answer zero-entity tweets with the training-split prior
     /// instead of a typed abstention.
@@ -96,6 +104,8 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             cache_capacity: 4096,
             cache_shards: 8,
+            cache_lsh_bits: 16,
+            cache_hamming_max: 0,
             fallback_prior: false,
             handle_signals: false,
             enable_metrics: true,
@@ -136,6 +146,14 @@ impl ServeConfig {
         }
         if self.cache_shards == 0 {
             return Err("cache_shards must be at least 1".into());
+        }
+        if self.cache_hamming_max > 0 {
+            if self.cache_lsh_bits == 0 || self.cache_lsh_bits > 64 {
+                return Err("cache_lsh_bits must be within [1, 64] when the LSH tier is on".into());
+            }
+            if self.cache_hamming_max as u64 >= self.cache_lsh_bits as u64 {
+                return Err("cache_hamming_max must be below cache_lsh_bits".into());
+            }
         }
         if self.ring_capacity == 0 {
             return Err("ring_capacity must be at least 1".into());
@@ -190,6 +208,14 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ServeConfig { cache_shards: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
+        let c = ServeConfig { cache_hamming_max: 2, cache_lsh_bits: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { cache_hamming_max: 2, cache_lsh_bits: 80, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { cache_hamming_max: 16, cache_lsh_bits: 16, ..ServeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ServeConfig { cache_hamming_max: 0, cache_lsh_bits: 0, ..ServeConfig::default() };
+        assert!(c.validate().is_ok(), "LSH knobs unchecked when the tier is off");
         let c = ServeConfig { ring_capacity: 0, ..ServeConfig::default() };
         assert!(c.validate().is_err());
         let c = ServeConfig { slo_window_secs: 0, ..ServeConfig::default() };

@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use edge_core::{EdgeModel, Predictor};
+use edge_core::{ArtifactLoad, EdgeModel, Predictor};
 use edge_obs::ring::{
     RequestRecord, N_STAGES, STAGE_BATCH, STAGE_INFERENCE, STAGE_PARSE, STAGE_QUEUE,
     STAGE_SERIALIZE,
@@ -204,7 +204,12 @@ impl Server {
                     name,
                     slot: ModelSlot::new(model),
                     queue: BatchQueue::new(config.queue_capacity),
-                    cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
+                    cache: ResponseCache::new(
+                        config.cache_capacity,
+                        config.cache_shards,
+                        config.cache_lsh_bits,
+                        config.cache_hamming_max,
+                    ),
                     slo: SloTracker::new(SloConfig {
                         target_p99_us: config.slo_target_p99_us,
                         max_shed_rate: config.slo_max_shed_rate,
@@ -282,9 +287,10 @@ impl Server {
         Ok(Server { addr, state, loop_threads, scheduler_threads, _metrics_lease: metrics_lease })
     }
 
-    /// Loads the model from a saved artifact, then starts.
+    /// Loads the model from a saved artifact — mmap layout or legacy
+    /// envelope, sniffed by [`ModelArtifact::open`] — then starts.
     pub fn start_from_artifact(path: &str, config: ServeConfig) -> Result<Server, String> {
-        let model = EdgeModel::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+        let model = EdgeModel::load_artifact(path).map_err(|e| format!("loading {path}: {e}"))?;
         Server::start(model, config)
     }
 
@@ -295,7 +301,8 @@ impl Server {
     ) -> Result<Server, String> {
         let mut shards = Vec::with_capacity(specs.len());
         for (name, path) in specs {
-            let model = EdgeModel::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+            let model =
+                EdgeModel::load_artifact(path).map_err(|e| format!("loading {path}: {e}"))?;
             shards.push((name.clone(), model));
         }
         Server::start_shards(shards, config)

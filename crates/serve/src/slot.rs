@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use edge_core::{inspect_artifact, EdgeModel};
+use edge_core::{inspect_artifact, ArtifactLoad, EdgeModel};
 
 /// Holds the currently served model. Readers clone the `Arc` out from
 /// under a plain `Mutex` — an uncontended lock is a few nanoseconds,
@@ -40,14 +40,16 @@ impl ModelSlot {
 
     /// Atomically replaces the served model from a saved artifact.
     ///
-    /// Verification happens *before* the swap: the envelope (magic, CRC64)
-    /// is checked by [`inspect_artifact`] and the payload by
-    /// [`EdgeModel::load`], so a torn or corrupt artifact leaves the old
-    /// model serving untouched. Returns the new generation.
+    /// Verification happens *before* the swap: the container (magic,
+    /// per-section CRC64 for mapped artifacts, envelope CRC64 for legacy
+    /// ones) is checked by [`inspect_artifact`] and the payload by the
+    /// loader, so a torn or corrupt artifact leaves the old model serving
+    /// untouched. Returns the new generation.
     pub fn reload_from(&self, path: &str) -> Result<u64, String> {
         edge_faults::check("serve.reload").map_err(|e| e.to_string())?;
         inspect_artifact(path).map_err(|e| format!("artifact rejected: {e}"))?;
-        let model = EdgeModel::load(path).map_err(|e| format!("artifact rejected: {e}"))?;
+        let model =
+            EdgeModel::load_artifact(path).map_err(|e| format!("artifact rejected: {e}"))?;
         let mut guard = self.current.lock().unwrap_or_else(|e| e.into_inner());
         *guard = Arc::new(model);
         // Release-store while still holding the lock: a reader that sees

@@ -5,7 +5,10 @@
 
 mod util;
 
-use edge_core::{EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainOptions};
+use edge_core::{
+    ArtifactLoad, EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, QuantMode,
+    TrainOptions,
+};
 use edge_data::dataset_recognizer;
 use edge_serve::{Client, ServeConfig};
 
@@ -26,9 +29,9 @@ fn second_model() -> (String, EdgeModel) {
     .expect("train second model");
     let path = std::env::temp_dir()
         .join(format!("edge_serve_cache_inval_{}.model.json", std::process::id()));
-    model.save(&path).expect("save");
+    model.save_artifact(&path, QuantMode::None).expect("save");
     let path = path.to_string_lossy().into_owned();
-    let model = EdgeModel::load(&path).expect("load");
+    let model = EdgeModel::load_artifact(&path).expect("load");
     (path, model)
 }
 

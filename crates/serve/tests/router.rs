@@ -11,7 +11,10 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, OnceLock};
 
-use edge_core::{EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainOptions};
+use edge_core::{
+    ArtifactLoad, EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, QuantMode,
+    TrainOptions,
+};
 use edge_data::{dataset_recognizer, lama, Dataset, PresetSize};
 use edge_serve::{Client, Router, ServeConfig, Server};
 
@@ -40,9 +43,9 @@ fn lama_world() -> &'static LamaWorld {
         .expect("train");
         let path = std::env::temp_dir()
             .join(format!("edge_serve_router_lama_{}.model.json", std::process::id()));
-        model.save(&path).expect("save");
+        model.save_artifact(&path, QuantMode::None).expect("save");
         let model_path = path.to_string_lossy().into_owned();
-        let model = EdgeModel::load(&model_path).expect("load");
+        let model = EdgeModel::load_artifact(&model_path).expect("load");
         LamaWorld { model_path, model, dataset }
     })
 }
@@ -51,14 +54,14 @@ fn lama_world() -> &'static LamaWorld {
 /// mirror built from the same artifacts, for computing expectations.
 fn start_two_shards(mut config: ServeConfig) -> (Server, Router, Vec<Arc<EdgeModel>>) {
     config.addr = "127.0.0.1:0".to_string();
-    let ny = EdgeModel::load(&util::world().model_path).expect("load nyma");
-    let la = EdgeModel::load(&lama_world().model_path).expect("load lama");
+    let ny = EdgeModel::load_artifact(&util::world().model_path).expect("load nyma");
+    let la = EdgeModel::load_artifact(&lama_world().model_path).expect("load lama");
     let server =
         Server::start_shards(vec![("nyma".to_string(), ny), ("lama".to_string(), la)], config)
             .expect("server starts");
     let models = vec![
-        Arc::new(EdgeModel::load(&util::world().model_path).expect("load nyma")),
-        Arc::new(EdgeModel::load(&lama_world().model_path).expect("load lama")),
+        Arc::new(EdgeModel::load_artifact(&util::world().model_path).expect("load nyma")),
+        Arc::new(EdgeModel::load_artifact(&lama_world().model_path).expect("load lama")),
     ];
     let router = Router::new(vec!["nyma".to_string(), "lama".to_string()], &models);
     (server, router, models)

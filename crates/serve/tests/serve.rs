@@ -7,7 +7,10 @@ mod util;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use edge_core::{EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainOptions};
+use edge_core::{
+    ArtifactLoad, EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, QuantMode,
+    TrainOptions,
+};
 use edge_data::{dataset_recognizer, nyma, PresetSize};
 use edge_serve::{Client, ServeConfig};
 
@@ -223,7 +226,7 @@ fn reload_swaps_the_model_mid_traffic_and_rejects_corruption() {
     )
     .unwrap();
     let path2 = std::env::temp_dir().join(format!("edge_serve_reload_{}.json", std::process::id()));
-    model2.save(&path2).unwrap();
+    model2.save_artifact(&path2, QuantMode::None).unwrap();
     let body = format!(
         "{{\"path\":{}}}",
         serde_json::to_string(&path2.to_string_lossy().into_owned()).unwrap()
@@ -233,7 +236,7 @@ fn reload_swaps_the_model_mid_traffic_and_rejects_corruption() {
     assert_eq!(server.generation(), 2);
 
     // Fresh requests are now answered by model2, bit for bit.
-    let model2 = EdgeModel::load(&path2).unwrap();
+    let model2 = EdgeModel::load_artifact(&path2).unwrap();
     let (_, test2) = dataset2.paper_split();
     let text2 = test2
         .iter()

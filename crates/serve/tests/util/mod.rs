@@ -4,13 +4,20 @@
 
 use std::sync::OnceLock;
 
-use edge_core::{EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, TrainOptions};
+use edge_core::{
+    ArtifactLoad, EdgeConfig, EdgeModel, PredictOptions, PredictRequest, Predictor, QuantMode,
+    TrainOptions,
+};
 use edge_data::{dataset_recognizer, nyma, Dataset, PresetSize};
 use edge_serve::{ServeConfig, Server};
 
 pub struct TestWorld {
-    /// Saved artifact both the server and direct-comparison models load.
+    /// Saved artifact (zero-copy mapped layout) both the server and
+    /// direct-comparison models load.
     pub model_path: String,
+    /// The same model saved in the legacy JSON envelope, for parity tests.
+    #[allow(dead_code)] // not every test binary uses every fixture
+    pub legacy_path: String,
     /// A direct handle on the same parameters (loaded from the artifact).
     pub model: EdgeModel,
     pub dataset: Dataset,
@@ -33,18 +40,22 @@ pub fn world() -> &'static TestWorld {
         )
         .expect("train");
         let path =
+            std::env::temp_dir().join(format!("edge_serve_test_{}.edgemap", std::process::id()));
+        model.save_artifact(&path, QuantMode::None).expect("save");
+        let legacy =
             std::env::temp_dir().join(format!("edge_serve_test_{}.model.json", std::process::id()));
-        model.save(&path).expect("save");
+        #[allow(deprecated)] // parity suites compare against the old format
+        model.save(&legacy).expect("legacy save");
         let model_path = path.to_string_lossy().into_owned();
-        let model = EdgeModel::load(&model_path).expect("load");
-        TestWorld { model_path, model, dataset }
+        let model = EdgeModel::load_artifact(&model_path).expect("load");
+        TestWorld { model_path, legacy_path: legacy.to_string_lossy().into_owned(), model, dataset }
     })
 }
 
 /// Starts a server on an ephemeral port with the shared model.
 pub fn start_server(mut config: ServeConfig) -> Server {
     config.addr = "127.0.0.1:0".to_string();
-    let model = EdgeModel::load(&world().model_path).expect("load");
+    let model = EdgeModel::load_artifact(&world().model_path).expect("load");
     Server::start(model, config).expect("server starts")
 }
 

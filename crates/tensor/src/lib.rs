@@ -21,7 +21,9 @@
 //!   loop performs zero heap allocations per batch,
 //! * [`simd`] — runtime-detected AVX2 microkernels for matmul and spmm that
 //!   are bit-for-bit identical to the scalar reference kernels (`EDGE_NO_SIMD`
-//!   falls back to pure scalar).
+//!   falls back to pure scalar),
+//! * [`quant`] — f16 and per-row-absmax int8 codecs (scalar reference plus
+//!   F16C/AVX2 dequant kernels) for compact mmap model artifacts.
 //!
 //! The engine is deliberately rank-2 (every value is a matrix): all tensors
 //! in the EDGE model family are naturally matrices, and the restriction
@@ -32,6 +34,7 @@ pub mod init;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
+pub mod quant;
 pub mod simd;
 pub mod sparse;
 pub mod tape;

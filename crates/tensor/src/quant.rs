@@ -1,0 +1,290 @@
+//! f16 and int8 quantization kernels for compact inference weights.
+//!
+//! Two codecs, both with scalar reference implementations and runtime-
+//! detected vector paths that follow the [`crate::simd`] conventions
+//! (`EDGE_NO_SIMD`, [`crate::simd::with_scalar_kernels`]):
+//!
+//! * **f16** — IEEE 754 binary16 with round-to-nearest-even encode.
+//!   Decoding f16 → f32 is *exact* (every half value is representable as
+//!   a float), so the F16C vector path (`vcvtph2ps`) and the scalar
+//!   bit-twiddling path are bit-for-bit identical by construction — the
+//!   parity tests sweep the full 16-bit domain to prove it.
+//! * **int8** — per-row absmax affine code: `scale = absmax / 127`,
+//!   `q = round(x / scale)` clamped to ±127, dequant `x̂ = q · scale`.
+//!   The AVX2 dequant widens `i8 → i32 → f32` and multiplies by the
+//!   broadcast scale — the same single rounding step as the scalar
+//!   `q as f32 * scale`, so the two paths are bit-identical too.
+//!
+//! Quantization itself (encode) runs offline at artifact-build time and
+//! is scalar only; the latency-sensitive direction is dequantization in
+//! the serve gather path, which is where the vector kernels live.
+
+use crate::simd::simd_active;
+
+/// Converts one f32 to IEEE binary16 with round-to-nearest-even.
+/// Overflow saturates to ±inf; NaN payloads keep their top mantissa bits.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: keep NaN-ness (quiet bit forced so a payload that
+        // truncates to zero cannot turn a NaN into an infinity).
+        let m = if mant != 0 { 0x0200 | (mant >> 13) as u16 } else { 0 };
+        return sign | 0x7c00 | m;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        let mut half = (((unbiased + 15) as u32) << 10) | (mant >> 13);
+        let rem = mant & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1) {
+            half += 1; // may carry into the exponent; 0x7c00 is then ±inf
+        }
+        return sign | half as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half: shift the implicit bit into the 10-bit field.
+        let m = 0x0080_0000 | mant;
+        let shift = (13 - unbiased - 14) as u32; // 14..=24
+        let mut half = m >> shift;
+        let halfway = 1u32 << (shift - 1);
+        let rem = m & ((1u32 << shift) - 1);
+        if rem > halfway || (rem == halfway && (half & 1) == 1) {
+            half += 1;
+        }
+        return sign | half as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts one IEEE binary16 to f32 (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = (h as u32 & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal (value = mant · 2⁻²⁴): renormalize around the
+            // mantissa's MSB at index k, giving exponent k − 24.
+            let k = 31 - mant.leading_zeros(); // 0..=9
+            let e = k + 103; // (k − 24) + 127
+            let m = (mant ^ (1 << k)) << (23 - k);
+            sign | (e << 23) | m
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // inf / NaN
+    } else {
+        sign | (((exp as u32) + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Whether the F16C conversion instructions are available (separate CPUID
+/// bit from AVX2/FMA, so detected separately from [`crate::simd`]).
+pub fn f16c_available() -> bool {
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("f16c")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// Encodes a slice of f32 to f16 codes (round-to-nearest-even).
+pub fn encode_f16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&x| f32_to_f16(x)).collect()
+}
+
+/// Decodes f16 codes into `dst` (`dst.len() == src.len()`), dispatching
+/// to F16C when active. Both paths are bit-identical.
+pub fn decode_f16_into(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "f16 decode length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() && f16c_available() {
+        // SAFETY: f16c_available() verified the CPUID bit.
+        unsafe { decode_f16_f16c(src, dst) };
+        return;
+    }
+    for (d, &h) in dst.iter_mut().zip(src) {
+        *d = f16_to_f32(h);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c,avx")]
+unsafe fn decode_f16_f16c(src: &[u16], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let chunks = n / 8;
+    for c in 0..chunks {
+        let halves = _mm_loadu_si128(src.as_ptr().add(c * 8) as *const __m128i);
+        let floats = _mm256_cvtph_ps(halves);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), floats);
+    }
+    for i in chunks * 8..n {
+        dst[i] = f16_to_f32(src[i]);
+    }
+}
+
+/// Per-row absmax int8 quantization of a `rows × cols` row-major table.
+/// Returns the codes and one f32 scale per row (`0.0` for all-zero rows,
+/// which dequantize back to exact zeros).
+pub fn quantize_rows_i8(data: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(data.len(), rows * cols, "int8 quantize shape mismatch");
+    let mut codes = vec![0i8; data.len()];
+    let mut scales = vec![0f32; rows];
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let absmax = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
+        if absmax == 0.0 {
+            continue;
+        }
+        let scale = absmax / 127.0;
+        scales[r] = scale;
+        let inv = 1.0 / scale;
+        for (q, &x) in codes[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *q = (x * inv).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+    (codes, scales)
+}
+
+/// Dequantizes one int8 row into `dst` (`dst.len() == src.len()`),
+/// dispatching to AVX2 when active. Both paths compute `q as f32 * scale`
+/// with one rounding step, so they are bit-identical.
+pub fn dequant_i8_into(src: &[i8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "int8 dequant length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: simd_active() verified AVX2 support.
+        unsafe { dequant_i8_avx2(src, scale, dst) };
+        return;
+    }
+    for (d, &q) in dst.iter_mut().zip(src) {
+        *d = q as f32 * scale;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dequant_i8_avx2(src: &[i8], scale: f32, dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let s = _mm256_set1_ps(scale);
+    let chunks = n / 8;
+    for c in 0..chunks {
+        // 8 sign-extended bytes → 8 i32 lanes → 8 f32 lanes → × scale.
+        let bytes = _mm_loadl_epi64(src.as_ptr().add(c * 8) as *const __m128i);
+        let ints = _mm256_cvtepi8_epi32(bytes);
+        let floats = _mm256_cvtepi32_ps(ints);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), _mm256_mul_ps(floats, s));
+    }
+    for i in chunks * 8..n {
+        dst[i] = src[i] as f32 * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::{simd_active, with_scalar_kernels};
+
+    #[test]
+    fn f16_decode_encode_roundtrip_is_identity_on_all_halves() {
+        // Every finite half decodes to an f32 that encodes back to itself
+        // (decode is exact, and the decoded value needs no rounding).
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1f;
+            let f = f16_to_f32(h);
+            if exp == 0x1f && (h & 0x03ff) != 0 {
+                assert!(f.is_nan(), "h={h:#06x} must decode to NaN");
+                continue;
+            }
+            assert_eq!(f32_to_f16(f), h, "h={h:#06x} f={f}");
+        }
+    }
+
+    #[test]
+    fn f16_encode_rounds_to_nearest_even() {
+        // 1.0 + 2^-11 sits exactly between 1.0 and the next half
+        // (1.0 + 2^-10); ties go to the even code (1.0).
+        assert_eq!(f32_to_f16(1.0 + f32::powi(2.0, -11)), f32_to_f16(1.0));
+        // One ulp above the tie rounds up.
+        let just_above = f32::from_bits((1.0f32 + f32::powi(2.0, -11)).to_bits() + 1);
+        assert_eq!(f32_to_f16(just_above), f32_to_f16(1.0) + 1);
+        // Overflow saturates to inf, preserving sign.
+        assert_eq!(f32_to_f16(1e6), 0x7c00);
+        assert_eq!(f32_to_f16(-1e6), 0xfc00);
+        // Tiny values underflow to signed zero.
+        assert_eq!(f32_to_f16(1e-10), 0x0000);
+        assert_eq!(f32_to_f16(-1e-10), 0x8000);
+        // Subnormal halves survive the trip.
+        let sub = f16_to_f32(0x0001);
+        assert_eq!(f32_to_f16(sub), 0x0001);
+    }
+
+    #[test]
+    fn f16_vector_and_scalar_decodes_agree_bitwise() {
+        let src: Vec<u16> = (0..=u16::MAX).filter(|h| (h >> 10) & 0x1f != 0x1f).collect();
+        let mut fast = vec![0f32; src.len()];
+        let mut slow = vec![0f32; src.len()];
+        decode_f16_into(&src, &mut fast);
+        with_scalar_kernels(|| decode_f16_into(&src, &mut slow));
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "half {:#06x}", src[i]);
+        }
+    }
+
+    #[test]
+    fn i8_roundtrip_error_is_bounded_by_half_scale() {
+        let rows = 7;
+        let cols = 33;
+        let data: Vec<f32> =
+            (0..rows * cols).map(|i| ((i * 2654435761) % 1000) as f32 / 250.0 - 2.0).collect();
+        let (codes, scales) = quantize_rows_i8(&data, rows, cols);
+        let mut out = vec![0f32; cols];
+        for r in 0..rows {
+            dequant_i8_into(&codes[r * cols..(r + 1) * cols], scales[r], &mut out);
+            for (x, y) in data[r * cols..(r + 1) * cols].iter().zip(&out) {
+                assert!((x - y).abs() <= scales[r] * 0.5 + 1e-7, "row {r}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_zero_row_has_zero_scale_and_exact_zeros() {
+        let data = vec![0f32; 12];
+        let (codes, scales) = quantize_rows_i8(&data, 3, 4);
+        assert!(scales.iter().all(|&s| s == 0.0));
+        let mut out = vec![1f32; 4];
+        dequant_i8_into(&codes[..4], scales[0], &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn i8_vector_and_scalar_dequants_agree_bitwise() {
+        let src: Vec<i8> = (0..257).map(|i| ((i * 89) % 255 - 127) as i8).collect();
+        let scale = 0.037_f32;
+        let mut fast = vec![0f32; src.len()];
+        let mut slow = vec![0f32; src.len()];
+        dequant_i8_into(&src, scale, &mut fast);
+        with_scalar_kernels(|| dequant_i8_into(&src, scale, &mut slow));
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Report which path actually ran so CI logs show coverage.
+        eprintln!("i8 parity checked with simd_active={}", simd_active());
+    }
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Artifact compatibility gate: the legacy JSON envelope must stay readable,
+# `fsck --upgrade` must migrate it to the zero-copy mapped layout in place,
+# and a server loading the upgraded artifact must answer byte-for-byte what
+# the legacy-envelope server answered (f32 migration is lossless).
+#
+# Usage: scripts/artifact_compat.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build --release -p edge-cli
+BIN=target/release/edge-cli
+
+echo "== train into the legacy JSON envelope =="
+$BIN generate --preset nyma --size smoke --seed 11 --out "$WORKDIR/corpus.json"
+$BIN train --data "$WORKDIR/corpus.json" --profile smoke --epochs 2 \
+    --format legacy --out "$WORKDIR/model.json"
+head -c 1 "$WORKDIR/model.json" | grep -q '{' || {
+    echo "--format legacy must write a JSON envelope"; exit 1; }
+$BIN fsck "$WORKDIR/model.json" | tee "$WORKDIR/fsck_legacy.txt"
+if grep -Eq "^  meta .* OK$" "$WORKDIR/fsck_legacy.txt"; then
+    echo "--format legacy must not write a section table"; exit 1
+fi
+
+serve_and_capture() {
+    # serve_and_capture <model-path> <out-prefix>
+    local addr=127.0.0.1:7982
+    $BIN serve --model "$1" --addr "$addr" &
+    SERVER_PID=$!
+    for _ in $(seq 1 50); do
+        if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+        sleep 0.2
+    done
+    python3 - "$WORKDIR/corpus.json" "$addr" "$2" <<'EOF'
+import json, subprocess, sys
+
+corpus = json.load(open(sys.argv[1]))
+addr, prefix = sys.argv[2], sys.argv[3]
+answered = 0
+with open(prefix + ".responses", "wb") as sink:
+    for t in corpus["tweets"][:120]:
+        body = subprocess.run(
+            ["curl", "-s", f"http://{addr}/predict",
+             "-H", "Content-Type: application/json",
+             "-d", json.dumps({"text": t["text"]})],
+            check=True, capture_output=True).stdout
+        sink.write(body + b"\n")
+        if b'"point"' in body:
+            answered += 1
+assert answered > 0, "no covered tweets answered"
+print(f"captured 120 responses ({answered} covered)")
+EOF
+    kill "$SERVER_PID"
+    for _ in $(seq 1 50); do
+        kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; break; }
+        sleep 0.2
+    done
+    [ -z "$SERVER_PID" ] || { echo "server did not drain"; exit 1; }
+}
+
+echo "== serve the legacy envelope and capture response bytes =="
+serve_and_capture "$WORKDIR/model.json" "$WORKDIR/legacy"
+
+echo "== fsck --upgrade migrates the envelope in place =="
+$BIN fsck "$WORKDIR/model.json" --upgrade | tee "$WORKDIR/fsck_upgraded.txt"
+grep -Eq "^  meta .* OK$" "$WORKDIR/fsck_upgraded.txt" || {
+    echo "upgraded artifact must carry a checked section table"; exit 1; }
+head -c 8 "$WORKDIR/model.json" | grep -q "EDGEMAP1" || {
+    echo "upgrade must rewrite to the mapped layout"; exit 1; }
+
+echo "== serve the upgraded artifact and compare byte-for-byte =="
+serve_and_capture "$WORKDIR/model.json" "$WORKDIR/upgraded"
+cmp "$WORKDIR/legacy.responses" "$WORKDIR/upgraded.responses" || {
+    echo "upgraded artifact changed served bytes"; exit 1; }
+
+echo "== a quantizing upgrade to a separate path still serves =="
+$BIN fsck "$WORKDIR/model.json" --upgrade --quantize f16 \
+    --out "$WORKDIR/model_f16.edgemap"
+# (buffered before grep: -q quitting early would EPIPE the fsck binary)
+$BIN fsck "$WORKDIR/model_f16.edgemap" > "$WORKDIR/fsck_f16.txt"
+grep -Eq "quant +f16$" "$WORKDIR/fsck_f16.txt" || {
+    echo "quantizing upgrade must record its mode"; exit 1; }
+serve_and_capture "$WORKDIR/model_f16.edgemap" "$WORKDIR/f16"
+grep -q '"point"' "$WORKDIR/f16.responses" || {
+    echo "f16 artifact answered no covered tweets"; exit 1; }
+
+echo "artifact compat OK: legacy == upgraded, byte for byte"

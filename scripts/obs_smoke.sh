@@ -128,7 +128,10 @@ done
 curl -sf "http://$ADDR/healthz" | tee "$WORKDIR/health.json"; echo
 grep -q '"status":"degraded"' "$WORKDIR/health.json" || {
     echo "healthz must report degraded when the error budget burns"; exit 1; }
-curl -sf "http://$ADDR/metrics" | grep -q 'serve_slo_degraded 1' || {
+# (buffered before grep: with pipefail, grep -q quitting at the first
+# match can hand curl an EPIPE and fail the whole pipeline.)
+curl -sf "http://$ADDR/metrics" > "$WORKDIR/metrics_degraded.txt"
+grep -q 'serve_slo_degraded 1' "$WORKDIR/metrics_degraded.txt" || {
     echo "metrics must expose the degraded flag"; exit 1; }
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 

@@ -94,11 +94,14 @@ grep -q "serve_requests_total" "$WORKDIR/metrics.txt" || {
     echo "metrics dump is missing serve counters"; exit 1; }
 
 echo "== /reload rejects a corrupted artifact =="
+# Flip the last byte: the mapped layout has no trailing padding, so the
+# final byte always sits inside the last section's CRC-checked payload
+# (a mid-file flip could land in meaningless inter-section page padding).
 python3 - "$WORKDIR/model.json" <<'EOF'
 import pathlib, sys
 p = pathlib.Path(sys.argv[1] + ".corrupt")
 b = bytearray(pathlib.Path(sys.argv[1]).read_bytes())
-b[len(b) // 2] ^= 0x20
+b[-1] ^= 0x20
 p.write_bytes(bytes(b))
 EOF
 STATUS=$(curl -s -o "$WORKDIR/reload.json" -w '%{http_code}' \
@@ -253,5 +256,64 @@ for _ in $(seq 1 50); do
     sleep 0.2
 done
 [ -z "$SERVER_PID" ] || { echo "two-shard server did not drain"; exit 1; }
+
+echo "== fsck prints the mapped section table =="
+$BIN fsck "$WORKDIR/model.json" | tee "$WORKDIR/fsck.txt"
+for tag in meta params smoothed features adj; do
+    grep -Eq "^  $tag .* OK\$" "$WORKDIR/fsck.txt" || {
+        echo "fsck section table is missing an OK '$tag' row"; exit 1; }
+done
+grep -Eq "quant +none$" "$WORKDIR/fsck.txt" || {
+    echo "fsck must report the quantization mode"; exit 1; }
+
+echo "== quantized serving: int8 artifact trains, verifies, and answers =="
+$BIN train --data "$WORKDIR/corpus.json" --profile smoke --epochs 2 \
+    --quantize int8 --out "$WORKDIR/model_int8.edgemap"
+$BIN fsck "$WORKDIR/model_int8.edgemap" | tee "$WORKDIR/fsck_int8.txt"
+grep -Eq "quant +int8$" "$WORKDIR/fsck_int8.txt" || {
+    echo "int8 artifact must fsck as int8"; exit 1; }
+grep -Eq "^  scales .* OK\$" "$WORKDIR/fsck_int8.txt" || {
+    echo "int8 artifact must carry a per-row scales section"; exit 1; }
+
+ADDR3=127.0.0.1:7981
+$BIN serve --model "$WORKDIR/model_int8.edgemap" --addr "$ADDR3" \
+    --cache-lsh-bits 16 --cache-hamming-max 2 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR3/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "int8 server died"; exit 1; }
+    sleep 0.2
+done
+python3 - "$WORKDIR/corpus.json" "$ADDR3" <<'EOF'
+import json, subprocess, sys
+
+corpus = json.load(open(sys.argv[1]))
+addr = sys.argv[2]
+
+def post(payload):
+    out = subprocess.run(
+        ["curl", "-s", "-w", "\n%{http_code}", f"http://{addr}/predict",
+         "-H", "Content-Type: application/json", "-d", json.dumps(payload)],
+        check=True, capture_output=True, text=True).stdout
+    body, status = out.rsplit("\n", 1)
+    return int(status), json.loads(body)
+
+covered = 0
+for t in corpus["tweets"][:200]:
+    status, body = post({"text": t["text"]})
+    assert status == 200, (status, body)
+    if "point" in body:
+        covered += 1
+        lat, lon = body["point"]["lat"], body["point"]["lon"]
+        assert 40.0 < lat < 41.5 and -75.0 < lon < -73.0, body["point"]
+assert covered > 0, "int8 server answered no covered tweets"
+print(f"int8 serving OK: {covered} covered predictions")
+EOF
+kill "$SERVER_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; break; }
+    sleep 0.2
+done
+[ -z "$SERVER_PID" ] || { echo "int8 server did not drain"; exit 1; }
 
 echo "serve smoke OK"
